@@ -1,0 +1,52 @@
+// Command awssim serves the simulated AWS region (S3, SimpleDB, SQS) over
+// HTTP, so the substrate behind the provenance architectures can be poked
+// directly:
+//
+//	awssim -addr :8080
+//	curl -X PUT  localhost:8080/s3/mybucket
+//	curl -X PUT  localhost:8080/s3/mybucket/hello -d 'world' \
+//	     -H 'X-Amz-Meta-Prov: input=bar:2'
+//	curl          localhost:8080/s3/mybucket/hello -i
+//	curl -X POST 'localhost:8080/sdb' -d 'Action=CreateDomain&DomainName=prov'
+//	curl -X POST 'localhost:8080/sqs' -d 'Action=CreateQueue&QueueName=wal'
+//	curl          localhost:8080/usage
+//
+// The region uses the wall clock, so eventual-consistency delays (if
+// enabled with -delay) resolve in real time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	seed := flag.Int64("seed", 2009, "random seed for the region")
+	delay := flag.Duration("delay", 0, "max eventual-consistency propagation delay (0 = strong)")
+	flag.Parse()
+
+	region := cloud.New(cloud.Config{Seed: *seed, MaxDelay: *delay})
+	if *delay > 0 {
+		// With a wall-clock-advancing region the virtual clock must track
+		// real time so propagation horizons pass on their own.
+		go func() {
+			for {
+				time.Sleep(100 * time.Millisecond)
+				region.Clock.Advance(100 * time.Millisecond)
+			}
+		}()
+	}
+
+	fmt.Fprintf(os.Stderr, "awssim: serving simulated S3/SimpleDB/SQS on %s (delay %v)\n", *addr, *delay)
+	if err := http.ListenAndServe(*addr, httpapi.New(region)); err != nil {
+		log.Fatal(err)
+	}
+}

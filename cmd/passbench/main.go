@@ -1,0 +1,114 @@
+// Command passbench regenerates the paper's evaluation: Table 1 (properties
+// comparison), Table 2 (storage cost comparison) and Table 3 (query cost
+// comparison), from the calibrated combined workload (Linux compile + Blast
+// + Provenance Challenge).
+//
+//	passbench -table all -scale 0.1
+//	passbench -table 2 -estimate        # the paper's analytical formulas
+//	passbench -table 3 -tool softmean
+//	passbench -usd                      # January-2009 USD pricing
+//
+// Scale 1.0 reproduces the paper's dataset size (~1.27 GB, ~31k objects);
+// the default 0.1 keeps memory modest while preserving every ratio.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"passcloud/internal/core/props"
+	"passcloud/internal/cost"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to produce: 1, 2, 3 or all")
+	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper scale)")
+	seed := flag.Int64("seed", 2009, "random seed")
+	tool := flag.String("tool", "softmean", "Q.2/Q.3 target tool")
+	estimate := flag.Bool("estimate", false, "also print Table 2 from the paper's analytical formulas, extrapolated to scale 1.0")
+	usd := flag.Bool("usd", false, "also print the January-2009 USD bill per architecture")
+	flag.Parse()
+
+	ctx := context.Background()
+
+	want := func(t string) bool { return *table == "all" || *table == t }
+
+	if want("1") {
+		if err := printTable1(ctx, *seed); err != nil {
+			log.Fatalf("table 1: %v", err)
+		}
+	}
+
+	if !want("2") && !want("3") && !*usd {
+		return
+	}
+
+	h := &cost.Harness{Scale: *scale, Seed: *seed, Tool: *tool}
+	fmt.Fprintf(os.Stderr, "passbench: loading combined workload at scale %.2f into all three architectures...\n", *scale)
+
+	if want("2") {
+		t2, err := h.Table2Measured(ctx)
+		if err != nil {
+			log.Fatalf("table 2: %v", err)
+		}
+		fmt.Println(t2)
+		if *estimate {
+			est, err := h.Table2Estimated(ctx)
+			if err != nil {
+				log.Fatalf("table 2 estimate: %v", err)
+			}
+			fmt.Println(est)
+		}
+		st := h.Stats()
+		fmt.Printf("dataset: %d objects, %d items, %d records (%d over 1KB), %d transient versions\n\n",
+			st.Objects, st.Items, st.Records, st.BigRecords, st.Transients)
+	}
+
+	if want("3") {
+		t3, err := h.Table3Measured(ctx)
+		if err != nil {
+			log.Fatalf("table 3: %v", err)
+		}
+		fmt.Println(t3)
+	}
+
+	if *usd {
+		if err := h.Load(ctx); err != nil {
+			log.Fatalf("usd: %v", err)
+		}
+		fmt.Println("January-2009 USD bill per architecture (load phase):")
+		for _, arch := range []string{"s3", "s3+sdb", "s3+sdb+sqs"} {
+			u, ok := h.Usage(arch)
+			if !ok {
+				continue
+			}
+			fmt.Println(cost.USDReport(arch, u))
+		}
+		fmt.Println()
+	}
+}
+
+func printTable1(ctx context.Context, seed int64) error {
+	var rows []cost.Table1Row
+	for _, h := range props.StandardHarnesses(seed) {
+		report, err := props.Check(ctx, h)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, cost.Table1Row{
+			Arch:           report.Name,
+			Atomicity:      report.Measured.Atomicity,
+			Consistency:    report.Measured.Consistency,
+			CausalOrdering: report.Measured.CausalOrdering,
+			EfficientQuery: report.Measured.EfficientQuery,
+		})
+		for _, v := range report.Violations {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", report.Name, v)
+		}
+	}
+	fmt.Println(cost.Table1Report(rows))
+	return nil
+}

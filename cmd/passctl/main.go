@@ -1,0 +1,305 @@
+// Command passctl drives a provenance-aware cloud client from a small
+// command script (file or stdin), using only the public passcloud API. The
+// cloud is simulated in-process, so one script is one session.
+//
+//	passctl -arch s3+sdb+sqs script.txt
+//	echo 'ingest /d hello
+//	      exec tool
+//	      read tool /d
+//	      write tool /out result
+//	      close tool /out
+//	      sync
+//	      get /out
+//	      outputs tool' | passctl
+//
+// Commands:
+//
+//	ingest PATH TEXT...          store a pre-existing data set
+//	exec NAME [ARGV...]          start a process (handle = NAME)
+//	spawn PARENT NAME [ARGV...]  start a child process
+//	read NAME PATH               process reads a file
+//	write NAME PATH TEXT...      process replaces a file
+//	append NAME PATH TEXT...     process extends a file
+//	close NAME PATH              persist the file + provenance
+//	pipe FROM TO                 connect two processes
+//	exit NAME                    end a process
+//	sync                         drain everything to the cloud
+//	settle                       let replication converge
+//	get PATH                     fetch data + verified provenance
+//	prov PATH VERSION            fetch one version's provenance
+//	outputs TOOL                 Q.2: files written by TOOL
+//	descendants TOOL             Q.3: everything derived from TOOL's outputs
+//	ancestors PATH               full ancestry of PATH's current version
+//	usage                        the cloud bill so far
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"passcloud"
+)
+
+func main() {
+	archName := flag.String("arch", "s3+sdb+sqs", "architecture: s3 | s3+sdb | s3+sdb+sqs")
+	seed := flag.Int64("seed", 2009, "random seed")
+	delay := flag.Duration("delay", 0, "eventual-consistency delay")
+	flag.Parse()
+
+	arch, err := parseArch(*archName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := passcloud.New(passcloud.Options{
+		Architecture:     arch,
+		Seed:             *seed,
+		ConsistencyDelay: *delay,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(client, in, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseArch(name string) (passcloud.Architecture, error) {
+	switch strings.ToLower(name) {
+	case "s3":
+		return passcloud.S3Only, nil
+	case "s3+sdb", "s3+simpledb":
+		return passcloud.S3SimpleDB, nil
+	case "s3+sdb+sqs", "s3+simpledb+sqs":
+		return passcloud.S3SimpleDBSQS, nil
+	default:
+		return 0, fmt.Errorf("passctl: unknown architecture %q", name)
+	}
+}
+
+// run interprets the script.
+func run(client *passcloud.Client, in io.Reader, out io.Writer) error {
+	procs := make(map[string]*passcloud.Process)
+	scanner := bufio.NewScanner(in)
+	lineNo := 0
+
+	proc := func(name string) (*passcloud.Process, error) {
+		p, ok := procs[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown process %q", name)
+		}
+		return p, nil
+	}
+
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+
+		fail := func(err error) error {
+			return fmt.Errorf("line %d (%s): %w", lineNo, cmd, err)
+		}
+		need := func(n int) error {
+			if len(args) < n {
+				return fmt.Errorf("line %d: %s needs %d arguments", lineNo, cmd, n)
+			}
+			return nil
+		}
+
+		switch cmd {
+		case "ingest":
+			if err := need(2); err != nil {
+				return err
+			}
+			if err := client.Ingest(args[0], []byte(strings.Join(args[1:], " "))); err != nil {
+				return fail(err)
+			}
+		case "exec":
+			if err := need(1); err != nil {
+				return err
+			}
+			procs[args[0]] = client.Exec(nil, passcloud.ProcessSpec{Name: args[0], Argv: args})
+		case "spawn":
+			if err := need(2); err != nil {
+				return err
+			}
+			parent, err := proc(args[0])
+			if err != nil {
+				return fail(err)
+			}
+			procs[args[1]] = client.Exec(parent, passcloud.ProcessSpec{Name: args[1], Argv: args[1:]})
+		case "read":
+			if err := need(2); err != nil {
+				return err
+			}
+			p, err := proc(args[0])
+			if err != nil {
+				return fail(err)
+			}
+			if err := p.Read(args[1]); err != nil {
+				return fail(err)
+			}
+		case "write", "append":
+			if err := need(3); err != nil {
+				return err
+			}
+			p, err := proc(args[0])
+			if err != nil {
+				return fail(err)
+			}
+			data := []byte(strings.Join(args[2:], " "))
+			if cmd == "write" {
+				err = p.Write(args[1], data)
+			} else {
+				err = p.Append(args[1], data)
+			}
+			if err != nil {
+				return fail(err)
+			}
+		case "close":
+			if err := need(2); err != nil {
+				return err
+			}
+			p, err := proc(args[0])
+			if err != nil {
+				return fail(err)
+			}
+			if err := p.Close(args[1]); err != nil {
+				return fail(err)
+			}
+		case "pipe":
+			if err := need(2); err != nil {
+				return err
+			}
+			from, err := proc(args[0])
+			if err != nil {
+				return fail(err)
+			}
+			to, err := proc(args[1])
+			if err != nil {
+				return fail(err)
+			}
+			if err := from.PipeTo(to); err != nil {
+				return fail(err)
+			}
+		case "exit":
+			if err := need(1); err != nil {
+				return err
+			}
+			p, err := proc(args[0])
+			if err != nil {
+				return fail(err)
+			}
+			p.Exit()
+		case "sync":
+			if err := client.Sync(); err != nil {
+				return fail(err)
+			}
+		case "settle":
+			client.Settle()
+		case "get":
+			if err := need(1); err != nil {
+				return err
+			}
+			obj, err := client.Get(args[0])
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(out, "%s = %q\n", obj.Ref, obj.Data)
+			for _, r := range obj.Records {
+				fmt.Fprintf(out, "  %s = %s\n", r.Attr, truncate(r.Value, 60))
+			}
+		case "prov":
+			if err := need(2); err != nil {
+				return err
+			}
+			version, err := strconv.Atoi(args[1])
+			if err != nil {
+				return fail(err)
+			}
+			records, err := client.Provenance(passcloud.Ref{Object: args[0], Version: version})
+			if err != nil {
+				return fail(err)
+			}
+			for _, r := range records {
+				fmt.Fprintf(out, "  %s = %s\n", r.Attr, truncate(r.Value, 60))
+			}
+		case "outputs":
+			if err := need(1); err != nil {
+				return err
+			}
+			refs, err := client.OutputsOf(args[0])
+			if err != nil {
+				return fail(err)
+			}
+			printRefs(out, refs)
+		case "descendants":
+			if err := need(1); err != nil {
+				return err
+			}
+			refs, err := client.DescendantsOfOutputs(args[0])
+			if err != nil {
+				return fail(err)
+			}
+			printRefs(out, refs)
+		case "ancestors":
+			if err := need(1); err != nil {
+				return err
+			}
+			obj, err := client.Get(args[0])
+			if err != nil {
+				return fail(err)
+			}
+			refs, err := client.Ancestors(obj.Ref)
+			if err != nil {
+				return fail(err)
+			}
+			printRefs(out, refs)
+		case "usage":
+			u := client.Usage()
+			fmt.Fprintf(out, "ops: s3=%d sdb=%d sqs=%d | stored: %d bytes | in/out: %d/%d | $%.4f\n",
+				u.S3Ops, u.SimpleDBOps, u.SQSOps,
+				u.S3Stored+u.SimpleDBStored+u.SQSStored,
+				u.TransferredIn, u.TransferredOut, u.USD)
+		default:
+			return fmt.Errorf("line %d: unknown command %q", lineNo, cmd)
+		}
+	}
+	return scanner.Err()
+}
+
+func printRefs(out io.Writer, refs []passcloud.Ref) {
+	if len(refs) == 0 {
+		fmt.Fprintln(out, "  (none)")
+		return
+	}
+	for _, r := range refs {
+		fmt.Fprintf(out, "  %s\n", r)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"passcloud"
+)
+
+func newClient(t *testing.T) *passcloud.Client {
+	t.Helper()
+	c, err := passcloud.New(passcloud.Options{Architecture: passcloud.S3SimpleDBSQS, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestScriptEndToEnd(t *testing.T) {
+	script := `
+# a tiny pipeline
+ingest /data/in.csv raw,data,here
+exec analyze
+read analyze /data/in.csv
+write analyze /out/result.dat the result
+close analyze /out/result.dat
+exit analyze
+sync
+settle
+get /out/result.dat
+outputs analyze
+descendants analyze
+ancestors /out/result.dat
+usage
+`
+	var out strings.Builder
+	if err := run(newClient(t), strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		`/out/result.dat:0 = "the result"`,
+		"input = proc/1/analyze:0",
+		"/out/result.dat:0\n", // outputs listing
+		"/data/in.csv:0",      // ancestors listing
+		"ops:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestScriptPipeAndSpawn(t *testing.T) {
+	script := `
+exec gen
+spawn gen child
+pipe gen child
+append child /log one
+append child /log  two
+close child /log
+sync
+get /log
+`
+	var out strings.Builder
+	if err := run(newClient(t), strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"onetwo"`) {
+		t.Fatalf("append content wrong:\n%s", out.String())
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	cases := []struct {
+		name, script, wantErr string
+	}{
+		{"unknown command", "frobnicate", "unknown command"},
+		{"unknown process", "read ghost /f", "unknown process"},
+		{"missing args", "ingest /only-path", "needs 2 arguments"},
+		{"get missing", "get /nope", "not found"},
+		{"bad version", "prov /f abc", "invalid syntax"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(newClient(t), strings.NewReader(c.script), &strings.Builder{})
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseArch(t *testing.T) {
+	for name, want := range map[string]passcloud.Architecture{
+		"s3":         passcloud.S3Only,
+		"s3+sdb":     passcloud.S3SimpleDB,
+		"s3+sdb+sqs": passcloud.S3SimpleDBSQS,
+	} {
+		got, err := parseArch(name)
+		if err != nil || got != want {
+			t.Fatalf("parseArch(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseArch("dynamo"); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	script := "\n# comment only\n\n   \n"
+	if err := run(newClient(t), strings.NewReader(script), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package billing meters simulated AWS usage and prices it with the
+// January-2009 rate card the paper quotes.
+//
+// Amazon charges for (a) data transferred in and out, (b) storage, and
+// (c) requests (S3, SQS) or machine hours (SimpleDB). The paper compares the
+// three architectures by op counts and bytes, so the meter records those
+// exactly; machine hours are additionally approximated from op counts via a
+// constant per-op box usage, mirroring how SimpleDB reported BoxUsage.
+//
+// Every simulated service owns a *Meter and records each API call on it.
+// Tables 2 and 3 are read directly off meter snapshots — the evaluation never
+// recounts operations by hand.
+package billing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Service identifies which simulated AWS product an op belongs to.
+type Service int
+
+// The services the paper's architectures use.
+const (
+	S3 Service = iota
+	SimpleDB
+	SQS
+	numServices
+)
+
+// String returns the conventional service name.
+func (s Service) String() string {
+	switch s {
+	case S3:
+		return "S3"
+	case SimpleDB:
+		return "SimpleDB"
+	case SQS:
+		return "SQS"
+	default:
+		return fmt.Sprintf("Service(%d)", int(s))
+	}
+}
+
+// Tier is the request pricing class an operation bills under.
+type Tier int
+
+const (
+	// TierMutation covers S3 PUT, COPY, POST and LIST requests:
+	// USD 0.01 per 1,000.
+	TierMutation Tier = iota
+	// TierRetrieval covers S3 GET and all other S3 requests:
+	// USD 0.01 per 10,000.
+	TierRetrieval
+	// TierBox covers SimpleDB operations, which Amazon billed by machine
+	// hour; the meter counts ops and approximates box hours.
+	TierBox
+	// TierMessage covers SQS requests: USD 0.01 per 10,000.
+	TierMessage
+	numTiers
+)
+
+// String names the tier for reports.
+func (t Tier) String() string {
+	switch t {
+	case TierMutation:
+		return "mutation"
+	case TierRetrieval:
+		return "retrieval"
+	case TierBox:
+		return "box"
+	case TierMessage:
+		return "message"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Meter accumulates usage. It is safe for concurrent use. The zero value is
+// ready to use.
+type Meter struct {
+	mu sync.Mutex
+
+	opsByName map[string]int64 // "S3/PUT" -> count
+	opsByTier [numServices][numTiers]int64
+	bytesIn   [numServices]int64
+	bytesOut  [numServices]int64
+	storage   [numServices]int64 // current resident bytes
+	peak      [numServices]int64 // high-water resident bytes
+}
+
+// Op records one API request against svc under the given pricing tier.
+func (m *Meter) Op(svc Service, name string, tier Tier) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.opsByName == nil {
+		m.opsByName = make(map[string]int64)
+	}
+	m.opsByName[svc.String()+"/"+name]++
+	m.opsByTier[svc][tier]++
+}
+
+// In records n bytes transferred into the cloud (client upload).
+func (m *Meter) In(svc Service, n int64) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.bytesIn[svc] += n
+	m.mu.Unlock()
+}
+
+// Out records n bytes transferred out of the cloud (client download).
+func (m *Meter) Out(svc Service, n int64) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.bytesOut[svc] += n
+	m.mu.Unlock()
+}
+
+// StorageDelta adjusts the resident byte count for svc by delta (positive on
+// store, negative on delete) and tracks the high-water mark.
+func (m *Meter) StorageDelta(svc Service, delta int64) {
+	m.mu.Lock()
+	m.storage[svc] += delta
+	if m.storage[svc] < 0 {
+		// Deleting more than was stored indicates an accounting bug in a
+		// service; clamp rather than corrupt downstream reports.
+		m.storage[svc] = 0
+	}
+	if m.storage[svc] > m.peak[svc] {
+		m.peak[svc] = m.storage[svc]
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current usage.
+func (m *Meter) Snapshot() Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	u := Usage{opsByName: make(map[string]int64, len(m.opsByName))}
+	for k, v := range m.opsByName {
+		u.opsByName[k] = v
+	}
+	u.opsByTier = m.opsByTier
+	u.bytesIn = m.bytesIn
+	u.bytesOut = m.bytesOut
+	u.storage = m.storage
+	u.peak = m.peak
+	return u
+}
+
+// Reset clears all accumulated usage. Benchmarks reset between phases so
+// that, e.g., query costs are not polluted by the load phase.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.opsByName = nil
+	m.opsByTier = [numServices][numTiers]int64{}
+	m.bytesIn = [numServices]int64{}
+	m.bytesOut = [numServices]int64{}
+	m.storage = [numServices]int64{}
+	m.peak = [numServices]int64{}
+	m.mu.Unlock()
+}
+
+// Usage is an immutable snapshot of meter state.
+type Usage struct {
+	opsByName map[string]int64
+	opsByTier [numServices][numTiers]int64
+	bytesIn   [numServices]int64
+	bytesOut  [numServices]int64
+	storage   [numServices]int64
+	peak      [numServices]int64
+}
+
+// Ops returns the total request count against svc.
+func (u Usage) Ops(svc Service) int64 {
+	var total int64
+	for t := Tier(0); t < numTiers; t++ {
+		total += u.opsByTier[svc][t]
+	}
+	return total
+}
+
+// TotalOps returns the request count summed over all services.
+func (u Usage) TotalOps() int64 {
+	var total int64
+	for s := Service(0); s < numServices; s++ {
+		total += u.Ops(s)
+	}
+	return total
+}
+
+// OpsByTier returns the request count for one pricing tier of one service.
+func (u Usage) OpsByTier(svc Service, tier Tier) int64 {
+	return u.opsByTier[svc][tier]
+}
+
+// OpCount returns the count for a specific op, e.g. OpCount(S3, "PUT").
+func (u Usage) OpCount(svc Service, name string) int64 {
+	return u.opsByName[svc.String()+"/"+name]
+}
+
+// BytesIn returns bytes uploaded to svc.
+func (u Usage) BytesIn(svc Service) int64 { return u.bytesIn[svc] }
+
+// BytesOut returns bytes downloaded from svc.
+func (u Usage) BytesOut(svc Service) int64 { return u.bytesOut[svc] }
+
+// Storage returns the bytes currently resident in svc.
+func (u Usage) Storage(svc Service) int64 { return u.storage[svc] }
+
+// PeakStorage returns the high-water resident bytes for svc.
+func (u Usage) PeakStorage(svc Service) int64 { return u.peak[svc] }
+
+// Add returns the element-wise sum of two usages. The harness uses it to
+// combine per-client meters.
+func (u Usage) Add(v Usage) Usage {
+	sum := Usage{opsByName: make(map[string]int64, len(u.opsByName)+len(v.opsByName))}
+	for k, n := range u.opsByName {
+		sum.opsByName[k] += n
+	}
+	for k, n := range v.opsByName {
+		sum.opsByName[k] += n
+	}
+	for s := 0; s < int(numServices); s++ {
+		for t := 0; t < int(numTiers); t++ {
+			sum.opsByTier[s][t] = u.opsByTier[s][t] + v.opsByTier[s][t]
+		}
+		sum.bytesIn[s] = u.bytesIn[s] + v.bytesIn[s]
+		sum.bytesOut[s] = u.bytesOut[s] + v.bytesOut[s]
+		sum.storage[s] = u.storage[s] + v.storage[s]
+		sum.peak[s] = u.peak[s] + v.peak[s]
+	}
+	return sum
+}
+
+// String renders a compact multi-line usage report, ops sorted by name.
+func (u Usage) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(u.opsByName))
+	for k := range u.opsByName {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-28s %12d\n", k, u.opsByName[k])
+	}
+	for s := Service(0); s < numServices; s++ {
+		if u.bytesIn[s]+u.bytesOut[s]+u.storage[s] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s in=%d out=%d stored=%d peak=%d\n",
+			s, u.bytesIn[s], u.bytesOut[s], u.storage[s], u.peak[s])
+	}
+	return b.String()
+}

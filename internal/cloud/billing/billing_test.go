@@ -1,0 +1,275 @@
+package billing
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterOpCounts(t *testing.T) {
+	var m Meter
+	m.Op(S3, "PUT", TierMutation)
+	m.Op(S3, "PUT", TierMutation)
+	m.Op(S3, "GET", TierRetrieval)
+	m.Op(SimpleDB, "PutAttributes", TierBox)
+
+	u := m.Snapshot()
+	if got := u.OpCount(S3, "PUT"); got != 2 {
+		t.Fatalf("OpCount(S3, PUT) = %d, want 2", got)
+	}
+	if got := u.OpCount(S3, "GET"); got != 1 {
+		t.Fatalf("OpCount(S3, GET) = %d, want 1", got)
+	}
+	if got := u.Ops(S3); got != 3 {
+		t.Fatalf("Ops(S3) = %d, want 3", got)
+	}
+	if got := u.Ops(SimpleDB); got != 1 {
+		t.Fatalf("Ops(SimpleDB) = %d, want 1", got)
+	}
+	if got := u.TotalOps(); got != 4 {
+		t.Fatalf("TotalOps = %d, want 4", got)
+	}
+	if got := u.OpsByTier(S3, TierMutation); got != 2 {
+		t.Fatalf("OpsByTier(S3, mutation) = %d, want 2", got)
+	}
+}
+
+func TestMeterBytes(t *testing.T) {
+	var m Meter
+	m.In(S3, 100)
+	m.In(S3, 50)
+	m.Out(S3, 30)
+	m.In(SQS, 7)
+	m.In(S3, -10) // ignored
+	m.Out(S3, 0)  // ignored
+
+	u := m.Snapshot()
+	if got := u.BytesIn(S3); got != 150 {
+		t.Fatalf("BytesIn(S3) = %d, want 150", got)
+	}
+	if got := u.BytesOut(S3); got != 30 {
+		t.Fatalf("BytesOut(S3) = %d, want 30", got)
+	}
+	if got := u.BytesIn(SQS); got != 7 {
+		t.Fatalf("BytesIn(SQS) = %d, want 7", got)
+	}
+}
+
+func TestMeterStorageHighWater(t *testing.T) {
+	var m Meter
+	m.StorageDelta(S3, 1000)
+	m.StorageDelta(S3, 500)
+	m.StorageDelta(S3, -1200)
+	u := m.Snapshot()
+	if got := u.Storage(S3); got != 300 {
+		t.Fatalf("Storage = %d, want 300", got)
+	}
+	if got := u.PeakStorage(S3); got != 1500 {
+		t.Fatalf("PeakStorage = %d, want 1500", got)
+	}
+}
+
+func TestMeterStorageClampsAtZero(t *testing.T) {
+	var m Meter
+	m.StorageDelta(SQS, 10)
+	m.StorageDelta(SQS, -50)
+	if got := m.Snapshot().Storage(SQS); got != 0 {
+		t.Fatalf("Storage after over-delete = %d, want 0 (clamped)", got)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	var m Meter
+	m.Op(S3, "PUT", TierMutation)
+	m.In(S3, 10)
+	m.StorageDelta(S3, 10)
+	m.Reset()
+	u := m.Snapshot()
+	if u.TotalOps() != 0 || u.BytesIn(S3) != 0 || u.Storage(S3) != 0 || u.PeakStorage(S3) != 0 {
+		t.Fatalf("Reset left state behind: %v", u)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	var m Meter
+	m.Op(S3, "PUT", TierMutation)
+	u := m.Snapshot()
+	m.Op(S3, "PUT", TierMutation)
+	if got := u.OpCount(S3, "PUT"); got != 1 {
+		t.Fatalf("snapshot mutated by later ops: %d", got)
+	}
+}
+
+func TestUsageAdd(t *testing.T) {
+	var a, b Meter
+	a.Op(S3, "PUT", TierMutation)
+	a.In(S3, 5)
+	b.Op(S3, "PUT", TierMutation)
+	b.Op(SQS, "SendMessage", TierMessage)
+	b.Out(SQS, 9)
+
+	sum := a.Snapshot().Add(b.Snapshot())
+	if got := sum.OpCount(S3, "PUT"); got != 2 {
+		t.Fatalf("Add: OpCount = %d, want 2", got)
+	}
+	if got := sum.Ops(SQS); got != 1 {
+		t.Fatalf("Add: Ops(SQS) = %d, want 1", got)
+	}
+	if got := sum.BytesIn(S3); got != 5 {
+		t.Fatalf("Add: BytesIn = %d, want 5", got)
+	}
+	if got := sum.BytesOut(SQS); got != 9 {
+		t.Fatalf("Add: BytesOut = %d, want 9", got)
+	}
+}
+
+func TestUsageAddCommutative(t *testing.T) {
+	f := func(puts, gets uint8, in, out uint16) bool {
+		var a, b Meter
+		for i := 0; i < int(puts); i++ {
+			a.Op(S3, "PUT", TierMutation)
+		}
+		for i := 0; i < int(gets); i++ {
+			b.Op(S3, "GET", TierRetrieval)
+		}
+		a.In(S3, int64(in))
+		b.Out(S3, int64(out))
+		x := a.Snapshot().Add(b.Snapshot())
+		y := b.Snapshot().Add(a.Snapshot())
+		return x.TotalOps() == y.TotalOps() &&
+			x.BytesIn(S3) == y.BytesIn(S3) &&
+			x.BytesOut(S3) == y.BytesOut(S3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	var m Meter
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				m.Op(S3, "PUT", TierMutation)
+				m.In(S3, 1)
+				m.StorageDelta(S3, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	u := m.Snapshot()
+	if got := u.OpCount(S3, "PUT"); got != workers*each {
+		t.Fatalf("lost ops under concurrency: %d", got)
+	}
+	if got := u.Storage(S3); got != workers*each {
+		t.Fatalf("lost storage deltas under concurrency: %d", got)
+	}
+}
+
+func TestJan2009S3RequestPricing(t *testing.T) {
+	// The paper: $0.01 per 1,000 PUT/COPY/POST/LIST; $0.01 per 10,000 GET.
+	var m Meter
+	for i := 0; i < 1000; i++ {
+		m.Op(S3, "PUT", TierMutation)
+	}
+	for i := 0; i < 10000; i++ {
+		m.Op(S3, "GET", TierRetrieval)
+	}
+	c := Jan2009.Price(m.Snapshot())
+	if got, want := c.Requests, 0.02; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Requests = %v, want %v", got, want)
+	}
+}
+
+func TestJan2009StoragePricing(t *testing.T) {
+	// $0.15 per GB-month on S3.
+	var m Meter
+	m.StorageDelta(S3, 2*GB)
+	c := Jan2009.Price(m.Snapshot())
+	if got, want := c.StorageMonthly, 0.30; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("StorageMonthly = %v, want %v", got, want)
+	}
+}
+
+func TestJan2009TransferPricing(t *testing.T) {
+	// $0.10/GB in, $0.17/GB out.
+	var m Meter
+	m.In(S3, 1*GB)
+	m.Out(S3, 1*GB)
+	c := Jan2009.Price(m.Snapshot())
+	if math.Abs(c.TransferIn-0.10) > 1e-9 {
+		t.Fatalf("TransferIn = %v, want 0.10", c.TransferIn)
+	}
+	if math.Abs(c.TransferOut-0.17) > 1e-9 {
+		t.Fatalf("TransferOut = %v, want 0.17", c.TransferOut)
+	}
+}
+
+func TestOpsCheaperThanStorage(t *testing.T) {
+	// Section 5: "operations are much cheaper (in USD) than storage in the
+	// AWS pricing model." Price the third architecture's op mix at paper
+	// scale (each op billed under its own service) and compare with a year
+	// of storing+transferring the dataset itself.
+	var ops Meter
+	for i := 0; i < 2*31_180; i++ { // temp PUT + COPY per object
+		ops.Op(S3, "PUT", TierMutation)
+	}
+	for i := 0; i < 2*15_590; i++ { // WAL send + receive per 8 KB chunk
+		ops.Op(SQS, "SendMessage", TierMessage)
+	}
+	for i := 0; i < 168_514; i++ { // SimpleDB provenance stores
+		ops.Op(SimpleDB, "PutAttributes", TierBox)
+	}
+	opCost := Jan2009.Price(ops.Snapshot()).Total()
+
+	var data Meter
+	data.StorageDelta(S3, 1271*1024*1024) // the 1.27 GB dataset
+	data.In(S3, 1271*1024*1024)
+	snap := Jan2009.Price(data.Snapshot())
+	yearOfData := snap.StorageMonthly*12 + snap.TransferIn
+
+	if opCost > yearOfData {
+		t.Fatalf("ops cost $%.4f exceeds a year of data storage $%.4f; the paper's cheap-ops claim would not hold", opCost, yearOfData)
+	}
+	if opCost > 2.00 {
+		t.Fatalf("full provenance op mix cost $%.4f; expected a few dollars at most at paper scale", opCost)
+	}
+}
+
+func TestCostTotalAndString(t *testing.T) {
+	c := Cost{StorageMonthly: 1, TransferIn: 2, TransferOut: 3, Requests: 4}
+	if got := c.Total(); got != 10 {
+		t.Fatalf("Total = %v, want 10", got)
+	}
+	if s := c.String(); !strings.Contains(s, "total $10.0000") {
+		t.Fatalf("String() = %q missing total", s)
+	}
+}
+
+func TestServiceAndTierStrings(t *testing.T) {
+	if S3.String() != "S3" || SimpleDB.String() != "SimpleDB" || SQS.String() != "SQS" {
+		t.Fatal("service names wrong")
+	}
+	if Service(9).String() != "Service(9)" {
+		t.Fatal("unknown service name wrong")
+	}
+	if TierMutation.String() != "mutation" || Tier(9).String() != "Tier(9)" {
+		t.Fatal("tier names wrong")
+	}
+}
+
+func TestUsageStringContainsOps(t *testing.T) {
+	var m Meter
+	m.Op(S3, "PUT", TierMutation)
+	m.In(S3, 42)
+	s := m.Snapshot().String()
+	if !strings.Contains(s, "S3/PUT") || !strings.Contains(s, "in=42") {
+		t.Fatalf("Usage.String() = %q missing expected fields", s)
+	}
+}

@@ -1,0 +1,72 @@
+package billing
+
+import (
+	"fmt"
+	"time"
+)
+
+// LatencyModel estimates wall-clock time from a usage snapshot — the
+// measurement the paper deferred to future work: "a prototype will allow us
+// to measure the impact of the extra operations on elapsed time" (§7).
+//
+// The model charges a fixed round-trip per request class plus a bandwidth
+// term for payload bytes, assuming a configurable request concurrency
+// (clients pipelined requests; the commit daemon batches receives).
+type LatencyModel struct {
+	// Per-request round-trip times.
+	S3Mutation  time.Duration // PUT/COPY/POST/LIST
+	S3Retrieval time.Duration // GET/HEAD/DELETE
+	SDBOp       time.Duration // all SimpleDB calls
+	SQSOp       time.Duration // all SQS calls
+	// Bandwidth for payload transfer, bytes per second.
+	UploadBps   int64
+	DownloadBps int64
+	// Concurrency divides the request-latency total: the effective number
+	// of requests in flight. 1 models a strictly serial client.
+	Concurrency int
+}
+
+// WAN2009 approximates client-to-AWS behaviour contemporaneous with the
+// paper: ~100 ms per S3 write, ~40 ms per read-class request, ~30 ms for
+// the database/queue front-ends, DSL-era bandwidth.
+var WAN2009 = LatencyModel{
+	S3Mutation:  100 * time.Millisecond,
+	S3Retrieval: 40 * time.Millisecond,
+	SDBOp:       30 * time.Millisecond,
+	SQSOp:       30 * time.Millisecond,
+	UploadBps:   2 << 20, // 2 MB/s up
+	DownloadBps: 8 << 20, // 8 MB/s down
+	Concurrency: 4,
+}
+
+// Estimate computes the modeled elapsed time for a usage snapshot.
+func (m LatencyModel) Estimate(u Usage) time.Duration {
+	conc := m.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	var reqTotal time.Duration
+	reqTotal += time.Duration(u.OpsByTier(S3, TierMutation)) * m.S3Mutation
+	reqTotal += time.Duration(u.OpsByTier(S3, TierRetrieval)) * m.S3Retrieval
+	reqTotal += time.Duration(u.Ops(SimpleDB)) * m.SDBOp
+	reqTotal += time.Duration(u.Ops(SQS)) * m.SQSOp
+	reqTotal /= time.Duration(conc)
+
+	var xfer time.Duration
+	if m.UploadBps > 0 {
+		in := u.BytesIn(S3) + u.BytesIn(SimpleDB) + u.BytesIn(SQS)
+		xfer += time.Duration(float64(in) / float64(m.UploadBps) * float64(time.Second))
+	}
+	if m.DownloadBps > 0 {
+		out := u.BytesOut(S3) + u.BytesOut(SimpleDB) + u.BytesOut(SQS)
+		xfer += time.Duration(float64(out) / float64(m.DownloadBps) * float64(time.Second))
+	}
+	return reqTotal + xfer
+}
+
+// String describes the model compactly.
+func (m LatencyModel) String() string {
+	return fmt.Sprintf("s3 %v/%v, sdb %v, sqs %v, %d-way, %dMBps up / %dMBps down",
+		m.S3Mutation, m.S3Retrieval, m.SDBOp, m.SQSOp,
+		m.Concurrency, m.UploadBps>>20, m.DownloadBps>>20)
+}

@@ -1,0 +1,74 @@
+package billing
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLatencyEstimateRequestTerm(t *testing.T) {
+	var m Meter
+	for i := 0; i < 100; i++ {
+		m.Op(S3, "PUT", TierMutation)
+	}
+	model := LatencyModel{S3Mutation: 100 * time.Millisecond, Concurrency: 1}
+	if got, want := model.Estimate(m.Snapshot()), 10*time.Second; got != want {
+		t.Fatalf("Estimate = %v, want %v", got, want)
+	}
+	// Four-way concurrency quarters it.
+	model.Concurrency = 4
+	if got, want := model.Estimate(m.Snapshot()), 2500*time.Millisecond; got != want {
+		t.Fatalf("concurrent Estimate = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyEstimateBandwidthTerm(t *testing.T) {
+	var m Meter
+	m.In(S3, 10<<20) // 10 MB
+	model := LatencyModel{UploadBps: 1 << 20, Concurrency: 1}
+	if got, want := model.Estimate(m.Snapshot()), 10*time.Second; got != want {
+		t.Fatalf("Estimate = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyZeroConcurrencyClamped(t *testing.T) {
+	var m Meter
+	m.Op(SQS, "SendMessage", TierMessage)
+	model := LatencyModel{SQSOp: time.Second}
+	if got := model.Estimate(m.Snapshot()); got != time.Second {
+		t.Fatalf("Estimate with zero concurrency = %v", got)
+	}
+}
+
+func TestLatencyOrderingAcrossArchitectures(t *testing.T) {
+	// The op mixes of the three architectures (paper scale) must order the
+	// same way in modeled time as in op count.
+	mkUsage := func(s3Mut, s3Ret, sdbOps, sqsOps int) Usage {
+		var m Meter
+		for i := 0; i < s3Mut; i++ {
+			m.Op(S3, "PUT", TierMutation)
+		}
+		for i := 0; i < s3Ret; i++ {
+			m.Op(S3, "GET", TierRetrieval)
+		}
+		for i := 0; i < sdbOps; i++ {
+			m.Op(SimpleDB, "PutAttributes", TierBox)
+		}
+		for i := 0; i < sqsOps; i++ {
+			m.Op(SQS, "SendMessage", TierMessage)
+		}
+		return m.Snapshot()
+	}
+	arch1 := WAN2009.Estimate(mkUsage(56_132, 0, 0, 0))
+	arch2 := WAN2009.Estimate(mkUsage(56_132, 0, 168_514, 0))
+	arch3 := WAN2009.Estimate(mkUsage(62_360, 0, 168_514, 62_773))
+	if !(arch1 < arch2 && arch2 < arch3) {
+		t.Fatalf("modeled time ordering broken: %v %v %v", arch1, arch2, arch3)
+	}
+}
+
+func TestWAN2009String(t *testing.T) {
+	if !strings.Contains(WAN2009.String(), "4-way") {
+		t.Fatalf("String = %q", WAN2009.String())
+	}
+}

@@ -1,0 +1,98 @@
+package billing
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GB is the unit Amazon bills storage and transfer in.
+const GB = 1 << 30
+
+// PriceSheet holds the USD rates applied to a Usage. All rates are USD.
+type PriceSheet struct {
+	// S3StoragePerGBMonth is the S3 storage price (first 50 TB tier).
+	S3StoragePerGBMonth float64
+	// TransferInPerGB is the price per GB uploaded (all services).
+	TransferInPerGB float64
+	// TransferOutPerGB is the price per GB downloaded (first 10 TB tier).
+	TransferOutPerGB float64
+	// S3MutationPer1000 prices S3 PUT/COPY/POST/LIST requests per 1,000.
+	S3MutationPer1000 float64
+	// S3RetrievalPer10000 prices S3 GET and other requests per 10,000.
+	S3RetrievalPer10000 float64
+	// SDBStoragePerGBMonth is the SimpleDB structured-storage price.
+	SDBStoragePerGBMonth float64
+	// SDBBoxHour is the SimpleDB machine-hour price.
+	SDBBoxHour float64
+	// SDBBoxHoursPerOp approximates machine hours consumed per operation.
+	// Real SimpleDB reported a BoxUsage per call in this range for small
+	// requests.
+	SDBBoxHoursPerOp float64
+	// SQSPer10000 prices SQS requests per 10,000.
+	SQSPer10000 float64
+}
+
+// Jan2009 is the rate card quoted in the paper (section 2.1, an AWS snapshot
+// from January 2009).
+var Jan2009 = PriceSheet{
+	S3StoragePerGBMonth:  0.15,
+	TransferInPerGB:      0.10,
+	TransferOutPerGB:     0.17,
+	S3MutationPer1000:    0.01,
+	S3RetrievalPer10000:  0.01,
+	SDBStoragePerGBMonth: 1.50,
+	SDBBoxHour:           0.14,
+	SDBBoxHoursPerOp:     0.0000219907, // documented BoxUsage base for small ops
+	SQSPer10000:          0.01,
+}
+
+// Cost is an itemized USD bill for one usage snapshot.
+type Cost struct {
+	// StorageMonthly is the recurring monthly storage charge across
+	// services, assuming the snapshot's resident bytes persist.
+	StorageMonthly float64
+	// TransferIn is the one-time upload charge.
+	TransferIn float64
+	// TransferOut is the one-time download charge.
+	TransferOut float64
+	// Requests is the one-time request (or machine-hour) charge.
+	Requests float64
+}
+
+// Total returns the sum of all cost components.
+func (c Cost) Total() float64 {
+	return c.StorageMonthly + c.TransferIn + c.TransferOut + c.Requests
+}
+
+// String renders the bill.
+func (c Cost) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "storage/month $%.4f, in $%.4f, out $%.4f, requests $%.4f, total $%.4f",
+		c.StorageMonthly, c.TransferIn, c.TransferOut, c.Requests, c.Total())
+	return b.String()
+}
+
+// Price applies the sheet to a usage snapshot.
+func (p PriceSheet) Price(u Usage) Cost {
+	var c Cost
+
+	gb := func(n int64) float64 { return float64(n) / GB }
+
+	// Storage: S3 and SimpleDB at their respective rates; SQS message
+	// residency was priced as storage too, at the S3 rate.
+	c.StorageMonthly += gb(u.Storage(S3)) * p.S3StoragePerGBMonth
+	c.StorageMonthly += gb(u.Storage(SimpleDB)) * p.SDBStoragePerGBMonth
+	c.StorageMonthly += gb(u.Storage(SQS)) * p.S3StoragePerGBMonth
+
+	for _, svc := range []Service{S3, SimpleDB, SQS} {
+		c.TransferIn += gb(u.BytesIn(svc)) * p.TransferInPerGB
+		c.TransferOut += gb(u.BytesOut(svc)) * p.TransferOutPerGB
+	}
+
+	c.Requests += float64(u.OpsByTier(S3, TierMutation)) / 1000 * p.S3MutationPer1000
+	c.Requests += float64(u.OpsByTier(S3, TierRetrieval)) / 10000 * p.S3RetrievalPer10000
+	c.Requests += float64(u.OpsByTier(SimpleDB, TierBox)) * p.SDBBoxHoursPerOp * p.SDBBoxHour
+	c.Requests += float64(u.OpsByTier(SQS, TierMessage)) / 10000 * p.SQSPer10000
+
+	return c
+}

@@ -1,0 +1,87 @@
+// Package cloud bundles the three simulated AWS services the paper's
+// architectures build on, wired to one clock, one deterministic random
+// source, and one billing meter.
+package cloud
+
+import (
+	"time"
+
+	"passcloud/internal/cloud/billing"
+	"passcloud/internal/cloud/replica"
+	"passcloud/internal/cloud/s3"
+	"passcloud/internal/cloud/sdb"
+	"passcloud/internal/cloud/sqs"
+	"passcloud/internal/sim"
+)
+
+// Config parameterizes a simulated AWS region.
+type Config struct {
+	// Seed drives all randomness (replica choice, delays, sampling).
+	Seed int64
+	// Replicas per service (default 3).
+	Replicas int
+	// MinDelay/MaxDelay bound eventual-consistency propagation. Both zero
+	// gives strong consistency — useful when a test targets something else.
+	MinDelay, MaxDelay time.Duration
+	// VisibilityTimeout for SQS receives (default 30s).
+	VisibilityTimeout time.Duration
+}
+
+// Cloud is one simulated AWS region.
+type Cloud struct {
+	Clock *sim.VirtualClock
+	RNG   *sim.RNG
+	Meter *billing.Meter
+	S3    *s3.Service
+	SDB   *sdb.Service
+	SQS   *sqs.Service
+
+	maxDelay time.Duration
+}
+
+// New builds a region.
+func New(cfg Config) *Cloud {
+	clock := sim.NewVirtualClock()
+	rng := sim.NewRNG(cfg.Seed)
+	meter := &billing.Meter{}
+	c := &Cloud{
+		Clock:    clock,
+		RNG:      rng,
+		Meter:    meter,
+		maxDelay: cfg.MaxDelay,
+	}
+	c.S3 = s3.New(s3.Config{
+		Replication: replica.Config{
+			Replicas: cfg.Replicas,
+			MinDelay: cfg.MinDelay,
+			MaxDelay: cfg.MaxDelay,
+			Clock:    clock,
+			RNG:      rng,
+		},
+		Meter: meter,
+	})
+	c.SDB = sdb.New(sdb.Config{
+		Replicas: cfg.Replicas,
+		MinDelay: cfg.MinDelay,
+		MaxDelay: cfg.MaxDelay,
+		Clock:    clock,
+		RNG:      rng,
+		Meter:    meter,
+	})
+	c.SQS = sqs.New(sqs.Config{
+		VisibilityTimeout: cfg.VisibilityTimeout,
+		Clock:             clock,
+		RNG:               rng,
+		Meter:             meter,
+	})
+	return c
+}
+
+// Settle advances the clock past the propagation horizon so every service
+// converges. Tests and the harness call it between phases.
+func (c *Cloud) Settle() {
+	c.Clock.Advance(c.maxDelay + time.Millisecond)
+}
+
+// Usage returns the current billing snapshot.
+func (c *Cloud) Usage() billing.Usage { return c.Meter.Snapshot() }

@@ -1,0 +1,70 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"passcloud/internal/cloud/billing"
+)
+
+func TestNewWiresSharedInfrastructure(t *testing.T) {
+	cl := New(Config{Seed: 1, MaxDelay: 5 * time.Second})
+	if cl.S3 == nil || cl.SDB == nil || cl.SQS == nil {
+		t.Fatal("services missing")
+	}
+	if cl.Clock == nil || cl.RNG == nil || cl.Meter == nil {
+		t.Fatal("infrastructure missing")
+	}
+	// All services bill onto the same meter.
+	if err := cl.S3.CreateBucket("abc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SDB.CreateDomain("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SQS.CreateQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	u := cl.Usage()
+	if u.Ops(billing.S3) == 0 || u.Ops(billing.SimpleDB) == 0 || u.Ops(billing.SQS) == 0 {
+		t.Fatalf("shared meter missing ops: %v", u)
+	}
+}
+
+func TestSettleAdvancesPastHorizon(t *testing.T) {
+	cl := New(Config{Seed: 2, MaxDelay: 10 * time.Second})
+	if err := cl.S3.CreateBucket("abc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.S3.Put("abc", "k", []byte("v"), nil); err != nil {
+		t.Fatal(err)
+	}
+	before := cl.Clock.Now()
+	cl.Settle()
+	if got := cl.Clock.Now().Sub(before); got <= 10*time.Second {
+		t.Fatalf("Settle advanced only %v", got)
+	}
+	// After settle every read succeeds.
+	for i := 0; i < 20; i++ {
+		if _, err := cl.S3.Get("abc", "k"); err != nil {
+			t.Fatalf("read after settle: %v", err)
+		}
+	}
+}
+
+func TestSameSeedSameBehaviour(t *testing.T) {
+	run := func() string {
+		cl := New(Config{Seed: 42})
+		if err := cl.SQS.CreateQueue("q"); err != nil {
+			t.Fatal(err)
+		}
+		id, err := cl.SQS.SendMessage("q", "m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different message ids")
+	}
+}

@@ -1,0 +1,448 @@
+// Package httpapi exposes the simulated AWS services over HTTP, in the
+// spirit of the 2009 interfaces the paper describes (§2: REST for S3, the
+// query protocol for SimpleDB and SQS). Responses are JSON rather than the
+// period-correct XML; the wire shapes (actions, parameters, headers) follow
+// the originals closely enough that the endpoints read like AWS.
+//
+// cmd/awssim serves this API so the simulated region can be poked with
+// curl; the package tests double as protocol documentation.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/s3"
+	"passcloud/internal/cloud/sdb"
+	"passcloud/internal/cloud/sqs"
+)
+
+// metaHeaderPrefix carries user metadata on S3 requests, as on real S3.
+const metaHeaderPrefix = "X-Amz-Meta-"
+
+// Handler routes the three services.
+type Handler struct {
+	cloud *cloud.Cloud
+	mux   *http.ServeMux
+}
+
+// New builds a handler over a simulated region.
+func New(cl *cloud.Cloud) *Handler {
+	h := &Handler{cloud: cl, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/s3/", h.serveS3)
+	h.mux.HandleFunc("/sdb", h.serveSDB)
+	h.mux.HandleFunc("/sqs", h.serveSQS)
+	h.mux.HandleFunc("/usage", h.serveUsage)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// writeJSON renders a success body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps service errors onto AWS-ish status codes.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, s3.ErrNoSuchBucket), errors.Is(err, s3.ErrNoSuchKey),
+		errors.Is(err, sdb.ErrNoSuchDomain), errors.Is(err, sqs.ErrNoSuchQueue):
+		status = http.StatusNotFound
+	case errors.Is(err, s3.ErrBucketAlreadyExists), errors.Is(err, sdb.ErrDomainExists),
+		errors.Is(err, sqs.ErrQueueExists):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// --- S3: REST-style ----------------------------------------------------------
+
+// serveS3 handles /s3/{bucket}[/{key...}].
+func (h *Handler) serveS3(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/s3/")
+	bucket, key, hasKey := strings.Cut(rest, "/")
+	if bucket == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing bucket"})
+		return
+	}
+
+	switch {
+	case !hasKey || key == "":
+		h.serveS3Bucket(w, r, bucket)
+	default:
+		h.serveS3Object(w, r, bucket, key)
+	}
+}
+
+func (h *Handler) serveS3Bucket(w http.ResponseWriter, r *http.Request, bucket string) {
+	switch r.Method {
+	case http.MethodPut:
+		if err := h.cloud.S3.CreateBucket(bucket); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"bucket": bucket})
+	case http.MethodDelete:
+		if err := h.cloud.S3.DeleteBucket(bucket); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusNoContent, nil)
+	case http.MethodGet:
+		q := r.URL.Query()
+		maxKeys := 0
+		if v := q.Get("max-keys"); v != "" {
+			maxKeys, _ = strconv.Atoi(v)
+		}
+		page, err := h.cloud.S3.List(bucket, q.Get("prefix"), q.Get("marker"), maxKeys)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		type entry struct {
+			Key          string    `json:"Key"`
+			Size         int64     `json:"Size"`
+			ETag         string    `json:"ETag"`
+			LastModified time.Time `json:"LastModified"`
+		}
+		out := struct {
+			Contents    []entry `json:"Contents"`
+			IsTruncated bool    `json:"IsTruncated"`
+			NextMarker  string  `json:"NextMarker,omitempty"`
+		}{IsTruncated: page.IsTruncated, NextMarker: page.NextMarker}
+		for _, o := range page.Objects {
+			out.Contents = append(out.Contents, entry{Key: o.Key, Size: o.Size, ETag: o.ETag, LastModified: o.LastModified})
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+func (h *Handler) serveS3Object(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	switch r.Method {
+	case http.MethodPut:
+		if src := r.Header.Get("X-Amz-Copy-Source"); src != "" {
+			srcBucket, srcKey, ok := strings.Cut(strings.TrimPrefix(src, "/"), "/")
+			if !ok {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad copy source"})
+				return
+			}
+			var newMeta map[string]string
+			if r.Header.Get("X-Amz-Metadata-Directive") == "REPLACE" {
+				newMeta = metaFromHeaders(r.Header)
+			}
+			if err := h.cloud.S3.Copy(srcBucket, srcKey, bucket, key, newMeta); err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"copied": key})
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if err := h.cloud.S3.Put(bucket, key, body, metaFromHeaders(r.Header)); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"key": key})
+
+	case http.MethodGet:
+		var obj *s3.Object
+		var err error
+		if rng := r.Header.Get("Range"); rng != "" {
+			offset, length, perr := parseRange(rng)
+			if perr != nil {
+				writeErr(w, perr)
+				return
+			}
+			obj, err = h.cloud.S3.GetRange(bucket, key, offset, length)
+		} else {
+			obj, err = h.cloud.S3.Get(bucket, key)
+		}
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		metaToHeaders(w.Header(), obj.Metadata)
+		w.Header().Set("ETag", obj.ETag)
+		w.Header().Set("Content-Length", strconv.Itoa(len(obj.Body)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(obj.Body)
+
+	case http.MethodHead:
+		info, err := h.cloud.S3.Head(bucket, key)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		metaToHeaders(w.Header(), info.Metadata)
+		w.Header().Set("ETag", info.ETag)
+		w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+		w.WriteHeader(http.StatusOK)
+
+	case http.MethodDelete:
+		if err := h.cloud.S3.Delete(bucket, key); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+func metaFromHeaders(hdr http.Header) map[string]string {
+	var meta map[string]string
+	for name, values := range hdr {
+		if strings.HasPrefix(name, metaHeaderPrefix) && len(values) > 0 {
+			if meta == nil {
+				meta = make(map[string]string)
+			}
+			meta[strings.ToLower(strings.TrimPrefix(name, metaHeaderPrefix))] = values[0]
+		}
+	}
+	return meta
+}
+
+func metaToHeaders(hdr http.Header, meta map[string]string) {
+	for k, v := range meta {
+		hdr.Set(metaHeaderPrefix+k, v)
+	}
+}
+
+// parseRange handles "bytes=start-end" (end inclusive, may be empty).
+func parseRange(s string) (offset, length int64, err error) {
+	s = strings.TrimPrefix(s, "bytes=")
+	startStr, endStr, ok := strings.Cut(s, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("malformed range %q", s)
+	}
+	offset, err = strconv.ParseInt(startStr, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("malformed range start %q", startStr)
+	}
+	if endStr == "" {
+		return offset, -1, nil
+	}
+	end, err := strconv.ParseInt(endStr, 10, 64)
+	if err != nil || end < offset {
+		return 0, 0, fmt.Errorf("malformed range end %q", endStr)
+	}
+	return offset, end - offset + 1, nil
+}
+
+// --- SimpleDB: query protocol -------------------------------------------------
+
+// serveSDB handles /sdb?Action=...
+func (h *Handler) serveSDB(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	get := func(k string) string { return r.Form.Get(k) }
+
+	switch get("Action") {
+	case "CreateDomain":
+		if err := h.cloud.SDB.CreateDomain(get("DomainName")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"domain": get("DomainName")})
+	case "DeleteDomain":
+		if err := h.cloud.SDB.DeleteDomain(get("DomainName")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, nil)
+	case "ListDomains":
+		writeJSON(w, http.StatusOK, map[string][]string{"DomainNames": h.cloud.SDB.ListDomains()})
+	case "PutAttributes":
+		attrs, err := attrsFromForm(r.Form)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if err := h.cloud.SDB.PutAttributes(get("DomainName"), get("ItemName"), attrs); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, nil)
+	case "DeleteAttributes":
+		var del []sdb.Attr
+		for i := 1; ; i++ {
+			name := get(fmt.Sprintf("Attribute.%d.Name", i))
+			if name == "" {
+				break
+			}
+			del = append(del, sdb.Attr{Name: name, Value: get(fmt.Sprintf("Attribute.%d.Value", i))})
+		}
+		if err := h.cloud.SDB.DeleteAttributes(get("DomainName"), get("ItemName"), del); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, nil)
+	case "GetAttributes":
+		var names []string
+		for i := 1; ; i++ {
+			n := get(fmt.Sprintf("AttributeName.%d", i))
+			if n == "" {
+				break
+			}
+			names = append(names, n)
+		}
+		attrs, ok, err := h.cloud.SDB.GetAttributes(get("DomainName"), get("ItemName"), names...)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"Exists": ok, "Attributes": attrs})
+	case "Query":
+		maxResults, _ := strconv.Atoi(get("MaxNumberOfItems"))
+		res, err := h.cloud.SDB.Query(get("DomainName"), get("QueryExpression"), maxResults, get("NextToken"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case "QueryWithAttributes":
+		var names []string
+		for i := 1; ; i++ {
+			n := get(fmt.Sprintf("AttributeName.%d", i))
+			if n == "" {
+				break
+			}
+			names = append(names, n)
+		}
+		maxResults, _ := strconv.Atoi(get("MaxNumberOfItems"))
+		res, err := h.cloud.SDB.QueryWithAttributes(get("DomainName"), get("QueryExpression"), names, maxResults, get("NextToken"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case "Select":
+		res, err := h.cloud.SDB.Select(get("SelectExpression"), get("NextToken"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown Action"})
+	}
+}
+
+func attrsFromForm(form map[string][]string) ([]sdb.ReplaceableAttr, error) {
+	get := func(k string) string {
+		if v, ok := form[k]; ok && len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	var attrs []sdb.ReplaceableAttr
+	for i := 1; ; i++ {
+		name := get(fmt.Sprintf("Attribute.%d.Name", i))
+		if name == "" {
+			break
+		}
+		attrs = append(attrs, sdb.ReplaceableAttr{
+			Name:    name,
+			Value:   get(fmt.Sprintf("Attribute.%d.Value", i)),
+			Replace: get(fmt.Sprintf("Attribute.%d.Replace", i)) == "true",
+		})
+	}
+	if len(attrs) == 0 {
+		return nil, errors.New("no attributes supplied")
+	}
+	return attrs, nil
+}
+
+// --- SQS: query protocol -------------------------------------------------------
+
+// serveSQS handles /sqs?Action=...
+func (h *Handler) serveSQS(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	get := func(k string) string { return r.Form.Get(k) }
+
+	switch get("Action") {
+	case "CreateQueue":
+		if err := h.cloud.SQS.CreateQueue(get("QueueName")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"QueueUrl": "/sqs/" + get("QueueName")})
+	case "DeleteQueue":
+		if err := h.cloud.SQS.DeleteQueue(get("QueueName")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, nil)
+	case "ListQueues":
+		writeJSON(w, http.StatusOK, map[string][]string{"QueueUrls": h.cloud.SQS.ListQueues()})
+	case "SendMessage":
+		id, err := h.cloud.SQS.SendMessage(get("QueueName"), get("MessageBody"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"MessageId": id})
+	case "ReceiveMessage":
+		maxMsgs, _ := strconv.Atoi(get("MaxNumberOfMessages"))
+		visibility := time.Duration(0)
+		if v := get("VisibilityTimeout"); v != "" {
+			secs, _ := strconv.Atoi(v)
+			visibility = time.Duration(secs) * time.Second
+		}
+		msgs, err := h.cloud.SQS.ReceiveMessage(get("QueueName"), maxMsgs, visibility)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"Messages": msgs})
+	case "DeleteMessage":
+		if err := h.cloud.SQS.DeleteMessage(get("QueueName"), get("ReceiptHandle")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, nil)
+	case "GetQueueAttributes":
+		n, err := h.cloud.SQS.ApproximateNumberOfMessages(get("QueueName"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"ApproximateNumberOfMessages": n})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown Action"})
+	}
+}
+
+// --- usage ---------------------------------------------------------------------
+
+// serveUsage reports op counts and the current bill.
+func (h *Handler) serveUsage(w http.ResponseWriter, _ *http.Request) {
+	u := h.cloud.Usage()
+	writeJSON(w, http.StatusOK, map[string]string{"usage": u.String()})
+}

@@ -1,0 +1,309 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"passcloud/internal/cloud"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(cloud.New(cloud.Config{Seed: 1})))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func do(t *testing.T, method, url string, body string, headers map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(data)
+}
+
+func TestS3ObjectLifecycle(t *testing.T) {
+	srv := newTestServer(t)
+
+	resp, _ := do(t, http.MethodPut, srv.URL+"/s3/mybucket", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create bucket: %d", resp.StatusCode)
+	}
+	// Duplicate create conflicts.
+	resp, _ = do(t, http.MethodPut, srv.URL+"/s3/mybucket", "", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate bucket: %d", resp.StatusCode)
+	}
+
+	resp, _ = do(t, http.MethodPut, srv.URL+"/s3/mybucket/data/file.txt", "hello", map[string]string{
+		"X-Amz-Meta-Prov": "input=bar:2",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put object: %d", resp.StatusCode)
+	}
+
+	resp, body := do(t, http.MethodGet, srv.URL+"/s3/mybucket/data/file.txt", "", nil)
+	if resp.StatusCode != http.StatusOK || body != "hello" {
+		t.Fatalf("get object: %d %q", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Amz-Meta-Prov"); got != "input=bar:2" {
+		t.Fatalf("metadata header = %q", got)
+	}
+	if resp.Header.Get("ETag") == "" {
+		t.Fatal("missing ETag")
+	}
+
+	// HEAD: metadata without body.
+	resp, body = do(t, http.MethodHead, srv.URL+"/s3/mybucket/data/file.txt", "", nil)
+	if resp.StatusCode != http.StatusOK || body != "" {
+		t.Fatalf("head: %d %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Amz-Meta-Prov") == "" {
+		t.Fatal("head lost metadata")
+	}
+
+	// Range GET.
+	resp, body = do(t, http.MethodGet, srv.URL+"/s3/mybucket/data/file.txt", "", map[string]string{
+		"Range": "bytes=1-3",
+	})
+	if body != "ell" {
+		t.Fatalf("range get = %q", body)
+	}
+
+	// COPY via the header protocol, replacing metadata.
+	resp, _ = do(t, http.MethodPut, srv.URL+"/s3/mybucket/data/copy.txt", "", map[string]string{
+		"X-Amz-Copy-Source":        "/mybucket/data/file.txt",
+		"X-Amz-Metadata-Directive": "REPLACE",
+		"X-Amz-Meta-Fresh":         "yes",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("copy: %d", resp.StatusCode)
+	}
+	resp, body = do(t, http.MethodGet, srv.URL+"/s3/mybucket/data/copy.txt", "", nil)
+	if body != "hello" || resp.Header.Get("X-Amz-Meta-Fresh") != "yes" || resp.Header.Get("X-Amz-Meta-Prov") != "" {
+		t.Fatalf("copy content/meta wrong: %q %v", body, resp.Header)
+	}
+
+	// LIST with prefix.
+	resp, body = do(t, http.MethodGet, srv.URL+"/s3/mybucket?prefix=data/", "", nil)
+	var listing struct {
+		Contents []struct{ Key string }
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Contents) != 2 {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	// DELETE.
+	resp, _ = do(t, http.MethodDelete, srv.URL+"/s3/mybucket/data/file.txt", "", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodGet, srv.URL+"/s3/mybucket/data/file.txt", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", resp.StatusCode)
+	}
+}
+
+func TestS3Errors(t *testing.T) {
+	srv := newTestServer(t)
+	resp, _ := do(t, http.MethodGet, srv.URL+"/s3/nobucket/key", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing bucket: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodGet, srv.URL+"/s3/", "", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty bucket: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodPatch, srv.URL+"/s3/b/k", "", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("bad method: %d", resp.StatusCode)
+	}
+}
+
+func sdbCall(t *testing.T, srv *httptest.Server, params url.Values) (int, string) {
+	t.Helper()
+	resp, body := do(t, http.MethodPost, srv.URL+"/sdb", params.Encode(), map[string]string{
+		"Content-Type": "application/x-www-form-urlencoded",
+	})
+	return resp.StatusCode, body
+}
+
+func TestSimpleDBProtocol(t *testing.T) {
+	srv := newTestServer(t)
+
+	status, _ := sdbCall(t, srv, url.Values{"Action": {"CreateDomain"}, "DomainName": {"prov"}})
+	if status != http.StatusOK {
+		t.Fatalf("create domain: %d", status)
+	}
+
+	status, _ = sdbCall(t, srv, url.Values{
+		"Action": {"PutAttributes"}, "DomainName": {"prov"}, "ItemName": {"foo_2"},
+		"Attribute.1.Name": {"input"}, "Attribute.1.Value": {"bar:2"},
+		"Attribute.2.Name": {"type"}, "Attribute.2.Value": {"file"},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("put attributes: %d", status)
+	}
+
+	status, body := sdbCall(t, srv, url.Values{
+		"Action": {"GetAttributes"}, "DomainName": {"prov"}, "ItemName": {"foo_2"},
+	})
+	if status != http.StatusOK || !strings.Contains(body, "bar:2") {
+		t.Fatalf("get attributes: %d %s", status, body)
+	}
+
+	status, body = sdbCall(t, srv, url.Values{
+		"Action": {"Query"}, "DomainName": {"prov"},
+		"QueryExpression": {"['type' = 'file']"},
+	})
+	if status != http.StatusOK || !strings.Contains(body, "foo_2") {
+		t.Fatalf("query: %d %s", status, body)
+	}
+
+	status, body = sdbCall(t, srv, url.Values{
+		"Action":           {"Select"},
+		"SelectExpression": {"select itemName() from prov where type = 'file'"},
+	})
+	if status != http.StatusOK || !strings.Contains(body, "foo_2") {
+		t.Fatalf("select: %d %s", status, body)
+	}
+
+	status, _ = sdbCall(t, srv, url.Values{
+		"Action": {"DeleteAttributes"}, "DomainName": {"prov"}, "ItemName": {"foo_2"},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("delete attributes: %d", status)
+	}
+	status, body = sdbCall(t, srv, url.Values{
+		"Action": {"GetAttributes"}, "DomainName": {"prov"}, "ItemName": {"foo_2"},
+	})
+	if !strings.Contains(body, `"Exists":false`) {
+		t.Fatalf("item survived: %s", body)
+	}
+
+	status, _ = sdbCall(t, srv, url.Values{"Action": {"Bogus"}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown action: %d", status)
+	}
+}
+
+func sqsCall(t *testing.T, srv *httptest.Server, params url.Values) (int, string) {
+	t.Helper()
+	resp, body := do(t, http.MethodPost, srv.URL+"/sqs", params.Encode(), map[string]string{
+		"Content-Type": "application/x-www-form-urlencoded",
+	})
+	return resp.StatusCode, body
+}
+
+func TestSQSProtocol(t *testing.T) {
+	srv := newTestServer(t)
+
+	status, _ := sqsCall(t, srv, url.Values{"Action": {"CreateQueue"}, "QueueName": {"wal"}})
+	if status != http.StatusOK {
+		t.Fatalf("create queue: %d", status)
+	}
+	status, body := sqsCall(t, srv, url.Values{
+		"Action": {"SendMessage"}, "QueueName": {"wal"}, "MessageBody": {"begin tx1 3"},
+	})
+	if status != http.StatusOK || !strings.Contains(body, "MessageId") {
+		t.Fatalf("send: %d %s", status, body)
+	}
+
+	status, body = sqsCall(t, srv, url.Values{
+		"Action": {"ReceiveMessage"}, "QueueName": {"wal"}, "MaxNumberOfMessages": {"10"},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("receive: %d", status)
+	}
+	var recv struct {
+		Messages []struct {
+			Body          string
+			ReceiptHandle string
+		}
+	}
+	if err := json.Unmarshal([]byte(body), &recv); err != nil {
+		t.Fatal(err)
+	}
+	// Sampling may miss; retry a few times.
+	for i := 0; len(recv.Messages) == 0 && i < 20; i++ {
+		_, body = sqsCall(t, srv, url.Values{
+			"Action": {"ReceiveMessage"}, "QueueName": {"wal"}, "MaxNumberOfMessages": {"10"},
+		})
+		if err := json.Unmarshal([]byte(body), &recv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(recv.Messages) != 1 || recv.Messages[0].Body != "begin tx1 3" {
+		t.Fatalf("received: %+v", recv)
+	}
+
+	status, _ = sqsCall(t, srv, url.Values{
+		"Action": {"DeleteMessage"}, "QueueName": {"wal"},
+		"ReceiptHandle": {recv.Messages[0].ReceiptHandle},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("delete message: %d", status)
+	}
+
+	status, body = sqsCall(t, srv, url.Values{
+		"Action": {"GetQueueAttributes"}, "QueueName": {"wal"},
+	})
+	if status != http.StatusOK || !strings.Contains(body, "ApproximateNumberOfMessages") {
+		t.Fatalf("attributes: %d %s", status, body)
+	}
+}
+
+func TestUsageEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	do(t, http.MethodPut, srv.URL+"/s3/abc", "", nil)
+	resp, body := do(t, http.MethodGet, srv.URL+"/usage", "", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "S3/PUT") {
+		t.Fatalf("usage: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := newTestServer(t)
+	do(t, http.MethodPut, srv.URL+"/s3/shared", "", nil)
+	done := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		go func(c int) {
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("k-%d-%d", c, i)
+				resp, _ := do(t, http.MethodPut, srv.URL+"/s3/shared/"+key, "v", nil)
+				if resp.StatusCode != http.StatusOK {
+					done <- fmt.Errorf("put %s: %d", key, resp.StatusCode)
+					return
+				}
+			}
+			done <- nil
+		}(c)
+	}
+	for c := 0; c < 8; c++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"passcloud/internal/sim"
+)
+
+func newTestStore(t *testing.T, min, max time.Duration) (*Store, *sim.VirtualClock) {
+	t.Helper()
+	clock := sim.NewVirtualClock()
+	s := New(Config{
+		Replicas: 3,
+		MinDelay: min,
+		MaxDelay: max,
+		Clock:    clock,
+		RNG:      sim.NewRNG(1),
+	})
+	return s, clock
+}
+
+// settle advances past the propagation horizon so all replicas agree.
+func settle(c *sim.VirtualClock, s *Store) {
+	c.Advance(s.MaxDelay() + time.Nanosecond)
+}
+
+func TestPutGetStronglyConsistentWhenNoDelay(t *testing.T) {
+	s, _ := newTestStore(t, 0, 0)
+	s.Put("k", "v1")
+	for i := 0; i < 20; i++ {
+		v, ok := s.Get("k")
+		if !ok || v.(string) != "v1" {
+			t.Fatalf("Get = %v, %v; want v1 with zero delay", v, ok)
+		}
+	}
+}
+
+func TestEventualConsistencyAnomalyAndConvergence(t *testing.T) {
+	s, clock := newTestStore(t, time.Second, 5*time.Second)
+	s.Put("k", "old")
+	settle(clock, s)
+	s.Put("k", "new")
+
+	// Immediately after the second PUT only the accepting replica has it:
+	// some reads must still see "old".
+	sawOld := false
+	for i := 0; i < 100; i++ {
+		if v, ok := s.Get("k"); ok && v.(string) == "old" {
+			sawOld = true
+			break
+		}
+	}
+	if !sawOld {
+		t.Fatal("no read observed the stale value; eventual-consistency anomaly not modeled")
+	}
+
+	settle(clock, s)
+	if !s.Converged() {
+		t.Fatal("store did not converge after max delay")
+	}
+	for i := 0; i < 50; i++ {
+		if v, ok := s.Get("k"); !ok || v.(string) != "new" {
+			t.Fatalf("after convergence Get = %v, %v; want new", v, ok)
+		}
+	}
+}
+
+func TestLastWriterWins(t *testing.T) {
+	s, clock := newTestStore(t, 0, time.Second)
+	s.Put("k", "first")
+	s.Put("k", "second") // same virtual instant: later seq must win
+	settle(clock, s)
+	v, ok := s.Get("k")
+	if !ok || v.(string) != "second" {
+		t.Fatalf("Get = %v, %v; want second (LWW)", v, ok)
+	}
+}
+
+func TestDeletePropagates(t *testing.T) {
+	s, clock := newTestStore(t, time.Second, 2*time.Second)
+	s.Put("k", "v")
+	settle(clock, s)
+	s.Delete("k")
+	settle(clock, s)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("key visible after settled delete")
+	}
+	if _, ok := s.GetLatest("k"); ok {
+		t.Fatal("GetLatest returned a tombstoned key")
+	}
+}
+
+func TestDeleteOfMissingKeyIsNoError(t *testing.T) {
+	s, _ := newTestStore(t, 0, 0)
+	s.Delete("ghost") // must not panic
+	if _, ok := s.Get("ghost"); ok {
+		t.Fatal("ghost key exists")
+	}
+}
+
+func TestGetFromReplicaSnapshotStability(t *testing.T) {
+	s, clock := newTestStore(t, time.Second, 10*time.Second)
+	s.Put("k", "v1")
+	settle(clock, s)
+	s.Put("k", "v2")
+
+	// Whatever a fixed replica sees, it must keep seeing at the same
+	// instant (repeatable reads within one query snapshot).
+	for r := 0; r < s.Replicas(); r++ {
+		v1, ok1 := s.GetFromReplica("k", r)
+		v2, ok2 := s.GetFromReplica("k", r)
+		if ok1 != ok2 || (ok1 && v1 != v2) {
+			t.Fatalf("replica %d unstable: (%v,%v) then (%v,%v)", r, v1, ok1, v2, ok2)
+		}
+	}
+}
+
+func TestKeysListsVisibleOnly(t *testing.T) {
+	s, clock := newTestStore(t, time.Hour, time.Hour)
+	s.Put("a", 1)
+	settle(clock, s)
+	s.Put("b", 2)
+
+	// b was just written: at most one replica lists it.
+	withB := 0
+	for r := 0; r < s.Replicas(); r++ {
+		ks := s.KeysAtReplica(r)
+		for _, k := range ks {
+			if k == "b" {
+				withB++
+			}
+		}
+	}
+	if withB > 1 {
+		t.Fatalf("%d replicas list fresh key; want at most the accepting one", withB)
+	}
+	settle(clock, s)
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys after settle = %v, want [a b]", keys)
+	}
+}
+
+func TestLenCountsReplicaZero(t *testing.T) {
+	s, clock := newTestStore(t, 0, 0)
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprintf("k%d", i), i)
+	}
+	settle(clock, s)
+	if got := s.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+}
+
+func TestCompactionBoundsMemory(t *testing.T) {
+	s, clock := newTestStore(t, time.Millisecond, time.Millisecond)
+	for i := 0; i < 10_000; i++ {
+		s.Put("hot", i)
+		clock.Advance(2 * time.Millisecond)
+	}
+	s.mu.Lock()
+	n := len(s.keys["hot"].updates)
+	s.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("update log for hot key holds %d entries; compaction not working", n)
+	}
+}
+
+func TestConvergenceQuick(t *testing.T) {
+	// Property: for any sequence of writes to random keys, after advancing
+	// past MaxDelay every replica observes identical state.
+	f := func(seed int64, opsRaw []uint8) bool {
+		clock := sim.NewVirtualClock()
+		s := New(Config{
+			Replicas: 3,
+			MinDelay: time.Second,
+			MaxDelay: 30 * time.Second,
+			Clock:    clock,
+			RNG:      sim.NewRNG(seed),
+		})
+		for i, op := range opsRaw {
+			key := fmt.Sprintf("k%d", op%8)
+			if op%5 == 0 {
+				s.Delete(key)
+			} else {
+				s.Put(key, i)
+			}
+			clock.Advance(time.Duration(op) * time.Millisecond)
+		}
+		clock.Advance(31 * time.Second)
+		if !s.Converged() {
+			return false
+		}
+		base := s.KeysAtReplica(0)
+		for r := 1; r < s.Replicas(); r++ {
+			other := s.KeysAtReplica(r)
+			if len(other) != len(base) {
+				return false
+			}
+			for i := range base {
+				if base[i] != other[i] {
+					return false
+				}
+				v0, _ := s.GetFromReplica(base[i], 0)
+				vr, _ := s.GetFromReplica(base[i], r)
+				if v0 != vr {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentPutsRace(t *testing.T) {
+	s, clock := newTestStore(t, 0, time.Second)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Put(fmt.Sprintf("k%d", i%16), w*1000+i)
+				s.Get(fmt.Sprintf("k%d", i%16))
+			}
+		}(w)
+	}
+	wg.Wait()
+	settle(clock, s)
+	if got := s.Len(); got != 16 {
+		t.Fatalf("Len = %d, want 16", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := New(Config{Clock: sim.NewVirtualClock(), RNG: sim.NewRNG(1)})
+	if s.Replicas() != 3 {
+		t.Fatalf("default replicas = %d, want 3", s.Replicas())
+	}
+}
+
+func TestMissingClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without clock did not panic")
+		}
+	}()
+	New(Config{RNG: sim.NewRNG(1)})
+}
+
+func TestMissingRNGPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without RNG did not panic")
+		}
+	}()
+	New(Config{Clock: sim.NewVirtualClock()})
+}

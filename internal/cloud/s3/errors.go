@@ -1,0 +1,57 @@
+package s3
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error codes mirroring the AWS S3 error model. Protocol code matches on
+// these with errors.Is.
+var (
+	// ErrNoSuchBucket is returned for operations on a bucket that does not
+	// exist (or is not yet visible on the serving replica).
+	ErrNoSuchBucket = errors.New("NoSuchBucket")
+	// ErrBucketAlreadyExists is returned by CreateBucket on a name collision.
+	ErrBucketAlreadyExists = errors.New("BucketAlreadyExists")
+	// ErrBucketNotEmpty is returned by DeleteBucket when objects remain.
+	ErrBucketNotEmpty = errors.New("BucketNotEmpty")
+	// ErrNoSuchKey is returned when the requested object is not visible on
+	// the serving replica.
+	ErrNoSuchKey = errors.New("NoSuchKey")
+	// ErrEntityTooLarge is returned by PUT for bodies above MaxObjectSize.
+	ErrEntityTooLarge = errors.New("EntityTooLarge")
+	// ErrEntityTooSmall is returned by PUT for empty bodies; S3 objects
+	// range from 1 byte to 5 GB (paper §2.1).
+	ErrEntityTooSmall = errors.New("EntityTooSmall")
+	// ErrMetadataTooLarge is returned by PUT/COPY when user metadata
+	// exceeds MaxMetadataSize.
+	ErrMetadataTooLarge = errors.New("MetadataTooLarge")
+	// ErrInvalidRange is returned by GetRange for an unsatisfiable range.
+	ErrInvalidRange = errors.New("InvalidRange")
+	// ErrInvalidName is returned for malformed bucket or object names.
+	ErrInvalidName = errors.New("InvalidName")
+)
+
+// APIError carries the failing operation and target alongside the code, in
+// the style of os.PathError.
+type APIError struct {
+	Op     string // "PUT", "GET", ...
+	Bucket string
+	Key    string
+	Err    error // one of the sentinel codes above
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	if e.Key == "" {
+		return fmt.Sprintf("s3: %s %s: %v", e.Op, e.Bucket, e.Err)
+	}
+	return fmt.Sprintf("s3: %s %s/%s: %v", e.Op, e.Bucket, e.Key, e.Err)
+}
+
+// Unwrap exposes the sentinel code to errors.Is.
+func (e *APIError) Unwrap() error { return e.Err }
+
+func opErr(op, bucket, key string, code error) error {
+	return &APIError{Op: op, Bucket: bucket, Key: key, Err: code}
+}

@@ -1,0 +1,450 @@
+// Package s3 simulates the Amazon Simple Storage Service as the paper
+// describes it (§2.1, January-2009 snapshot): an eventually-consistent object
+// store holding objects of 1 byte to 5 GB, each with up to 2 KB of
+// client-supplied metadata, accessed via PUT, GET, HEAD, COPY, DELETE and
+// LIST.
+//
+// Consistency semantics come from internal/cloud/replica: a GET right after a
+// PUT may return an older copy, concurrent PUTs resolve last-writer-wins, and
+// everything converges once the propagation horizon passes. Every operation
+// meters requests and transfer on the service's billing.Meter using the
+// paper's pricing classes (PUT/COPY/POST/LIST vs GET-and-other).
+package s3
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"passcloud/internal/cloud/billing"
+	"passcloud/internal/cloud/replica"
+	"passcloud/internal/sim"
+)
+
+// Limits from the paper's AWS snapshot.
+const (
+	// MaxObjectSize is the largest S3 object: 5 GB.
+	MaxObjectSize = 5 << 30
+	// MinObjectSize is the smallest S3 object: 1 byte.
+	MinObjectSize = 1
+	// MaxMetadataSize bounds user metadata per object: 2 KB total across
+	// key and value bytes.
+	MaxMetadataSize = 2 << 10
+	// MaxKeyLength bounds object key names.
+	MaxKeyLength = 1024
+	// DefaultMaxKeys is the LIST page size.
+	DefaultMaxKeys = 1000
+)
+
+// Object is a stored S3 object as returned by GET.
+type Object struct {
+	Bucket       string
+	Key          string
+	Body         []byte
+	Metadata     map[string]string
+	Size         int64
+	ETag         string // hex MD5 of the body
+	LastModified time.Time
+}
+
+// Info describes an object without its body, as returned by HEAD and LIST.
+type Info struct {
+	Bucket       string
+	Key          string
+	Metadata     map[string]string // populated by HEAD, not LIST
+	Size         int64
+	ETag         string
+	LastModified time.Time
+}
+
+// stored is the immutable value kept in the replica store.
+type stored struct {
+	body     []byte
+	metadata map[string]string
+	size     int64
+	etag     string
+	modified time.Time
+}
+
+// Config parameterizes the service.
+type Config struct {
+	// Replication controls the consistency model. Clock and RNG are
+	// required; see replica.Config.
+	Replication replica.Config
+	// Meter receives billing events. Required.
+	Meter *billing.Meter
+}
+
+// Service is a simulated S3 endpoint.
+type Service struct {
+	cfg   Config
+	clock sim.Clock
+
+	mu      sync.Mutex
+	buckets map[string]*replica.Store
+}
+
+// New returns an empty S3 service.
+func New(cfg Config) *Service {
+	if cfg.Meter == nil {
+		panic("s3: Config.Meter is required")
+	}
+	if cfg.Replication.Clock == nil {
+		panic("s3: Config.Replication.Clock is required")
+	}
+	return &Service{
+		cfg:     cfg,
+		clock:   cfg.Replication.Clock,
+		buckets: make(map[string]*replica.Store),
+	}
+}
+
+// Meter returns the service's billing meter.
+func (s *Service) Meter() *billing.Meter { return s.cfg.Meter }
+
+// MaxDelay returns the propagation horizon; advancing the clock past it
+// after the last write guarantees convergence.
+func (s *Service) MaxDelay() time.Duration {
+	return s.cfg.Replication.MaxDelay
+}
+
+// CreateBucket creates a bucket. Bucket creation is immediately visible —
+// the paper's protocols create buckets once at setup, so modeling their
+// propagation adds nothing.
+func (s *Service) CreateBucket(name string) error {
+	if !validBucketName(name) {
+		return opErr("CreateBucket", name, "", ErrInvalidName)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[name]; ok {
+		return opErr("CreateBucket", name, "", ErrBucketAlreadyExists)
+	}
+	s.buckets[name] = replica.New(s.cfg.Replication)
+	s.cfg.Meter.Op(billing.S3, "PUT", billing.TierMutation)
+	return nil
+}
+
+// DeleteBucket removes an empty bucket.
+func (s *Service) DeleteBucket(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[name]
+	if !ok {
+		return opErr("DeleteBucket", name, "", ErrNoSuchBucket)
+	}
+	if b.Len() > 0 {
+		return opErr("DeleteBucket", name, "", ErrBucketNotEmpty)
+	}
+	delete(s.buckets, name)
+	s.cfg.Meter.Op(billing.S3, "DELETE", billing.TierRetrieval)
+	return nil
+}
+
+// ListBuckets returns all bucket names, sorted.
+func (s *Service) ListBuckets() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.Meter.Op(billing.S3, "LIST", billing.TierMutation)
+	out := make([]string, 0, len(s.buckets))
+	for name := range s.buckets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Service) bucket(name string) (*replica.Store, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[name]
+	return b, ok
+}
+
+// Put stores body under bucket/key with the given user metadata, overwriting
+// any existing object. Data and metadata travel in the same request, so they
+// are stored atomically — the property architecture 1 builds on.
+func (s *Service) Put(bucket, key string, body []byte, metadata map[string]string) error {
+	b, ok := s.bucket(bucket)
+	if !ok {
+		return opErr("PUT", bucket, key, ErrNoSuchBucket)
+	}
+	if !validKey(key) {
+		return opErr("PUT", bucket, key, ErrInvalidName)
+	}
+	if len(body) < MinObjectSize {
+		return opErr("PUT", bucket, key, ErrEntityTooSmall)
+	}
+	if len(body) > MaxObjectSize {
+		return opErr("PUT", bucket, key, ErrEntityTooLarge)
+	}
+	if metadataSize(metadata) > MaxMetadataSize {
+		return opErr("PUT", bucket, key, ErrMetadataTooLarge)
+	}
+
+	obj := newStored(body, metadata, s.clock.Now())
+	s.accountReplace(b, key, obj)
+	b.Put(key, obj)
+
+	s.cfg.Meter.Op(billing.S3, "PUT", billing.TierMutation)
+	s.cfg.Meter.In(billing.S3, obj.size+int64(metadataSize(metadata)))
+	return nil
+}
+
+// newStored deep-copies its inputs: stored values are immutable.
+func newStored(body []byte, metadata map[string]string, now time.Time) *stored {
+	sum := md5.Sum(body)
+	return &stored{
+		body:     append([]byte(nil), body...),
+		metadata: copyMeta(metadata),
+		size:     int64(len(body)),
+		etag:     hex.EncodeToString(sum[:]),
+		modified: now,
+	}
+}
+
+// accountReplace adjusts resident storage: new object bytes in, previous
+// authoritative version's bytes out.
+func (s *Service) accountReplace(b *replica.Store, key string, obj *stored) {
+	var prevSize int64
+	if prev, ok := b.GetLatest(key); ok {
+		p := prev.(*stored)
+		prevSize = p.size + int64(metadataSize(p.metadata))
+	}
+	s.cfg.Meter.StorageDelta(billing.S3, obj.size+int64(metadataSize(obj.metadata))-prevSize)
+}
+
+// Get retrieves a whole object from a randomly chosen replica.
+func (s *Service) Get(bucket, key string) (*Object, error) {
+	return s.getRange(bucket, key, 0, -1)
+}
+
+// GetRange retrieves length bytes starting at offset. length < 0 means "to
+// the end". Partial GETs are billed for the bytes actually returned.
+func (s *Service) GetRange(bucket, key string, offset, length int64) (*Object, error) {
+	return s.getRange(bucket, key, offset, length)
+}
+
+func (s *Service) getRange(bucket, key string, offset, length int64) (*Object, error) {
+	b, ok := s.bucket(bucket)
+	if !ok {
+		return nil, opErr("GET", bucket, key, ErrNoSuchBucket)
+	}
+	s.cfg.Meter.Op(billing.S3, "GET", billing.TierRetrieval)
+	v, ok := b.Get(key)
+	if !ok {
+		return nil, opErr("GET", bucket, key, ErrNoSuchKey)
+	}
+	obj := v.(*stored)
+
+	if offset < 0 || offset > obj.size {
+		return nil, opErr("GET", bucket, key, ErrInvalidRange)
+	}
+	end := obj.size
+	if length >= 0 && offset+length < end {
+		end = offset + length
+	}
+	body := append([]byte(nil), obj.body[offset:end]...)
+
+	s.cfg.Meter.Out(billing.S3, int64(len(body))+int64(metadataSize(obj.metadata)))
+	return &Object{
+		Bucket:       bucket,
+		Key:          key,
+		Body:         body,
+		Metadata:     copyMeta(obj.metadata),
+		Size:         obj.size,
+		ETag:         obj.etag,
+		LastModified: obj.modified,
+	}, nil
+}
+
+// Head retrieves only an object's metadata (§2.1: "The HEAD operation
+// retrieves only the metadata part of an object").
+func (s *Service) Head(bucket, key string) (*Info, error) {
+	b, ok := s.bucket(bucket)
+	if !ok {
+		return nil, opErr("HEAD", bucket, key, ErrNoSuchBucket)
+	}
+	s.cfg.Meter.Op(billing.S3, "HEAD", billing.TierRetrieval)
+	v, ok := b.Get(key)
+	if !ok {
+		return nil, opErr("HEAD", bucket, key, ErrNoSuchKey)
+	}
+	obj := v.(*stored)
+	s.cfg.Meter.Out(billing.S3, int64(metadataSize(obj.metadata)))
+	return &Info{
+		Bucket:       bucket,
+		Key:          key,
+		Metadata:     copyMeta(obj.metadata),
+		Size:         obj.size,
+		ETag:         obj.etag,
+		LastModified: obj.modified,
+	}, nil
+}
+
+// Copy duplicates srcBucket/srcKey to dstBucket/dstKey server-side. If
+// newMetadata is non-nil it replaces the source metadata (the REPLACE
+// metadata directive); otherwise metadata is copied. COPY is billed as a
+// mutation request but, per the paper (§5), not for data transfer.
+//
+// The source is read from a replica, so a COPY racing propagation can fail
+// with NoSuchKey; the WAL commit daemon retries on exactly this error.
+func (s *Service) Copy(srcBucket, srcKey, dstBucket, dstKey string, newMetadata map[string]string) error {
+	sb, ok := s.bucket(srcBucket)
+	if !ok {
+		return opErr("COPY", srcBucket, srcKey, ErrNoSuchBucket)
+	}
+	db, ok := s.bucket(dstBucket)
+	if !ok {
+		return opErr("COPY", dstBucket, dstKey, ErrNoSuchBucket)
+	}
+	if !validKey(dstKey) {
+		return opErr("COPY", dstBucket, dstKey, ErrInvalidName)
+	}
+	s.cfg.Meter.Op(billing.S3, "COPY", billing.TierMutation)
+	v, ok := sb.Get(srcKey)
+	if !ok {
+		return opErr("COPY", srcBucket, srcKey, ErrNoSuchKey)
+	}
+	src := v.(*stored)
+	meta := src.metadata
+	if newMetadata != nil {
+		meta = newMetadata
+	}
+	if metadataSize(meta) > MaxMetadataSize {
+		return opErr("COPY", dstBucket, dstKey, ErrMetadataTooLarge)
+	}
+	dst := &stored{
+		body:     src.body, // bodies are immutable: share, don't copy
+		metadata: copyMeta(meta),
+		size:     src.size,
+		etag:     src.etag,
+		modified: s.clock.Now(),
+	}
+	s.accountReplace(db, dstKey, dst)
+	db.Put(dstKey, dst)
+	return nil
+}
+
+// Delete removes an object. Deleting a missing key is not an error,
+// matching S3 (idempotent DELETE — required by the WAL replay protocol).
+func (s *Service) Delete(bucket, key string) error {
+	b, ok := s.bucket(bucket)
+	if !ok {
+		return opErr("DELETE", bucket, key, ErrNoSuchBucket)
+	}
+	s.cfg.Meter.Op(billing.S3, "DELETE", billing.TierRetrieval)
+	if prev, ok := b.GetLatest(key); ok {
+		p := prev.(*stored)
+		s.cfg.Meter.StorageDelta(billing.S3, -(p.size + int64(metadataSize(p.metadata))))
+	}
+	b.Delete(key)
+	return nil
+}
+
+// ListPage is one page of LIST results.
+type ListPage struct {
+	Objects     []Info
+	IsTruncated bool
+	NextMarker  string
+}
+
+// List returns up to maxKeys objects in bucket whose keys start with prefix,
+// lexicographically after marker. maxKeys <= 0 uses DefaultMaxKeys. Like any
+// read it serves from one replica and may lag recent writes.
+func (s *Service) List(bucket, prefix, marker string, maxKeys int) (*ListPage, error) {
+	b, ok := s.bucket(bucket)
+	if !ok {
+		return nil, opErr("LIST", bucket, "", ErrNoSuchBucket)
+	}
+	if maxKeys <= 0 {
+		maxKeys = DefaultMaxKeys
+	}
+	s.cfg.Meter.Op(billing.S3, "LIST", billing.TierMutation)
+
+	keys := b.Keys() // sorted, single-replica view
+	page := &ListPage{}
+	for _, k := range keys {
+		if !strings.HasPrefix(k, prefix) || k <= marker {
+			continue
+		}
+		if len(page.Objects) == maxKeys {
+			page.IsTruncated = true
+			page.NextMarker = page.Objects[len(page.Objects)-1].Key
+			break
+		}
+		v, ok := b.Get(k)
+		if !ok {
+			continue
+		}
+		obj := v.(*stored)
+		page.Objects = append(page.Objects, Info{
+			Bucket:       bucket,
+			Key:          k,
+			Size:         obj.size,
+			ETag:         obj.etag,
+			LastModified: obj.modified,
+		})
+		s.cfg.Meter.Out(billing.S3, int64(len(k))+64) // listing entry overhead
+	}
+	return page, nil
+}
+
+// ListAll walks every page of a prefix listing. Each underlying page is a
+// billed LIST request, which is what makes full-scan provenance queries on
+// architecture 1 expensive.
+func (s *Service) ListAll(bucket, prefix string) ([]Info, error) {
+	var out []Info
+	marker := ""
+	for {
+		page, err := s.List(bucket, prefix, marker, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page.Objects...)
+		if !page.IsTruncated {
+			return out, nil
+		}
+		marker = page.NextMarker
+	}
+}
+
+func metadataSize(m map[string]string) int {
+	n := 0
+	for k, v := range m {
+		n += len(k) + len(v)
+	}
+	return n
+}
+
+func copyMeta(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func validBucketName(name string) bool {
+	if len(name) < 3 || len(name) > 63 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return name[0] != '-' && name[0] != '.'
+}
+
+func validKey(key string) bool {
+	return len(key) >= 1 && len(key) <= MaxKeyLength
+}

@@ -1,0 +1,416 @@
+package s3
+
+import (
+	"bytes"
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"passcloud/internal/cloud/billing"
+	"passcloud/internal/cloud/replica"
+	"passcloud/internal/sim"
+)
+
+// newTestService returns a strongly consistent service for API-contract
+// tests plus its clock and meter.
+func newTestService(t *testing.T) (*Service, *sim.VirtualClock, *billing.Meter) {
+	t.Helper()
+	return newDelayedService(t, 0)
+}
+
+func newDelayedService(t *testing.T, maxDelay time.Duration) (*Service, *sim.VirtualClock, *billing.Meter) {
+	t.Helper()
+	clock := sim.NewVirtualClock()
+	meter := &billing.Meter{}
+	svc := New(Config{
+		Replication: replica.Config{
+			Replicas: 3,
+			MaxDelay: maxDelay,
+			Clock:    clock,
+			RNG:      sim.NewRNG(1),
+		},
+		Meter: meter,
+	})
+	if err := svc.CreateBucket("test-bucket"); err != nil {
+		t.Fatalf("CreateBucket: %v", err)
+	}
+	return svc, clock, meter
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	body := []byte("hello provenance")
+	meta := map[string]string{"x-amz-meta-type": "file"}
+	if err := svc.Put("test-bucket", "obj", body, meta); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	obj, err := svc.Get("test-bucket", "obj")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(obj.Body, body) {
+		t.Fatalf("body = %q, want %q", obj.Body, body)
+	}
+	if obj.Metadata["x-amz-meta-type"] != "file" {
+		t.Fatalf("metadata = %v", obj.Metadata)
+	}
+	wantETag := md5.Sum(body)
+	if obj.ETag != hex.EncodeToString(wantETag[:]) {
+		t.Fatalf("ETag = %q", obj.ETag)
+	}
+	if obj.Size != int64(len(body)) {
+		t.Fatalf("Size = %d", obj.Size)
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	must(t, svc.Put("test-bucket", "k", []byte("v1"), nil))
+	must(t, svc.Put("test-bucket", "k", []byte("v2"), nil))
+	obj, err := svc.Get("test-bucket", "k")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(obj.Body) != "v2" {
+		t.Fatalf("body = %q, want v2 (last PUT retained)", obj.Body)
+	}
+}
+
+func TestPutLimits(t *testing.T) {
+	svc, _, _ := newTestService(t)
+
+	if err := svc.Put("test-bucket", "empty", nil, nil); !errors.Is(err, ErrEntityTooSmall) {
+		t.Fatalf("empty body: err = %v, want EntityTooSmall", err)
+	}
+
+	big := map[string]string{"k": strings.Repeat("v", MaxMetadataSize)}
+	if err := svc.Put("test-bucket", "m", []byte("x"), big); !errors.Is(err, ErrMetadataTooLarge) {
+		t.Fatalf("oversize metadata: err = %v, want MetadataTooLarge", err)
+	}
+
+	exact := map[string]string{"ab": strings.Repeat("v", MaxMetadataSize-2)}
+	if err := svc.Put("test-bucket", "m2", []byte("x"), exact); err != nil {
+		t.Fatalf("exactly 2 KB metadata rejected: %v", err)
+	}
+
+	if err := svc.Put("test-bucket", "", []byte("x"), nil); !errors.Is(err, ErrInvalidName) {
+		t.Fatalf("empty key: err = %v, want InvalidName", err)
+	}
+	if err := svc.Put("test-bucket", strings.Repeat("k", MaxKeyLength+1), []byte("x"), nil); !errors.Is(err, ErrInvalidName) {
+		t.Fatalf("long key: err = %v, want InvalidName", err)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	_, err := svc.Get("test-bucket", "nope")
+	if !errors.Is(err, ErrNoSuchKey) {
+		t.Fatalf("err = %v, want NoSuchKey", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Op != "GET" || apiErr.Key != "nope" {
+		t.Fatalf("APIError not populated: %v", err)
+	}
+}
+
+func TestBucketLifecycle(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	if err := svc.CreateBucket("test-bucket"); !errors.Is(err, ErrBucketAlreadyExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if err := svc.CreateBucket("x"); !errors.Is(err, ErrInvalidName) {
+		t.Fatalf("short name: %v", err)
+	}
+	if err := svc.CreateBucket("UPPER"); !errors.Is(err, ErrInvalidName) {
+		t.Fatalf("uppercase name: %v", err)
+	}
+	must(t, svc.Put("test-bucket", "k", []byte("v"), nil))
+	if err := svc.DeleteBucket("test-bucket"); !errors.Is(err, ErrBucketNotEmpty) {
+		t.Fatalf("delete non-empty: %v", err)
+	}
+	must(t, svc.Delete("test-bucket", "k"))
+	if err := svc.DeleteBucket("test-bucket"); err != nil {
+		t.Fatalf("delete empty: %v", err)
+	}
+	if err := svc.DeleteBucket("test-bucket"); !errors.Is(err, ErrNoSuchBucket) {
+		t.Fatalf("delete missing: %v", err)
+	}
+	if _, err := svc.Get("test-bucket", "k"); !errors.Is(err, ErrNoSuchBucket) {
+		t.Fatalf("get from missing bucket: %v", err)
+	}
+}
+
+func TestListBuckets(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	must(t, svc.CreateBucket("aaa"))
+	got := svc.ListBuckets()
+	if len(got) != 2 || got[0] != "aaa" || got[1] != "test-bucket" {
+		t.Fatalf("ListBuckets = %v", got)
+	}
+}
+
+func TestGetRange(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	must(t, svc.Put("test-bucket", "k", []byte("0123456789"), nil))
+
+	obj, err := svc.GetRange("test-bucket", "k", 2, 3)
+	if err != nil {
+		t.Fatalf("GetRange: %v", err)
+	}
+	if string(obj.Body) != "234" {
+		t.Fatalf("range body = %q, want 234", obj.Body)
+	}
+	if obj.Size != 10 {
+		t.Fatalf("Size = %d, want full object size 10", obj.Size)
+	}
+
+	obj, err = svc.GetRange("test-bucket", "k", 7, -1)
+	if err != nil || string(obj.Body) != "789" {
+		t.Fatalf("open-ended range = %q, %v", obj.Body, err)
+	}
+
+	obj, err = svc.GetRange("test-bucket", "k", 8, 100)
+	if err != nil || string(obj.Body) != "89" {
+		t.Fatalf("over-long range = %q, %v", obj.Body, err)
+	}
+
+	if _, err := svc.GetRange("test-bucket", "k", -1, 2); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("negative offset: %v", err)
+	}
+	if _, err := svc.GetRange("test-bucket", "k", 11, 2); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("offset past end: %v", err)
+	}
+}
+
+func TestHeadReturnsMetadataOnly(t *testing.T) {
+	svc, _, meter := newTestService(t)
+	meta := map[string]string{"prov": "x"}
+	must(t, svc.Put("test-bucket", "k", []byte("0123456789"), meta))
+	before := meter.Snapshot().BytesOut(billing.S3)
+
+	info, err := svc.Head("test-bucket", "k")
+	if err != nil {
+		t.Fatalf("Head: %v", err)
+	}
+	if info.Metadata["prov"] != "x" || info.Size != 10 {
+		t.Fatalf("Head info = %+v", info)
+	}
+	outDelta := meter.Snapshot().BytesOut(billing.S3) - before
+	if outDelta >= 10 {
+		t.Fatalf("HEAD billed %d bytes out; must not include the body", outDelta)
+	}
+}
+
+func TestCopyPreservesAndReplacesMetadata(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	must(t, svc.Put("test-bucket", "src", []byte("data"), map[string]string{"a": "1"}))
+
+	must(t, svc.Copy("test-bucket", "src", "test-bucket", "kept", nil))
+	obj, err := svc.Get("test-bucket", "kept")
+	if err != nil || obj.Metadata["a"] != "1" || string(obj.Body) != "data" {
+		t.Fatalf("copy with preserved metadata: %+v, %v", obj, err)
+	}
+
+	must(t, svc.Copy("test-bucket", "src", "test-bucket", "replaced", map[string]string{"b": "2"}))
+	obj, err = svc.Get("test-bucket", "replaced")
+	if err != nil || obj.Metadata["b"] != "2" || obj.Metadata["a"] != "" {
+		t.Fatalf("copy with replaced metadata: %+v, %v", obj, err)
+	}
+
+	if err := svc.Copy("test-bucket", "ghost", "test-bucket", "dst", nil); !errors.Is(err, ErrNoSuchKey) {
+		t.Fatalf("copy of missing source: %v", err)
+	}
+}
+
+func TestDeleteIsIdempotent(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	must(t, svc.Put("test-bucket", "k", []byte("v"), nil))
+	must(t, svc.Delete("test-bucket", "k"))
+	must(t, svc.Delete("test-bucket", "k")) // second delete: no error
+	if _, err := svc.Get("test-bucket", "k"); !errors.Is(err, ErrNoSuchKey) {
+		t.Fatalf("object visible after delete: %v", err)
+	}
+}
+
+func TestListPrefixAndPagination(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	for i := 0; i < 25; i++ {
+		must(t, svc.Put("test-bucket", fmt.Sprintf("data/%03d", i), []byte("v"), nil))
+	}
+	must(t, svc.Put("test-bucket", "tmp/zzz", []byte("v"), nil))
+
+	page, err := svc.List("test-bucket", "data/", "", 10)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(page.Objects) != 10 || !page.IsTruncated {
+		t.Fatalf("page 1: %d objects, truncated=%v", len(page.Objects), page.IsTruncated)
+	}
+	if page.Objects[0].Key != "data/000" {
+		t.Fatalf("first key = %q", page.Objects[0].Key)
+	}
+
+	all, err := svc.ListAll("test-bucket", "data/")
+	if err != nil {
+		t.Fatalf("ListAll: %v", err)
+	}
+	if len(all) != 25 {
+		t.Fatalf("ListAll returned %d keys, want 25", len(all))
+	}
+	for _, info := range all {
+		if !strings.HasPrefix(info.Key, "data/") {
+			t.Fatalf("prefix violated: %q", info.Key)
+		}
+	}
+}
+
+func TestEventualConsistencyGETAfterPUT(t *testing.T) {
+	svc, clock, _ := newDelayedService(t, 10*time.Second)
+	must(t, svc.Put("test-bucket", "k", []byte("old"), nil))
+	clock.Advance(11 * time.Second)
+	must(t, svc.Put("test-bucket", "k", []byte("new"), nil))
+
+	sawOld := false
+	for i := 0; i < 200; i++ {
+		obj, err := svc.Get("test-bucket", "k")
+		if err == nil && string(obj.Body) == "old" {
+			sawOld = true
+			break
+		}
+	}
+	if !sawOld {
+		t.Fatal("GET after PUT never returned the older copy (paper §2.1 anomaly)")
+	}
+
+	clock.Advance(11 * time.Second)
+	for i := 0; i < 50; i++ {
+		obj, err := svc.Get("test-bucket", "k")
+		if err != nil || string(obj.Body) != "new" {
+			t.Fatalf("after settle: %v, %v", obj, err)
+		}
+	}
+}
+
+func TestPutAtomicityOfDataAndMetadata(t *testing.T) {
+	// Architecture 1 depends on this: data and metadata arrive in one PUT,
+	// so no read may ever observe new data with old metadata or vice versa.
+	svc, clock, _ := newDelayedService(t, 10*time.Second)
+	must(t, svc.Put("test-bucket", "k", []byte("v1"), map[string]string{"gen": "1"}))
+	clock.Advance(11 * time.Second)
+	must(t, svc.Put("test-bucket", "k", []byte("v2"), map[string]string{"gen": "2"}))
+
+	for i := 0; i < 300; i++ {
+		obj, err := svc.Get("test-bucket", "k")
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		want := map[string]string{"v1": "1", "v2": "2"}[string(obj.Body)]
+		if obj.Metadata["gen"] != want {
+			t.Fatalf("torn read: body %q with gen %q", obj.Body, obj.Metadata["gen"])
+		}
+	}
+}
+
+func TestBodyIsolation(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	body := []byte("mutable")
+	must(t, svc.Put("test-bucket", "k", body, nil))
+	body[0] = 'X' // caller reuses its buffer
+
+	obj, err := svc.Get("test-bucket", "k")
+	if err != nil || string(obj.Body) != "mutable" {
+		t.Fatalf("stored body aliased caller buffer: %q, %v", obj.Body, err)
+	}
+	obj.Body[0] = 'Y' // caller scribbles on the returned copy
+	obj2, _ := svc.Get("test-bucket", "k")
+	if string(obj2.Body) != "mutable" {
+		t.Fatalf("returned body aliased stored bytes: %q", obj2.Body)
+	}
+}
+
+func TestMetering(t *testing.T) {
+	svc, _, meter := newTestService(t)
+	meter.Reset() // drop CreateBucket accounting
+
+	body := bytes.Repeat([]byte("x"), 1000)
+	must(t, svc.Put("test-bucket", "k", body, map[string]string{"m": "1"}))
+	if _, err := svc.Get("test-bucket", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Head("test-bucket", "k"); err != nil {
+		t.Fatal(err)
+	}
+	must(t, svc.Copy("test-bucket", "k", "test-bucket", "k2", nil))
+	if _, err := svc.List("test-bucket", "", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	must(t, svc.Delete("test-bucket", "k2"))
+
+	u := meter.Snapshot()
+	if got := u.OpCount(billing.S3, "PUT"); got != 1 {
+		t.Fatalf("PUT count = %d", got)
+	}
+	if got := u.OpCount(billing.S3, "GET"); got != 1 {
+		t.Fatalf("GET count = %d", got)
+	}
+	if got := u.OpCount(billing.S3, "COPY"); got != 1 {
+		t.Fatalf("COPY count = %d", got)
+	}
+	if got := u.OpsByTier(billing.S3, billing.TierMutation); got != 3 { // PUT+COPY+LIST
+		t.Fatalf("mutation-tier ops = %d, want 3", got)
+	}
+	if got := u.BytesIn(billing.S3); got != 1002 { // body + metadata "m"+"1"
+		t.Fatalf("BytesIn = %d, want 1002", got)
+	}
+	// COPY must not bill transfer: bytes out come from GET (1002), HEAD (2)
+	// and the LIST entries for keys "k" and "k2" (65 + 66).
+	if got := u.BytesOut(billing.S3); got != 1002+2+65+66 {
+		t.Fatalf("BytesOut = %d, want %d", got, 1002+2+65+66)
+	}
+	// Storage: original object resident + copy resident - deleted copy.
+	if got := u.Storage(billing.S3); got != 1002 {
+		t.Fatalf("Storage = %d, want 1002", got)
+	}
+}
+
+func TestStorageAccountingOnOverwrite(t *testing.T) {
+	svc, _, meter := newTestService(t)
+	meter.Reset()
+	must(t, svc.Put("test-bucket", "k", bytes.Repeat([]byte("a"), 500), nil))
+	must(t, svc.Put("test-bucket", "k", bytes.Repeat([]byte("b"), 200), nil))
+	if got := meter.Snapshot().Storage(billing.S3); got != 200 {
+		t.Fatalf("Storage after overwrite = %d, want 200", got)
+	}
+}
+
+func TestPutGetQuick(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	i := 0
+	f := func(raw []byte) bool {
+		i++
+		if len(raw) == 0 {
+			return true
+		}
+		key := fmt.Sprintf("q/%d", i)
+		if err := svc.Put("test-bucket", key, raw, nil); err != nil {
+			return false
+		}
+		obj, err := svc.Get("test-bucket", key)
+		return err == nil && bytes.Equal(obj.Body, raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

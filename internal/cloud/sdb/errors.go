@@ -1,0 +1,59 @@
+package sdb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error codes mirroring the AWS SimpleDB error model.
+var (
+	// ErrNoSuchDomain is returned for operations on a missing domain.
+	ErrNoSuchDomain = errors.New("NoSuchDomain")
+	// ErrDomainExists is returned by CreateDomain on a name collision.
+	ErrDomainExists = errors.New("DomainAlreadyExists")
+	// ErrInvalidName is returned for malformed domain, item or attribute
+	// names.
+	ErrInvalidName = errors.New("InvalidParameterValue")
+	// ErrTooLarge is returned when an attribute name or value exceeds
+	// MaxNameValueLen (1 KB, paper §2.2).
+	ErrTooLarge = errors.New("InvalidParameterValue: value exceeds 1024 bytes")
+	// ErrTooManyAttrsPerCall is returned when one PutAttributes carries
+	// more than MaxAttrsPerCall attributes (100, paper §4.2 step 3).
+	ErrTooManyAttrsPerCall = errors.New("NumberSubmittedAttributesExceeded")
+	// ErrTooManyAttrsPerItem is returned when an item would exceed
+	// MaxAttrsPerItem attribute-value pairs (256, paper §2.2).
+	ErrTooManyAttrsPerItem = errors.New("NumberDomainAttributesExceeded")
+	// ErrNoSuchItem is returned by GetAttributes for a missing item.
+	// (Real SimpleDB returns an empty set; the explicit error makes
+	// protocol code clearer and callers that want the soft behaviour use
+	// GetAttributes' ok result.)
+	ErrNoSuchItem = errors.New("NoSuchItem")
+	// ErrInvalidQuery is returned for unparsable query or select
+	// expressions.
+	ErrInvalidQuery = errors.New("InvalidQueryExpression")
+	// ErrInvalidNextToken is returned for corrupt pagination tokens.
+	ErrInvalidNextToken = errors.New("InvalidNextToken")
+)
+
+// APIError carries the failing operation and target alongside the code.
+type APIError struct {
+	Op     string
+	Domain string
+	Item   string
+	Err    error
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	if e.Item == "" {
+		return fmt.Sprintf("sdb: %s %s: %v", e.Op, e.Domain, e.Err)
+	}
+	return fmt.Sprintf("sdb: %s %s[%s]: %v", e.Op, e.Domain, e.Item, e.Err)
+}
+
+// Unwrap exposes the sentinel code to errors.Is.
+func (e *APIError) Unwrap() error { return e.Err }
+
+func opErr(op, domain, item string, code error) error {
+	return &APIError{Op: op, Domain: domain, Item: item, Err: code}
+}

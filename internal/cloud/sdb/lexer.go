@@ -1,0 +1,197 @@
+package sdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer output for the two SimpleDB query languages.
+type tokenKind int
+
+const (
+	tokEOF      tokenKind = iota
+	tokString             // 'quoted' (quotes stripped, '' unescaped)
+	tokWord               // bare identifier/keyword: and, or, select, count ...
+	tokOp                 // comparison operator: = != < <= > >= starts-with ...
+	tokLBracket           // [
+	tokRBracket           // ]
+	tokLParen             // (
+	tokRParen             // )
+	tokComma              // ,
+	tokStar               // *
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return "string"
+	case tokWord:
+		return "word"
+	case tokOp:
+		return "operator"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokStar:
+		return "'*'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes SimpleDB Query and Select expressions. Both languages use
+// single-quoted strings with doubled-quote escaping, bare keywords, bracket
+// or parenthesis grouping, and the same comparison operators.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// lexError reports a malformed expression.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("position %d: %s", e.pos, e.msg)
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		return l.lexString()
+	case c == '[':
+		l.pos++
+		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case c == ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, &lexError{pos: start, msg: "expected '=' after '!'"}
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "<=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: "<", pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: ">", pos: start}, nil
+	case isWordByte(c):
+		for l.pos < len(l.src) && isWordByte(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		// Multi-word operators written with hyphens lex as single words:
+		// starts-with, does-not-start-with.
+		switch strings.ToLower(word) {
+		case "starts-with", "does-not-start-with":
+			return token{kind: tokOp, text: strings.ToLower(word), pos: start}, nil
+		}
+		return token{kind: tokWord, text: word, pos: start}, nil
+	default:
+		return token{}, &lexError{pos: start, msg: fmt.Sprintf("unexpected character %q", c)}
+	}
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // '' escapes a quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, &lexError{pos: start, msg: "unterminated string"}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.'
+}
+
+// tokenize runs the lexer to completion.
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+// QuoteString renders s as a SimpleDB string literal, escaping quotes.
+// Protocol code uses it when assembling query expressions from data.
+func QuoteString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

@@ -1,0 +1,293 @@
+package sdb
+
+// Model-based property tests: the indexed query engine is checked against a
+// brute-force reference evaluation over randomly generated domains and
+// randomly generated (valid) query expressions. Any divergence between the
+// two is a bug in the index, the parser, or the evaluator.
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"passcloud/internal/cloud/billing"
+	"passcloud/internal/sim"
+)
+
+// modelItem mirrors a stored item for the reference evaluation.
+type modelItem struct {
+	name  string
+	attrs []Attr
+}
+
+// refComparison evaluates one comparison against one value, mirroring the
+// documented operator semantics.
+func refComparison(op, operand, value string) bool {
+	switch op {
+	case "=":
+		return operand == value
+	case "!=":
+		return operand != value
+	case "<":
+		return operand < value
+	case ">":
+		return operand > value
+	case "starts-with":
+		return strings.HasPrefix(operand, value)
+	default:
+		return false
+	}
+}
+
+// refPredicate: does any single value of attr satisfy all/any comparisons?
+// Mirrors the single-attribute predicate semantics: the comparisons combine
+// with one connective (the generator only emits homogeneous connectives to
+// keep the reference evaluation obviously correct).
+func refPredicate(item modelItem, attr string, comps []refComp, conj bool) bool {
+	for _, a := range item.attrs {
+		if a.Name != attr {
+			continue
+		}
+		matched := conj
+		for _, c := range comps {
+			ok := refComparison(c.op, a.Value, c.value)
+			if conj {
+				matched = matched && ok
+			} else {
+				matched = matched || ok
+			}
+		}
+		if matched {
+			return true
+		}
+	}
+	return false
+}
+
+type refComp struct{ op, value string }
+
+// genDomain builds a random set of items over small alphabets so that
+// collisions (shared values, multi-valued attributes) actually happen.
+func genDomain(rng *sim.RNG, n int) []modelItem {
+	attrs := []string{"color", "size", "year"}
+	values := []string{"red", "blue", "green", "small", "large", "1999", "2005", "2009"}
+	items := make([]modelItem, 0, n)
+	for i := 0; i < n; i++ {
+		item := modelItem{name: fmt.Sprintf("item%03d", i)}
+		nAttrs := 1 + rng.Intn(4)
+		for a := 0; a < nAttrs; a++ {
+			item.attrs = append(item.attrs, Attr{
+				Name:  attrs[rng.Intn(len(attrs))],
+				Value: values[rng.Intn(len(values))],
+			})
+		}
+		// Deduplicate (name,value) pairs as the service does.
+		seen := map[Attr]bool{}
+		var uniq []Attr
+		for _, a := range item.attrs {
+			if !seen[a] {
+				seen[a] = true
+				uniq = append(uniq, a)
+			}
+		}
+		item.attrs = uniq
+		items = append(items, item)
+	}
+	return items
+}
+
+// genPredicate builds a random single-attribute predicate and its reference
+// closure.
+func genPredicate(rng *sim.RNG) (expr string, attr string, comps []refComp, conj bool) {
+	attrs := []string{"color", "size", "year"}
+	values := []string{"red", "blue", "green", "small", "large", "1999", "2005", "2009"}
+	ops := []string{"=", "!=", "<", ">", "starts-with"}
+
+	attr = attrs[rng.Intn(len(attrs))]
+	n := 1 + rng.Intn(2)
+	conj = rng.Intn(2) == 0
+	connective := " and "
+	if !conj {
+		connective = " or "
+	}
+	var parts []string
+	for i := 0; i < n; i++ {
+		op := ops[rng.Intn(len(ops))]
+		value := values[rng.Intn(len(values))]
+		comps = append(comps, refComp{op: op, value: value})
+		parts = append(parts, fmt.Sprintf("'%s' %s %s", attr, op, QuoteString(value)))
+	}
+	return "[" + strings.Join(parts, connective) + "]", attr, comps, conj
+}
+
+func TestQueryMatchesReferenceModelQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		items := genDomain(rng, 30+rng.Intn(40))
+
+		svc := New(Config{
+			Replicas: 1, // strong consistency: the model has no replicas
+			Clock:    sim.NewVirtualClock(),
+			RNG:      sim.NewRNG(seed + 1),
+			Meter:    &billing.Meter{},
+		})
+		if err := svc.CreateDomain("d"); err != nil {
+			return false
+		}
+		for _, item := range items {
+			ras := make([]ReplaceableAttr, len(item.attrs))
+			for i, a := range item.attrs {
+				ras[i] = ReplaceableAttr{Name: a.Name, Value: a.Value}
+			}
+			if err := svc.PutAttributes("d", item.name, ras); err != nil {
+				return false
+			}
+		}
+
+		// A few random queries: single predicate, and two predicates
+		// joined by each set operator.
+		for trial := 0; trial < 6; trial++ {
+			e1, a1, c1, j1 := genPredicate(rng)
+			e2, a2, c2, j2 := genPredicate(rng)
+			setOps := []string{"", "intersection", "union", "not"}
+			setOp := setOps[rng.Intn(len(setOps))]
+
+			expr := e1
+			if setOp != "" {
+				expr = e1 + " " + setOp + " " + e2
+			}
+
+			// Reference evaluation.
+			var want []string
+			for _, item := range items {
+				in1 := refPredicate(item, a1, c1, j1)
+				ok := in1
+				if setOp != "" {
+					in2 := refPredicate(item, a2, c2, j2)
+					switch setOp {
+					case "intersection":
+						ok = in1 && in2
+					case "union":
+						ok = in1 || in2
+					case "not":
+						ok = in1 && !in2
+					}
+				}
+				if ok {
+					want = append(want, item.name)
+				}
+			}
+			sort.Strings(want)
+
+			// Engine evaluation, across pagination.
+			var got []string
+			token := ""
+			for {
+				res, err := svc.Query("d", expr, 7, token)
+				if err != nil {
+					t.Logf("query %q failed: %v", expr, err)
+					return false
+				}
+				got = append(got, res.ItemNames...)
+				if res.NextToken == "" {
+					break
+				}
+				token = res.NextToken
+			}
+			sort.Strings(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("expr %q:\n got  %v\n want %v", expr, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectMatchesReferenceModelQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		items := genDomain(rng, 25+rng.Intn(30))
+
+		svc := New(Config{
+			Replicas: 1,
+			Clock:    sim.NewVirtualClock(),
+			RNG:      sim.NewRNG(seed + 1),
+			Meter:    &billing.Meter{},
+		})
+		if err := svc.CreateDomain("d"); err != nil {
+			return false
+		}
+		for _, item := range items {
+			ras := make([]ReplaceableAttr, len(item.attrs))
+			for i, a := range item.attrs {
+				ras[i] = ReplaceableAttr{Name: a.Name, Value: a.Value}
+			}
+			if err := svc.PutAttributes("d", item.name, ras); err != nil {
+				return false
+			}
+		}
+
+		values := []string{"red", "blue", "1999", "2009", "small"}
+		for trial := 0; trial < 5; trial++ {
+			v1 := values[rng.Intn(len(values))]
+			v2 := values[rng.Intn(len(values))]
+			expr := fmt.Sprintf(
+				"select itemName() from d where color = '%s' or (year > '%s' and size is not null)", v1, v2)
+
+			var want []string
+			for _, item := range items {
+				colorMatch := false
+				yearMatch := false
+				sizePresent := false
+				for _, a := range item.attrs {
+					if a.Name == "color" && a.Value == v1 {
+						colorMatch = true
+					}
+					if a.Name == "year" && a.Value > v2 {
+						yearMatch = true
+					}
+					if a.Name == "size" {
+						sizePresent = true
+					}
+				}
+				if colorMatch || (yearMatch && sizePresent) {
+					want = append(want, item.name)
+				}
+			}
+			sort.Strings(want)
+
+			var got []string
+			token := ""
+			for {
+				res, err := svc.Select(expr, token)
+				if err != nil {
+					t.Logf("select %q failed: %v", expr, err)
+					return false
+				}
+				for _, it := range res.Items {
+					got = append(got, it.Name)
+				}
+				if res.NextToken == "" {
+					break
+				}
+				token = res.NextToken
+			}
+			sort.Strings(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("expr %q:\n got  %v\n want %v", expr, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

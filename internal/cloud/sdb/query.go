@@ -1,0 +1,444 @@
+package sdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"passcloud/internal/cloud/billing"
+)
+
+// This file implements the 2009 SimpleDB Query language (paper §2.2):
+//
+//	['attr' op 'value' {and|or} ...] {intersection|union|not} [...] ... [sort 'attr' [asc|desc]]
+//
+// Every comparison inside one bracketed predicate must reference the same
+// attribute; predicates over different attributes combine with the set
+// operators. A predicate matches an item when some single value of the
+// attribute satisfies the predicate's boolean combination — the documented
+// multi-valued-attribute rule. All comparisons are lexicographic on strings,
+// exactly like real SimpleDB (clients zero-pad numbers).
+
+// queryExpr is a parsed query: a chain of predicates combined left-to-right
+// with set operators, plus an optional sort.
+type queryExpr struct {
+	first    *predicate
+	rest     []setTerm
+	sortAttr string
+	sortDesc bool
+	hasSort  bool
+}
+
+type setTerm struct {
+	op   string // "intersection", "union", "not"
+	pred *predicate
+}
+
+// predicate is one bracketed group over a single attribute.
+type predicate struct {
+	attr string
+	// tree of comparisons combined with and/or, all over attr.
+	cond boolExpr
+}
+
+// boolExpr evaluates a predicate's condition against one attribute value.
+type boolExpr interface {
+	eval(value string) bool
+}
+
+type cmpExpr struct {
+	op    string
+	value string
+}
+
+func (c cmpExpr) eval(v string) bool {
+	switch c.op {
+	case "=":
+		return v == c.value
+	case "!=":
+		return v != c.value
+	case "<":
+		return v < c.value
+	case "<=":
+		return v <= c.value
+	case ">":
+		return v > c.value
+	case ">=":
+		return v >= c.value
+	case "starts-with":
+		return strings.HasPrefix(v, c.value)
+	case "does-not-start-with":
+		return !strings.HasPrefix(v, c.value)
+	default:
+		return false
+	}
+}
+
+type andExpr struct{ l, r boolExpr }
+
+func (a andExpr) eval(v string) bool { return a.l.eval(v) && a.r.eval(v) }
+
+type orExpr struct{ l, r boolExpr }
+
+func (o orExpr) eval(v string) bool { return o.l.eval(v) || o.r.eval(v) }
+
+// queryParser consumes a token stream.
+type queryParser struct {
+	toks []token
+	pos  int
+}
+
+func (p *queryParser) peek() token { return p.toks[p.pos] }
+
+func (p *queryParser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *queryParser) expect(kind tokenKind) (token, error) {
+	t := p.advance()
+	if t.kind != kind {
+		return t, fmt.Errorf("expected %v, got %v %q at %d", kind, t.kind, t.text, t.pos)
+	}
+	return t, nil
+}
+
+// parseQuery parses a complete query expression.
+func parseQuery(src string) (*queryExpr, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &queryParser{toks: toks}
+	q := &queryExpr{}
+
+	q.first, err = p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokWord {
+			word := strings.ToLower(t.text)
+			switch word {
+			case "intersection", "union", "not":
+				p.advance()
+				pred, err := p.parsePredicate()
+				if err != nil {
+					return nil, err
+				}
+				q.rest = append(q.rest, setTerm{op: word, pred: pred})
+				continue
+			case "sort":
+				p.advance()
+				attrTok, err := p.expect(tokString)
+				if err != nil {
+					return nil, err
+				}
+				q.sortAttr = attrTok.text
+				q.hasSort = true
+				if t := p.peek(); t.kind == tokWord {
+					switch strings.ToLower(t.text) {
+					case "asc":
+						p.advance()
+					case "desc":
+						p.advance()
+						q.sortDesc = true
+					}
+				}
+				continue
+			}
+		}
+		break
+	}
+	if _, err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// parsePredicate parses ['attr' op 'value' {and|or} 'attr' op 'value' ...].
+// All comparisons in one predicate must reference the same attribute.
+func (p *queryParser) parsePredicate() (*predicate, error) {
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	pred := &predicate{}
+	cond, err := p.parseComparison(pred)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.advance()
+		switch {
+		case t.kind == tokRBracket:
+			pred.cond = cond
+			return pred, nil
+		case t.kind == tokWord && strings.EqualFold(t.text, "and"):
+			next, err := p.parseComparison(pred)
+			if err != nil {
+				return nil, err
+			}
+			cond = andExpr{l: cond, r: next}
+		case t.kind == tokWord && strings.EqualFold(t.text, "or"):
+			next, err := p.parseComparison(pred)
+			if err != nil {
+				return nil, err
+			}
+			cond = orExpr{l: cond, r: next}
+		default:
+			return nil, fmt.Errorf("expected ']', 'and' or 'or', got %q at %d", t.text, t.pos)
+		}
+	}
+}
+
+// parseComparison parses 'attr' op 'value', recording or checking the
+// predicate's single attribute.
+func (p *queryParser) parseComparison(pred *predicate) (boolExpr, error) {
+	attrTok, err := p.expect(tokString)
+	if err != nil {
+		return nil, err
+	}
+	if pred.attr == "" {
+		pred.attr = attrTok.text
+	} else if pred.attr != attrTok.text {
+		return nil, fmt.Errorf("predicate mixes attributes %q and %q at %d; use intersection between predicates",
+			pred.attr, attrTok.text, attrTok.pos)
+	}
+	opTok, err := p.expect(tokOp)
+	if err != nil {
+		return nil, err
+	}
+	valTok, err := p.expect(tokString)
+	if err != nil {
+		return nil, err
+	}
+	return cmpExpr{op: opTok.text, value: valTok.text}, nil
+}
+
+// evalPredicate returns the set of item names matching pred in view v.
+// Equality-only predicates are answered from the automatic index; other
+// operators iterate the per-attribute value index, which is still far
+// cheaper than scanning all items when attributes are selective.
+func evalPredicate(v *view, pred *predicate) map[string]struct{} {
+	out := make(map[string]struct{})
+	byValue := v.index[pred.attr]
+	for value, items := range byValue {
+		if pred.cond.eval(value) {
+			for item := range items {
+				out[item] = struct{}{}
+			}
+		}
+	}
+	return out
+}
+
+// evalQuery evaluates a parsed query against view v, returning matching item
+// names in result order (sorted by the sort attribute if present, item name
+// otherwise).
+func evalQuery(v *view, q *queryExpr) ([]string, error) {
+	acc := evalPredicate(v, q.first)
+	for _, term := range q.rest {
+		next := evalPredicate(v, term.pred)
+		switch term.op {
+		case "intersection":
+			for item := range acc {
+				if _, ok := next[item]; !ok {
+					delete(acc, item)
+				}
+			}
+		case "union":
+			for item := range next {
+				acc[item] = struct{}{}
+			}
+		case "not":
+			for item := range next {
+				delete(acc, item)
+			}
+		}
+	}
+
+	names := make([]string, 0, len(acc))
+	for item := range acc {
+		names = append(names, item)
+	}
+
+	if q.hasSort {
+		// Real SimpleDB drops items lacking the sort attribute.
+		filtered := names[:0]
+		keys := make(map[string]string, len(names))
+		for _, item := range names {
+			if val, ok := minAttrValue(v.items[item], q.sortAttr); ok {
+				keys[item] = val
+				filtered = append(filtered, item)
+			}
+		}
+		names = filtered
+		sort.Slice(names, func(i, j int) bool {
+			ki, kj := keys[names[i]], keys[names[j]]
+			if ki != kj {
+				if q.sortDesc {
+					return ki > kj
+				}
+				return ki < kj
+			}
+			return names[i] < names[j]
+		})
+		return names, nil
+	}
+
+	sort.Strings(names)
+	return names, nil
+}
+
+// minAttrValue returns the lexicographically smallest value of attr on the
+// item, for deterministic multi-valued sorting.
+func minAttrValue(attrs []Attr, name string) (string, bool) {
+	best, found := "", false
+	for _, a := range attrs {
+		if a.Name != name {
+			continue
+		}
+		if !found || a.Value < best {
+			best, found = a.Value, true
+		}
+	}
+	return best, found
+}
+
+// QueryResult is one page of item names.
+type QueryResult struct {
+	ItemNames []string
+	NextToken string
+}
+
+// QueryAttrResult is one page of items with attributes.
+type QueryAttrResult struct {
+	Items     []Item
+	NextToken string
+}
+
+// Query returns the names of items matching expr, at most maxResults
+// (default and cap QueryPageLimit) per page. An empty nextToken starts a new
+// query; pass the returned NextToken to continue. Pagination is pinned to
+// the replica that served the first page so one logical query observes one
+// snapshot.
+func (s *Service) Query(domainName, expr string, maxResults int, nextToken string) (*QueryResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, _, token, err := s.queryLocked("Query", domainName, expr, maxResults, nextToken, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{ItemNames: names, NextToken: token}, nil
+}
+
+// QueryWithAttributes is Query returning each matching item's attributes,
+// optionally restricted to attrNames (nil means all).
+func (s *Service) QueryWithAttributes(domainName, expr string, attrNames []string, maxResults int, nextToken string) (*QueryAttrResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, items, token, err := s.queryLocked("QueryWithAttributes", domainName, expr, maxResults, nextToken, true, attrNames)
+	if err != nil {
+		return nil, err
+	}
+	_ = names
+	return &QueryAttrResult{Items: items, NextToken: token}, nil
+}
+
+// queryLocked is the shared engine. Caller holds s.mu.
+func (s *Service) queryLocked(op, domainName, expr string, maxResults int, nextToken string, withAttrs bool, attrNames []string) ([]string, []Item, string, error) {
+	d, ok := s.domains[domainName]
+	if !ok {
+		return nil, nil, "", opErr(op, domainName, "", ErrNoSuchDomain)
+	}
+	s.cfg.Meter.Op(billing.SimpleDB, op, billing.TierBox)
+
+	q, err := parseQuery(expr)
+	if err != nil {
+		return nil, nil, "", opErr(op, domainName, "", fmt.Errorf("%w: %v", ErrInvalidQuery, err))
+	}
+	if maxResults <= 0 || maxResults > QueryPageLimit {
+		maxResults = QueryPageLimit
+	}
+
+	replicaIdx, offset, err := decodeToken(nextToken)
+	if err != nil {
+		return nil, nil, "", opErr(op, domainName, "", err)
+	}
+	if nextToken == "" {
+		replicaIdx = s.cfg.RNG.Intn(len(d.views))
+	}
+	v := d.views[replicaIdx%len(d.views)]
+	s.drain(v)
+
+	all, err := evalQuery(v, q)
+	if err != nil {
+		return nil, nil, "", opErr(op, domainName, "", fmt.Errorf("%w: %v", ErrInvalidQuery, err))
+	}
+	if offset > len(all) {
+		offset = len(all)
+	}
+	page := all[offset:]
+	token := ""
+	if len(page) > maxResults {
+		page = page[:maxResults]
+		token = encodeToken(replicaIdx, offset+maxResults)
+	}
+
+	var outBytes int64
+	var items []Item
+	if withAttrs {
+		var filter map[string]bool
+		if len(attrNames) > 0 {
+			filter = make(map[string]bool, len(attrNames))
+			for _, n := range attrNames {
+				filter[n] = true
+			}
+		}
+		for _, name := range page {
+			item := Item{Name: name}
+			for _, a := range v.items[name] {
+				if filter == nil || filter[a.Name] {
+					item.Attrs = append(item.Attrs, a)
+					outBytes += int64(len(a.Name) + len(a.Value))
+				}
+			}
+			outBytes += int64(len(name))
+			items = append(items, item)
+		}
+	} else {
+		for _, name := range page {
+			outBytes += int64(len(name))
+		}
+	}
+	s.cfg.Meter.Out(billing.SimpleDB, outBytes)
+	return page, items, token, nil
+}
+
+func encodeToken(replica, offset int) string {
+	return strconv.Itoa(replica) + ":" + strconv.Itoa(offset)
+}
+
+func decodeToken(tok string) (replica, offset int, err error) {
+	if tok == "" {
+		return 0, 0, nil
+	}
+	parts := strings.SplitN(tok, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, ErrInvalidNextToken
+	}
+	replica, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, ErrInvalidNextToken
+	}
+	offset, err = strconv.Atoi(parts[1])
+	if err != nil || offset < 0 || replica < 0 {
+		return 0, 0, ErrInvalidNextToken
+	}
+	return replica, offset, nil
+}

@@ -1,0 +1,87 @@
+// Package content generates deterministic pseudo-random payloads.
+//
+// The paper's combined dataset is 1.27 GB of file data. Regenerating byte
+// streams from (seed, size) pairs — instead of keeping every payload resident
+// — lets the benchmark harness run the storage protocols at full paper scale
+// while the simulated S3 retains real bodies only at reduced scale. The same
+// seed always yields the same bytes, so MD5-based consistency checks behave
+// exactly as they would over stored data.
+package content
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+)
+
+// Bytes returns size deterministic pseudo-random bytes derived from seed.
+// Identical (seed, size) pairs always produce identical output.
+func Bytes(seed uint64, size int) []byte {
+	if size <= 0 {
+		return nil
+	}
+	out := make([]byte, size)
+	Fill(seed, out)
+	return out
+}
+
+// Fill writes the deterministic stream for seed into dst. It generates the
+// same prefix as Bytes(seed, len(dst)).
+func Fill(seed uint64, dst []byte) {
+	// xorshift64* — tiny, fast, and good enough for non-cryptographic
+	// payload synthesis. Zero seeds are remapped because xorshift fixed
+	// points at zero.
+	x := seed
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	i := 0
+	for i+8 <= len(dst) {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		binary.LittleEndian.PutUint64(dst[i:], x*0x2545F4914F6CDD1D)
+		i += 8
+	}
+	if i < len(dst) {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		var tail [8]byte
+		binary.LittleEndian.PutUint64(tail[:], x*0x2545F4914F6CDD1D)
+		copy(dst[i:], tail[:])
+	}
+}
+
+// MD5 returns the MD5 digest of the deterministic stream for (seed, size)
+// without materializing more than one block at a time. MD5 is the integrity
+// primitive the paper itself uses for its consistency records, so it is used
+// here deliberately despite being cryptographically broken.
+func MD5(seed uint64, size int) [md5.Size]byte {
+	h := md5.New()
+	const block = 64 * 1024
+	buf := make([]byte, block)
+	x := seed
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	remaining := size
+	for remaining > 0 {
+		n := block
+		if remaining < n {
+			n = remaining
+		}
+		// Reproduce Fill's stream incrementally: Fill is stateless per
+		// call, so chunked hashing must mirror its generator exactly.
+		for i := 0; i < n; i += 8 {
+			x ^= x >> 12
+			x ^= x << 25
+			x ^= x >> 27
+			binary.LittleEndian.PutUint64(buf[i:], x*0x2545F4914F6CDD1D)
+		}
+		h.Write(buf[:n])
+		remaining -= n
+	}
+	var sum [md5.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}

@@ -1,0 +1,129 @@
+// Package core defines the paper's primary contribution as Go interfaces:
+// a provenance-aware cloud store with three interchangeable architectures
+// (S3-only; S3+SimpleDB; S3+SimpleDB+SQS), the properties each must satisfy
+// (Table 1), and the query classes of the evaluation (Table 3).
+//
+// The architecture implementations live in the subpackages s3only, s3sdb and
+// s3sdbsqs; sdbprov holds the SimpleDB provenance layer the latter two
+// share.
+package core
+
+import (
+	"context"
+	"errors"
+
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+)
+
+// Errors shared by all architectures.
+var (
+	// ErrNotFound is returned by Get/Provenance for unknown objects.
+	ErrNotFound = errors.New("core: object not found")
+	// ErrInconsistent is returned when a read could not produce data with
+	// matching provenance within the retry budget — a read-correctness
+	// failure surfaced instead of hidden.
+	ErrInconsistent = errors.New("core: data and provenance inconsistent")
+	// ErrNoProvenance is returned when data exists but its provenance
+	// cannot be located — the atomicity-violation shape of §4.2.
+	ErrNoProvenance = errors.New("core: object has no provenance")
+)
+
+// Object is a retrieved object with its verified provenance.
+type Object struct {
+	// Ref is the object version the data corresponds to.
+	Ref prov.Ref
+	// Data is the object content.
+	Data []byte
+	// Records is the provenance of exactly this version.
+	Records []prov.Record
+}
+
+// Store is a provenance-aware cloud store. One Store instance corresponds
+// to one PASS client; its Put is wired as the pass.System flush function.
+type Store interface {
+	// Name identifies the architecture ("s3", "s3+sdb", "s3+sdb+sqs").
+	Name() string
+
+	// Put persists one PASS flush event: a file version with data, or a
+	// transient object version with provenance only. The paper's protocols
+	// run entirely inside Put.
+	Put(ctx context.Context, ev pass.FlushEvent) error
+
+	// Get retrieves the current version of object together with
+	// provenance that provably describes the returned bytes (read
+	// correctness, to the degree the architecture supports it).
+	Get(ctx context.Context, object prov.ObjectID) (*Object, error)
+
+	// Provenance returns the provenance records of one specific object
+	// version — the paper's Q.1 unit operation.
+	Provenance(ctx context.Context, ref prov.Ref) ([]prov.Record, error)
+
+	// Properties reports the architecture's Table 1 row as designed.
+	// The props package verifies these claims empirically.
+	Properties() Properties
+}
+
+// Flusher adapts a Store to pass.Config.Flush.
+func Flusher(ctx context.Context, s Store) pass.FlushFunc {
+	return func(ev pass.FlushEvent) error {
+		return s.Put(ctx, ev)
+	}
+}
+
+// Syncer is implemented by stores that buffer client-side state between
+// Puts (the S3-only architecture buffers transient provenance waiting for a
+// descendant's PUT to ride on). Callers should Sync after the last Put of a
+// session so trailing state persists.
+type Syncer interface {
+	Sync(ctx context.Context) error
+}
+
+// SyncStore syncs s if it buffers client-side state.
+func SyncStore(ctx context.Context, s Store) error {
+	if syncer, ok := s.(Syncer); ok {
+		return syncer.Sync(ctx)
+	}
+	return nil
+}
+
+// Properties is one row of Table 1.
+type Properties struct {
+	// Atomicity: provenance is recorded atomically with the data it
+	// describes (both or neither survive a crash).
+	Atomicity bool
+	// Consistency: retrieved data and provenance provably match.
+	Consistency bool
+	// CausalOrdering: ancestors' data and provenance are (eventually)
+	// recorded whenever a descendant is.
+	CausalOrdering bool
+	// EfficientQuery: provenance queries do not require scanning every
+	// object in the repository.
+	EfficientQuery bool
+}
+
+// ReadCorrectness is the composite property: atomicity and consistency.
+func (p Properties) ReadCorrectness() bool { return p.Atomicity && p.Consistency }
+
+// Querier answers the evaluation's three query classes (Table 3). All three
+// architectures implement it; the S3-only implementation necessarily scans.
+type Querier interface {
+	// AllProvenance retrieves the provenance of every object version in
+	// the repository — Q.1 "performed on all objects".
+	AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, error)
+
+	// OutputsOf finds every file version written by an instance of the
+	// named tool — Q.2 ("all the files that were outputs of blast").
+	OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error)
+
+	// DescendantsOfOutputs finds everything transitively derived from the
+	// named tool's outputs — Q.3 ("all the descendants of files derived
+	// from blast").
+	DescendantsOfOutputs(ctx context.Context, tool string) ([]prov.Ref, error)
+
+	// Dependents finds every object version that lists any version of
+	// object among its inputs. It powers the provenance-aware deletion
+	// guard (the paper's §7 direction: "how a cloud might take advantage
+	// of this provenance").
+	Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Ref, error)
+}

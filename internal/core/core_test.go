@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointerValueRoundTrip(t *testing.T) {
+	key, literal, isPtr := DecodeValue(PointerValue("prov/foo_2/0"))
+	if !isPtr || key != "prov/foo_2/0" || literal != "" {
+		t.Fatalf("pointer decode: %q %q %v", key, literal, isPtr)
+	}
+}
+
+func TestLiteralEscaping(t *testing.T) {
+	cases := []string{
+		"plain value",
+		"",
+		"\x1e starts with the mark",
+		"\x1e\x1e doubled",
+		"mid\x1edle",
+	}
+	for _, v := range cases {
+		key, literal, isPtr := DecodeValue(EscapeLiteral(v))
+		if isPtr {
+			t.Fatalf("literal %q decoded as pointer %q", v, key)
+		}
+		if literal != v {
+			t.Fatalf("literal %q round-tripped to %q", v, literal)
+		}
+	}
+}
+
+func TestLiteralEscapingQuick(t *testing.T) {
+	f := func(v string) bool {
+		_, literal, isPtr := DecodeValue(EscapeLiteral(v))
+		return !isPtr && literal == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointerLiteralSeparation(t *testing.T) {
+	// A pointer and an escaped literal with the same tail must not
+	// collide.
+	p := PointerValue("key")
+	l := EscapeLiteral("\x1ekey")
+	if p == l {
+		t.Fatal("pointer and escaped literal encode identically")
+	}
+}
+
+func TestPropertiesReadCorrectness(t *testing.T) {
+	p := Properties{Atomicity: true, Consistency: true}
+	if !p.ReadCorrectness() {
+		t.Fatal("atomicity+consistency should give read correctness")
+	}
+	p.Atomicity = false
+	if p.ReadCorrectness() {
+		t.Fatal("read correctness without atomicity")
+	}
+}
+
+func TestErrorsAreDistinct(t *testing.T) {
+	errs := []error{ErrNotFound, ErrInconsistent, ErrNoProvenance}
+	for i, a := range errs {
+		for j, b := range errs {
+			if i != j && a == b {
+				t.Fatalf("errors %d and %d identical", i, j)
+			}
+		}
+		if !strings.Contains(a.Error(), "core:") {
+			t.Fatalf("error %v missing package prefix", a)
+		}
+	}
+}
+
+func TestOverflowThresholdIs1KB(t *testing.T) {
+	if OverflowThreshold != 1024 {
+		t.Fatalf("OverflowThreshold = %d; the paper's limit is 1 KB", OverflowThreshold)
+	}
+}

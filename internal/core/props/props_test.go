@@ -1,0 +1,102 @@
+package props
+
+import (
+	"context"
+	"testing"
+)
+
+// TestTable1 reproduces the paper's properties matrix empirically. The
+// expected values are exactly Table 1:
+//
+//	Architecture   Atomicity  Consistency  CausalOrdering  EfficientQuery
+//	s3             yes        yes          yes             no
+//	s3+sdb         no         yes          yes             yes
+//	s3+sdb+sqs     yes        yes          yes             yes
+func TestTable1(t *testing.T) {
+	ctx := context.Background()
+	want := map[string][4]bool{
+		"s3":         {true, true, true, false},
+		"s3+sdb":     {false, true, true, true},
+		"s3+sdb+sqs": {true, true, true, true},
+	}
+	for _, h := range StandardHarnesses(7) {
+		h := h
+		t.Run(h.Name, func(t *testing.T) {
+			report, err := Check(ctx, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := want[h.Name]
+			got := [4]bool{
+				report.Measured.Atomicity,
+				report.Measured.Consistency,
+				report.Measured.CausalOrdering,
+				report.Measured.EfficientQuery,
+			}
+			if got != w {
+				t.Errorf("measured properties = %v, want %v (violations: %v)",
+					got, w, report.Violations)
+			}
+			// The measured row must match the architecture's claim.
+			claimed := [4]bool{
+				report.Claimed.Atomicity,
+				report.Claimed.Consistency,
+				report.Claimed.CausalOrdering,
+				report.Claimed.EfficientQuery,
+			}
+			if got != claimed {
+				t.Errorf("measured %v disagrees with claimed %v", got, claimed)
+			}
+		})
+	}
+}
+
+// TestAtomicityViolationIsRepaired confirms that the s3+sdb recovery path
+// (the orphan scan) repairs the violation the checker provokes.
+func TestAtomicityViolationIsRepaired(t *testing.T) {
+	ctx := context.Background()
+	for _, h := range StandardHarnesses(11) {
+		if h.Name != "s3+sdb" {
+			continue
+		}
+		report, err := Check(ctx, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Measured.Atomicity {
+			t.Fatal("s3+sdb measured atomic; the crash window was not provoked")
+		}
+		for _, v := range report.Violations {
+			if v == "atomicity: recovery failed to repair s3sdb/after-prov" {
+				t.Fatalf("orphan scan failed: %v", report.Violations)
+			}
+		}
+	}
+}
+
+// TestQueryCostSeparation pins the quantitative gap behind the
+// EfficientQuery column: the S3-only architecture must pay on the order of
+// one op per object, the SimpleDB-backed ones a small constant.
+func TestQueryCostSeparation(t *testing.T) {
+	ctx := context.Background()
+	ops := map[string]int64{}
+	for _, h := range StandardHarnesses(13) {
+		report, err := Check(ctx, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops[h.Name] = report.QueryOps
+		t.Logf("%s: %d ops over %d objects", h.Name, report.QueryOps, report.Objects)
+	}
+	if ops["s3"] < 60 {
+		t.Errorf("s3 query ops = %d; expected a full scan (>= one per object)", ops["s3"])
+	}
+	if ops["s3+sdb"] >= ops["s3"]/4 {
+		t.Errorf("s3+sdb query ops = %d vs s3 %d; expected an order-of-magnitude gap",
+			ops["s3+sdb"], ops["s3"])
+	}
+	if ops["s3+sdb+sqs"] >= ops["s3"]/4 {
+		t.Errorf("s3+sdb+sqs query ops = %d vs s3 %d; expected an order-of-magnitude gap",
+			ops["s3+sdb+sqs"], ops["s3"])
+	}
+}

@@ -1,0 +1,588 @@
+// Package s3only implements the paper's first architecture (§4.1, Figure 1):
+// PASS with S3 as the only storage substrate. Each file maps to an S3
+// object; its provenance travels as S3 user metadata in the very same PUT,
+// which is what gives this architecture read correctness for free —
+// "either both provenance and data are stored or they are both not stored".
+//
+// Two complications the paper describes are implemented faithfully:
+//
+//   - records whose values exceed 1 KB are stored as separate S3 objects
+//     and referenced by pointer from the metadata (one extra PUT each);
+//   - metadata beyond S3's 2 KB limit spills into a bundle object, which
+//     "introduces read correctness challenges and only worsens the query
+//     problem" — the bundle is written before the data PUT so a crash
+//     leaves garbage, never data without provenance.
+//
+// Transient objects (processes, pipes) have no S3 object of their own:
+// their records ride along in the metadata of the descendant file PUT that
+// triggered their flush. This matches the paper's op accounting, where the
+// only extra PUTs are the >1 KB overflow records.
+//
+// Querying is the architecture's weakness: "if we do not know the exact
+// object whose provenance we seek, then we might need to iterate over the
+// provenance of every object in the repository". The Querier implementation
+// does exactly that — LIST plus one HEAD per object plus one GET per
+// overflow object — so the metered cost exhibits the paper's Table 3 row.
+package s3only
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/s3"
+	"passcloud/internal/core"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+)
+
+// Reserved metadata keys (outside the provenance encoding).
+const (
+	metaVersion  = "x-ver"  // version of the stored object
+	metaOverflow = "x-over" // pointer to the spill bundle object
+)
+
+// Key layout within the bucket.
+const (
+	dataPrefix = "data"
+	provPrefix = "prov"
+)
+
+// budget is the metadata space left for provenance after reserved keys.
+const budget = s3.MaxMetadataSize - 64
+
+// Config parameterizes the store.
+type Config struct {
+	// Cloud supplies the S3 service. Required.
+	Cloud *cloud.Cloud
+	// Bucket is created if missing. Defaults to "pass".
+	Bucket string
+	// Faults optionally injects client crashes at protocol points.
+	Faults *sim.FaultPlan
+}
+
+// Store is the S3-only architecture.
+type Store struct {
+	cloud  *cloud.Cloud
+	bucket string
+	faults *sim.FaultPlan
+
+	mu sync.Mutex
+	// foreign buffers transient ancestors' records until the descendant
+	// file PUT they will ride on. Client-side state: a crash loses it,
+	// exactly like the paper's client-side caches.
+	foreign []prov.Record
+	// pnodeSeq numbers the marker objects Sync writes for trailing
+	// transient provenance.
+	pnodeSeq int
+}
+
+// New builds the store, creating its bucket if needed.
+func New(cfg Config) (*Store, error) {
+	if cfg.Cloud == nil {
+		return nil, errors.New("s3only: Config.Cloud is required")
+	}
+	if cfg.Bucket == "" {
+		cfg.Bucket = "pass"
+	}
+	if err := cfg.Cloud.S3.CreateBucket(cfg.Bucket); err != nil && !errors.Is(err, s3.ErrBucketAlreadyExists) {
+		return nil, err
+	}
+	return &Store{cloud: cfg.Cloud, bucket: cfg.Bucket, faults: cfg.Faults}, nil
+}
+
+// Name implements core.Store.
+func (s *Store) Name() string { return "s3" }
+
+// Properties implements core.Store: Table 1 row 1.
+func (s *Store) Properties() core.Properties {
+	return core.Properties{
+		Atomicity:      true,
+		Consistency:    true,
+		CausalOrdering: true,
+		EfficientQuery: false,
+	}
+}
+
+func dataKey(object prov.ObjectID) string { return dataPrefix + string(object) }
+
+func overflowKey(subject prov.Ref, n int) string {
+	return fmt.Sprintf("%s/%s/%d", provPrefix, prov.EncodeItemName(subject), n)
+}
+
+func bundleKey(subject prov.Ref) string {
+	return fmt.Sprintf("%s/%s/bundle", provPrefix, prov.EncodeItemName(subject))
+}
+
+// Put implements core.Store. Protocol (§4.1): read caches, convert the
+// provenance to attribute-value pairs, and issue a single PUT carrying the
+// object and its provenance.
+func (s *Store) Put(ctx context.Context, ev pass.FlushEvent) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !ev.Persistent() {
+		// Transient object: buffer; its records ride the next file PUT
+		// (its triggering descendant, by PASS flush order).
+		s.mu.Lock()
+		s.foreign = append(s.foreign, ev.Records...)
+		s.mu.Unlock()
+		return nil
+	}
+
+	if err := s.faults.Check("s3only/before-put"); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	foreign := s.foreign
+	s.foreign = nil
+	s.mu.Unlock()
+
+	meta, err := s.encodeMetadata(ev.Ref, ev.Records, foreign)
+	if err != nil {
+		// The buffered records were not persisted; restore them so a
+		// retried Put does not lose transient provenance.
+		s.mu.Lock()
+		s.foreign = append(foreign, s.foreign...)
+		s.mu.Unlock()
+		return err
+	}
+
+	// The single PUT: data and provenance stored atomically.
+	if err := s.cloud.S3.Put(s.bucket, dataKey(ev.Ref.Object), ev.Data, meta); err != nil {
+		return fmt.Errorf("s3only: data put: %w", err)
+	}
+	return s.faults.Check("s3only/after-put")
+}
+
+// encodeMetadata renders own + foreign records into S3 metadata, diverting
+// >1 KB values to overflow objects and spilling past-2KB remainder into a
+// bundle object. The overflow and bundle PUTs happen before the data PUT.
+func (s *Store) encodeMetadata(subject prov.Ref, own, foreign []prov.Record) (map[string]string, error) {
+	meta := map[string]string{
+		metaVersion: strconv.Itoa(int(subject.Version)),
+	}
+
+	overflowN := 0
+	size := len(metaVersion) + len(meta[metaVersion])
+	var spill []prov.Record
+
+	// encodeValue diverts >1 KB values to their own S3 objects ("There are
+	// 24,952 such records that result in an equal number of additional PUT
+	// operations") and escapes literals. It returns the stored form.
+	encodeValue := func(v string) (string, error) {
+		if len(v) <= core.OverflowThreshold {
+			return core.EscapeLiteral(v), nil
+		}
+		okey := overflowKey(subject, overflowN)
+		overflowN++
+		if err := s.cloud.S3.Put(s.bucket, okey, []byte(v), nil); err != nil {
+			return "", fmt.Errorf("s3only: overflow put: %w", err)
+		}
+		if err := s.faults.Check("s3only/after-overflow-put"); err != nil {
+			return "", err
+		}
+		return core.PointerValue(okey), nil
+	}
+
+	add := func(key string, rec prov.Record, foreignSubject bool) error {
+		value := rec.Value.String()
+		if rec.Value.Kind == prov.KindString {
+			var err error
+			value, err = encodeValue(value)
+			if err != nil {
+				return err
+			}
+		}
+		var entry string
+		if foreignSubject {
+			entry = rec.Subject.String() + fieldSep + rec.Attr + fieldSep + value
+		} else {
+			entry = rec.Attr + fieldSep + value
+		}
+		if size+len(key)+len(entry) > budget {
+			// No metadata room left: the record goes to the spill bundle,
+			// keeping its (possibly pointer-encoded) stored form.
+			if rec.Value.Kind == prov.KindString {
+				rec.Value = prov.StringValue(value)
+			}
+			spill = append(spill, rec)
+			return nil
+		}
+		meta[key] = entry
+		size += len(key) + len(entry)
+		return nil
+	}
+
+	for i, rec := range own {
+		if err := add(fmt.Sprintf("p-%d", i), rec, false); err != nil {
+			return nil, err
+		}
+	}
+	for i, rec := range foreign {
+		if err := add(fmt.Sprintf("q-%d", i), rec, true); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(spill) > 0 {
+		bkey := bundleKey(subject)
+		blob, err := prov.MarshalJSONRecords(spill)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.cloud.S3.Put(s.bucket, bkey, blob, nil); err != nil {
+			return nil, fmt.Errorf("s3only: bundle put: %w", err)
+		}
+		if err := s.faults.Check("s3only/after-bundle-put"); err != nil {
+			return nil, err
+		}
+		meta[metaOverflow] = bkey
+	}
+	return meta, nil
+}
+
+// fieldSep separates fields inside a metadata value.
+const fieldSep = "\x1f"
+
+// decodeEntry parses one metadata value, resolving overflow pointers.
+func (s *Store) decodeEntry(subject prov.Ref, key, entry string, foreign bool) (prov.Record, error) {
+	parts := strings.SplitN(entry, fieldSep, 3)
+	var attr, raw string
+	subj := subject
+	if foreign {
+		if len(parts) != 3 {
+			return prov.Record{}, fmt.Errorf("%w: foreign entry %q", prov.ErrMalformed, key)
+		}
+		ref, err := prov.ParseRef(parts[0])
+		if err != nil {
+			return prov.Record{}, err
+		}
+		subj, attr, raw = ref, parts[1], parts[2]
+	} else {
+		if len(parts) != 2 {
+			return prov.Record{}, fmt.Errorf("%w: entry %q", prov.ErrMalformed, key)
+		}
+		attr, raw = parts[0], parts[1]
+	}
+
+	okey, literal, isPtr := core.DecodeValue(raw)
+	if isPtr {
+		obj, err := s.cloud.S3.Get(s.bucket, okey)
+		if err != nil {
+			return prov.Record{}, fmt.Errorf("s3only: overflow get: %w", err)
+		}
+		literal = string(obj.Body)
+	}
+
+	if prov.IsRefAttr(attr) {
+		ref, err := prov.ParseRef(literal)
+		if err != nil {
+			return prov.Record{}, err
+		}
+		return prov.Record{Subject: subj, Attr: attr, Value: prov.RefValue(ref)}, nil
+	}
+	return prov.Record{Subject: subj, Attr: attr, Value: prov.StringValue(literal)}, nil
+}
+
+// decodeAll extracts every record (own and foreign) from an object's
+// metadata, resolving overflow pointers and the spill bundle.
+func (s *Store) decodeAll(object prov.ObjectID, meta map[string]string) (ref prov.Ref, records []prov.Record, err error) {
+	ver, err := strconv.Atoi(meta[metaVersion])
+	if err != nil {
+		return prov.Ref{}, nil, fmt.Errorf("%w: missing version metadata", prov.ErrMalformed)
+	}
+	ref = prov.Ref{Object: object, Version: prov.Version(ver)}
+
+	// Deterministic order: p-* then q-* by numeric suffix, then the
+	// bundle. Indexes may be sparse — records that spilled to the bundle
+	// leave gaps — so enumerate the keys rather than counting up.
+	decodePrefix := func(prefix string, foreign bool) error {
+		var idx []int
+		for k := range meta {
+			if strings.HasPrefix(k, prefix) {
+				n, err := strconv.Atoi(strings.TrimPrefix(k, prefix))
+				if err != nil {
+					return fmt.Errorf("%w: metadata key %q", prov.ErrMalformed, k)
+				}
+				idx = append(idx, n)
+			}
+		}
+		sort.Ints(idx)
+		for _, n := range idx {
+			key := prefix + strconv.Itoa(n)
+			rec, err := s.decodeEntry(ref, key, meta[key], foreign)
+			if err != nil {
+				return err
+			}
+			records = append(records, rec)
+		}
+		return nil
+	}
+	if err := decodePrefix("p-", false); err != nil {
+		return prov.Ref{}, nil, err
+	}
+	if err := decodePrefix("q-", true); err != nil {
+		return prov.Ref{}, nil, err
+	}
+	if bkey, ok := meta[metaOverflow]; ok {
+		obj, err := s.cloud.S3.Get(s.bucket, bkey)
+		if err != nil {
+			return prov.Ref{}, nil, fmt.Errorf("s3only: bundle get: %w", err)
+		}
+		spilled, err := prov.UnmarshalJSONRecords(obj.Body)
+		if err != nil {
+			return prov.Ref{}, nil, err
+		}
+		// Bundle string values carry the stored form: unescape literals
+		// and resolve overflow pointers.
+		for _, rec := range spilled {
+			if rec.Value.Kind == prov.KindString {
+				okey, literal, isPtr := core.DecodeValue(rec.Value.Str)
+				if isPtr {
+					oobj, err := s.cloud.S3.Get(s.bucket, okey)
+					if err != nil {
+						return prov.Ref{}, nil, fmt.Errorf("s3only: overflow get: %w", err)
+					}
+					literal = string(oobj.Body)
+				}
+				rec.Value = prov.StringValue(literal)
+			}
+			records = append(records, rec)
+		}
+	}
+	return ref, records, nil
+}
+
+// Get implements core.Store. One GET returns data and metadata together, so
+// the provenance always describes the returned bytes.
+func (s *Store) Get(ctx context.Context, object prov.ObjectID) (*core.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	obj, err := s.cloud.S3.Get(s.bucket, dataKey(object))
+	if err != nil {
+		if errors.Is(err, s3.ErrNoSuchKey) {
+			return nil, fmt.Errorf("%w: %s", core.ErrNotFound, object)
+		}
+		return nil, err
+	}
+	ref, records, err := s.decodeAll(object, obj.Metadata)
+	if err != nil {
+		return nil, err
+	}
+	// Keep only this subject's records for the result object.
+	var own []prov.Record
+	for _, r := range records {
+		if r.Subject == ref {
+			own = append(own, r)
+		}
+	}
+	return &core.Object{Ref: ref, Data: obj.Body, Records: own}, nil
+}
+
+// Provenance implements core.Store. For the current version of an object a
+// HEAD suffices ("the only way to read provenance is by issuing a HEAD call
+// on an object"); any other ref requires the full scan.
+func (s *Store) Provenance(ctx context.Context, ref prov.Ref) ([]prov.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	info, err := s.cloud.S3.Head(s.bucket, dataKey(ref.Object))
+	if err == nil {
+		cur, records, derr := s.decodeAll(ref.Object, info.Metadata)
+		if derr != nil {
+			return nil, derr
+		}
+		if cur == ref {
+			var own []prov.Record
+			for _, r := range records {
+				if r.Subject == ref {
+					own = append(own, r)
+				}
+			}
+			return own, nil
+		}
+	} else if !errors.Is(err, s3.ErrNoSuchKey) {
+		return nil, err
+	}
+
+	// Older version or transient subject: scan everything.
+	all, err := s.AllProvenance(ctx)
+	if err != nil {
+		return nil, err
+	}
+	records, ok := all[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", core.ErrNotFound, ref)
+	}
+	return records, nil
+}
+
+// AllProvenance implements core.Querier by iterating over the provenance of
+// every object in the repository: LIST pages, one HEAD per object, one GET
+// per overflow/bundle object. This is the cost Table 3 charges the S3-only
+// architecture for every query class.
+func (s *Store) AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, error) {
+	out := make(map[prov.Ref][]prov.Record)
+	infos, err := s.cloud.S3.ListAll(s.bucket, dataPrefix)
+	if err != nil {
+		return nil, err
+	}
+	for _, info := range infos {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		head, err := s.cloud.S3.Head(s.bucket, info.Key)
+		if err != nil {
+			continue // deleted between LIST and HEAD
+		}
+		object := prov.ObjectID(strings.TrimPrefix(info.Key, dataPrefix))
+		_, records, err := s.decodeAll(object, head.Metadata)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range records {
+			out[r.Subject] = append(out[r.Subject], r)
+		}
+	}
+	return out, nil
+}
+
+// scanGraph builds the full provenance graph by scanning.
+func (s *Store) scanGraph(ctx context.Context) (*prov.Graph, error) {
+	all, err := s.AllProvenance(ctx)
+	if err != nil {
+		return nil, err
+	}
+	g := prov.NewGraph()
+	for _, records := range all {
+		g.AddAll(records)
+	}
+	return g, nil
+}
+
+// OutputsOf implements core.Querier: find tool instances, then files whose
+// inputs include them. Both phases run over one scan, "the second phase
+// can, of course, be executed from a cache".
+func (s *Store) OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error) {
+	g, err := s.scanGraph(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return outputsFromGraph(g, tool), nil
+}
+
+// DescendantsOfOutputs implements core.Querier.
+func (s *Store) DescendantsOfOutputs(ctx context.Context, tool string) ([]prov.Ref, error) {
+	g, err := s.scanGraph(ctx)
+	if err != nil {
+		return nil, err
+	}
+	outputs := outputsFromGraph(g, tool)
+	seen := make(map[prov.Ref]bool)
+	var all []prov.Ref
+	for _, out := range outputs {
+		for _, d := range g.Descendants(out) {
+			if !seen[d] {
+				seen[d] = true
+				all = append(all, d)
+			}
+		}
+	}
+	return all, nil
+}
+
+// Dependents implements core.Querier: every subject whose inputs reference
+// any version of object. Like every other query here, it scans.
+func (s *Store) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Ref, error) {
+	g, err := s.scanGraph(ctx)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[prov.Ref]bool)
+	var out []prov.Ref
+	for _, subject := range g.Subjects() {
+		for _, in := range g.Inputs(subject) {
+			if in.Object == object && !seen[subject] {
+				seen[subject] = true
+				out = append(out, subject)
+			}
+		}
+	}
+	return out, nil
+}
+
+// outputsFromGraph is the shared phase-2 logic: files that list an instance
+// of tool among their inputs.
+func outputsFromGraph(g *prov.Graph, tool string) []prov.Ref {
+	instances := make(map[prov.Ref]bool)
+	for _, ref := range g.FindByAttr(prov.AttrName, tool) {
+		instances[ref] = true
+	}
+	var outputs []prov.Ref
+	for _, subject := range g.Subjects() {
+		isFile := false
+		for _, r := range g.Records(subject) {
+			if r.Attr == prov.AttrType && r.Value.String() == prov.TypeFile {
+				isFile = true
+				break
+			}
+		}
+		if !isFile {
+			continue
+		}
+		for _, in := range g.Inputs(subject) {
+			if instances[in] {
+				outputs = append(outputs, subject)
+				break
+			}
+		}
+	}
+	return outputs
+}
+
+// Sync persists any buffered transient provenance that no descendant PUT
+// carried (processes whose flush trailed the session's last file close).
+// The records ride a one-byte marker object so they remain discoverable by
+// the metadata scan, preserving this architecture's single-PUT atomicity.
+func (s *Store) Sync(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	foreign := s.foreign
+	s.foreign = nil
+	seq := s.pnodeSeq
+	s.pnodeSeq++
+	s.mu.Unlock()
+	if len(foreign) == 0 {
+		return nil
+	}
+
+	subject := prov.Ref{Object: prov.ObjectID(fmt.Sprintf("/.pnodes/%06d", seq)), Version: 0}
+	meta, err := s.encodeMetadata(subject, nil, foreign)
+	if err != nil {
+		s.mu.Lock()
+		s.foreign = append(foreign, s.foreign...)
+		s.mu.Unlock()
+		return err
+	}
+	if err := s.cloud.S3.Put(s.bucket, dataKey(subject.Object), []byte{'.'}, meta); err != nil {
+		return fmt.Errorf("s3only: pnode put: %w", err)
+	}
+	return nil
+}
+
+var (
+	_ core.Store   = (*Store)(nil)
+	_ core.Querier = (*Store)(nil)
+	_ core.Syncer  = (*Store)(nil)
+)

@@ -1,0 +1,344 @@
+package s3only
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/billing"
+	"passcloud/internal/core"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+)
+
+func newTestStore(t *testing.T, faults *sim.FaultPlan) (*Store, *cloud.Cloud) {
+	t.Helper()
+	cl := cloud.New(cloud.Config{Seed: 1})
+	st, err := New(Config{Cloud: cl, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, cl
+}
+
+func fileEvent(object string, version int, data string, records ...prov.Record) pass.FlushEvent {
+	ref := prov.Ref{Object: prov.ObjectID(object), Version: prov.Version(version)}
+	base := []prov.Record{
+		prov.NewString(ref, prov.AttrType, prov.TypeFile),
+		prov.NewString(ref, prov.AttrName, object),
+	}
+	return pass.FlushEvent{Ref: ref, Type: prov.TypeFile, Data: []byte(data), Records: append(base, records...)}
+}
+
+func procEvent(name string, pid int, records ...prov.Record) pass.FlushEvent {
+	ref := prov.Ref{Object: prov.ObjectID(fmt.Sprintf("proc/%d/%s", pid, name)), Version: 0}
+	base := []prov.Record{
+		prov.NewString(ref, prov.AttrType, prov.TypeProcess),
+		prov.NewString(ref, prov.AttrName, name),
+	}
+	return pass.FlushEvent{Ref: ref, Type: prov.TypeProcess, Records: append(base, records...)}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st, _ := newTestStore(t, nil)
+	ctx := context.Background()
+
+	ev := fileEvent("/out.dat", 0, "payload")
+	if err := st.Put(ctx, ev); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(ctx, "/out.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, []byte("payload")) {
+		t.Fatalf("data = %q", got.Data)
+	}
+	if got.Ref != ev.Ref {
+		t.Fatalf("ref = %v, want %v", got.Ref, ev.Ref)
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("records = %v", got.Records)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	st, _ := newTestStore(t, nil)
+	if _, err := st.Get(context.Background(), "/ghost"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestTransientRecordsRideDescendantPut(t *testing.T) {
+	st, cl := newTestStore(t, nil)
+	ctx := context.Background()
+
+	proc := procEvent("tool", 9)
+	puts := func() int64 { return cl.Usage().OpCount(billing.S3, "PUT") }
+	before := puts()
+	if err := st.Put(ctx, proc); err != nil {
+		t.Fatal(err)
+	}
+	// A transient flush alone must not touch S3 (paper: the only extra
+	// PUTs in this architecture come from >1 KB records).
+	if got := puts(); got != before {
+		t.Fatalf("transient flush issued %d PUTs", got-before)
+	}
+
+	file := fileEvent("/out.dat", 0, "x", prov.NewInput(
+		prov.Ref{Object: "/out.dat", Version: 0}, proc.Ref))
+	if err := st.Put(ctx, file); err != nil {
+		t.Fatal(err)
+	}
+	if got := puts(); got != before+1 {
+		t.Fatalf("file flush issued %d PUTs, want exactly 1", got-before)
+	}
+
+	// The process provenance is now retrievable (via the scan path).
+	records, err := st.Provenance(ctx, proc.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("process records = %v", records)
+	}
+}
+
+func TestOverflowRecordsBecomeSeparateObjects(t *testing.T) {
+	st, cl := newTestStore(t, nil)
+	ctx := context.Background()
+
+	bigEnv := strings.Repeat("E", 1500) // > 1 KB: must overflow
+	ref := prov.Ref{Object: "/out.dat", Version: 0}
+	ev := fileEvent("/out.dat", 0, "x",
+		prov.NewString(ref, prov.AttrEnv, bigEnv))
+
+	before := cl.Usage().OpCount(billing.S3, "PUT")
+	if err := st.Put(ctx, ev); err != nil {
+		t.Fatal(err)
+	}
+	delta := cl.Usage().OpCount(billing.S3, "PUT") - before
+	if delta != 2 { // overflow object + data object
+		t.Fatalf("PUT delta = %d, want 2 (one overflow)", delta)
+	}
+
+	got, err := st.Get(ctx, "/out.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range got.Records {
+		if r.Attr == prov.AttrEnv && r.Value.Str == bigEnv {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("overflowed value not resolved: %v", got.Records)
+	}
+}
+
+func TestMetadataSpillBundle(t *testing.T) {
+	st, _ := newTestStore(t, nil)
+	ctx := context.Background()
+
+	// Many sub-1KB records whose total exceeds the 2 KB metadata limit.
+	ref := prov.Ref{Object: "/fat.dat", Version: 0}
+	var extra []prov.Record
+	for i := 0; i < 20; i++ {
+		extra = append(extra, prov.NewString(ref, prov.AttrEnv, strings.Repeat("v", 200)))
+	}
+	if err := st.Put(ctx, fileEvent("/fat.dat", 0, "x", extra...)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(ctx, "/fat.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := 0
+	for _, r := range got.Records {
+		if r.Attr == prov.AttrEnv {
+			envs++
+		}
+	}
+	if envs != 20 {
+		t.Fatalf("recovered %d env records, want 20 (bundle lost records)", envs)
+	}
+}
+
+func TestAtomicityUnderCrash(t *testing.T) {
+	// Crash before the PUT: neither data nor provenance may exist.
+	faults := sim.NewFaultPlan()
+	faults.Arm("s3only/before-put")
+	st, _ := newTestStore(t, faults)
+	ctx := context.Background()
+
+	err := st.Put(ctx, fileEvent("/out.dat", 0, "x"))
+	if !errors.Is(err, sim.ErrCrash) {
+		t.Fatalf("err = %v, want injected crash", err)
+	}
+	if _, err := st.Get(ctx, "/out.dat"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("data visible after crash: %v", err)
+	}
+	all, err := st.AllProvenance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 0 {
+		t.Fatalf("provenance visible after crash: %v", all)
+	}
+}
+
+func TestReadCorrectnessUnderEventualConsistency(t *testing.T) {
+	// With propagation delays, reads may be stale — but data and
+	// provenance always match, because they travel in one PUT.
+	cl := cloud.New(cloud.Config{Seed: 7, MaxDelay: 10 * time.Second})
+	st, err := New(Config{Cloud: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for v := 0; v < 2; v++ {
+		ref := prov.Ref{Object: "/d", Version: prov.Version(v)}
+		ev := pass.FlushEvent{Ref: ref, Type: prov.TypeFile,
+			Data: []byte(fmt.Sprintf("gen%d", v)),
+			Records: []prov.Record{
+				prov.NewString(ref, prov.AttrType, prov.TypeFile),
+				prov.NewString(ref, prov.AttrEnv, fmt.Sprintf("gen%d", v)),
+			}}
+		if err := st.Put(ctx, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < 200; i++ {
+		obj, err := st.Get(ctx, "/d")
+		if errors.Is(err, core.ErrNotFound) {
+			continue // the serving replica has not seen any PUT yet: fine
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var envVal string
+		for _, r := range obj.Records {
+			if r.Attr == prov.AttrEnv {
+				envVal = r.Value.Str
+			}
+		}
+		if string(obj.Data) != envVal {
+			t.Fatalf("torn read: data %q with provenance %q", obj.Data, envVal)
+		}
+	}
+}
+
+func TestProvenanceCurrentVersionUsesHead(t *testing.T) {
+	st, cl := newTestStore(t, nil)
+	ctx := context.Background()
+	if err := st.Put(ctx, fileEvent("/x", 3, "v3")); err != nil {
+		t.Fatal(err)
+	}
+	before := cl.Usage().Ops(billing.S3)
+	ref := prov.Ref{Object: "/x", Version: 3}
+	records, err := st.Provenance(ctx, ref)
+	if err != nil || len(records) != 2 {
+		t.Fatalf("records = %v, %v", records, err)
+	}
+	if delta := cl.Usage().Ops(billing.S3) - before; delta > 2 {
+		t.Fatalf("current-version Provenance cost %d ops, want HEAD-only", delta)
+	}
+}
+
+func TestQueriesRequireFullScan(t *testing.T) {
+	st, cl := newTestStore(t, nil)
+	ctx := context.Background()
+
+	// blast -> out1; other -> out2.
+	blast := procEvent("blast", 1)
+	other := procEvent("other", 2)
+	out1 := fileEvent("/out1", 0, "a", prov.NewInput(prov.Ref{Object: "/out1"}, blast.Ref))
+	out2 := fileEvent("/out2", 0, "b", prov.NewInput(prov.Ref{Object: "/out2"}, other.Ref))
+	child := fileEvent("/child", 0, "c", prov.NewInput(prov.Ref{Object: "/child"}, prov.Ref{Object: "/out1"}))
+	for _, ev := range []pass.FlushEvent{blast, out1, other, out2, child} {
+		if err := st.Put(ctx, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := cl.Usage().OpCount(billing.S3, "HEAD")
+	outputs, err := st.OutputsOf(ctx, "blast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != 1 || outputs[0].Object != "/out1" {
+		t.Fatalf("OutputsOf = %v", outputs)
+	}
+	heads := cl.Usage().OpCount(billing.S3, "HEAD") - before
+	if heads < 3 {
+		t.Fatalf("query issued %d HEADs; expected one per stored object (full scan)", heads)
+	}
+
+	desc, err := st.DescendantsOfOutputs(ctx, "blast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc) != 1 || desc[0].Object != "/child" {
+		t.Fatalf("DescendantsOfOutputs = %v", desc)
+	}
+
+	all, err := st.AllProvenance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 { // 3 files + 2 processes
+		t.Fatalf("AllProvenance subjects = %d, want 5", len(all))
+	}
+}
+
+func TestPropertiesRow(t *testing.T) {
+	st, _ := newTestStore(t, nil)
+	p := st.Properties()
+	if !p.Atomicity || !p.Consistency || !p.CausalOrdering || p.EfficientQuery {
+		t.Fatalf("properties = %+v, want Table 1 row 1", p)
+	}
+	if !p.ReadCorrectness() {
+		t.Fatal("read correctness should hold")
+	}
+	if st.Name() != "s3" {
+		t.Fatalf("Name = %q", st.Name())
+	}
+}
+
+func TestFullWorkloadThroughStore(t *testing.T) {
+	st, _ := newTestStore(t, nil)
+	ctx := context.Background()
+	sys := pass.NewSystem(pass.Config{Flush: core.Flusher(ctx, st)})
+
+	if err := sys.Ingest("/in", []byte("input")); err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Exec(nil, pass.ExecSpec{Name: "tool", Argv: []string{"tool"}})
+	if err := sys.Read(p, "/in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Write(p, "/out", []byte("result"), pass.Truncate); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(p, "/out"); err != nil {
+		t.Fatal(err)
+	}
+
+	obj, err := st.Get(ctx, "/out")
+	if err != nil || string(obj.Data) != "result" {
+		t.Fatalf("Get = %v, %v", obj, err)
+	}
+	outputs, err := st.OutputsOf(ctx, "tool")
+	if err != nil || len(outputs) != 1 {
+		t.Fatalf("OutputsOf = %v, %v", outputs, err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package s3sdb implements the paper's second architecture (§4.2,
+// Figure 2): data in S3, provenance in SimpleDB. SimpleDB's automatic
+// indexing buys efficient queries; what the architecture gives up is
+// atomicity — "a client crashes after storing the provenance of object on
+// SimpleDB but before storing the object on S3. Clearly atomicity is
+// violated here as provenance is recorded but not the data."
+//
+// The write protocol follows §4.2 exactly:
+//
+//  1. convert each provenance record into attribute-value pairs; values
+//     above 1 KB go to S3 objects with pointers left behind;
+//  2. add the MD5(data‖nonce) consistency record;
+//  3. store the item with (possibly several) PutAttributes calls;
+//  4. PUT the data to S3 with the nonce in its metadata.
+//
+// Consistency survives eventual consistency because reads verify the MD5
+// and reissue until data and provenance agree (sdbprov.VerifiedGet).
+// Recovery from the atomicity hole is the inelegant full-domain orphan scan
+// the paper describes — implemented here as OrphanScan so the cost is
+// measurable.
+package s3sdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/s3"
+	"passcloud/internal/core"
+	"passcloud/internal/core/sdbprov"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+)
+
+// Config parameterizes the store.
+type Config struct {
+	// Cloud supplies S3 and SimpleDB. Required.
+	Cloud *cloud.Cloud
+	// Bucket and Domain follow sdbprov defaults when empty.
+	Bucket string
+	Domain string
+	// Faults optionally injects client crashes at protocol points.
+	Faults *sim.FaultPlan
+	// MaxReadRetries bounds the consistency retry loop.
+	MaxReadRetries int
+}
+
+// Store is the S3+SimpleDB architecture.
+type Store struct {
+	cloud  *cloud.Cloud
+	layer  *sdbprov.Layer
+	faults *sim.FaultPlan
+}
+
+// New builds the store, creating its bucket and domain if needed.
+func New(cfg Config) (*Store, error) {
+	if cfg.Cloud == nil {
+		return nil, errors.New("s3sdb: Config.Cloud is required")
+	}
+	layer, err := sdbprov.New(sdbprov.Config{
+		Cloud:          cfg.Cloud,
+		Bucket:         cfg.Bucket,
+		Domain:         cfg.Domain,
+		Faults:         cfg.Faults,
+		MaxReadRetries: cfg.MaxReadRetries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{cloud: cfg.Cloud, layer: layer, faults: cfg.Faults}, nil
+}
+
+// Name implements core.Store.
+func (s *Store) Name() string { return "s3+sdb" }
+
+// Properties implements core.Store: Table 1 row 2. No atomicity.
+func (s *Store) Properties() core.Properties {
+	return core.Properties{
+		Atomicity:      false,
+		Consistency:    true,
+		CausalOrdering: true,
+		EfficientQuery: true,
+	}
+}
+
+// Layer exposes the SimpleDB provenance layer (shared with queries/tests).
+func (s *Store) Layer() *sdbprov.Layer { return s.layer }
+
+// Put implements core.Store with the §4.2 protocol.
+func (s *Store) Put(ctx context.Context, ev pass.FlushEvent) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := s.faults.Check("s3sdb/before-put"); err != nil {
+		return err
+	}
+
+	var md5hex, nonce string
+	if ev.Persistent() {
+		// "the nonce is typically the file version" — plus entropy so a
+		// re-put of the same version is still distinguishable.
+		nonce = strconv.Itoa(int(ev.Ref.Version)) + "-" + s.cloud.RNG.Hex(4)
+		md5hex = sdbprov.ConsistencyMD5(ev.Data, nonce)
+	}
+
+	// Steps 2–3: provenance (and the MD5 record) into SimpleDB.
+	if err := s.layer.WriteItem(ev.Ref, ev.Records, md5hex, "s3sdb"); err != nil {
+		return err
+	}
+
+	if !ev.Persistent() {
+		return nil // transient subjects have no data object
+	}
+
+	// The atomicity hole: a crash here leaves provenance without data.
+	if err := s.faults.Check("s3sdb/after-prov"); err != nil {
+		return err
+	}
+
+	// Step 4: the data PUT carries the nonce in its metadata.
+	meta := map[string]string{
+		sdbprov.MetaNonce:   nonce,
+		sdbprov.MetaVersion: strconv.Itoa(int(ev.Ref.Version)),
+	}
+	if err := s.cloud.S3.Put(s.layer.Bucket(), sdbprov.DataKey(ev.Ref.Object), ev.Data, meta); err != nil {
+		return fmt.Errorf("s3sdb: data put: %w", err)
+	}
+	return s.faults.Check("s3sdb/after-data")
+}
+
+// Get implements core.Store via the verified-read protocol.
+func (s *Store) Get(ctx context.Context, object prov.ObjectID) (*core.Object, error) {
+	return s.layer.VerifiedGet(ctx, object)
+}
+
+// Provenance implements core.Store: one GetAttributes (plus pointer GETs).
+func (s *Store) Provenance(ctx context.Context, ref prov.Ref) ([]prov.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	records, _, ok, err := s.layer.FetchItem(ref)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", core.ErrNotFound, ref)
+	}
+	return records, nil
+}
+
+// AllProvenance implements core.Querier.
+func (s *Store) AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, error) {
+	return s.layer.AllProvenance(ctx)
+}
+
+// OutputsOf implements core.Querier.
+func (s *Store) OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error) {
+	return s.layer.OutputsOf(ctx, tool)
+}
+
+// DescendantsOfOutputs implements core.Querier.
+func (s *Store) DescendantsOfOutputs(ctx context.Context, tool string) ([]prov.Ref, error) {
+	return s.layer.DescendantsOfOutputs(ctx, tool)
+}
+
+// Dependents implements core.Querier with one indexed prefix query.
+func (s *Store) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Ref, error) {
+	return s.layer.Dependents(ctx, object)
+}
+
+// OrphanScan is the §4.2 recovery path: "On restart, the client could
+// recover by scanning SimpleDB for 'orphan provenance' and remove
+// provenance of objects that do not exist. However, this is an inelegant
+// solution as it involves a scan of the entire SimpleDB domain."
+//
+// An item is an orphan when it carries a consistency record (so it
+// described file data) but S3 holds no data at or beyond that version.
+// Returns the refs whose provenance was removed.
+func (s *Store) OrphanScan(ctx context.Context) ([]prov.Ref, error) {
+	var orphans []prov.Ref
+	token := ""
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := s.cloud.SDB.Select("select "+sdbprov.AttrMD5+" from "+s.layer.Domain(), token)
+		if err != nil {
+			return nil, err
+		}
+		for _, item := range res.Items {
+			ref, err := prov.ParseItemName(item.Name)
+			if err != nil {
+				continue
+			}
+			orphan, err := s.isOrphan(ref)
+			if err != nil {
+				return nil, err
+			}
+			if !orphan {
+				continue
+			}
+			if err := s.cloud.SDB.DeleteAttributes(s.layer.Domain(), item.Name, nil); err != nil {
+				return nil, err
+			}
+			orphans = append(orphans, ref)
+		}
+		if res.NextToken == "" {
+			return orphans, nil
+		}
+		token = res.NextToken
+	}
+}
+
+// isOrphan checks whether a persistent item's data is missing or older than
+// the provenance claims.
+func (s *Store) isOrphan(ref prov.Ref) (bool, error) {
+	info, err := s.cloud.S3.Head(s.layer.Bucket(), sdbprov.DataKey(ref.Object))
+	if err != nil {
+		if errors.Is(err, s3.ErrNoSuchKey) {
+			return true, nil
+		}
+		return false, err
+	}
+	ver, err := strconv.Atoi(info.Metadata[sdbprov.MetaVersion])
+	if err != nil {
+		return true, nil // data without version metadata cannot back an item
+	}
+	return prov.Version(ver) < ref.Version, nil
+}
+
+var (
+	_ core.Store   = (*Store)(nil)
+	_ core.Querier = (*Store)(nil)
+)

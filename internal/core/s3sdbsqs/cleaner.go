@@ -1,0 +1,62 @@
+package s3sdbsqs
+
+import (
+	"context"
+	"time"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/core/sdbprov"
+)
+
+// Cleaner reaps temporary objects abandoned by uncommitted transactions:
+// "the temporary objects that have been stored on S3, must be explicitly
+// removed if they belong to uncommitted transactions. We use a cleaner
+// daemon to remove temporary objects that have not been accessed for 4
+// days" (§4.3). Four days matches SQS retention, so by the time a
+// temporary object is old enough to reap, its transaction's WAL messages
+// are guaranteed gone and the transaction can never commit.
+type Cleaner struct {
+	cloud  *cloud.Cloud
+	bucket string
+
+	// MaxAge is the abandonment horizon (default 4 days).
+	MaxAge time.Duration
+}
+
+// NewCleaner builds a cleaner for a store's bucket.
+func NewCleaner(st *Store) *Cleaner {
+	return &Cleaner{
+		cloud:  st.cloud,
+		bucket: st.layer.Bucket(),
+		MaxAge: 4 * 24 * time.Hour,
+	}
+}
+
+// NewCleanerForLayer builds a cleaner directly over a provenance layer.
+func NewCleanerForLayer(c *cloud.Cloud, layer *sdbprov.Layer) *Cleaner {
+	return &Cleaner{cloud: c, bucket: layer.Bucket(), MaxAge: 4 * 24 * time.Hour}
+}
+
+// RunOnce deletes every temporary object older than MaxAge, returning how
+// many were removed.
+func (c *Cleaner) RunOnce(ctx context.Context) (int, error) {
+	infos, err := c.cloud.S3.ListAll(c.bucket, TmpPrefix)
+	if err != nil {
+		return 0, err
+	}
+	now := c.cloud.Clock.Now()
+	removed := 0
+	for _, info := range infos {
+		if err := ctx.Err(); err != nil {
+			return removed, err
+		}
+		if now.Sub(info.LastModified) <= c.MaxAge {
+			continue
+		}
+		if err := c.cloud.S3.Delete(c.bucket, info.Key); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}

@@ -1,0 +1,317 @@
+package s3sdbsqs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/s3"
+	"passcloud/internal/core/sdbprov"
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+)
+
+// CommitDaemon executes the §4.3 commit phase: "A separate daemon on the
+// client, the commit daemon, reads the log records from transactions that
+// have a commit record and pushes them to S3 and SimpleDB appropriately.
+// After transmitting all the operations for a transaction, the commit
+// daemon deletes the log records in the WAL queue."
+//
+// Replay safety relies on idempotency (§4.3): COPY keeps the temporary
+// object until the final delete, so a crash mid-commit simply reprocesses
+// the transaction — re-COPY and re-PutAttributes change nothing.
+type CommitDaemon struct {
+	cloud  *cloud.Cloud
+	layer  *sdbprov.Layer
+	queue  string
+	faults *sim.FaultPlan
+
+	// Threshold is the approximate queue depth that triggers a drain:
+	// "The daemon periodically monitors the WAL queue for the number of
+	// messages ... Once it exceeds a threshold, the daemon executes the
+	// commit phase."
+	Threshold int
+
+	// Visibility hides received messages while a drain is in progress.
+	Visibility time.Duration
+
+	// pending carries partially assembled transactions across rounds: due
+	// to SQS's eventual consistency "there may be times where the daemon
+	// receives the commit record of a transaction but does not receive all
+	// rest of the records".
+	pending map[string]*txState
+}
+
+// txState is one transaction under assembly.
+type txState struct {
+	begin    bool
+	count    int // messages expected after begin (commit included)
+	commit   bool
+	data     *walMessage
+	md5      *walMessage
+	provMsgs []walMessage
+	msgSeen  map[string]bool   // message IDs, so redelivery does not duplicate
+	receipts map[string]string // message ID -> latest receipt handle
+}
+
+// NewCommitDaemon builds a daemon for a store's WAL queue.
+func NewCommitDaemon(st *Store, faults *sim.FaultPlan) *CommitDaemon {
+	return &CommitDaemon{
+		cloud:      st.cloud,
+		layer:      st.layer,
+		queue:      st.queue,
+		faults:     faults,
+		Threshold:  1,
+		Visibility: 5 * time.Minute,
+		pending:    make(map[string]*txState),
+	}
+}
+
+// RunOnce performs one daemon cycle: check the approximate queue depth
+// against the threshold, and if reached (or force is set), drain the queue
+// and process every complete committed transaction. It returns the number
+// of transactions committed this round.
+func (d *CommitDaemon) RunOnce(ctx context.Context, force bool) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if !force {
+		n, err := d.cloud.SQS.ApproximateNumberOfMessages(d.queue)
+		if err != nil {
+			return 0, err
+		}
+		if n < d.Threshold {
+			return 0, nil
+		}
+	}
+	if err := d.drain(ctx); err != nil {
+		return 0, err
+	}
+	return d.processReady(ctx)
+}
+
+// Run loops RunOnce until the context ends, advancing through the poll
+// interval on the simulated clock. Examples use it; tests use RunOnce.
+func (d *CommitDaemon) Run(ctx context.Context, poll time.Duration) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := d.RunOnce(ctx, false); err != nil {
+			return err
+		}
+		d.cloud.Clock.Advance(poll)
+	}
+}
+
+// drain pulls messages until several consecutive receives come back empty —
+// the repeat-until-satisfied discipline SQS sampling demands.
+func (d *CommitDaemon) drain(ctx context.Context) error {
+	emptyRounds := 0
+	for emptyRounds < 4 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		batch, err := d.cloud.SQS.ReceiveMessage(d.queue, 10, d.Visibility)
+		if err != nil {
+			return err
+		}
+		if len(batch) == 0 {
+			emptyRounds++
+			continue
+		}
+		emptyRounds = 0
+		for _, m := range batch {
+			wal, err := decodeWAL(m.Body)
+			if err != nil {
+				// A corrupt message cannot belong to a valid commit;
+				// delete it so it stops churning.
+				_ = d.cloud.SQS.DeleteMessage(d.queue, m.ReceiptHandle)
+				continue
+			}
+			d.absorb(wal, m.ID, m.ReceiptHandle)
+		}
+	}
+	return nil
+}
+
+// absorb merges one received message into its transaction's state.
+func (d *CommitDaemon) absorb(wal walMessage, msgID, receipt string) {
+	tx := d.pending[wal.TxID]
+	if tx == nil {
+		tx = &txState{
+			msgSeen:  make(map[string]bool),
+			receipts: make(map[string]string),
+		}
+		d.pending[wal.TxID] = tx
+	}
+	tx.receipts[msgID] = receipt // always refresh: handles rotate per receive
+	if tx.msgSeen[msgID] {
+		return // redelivery of an already-absorbed message
+	}
+	tx.msgSeen[msgID] = true
+
+	switch wal.Kind {
+	case kindBegin:
+		tx.begin = true
+		tx.count = wal.Count
+	case kindCommit:
+		tx.commit = true
+	case kindData:
+		m := wal
+		tx.data = &m
+	case kindMD5:
+		m := wal
+		tx.md5 = &m
+	case kindProv:
+		tx.provMsgs = append(tx.provMsgs, wal)
+	}
+}
+
+// complete reports whether every message of the transaction has arrived.
+func (tx *txState) complete() bool {
+	if !tx.begin || !tx.commit {
+		return false
+	}
+	have := len(tx.provMsgs) + 1 // +1 commit
+	if tx.data != nil {
+		have++
+	}
+	if tx.md5 != nil {
+		have++
+	}
+	return have >= tx.count
+}
+
+// processReady commits every fully assembled transaction, in deterministic
+// object/version order within the round.
+func (d *CommitDaemon) processReady(ctx context.Context) (int, error) {
+	var ready []string
+	for txid, tx := range d.pending {
+		if tx.complete() {
+			ready = append(ready, txid)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		a, b := d.pending[ready[i]], d.pending[ready[j]]
+		ka, kb := txOrderKey(a), txOrderKey(b)
+		if ka != kb {
+			return ka < kb
+		}
+		return ready[i] < ready[j]
+	})
+
+	done := 0
+	for _, txid := range ready {
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
+		retry, err := d.commitTx(ctx, txid, d.pending[txid])
+		if err != nil {
+			return done, err
+		}
+		if retry {
+			continue // e.g. temp object not yet visible: next round
+		}
+		delete(d.pending, txid)
+		done++
+	}
+	return done, nil
+}
+
+// txOrderKey orders transactions by data destination and version so that
+// same-object versions commit in order within a round.
+func txOrderKey(tx *txState) string {
+	if tx.data == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s#%09d", tx.data.RealKey, tx.data.Version)
+}
+
+// commitTx executes the §4.3 commit steps for one transaction:
+//
+//	(b) COPY the object from its temporary name to its real name;
+//	(c) store the provenance records in SimpleDB (chunked PutAttributes);
+//	(d) delete the WAL messages, then delete the temporary object.
+//
+// retry is true when the transaction should be reattempted later (the
+// temporary object has not propagated to the serving replica yet).
+func (d *CommitDaemon) commitTx(ctx context.Context, txid string, tx *txState) (retry bool, err error) {
+	// (b) the data COPY. The temporary object's metadata already carries
+	// nonce and version; COPY preserves it.
+	if tx.data != nil {
+		err := d.cloud.S3.Copy(d.layer.Bucket(), tx.data.TmpKey, d.layer.Bucket(), tx.data.RealKey, nil)
+		if err != nil {
+			if errors.Is(err, s3.ErrNoSuchKey) {
+				return true, nil // not propagated yet; retry next round
+			}
+			return false, fmt.Errorf("s3sdbsqs: commit copy: %w", err)
+		}
+		if err := d.faults.Check("commit/after-copy"); err != nil {
+			return false, err
+		}
+	}
+
+	// (c) provenance into SimpleDB. Records were value-encoded during the
+	// log phase, so they go straight to WriteEncoded.
+	var all []prov.Record
+	var subject prov.Ref
+	haveSubject := false
+	for _, pm := range tx.provMsgs {
+		records, err := pm.decodeRecords()
+		if err != nil {
+			return false, err
+		}
+		if !haveSubject && pm.Item != "" {
+			subject, err = prov.ParseItemName(pm.Item)
+			if err != nil {
+				return false, err
+			}
+			haveSubject = true
+		}
+		all = append(all, records...)
+	}
+	md5hex := ""
+	if tx.md5 != nil {
+		md5hex = tx.md5.MD5
+		if !haveSubject {
+			subject, err = prov.ParseItemName(tx.md5.Item)
+			if err != nil {
+				return false, err
+			}
+			haveSubject = true
+		}
+	}
+	if haveSubject {
+		if err := d.layer.WriteEncoded(subject, all, md5hex, "commit"); err != nil {
+			return false, err
+		}
+		if err := d.faults.Check("commit/after-prov-write"); err != nil {
+			return false, err
+		}
+	}
+
+	// (d) delete the log records...
+	for _, receipt := range tx.receipts {
+		if err := d.cloud.SQS.DeleteMessage(d.queue, receipt); err != nil {
+			return false, err
+		}
+	}
+	if err := d.faults.Check("commit/after-delete-messages"); err != nil {
+		return false, err
+	}
+	// ...and only then the temporary object, preserving idempotent replay.
+	if tx.data != nil {
+		if err := d.cloud.S3.Delete(d.layer.Bucket(), tx.data.TmpKey); err != nil {
+			return false, err
+		}
+	}
+	return false, d.faults.Check("commit/after-tmp-delete")
+}
+
+// PendingTransactions reports how many transactions are partially
+// assembled — a test observability hook.
+func (d *CommitDaemon) PendingTransactions() int { return len(d.pending) }

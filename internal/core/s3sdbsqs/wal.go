@@ -1,0 +1,78 @@
+package s3sdbsqs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"passcloud/internal/cloud/sqs"
+	"passcloud/internal/prov"
+)
+
+// WAL message kinds (§4.3 log phase).
+const (
+	kindBegin  = "begin"  // opens a transaction; carries the record count
+	kindData   = "data"   // pointer to the temporary S3 object
+	kindProv   = "prov"   // a chunk of provenance records (≤ 8 KB)
+	kindMD5    = "md5"    // the consistency record for the data
+	kindCommit = "commit" // closes the transaction
+)
+
+// walMessage is the JSON envelope for every WAL queue message. SQS requires
+// Unicode text, which JSON guarantees.
+type walMessage struct {
+	TxID string `json:"tx"`
+	Kind string `json:"kind"`
+
+	// Count (begin only): how many messages follow begin, commit included.
+	// "record a begin record that has both the id and the number of
+	// records in the transaction on the WAL queue".
+	Count int `json:"count,omitempty"`
+
+	// Data-record fields: where the temporary object lives and where it
+	// must land, plus the nonce and version for the real object's
+	// metadata.
+	TmpKey  string `json:"tmp,omitempty"`
+	RealKey string `json:"real,omitempty"`
+	Nonce   string `json:"nonce,omitempty"`
+	Version int    `json:"ver,omitempty"`
+
+	// Item names the provenance subject for prov and md5 records.
+	Item string `json:"item,omitempty"`
+
+	// Records is a prov chunk payload (JSON array from prov.ChunkJSON).
+	Records json.RawMessage `json:"recs,omitempty"`
+
+	// MD5 is the consistency record value (md5 kind).
+	MD5 string `json:"md5,omitempty"`
+}
+
+// walChunkBudget is the space left for record payloads inside one SQS
+// message after envelope overhead.
+const walChunkBudget = sqs.MaxMessageSize - 256
+
+func (m walMessage) encode() (string, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	if len(b) > sqs.MaxMessageSize {
+		return "", fmt.Errorf("s3sdbsqs: WAL message %s/%s is %d bytes, exceeds the 8KB limit", m.TxID, m.Kind, len(b))
+	}
+	return string(b), nil
+}
+
+func decodeWAL(body string) (walMessage, error) {
+	var m walMessage
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		return walMessage{}, fmt.Errorf("s3sdbsqs: undecodable WAL message: %w", err)
+	}
+	if m.TxID == "" || m.Kind == "" {
+		return walMessage{}, fmt.Errorf("s3sdbsqs: WAL message missing tx or kind")
+	}
+	return m, nil
+}
+
+// decodeRecords unpacks a prov chunk into records.
+func (m walMessage) decodeRecords() ([]prov.Record, error) {
+	return prov.UnmarshalJSONRecords(m.Records)
+}

@@ -1,0 +1,580 @@
+// Package sdbprov is the SimpleDB provenance layer shared by the paper's
+// second and third architectures (§4.2, §4.3): provenance lives in SimpleDB
+// — one item per object version, one attribute-value pair per record — and
+// data lives in S3, with an MD5-of-data-plus-nonce record tying the two
+// together for consistency verification.
+//
+// The layer implements:
+//
+//   - the item encoding of §4.2 (ItemName=foo_2; input=bar:2; type=file),
+//     with values above 1 KB diverted to S3 objects and referenced by
+//     pointer ("We store any provenance values larger than the 1KB SimpleDB
+//     limit as separate S3 objects, referenced from SimpleDB");
+//   - chunked PutAttributes ("Since SimpleDB allows us to store only 100
+//     attributes per call, we might have to issue multiple PutAttributes
+//     calls");
+//   - the verified read: fetch data and provenance, compare
+//     MD5(data‖nonce) against the stored consistency record, and "reissue
+//     the query, retrieving data from S3 until we get consistent provenance
+//     and data";
+//   - the indexed query engine behind Table 3's SimpleDB column.
+package sdbprov
+
+import (
+	"context"
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/s3"
+	"passcloud/internal/cloud/sdb"
+	"passcloud/internal/core"
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+)
+
+// Reserved attribute names on provenance items.
+const (
+	// AttrMD5 holds hex(MD5(data ‖ nonce)) — the consistency record.
+	AttrMD5 = "x-md5"
+	// AttrMore points to an S3 object holding records beyond SimpleDB's
+	// 256-pairs-per-item limit. The paper's encoding ("all the provenance
+	// of an object version ... as attributes of one item") silently
+	// assumes items fit; a compile's linker reads thousands of inputs, so
+	// the limit is real and the excess spills, exactly like the >1 KB
+	// value rule.
+	AttrMore = "x-more"
+)
+
+// Reserved S3 metadata keys on data objects.
+const (
+	// MetaNonce is the nonce used in the consistency record. "The nonce is
+	// typically the file version" plus entropy against reuse.
+	MetaNonce = "x-nonce"
+	// MetaVersion is the version of the stored data.
+	MetaVersion = "x-ver"
+)
+
+// Key layout within the bucket.
+const (
+	// DataPrefix prefixes data object keys.
+	DataPrefix = "data"
+	// OverflowPrefix prefixes >1 KB record-value objects.
+	OverflowPrefix = "prov"
+)
+
+// ignoreAttrs are bookkeeping attributes skipped when decoding provenance.
+var ignoreAttrs = map[string]bool{AttrMD5: true, AttrMore: true}
+
+// Config parameterizes a Layer.
+type Config struct {
+	// Cloud supplies S3 and SimpleDB. Required.
+	Cloud *cloud.Cloud
+	// Bucket and Domain name the S3 bucket and SimpleDB domain; both are
+	// created if missing. Defaults: "pass" / "provenance".
+	Bucket string
+	Domain string
+	// Faults optionally injects crashes inside multi-step writes.
+	Faults *sim.FaultPlan
+	// MaxReadRetries bounds the consistency retry loop (default 16).
+	MaxReadRetries int
+	// RetryWait is called between consistency retries. The default
+	// advances the simulated clock by a quarter of the propagation
+	// horizon, modeling the real time a client would wait before
+	// reissuing.
+	RetryWait func()
+	// QueryChunk is the number of OR-ed values per ancestry query
+	// expression (default 32).
+	QueryChunk int
+}
+
+// Layer is the shared provenance store.
+type Layer struct {
+	cfg Config
+}
+
+// New builds the layer, creating bucket and domain if needed.
+func New(cfg Config) (*Layer, error) {
+	if cfg.Cloud == nil {
+		return nil, errors.New("sdbprov: Config.Cloud is required")
+	}
+	if cfg.Bucket == "" {
+		cfg.Bucket = "pass"
+	}
+	if cfg.Domain == "" {
+		cfg.Domain = "provenance"
+	}
+	if cfg.MaxReadRetries <= 0 {
+		cfg.MaxReadRetries = 16
+	}
+	if cfg.QueryChunk <= 0 {
+		cfg.QueryChunk = 32
+	}
+	if cfg.RetryWait == nil {
+		clock := cfg.Cloud.Clock
+		step := cfg.Cloud.S3.MaxDelay()/4 + time.Millisecond
+		cfg.RetryWait = func() { clock.Advance(step) }
+	}
+	if err := cfg.Cloud.S3.CreateBucket(cfg.Bucket); err != nil && !errors.Is(err, s3.ErrBucketAlreadyExists) {
+		return nil, err
+	}
+	if err := cfg.Cloud.SDB.CreateDomain(cfg.Domain); err != nil && !errors.Is(err, sdb.ErrDomainExists) {
+		return nil, err
+	}
+	return &Layer{cfg: cfg}, nil
+}
+
+// Bucket returns the S3 bucket name.
+func (l *Layer) Bucket() string { return l.cfg.Bucket }
+
+// Domain returns the SimpleDB domain name.
+func (l *Layer) Domain() string { return l.cfg.Domain }
+
+// Cloud returns the underlying cloud.
+func (l *Layer) Cloud() *cloud.Cloud { return l.cfg.Cloud }
+
+// DataKey returns the S3 key holding an object's data.
+func DataKey(object prov.ObjectID) string { return DataPrefix + string(object) }
+
+// overflowKey names the S3 object holding one >1 KB record value.
+func (l *Layer) overflowKey(subject prov.Ref, n int) string {
+	return fmt.Sprintf("%s/%s/%d", OverflowPrefix, prov.EncodeItemName(subject), n)
+}
+
+// ConsistencyMD5 computes the §4.2 consistency record: MD5 of the data
+// concatenated with the nonce. "The MD5sum of the data itself (without the
+// nonce) is sufficient ... except when a file is overwritten with the same
+// data", hence the nonce.
+func ConsistencyMD5(data []byte, nonce string) string {
+	h := md5.New()
+	h.Write(data)
+	h.Write([]byte(nonce))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// EncodeValues prepares records for storage: string values over 1 KB are
+// written to their own S3 objects (their PUTs count toward the paper's op
+// totals) and replaced by pointers; smaller literals are escaped. The
+// returned records carry the stored form and can travel through the WAL or
+// go straight to WriteEncoded.
+func (l *Layer) EncodeValues(subject prov.Ref, records []prov.Record, faultPrefix string) ([]prov.Record, error) {
+	out := make([]prov.Record, len(records))
+	overflowN := 0
+	for i, rec := range records {
+		if rec.Value.Kind != prov.KindString {
+			out[i] = rec
+			continue
+		}
+		value := rec.Value.Str
+		if len(value) > core.OverflowThreshold {
+			okey := l.overflowKey(subject, overflowN)
+			overflowN++
+			if err := l.cfg.Cloud.S3.Put(l.cfg.Bucket, okey, []byte(value), nil); err != nil {
+				return nil, fmt.Errorf("sdbprov: overflow put: %w", err)
+			}
+			if err := l.cfg.Faults.Check(faultPrefix + "/after-overflow-put"); err != nil {
+				return nil, err
+			}
+			value = core.PointerValue(okey)
+		} else {
+			value = core.EscapeLiteral(value)
+		}
+		rec.Value = prov.StringValue(value)
+		out[i] = rec
+	}
+	return out, nil
+}
+
+// WriteEncoded stores pre-encoded records (from EncodeValues) as one
+// SimpleDB item via chunked PutAttributes calls ("Since SimpleDB allows us
+// to store only 100 attributes per call, we might have to issue multiple
+// PutAttributes calls"). md5hex, when non-empty, adds the consistency
+// record. Records beyond the 256-pairs-per-item limit spill to an S3 object
+// referenced by the AttrMore attribute. faultPrefix scopes the crash points
+// so each caller's protocol is independently testable.
+func (l *Layer) WriteEncoded(subject prov.Ref, encoded []prov.Record, md5hex, faultPrefix string) error {
+	item := prov.EncodeItemName(subject)
+
+	// Reserve room for the bookkeeping attributes.
+	reserved := 1 // AttrMore slot
+	if md5hex != "" {
+		reserved++
+	}
+	inline := encoded
+	var spill []prov.Record
+	if len(encoded)+reserved > sdb.MaxAttrsPerItem {
+		cut := sdb.MaxAttrsPerItem - reserved
+		inline, spill = encoded[:cut], encoded[cut:]
+	}
+
+	attrs := make([]sdb.ReplaceableAttr, 0, len(inline)+reserved)
+	for _, rec := range inline {
+		attrs = append(attrs, sdb.ReplaceableAttr{Name: rec.Attr, Value: rec.Value.String()})
+	}
+	if md5hex != "" {
+		attrs = append(attrs, sdb.ReplaceableAttr{Name: AttrMD5, Value: md5hex, Replace: true})
+	}
+
+	if len(spill) > 0 {
+		blob, err := prov.MarshalJSONRecords(spill)
+		if err != nil {
+			return err
+		}
+		mkey := fmt.Sprintf("%s/%s/more", OverflowPrefix, item)
+		if err := l.cfg.Cloud.S3.Put(l.cfg.Bucket, mkey, blob, nil); err != nil {
+			return fmt.Errorf("sdbprov: spill put: %w", err)
+		}
+		if err := l.cfg.Faults.Check(faultPrefix + "/after-spill-put"); err != nil {
+			return err
+		}
+		attrs = append(attrs, sdb.ReplaceableAttr{Name: AttrMore, Value: mkey, Replace: true})
+	}
+
+	for start := 0; start < len(attrs); start += sdb.MaxAttrsPerCall {
+		end := start + sdb.MaxAttrsPerCall
+		if end > len(attrs) {
+			end = len(attrs)
+		}
+		if err := l.cfg.Cloud.SDB.PutAttributes(l.cfg.Domain, item, attrs[start:end]); err != nil {
+			return fmt.Errorf("sdbprov: put attributes: %w", err)
+		}
+		if err := l.cfg.Faults.Check(faultPrefix + "/after-putattrs-chunk"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteItem encodes and stores a subject's provenance in one step — the
+// direct (architecture 2) write path.
+func (l *Layer) WriteItem(subject prov.Ref, records []prov.Record, md5hex, faultPrefix string) error {
+	encoded, err := l.EncodeValues(subject, records, faultPrefix)
+	if err != nil {
+		return err
+	}
+	return l.WriteEncoded(subject, encoded, md5hex, faultPrefix)
+}
+
+// FetchItem retrieves and decodes a subject's provenance. ok is false when
+// the item is not (yet) visible.
+func (l *Layer) FetchItem(subject prov.Ref) (records []prov.Record, md5hex string, ok bool, err error) {
+	item := prov.EncodeItemName(subject)
+	attrs, ok, err := l.cfg.Cloud.SDB.GetAttributes(l.cfg.Domain, item)
+	if err != nil || !ok {
+		return nil, "", ok, err
+	}
+	records, md5hex, err = l.decodeAttrs(subject, attrs)
+	if err != nil {
+		return nil, "", false, err
+	}
+	return records, md5hex, true, nil
+}
+
+// decodeAttrs converts stored attributes back into records, resolving value
+// pointers (one GET each) and the item-spill object if present.
+func (l *Layer) decodeAttrs(subject prov.Ref, attrs []sdb.Attr) ([]prov.Record, string, error) {
+	var md5hex, moreKey string
+	out := make([]prov.Record, 0, len(attrs))
+	for _, a := range attrs {
+		switch a.Name {
+		case AttrMD5:
+			md5hex = a.Value
+			continue
+		case AttrMore:
+			moreKey = a.Value
+			continue
+		}
+		rec, err := l.decodeStored(subject, a.Name, a.Value)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, rec)
+	}
+	if moreKey != "" {
+		obj, err := l.cfg.Cloud.S3.Get(l.cfg.Bucket, moreKey)
+		if err != nil {
+			return nil, "", fmt.Errorf("sdbprov: spill get: %w", err)
+		}
+		spilled, err := prov.UnmarshalJSONRecords(obj.Body)
+		if err != nil {
+			return nil, "", err
+		}
+		for _, rec := range spilled {
+			if rec.Value.Kind == prov.KindString {
+				// Spilled string values carry the stored form.
+				resolved, err := l.decodeStored(subject, rec.Attr, rec.Value.Str)
+				if err != nil {
+					return nil, "", err
+				}
+				rec = resolved
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, md5hex, nil
+}
+
+// decodeStored turns one stored attribute value back into a record,
+// resolving pointers and unescaping literals.
+func (l *Layer) decodeStored(subject prov.Ref, attr, raw string) (prov.Record, error) {
+	if !prov.IsRefAttr(attr) {
+		okey, literal, isPtr := core.DecodeValue(raw)
+		if isPtr {
+			obj, err := l.cfg.Cloud.S3.Get(l.cfg.Bucket, okey)
+			if err != nil {
+				return prov.Record{}, fmt.Errorf("sdbprov: overflow get: %w", err)
+			}
+			literal = string(obj.Body)
+		}
+		return prov.Record{Subject: subject, Attr: attr, Value: prov.StringValue(literal)}, nil
+	}
+	ref, err := prov.ParseRef(raw)
+	if err != nil {
+		return prov.Record{}, fmt.Errorf("sdbprov: %w", err)
+	}
+	return prov.Record{Subject: subject, Attr: attr, Value: prov.RefValue(ref)}, nil
+}
+
+// VerifiedGet implements the §4.2 read protocol: retrieve the data and its
+// provenance, verify MD5(data‖nonce) against the consistency record, and
+// retry on mismatch "until we get consistent provenance and data". It
+// returns core.ErrInconsistent when the retry budget is exhausted and
+// core.ErrNoProvenance when data exists but its item never appears —
+// the atomicity-violation surface.
+func (l *Layer) VerifiedGet(ctx context.Context, object prov.ObjectID) (*core.Object, error) {
+	var lastErr error = core.ErrInconsistent
+	for attempt := 0; attempt <= l.cfg.MaxReadRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			l.cfg.RetryWait()
+		}
+
+		obj, err := l.cfg.Cloud.S3.Get(l.cfg.Bucket, DataKey(object))
+		if err != nil {
+			if errors.Is(err, s3.ErrNoSuchKey) {
+				lastErr = fmt.Errorf("%w: %s", core.ErrNotFound, object)
+				continue // the object may simply not have propagated yet
+			}
+			return nil, err
+		}
+		nonce := obj.Metadata[MetaNonce]
+		ver, verr := strconv.Atoi(obj.Metadata[MetaVersion])
+		if verr != nil {
+			lastErr = fmt.Errorf("%w: data missing version metadata", core.ErrNoProvenance)
+			continue
+		}
+		ref := prov.Ref{Object: object, Version: prov.Version(ver)}
+
+		records, md5hex, ok, err := l.FetchItem(ref)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			lastErr = fmt.Errorf("%w: %s", core.ErrNoProvenance, ref)
+			continue
+		}
+		if md5hex == "" || md5hex != ConsistencyMD5(obj.Body, nonce) {
+			// Eventual consistency let S3 and SimpleDB disagree; reissue.
+			lastErr = fmt.Errorf("%w: %s (md5 mismatch)", core.ErrInconsistent, ref)
+			continue
+		}
+		return &core.Object{Ref: ref, Data: obj.Body, Records: records}, nil
+	}
+	return nil, lastErr
+}
+
+// --- query engine (Table 3, SimpleDB column) --------------------------------
+
+// AllProvenance lists every item, then fetches each one: "there is no way
+// for SimpleDB to generalize the query and needs to issue one query per
+// item" (§5, Q.1).
+func (l *Layer) AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, error) {
+	out := make(map[prov.Ref][]prov.Record)
+	token := ""
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := l.cfg.Cloud.SDB.Select("select itemName() from "+l.cfg.Domain, token)
+		if err != nil {
+			return nil, err
+		}
+		for _, item := range res.Items {
+			ref, err := prov.ParseItemName(item.Name)
+			if err != nil {
+				continue // foreign item in a shared domain
+			}
+			records, _, ok, err := l.FetchItem(ref)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out[ref] = records
+			}
+		}
+		if res.NextToken == "" {
+			return out, nil
+		}
+		token = res.NextToken
+	}
+}
+
+// instancesOf finds all object versions whose name attribute is tool
+// (phase one of Q.2: "retrieve all objects that correspond to instances of
+// blast").
+func (l *Layer) instancesOf(ctx context.Context, tool string) ([]prov.Ref, error) {
+	expr := "['" + escapeQuery(prov.AttrName) + "' = " + sdb.QuoteString(tool) + "]"
+	return l.queryRefs(ctx, expr)
+}
+
+// queryRefs runs one Query expression to completion, parsing item names.
+func (l *Layer) queryRefs(ctx context.Context, expr string) ([]prov.Ref, error) {
+	var out []prov.Ref
+	token := ""
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := l.cfg.Cloud.SDB.Query(l.cfg.Domain, expr, 0, token)
+		if err != nil {
+			return nil, err
+		}
+		for _, item := range res.ItemNames {
+			ref, err := prov.ParseItemName(item)
+			if err != nil {
+				continue
+			}
+			out = append(out, ref)
+		}
+		if res.NextToken == "" {
+			return out, nil
+		}
+		token = res.NextToken
+	}
+}
+
+// dependentsOf finds items listing any of refs as an input, chunking the
+// OR expression ("execute a second QueryWithAttributes to retrieve all
+// objects that have as ancestor, objects in the result of the first
+// query").
+func (l *Layer) dependentsOf(ctx context.Context, refs []prov.Ref) ([]prov.Ref, error) {
+	seen := make(map[prov.Ref]bool)
+	var out []prov.Ref
+	for start := 0; start < len(refs); start += l.cfg.QueryChunk {
+		end := start + l.cfg.QueryChunk
+		if end > len(refs) {
+			end = len(refs)
+		}
+		expr := "["
+		for i, r := range refs[start:end] {
+			if i > 0 {
+				expr += " or "
+			}
+			expr += "'" + escapeQuery(prov.AttrInput) + "' = " + sdb.QuoteString(r.String())
+		}
+		expr += "]"
+		found, err := l.queryRefs(ctx, expr)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range found {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	return out, nil
+}
+
+// typeOf fetches an item's type attribute with a narrow GetAttributes.
+func (l *Layer) typeOf(ref prov.Ref) (string, error) {
+	attrs, ok, err := l.cfg.Cloud.SDB.GetAttributes(l.cfg.Domain, prov.EncodeItemName(ref), prov.AttrType)
+	if err != nil || !ok {
+		return "", err
+	}
+	for _, a := range attrs {
+		if a.Name == prov.AttrType {
+			return a.Value, nil
+		}
+	}
+	return "", nil
+}
+
+// OutputsOf implements Q.2: instances of tool, then the files depending on
+// them. Two indexed queries plus type filtering — "SimpleDB does much
+// better as it only needs to execute one query corresponding to each
+// phase".
+func (l *Layer) OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error) {
+	instances, err := l.instancesOf(ctx, tool)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := l.dependentsOf(ctx, instances)
+	if err != nil {
+		return nil, err
+	}
+	var files []prov.Ref
+	for _, d := range deps {
+		typ, err := l.typeOf(d)
+		if err != nil {
+			return nil, err
+		}
+		if typ == prov.TypeFile {
+			files = append(files, d)
+		}
+	}
+	return files, nil
+}
+
+// DescendantsOfOutputs implements Q.3 by iterated dependency queries:
+// "SimpleDB ... does not support recursive queries or stored procedures.
+// Hence, for ancestry queries, it has to retrieve each item ... then lookup
+// further ancestors."
+func (l *Layer) DescendantsOfOutputs(ctx context.Context, tool string) ([]prov.Ref, error) {
+	frontier, err := l.OutputsOf(ctx, tool)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[prov.Ref]bool)
+	for _, f := range frontier {
+		seen[f] = true
+	}
+	var out []prov.Ref
+	for len(frontier) > 0 {
+		next, err := l.dependentsOf(ctx, frontier)
+		if err != nil {
+			return nil, err
+		}
+		frontier = frontier[:0]
+		for _, n := range next {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+				frontier = append(frontier, n)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Dependents finds items listing any version of object among their inputs,
+// with a single indexed prefix query: input values are "object:version", so
+// ['input' starts-with 'object:'] covers every version at once.
+func (l *Layer) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Ref, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	expr := "['" + escapeQuery(prov.AttrInput) + "' starts-with " + sdb.QuoteString(string(object)+":") + "]"
+	return l.queryRefs(ctx, expr)
+}
+
+// escapeQuery escapes single quotes in attribute names for the bracket
+// query language.
+func escapeQuery(s string) string { return s } // attribute names are ours: no quotes

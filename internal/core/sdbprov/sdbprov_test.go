@@ -1,0 +1,330 @@
+package sdbprov
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/billing"
+	"passcloud/internal/core"
+	"passcloud/internal/prov"
+)
+
+func newTestLayer(t *testing.T, maxDelay time.Duration) (*Layer, *cloud.Cloud) {
+	t.Helper()
+	cl := cloud.New(cloud.Config{Seed: 1, MaxDelay: maxDelay})
+	layer, err := New(Config{Cloud: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return layer, cl
+}
+
+func ref(obj string, v int) prov.Ref {
+	return prov.Ref{Object: prov.ObjectID(obj), Version: prov.Version(v)}
+}
+
+func TestWriteFetchRoundTrip(t *testing.T) {
+	layer, _ := newTestLayer(t, 0)
+	subject := ref("/f", 2)
+	records := []prov.Record{
+		prov.NewString(subject, prov.AttrType, prov.TypeFile),
+		prov.NewInput(subject, ref("/dep", 0)),
+		prov.NewString(subject, prov.AttrEnv, ""), // empty value survives
+	}
+	if err := layer.WriteItem(subject, records, "cafebabe", "t"); err != nil {
+		t.Fatal(err)
+	}
+	got, md5hex, ok, err := layer.FetchItem(subject)
+	if err != nil || !ok {
+		t.Fatalf("fetch: %v %v", ok, err)
+	}
+	if md5hex != "cafebabe" {
+		t.Fatalf("md5 = %q", md5hex)
+	}
+	if len(got) != 3 {
+		t.Fatalf("records = %v", got)
+	}
+	byAttr := map[string]prov.Record{}
+	for _, r := range got {
+		byAttr[r.Attr] = r
+	}
+	if byAttr[prov.AttrInput].Value.Ref != ref("/dep", 0) {
+		t.Fatalf("input = %v", byAttr[prov.AttrInput])
+	}
+	if byAttr[prov.AttrEnv].Value.Str != "" {
+		t.Fatalf("empty env = %v", byAttr[prov.AttrEnv])
+	}
+}
+
+func TestFetchMissingItem(t *testing.T) {
+	layer, _ := newTestLayer(t, 0)
+	_, _, ok, err := layer.FetchItem(ref("/ghost", 0))
+	if err != nil || ok {
+		t.Fatalf("missing item: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestOverflowValueRoundTrip(t *testing.T) {
+	layer, cl := newTestLayer(t, 0)
+	subject := ref("/big", 0)
+	big := strings.Repeat("V", 5000)
+	records := []prov.Record{prov.NewString(subject, prov.AttrEnv, big)}
+
+	putsBefore := cl.Usage().OpCount(billing.S3, "PUT")
+	if err := layer.WriteItem(subject, records, "", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Usage().OpCount(billing.S3, "PUT") - putsBefore; got != 1 {
+		t.Fatalf("overflow PUTs = %d, want 1", got)
+	}
+	got, _, ok, err := layer.FetchItem(subject)
+	if err != nil || !ok || len(got) != 1 || got[0].Value.Str != big {
+		t.Fatalf("round trip failed: %v %v %v", got, ok, err)
+	}
+}
+
+func TestItemSpillBeyond256Attrs(t *testing.T) {
+	layer, _ := newTestLayer(t, 0)
+	subject := ref("/wide", 0)
+	var records []prov.Record
+	for i := 0; i < 700; i++ {
+		records = append(records, prov.NewInput(subject, ref(fmt.Sprintf("/dep%04d", i), 0)))
+	}
+	if err := layer.WriteItem(subject, records, "beef", "t"); err != nil {
+		t.Fatal(err)
+	}
+	got, md5hex, ok, err := layer.FetchItem(subject)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if md5hex != "beef" {
+		t.Fatalf("md5 lost in spill: %q", md5hex)
+	}
+	if len(got) != 700 {
+		t.Fatalf("records = %d, want 700", len(got))
+	}
+	seen := map[prov.Ref]bool{}
+	for _, r := range got {
+		seen[r.Value.Ref] = true
+	}
+	if len(seen) != 700 {
+		t.Fatalf("distinct inputs = %d", len(seen))
+	}
+}
+
+func TestEscapedLiteralRoundTripQuick(t *testing.T) {
+	layer, _ := newTestLayer(t, 0)
+	i := 0
+	f := func(value string) bool {
+		if len(value) > 900 || strings.ContainsRune(value, 0) {
+			return true
+		}
+		i++
+		subject := ref(fmt.Sprintf("/q%d", i), 0)
+		records := []prov.Record{prov.NewString(subject, prov.AttrEnv, value)}
+		if err := layer.WriteItem(subject, records, "", "t"); err != nil {
+			return false
+		}
+		got, _, ok, err := layer.FetchItem(subject)
+		return err == nil && ok && len(got) == 1 && got[0].Value.Str == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsistencyMD5(t *testing.T) {
+	if ConsistencyMD5([]byte("a"), "x") == ConsistencyMD5([]byte("a"), "y") {
+		t.Fatal("nonce has no effect")
+	}
+	if ConsistencyMD5([]byte("a"), "x") != ConsistencyMD5([]byte("a"), "x") {
+		t.Fatal("not deterministic")
+	}
+	if len(ConsistencyMD5(nil, "")) != 32 {
+		t.Fatal("not an MD5 hex digest")
+	}
+}
+
+func TestVerifiedGetHappyPath(t *testing.T) {
+	layer, cl := newTestLayer(t, 0)
+	subject := ref("/v", 4)
+	data := []byte("content")
+	nonce := "4-abcd"
+	if err := layer.WriteItem(subject, []prov.Record{
+		prov.NewString(subject, prov.AttrType, prov.TypeFile),
+	}, ConsistencyMD5(data, nonce), "t"); err != nil {
+		t.Fatal(err)
+	}
+	meta := map[string]string{MetaNonce: nonce, MetaVersion: "4"}
+	if err := cl.S3.Put(layer.Bucket(), DataKey("/v"), data, meta); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := layer.VerifiedGet(context.Background(), "/v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Ref != subject || string(obj.Data) != "content" || len(obj.Records) != 1 {
+		t.Fatalf("obj = %+v", obj)
+	}
+}
+
+func TestVerifiedGetDetectsTamperedData(t *testing.T) {
+	layer, cl := newTestLayer(t, 0)
+	subject := ref("/tampered", 0)
+	nonce := "0-xyzw"
+	if err := layer.WriteItem(subject, []prov.Record{
+		prov.NewString(subject, prov.AttrType, prov.TypeFile),
+	}, ConsistencyMD5([]byte("original"), nonce), "t"); err != nil {
+		t.Fatal(err)
+	}
+	// The data stored does not match the consistency record.
+	meta := map[string]string{MetaNonce: nonce, MetaVersion: "0"}
+	if err := cl.S3.Put(layer.Bucket(), DataKey("/tampered"), []byte("doctored"), meta); err != nil {
+		t.Fatal(err)
+	}
+	_, err := layer.VerifiedGet(context.Background(), "/tampered")
+	if !errors.Is(err, core.ErrInconsistent) {
+		t.Fatalf("err = %v, want ErrInconsistent", err)
+	}
+}
+
+func TestVerifiedGetNotFound(t *testing.T) {
+	layer, _ := newTestLayer(t, 0)
+	_, err := layer.VerifiedGet(context.Background(), "/absent")
+	if !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestVerifiedGetRetriesAcrossPropagation(t *testing.T) {
+	// Data propagates before provenance: the verified reader must wait it
+	// out (its RetryWait advances the clock) and succeed, not tear.
+	layer, cl := newTestLayer(t, 10*time.Second)
+	subject := ref("/slow", 0)
+	data := []byte("slow data")
+	nonce := "0-slow"
+	meta := map[string]string{MetaNonce: nonce, MetaVersion: "0"}
+	if err := cl.S3.Put(layer.Bucket(), DataKey("/slow"), data, meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.WriteItem(subject, []prov.Record{
+		prov.NewString(subject, prov.AttrType, prov.TypeFile),
+	}, ConsistencyMD5(data, nonce), "t"); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := layer.VerifiedGet(context.Background(), "/slow")
+	if err != nil {
+		t.Fatalf("verified get across propagation: %v", err)
+	}
+	if string(obj.Data) != "slow data" {
+		t.Fatalf("data = %q", obj.Data)
+	}
+}
+
+func TestQueryEngineAgainstGroundTruth(t *testing.T) {
+	layer, _ := newTestLayer(t, 0)
+	ctx := context.Background()
+
+	// blast -> out -> child; other -> other-out.
+	blast := ref("proc/1/blast", 0)
+	other := ref("proc/2/other", 0)
+	out := ref("/out", 0)
+	otherOut := ref("/other-out", 0)
+	child := ref("/child", 0)
+	write := func(subject prov.Ref, records ...prov.Record) {
+		t.Helper()
+		if err := layer.WriteItem(subject, records, "", "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(blast,
+		prov.NewString(blast, prov.AttrType, prov.TypeProcess),
+		prov.NewString(blast, prov.AttrName, "blast"))
+	write(other,
+		prov.NewString(other, prov.AttrType, prov.TypeProcess),
+		prov.NewString(other, prov.AttrName, "other"))
+	write(out,
+		prov.NewString(out, prov.AttrType, prov.TypeFile),
+		prov.NewInput(out, blast))
+	write(otherOut,
+		prov.NewString(otherOut, prov.AttrType, prov.TypeFile),
+		prov.NewInput(otherOut, other))
+	write(child,
+		prov.NewString(child, prov.AttrType, prov.TypeFile),
+		prov.NewInput(child, out))
+
+	outputs, err := layer.OutputsOf(ctx, "blast")
+	if err != nil || len(outputs) != 1 || outputs[0] != out {
+		t.Fatalf("OutputsOf = %v, %v", outputs, err)
+	}
+	desc, err := layer.DescendantsOfOutputs(ctx, "blast")
+	if err != nil || len(desc) != 1 || desc[0] != child {
+		t.Fatalf("Descendants = %v, %v", desc, err)
+	}
+	all, err := layer.AllProvenance(ctx)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("AllProvenance = %d, %v", len(all), err)
+	}
+}
+
+func TestDependentsChunking(t *testing.T) {
+	cl := cloud.New(cloud.Config{Seed: 1})
+	layer, err := New(Config{Cloud: cl, QueryChunk: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// One tool with 10 instances, each producing one file: the dependents
+	// query must chunk the OR expression (ceil(10/3) = 4 queries) and
+	// still find everything.
+	var instances []prov.Ref
+	for i := 0; i < 10; i++ {
+		inst := ref(fmt.Sprintf("proc/%d/tool", i), 0)
+		instances = append(instances, inst)
+		if err := layer.WriteItem(inst, []prov.Record{
+			prov.NewString(inst, prov.AttrType, prov.TypeProcess),
+			prov.NewString(inst, prov.AttrName, "tool"),
+		}, "", "t"); err != nil {
+			t.Fatal(err)
+		}
+		out := ref(fmt.Sprintf("/out%d", i), 0)
+		if err := layer.WriteItem(out, []prov.Record{
+			prov.NewString(out, prov.AttrType, prov.TypeFile),
+			prov.NewInput(out, inst),
+		}, "", "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := cl.Usage().OpCount(billing.SimpleDB, "Query")
+	outputs, err := layer.OutputsOf(ctx, "tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != 10 {
+		t.Fatalf("outputs = %d, want 10", len(outputs))
+	}
+	queries := cl.Usage().OpCount(billing.SimpleDB, "Query") - before
+	if queries < 5 { // 1 instance query + 4 chunks
+		t.Fatalf("queries = %d; chunking not exercised", queries)
+	}
+}
+
+func TestDefaultsAndAccessors(t *testing.T) {
+	layer, cl := newTestLayer(t, 0)
+	if layer.Bucket() != "pass" || layer.Domain() != "provenance" {
+		t.Fatalf("defaults: %q %q", layer.Bucket(), layer.Domain())
+	}
+	if layer.Cloud() != cl {
+		t.Fatal("Cloud accessor broken")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil cloud accepted")
+	}
+}

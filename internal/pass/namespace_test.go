@@ -1,0 +1,93 @@
+package pass
+
+import (
+	"strings"
+	"testing"
+
+	"passcloud/internal/prov"
+)
+
+func TestNamespaceSeparatesTransientRefs(t *testing.T) {
+	mk := func(ns string) (*System, *collector) {
+		c := newCollector()
+		return NewSystem(Config{Namespace: ns, Flush: c.flush}), c
+	}
+	sysA, _ := mk("alice")
+	sysB, _ := mk("bob")
+
+	pa := sysA.Exec(nil, ExecSpec{Name: "tool"})
+	pb := sysB.Exec(nil, ExecSpec{Name: "tool"})
+	if pa.Ref() == pb.Ref() {
+		t.Fatalf("same-named processes collide across namespaces: %v", pa.Ref())
+	}
+	if !strings.HasPrefix(string(pa.Ref().Object), "proc/alice/") {
+		t.Fatalf("namespaced ref = %v", pa.Ref())
+	}
+	if !strings.HasPrefix(string(pb.Ref().Object), "proc/bob/") {
+		t.Fatalf("namespaced ref = %v", pb.Ref())
+	}
+
+	// Pipes too.
+	qa := sysA.Exec(nil, ExecSpec{Name: "sink"})
+	if err := sysA.Pipe(pa, qa); err != nil {
+		t.Fatal(err)
+	}
+	if err := sysA.Write(qa, "/out", []byte("x"), Truncate); err != nil {
+		t.Fatal(err)
+	}
+	if err := sysA.Close(qa, "/out"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyNamespaceKeepsLegacyNames(t *testing.T) {
+	c := newCollector()
+	sys := NewSystem(Config{Flush: c.flush})
+	p := sys.Exec(nil, ExecSpec{Name: "tool"})
+	if p.Ref() != (prov.Ref{Object: "proc/1/tool", Version: 0}) {
+		t.Fatalf("legacy ref changed: %v", p.Ref())
+	}
+}
+
+func TestAttachBindsExactVersion(t *testing.T) {
+	c := newCollector()
+	sys := NewSystem(Config{Flush: c.flush})
+	remote := prov.Ref{Object: "/shared/x", Version: 3}
+	if err := sys.Attach("/shared/x", remote, []byte("remote content")); err != nil {
+		t.Fatal(err)
+	}
+	// Reads bind to the attached version.
+	p := sys.Exec(nil, ExecSpec{Name: "reader"})
+	if err := sys.Read(p, "/shared/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Write(p, "/derived", []byte("d"), Truncate); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(p, "/derived"); err != nil {
+		t.Fatal(err)
+	}
+	inputs := c.graph.Inputs(p.Ref())
+	if len(inputs) != 1 || inputs[0] != remote {
+		t.Fatalf("reader inputs = %v, want [%v]", inputs, remote)
+	}
+	// The attached version itself is never re-flushed.
+	if _, ok := c.refs()[remote]; ok {
+		t.Fatal("attached version re-flushed locally")
+	}
+	// A local write creates the NEXT version, depending on the writer.
+	if err := sys.Write(p, "/shared/x", []byte("local edit"), Truncate); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(p, "/shared/x"); err != nil {
+		t.Fatal(err)
+	}
+	next := prov.Ref{Object: "/shared/x", Version: 4}
+	if _, ok := c.refs()[next]; !ok {
+		t.Fatalf("local write did not produce version 4; events %v", c.refs())
+	}
+	// Double attach is an error.
+	if err := sys.Attach("/shared/x", remote, nil); err == nil {
+		t.Fatal("double attach succeeded")
+	}
+}

@@ -1,0 +1,597 @@
+// Package pass simulates a Provenance-Aware Storage System (paper §2.4): a
+// kernel-level observer that watches the system calls of simulated processes
+// and turns them into provenance records.
+//
+// The observation rules are PASS's:
+//
+//   - "when a process issues a read system call, PASS creates a provenance
+//     record stating that the process depends upon the file being read";
+//   - "when that process then issues a write system call, PASS creates a
+//     record stating that the written file depends upon the process";
+//   - transient objects (processes, pipes) carry provenance too, because
+//     files relate to each other through them;
+//   - objects are versioned "appropriately in order to preserve causality":
+//     a process that gains a new input after producing output gets a new
+//     version (depending on its prior self), and a file that is re-written
+//     after being frozen gets a new version (depending on its prior
+//     version). This is the classic PASS cycle-avoidance algorithm, and the
+//     package's tests assert the resulting graph is always acyclic.
+//
+// Persistence follows the paper's usage model: when the application closes a
+// file, the file's data and provenance — preceded by the provenance of every
+// not-yet-persisted ancestor, preserving causal ordering — are handed to the
+// storage architecture via the configured FlushFunc.
+package pass
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"passcloud/internal/prov"
+)
+
+// WriteMode says how a write treats existing content.
+type WriteMode int
+
+// Write modes.
+const (
+	// Truncate replaces the file's content.
+	Truncate WriteMode = iota
+	// Append extends it.
+	Append
+)
+
+// FlushEvent is one object version becoming persistent. For files Data is
+// the frozen content; for transient objects (processes, pipes) Data is nil
+// and only provenance is recorded.
+type FlushEvent struct {
+	Ref     prov.Ref
+	Type    string // prov.TypeFile, TypeProcess, TypePipe
+	Data    []byte
+	Records []prov.Record
+}
+
+// Persistent reports whether the event carries file data.
+func (e FlushEvent) Persistent() bool { return e.Type == prov.TypeFile }
+
+// FlushFunc receives flush events in causal order (ancestors strictly before
+// descendants). Returning an error aborts the close that triggered the
+// flush, leaving later events unflushed — exactly what a client crash looks
+// like to the storage layer.
+type FlushFunc func(FlushEvent) error
+
+// Config parameterizes a System.
+type Config struct {
+	// Kernel is recorded on every process (prov.AttrKernel).
+	Kernel string
+	// Namespace distinguishes this system's transient objects when several
+	// clients share one repository: process refs become
+	// "proc/<namespace>/<pid>/<name>". Empty means a single-client
+	// namespace ("proc/<pid>/<name>").
+	Namespace string
+	// Flush receives persistence events. Required.
+	Flush FlushFunc
+}
+
+// Errors.
+var (
+	// ErrNoSuchFile is returned when reading a file that was never written.
+	ErrNoSuchFile = errors.New("pass: no such file")
+	// ErrExited is returned for syscalls by an exited process.
+	ErrExited = errors.New("pass: process has exited")
+)
+
+// Process is a simulated process handle.
+type Process struct {
+	pid  int
+	name string
+	obj  *object
+	done bool
+}
+
+// PID returns the simulated process ID.
+func (p *Process) PID() int { return p.pid }
+
+// Name returns the program name.
+func (p *Process) Name() string { return p.name }
+
+// Ref returns the process's current version reference.
+func (p *Process) Ref() prov.Ref { return p.obj.ref }
+
+// object is the versioned state behind a file, process, or pipe.
+type object struct {
+	ref  prov.Ref
+	typ  string
+	name string // human name (path or program)
+	// identity holds the descriptive records (type, name, pid, kernel,
+	// argv, env) re-asserted on every version: each PASS version is a
+	// complete pnode, not a delta.
+	identity []prov.Record
+	content  []byte // files only: current content
+	dirty    bool   // files: written since last freeze
+	frozen   bool   // current version has been frozen (flushed or queued)
+	tainted  bool   // processes: has produced output since current version
+	inputs   map[prov.Ref]bool
+	records  []prov.Record
+	writer   int // files: pid of last writer of the current version
+}
+
+// pendingVersion is a frozen-but-unflushed version awaiting persistence.
+type pendingVersion struct {
+	ref     prov.Ref
+	typ     string
+	data    []byte
+	records []prov.Record
+	inputs  []prov.Ref
+}
+
+// System is the simulated OS with PASS observation. It is not safe for
+// concurrent use: PASS observes one kernel's serialized syscall stream, and
+// workload generators drive it single-threaded.
+type System struct {
+	cfg     Config
+	nextPID int
+	files   map[string]*object
+	procs   map[int]*Process
+	// byRef indexes live objects by their current version ref, so flushing
+	// can find un-stashed ancestors in O(1).
+	byRef map[prov.Ref]*object
+
+	// pending holds frozen versions not yet flushed, keyed by ref.
+	pending map[prov.Ref]*pendingVersion
+	// flushedSet remembers everything handed to Flush, for causality
+	// assertions and stats.
+	flushedSet map[prov.Ref]bool
+
+	stats Stats
+}
+
+// Stats aggregates what the system has produced so far.
+type Stats struct {
+	// Processes is the number of Exec calls.
+	Processes int
+	// FileVersions counts frozen file versions.
+	FileVersions int
+	// TransientVersions counts flushed process and pipe versions.
+	TransientVersions int
+	// Records counts provenance records flushed.
+	Records int
+	// DataBytes counts file bytes flushed.
+	DataBytes int64
+	// ProvBytes counts provenance bytes flushed (Record.Size sum).
+	ProvBytes int64
+}
+
+// NewSystem returns an empty system.
+func NewSystem(cfg Config) *System {
+	if cfg.Flush == nil {
+		panic("pass: Config.Flush is required")
+	}
+	if cfg.Kernel == "" {
+		cfg.Kernel = "2.6.23.17-pass"
+	}
+	return &System{
+		cfg:        cfg,
+		files:      make(map[string]*object),
+		procs:      make(map[int]*Process),
+		byRef:      make(map[prov.Ref]*object),
+		pending:    make(map[prov.Ref]*pendingVersion),
+		flushedSet: make(map[prov.Ref]bool),
+	}
+}
+
+// Stats returns a copy of the current counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// nsPrefix renders the namespace segment of transient object names.
+func (s *System) nsPrefix() string {
+	if s.cfg.Namespace == "" {
+		return ""
+	}
+	return s.cfg.Namespace + "/"
+}
+
+// ExecSpec describes a new process.
+type ExecSpec struct {
+	// Name is the program name, e.g. "cc" or "blastall".
+	Name string
+	// Argv is the full command line.
+	Argv []string
+	// Env is the captured environment. Large environments are the paper's
+	// canonical source of >1 KB provenance records ("the provenance of a
+	// process exceeds the 2KB limit (which we see regularly)").
+	Env string
+}
+
+// Exec creates a process. If parent is non-nil the child records a
+// dependency on the parent's current version, capturing fork/exec lineage.
+func (s *System) Exec(parent *Process, spec ExecSpec) *Process {
+	s.nextPID++
+	pid := s.nextPID
+	ref := prov.Ref{Object: prov.ObjectID(fmt.Sprintf("proc/%s%d/%s", s.nsPrefix(), pid, spec.Name)), Version: 0}
+	obj := &object{
+		ref:    ref,
+		typ:    prov.TypeProcess,
+		name:   spec.Name,
+		inputs: make(map[prov.Ref]bool),
+	}
+	obj.identity = append(obj.identity,
+		prov.NewString(ref, prov.AttrType, prov.TypeProcess),
+		prov.NewString(ref, prov.AttrName, spec.Name),
+		prov.NewString(ref, prov.AttrPID, fmt.Sprintf("%d", pid)),
+		prov.NewString(ref, prov.AttrKernel, s.cfg.Kernel),
+	)
+	if len(spec.Argv) > 0 {
+		obj.identity = append(obj.identity,
+			prov.NewString(ref, prov.AttrArgv, strings.Join(spec.Argv, " ")))
+	}
+	if spec.Env != "" {
+		obj.identity = append(obj.identity, prov.NewString(ref, prov.AttrEnv, spec.Env))
+	}
+	obj.records = append(obj.records, obj.identity...)
+	p := &Process{pid: pid, name: spec.Name, obj: obj}
+	if parent != nil && !parent.done {
+		s.addInput(obj, parent.obj.ref)
+		// The parent just became an ancestor: like producing output, this
+		// must force a new parent version before it gains further inputs,
+		// or child -> parent -> (parent's later input) could close a cycle.
+		parent.obj.tainted = true
+	}
+	s.procs[pid] = p
+	s.byRef[obj.ref] = obj
+	s.stats.Processes++
+	return p
+}
+
+// addInput records an input edge on the current version, deduplicated.
+func (s *System) addInput(obj *object, in prov.Ref) {
+	if obj.inputs[in] {
+		return
+	}
+	obj.inputs[in] = true
+	obj.records = append(obj.records, prov.NewInput(obj.ref, in))
+}
+
+// Read makes p depend on path's current content. Reading a file with
+// unflushed writes freezes that version first (PASS freeze-on-read), so the
+// dependency lands on immutable state.
+func (s *System) Read(p *Process, path string) error {
+	if p.done {
+		return fmt.Errorf("%w: pid %d", ErrExited, p.pid)
+	}
+	f, ok := s.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchFile, path)
+	}
+	if f.dirty {
+		s.freezeFile(f)
+	}
+
+	// Cycle avoidance: a process that gained output edges — or whose
+	// current version is already persistent — must become a new version
+	// before taking a new input. The first rule prevents cycles; the second
+	// prevents mutating provenance that has already been flushed.
+	if (p.obj.tainted || s.flushedSet[p.obj.ref]) && !p.obj.inputs[f.ref] {
+		s.bumpProcess(p)
+	}
+	s.addInput(p.obj, f.ref)
+	return nil
+}
+
+// bumpProcess starts a new process version depending on the prior one.
+func (s *System) bumpProcess(p *Process) {
+	prev := p.obj.ref
+	// The old version's records become pending (they will flush when a
+	// descendant is closed).
+	s.stash(p.obj)
+
+	delete(s.byRef, prev)
+	next := prov.Ref{Object: prev.Object, Version: prev.Version + 1}
+	p.obj.ref = next
+	s.byRef[next] = p.obj
+	p.obj.tainted = false
+	p.obj.inputs = make(map[prov.Ref]bool)
+	p.obj.records = nil
+	// Each version is a complete pnode: re-assert the identity records
+	// under the new subject.
+	for _, r := range p.obj.identity {
+		r.Subject = next
+		p.obj.records = append(p.obj.records, r)
+	}
+	s.addInput(p.obj, prev)
+}
+
+// stash moves obj's current version into the pending set (frozen, awaiting
+// flush). Data is snapshotted for files.
+func (s *System) stash(obj *object) {
+	if s.flushedSet[obj.ref] {
+		return
+	}
+	if _, ok := s.pending[obj.ref]; ok {
+		return
+	}
+	pv := &pendingVersion{
+		ref:     obj.ref,
+		typ:     obj.typ,
+		records: append([]prov.Record(nil), obj.records...),
+	}
+	if obj.typ == prov.TypeFile {
+		pv.data = append([]byte(nil), obj.content...)
+	}
+	for in := range obj.inputs {
+		pv.inputs = append(pv.inputs, in)
+	}
+	sort.Slice(pv.inputs, func(i, j int) bool {
+		if pv.inputs[i].Object != pv.inputs[j].Object {
+			return pv.inputs[i].Object < pv.inputs[j].Object
+		}
+		return pv.inputs[i].Version < pv.inputs[j].Version
+	})
+	s.pending[obj.ref] = pv
+}
+
+// Write makes path's current version depend on p and updates content. The
+// first write to a fresh path creates version 0 of a new file.
+func (s *System) Write(p *Process, path string, data []byte, mode WriteMode) error {
+	if p.done {
+		return fmt.Errorf("%w: pid %d", ErrExited, p.pid)
+	}
+	f, ok := s.files[path]
+	switch {
+	case !ok:
+		f = s.newFile(path)
+	case f.frozen && !f.dirty:
+		// Re-writing a frozen version: new version depending on the old.
+		s.bumpFile(f, mode)
+	case f.dirty && f.writer != p.pid:
+		// A different writer takes over: version to keep causality exact.
+		s.freezeFile(f)
+		s.bumpFile(f, mode)
+	}
+
+	switch mode {
+	case Truncate:
+		if !f.dirty {
+			f.content = f.content[:0]
+		}
+		f.content = append(f.content, data...)
+	case Append:
+		f.content = append(f.content, data...)
+	}
+	f.dirty = true
+	f.writer = p.pid
+	s.addInput(f, p.obj.ref)
+	p.obj.tainted = true
+	return nil
+}
+
+// newFile creates version 0 of a file object.
+func (s *System) newFile(path string) *object {
+	ref := prov.Ref{Object: prov.ObjectID(path), Version: 0}
+	f := &object{
+		ref:    ref,
+		typ:    prov.TypeFile,
+		name:   path,
+		inputs: make(map[prov.Ref]bool),
+	}
+	f.records = append(f.records,
+		prov.NewString(ref, prov.AttrType, prov.TypeFile),
+		prov.NewString(ref, prov.AttrName, path),
+	)
+	s.files[path] = f
+	s.byRef[ref] = f
+	return f
+}
+
+// bumpFile starts a new file version. Appending versions depend on the
+// prior version (content carries over); truncating versions start fresh.
+func (s *System) bumpFile(f *object, mode WriteMode) {
+	prev := f.ref
+	delete(s.byRef, prev)
+	next := prov.Ref{Object: prev.Object, Version: prev.Version + 1}
+	f.ref = next
+	s.byRef[next] = f
+	f.frozen = false
+	f.dirty = false
+	f.inputs = make(map[prov.Ref]bool)
+	f.records = nil
+	f.records = append(f.records,
+		prov.NewString(next, prov.AttrType, prov.TypeFile),
+		prov.NewString(next, prov.AttrName, f.name),
+	)
+	if mode == Append {
+		s.addInput(f, prev)
+	} else {
+		f.content = f.content[:0]
+	}
+}
+
+// freezeFile freezes the current dirty version: it becomes immutable and
+// pending persistence.
+func (s *System) freezeFile(f *object) {
+	f.dirty = false
+	f.frozen = true
+	s.stash(f)
+	s.stats.FileVersions++
+}
+
+// Close freezes path's current version (if dirty) and flushes it together
+// with every unflushed ancestor, ancestors first. This is the paper's "when
+// the application issues a close on a file, we send both the file and its
+// provenance" moment.
+func (s *System) Close(p *Process, path string) error {
+	if p != nil && p.done {
+		return fmt.Errorf("%w: pid %d", ErrExited, p.pid)
+	}
+	f, ok := s.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchFile, path)
+	}
+	if f.dirty {
+		s.freezeFile(f)
+	}
+	return s.flushRef(f.ref)
+}
+
+// Sync flushes every pending version in causal order without requiring a
+// specific close — used by workloads at end-of-run to drain stragglers
+// (e.g. processes whose outputs were all closed before their final inputs).
+func (s *System) Sync() error {
+	refs := make([]prov.Ref, 0, len(s.pending))
+	for ref := range s.pending {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Object != refs[j].Object {
+			return refs[i].Object < refs[j].Object
+		}
+		return refs[i].Version < refs[j].Version
+	})
+	for _, ref := range refs {
+		if err := s.flushRef(ref); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushRef emits ref and its unflushed ancestor closure, ancestors first.
+func (s *System) flushRef(ref prov.Ref) error {
+	pv, ok := s.pending[ref]
+	if !ok {
+		return nil // already flushed (or never frozen: nothing to do)
+	}
+	// Flush ancestors first. Ancestors still live (un-frozen current
+	// versions of processes) must be stashed now: a descendant is becoming
+	// persistent, so its transient ancestors' provenance must persist too.
+	for _, in := range pv.inputs {
+		if s.flushedSet[in] {
+			continue
+		}
+		if _, pending := s.pending[in]; !pending {
+			s.stashLive(in)
+		}
+		if err := s.flushRef(in); err != nil {
+			return err
+		}
+	}
+	ev := FlushEvent{Ref: pv.ref, Type: pv.typ, Data: pv.data, Records: pv.records}
+	if err := s.cfg.Flush(ev); err != nil {
+		return err
+	}
+	s.flushedSet[ref] = true
+	delete(s.pending, ref)
+	s.stats.Records += len(pv.records)
+	s.stats.ProvBytes += prov.RecordsSize(pv.records)
+	if pv.typ == prov.TypeFile {
+		s.stats.DataBytes += int64(len(pv.data))
+	} else {
+		s.stats.TransientVersions++
+	}
+	return nil
+}
+
+// stashLive freezes the current version of whatever object owns ref, if any.
+// Older versions are always stashed at bump time, so only current versions
+// need the index; an unknown ref simply finds nothing pending downstream.
+func (s *System) stashLive(ref prov.Ref) {
+	obj, ok := s.byRef[ref]
+	if !ok {
+		return
+	}
+	if obj.typ == prov.TypeFile && obj.dirty {
+		s.freezeFile(obj)
+		return
+	}
+	s.stash(obj)
+}
+
+// Pipe connects two processes through a transient pipe object: to depends on
+// the pipe, the pipe depends on from. This is how PASS relates files that
+// exchange data through IPC rather than the filesystem.
+func (s *System) Pipe(from, to *Process) error {
+	if from.done || to.done {
+		return fmt.Errorf("%w", ErrExited)
+	}
+	s.nextPID++
+	ref := prov.Ref{Object: prov.ObjectID(fmt.Sprintf("pipe/%s%d", s.nsPrefix(), s.nextPID)), Version: 0}
+	pipe := &object{
+		ref:    ref,
+		typ:    prov.TypePipe,
+		name:   string(ref.Object),
+		inputs: make(map[prov.Ref]bool),
+	}
+	pipe.records = append(pipe.records, prov.NewString(ref, prov.AttrType, prov.TypePipe))
+	s.addInput(pipe, from.obj.ref)
+	from.obj.tainted = true
+	if to.obj.tainted || s.flushedSet[to.obj.ref] {
+		s.bumpProcess(to)
+	}
+	s.addInput(to.obj, ref)
+	s.stash(pipe)
+	return nil
+}
+
+// Exit marks p done. Further syscalls fail.
+func (s *System) Exit(p *Process) {
+	p.done = true
+}
+
+// FileContent returns the current content of path (test helper).
+func (s *System) FileContent(path string) ([]byte, bool) {
+	f, ok := s.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.content...), true
+}
+
+// CurrentVersion returns path's current version ref.
+func (s *System) CurrentVersion(path string) (prov.Ref, bool) {
+	f, ok := s.files[path]
+	if !ok {
+		return prov.Ref{}, false
+	}
+	return f.ref, true
+}
+
+// Attach registers an already-persistent object version as a local file —
+// the result of downloading it from the shared cloud. Local reads bind to
+// exactly that version (so cross-client ancestry stays connected), and a
+// local write starts the next version.
+func (s *System) Attach(path string, ref prov.Ref, content []byte) error {
+	if _, ok := s.files[path]; ok {
+		return fmt.Errorf("pass: Attach over existing file %s", path)
+	}
+	f := &object{
+		ref:     ref,
+		typ:     prov.TypeFile,
+		name:    path,
+		content: append([]byte(nil), content...),
+		frozen:  true,
+		inputs:  make(map[prov.Ref]bool),
+	}
+	s.files[path] = f
+	s.byRef[ref] = f
+	// The version is already persistent remotely: never re-flush it.
+	s.flushedSet[ref] = true
+	return nil
+}
+
+// Ingest creates a file that appears fully formed (a downloaded data set,
+// per the paper's usage model) and persists it immediately: version 0 with
+// no process ancestry.
+func (s *System) Ingest(path string, content []byte) error {
+	f, ok := s.files[path]
+	if ok {
+		return fmt.Errorf("pass: Ingest over existing file %s", path)
+	}
+	f = s.newFile(path)
+	f.content = append([]byte(nil), content...)
+	f.dirty = true
+	f.writer = 0
+	s.freezeFile(f)
+	return s.flushRef(f.ref)
+}

@@ -1,0 +1,533 @@
+package pass
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"passcloud/internal/prov"
+)
+
+// collector accumulates flush events and checks causal ordering on the fly.
+type collector struct {
+	events  []FlushEvent
+	flushed map[prov.Ref]bool
+	graph   *prov.Graph
+	// violation is set if an event arrived before one of its ancestors.
+	violation *prov.Ref
+	failAfter int // inject a flush error after this many events; 0 disables
+}
+
+func newCollector() *collector {
+	return &collector{flushed: make(map[prov.Ref]bool), graph: prov.NewGraph()}
+}
+
+func (c *collector) flush(ev FlushEvent) error {
+	if c.failAfter > 0 && len(c.events) >= c.failAfter {
+		return errors.New("injected flush failure")
+	}
+	for _, r := range ev.Records {
+		if r.Attr == prov.AttrInput && !c.flushed[r.Value.Ref] {
+			bad := r.Value.Ref
+			c.violation = &bad
+		}
+	}
+	c.events = append(c.events, ev)
+	c.flushed[ev.Ref] = true
+	c.graph.AddAll(ev.Records)
+	return nil
+}
+
+func (c *collector) refs() map[prov.Ref]FlushEvent {
+	out := make(map[prov.Ref]FlushEvent, len(c.events))
+	for _, ev := range c.events {
+		out[ev.Ref] = ev
+	}
+	return out
+}
+
+func newTestSystem(t *testing.T) (*System, *collector) {
+	t.Helper()
+	c := newCollector()
+	return NewSystem(Config{Flush: c.flush}), c
+}
+
+func TestReadWriteCloseProducesPaperRecords(t *testing.T) {
+	sys, c := newTestSystem(t)
+	if err := sys.Ingest("/in.dat", []byte("input data")); err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Exec(nil, ExecSpec{Name: "tool", Argv: []string{"tool", "-x"}})
+	if err := sys.Read(p, "/in.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Write(p, "/out.dat", []byte("result"), Truncate); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(p, "/out.dat"); err != nil {
+		t.Fatal(err)
+	}
+
+	events := c.refs()
+	out, ok := events[prov.Ref{Object: "/out.dat", Version: 0}]
+	if !ok {
+		t.Fatalf("output never flushed; events: %v", c.events)
+	}
+	if string(out.Data) != "result" {
+		t.Fatalf("output data = %q", out.Data)
+	}
+	// The written file depends upon the process that wrote it.
+	if got := c.graph.Inputs(out.Ref); len(got) != 1 || got[0] != p.Ref() {
+		t.Fatalf("output inputs = %v, want [%v]", got, p.Ref())
+	}
+	// The process depends upon the file being read.
+	procIn := c.graph.Inputs(p.Ref())
+	if len(procIn) != 1 || procIn[0] != (prov.Ref{Object: "/in.dat", Version: 0}) {
+		t.Fatalf("process inputs = %v", procIn)
+	}
+	// Process flush carries argv, pid, kernel, name, type.
+	procEv := events[p.Ref()]
+	attrs := map[string]string{}
+	for _, r := range procEv.Records {
+		if r.Value.Kind == prov.KindString {
+			attrs[r.Attr] = r.Value.Str
+		}
+	}
+	if attrs[prov.AttrName] != "tool" || attrs[prov.AttrArgv] != "tool -x" ||
+		attrs[prov.AttrType] != prov.TypeProcess || attrs[prov.AttrKernel] == "" {
+		t.Fatalf("process records = %v", procEv.Records)
+	}
+}
+
+func TestCausalOrderingAncestorsFlushFirst(t *testing.T) {
+	sys, c := newTestSystem(t)
+	if err := sys.Ingest("/a", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Chain: /a -> p1 -> /b -> p2 -> /c, closing only /c's ancestors late.
+	p1 := sys.Exec(nil, ExecSpec{Name: "stage1"})
+	must(t, sys.Read(p1, "/a"))
+	must(t, sys.Write(p1, "/b", []byte("b"), Truncate))
+	p2 := sys.Exec(nil, ExecSpec{Name: "stage2"})
+	must(t, sys.Read(p2, "/b")) // freezes /b without an explicit close
+	must(t, sys.Write(p2, "/c", []byte("c"), Truncate))
+	must(t, sys.Close(p2, "/c"))
+
+	if c.violation != nil {
+		t.Fatalf("causal ordering violated: %v flushed after a descendant", *c.violation)
+	}
+	// Everything reachable from /c must be flushed.
+	for _, want := range []prov.Ref{
+		{Object: "/a", Version: 0},
+		{Object: "/b", Version: 0},
+		{Object: "/c", Version: 0},
+		p1.Ref(), p2.Ref(),
+	} {
+		if !c.flushed[want] {
+			t.Fatalf("ancestor %v not flushed", want)
+		}
+	}
+	if missing := c.graph.MissingAncestors(); len(missing) != 0 {
+		t.Fatalf("graph has dangling ancestors: %v", missing)
+	}
+}
+
+func TestWriteAfterFreezeCreatesNewVersion(t *testing.T) {
+	sys, c := newTestSystem(t)
+	p := sys.Exec(nil, ExecSpec{Name: "writer"})
+	must(t, sys.Write(p, "/f", []byte("v0"), Truncate))
+	must(t, sys.Close(p, "/f"))
+	must(t, sys.Write(p, "/f", []byte("v1"), Truncate))
+	must(t, sys.Close(p, "/f"))
+
+	v0 := prov.Ref{Object: "/f", Version: 0}
+	v1 := prov.Ref{Object: "/f", Version: 1}
+	events := c.refs()
+	if _, ok := events[v0]; !ok {
+		t.Fatal("v0 missing")
+	}
+	ev1, ok := events[v1]
+	if !ok {
+		t.Fatal("v1 missing; write after close did not version")
+	}
+	if string(ev1.Data) != "v1" {
+		t.Fatalf("v1 data = %q", ev1.Data)
+	}
+	// Truncating write: v1 does not depend on v0 (content replaced), only
+	// on the writer.
+	if in := c.graph.Inputs(v1); len(in) != 1 || in[0].Object != p.Ref().Object {
+		t.Fatalf("v1 inputs = %v", in)
+	}
+}
+
+func TestAppendVersionDependsOnPrevious(t *testing.T) {
+	sys, c := newTestSystem(t)
+	p := sys.Exec(nil, ExecSpec{Name: "logger"})
+	must(t, sys.Write(p, "/log", []byte("one"), Append))
+	must(t, sys.Close(p, "/log"))
+	must(t, sys.Write(p, "/log", []byte("two"), Append))
+	must(t, sys.Close(p, "/log"))
+
+	v1 := prov.Ref{Object: "/log", Version: 1}
+	ev := c.refs()[v1]
+	if string(ev.Data) != "onetwo" {
+		t.Fatalf("append content = %q", ev.Data)
+	}
+	inputs := c.graph.Inputs(v1)
+	wantPrev := prov.Ref{Object: "/log", Version: 0}
+	foundPrev := false
+	for _, in := range inputs {
+		if in == wantPrev {
+			foundPrev = true
+		}
+	}
+	if !foundPrev {
+		t.Fatalf("append version inputs %v missing previous version", inputs)
+	}
+}
+
+func TestCycleAvoidanceProcessVersioning(t *testing.T) {
+	// p writes f; q reads f and writes g; p reads g. Without process
+	// versioning this creates the cycle the paper cites from PASS.
+	sys, c := newTestSystem(t)
+	p := sys.Exec(nil, ExecSpec{Name: "p"})
+	q := sys.Exec(nil, ExecSpec{Name: "q"})
+	must(t, sys.Write(p, "/f", []byte("f"), Truncate))
+	must(t, sys.Close(p, "/f"))
+	must(t, sys.Read(q, "/f"))
+	must(t, sys.Write(q, "/g", []byte("g"), Truncate))
+	must(t, sys.Close(q, "/g"))
+	must(t, sys.Read(p, "/g")) // p must become version 1 here
+	must(t, sys.Write(p, "/h", []byte("h"), Truncate))
+	must(t, sys.Close(p, "/h"))
+
+	if p.Ref().Version != 1 {
+		t.Fatalf("p version = %d, want 1 after read-following-write", p.Ref().Version)
+	}
+	if !c.graph.IsAcyclic() {
+		t.Fatal("provenance graph contains a cycle")
+	}
+	// p:1 must depend on p:0.
+	inputs := c.graph.Inputs(p.Ref())
+	foundSelf := false
+	for _, in := range inputs {
+		if in.Object == p.Ref().Object && in.Version == 0 {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Fatalf("p:1 inputs %v missing p:0", inputs)
+	}
+}
+
+func TestFreezeOnReadOfDirtyFile(t *testing.T) {
+	sys, c := newTestSystem(t)
+	w := sys.Exec(nil, ExecSpec{Name: "w"})
+	r := sys.Exec(nil, ExecSpec{Name: "r"})
+	must(t, sys.Write(w, "/shared", []byte("data"), Truncate))
+	must(t, sys.Read(r, "/shared")) // freezes version 0
+	must(t, sys.Write(w, "/shared", []byte("more"), Truncate))
+	must(t, sys.Write(r, "/out", []byte("out"), Truncate))
+	must(t, sys.Close(r, "/out"))
+	must(t, sys.Close(w, "/shared"))
+
+	// r depends on version 0, not the later content.
+	rIn := c.graph.Inputs(r.Ref())
+	want := prov.Ref{Object: "/shared", Version: 0}
+	found := false
+	for _, in := range rIn {
+		if in == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reader inputs %v missing %v", rIn, want)
+	}
+	// The second write landed in version 1.
+	if _, ok := c.refs()[prov.Ref{Object: "/shared", Version: 1}]; !ok {
+		t.Fatal("second write did not create version 1")
+	}
+	if !c.graph.IsAcyclic() {
+		t.Fatal("cycle created by freeze-on-read scenario")
+	}
+}
+
+func TestDifferentWriterForcesVersion(t *testing.T) {
+	sys, c := newTestSystem(t)
+	a := sys.Exec(nil, ExecSpec{Name: "a"})
+	b := sys.Exec(nil, ExecSpec{Name: "b"})
+	must(t, sys.Write(a, "/f", []byte("from-a"), Truncate))
+	must(t, sys.Write(b, "/f", []byte("from-b"), Truncate))
+	must(t, sys.Close(b, "/f"))
+
+	if _, ok := c.refs()[prov.Ref{Object: "/f", Version: 1}]; !ok {
+		t.Fatal("writer change did not version the file")
+	}
+	if c.violation != nil {
+		t.Fatalf("causal violation: %v", *c.violation)
+	}
+}
+
+func TestExecLineage(t *testing.T) {
+	sys, c := newTestSystem(t)
+	parent := sys.Exec(nil, ExecSpec{Name: "make"})
+	child := sys.Exec(parent, ExecSpec{Name: "cc"})
+	must(t, sys.Write(child, "/o", []byte("obj"), Truncate))
+	must(t, sys.Close(child, "/o"))
+
+	childIn := c.graph.Inputs(child.Ref())
+	if len(childIn) != 1 || childIn[0] != parent.Ref() {
+		t.Fatalf("child inputs = %v, want parent %v", childIn, parent.Ref())
+	}
+	if !c.flushed[parent.Ref()] {
+		t.Fatal("parent provenance not flushed with descendant")
+	}
+}
+
+func TestPipeRelatesProcesses(t *testing.T) {
+	sys, c := newTestSystem(t)
+	from := sys.Exec(nil, ExecSpec{Name: "gen"})
+	to := sys.Exec(nil, ExecSpec{Name: "sink"})
+	must(t, sys.Pipe(from, to))
+	must(t, sys.Write(to, "/out", []byte("x"), Truncate))
+	must(t, sys.Close(to, "/out"))
+
+	toIn := c.graph.Inputs(to.Ref())
+	if len(toIn) != 1 {
+		t.Fatalf("to inputs = %v", toIn)
+	}
+	pipeRef := toIn[0]
+	pipeIn := c.graph.Inputs(pipeRef)
+	if len(pipeIn) != 1 || pipeIn[0] != from.Ref() {
+		t.Fatalf("pipe inputs = %v, want [%v]", pipeIn, from.Ref())
+	}
+	if !c.flushed[from.Ref()] {
+		t.Fatal("pipe source not flushed with descendant")
+	}
+	if c.violation != nil {
+		t.Fatalf("causal violation: %v", *c.violation)
+	}
+}
+
+func TestFlushedProcessGainingInputBumps(t *testing.T) {
+	// A process whose version was flushed via exec lineage (without ever
+	// writing) must still version before taking new inputs.
+	sys, c := newTestSystem(t)
+	must(t, sys.Ingest("/in", []byte("x")))
+	parent := sys.Exec(nil, ExecSpec{Name: "shell"})
+	child := sys.Exec(parent, ExecSpec{Name: "tool"})
+	must(t, sys.Write(child, "/o1", []byte("1"), Truncate))
+	must(t, sys.Close(child, "/o1")) // flushes parent:0 as lineage ancestor
+	must(t, sys.Read(parent, "/in")) // parent:0 is flushed: must bump
+	if parent.Ref().Version != 1 {
+		t.Fatalf("parent version = %d, want 1", parent.Ref().Version)
+	}
+	must(t, sys.Write(parent, "/o2", []byte("2"), Truncate))
+	must(t, sys.Close(parent, "/o2"))
+	if c.violation != nil {
+		t.Fatalf("causal violation: %v", *c.violation)
+	}
+	if !c.graph.IsAcyclic() {
+		t.Fatal("cycle after flushed-process bump")
+	}
+}
+
+func TestIngest(t *testing.T) {
+	sys, c := newTestSystem(t)
+	if err := sys.Ingest("/dataset", []byte("census data")); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := c.refs()[prov.Ref{Object: "/dataset", Version: 0}]
+	if !ok || string(ev.Data) != "census data" {
+		t.Fatalf("ingest event = %+v, ok=%v", ev, ok)
+	}
+	if got := c.graph.Inputs(ev.Ref); len(got) != 0 {
+		t.Fatalf("ingested file has ancestry %v", got)
+	}
+	if err := sys.Ingest("/dataset", []byte("again")); err == nil {
+		t.Fatal("double ingest succeeded")
+	}
+}
+
+func TestSyscallErrors(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	p := sys.Exec(nil, ExecSpec{Name: "p"})
+	if err := sys.Read(p, "/missing"); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("read missing: %v", err)
+	}
+	if err := sys.Close(p, "/missing"); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("close missing: %v", err)
+	}
+	sys.Exit(p)
+	if err := sys.Read(p, "/x"); !errors.Is(err, ErrExited) {
+		t.Fatalf("read after exit: %v", err)
+	}
+	if err := sys.Write(p, "/x", nil, Truncate); !errors.Is(err, ErrExited) {
+		t.Fatalf("write after exit: %v", err)
+	}
+}
+
+func TestFlushFailurePropagates(t *testing.T) {
+	c := newCollector()
+	c.failAfter = 2 // the first close emits two events (process, file)
+	sys := NewSystem(Config{Flush: c.flush})
+	p := sys.Exec(nil, ExecSpec{Name: "p"})
+	must(t, sys.Write(p, "/a", []byte("a"), Truncate))
+	must(t, sys.Close(p, "/a"))
+	// The third event (file /b) hits the injected failure.
+	must(t, sys.Write(p, "/b", []byte("b"), Truncate))
+	if err := sys.Close(p, "/b"); err == nil {
+		t.Fatal("flush failure did not propagate")
+	}
+	// The failed version stays pending; a later retry succeeds.
+	c.failAfter = 0
+	if err := sys.Close(p, "/b"); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if !c.flushed[prov.Ref{Object: "/b", Version: 0}] {
+		t.Fatal("retried close did not flush")
+	}
+}
+
+func TestSyncDrainsPending(t *testing.T) {
+	sys, c := newTestSystem(t)
+	p := sys.Exec(nil, ExecSpec{Name: "p"})
+	must(t, sys.Write(p, "/f", []byte("x"), Truncate))
+	// Reading from another process freezes /f but nothing closes it.
+	q := sys.Exec(nil, ExecSpec{Name: "q"})
+	must(t, sys.Read(q, "/f"))
+	if c.flushed[prov.Ref{Object: "/f", Version: 0}] {
+		t.Fatal("frozen version flushed too early")
+	}
+	must(t, sys.Sync())
+	if !c.flushed[prov.Ref{Object: "/f", Version: 0}] {
+		t.Fatal("Sync did not flush pending version")
+	}
+	if c.violation != nil {
+		t.Fatalf("causal violation during Sync: %v", *c.violation)
+	}
+}
+
+func TestEnvRecordCarriesLargePayload(t *testing.T) {
+	sys, c := newTestSystem(t)
+	env := make([]byte, 3000)
+	for i := range env {
+		env[i] = 'e'
+	}
+	p := sys.Exec(nil, ExecSpec{Name: "p", Env: string(env)})
+	must(t, sys.Write(p, "/o", []byte("x"), Truncate))
+	must(t, sys.Close(p, "/o"))
+	found := false
+	for _, r := range c.refs()[p.Ref()].Records {
+		if r.Attr == prov.AttrEnv && len(r.Value.Str) == 3000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("large env record missing")
+	}
+}
+
+func TestStats(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	must(t, sys.Ingest("/in", []byte("12345")))
+	p := sys.Exec(nil, ExecSpec{Name: "p"})
+	must(t, sys.Read(p, "/in"))
+	must(t, sys.Write(p, "/out", []byte("123"), Truncate))
+	must(t, sys.Close(p, "/out"))
+
+	st := sys.Stats()
+	if st.Processes != 1 {
+		t.Fatalf("Processes = %d", st.Processes)
+	}
+	if st.FileVersions != 2 {
+		t.Fatalf("FileVersions = %d", st.FileVersions)
+	}
+	if st.TransientVersions != 1 {
+		t.Fatalf("TransientVersions = %d", st.TransientVersions)
+	}
+	if st.DataBytes != 8 {
+		t.Fatalf("DataBytes = %d", st.DataBytes)
+	}
+	if st.Records == 0 || st.ProvBytes == 0 {
+		t.Fatalf("Records/ProvBytes = %d/%d", st.Records, st.ProvBytes)
+	}
+}
+
+func TestFileContentAndCurrentVersion(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	p := sys.Exec(nil, ExecSpec{Name: "p"})
+	must(t, sys.Write(p, "/f", []byte("abc"), Truncate))
+	content, ok := sys.FileContent("/f")
+	if !ok || string(content) != "abc" {
+		t.Fatalf("FileContent = %q, %v", content, ok)
+	}
+	ref, ok := sys.CurrentVersion("/f")
+	if !ok || ref != (prov.Ref{Object: "/f", Version: 0}) {
+		t.Fatalf("CurrentVersion = %v, %v", ref, ok)
+	}
+	if _, ok := sys.FileContent("/missing"); ok {
+		t.Fatal("FileContent of missing file")
+	}
+	if _, ok := sys.CurrentVersion("/missing"); ok {
+		t.Fatal("CurrentVersion of missing file")
+	}
+}
+
+// TestRandomWorkloadInvariants drives random syscall sequences and asserts
+// the three core invariants: the graph stays acyclic, flush order respects
+// causality, and flushed provenance has no dangling ancestors.
+func TestRandomWorkloadInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := newCollector()
+		sys := NewSystem(Config{Flush: c.flush})
+		var procs []*Process
+		paths := []string{"/f0", "/f1", "/f2", "/f3"}
+		procs = append(procs, sys.Exec(nil, ExecSpec{Name: "root"}))
+		for i, op := range ops {
+			p := procs[int(op)%len(procs)]
+			path := paths[int(op>>2)%len(paths)]
+			switch op % 5 {
+			case 0:
+				_ = sys.Write(p, path, []byte{byte(i)}, Truncate)
+			case 1:
+				_ = sys.Write(p, path, []byte{byte(i)}, Append)
+			case 2:
+				_ = sys.Read(p, path)
+			case 3:
+				_ = sys.Close(p, path)
+			case 4:
+				if len(procs) < 6 {
+					procs = append(procs, sys.Exec(p, ExecSpec{Name: fmt.Sprintf("w%d", i)}))
+				}
+			}
+		}
+		if err := sys.Sync(); err != nil {
+			return false
+		}
+		if c.violation != nil {
+			t.Logf("causal violation: %v", *c.violation)
+			return false
+		}
+		if !c.graph.IsAcyclic() {
+			t.Log("cycle detected")
+			return false
+		}
+		if missing := c.graph.MissingAncestors(); len(missing) != 0 {
+			t.Logf("missing ancestors: %v", missing)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

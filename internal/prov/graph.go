@@ -1,0 +1,237 @@
+package prov
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Graph is an in-memory provenance graph: records indexed by subject, with
+// forward (input) and reverse (derived-object) edges. Query engines build
+// one from retrieved records; the S3-only architecture's full-scan queries
+// materialize one as they go.
+//
+// Graph is not safe for concurrent mutation.
+type Graph struct {
+	records map[Ref][]Record
+	// children: ancestor -> set of subjects that list it as input.
+	children map[Ref][]Ref
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		records:  make(map[Ref][]Record),
+		children: make(map[Ref][]Ref),
+	}
+}
+
+// Add inserts one record.
+func (g *Graph) Add(r Record) {
+	g.records[r.Subject] = append(g.records[r.Subject], r)
+	if r.Attr == AttrInput && r.Value.Kind == KindRef {
+		g.children[r.Value.Ref] = append(g.children[r.Value.Ref], r.Subject)
+	}
+}
+
+// AddAll inserts a batch of records.
+func (g *Graph) AddAll(records []Record) {
+	for _, r := range records {
+		g.Add(r)
+	}
+}
+
+// Len is the number of distinct subjects.
+func (g *Graph) Len() int { return len(g.records) }
+
+// NumRecords is the total record count.
+func (g *Graph) NumRecords() int {
+	n := 0
+	for _, rs := range g.records {
+		n += len(rs)
+	}
+	return n
+}
+
+// Records returns the records asserted about ref, in insertion order.
+func (g *Graph) Records(ref Ref) []Record {
+	return g.records[ref]
+}
+
+// Has reports whether any records exist for ref.
+func (g *Graph) Has(ref Ref) bool {
+	_, ok := g.records[ref]
+	return ok
+}
+
+// Subjects returns all subject refs, sorted for determinism.
+func (g *Graph) Subjects() []Ref {
+	out := make([]Ref, 0, len(g.records))
+	for r := range g.records {
+		out = append(out, r)
+	}
+	sortRefs(out)
+	return out
+}
+
+// Inputs returns ref's direct dependencies.
+func (g *Graph) Inputs(ref Ref) []Ref {
+	var out []Ref
+	for _, r := range g.records[ref] {
+		if r.Attr == AttrInput && r.Value.Kind == KindRef {
+			out = append(out, r.Value.Ref)
+		}
+	}
+	return out
+}
+
+// Children returns the subjects that directly depend on ref.
+func (g *Graph) Children(ref Ref) []Ref {
+	out := append([]Ref(nil), g.children[ref]...)
+	sortRefs(out)
+	return out
+}
+
+// Ancestors returns every ref reachable from ref through input edges,
+// excluding ref itself, sorted.
+func (g *Graph) Ancestors(ref Ref) []Ref {
+	return g.closure(ref, g.Inputs)
+}
+
+// Descendants returns every ref that transitively depends on ref, excluding
+// ref itself, sorted. This is the paper's Q.3 shape ("find all the
+// descendants of files derived from blast").
+func (g *Graph) Descendants(ref Ref) []Ref {
+	return g.closure(ref, func(r Ref) []Ref { return g.children[r] })
+}
+
+func (g *Graph) closure(start Ref, next func(Ref) []Ref) []Ref {
+	seen := map[Ref]bool{start: true}
+	var out []Ref
+	frontier := []Ref{start}
+	for len(frontier) > 0 {
+		var nextFrontier []Ref
+		for _, r := range frontier {
+			for _, n := range next(r) {
+				if !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+					nextFrontier = append(nextFrontier, n)
+				}
+			}
+		}
+		frontier = nextFrontier
+	}
+	sortRefs(out)
+	return out
+}
+
+// FindByAttr returns the subjects having a record attr=value, sorted. Query
+// engines use it for phase-one lookups like "all objects whose name is
+// blast".
+func (g *Graph) FindByAttr(attr, value string) []Ref {
+	var out []Ref
+	for subject, rs := range g.records {
+		for _, r := range rs {
+			if r.Attr == attr && r.Value.String() == value {
+				out = append(out, subject)
+				break
+			}
+		}
+	}
+	sortRefs(out)
+	return out
+}
+
+// IsAcyclic verifies the causality invariant: no ref is its own ancestor.
+// PASS versioning must make this true by construction; tests assert it.
+func (g *Graph) IsAcyclic() bool {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make(map[Ref]int, len(g.records))
+	var visit func(Ref) bool
+	visit = func(r Ref) bool {
+		switch state[r] {
+		case inStack:
+			return false
+		case done:
+			return true
+		}
+		state[r] = inStack
+		for _, in := range g.Inputs(r) {
+			if !visit(in) {
+				return false
+			}
+		}
+		state[r] = done
+		return true
+	}
+	for r := range g.records {
+		if !visit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// MissingAncestors returns input references that have no records in the
+// graph — the causal-ordering violation the paper defines ("the object is
+// disconnected from its provenance tree"). A complete graph returns none.
+func (g *Graph) MissingAncestors() []Ref {
+	seen := make(map[Ref]bool)
+	var out []Ref
+	for subject := range g.records {
+		for _, in := range g.Inputs(subject) {
+			if !g.Has(in) && !seen[in] {
+				seen[in] = true
+				out = append(out, in)
+			}
+		}
+	}
+	sortRefs(out)
+	return out
+}
+
+// WriteDOT renders the graph in Graphviz DOT form for the examples.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph provenance {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  rankdir=BT;"); err != nil {
+		return err
+	}
+	for _, subject := range g.Subjects() {
+		attrs := map[string]string{}
+		for _, r := range g.records[subject] {
+			if r.Attr == AttrType || r.Attr == AttrName {
+				attrs[r.Attr] = r.Value.String()
+			}
+		}
+		shape := "box"
+		if attrs[AttrType] == TypeProcess {
+			shape = "ellipse"
+		}
+		if _, err := fmt.Fprintf(w, "  %q [shape=%s];\n", subject.String(), shape); err != nil {
+			return err
+		}
+		for _, in := range g.Inputs(subject) {
+			if _, err := fmt.Fprintf(w, "  %q -> %q;\n", subject.String(), in.String()); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func sortRefs(refs []Ref) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Object != refs[j].Object {
+			return refs[i].Object < refs[j].Object
+		}
+		return refs[i].Version < refs[j].Version
+	})
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrCrash is the sentinel wrapped by every injected crash. Protocol code
+// returns it up the stack, simulating the client process dying at that point;
+// callers (tests, the property checkers) detect it with errors.Is.
+var ErrCrash = errors.New("sim: injected client crash")
+
+// CrashError reports an injected crash at a named protocol point.
+type CrashError struct {
+	// Point is the name of the crash point that fired, e.g.
+	// "s3sdb/after-put-attributes".
+	Point string
+}
+
+// Error implements the error interface.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("sim: injected client crash at %q", e.Point)
+}
+
+// Unwrap makes errors.Is(err, ErrCrash) true for injected crashes.
+func (e *CrashError) Unwrap() error { return ErrCrash }
+
+// FaultPlan injects crashes at named protocol points. Protocol
+// implementations call Check at each step boundary; a plan armed for that
+// point makes Check return a *CrashError exactly once (a client crashes once,
+// then restarts and runs recovery).
+//
+// The zero value is a usable plan with no faults armed. FaultPlan is safe for
+// concurrent use.
+type FaultPlan struct {
+	mu    sync.Mutex
+	armed map[string]int // point -> remaining hits before firing
+	fired map[string]int // point -> times fired (for assertions)
+}
+
+// NewFaultPlan returns an empty plan.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
+
+// Arm schedules a crash the next time point is checked.
+func (p *FaultPlan) Arm(point string) { p.ArmAfter(point, 0) }
+
+// ArmAfter schedules a crash at the (skip+1)-th check of point. skip = 0
+// crashes on the first check; skip = 2 lets the point pass twice and crashes
+// on the third. This is how tests crash, say, the second PutAttributes call
+// of a multi-chunk store.
+func (p *FaultPlan) ArmAfter(point string, skip int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.armed == nil {
+		p.armed = make(map[string]int)
+	}
+	p.armed[point] = skip
+}
+
+// Check reports whether the client crashes at point. A nil plan never
+// crashes, so production paths can carry a nil *FaultPlan at zero cost.
+func (p *FaultPlan) Check(point string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	remaining, ok := p.armed[point]
+	if !ok {
+		return nil
+	}
+	if remaining > 0 {
+		p.armed[point] = remaining - 1
+		return nil
+	}
+	delete(p.armed, point)
+	if p.fired == nil {
+		p.fired = make(map[string]int)
+	}
+	p.fired[point]++
+	return &CrashError{Point: point}
+}
+
+// Fired reports how many times a crash fired at point.
+func (p *FaultPlan) Fired(point string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired[point]
+}
+
+// Pending reports whether any armed fault has not yet fired. Tests use it to
+// assert that the scenario actually reached its crash point.
+func (p *FaultPlan) Pending() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.armed) > 0
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// RNG is a deterministic, concurrency-safe random source. Every simulated
+// service draws from an RNG seeded by its configuration, so an entire
+// simulation run is reproducible from its seeds.
+type RNG struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, matching
+// math/rand.
+func (g *RNG) Intn(n int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Intn(n)
+}
+
+// Int63 returns a non-negative uniform int64.
+func (g *RNG) Int63() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Int63()
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Float64()
+}
+
+// NormFloat64 returns a normally distributed float64 (mean 0, stddev 1).
+func (g *RNG) NormFloat64() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.NormFloat64()
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1.
+func (g *RNG) ExpFloat64() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.ExpFloat64()
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Perm(n)
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.r.Shuffle(n, swap)
+}
+
+// Hex returns n bytes of randomness rendered as a 2n-character hex string.
+// It is used for request IDs, receipt handles and nonces.
+func (g *RNG) Hex(n int) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(g.r.Intn(256))
+	}
+	return fmt.Sprintf("%x", buf)
+}
+
+// LogNormal returns a log-normally distributed value with the given
+// parameters of the underlying normal distribution. Workload generators use
+// it for file-size distributions, which are heavy-tailed in all three paper
+// workloads.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	n := g.NormFloat64()
+	return math.Exp(mu + sigma*n)
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+
+	"passcloud/internal/pass"
+	"passcloud/internal/sim"
+)
+
+// Blast models the paper's second workload [11]: a BLAST sequence-search
+// run. formatdb converts a FASTA database into indexed files; each search
+// job then runs as the shell pipeline
+//
+//	cat batch | blastall | tee -a job.out
+//
+// streaming query batches against the indexed database and appending hits.
+//
+// The pipeline shape matters for provenance volume: every batch contributes
+// a cat process, two pipes, and — because blastall and tee gain a new input
+// after producing output — new blastall and tee versions (PASS cycle
+// avoidance). Transient object versions therefore dwarf stored files, which
+// is PASS's published experience with Blast and the reason the paper's
+// SimpleDB item count is several times its S3 object count.
+type Blast struct {
+	// Jobs is the number of pipeline invocations at scale 1.0.
+	Jobs int
+	// BatchesPerJob is how many query batches each job streams.
+	BatchesPerJob int
+	// DatabaseSize is the FASTA database size in bytes at scale 1.0.
+	DatabaseSize int
+	// MeanBatchSize, MeanResultSize are mean sizes in bytes of one query
+	// batch file and one appended result chunk.
+	MeanBatchSize, MeanResultSize int
+	// BigEnvFraction is the fraction of processes with >1 KB environments.
+	BigEnvFraction float64
+	// Scale multiplies Jobs and DatabaseSize (1.0 = paper scale).
+	Scale float64
+}
+
+// DefaultBlast returns the configuration used for the paper dataset.
+func DefaultBlast(scale float64) *Blast {
+	return &Blast{
+		Jobs:           510,
+		BatchesPerJob:  40,
+		DatabaseSize:   150 << 20,
+		MeanBatchSize:  10 << 10,
+		MeanResultSize: 15 << 10,
+		BigEnvFraction: 0.27,
+		Scale:          scale,
+	}
+}
+
+// Name implements Workload.
+func (w *Blast) Name() string { return "blast" }
+
+// Run implements Workload.
+func (w *Blast) Run(sys *pass.System, rng *sim.RNG) error {
+	nJobs := scaleCount(w.Jobs, w.Scale, 1)
+	dbSize := scaleCount(w.DatabaseSize, w.Scale, 1<<20)
+
+	// The raw database is a downloaded data set.
+	const fasta = "/blast/db/nr.fasta"
+	if err := sys.Ingest(fasta, payload(rng, dbSize)); err != nil {
+		return err
+	}
+
+	// formatdb indexes it into three files (.phr/.pin/.psq).
+	formatdb := sys.Exec(nil, pass.ExecSpec{
+		Name: "formatdb",
+		Argv: []string{"formatdb", "-i", fasta},
+		Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+	})
+	if err := sys.Read(formatdb, fasta); err != nil {
+		return err
+	}
+	dbFiles := []string{"/blast/db/nr.phr", "/blast/db/nr.pin", "/blast/db/nr.psq"}
+	for i, f := range dbFiles {
+		size := dbSize / 3
+		if i == 0 {
+			size = dbSize / 20 // header file is small
+		}
+		if err := sys.Write(formatdb, f, payload(rng, size), pass.Truncate); err != nil {
+			return err
+		}
+		if err := sys.Close(formatdb, f); err != nil {
+			return err
+		}
+	}
+	sys.Exit(formatdb)
+
+	for j := 0; j < nJobs; j++ {
+		// Each job's query batches pre-exist.
+		batches := make([]string, w.BatchesPerJob)
+		for b := range batches {
+			batches[b] = fmt.Sprintf("/blast/queries/job%04d/batch%03d.fasta", j, b)
+			if err := sys.Ingest(batches[b], payload(rng, sizeAround(rng, w.MeanBatchSize))); err != nil {
+				return err
+			}
+		}
+
+		blast := sys.Exec(nil, pass.ExecSpec{
+			Name: "blastall",
+			Argv: []string{"blastall", "-p", "blastp", "-d", "nr"},
+			Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+		})
+		tee := sys.Exec(nil, pass.ExecSpec{
+			Name: "tee",
+			Argv: []string{"tee", "-a", fmt.Sprintf("job%04d.out", j)},
+			Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+		})
+		for _, f := range dbFiles {
+			if err := sys.Read(blast, f); err != nil {
+				return err
+			}
+		}
+		out := fmt.Sprintf("/blast/results/job%04d.out", j)
+		for _, batch := range batches {
+			cat := sys.Exec(nil, pass.ExecSpec{
+				Name: "cat",
+				Argv: []string{"cat", batch},
+				Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+			})
+			if err := sys.Read(cat, batch); err != nil {
+				return err
+			}
+			if err := sys.Pipe(cat, blast); err != nil {
+				return err
+			}
+			sys.Exit(cat)
+			if err := sys.Pipe(blast, tee); err != nil {
+				return err
+			}
+			if err := sys.Write(tee, out, payload(rng, sizeAround(rng, w.MeanResultSize)), pass.Append); err != nil {
+				return err
+			}
+		}
+		if err := sys.Close(tee, out); err != nil {
+			return err
+		}
+		sys.Exit(blast)
+		sys.Exit(tee)
+
+		// A summarizer script post-processes the job's hits.
+		perl := sys.Exec(nil, pass.ExecSpec{
+			Name: "perl",
+			Argv: []string{"perl", "summarize.pl", out},
+			Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+		})
+		if err := sys.Read(perl, out); err != nil {
+			return err
+		}
+		summary := fmt.Sprintf("/blast/results/job%04d.summary", j)
+		if err := sys.Write(perl, summary, payload(rng, sizeAround(rng, 4<<10)), pass.Truncate); err != nil {
+			return err
+		}
+		if err := sys.Close(perl, summary); err != nil {
+			return err
+		}
+		sys.Exit(perl)
+	}
+	return sys.Sync()
+}

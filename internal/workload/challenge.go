@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"fmt"
+
+	"passcloud/internal/pass"
+	"passcloud/internal/sim"
+)
+
+// ProvChallenge models the paper's third workload [10]: the First Provenance
+// Challenge fMRI workflow. Each run takes four anatomy images plus a
+// reference, and proceeds through four stages:
+//
+//	align_warp (×4)  anatomy image + header + reference -> warp params
+//	reslice    (×4)  warp params                       -> resliced image + header
+//	softmean   (×1)  all resliced images               -> atlas image + header
+//	slicer     (×3)  atlas                             -> 2D slice
+//	convert    (×3)  slice                             -> graphic
+//
+// The workflow is the community's canonical lineage benchmark; its diamond
+// ancestry (everything funnels through softmean) exercises ancestor and
+// descendant queries.
+type ProvChallenge struct {
+	// Runs is the number of complete workflow executions at scale 1.0.
+	Runs int
+	// ImageSize is the anatomy image size in bytes.
+	ImageSize int
+	// BigEnvFraction is the fraction of processes with >1 KB environments.
+	BigEnvFraction float64
+	// Scale multiplies Runs (1.0 = paper scale).
+	Scale float64
+}
+
+// DefaultProvChallenge returns the configuration used for the paper dataset.
+func DefaultProvChallenge(scale float64) *ProvChallenge {
+	return &ProvChallenge{
+		Runs:           80,
+		ImageSize:      360 << 10,
+		BigEnvFraction: 0.22,
+		Scale:          scale,
+	}
+}
+
+// Name implements Workload.
+func (w *ProvChallenge) Name() string { return "prov-challenge" }
+
+// Run implements Workload.
+func (w *ProvChallenge) Run(sys *pass.System, rng *sim.RNG) error {
+	nRuns := scaleCount(w.Runs, w.Scale, 1)
+
+	const reference = "/fmri/reference.img"
+	if err := sys.Ingest(reference, payload(rng, w.ImageSize)); err != nil {
+		return err
+	}
+
+	for run := 0; run < nRuns; run++ {
+		dir := fmt.Sprintf("/fmri/run%04d", run)
+
+		// Stage 0: the four anatomy images and headers pre-exist.
+		var images, headers [4]string
+		for i := 0; i < 4; i++ {
+			images[i] = fmt.Sprintf("%s/anatomy%d.img", dir, i+1)
+			headers[i] = fmt.Sprintf("%s/anatomy%d.hdr", dir, i+1)
+			if err := sys.Ingest(images[i], payload(rng, sizeAround(rng, w.ImageSize))); err != nil {
+				return err
+			}
+			if err := sys.Ingest(headers[i], payload(rng, 348)); err != nil { // ANALYZE header size
+				return err
+			}
+		}
+
+		// Stage 1: align_warp.
+		var warps [4]string
+		for i := 0; i < 4; i++ {
+			aw := sys.Exec(nil, pass.ExecSpec{
+				Name: "align_warp",
+				Argv: []string{"align_warp", images[i], reference, "-m", "12"},
+				Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+			})
+			for _, in := range []string{images[i], headers[i], reference} {
+				if err := sys.Read(aw, in); err != nil {
+					return err
+				}
+			}
+			warps[i] = fmt.Sprintf("%s/warp%d.warp", dir, i+1)
+			if err := sys.Write(aw, warps[i], payload(rng, sizeAround(rng, 8<<10)), pass.Truncate); err != nil {
+				return err
+			}
+			if err := sys.Close(aw, warps[i]); err != nil {
+				return err
+			}
+			sys.Exit(aw)
+		}
+
+		// Stage 2: reslice.
+		var resliced [4]string
+		for i := 0; i < 4; i++ {
+			rs := sys.Exec(nil, pass.ExecSpec{
+				Name: "reslice",
+				Argv: []string{"reslice", warps[i]},
+				Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+			})
+			if err := sys.Read(rs, warps[i]); err != nil {
+				return err
+			}
+			if err := sys.Read(rs, images[i]); err != nil {
+				return err
+			}
+			resliced[i] = fmt.Sprintf("%s/resliced%d.img", dir, i+1)
+			hdr := fmt.Sprintf("%s/resliced%d.hdr", dir, i+1)
+			if err := sys.Write(rs, resliced[i], payload(rng, sizeAround(rng, w.ImageSize)), pass.Truncate); err != nil {
+				return err
+			}
+			if err := sys.Write(rs, hdr, payload(rng, 348), pass.Truncate); err != nil {
+				return err
+			}
+			if err := sys.Close(rs, resliced[i]); err != nil {
+				return err
+			}
+			if err := sys.Close(rs, hdr); err != nil {
+				return err
+			}
+			sys.Exit(rs)
+		}
+
+		// Stage 3: softmean produces the atlas.
+		sm := sys.Exec(nil, pass.ExecSpec{
+			Name: "softmean",
+			Argv: []string{"softmean", "atlas.img", "y", "null"},
+			Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+		})
+		for i := 0; i < 4; i++ {
+			if err := sys.Read(sm, resliced[i]); err != nil {
+				return err
+			}
+		}
+		atlas := fmt.Sprintf("%s/atlas.img", dir)
+		atlasHdr := fmt.Sprintf("%s/atlas.hdr", dir)
+		if err := sys.Write(sm, atlas, payload(rng, sizeAround(rng, w.ImageSize)), pass.Truncate); err != nil {
+			return err
+		}
+		if err := sys.Write(sm, atlasHdr, payload(rng, 348), pass.Truncate); err != nil {
+			return err
+		}
+		if err := sys.Close(sm, atlas); err != nil {
+			return err
+		}
+		if err := sys.Close(sm, atlasHdr); err != nil {
+			return err
+		}
+		sys.Exit(sm)
+
+		// Stage 4: slicer + convert along three axes.
+		for i, axis := range []string{"x", "y", "z"} {
+			sl := sys.Exec(nil, pass.ExecSpec{
+				Name: "slicer",
+				Argv: []string{"slicer", atlas, "-" + axis, ".5"},
+				Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+			})
+			if err := sys.Read(sl, atlas); err != nil {
+				return err
+			}
+			if err := sys.Read(sl, atlasHdr); err != nil {
+				return err
+			}
+			slice := fmt.Sprintf("%s/slice_%s.pgm", dir, axis)
+			if err := sys.Write(sl, slice, payload(rng, sizeAround(rng, 90<<10)), pass.Truncate); err != nil {
+				return err
+			}
+			if err := sys.Close(sl, slice); err != nil {
+				return err
+			}
+			sys.Exit(sl)
+
+			cv := sys.Exec(nil, pass.ExecSpec{
+				Name: "convert",
+				Argv: []string{"convert", slice, fmt.Sprintf("atlas_%s.gif", axis)},
+				Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+			})
+			if err := sys.Read(cv, slice); err != nil {
+				return err
+			}
+			gif := fmt.Sprintf("%s/atlas_%s.gif", dir, axis)
+			if err := sys.Write(cv, gif, payload(rng, sizeAround(rng, 40<<10)), pass.Truncate); err != nil {
+				return err
+			}
+			if err := sys.Close(cv, gif); err != nil {
+				return err
+			}
+			sys.Exit(cv)
+			_ = i
+		}
+	}
+	return sys.Sync()
+}

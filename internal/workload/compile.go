@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+
+	"passcloud/internal/pass"
+	"passcloud/internal/sim"
+)
+
+// LinuxCompile models the paper's first workload: building a kernel tree.
+// A make process spawns one cc per translation unit; each cc reads its
+// source file and a set of shared headers and writes an object file; a final
+// ld links every object file into the kernel image.
+//
+// The provenance shape this produces — wide fan-in from shared headers, one
+// process per output, a single huge sink — is what makes compile workloads a
+// provenance stress test.
+type LinuxCompile struct {
+	// Sources is the number of .c translation units at scale 1.0.
+	Sources int
+	// Headers is the number of shared .h files at scale 1.0.
+	Headers int
+	// HeaderFanIn is how many headers each cc reads.
+	HeaderFanIn int
+	// MeanSourceSize, MeanObjectSize are mean file sizes in bytes.
+	MeanSourceSize, MeanObjectSize int
+	// ImageSize is the final linked image size in bytes.
+	ImageSize int
+	// BigEnvFraction is the fraction of compiler processes with >1 KB
+	// environments.
+	BigEnvFraction float64
+	// Scale multiplies the file counts (1.0 = paper scale).
+	Scale float64
+}
+
+// DefaultLinuxCompile returns the configuration used for the paper dataset.
+func DefaultLinuxCompile(scale float64) *LinuxCompile {
+	return &LinuxCompile{
+		Sources:        3200,
+		Headers:        620,
+		HeaderFanIn:    14,
+		MeanSourceSize: 10 << 10,
+		MeanObjectSize: 16 << 10,
+		ImageSize:      6 << 20,
+		BigEnvFraction: 0.22,
+		Scale:          scale,
+	}
+}
+
+// Name implements Workload.
+func (w *LinuxCompile) Name() string { return "linux-compile" }
+
+// Run implements Workload.
+func (w *LinuxCompile) Run(sys *pass.System, rng *sim.RNG) error {
+	nSrc := scaleCount(w.Sources, w.Scale, 3)
+	nHdr := scaleCount(w.Headers, w.Scale, 2)
+
+	// The source tree pre-exists (checked out, not generated): ingest it.
+	headers := make([]string, nHdr)
+	for i := range headers {
+		headers[i] = fmt.Sprintf("/usr/src/linux/include/h%04d.h", i)
+		if err := sys.Ingest(headers[i], payload(rng, sizeAround(rng, 4<<10))); err != nil {
+			return err
+		}
+	}
+	sources := make([]string, nSrc)
+	for i := range sources {
+		sources[i] = fmt.Sprintf("/usr/src/linux/src/f%05d.c", i)
+		if err := sys.Ingest(sources[i], payload(rng, sizeAround(rng, w.MeanSourceSize))); err != nil {
+			return err
+		}
+	}
+
+	make_ := sys.Exec(nil, pass.ExecSpec{
+		Name: "make",
+		Argv: []string{"make", "-j8", "vmlinux"},
+		Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+	})
+
+	objects := make([]string, nSrc)
+	for i, src := range sources {
+		cc := sys.Exec(make_, pass.ExecSpec{
+			Name: "cc",
+			Argv: []string{"cc", "-O2", "-c", src},
+			Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+		})
+		if err := sys.Read(cc, src); err != nil {
+			return err
+		}
+		for h := 0; h < w.HeaderFanIn && h < nHdr; h++ {
+			if err := sys.Read(cc, headers[(i+h*7)%nHdr]); err != nil {
+				return err
+			}
+		}
+		objects[i] = fmt.Sprintf("/usr/src/linux/obj/f%05d.o", i)
+		if err := sys.Write(cc, objects[i], payload(rng, sizeAround(rng, w.MeanObjectSize)), pass.Truncate); err != nil {
+			return err
+		}
+		if err := sys.Close(cc, objects[i]); err != nil {
+			return err
+		}
+		sys.Exit(cc)
+	}
+
+	ld := sys.Exec(make_, pass.ExecSpec{
+		Name: "ld",
+		Argv: []string{"ld", "-o", "vmlinux"},
+		Env:  env(rng, envSize(rng, w.BigEnvFraction)),
+	})
+	for _, obj := range objects {
+		if err := sys.Read(ld, obj); err != nil {
+			return err
+		}
+	}
+	if err := sys.Write(ld, "/usr/src/linux/vmlinux", payload(rng, w.ImageSize), pass.Truncate); err != nil {
+		return err
+	}
+	if err := sys.Close(ld, "/usr/src/linux/vmlinux"); err != nil {
+		return err
+	}
+	sys.Exit(ld)
+	sys.Exit(make_)
+	return sys.Sync()
+}

@@ -1,0 +1,435 @@
+// Package passcloud makes a cloud provenance-aware.
+//
+// It is a complete implementation of Muniswamy-Reddy, Macko and Seltzer,
+// "Making a Cloud Provenance-Aware" (TaPP '09): a Provenance-Aware Storage
+// System (PASS) client that stores data together with its provenance on a
+// (simulated) Amazon Web Services region, using one of the paper's three
+// architectures:
+//
+//	S3Only        data and provenance in S3 (provenance as object metadata)
+//	S3SimpleDB    data in S3, provenance in SimpleDB (indexed, queryable)
+//	S3SimpleDBSQS data in S3, provenance in SimpleDB, with an SQS
+//	              write-ahead log providing atomicity and read correctness
+//
+// A Client bundles a PASS system (processes, files, syscall-level
+// provenance observation) with a storage architecture. Applications run
+// processes that read and write files; on close, each file's data and
+// provenance — including the provenance of every transient ancestor — is
+// persisted through the selected architecture. The provenance can then be
+// verified on read and queried by lineage.
+//
+// The cloud behind the client is simulated (eventual consistency, request
+// accounting and January-2009 pricing included), so the full system runs
+// self-contained and deterministically.
+package passcloud
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/billing"
+	"passcloud/internal/core"
+	"passcloud/internal/core/s3sdbsqs"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+)
+
+// Architecture selects one of the paper's three designs.
+type Architecture int
+
+// The three architectures of the paper's §4.
+const (
+	// S3Only stores provenance as S3 object metadata (§4.1).
+	S3Only Architecture = iota
+	// S3SimpleDB stores provenance in SimpleDB (§4.2).
+	S3SimpleDB
+	// S3SimpleDBSQS adds the SQS write-ahead log (§4.3).
+	S3SimpleDBSQS
+)
+
+// String names the architecture as the paper does.
+func (a Architecture) String() string {
+	switch a {
+	case S3Only:
+		return "S3"
+	case S3SimpleDB:
+		return "S3+SimpleDB"
+	case S3SimpleDBSQS:
+		return "S3+SimpleDB+SQS"
+	default:
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+}
+
+// Options configures a Client. The zero value is usable: S3Only on a
+// strongly consistent region.
+type Options struct {
+	// Architecture selects the storage design.
+	Architecture Architecture
+	// Seed fixes all randomness; runs with equal seeds are identical.
+	Seed int64
+	// ConsistencyDelay is the region's maximum replication delay. Zero
+	// gives strong consistency; a positive delay reproduces the eventual-
+	// consistency behaviour the paper analyzes (reads may be stale until
+	// Settle is called or simulated time passes).
+	ConsistencyDelay time.Duration
+	// Bucket, Domain and ClientID override the default resource names.
+	Bucket, Domain, ClientID string
+	// Kernel is recorded in process provenance.
+	Kernel string
+}
+
+// Ref identifies one version of one object.
+type Ref struct {
+	Object  string
+	Version int
+}
+
+// String renders the object:version form.
+func (r Ref) String() string { return fmt.Sprintf("%s:%d", r.Object, r.Version) }
+
+func toPublicRef(r prov.Ref) Ref { return Ref{Object: string(r.Object), Version: int(r.Version)} }
+func toInternalRef(r Ref) prov.Ref {
+	return prov.Ref{Object: prov.ObjectID(r.Object), Version: prov.Version(r.Version)}
+}
+
+// Record is one provenance assertion about Subject.
+type Record struct {
+	Subject Ref
+	// Attr is the attribute name: "input", "name", "type", "argv", ...
+	Attr string
+	// Value is the attribute value. For input records it is the
+	// referenced object version in object:version form, also available
+	// structured via InputRef.
+	Value string
+	// IsInput reports whether this record is an ancestry edge.
+	IsInput bool
+	// InputRef is the referenced version when IsInput.
+	InputRef Ref
+}
+
+func toPublicRecord(r prov.Record) Record {
+	out := Record{
+		Subject: toPublicRef(r.Subject),
+		Attr:    r.Attr,
+		Value:   r.Value.String(),
+	}
+	if r.Attr == prov.AttrInput && r.Value.Kind == prov.KindRef {
+		out.IsInput = true
+		out.InputRef = toPublicRef(r.Value.Ref)
+	}
+	return out
+}
+
+func toPublicRecords(rs []prov.Record) []Record {
+	out := make([]Record, len(rs))
+	for i, r := range rs {
+		out[i] = toPublicRecord(r)
+	}
+	return out
+}
+
+// Object is retrieved data with its verified provenance.
+type Object struct {
+	Ref     Ref
+	Data    []byte
+	Records []Record
+}
+
+// Properties is the architecture's Table 1 row.
+type Properties struct {
+	Atomicity      bool
+	Consistency    bool
+	CausalOrdering bool
+	EfficientQuery bool
+}
+
+// Errors, re-exported for callers to match with errors.Is.
+var (
+	// ErrNotFound: the object does not exist (or has not propagated).
+	ErrNotFound = core.ErrNotFound
+	// ErrInconsistent: data and provenance could not be reconciled within
+	// the retry budget.
+	ErrInconsistent = core.ErrInconsistent
+	// ErrNoProvenance: data exists without provenance (an atomicity
+	// violation surfaced).
+	ErrNoProvenance = core.ErrNoProvenance
+)
+
+// Client is a provenance-aware cloud storage client.
+type Client struct {
+	ctx    context.Context
+	opts   Options
+	cloud  *cloud.Cloud
+	store  core.Store
+	sys    *pass.System
+	daemon *s3sdbsqs.CommitDaemon
+}
+
+// New builds a client with its own simulated AWS region. To share one
+// region between several clients, use NewRegion.
+func New(opts Options) (*Client, error) {
+	cl := cloud.New(cloud.Config{
+		Seed:     opts.Seed,
+		MaxDelay: opts.ConsistencyDelay,
+	})
+	return newClientOn(cl, opts)
+}
+
+// Architecture returns the selected design.
+func (c *Client) Architecture() Architecture { return c.opts.Architecture }
+
+// Properties returns the architecture's Table 1 row.
+func (c *Client) Properties() Properties {
+	p := c.store.Properties()
+	return Properties{
+		Atomicity:      p.Atomicity,
+		Consistency:    p.Consistency,
+		CausalOrdering: p.CausalOrdering,
+		EfficientQuery: p.EfficientQuery,
+	}
+}
+
+// --- the PASS application surface -------------------------------------------
+
+// Process is a handle on a simulated process whose syscalls are observed.
+type Process struct {
+	c *Client
+	p *pass.Process
+}
+
+// ProcessSpec describes a process to execute.
+type ProcessSpec struct {
+	Name string
+	Argv []string
+	// Env is the captured environment; large environments produce the
+	// >1 KB provenance records the paper's analysis features.
+	Env string
+}
+
+// Exec starts a process. A nil parent starts a session root.
+func (c *Client) Exec(parent *Process, spec ProcessSpec) *Process {
+	var pp *pass.Process
+	if parent != nil {
+		pp = parent.p
+	}
+	return &Process{c: c, p: c.sys.Exec(pp, pass.ExecSpec{Name: spec.Name, Argv: spec.Argv, Env: spec.Env})}
+}
+
+// Ref returns the process's current provenance version.
+func (p *Process) Ref() Ref { return toPublicRef(p.p.Ref()) }
+
+// Read records that the process read path.
+func (p *Process) Read(path string) error { return p.c.sys.Read(p.p, path) }
+
+// Write replaces path's content, recording the dependency.
+func (p *Process) Write(path string, data []byte) error {
+	return p.c.sys.Write(p.p, path, data, pass.Truncate)
+}
+
+// Append extends path's content, recording the dependency.
+func (p *Process) Append(path string, data []byte) error {
+	return p.c.sys.Write(p.p, path, data, pass.Append)
+}
+
+// Close persists path: its data and provenance (with all unpersisted
+// ancestors, ancestors first) flow through the storage architecture.
+func (p *Process) Close(path string) error { return p.c.sys.Close(p.p, path) }
+
+// PipeTo connects this process's output to q's input through a pipe,
+// relating their provenance.
+func (p *Process) PipeTo(q *Process) error { return p.c.sys.Pipe(p.p, q.p) }
+
+// Exit marks the process finished.
+func (p *Process) Exit() { p.c.sys.Exit(p.p) }
+
+// Ingest stores a pre-existing data set (no process ancestry), like
+// downloading a public data set into the cloud.
+func (c *Client) Ingest(path string, data []byte) error {
+	return c.sys.Ingest(path, data)
+}
+
+// Fetch downloads a shared object from the cloud into this client's local
+// namespace (the paper's model: "download the data set to their local
+// compute grid"). Local reads then bind to exactly the fetched version, so
+// derivations made here connect to the ancestry other clients stored.
+func (c *Client) Fetch(path string) (*Object, error) {
+	obj, err := c.store.Get(c.ctx, prov.ObjectID(path))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.sys.Attach(path, obj.Ref, obj.Data); err != nil {
+		return nil, err
+	}
+	return &Object{
+		Ref:     toPublicRef(obj.Ref),
+		Data:    obj.Data,
+		Records: toPublicRecords(obj.Records),
+	}, nil
+}
+
+// Sync drains everything toward the cloud: pending PASS versions, buffered
+// client state, and (for the WAL architecture) the commit daemon.
+func (c *Client) Sync() error {
+	if err := c.sys.Sync(); err != nil {
+		return err
+	}
+	if err := core.SyncStore(c.ctx, c.store); err != nil {
+		return err
+	}
+	if c.daemon != nil {
+		for i := 0; i < 50; i++ {
+			n, err := c.daemon.RunOnce(c.ctx, true)
+			if err != nil {
+				return err
+			}
+			if n == 0 && c.daemon.PendingTransactions() == 0 {
+				return nil
+			}
+			c.cloud.Settle()
+		}
+		return errors.New("passcloud: commit daemon did not drain")
+	}
+	return nil
+}
+
+// Settle advances simulated time past the region's replication horizon so
+// all replicas converge. With ConsistencyDelay zero it is a no-op.
+func (c *Client) Settle() { c.cloud.Settle() }
+
+// --- retrieval and queries ---------------------------------------------------
+
+// Get retrieves the current version of path with verified provenance.
+func (c *Client) Get(path string) (*Object, error) {
+	obj, err := c.store.Get(c.ctx, prov.ObjectID(path))
+	if err != nil {
+		return nil, err
+	}
+	return &Object{
+		Ref:     toPublicRef(obj.Ref),
+		Data:    obj.Data,
+		Records: toPublicRecords(obj.Records),
+	}, nil
+}
+
+// Provenance returns the provenance of one object version (the paper's
+// Q.1 unit).
+func (c *Client) Provenance(ref Ref) ([]Record, error) {
+	records, err := c.store.Provenance(c.ctx, toInternalRef(ref))
+	if err != nil {
+		return nil, err
+	}
+	return toPublicRecords(records), nil
+}
+
+// OutputsOf finds the files written by instances of the named tool (Q.2).
+func (c *Client) OutputsOf(tool string) ([]Ref, error) {
+	q, err := c.querier()
+	if err != nil {
+		return nil, err
+	}
+	refs, err := q.OutputsOf(c.ctx, tool)
+	return toPublicRefs(refs), err
+}
+
+// DescendantsOfOutputs finds everything derived from the named tool's
+// outputs (Q.3) — the paper's flawed-tool scenario.
+func (c *Client) DescendantsOfOutputs(tool string) ([]Ref, error) {
+	q, err := c.querier()
+	if err != nil {
+		return nil, err
+	}
+	refs, err := q.DescendantsOfOutputs(c.ctx, tool)
+	return toPublicRefs(refs), err
+}
+
+// Ancestors returns every object version in ref's ancestry, via the
+// repository's provenance. On the S3-only architecture this scans.
+func (c *Client) Ancestors(ref Ref) ([]Ref, error) {
+	q, err := c.querier()
+	if err != nil {
+		return nil, err
+	}
+	all, err := q.AllProvenance(c.ctx)
+	if err != nil {
+		return nil, err
+	}
+	g := prov.NewGraph()
+	for _, records := range all {
+		g.AddAll(records)
+	}
+	return toPublicRefs(g.Ancestors(toInternalRef(ref))), nil
+}
+
+// AllProvenance retrieves the provenance of every object version (Q.1 over
+// all objects).
+func (c *Client) AllProvenance() (map[Ref][]Record, error) {
+	q, err := c.querier()
+	if err != nil {
+		return nil, err
+	}
+	all, err := q.AllProvenance(c.ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Ref][]Record, len(all))
+	for ref, records := range all {
+		out[toPublicRef(ref)] = toPublicRecords(records)
+	}
+	return out, nil
+}
+
+func (c *Client) querier() (core.Querier, error) {
+	q, ok := c.store.(core.Querier)
+	if !ok {
+		return nil, fmt.Errorf("passcloud: %s does not support queries", c.store.Name())
+	}
+	return q, nil
+}
+
+// --- accounting ---------------------------------------------------------------
+
+// UsageSummary reports accumulated AWS usage and its January-2009 price.
+type UsageSummary struct {
+	// Ops is the total request count per service.
+	S3Ops, SimpleDBOps, SQSOps int64
+	// Stored is resident bytes per service.
+	S3Stored, SimpleDBStored, SQSStored int64
+	// TransferredIn/Out are bytes moved to/from the cloud.
+	TransferredIn, TransferredOut int64
+	// USD is the total bill (storage priced per month).
+	USD float64
+}
+
+// Usage summarizes the client's cloud bill so far. Clients sharing a
+// region share meters: this is the region's bill.
+func (c *Client) Usage() UsageSummary {
+	return usageFrom(c.cloud.Usage())
+}
+
+// usageFrom converts a meter snapshot into the public summary.
+func usageFrom(u billing.Usage) UsageSummary {
+	cost := billing.Jan2009.Price(u)
+	return UsageSummary{
+		S3Ops:          u.Ops(billing.S3),
+		SimpleDBOps:    u.Ops(billing.SimpleDB),
+		SQSOps:         u.Ops(billing.SQS),
+		S3Stored:       u.Storage(billing.S3),
+		SimpleDBStored: u.Storage(billing.SimpleDB),
+		SQSStored:      u.Storage(billing.SQS),
+		TransferredIn:  u.BytesIn(billing.S3) + u.BytesIn(billing.SimpleDB) + u.BytesIn(billing.SQS),
+		TransferredOut: u.BytesOut(billing.S3) + u.BytesOut(billing.SimpleDB) + u.BytesOut(billing.SQS),
+		USD:            cost.Total(),
+	}
+}
+
+func toPublicRefs(refs []prov.Ref) []Ref {
+	out := make([]Ref, len(refs))
+	for i, r := range refs {
+		out[i] = toPublicRef(r)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package passcloud
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/core"
+	"passcloud/internal/core/s3only"
+	"passcloud/internal/core/s3sdb"
+	"passcloud/internal/core/s3sdbsqs"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+)
+
+// Region is one simulated AWS region shared by several clients — the
+// paper's usage model: "multiple clients can concurrently update different
+// objects at the same time", and in the third architecture "each client has
+// an SQS queue that it uses as a write-ahead log".
+//
+// All clients of a region see the same buckets and provenance domain;
+// clients of the WAL architecture each get their own queue and commit
+// daemon. Provenance written by one client is queryable by every other
+// (after Sync/Settle), which is the whole point of a provenance-aware
+// shared cloud.
+type Region struct {
+	opts  Options
+	cloud *cloud.Cloud
+
+	mu       sync.Mutex
+	nclients int
+}
+
+// NewRegion builds a shared region. Options.ClientID is ignored here; each
+// client gets its own.
+func NewRegion(opts Options) (*Region, error) {
+	switch opts.Architecture {
+	case S3Only, S3SimpleDB, S3SimpleDBSQS:
+	default:
+		return nil, fmt.Errorf("passcloud: unknown architecture %v", opts.Architecture)
+	}
+	return &Region{
+		opts: opts,
+		cloud: cloud.New(cloud.Config{
+			Seed:     opts.Seed,
+			MaxDelay: opts.ConsistencyDelay,
+		}),
+	}, nil
+}
+
+// NewClient attaches a client to the region. An empty id is assigned
+// automatically.
+func (r *Region) NewClient(id string) (*Client, error) {
+	r.mu.Lock()
+	r.nclients++
+	if id == "" {
+		id = fmt.Sprintf("client%d", r.nclients)
+	}
+	r.mu.Unlock()
+
+	opts := r.opts
+	opts.ClientID = id
+	return newClientOn(r.cloud, opts)
+}
+
+// Settle advances the region's clock past the replication horizon.
+func (r *Region) Settle() { r.cloud.Settle() }
+
+// Usage summarizes the whole region's bill (all clients).
+func (r *Region) Usage() UsageSummary {
+	return usageSummary(r.cloud)
+}
+
+// newClientOn builds a client against an existing region. Both New and
+// Region.NewClient funnel through here.
+func newClientOn(cl *cloud.Cloud, opts Options) (*Client, error) {
+	c := &Client{ctx: context.Background(), opts: opts, cloud: cl}
+
+	var err error
+	switch opts.Architecture {
+	case S3Only:
+		c.store, err = s3only.New(s3only.Config{Cloud: cl, Bucket: opts.Bucket})
+	case S3SimpleDB:
+		c.store, err = s3sdb.New(s3sdb.Config{Cloud: cl, Bucket: opts.Bucket, Domain: opts.Domain})
+	case S3SimpleDBSQS:
+		var st *s3sdbsqs.Store
+		st, err = s3sdbsqs.New(s3sdbsqs.Config{
+			Cloud: cl, Bucket: opts.Bucket, Domain: opts.Domain, ClientID: opts.ClientID,
+		})
+		if err == nil {
+			c.store = st
+			c.daemon = s3sdbsqs.NewCommitDaemon(st, nil)
+		}
+	default:
+		err = fmt.Errorf("passcloud: unknown architecture %v", opts.Architecture)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.sys = pass.NewSystem(pass.Config{
+		Kernel:    opts.Kernel,
+		Namespace: opts.ClientID,
+		Flush:     core.Flusher(c.ctx, c.store),
+	})
+	return c, nil
+}
+
+// Dependents returns every object version that directly consumed any
+// version of path — the provenance-aware deletion check.
+func (c *Client) Dependents(path string) ([]Ref, error) {
+	q, err := c.querier()
+	if err != nil {
+		return nil, err
+	}
+	refs, err := q.Dependents(c.ctx, prov.ObjectID(path))
+	return toPublicRefs(refs), err
+}
+
+// ErrHasDependents is returned by SafeDelete when living derivations exist.
+type ErrHasDependents struct {
+	Object     string
+	Dependents []Ref
+}
+
+// Error implements the error interface.
+func (e *ErrHasDependents) Error() string {
+	return fmt.Sprintf("passcloud: %s has %d dependent object versions; refusing to delete",
+		e.Object, len(e.Dependents))
+}
+
+// SafeDelete removes path's data only if nothing in the repository derives
+// from it — the kind of provenance-aware behaviour the paper's §7 suggests
+// a cloud could offer once it holds the provenance ("the provenance stored
+// with the data presents AWS cloud with many hints"). The provenance record
+// itself is retained: lineage of deleted data is still history.
+func (c *Client) SafeDelete(path string) error {
+	deps, err := c.Dependents(path)
+	if err != nil {
+		return err
+	}
+	if len(deps) > 0 {
+		return &ErrHasDependents{Object: path, Dependents: deps}
+	}
+	return c.deleteData(path)
+}
+
+// deleteData removes the object's data from S3 (architecture-independent:
+// all three keep data under the same key scheme).
+func (c *Client) deleteData(path string) error {
+	return c.cloud.S3.Delete(c.bucketName(), "data"+path)
+}
+
+// bucketName resolves the configured or default bucket.
+func (c *Client) bucketName() string {
+	if c.opts.Bucket != "" {
+		return c.opts.Bucket
+	}
+	return "pass"
+}
+
+// usageSummary converts a cloud's meters into the public summary.
+func usageSummary(cl *cloud.Cloud) UsageSummary {
+	return usageFrom(cl.Usage())
+}

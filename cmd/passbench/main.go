@@ -7,6 +7,7 @@
 //	passbench -table 2 -estimate        # the paper's analytical formulas
 //	passbench -table 3 -tool softmean
 //	passbench -usd                      # January-2009 USD pricing
+//	passbench -json > BENCH_run.json    # machine-readable, for trajectory tracking
 //
 // Scale 1.0 reproduces the paper's dataset size (~1.27 GB, ~31k objects);
 // the default 0.1 keeps memory modest while preserving every ratio.
@@ -14,14 +15,32 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"passcloud/internal/cloud/billing"
 	"passcloud/internal/core/props"
 	"passcloud/internal/cost"
 )
+
+// report is the machine-readable form -json emits: everything the run
+// produced, under a stable schema tag so trajectory tooling can diff
+// BENCH_*.json files across commits.
+type report struct {
+	Schema  string             `json:"schema"` // "passbench/v1"
+	Scale   float64            `json:"scale"`
+	Seed    int64              `json:"seed"`
+	Tool    string             `json:"tool"`
+	Table1  []cost.Table1Row   `json:"table1,omitempty"`
+	Table2  *cost.Table2       `json:"table2,omitempty"`
+	Table3  *cost.Table3       `json:"table3,omitempty"`
+	Dataset *cost.DatasetStats `json:"dataset,omitempty"`
+	// USD is the January-2009 load-phase bill per architecture.
+	USD map[string]float64 `json:"usd,omitempty"`
+}
 
 func main() {
 	table := flag.String("table", "all", "which table to produce: 1, 2, 3 or all")
@@ -30,73 +49,100 @@ func main() {
 	tool := flag.String("tool", "softmean", "Q.2/Q.3 target tool")
 	estimate := flag.Bool("estimate", false, "also print Table 2 from the paper's analytical formulas, extrapolated to scale 1.0")
 	usd := flag.Bool("usd", false, "also print the January-2009 USD bill per architecture")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON report on stdout instead of the text tables")
 	flag.Parse()
 
 	ctx := context.Background()
-
 	want := func(t string) bool { return *table == "all" || *table == t }
+	rep := &report{Schema: "passbench/v1", Scale: *scale, Seed: *seed, Tool: *tool}
 
 	if want("1") {
-		if err := printTable1(ctx, *seed); err != nil {
+		rows, err := runTable1(ctx, *seed)
+		if err != nil {
 			log.Fatalf("table 1: %v", err)
 		}
-	}
-
-	if !want("2") && !want("3") && !*usd {
-		return
-	}
-
-	h := &cost.Harness{Scale: *scale, Seed: *seed, Tool: *tool}
-	fmt.Fprintf(os.Stderr, "passbench: loading combined workload at scale %.2f into all three architectures...\n", *scale)
-
-	if want("2") {
-		t2, err := h.Table2Measured(ctx)
-		if err != nil {
-			log.Fatalf("table 2: %v", err)
+		rep.Table1 = rows
+		if !*jsonOut {
+			fmt.Println(cost.Table1Report(rows))
 		}
-		fmt.Println(t2)
-		if *estimate {
-			est, err := h.Table2Estimated(ctx)
+	}
+
+	if want("2") || want("3") || *usd {
+		h := &cost.Harness{Scale: *scale, Seed: *seed, Tool: *tool}
+		fmt.Fprintf(os.Stderr, "passbench: loading combined workload at scale %.2f into all three architectures...\n", *scale)
+
+		if want("2") {
+			t2, err := h.Table2Measured(ctx)
 			if err != nil {
-				log.Fatalf("table 2 estimate: %v", err)
+				log.Fatalf("table 2: %v", err)
 			}
-			fmt.Println(est)
+			rep.Table2 = t2
+			st := h.Stats()
+			rep.Dataset = &st
+			if !*jsonOut {
+				fmt.Println(t2)
+				if *estimate {
+					est, err := h.Table2Estimated(ctx)
+					if err != nil {
+						log.Fatalf("table 2 estimate: %v", err)
+					}
+					fmt.Println(est)
+				}
+				fmt.Printf("dataset: %d objects, %d items, %d records (%d over 1KB), %d transient versions\n\n",
+					st.Objects, st.Items, st.Records, st.BigRecords, st.Transients)
+			}
 		}
-		st := h.Stats()
-		fmt.Printf("dataset: %d objects, %d items, %d records (%d over 1KB), %d transient versions\n\n",
-			st.Objects, st.Items, st.Records, st.BigRecords, st.Transients)
+
+		if want("3") {
+			t3, err := h.Table3Measured(ctx)
+			if err != nil {
+				log.Fatalf("table 3: %v", err)
+			}
+			rep.Table3 = t3
+			if !*jsonOut {
+				fmt.Println(t3)
+			}
+		}
+
+		if *usd {
+			if err := h.Load(ctx); err != nil {
+				log.Fatalf("usd: %v", err)
+			}
+			rep.USD = make(map[string]float64)
+			if !*jsonOut {
+				fmt.Println("January-2009 USD bill per architecture (load phase):")
+			}
+			for _, arch := range []string{"s3", "s3+sdb", "s3+sdb+sqs"} {
+				u, ok := h.Usage(arch)
+				if !ok {
+					continue
+				}
+				rep.USD[arch] = billing.Jan2009.Price(u).Total()
+				if !*jsonOut {
+					fmt.Println(cost.USDReport(arch, u))
+				}
+			}
+			if !*jsonOut {
+				fmt.Println()
+			}
+		}
 	}
 
-	if want("3") {
-		t3, err := h.Table3Measured(ctx)
-		if err != nil {
-			log.Fatalf("table 3: %v", err)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
 		}
-		fmt.Println(t3)
-	}
-
-	if *usd {
-		if err := h.Load(ctx); err != nil {
-			log.Fatalf("usd: %v", err)
-		}
-		fmt.Println("January-2009 USD bill per architecture (load phase):")
-		for _, arch := range []string{"s3", "s3+sdb", "s3+sdb+sqs"} {
-			u, ok := h.Usage(arch)
-			if !ok {
-				continue
-			}
-			fmt.Println(cost.USDReport(arch, u))
-		}
-		fmt.Println()
 	}
 }
 
-func printTable1(ctx context.Context, seed int64) error {
+func runTable1(ctx context.Context, seed int64) ([]cost.Table1Row, error) {
 	var rows []cost.Table1Row
 	for _, h := range props.StandardHarnesses(seed) {
 		report, err := props.Check(ctx, h)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rows = append(rows, cost.Table1Row{
 			Arch:           report.Name,
@@ -109,6 +155,5 @@ func printTable1(ctx context.Context, seed int64) error {
 			fmt.Fprintf(os.Stderr, "  %s: %s\n", report.Name, v)
 		}
 	}
-	fmt.Println(cost.Table1Report(rows))
-	return nil
+	return rows, nil
 }

@@ -35,6 +35,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -94,6 +95,7 @@ func parseArch(name string) (passcloud.Architecture, error) {
 
 // run interprets the script.
 func run(client *passcloud.Client, in io.Reader, out io.Writer) error {
+	ctx := context.Background()
 	procs := make(map[string]*passcloud.Process)
 	scanner := bufio.NewScanner(in)
 	lineNo := 0
@@ -130,7 +132,7 @@ func run(client *passcloud.Client, in io.Reader, out io.Writer) error {
 			if err := need(2); err != nil {
 				return err
 			}
-			if err := client.Ingest(args[0], []byte(strings.Join(args[1:], " "))); err != nil {
+			if err := client.Ingest(ctx, args[0], []byte(strings.Join(args[1:], " "))); err != nil {
 				return fail(err)
 			}
 		case "exec":
@@ -183,7 +185,7 @@ func run(client *passcloud.Client, in io.Reader, out io.Writer) error {
 			if err != nil {
 				return fail(err)
 			}
-			if err := p.Close(args[1]); err != nil {
+			if err := p.Close(ctx, args[1]); err != nil {
 				return fail(err)
 			}
 		case "pipe":
@@ -211,7 +213,7 @@ func run(client *passcloud.Client, in io.Reader, out io.Writer) error {
 			}
 			p.Exit()
 		case "sync":
-			if err := client.Sync(); err != nil {
+			if err := client.Sync(ctx); err != nil {
 				return fail(err)
 			}
 		case "settle":
@@ -220,7 +222,7 @@ func run(client *passcloud.Client, in io.Reader, out io.Writer) error {
 			if err := need(1); err != nil {
 				return err
 			}
-			obj, err := client.Get(args[0])
+			obj, err := client.Get(ctx, args[0])
 			if err != nil {
 				return fail(err)
 			}
@@ -236,7 +238,7 @@ func run(client *passcloud.Client, in io.Reader, out io.Writer) error {
 			if err != nil {
 				return fail(err)
 			}
-			records, err := client.Provenance(passcloud.Ref{Object: args[0], Version: version})
+			records, err := client.Provenance(ctx, passcloud.Ref{Object: args[0], Version: version})
 			if err != nil {
 				return fail(err)
 			}
@@ -247,7 +249,7 @@ func run(client *passcloud.Client, in io.Reader, out io.Writer) error {
 			if err := need(1); err != nil {
 				return err
 			}
-			refs, err := client.OutputsOf(args[0])
+			refs, err := client.OutputsOf(ctx, args[0])
 			if err != nil {
 				return fail(err)
 			}
@@ -256,7 +258,7 @@ func run(client *passcloud.Client, in io.Reader, out io.Writer) error {
 			if err := need(1); err != nil {
 				return err
 			}
-			refs, err := client.DescendantsOfOutputs(args[0])
+			refs, err := client.DescendantsOfOutputs(ctx, args[0])
 			if err != nil {
 				return fail(err)
 			}
@@ -265,11 +267,11 @@ func run(client *passcloud.Client, in io.Reader, out io.Writer) error {
 			if err := need(1); err != nil {
 				return err
 			}
-			obj, err := client.Get(args[0])
+			obj, err := client.Get(ctx, args[0])
 			if err != nil {
 				return fail(err)
 			}
-			refs, err := client.Ancestors(obj.Ref)
+			refs, err := client.Ancestors(ctx, obj.Ref)
 			if err != nil {
 				return fail(err)
 			}

@@ -12,12 +12,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
 	"passcloud"
 )
+
+// ctx scopes every cloud call the example makes; a real service would
+// derive per-request contexts with deadlines here.
+var ctx = context.Background()
 
 func main() {
 	region, err := passcloud.NewRegion(passcloud.Options{
@@ -39,12 +44,12 @@ func main() {
 
 	// The Census Bureau releases the data set on the cloud.
 	release := "/public/census/us-census-2000.dat"
-	must(bureau.Ingest(release, []byte(strings.Repeat("county,population,income\n", 200))))
-	must(bureau.Sync())
+	must(bureau.Ingest(ctx, release, []byte(strings.Repeat("county,population,income\n", 200))))
+	must(bureau.Sync(ctx))
 	region.Settle()
 
 	// Group A downloads the release and derives migration trends.
-	_, err = groupA.Fetch(release)
+	_, err = groupA.Fetch(ctx, release)
 	must(err)
 	trendTool := groupA.Exec(nil, passcloud.ProcessSpec{
 		Name: "trend-analyzer",
@@ -53,12 +58,12 @@ func main() {
 	})
 	must(trendTool.Read(release))
 	must(trendTool.Write("/shared/groupA/migration-trends.dat", []byte("northeast,-0.8\nsouthwest,+2.1\n")))
-	must(trendTool.Close("/shared/groupA/migration-trends.dat"))
+	must(trendTool.Close(ctx, "/shared/groupA/migration-trends.dat"))
 	trendTool.Exit()
-	must(groupA.Sync())
+	must(groupA.Sync(ctx))
 
 	// Group B independently models income from the same release.
-	_, err = groupB.Fetch(release)
+	_, err = groupB.Fetch(ctx, release)
 	must(err)
 	incomeTool := groupB.Exec(nil, passcloud.ProcessSpec{
 		Name: "income-model",
@@ -67,15 +72,15 @@ func main() {
 	})
 	must(incomeTool.Read(release))
 	must(incomeTool.Write("/shared/groupB/income-deciles.dat", []byte("d1,8k\nd10,142k\n")))
-	must(incomeTool.Close("/shared/groupB/income-deciles.dat"))
+	must(incomeTool.Close(ctx, "/shared/groupB/income-deciles.dat"))
 	incomeTool.Exit()
-	must(groupB.Sync())
+	must(groupB.Sync(ctx))
 	region.Settle()
 
 	// Group C downloads both shared results and combines them.
-	_, err = groupC.Fetch("/shared/groupA/migration-trends.dat")
+	_, err = groupC.Fetch(ctx, "/shared/groupA/migration-trends.dat")
 	must(err)
-	_, err = groupC.Fetch("/shared/groupB/income-deciles.dat")
+	_, err = groupC.Fetch(ctx, "/shared/groupB/income-deciles.dat")
 	must(err)
 	correlate := groupC.Exec(nil, passcloud.ProcessSpec{
 		Name: "correlate",
@@ -84,22 +89,22 @@ func main() {
 	must(correlate.Read("/shared/groupA/migration-trends.dat"))
 	must(correlate.Read("/shared/groupB/income-deciles.dat"))
 	must(correlate.Write("/shared/groupC/migration-vs-income.dat", []byte("r=0.63\n")))
-	must(correlate.Close("/shared/groupC/migration-vs-income.dat"))
+	must(correlate.Close(ctx, "/shared/groupC/migration-vs-income.dat"))
 	correlate.Exit()
-	must(groupC.Sync())
+	must(groupC.Sync(ctx))
 	region.Settle()
 
 	// A fourth researcher — any client — finds group C's result and asks:
 	// what is this derived from, and how exactly?
-	obj, err := bureau.Get("/shared/groupC/migration-vs-income.dat")
+	obj, err := bureau.Get(ctx, "/shared/groupC/migration-vs-income.dat")
 	must(err)
 	fmt.Printf("found shared result %s (%q)\n\n", obj.Ref, obj.Data)
 
-	ancestors, err := bureau.Ancestors(obj.Ref)
+	ancestors, err := bureau.Ancestors(ctx, obj.Ref)
 	must(err)
 	fmt.Println("complete cross-client ancestry:")
 	for _, a := range ancestors {
-		records, err := bureau.Provenance(a)
+		records, err := bureau.Provenance(ctx, a)
 		must(err)
 		detail := ""
 		for _, r := range records {
@@ -115,7 +120,7 @@ func main() {
 		if a.Object == release {
 			fmt.Printf("\nverified: the result derives from %s\n", release)
 			// And the bureau cannot delete data the community built on:
-			if err := bureau.SafeDelete(release); err != nil {
+			if err := bureau.SafeDelete(ctx, release); err != nil {
 				fmt.Printf("SafeDelete correctly refused: %v\n", err)
 			}
 			return

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -18,6 +19,10 @@ import (
 
 	"passcloud"
 )
+
+// ctx scopes every cloud call the example makes; a real service would
+// derive per-request contexts with deadlines here.
+var ctx = context.Background()
 
 func main() {
 	client, err := passcloud.New(passcloud.Options{
@@ -37,12 +42,12 @@ func main() {
 		if err := writer.Write("/data/rolling.dat", []byte(payload)); err != nil {
 			log.Fatal(err)
 		}
-		if err := writer.Close("/data/rolling.dat"); err != nil {
+		if err := writer.Close(ctx, "/data/rolling.dat"); err != nil {
 			log.Fatal(err)
 		}
 	}
 	writer.Exit()
-	if err := client.Sync(); err != nil {
+	if err := client.Sync(ctx); err != nil {
 		log.Fatal(err)
 	}
 
@@ -52,7 +57,7 @@ func main() {
 	fmt.Println("reading during the inconsistency window:")
 	results := map[string]int{}
 	for i := 0; i < 30; i++ {
-		obj, err := client.Get("/data/rolling.dat")
+		obj, err := client.Get(ctx, "/data/rolling.dat")
 		switch {
 		case errors.Is(err, passcloud.ErrInconsistent):
 			results["inconsistent (surfaced, retriable)"]++
@@ -76,7 +81,7 @@ func main() {
 
 	// Let replication converge; now every read returns the final state.
 	client.Settle()
-	obj, err := client.Get("/data/rolling.dat")
+	obj, err := client.Get(ctx, "/data/rolling.dat")
 	if err != nil {
 		log.Fatal(err)
 	}

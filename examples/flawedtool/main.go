@@ -10,11 +10,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"passcloud"
 )
+
+// ctx scopes every cloud call the example makes; a real service would
+// derive per-request contexts with deadlines here.
+var ctx = context.Background()
 
 func main() {
 	client, err := passcloud.New(passcloud.Options{
@@ -28,7 +33,7 @@ func main() {
 	// Six input samples; half processed with each aligner version.
 	for i := 0; i < 6; i++ {
 		sample := fmt.Sprintf("/samples/sample%02d.fastq", i)
-		must(client.Ingest(sample, []byte(fmt.Sprintf("reads-for-sample-%02d", i))))
+		must(client.Ingest(ctx, sample, []byte(fmt.Sprintf("reads-for-sample-%02d", i))))
 
 		version := "1.0"
 		tool := "aligner-v1.0"
@@ -43,7 +48,7 @@ func main() {
 		must(align.Read(sample))
 		out := fmt.Sprintf("/aligned/sample%02d.bam", i)
 		must(align.Write(out, []byte("aligned-"+version)))
-		must(align.Close(out))
+		must(align.Close(ctx, out))
 		align.Exit()
 	}
 
@@ -55,15 +60,15 @@ func main() {
 	must(merge.Read("/aligned/sample00.bam"))
 	must(merge.Read("/aligned/sample05.bam"))
 	must(merge.Write("/merged/cohort.bam", []byte("merged")))
-	must(merge.Close("/merged/cohort.bam"))
+	must(merge.Close(ctx, "/merged/cohort.bam"))
 	merge.Exit()
 
-	must(client.Sync())
+	must(client.Sync(ctx))
 	client.Settle()
 
 	// The discovery: aligner v1.0 is flawed. One indexed query finds its
 	// direct outputs...
-	direct, err := client.OutputsOf("aligner-v1.0")
+	direct, err := client.OutputsOf(ctx, "aligner-v1.0")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +79,7 @@ func main() {
 
 	// ...and the descendant closure finds everything contaminated
 	// downstream (the merge result included).
-	tainted, err := client.DescendantsOfOutputs("aligner-v1.0")
+	tainted, err := client.DescendantsOfOutputs(ctx, "aligner-v1.0")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +89,7 @@ func main() {
 	}
 
 	// Sanity: the clean aligner's exclusive outputs are not implicated.
-	clean, err := client.OutputsOf("aligner-v1.1")
+	clean, err := client.OutputsOf(ctx, "aligner-v1.1")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,11 +4,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"passcloud"
 )
+
+// ctx scopes every cloud call the example makes; a real service would
+// derive per-request contexts with deadlines here.
+var ctx = context.Background()
 
 func main() {
 	// A client bundles a PASS system with a storage architecture. The
@@ -23,7 +28,7 @@ func main() {
 	}
 
 	// A data set appears in the cloud (like downloading a public data set).
-	if err := client.Ingest("/datasets/readings.csv", []byte("t0,1.7\nt1,2.1\nt2,1.9\n")); err != nil {
+	if err := client.Ingest(ctx, "/datasets/readings.csv", []byte("t0,1.7\nt1,2.1\nt2,1.9\n")); err != nil {
 		log.Fatal(err)
 	}
 
@@ -41,21 +46,21 @@ func main() {
 	}
 	// Close persists the file and its provenance — including the process's
 	// own provenance, which precedes it (causal ordering).
-	if err := smooth.Close("/results/smoothed.csv"); err != nil {
+	if err := smooth.Close(ctx, "/results/smoothed.csv"); err != nil {
 		log.Fatal(err)
 	}
 	smooth.Exit()
 
 	// Drain the write-ahead log (the commit daemon would normally run in
 	// the background) and let replication settle.
-	if err := client.Sync(); err != nil {
+	if err := client.Sync(ctx); err != nil {
 		log.Fatal(err)
 	}
 	client.Settle()
 
 	// Reads return data with *verified* provenance: the MD5-plus-nonce
 	// consistency record proves these records describe these bytes.
-	obj, err := client.Get("/results/smoothed.csv")
+	obj, err := client.Get(ctx, "/results/smoothed.csv")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,13 +70,13 @@ func main() {
 	}
 
 	// Lineage queries are indexed (Table 1: efficient query).
-	outputs, err := client.OutputsOf("smooth")
+	outputs, err := client.OutputsOf(ctx, "smooth")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("files produced by smooth: %v\n", outputs)
 
-	ancestors, err := client.Ancestors(obj.Ref)
+	ancestors, err := client.Ancestors(ctx, obj.Ref)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,11 +10,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"passcloud"
 )
+
+// ctx scopes every cloud call the example makes; a real service would
+// derive per-request contexts with deadlines here.
+var ctx = context.Background()
 
 // runExperiment executes one group's pipeline and returns its result path.
 func runExperiment(client *passcloud.Client, group, flag string) string {
@@ -26,7 +31,7 @@ func runExperiment(client *passcloud.Client, group, flag string) string {
 	must(sim.Read("/public/initial-conditions.dat"))
 	raw := "/groups/" + group + "/raw.dat"
 	must(sim.Write(raw, []byte("raw-output-"+flag)))
-	must(sim.Close(raw))
+	must(sim.Close(ctx, raw))
 	sim.Exit()
 
 	reduce := client.Exec(nil, passcloud.ProcessSpec{
@@ -36,7 +41,7 @@ func runExperiment(client *passcloud.Client, group, flag string) string {
 	must(reduce.Read(raw))
 	result := "/groups/" + group + "/result.dat"
 	must(reduce.Write(result, []byte("mean-of-"+flag)))
-	must(reduce.Close(result))
+	must(reduce.Close(ctx, result))
 	reduce.Exit()
 	return result
 }
@@ -50,18 +55,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	must(client.Ingest("/public/initial-conditions.dat", []byte("IC: rho=1.0 T=270K")))
+	must(client.Ingest(ctx, "/public/initial-conditions.dat", []byte("IC: rho=1.0 T=270K")))
 
 	// The original experiment and the attempted reproduction.
 	original := runExperiment(client, "original", "--dt=0.001")
 	replica := runExperiment(client, "replica", "--dt=0.01")
 
-	must(client.Sync())
+	must(client.Sync(ctx))
 	client.Settle()
 
-	a, err := client.Get(original)
+	a, err := client.Get(ctx, original)
 	must(err)
-	b, err := client.Get(replica)
+	b, err := client.Get(ctx, replica)
 	must(err)
 
 	fmt.Printf("original result: %q\nreplica  result: %q\n\n", a.Data, b.Data)
@@ -74,10 +79,10 @@ func main() {
 	// Walk both ancestries, collecting each ancestor's argv records.
 	argvs := func(result passcloud.Ref) map[string]string {
 		out := map[string]string{}
-		ancestors, err := client.Ancestors(result)
+		ancestors, err := client.Ancestors(ctx, result)
 		must(err)
 		for _, ref := range ancestors {
-			records, err := client.Provenance(ref)
+			records, err := client.Provenance(ctx, ref)
 			must(err)
 			for _, r := range records {
 				if r.Attr == "argv" {
@@ -107,7 +112,7 @@ func main() {
 	// Both derive from the same initial conditions — confirm the inputs
 	// were NOT the difference.
 	shared := false
-	for _, ref := range mustRefs(client.Ancestors(a.Ref)) {
+	for _, ref := range mustRefs(client.Ancestors(ctx, a.Ref)) {
 		if ref.Object == "/public/initial-conditions.dat" {
 			shared = true
 		}

@@ -1,0 +1,3 @@
+module passcloud
+
+go 1.24

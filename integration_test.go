@@ -21,15 +21,17 @@ import (
 )
 
 // crashAfterN wraps a flush function and fails permanently after n events,
-// simulating a client that dies mid-workload and never comes back.
+// simulating a client that dies mid-workload and never comes back. The
+// crash severs whole batches: a batch that would cross the budget is
+// rejected outright, like a client dying before its close's flush lands.
 func crashAfterN(n int, next pass.FlushFunc) pass.FlushFunc {
 	count := 0
-	return func(ev pass.FlushEvent) error {
-		count++
+	return func(ctx context.Context, batch []pass.FlushEvent) error {
+		count += len(batch)
 		if count > n {
 			return errors.New("client crashed")
 		}
-		return next(ev)
+		return next(ctx, batch)
 	}
 }
 
@@ -89,10 +91,10 @@ func TestCausalOrderingSurvivesMidWorkloadCrash(t *testing.T) {
 
 			// Crash the client 400 events into the challenge workload.
 			sys := pass.NewSystem(pass.Config{
-				Flush: crashAfterN(400, core.Flusher(ctx, st)),
+				Flush: crashAfterN(400, core.Flusher(st)),
 			})
 			w := workload.DefaultProvChallenge(0.2) // 16 runs: plenty past the crash
-			err = workload.Run(sys, sim.NewRNG(17), w)
+			err = workload.Run(ctx, sys, sim.NewRNG(17), w)
 			if err == nil {
 				t.Fatal("workload survived the injected crash")
 			}
@@ -152,8 +154,8 @@ func TestWorkloadAnswersIdenticalAcrossArchitectures(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sys := pass.NewSystem(pass.Config{Flush: core.Flusher(ctx, st)})
-		if err := workload.Run(sys, sim.NewRNG(seed), workload.NewCombined(scale)); err != nil {
+		sys := pass.NewSystem(pass.Config{Flush: core.Flusher(st)})
+		if err := workload.Run(ctx, sys, sim.NewRNG(seed), workload.NewCombined(scale)); err != nil {
 			t.Fatal(err)
 		}
 		if err := core.SyncStore(ctx, st); err != nil {

@@ -286,6 +286,17 @@ func (h *Handler) serveSDB(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, nil)
+	case "BatchPutAttributes":
+		items, err := batchItemsFromForm(r.Form)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if err := h.cloud.SDB.BatchPutAttributes(get("DomainName"), items); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, nil)
 	case "DeleteAttributes":
 		var del []sdb.Attr
 		for i := 1; ; i++ {
@@ -374,6 +385,41 @@ func attrsFromForm(form map[string][]string) ([]sdb.ReplaceableAttr, error) {
 		return nil, errors.New("no attributes supplied")
 	}
 	return attrs, nil
+}
+
+// batchItemsFromForm parses the 2009 wire shape of BatchPutAttributes:
+// Item.N.ItemName plus Item.N.Attribute.M.{Name,Value,Replace}.
+func batchItemsFromForm(form map[string][]string) ([]sdb.BatchItem, error) {
+	get := func(k string) string {
+		if v, ok := form[k]; ok && len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	var items []sdb.BatchItem
+	for i := 1; ; i++ {
+		name := get(fmt.Sprintf("Item.%d.ItemName", i))
+		if name == "" {
+			break
+		}
+		item := sdb.BatchItem{Name: name}
+		for j := 1; ; j++ {
+			attrName := get(fmt.Sprintf("Item.%d.Attribute.%d.Name", i, j))
+			if attrName == "" {
+				break
+			}
+			item.Attrs = append(item.Attrs, sdb.ReplaceableAttr{
+				Name:    attrName,
+				Value:   get(fmt.Sprintf("Item.%d.Attribute.%d.Value", i, j)),
+				Replace: get(fmt.Sprintf("Item.%d.Attribute.%d.Replace", i, j)) == "true",
+			})
+		}
+		items = append(items, item)
+	}
+	if len(items) == 0 {
+		return nil, errors.New("no items supplied")
+	}
+	return items, nil
 }
 
 // --- SQS: query protocol -------------------------------------------------------

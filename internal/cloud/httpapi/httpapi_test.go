@@ -307,3 +307,42 @@ func TestConcurrentClients(t *testing.T) {
 		}
 	}
 }
+
+func TestSimpleDBBatchPutAttributes(t *testing.T) {
+	srv := newTestServer(t)
+
+	status, _ := sdbCall(t, srv, url.Values{"Action": {"CreateDomain"}, "DomainName": {"prov"}})
+	if status != http.StatusOK {
+		t.Fatalf("create domain: %d", status)
+	}
+
+	status, _ = sdbCall(t, srv, url.Values{
+		"Action": {"BatchPutAttributes"}, "DomainName": {"prov"},
+		"Item.1.ItemName":          {"a_0"},
+		"Item.1.Attribute.1.Name":  {"type"},
+		"Item.1.Attribute.1.Value": {"file"},
+		"Item.2.ItemName":          {"b_0"},
+		"Item.2.Attribute.1.Name":  {"type"},
+		"Item.2.Attribute.1.Value": {"process"},
+		"Item.2.Attribute.2.Name":  {"input"},
+		"Item.2.Attribute.2.Value": {"a:0"},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("batch put: %d", status)
+	}
+
+	for item, want := range map[string]string{"a_0": "file", "b_0": "a:0"} {
+		status, body := sdbCall(t, srv, url.Values{
+			"Action": {"GetAttributes"}, "DomainName": {"prov"}, "ItemName": {item},
+		})
+		if status != http.StatusOK || !strings.Contains(body, want) {
+			t.Fatalf("get %s: %d %s", item, status, body)
+		}
+	}
+
+	// No items at all is a client error.
+	status, _ = sdbCall(t, srv, url.Values{"Action": {"BatchPutAttributes"}, "DomainName": {"prov"}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d", status)
+	}
+}

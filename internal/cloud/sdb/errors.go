@@ -23,6 +23,12 @@ var (
 	// ErrTooManyAttrsPerItem is returned when an item would exceed
 	// MaxAttrsPerItem attribute-value pairs (256, paper §2.2).
 	ErrTooManyAttrsPerItem = errors.New("NumberDomainAttributesExceeded")
+	// ErrTooManyItemsPerBatch is returned when one BatchPutAttributes call
+	// carries more than MaxItemsPerBatch items (25, 2009 API).
+	ErrTooManyItemsPerBatch = errors.New("NumberSubmittedItemsExceeded")
+	// ErrDuplicateItemInBatch is returned when one BatchPutAttributes call
+	// names the same item twice.
+	ErrDuplicateItemInBatch = errors.New("DuplicateItemName")
 	// ErrNoSuchItem is returned by GetAttributes for a missing item.
 	// (Real SimpleDB returns an empty set; the explicit error makes
 	// protocol code clearer and callers that want the soft behaviour use

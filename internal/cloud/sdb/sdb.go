@@ -40,6 +40,10 @@ const (
 	MaxAttrsPerItem = 256
 	// MaxAttrsPerCall bounds attributes in one PutAttributes call: 100.
 	MaxAttrsPerCall = 100
+	// MaxItemsPerBatch bounds items in one BatchPutAttributes call: 25.
+	// The 2009 API's amortization lever — "with a single operation, you can
+	// store attributes for up to 25 items".
+	MaxItemsPerBatch = 25
 	// MaxItemNameLen bounds item names: 1 KB.
 	MaxItemNameLen = 1 << 10
 	// QueryPageLimit is the maximum (and default) number of item names one
@@ -238,6 +242,71 @@ func (s *Service) PutAttributes(domainName, itemName string, attrs []Replaceable
 
 	s.cfg.Meter.In(billing.SimpleDB, inBytes)
 	s.replicate(d, op)
+	return nil
+}
+
+// BatchItem is one item's worth of a BatchPutAttributes call.
+type BatchItem struct {
+	Name  string
+	Attrs []ReplaceableAttr
+}
+
+// BatchPutAttributes inserts or updates attributes of up to MaxItemsPerBatch
+// items in one metered request, amortizing per-call overhead across items.
+// Per-item semantics match PutAttributes (idempotent, Replace honored); an
+// item name may appear only once per call. The whole call is validated
+// before any item is applied, so a limit violation stores nothing.
+func (s *Service) BatchPutAttributes(domainName string, items []BatchItem) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.domains[domainName]
+	if !ok {
+		return opErr("BatchPutAttributes", domainName, "", ErrNoSuchDomain)
+	}
+	s.cfg.Meter.Op(billing.SimpleDB, "BatchPutAttributes", billing.TierBox)
+	if len(items) == 0 {
+		return opErr("BatchPutAttributes", domainName, "", ErrInvalidName)
+	}
+	if len(items) > MaxItemsPerBatch {
+		return opErr("BatchPutAttributes", domainName, "", ErrTooManyItemsPerBatch)
+	}
+
+	var inBytes int64
+	seen := make(map[string]bool, len(items))
+	ops := make([]writeOp, 0, len(items))
+	for _, it := range items {
+		if !validName(it.Name, MaxItemNameLen) {
+			return opErr("BatchPutAttributes", domainName, it.Name, ErrInvalidName)
+		}
+		if seen[it.Name] {
+			return opErr("BatchPutAttributes", domainName, it.Name, ErrDuplicateItemInBatch)
+		}
+		seen[it.Name] = true
+		if len(it.Attrs) == 0 {
+			return opErr("BatchPutAttributes", domainName, it.Name, ErrInvalidName)
+		}
+		if len(it.Attrs) > MaxAttrsPerCall {
+			return opErr("BatchPutAttributes", domainName, it.Name, ErrTooManyAttrsPerCall)
+		}
+		for _, a := range it.Attrs {
+			if len(a.Name) == 0 || len(a.Name) > MaxNameValueLen || len(a.Value) > MaxNameValueLen {
+				return opErr("BatchPutAttributes", domainName, it.Name, ErrTooLarge)
+			}
+			inBytes += int64(len(a.Name) + len(a.Value))
+		}
+		op := writeOp{item: it.Name, put: append([]ReplaceableAttr(nil), it.Attrs...)}
+		cur := eventualAttrs(d.views[0], it.Name, writeOp{})
+		after, _ := applyOp(append([]Attr(nil), cur...), cur != nil, op)
+		if len(after) > MaxAttrsPerItem {
+			return opErr("BatchPutAttributes", domainName, it.Name, ErrTooManyAttrsPerItem)
+		}
+		ops = append(ops, op)
+	}
+
+	s.cfg.Meter.In(billing.SimpleDB, inBytes)
+	for _, op := range ops {
+		s.replicate(d, op)
+	}
 	return nil
 }
 

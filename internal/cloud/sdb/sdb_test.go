@@ -376,3 +376,74 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("ItemCount = %d, %v", n, err)
 	}
 }
+
+func TestBatchPutAttributes(t *testing.T) {
+	svc, _, meter := newTestService(t)
+	meter.Reset()
+
+	items := make([]BatchItem, MaxItemsPerBatch)
+	for i := range items {
+		items[i] = BatchItem{
+			Name:  fmt.Sprintf("batch_%02d", i),
+			Attrs: []ReplaceableAttr{{Name: "type", Value: "file"}, {Name: "seq", Value: fmt.Sprintf("%d", i)}},
+		}
+	}
+	if err := svc.BatchPutAttributes("prov", items); err != nil {
+		t.Fatalf("BatchPutAttributes: %v", err)
+	}
+
+	// One metered op covers all 25 items — the whole point of batching.
+	u := meter.Snapshot()
+	if got := u.OpCount(billing.SimpleDB, "BatchPutAttributes"); got != 1 {
+		t.Fatalf("OpCount(BatchPutAttributes) = %d, want 1", got)
+	}
+	for _, it := range items {
+		attrs, ok, err := svc.GetAttributes("prov", it.Name)
+		if err != nil || !ok {
+			t.Fatalf("GetAttributes(%s): %v ok=%v", it.Name, err, ok)
+		}
+		if len(attrs) != 2 {
+			t.Fatalf("attrs(%s) = %v", it.Name, attrs)
+		}
+	}
+}
+
+func TestBatchPutAttributesLimits(t *testing.T) {
+	svc, _, _ := newTestService(t)
+
+	one := func(name string) BatchItem {
+		return BatchItem{Name: name, Attrs: []ReplaceableAttr{{Name: "a", Value: "1"}}}
+	}
+
+	// 26 items exceed the 25-item limit.
+	over := make([]BatchItem, MaxItemsPerBatch+1)
+	for i := range over {
+		over[i] = one(fmt.Sprintf("i%02d", i))
+	}
+	if err := svc.BatchPutAttributes("prov", over); !errors.Is(err, ErrTooManyItemsPerBatch) {
+		t.Fatalf("26-item batch: err = %v, want ErrTooManyItemsPerBatch", err)
+	}
+
+	// Duplicate item names are rejected.
+	if err := svc.BatchPutAttributes("prov", []BatchItem{one("dup"), one("dup")}); !errors.Is(err, ErrDuplicateItemInBatch) {
+		t.Fatalf("duplicate batch: err = %v, want ErrDuplicateItemInBatch", err)
+	}
+
+	// A bad item anywhere in the batch stores nothing (all-or-nothing
+	// validation): the good sibling must not appear.
+	bad := BatchItem{Name: "bad", Attrs: []ReplaceableAttr{{Name: "", Value: "x"}}}
+	if err := svc.BatchPutAttributes("prov", []BatchItem{one("good"), bad}); err == nil {
+		t.Fatal("batch with invalid attribute accepted")
+	}
+	if _, ok, err := svc.GetAttributes("prov", "good"); err != nil || ok {
+		t.Fatalf("partial batch applied: good exists=%v err=%v", ok, err)
+	}
+
+	// Empty and missing-domain calls fail cleanly.
+	if err := svc.BatchPutAttributes("prov", nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if err := svc.BatchPutAttributes("nope", []BatchItem{one("x")}); !errors.Is(err, ErrNoSuchDomain) {
+		t.Fatalf("missing domain: err = %v", err)
+	}
+}

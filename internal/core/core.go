@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"errors"
+	"iter"
 
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
@@ -40,15 +41,23 @@ type Object struct {
 }
 
 // Store is a provenance-aware cloud store. One Store instance corresponds
-// to one PASS client; its Put is wired as the pass.System flush function.
+// to one PASS client; its PutBatch is wired as the pass.System flush
+// function. The contract is batch-first: a close hands the store the whole
+// causal chain of versions becoming persistent in one call, so every
+// architecture can amortize cloud round trips (BatchPutAttributes for
+// SimpleDB items, one write-ahead-log transaction per batch, concurrent S3
+// PUTs) instead of paying one protocol run per record.
 type Store interface {
 	// Name identifies the architecture ("s3", "s3+sdb", "s3+sdb+sqs").
 	Name() string
 
-	// Put persists one PASS flush event: a file version with data, or a
-	// transient object version with provenance only. The paper's protocols
-	// run entirely inside Put.
-	Put(ctx context.Context, ev pass.FlushEvent) error
+	// PutBatch persists a causally ordered batch of PASS flush events:
+	// file versions with data, and transient object versions with
+	// provenance only. Ancestors precede descendants within the batch.
+	// The paper's write protocols run entirely inside PutBatch.
+	// Implementations must be idempotent under batch replay: a failed or
+	// cancelled batch is retried in full by the caller.
+	PutBatch(ctx context.Context, batch []pass.FlushEvent) error
 
 	// Get retrieves the current version of object together with
 	// provenance that provably describes the returned bytes (read
@@ -64,10 +73,18 @@ type Store interface {
 	Properties() Properties
 }
 
-// Flusher adapts a Store to pass.Config.Flush.
-func Flusher(ctx context.Context, s Store) pass.FlushFunc {
-	return func(ev pass.FlushEvent) error {
-		return s.Put(ctx, ev)
+// Put persists a single flush event: the one-element adapter over the
+// batch-first contract, for callers (tests, probes) that deal in single
+// events.
+func Put(ctx context.Context, s Store, ev pass.FlushEvent) error {
+	return s.PutBatch(ctx, []pass.FlushEvent{ev})
+}
+
+// Flusher adapts a Store to pass.Config.Flush: each coalesced close batch
+// becomes one PutBatch call, with the caller's context threaded through.
+func Flusher(s Store) pass.FlushFunc {
+	return func(ctx context.Context, batch []pass.FlushEvent) error {
+		return s.PutBatch(ctx, batch)
 	}
 }
 
@@ -126,4 +143,43 @@ type Querier interface {
 	// guard (the paper's §7 direction: "how a cloud might take advantage
 	// of this provenance").
 	Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Ref, error)
+}
+
+// Entry is one object version's provenance, as yielded by streaming
+// queries.
+type Entry struct {
+	Ref     prov.Ref
+	Records []prov.Record
+}
+
+// StreamQuerier is implemented by stores whose repository-wide queries can
+// stream results instead of materializing the whole graph. The sequence
+// yields one Entry per object version; a non-nil error ends the sequence
+// (the Entry accompanying an error is zero). Stopping early (break) is
+// allowed and releases the underlying scan.
+type StreamQuerier interface {
+	// AllProvenanceSeq streams the provenance of every object version in
+	// the repository — Q.1 "performed on all objects" without holding the
+	// repository in memory.
+	AllProvenanceSeq(ctx context.Context) iter.Seq2[Entry, error]
+}
+
+// AllProvenanceSeq streams s's repository provenance, falling back to a
+// materialized AllProvenance pass for stores without native streaming.
+func AllProvenanceSeq(ctx context.Context, q Querier) iter.Seq2[Entry, error] {
+	if sq, ok := q.(StreamQuerier); ok {
+		return sq.AllProvenanceSeq(ctx)
+	}
+	return func(yield func(Entry, error) bool) {
+		all, err := q.AllProvenance(ctx)
+		if err != nil {
+			yield(Entry{}, err)
+			return
+		}
+		for ref, records := range all {
+			if !yield(Entry{Ref: ref, Records: records}, nil) {
+				return
+			}
+		}
+	}
 }

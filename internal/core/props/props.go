@@ -89,7 +89,7 @@ func StandardHarnesses(seed int64) []Harness {
 				},
 				AtomicityWindows: []string{
 					"s3sdb/after-prov",
-					"s3sdb/after-putattrs-chunk",
+					"s3sdb/after-batchput",
 				},
 			}, nil
 		}},
@@ -201,7 +201,7 @@ func checkAtomicity(ctx context.Context, h Harness) (bool, []string, error) {
 			return false, nil, err
 		}
 		object := prov.ObjectID("/atom" + sanitize(point))
-		perr := env.Store.Put(ctx, fileEvent(string(object)))
+		perr := core.Put(ctx, env.Store, fileEvent(string(object)))
 		if perr != nil && !errors.Is(perr, sim.ErrCrash) {
 			return false, nil, perr
 		}
@@ -282,7 +282,7 @@ func checkConsistency(ctx context.Context, h Harness) (bool, []string, error) {
 				prov.NewString(ref, prov.AttrType, prov.TypeFile),
 				prov.NewString(ref, prov.AttrEnv, marker),
 			}}
-		if err := env.Store.Put(ctx, ev); err != nil {
+		if err := core.Put(ctx, env.Store, ev); err != nil {
 			return false, nil, err
 		}
 		if env.Pump != nil {
@@ -324,8 +324,8 @@ func checkCausalOrdering(ctx context.Context, h Harness) (bool, []string, error)
 	if err != nil {
 		return false, nil, err
 	}
-	sys := pass.NewSystem(pass.Config{Flush: core.Flusher(ctx, env.Store)})
-	if err := sys.Ingest("/c/in", []byte("source")); err != nil {
+	sys := pass.NewSystem(pass.Config{Flush: core.Flusher(env.Store)})
+	if err := sys.Ingest(ctx, "/c/in", []byte("source")); err != nil {
 		return false, nil, err
 	}
 	p1 := sys.Exec(nil, pass.ExecSpec{Name: "stage1"})
@@ -342,10 +342,10 @@ func checkCausalOrdering(ctx context.Context, h Harness) (bool, []string, error)
 	if err := sys.Write(p2, "/c/out", []byte("out"), pass.Truncate); err != nil {
 		return false, nil, err
 	}
-	if err := sys.Close(p2, "/c/out"); err != nil {
+	if err := sys.Close(ctx, p2, "/c/out"); err != nil {
 		return false, nil, err
 	}
-	if err := sys.Close(p1, "/c/mid"); err != nil {
+	if err := sys.Close(ctx, p1, "/c/mid"); err != nil {
 		return false, nil, err
 	}
 	if env.Pump != nil {
@@ -391,15 +391,15 @@ func checkEfficientQuery(ctx context.Context, h Harness) (bool, int64, int, erro
 		prov.NewString(blastRef, prov.AttrType, prov.TypeProcess),
 		prov.NewString(blastRef, prov.AttrName, "blast"),
 	}}
-	if err := env.Store.Put(ctx, blast); err != nil {
+	if err := core.Put(ctx, env.Store, blast); err != nil {
 		return false, 0, 0, err
 	}
-	if err := env.Store.Put(ctx, fileEvent("/q/hit", prov.NewInput(prov.Ref{Object: "/q/hit"}, blastRef))); err != nil {
+	if err := core.Put(ctx, env.Store, fileEvent("/q/hit", prov.NewInput(prov.Ref{Object: "/q/hit"}, blastRef))); err != nil {
 		return false, 0, 0, err
 	}
 	// ...drowned in unrelated objects.
 	for i := 0; i < n; i++ {
-		if err := env.Store.Put(ctx, fileEvent(fmt.Sprintf("/q/noise%03d", i))); err != nil {
+		if err := core.Put(ctx, env.Store, fileEvent(fmt.Sprintf("/q/noise%03d", i))); err != nil {
 			return false, 0, 0, err
 		}
 	}

@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"sort"
 	"strconv"
 	"strings"
@@ -65,13 +66,20 @@ type Config struct {
 	Bucket string
 	// Faults optionally injects client crashes at protocol points.
 	Faults *sim.FaultPlan
+	// PutConcurrency bounds the number of in-flight data PUTs when a
+	// batch carries several independent file versions (default 4). S3 has
+	// no batch PUT, so overlap is the only amortization available to this
+	// architecture; versions of the same object always stay sequential so
+	// last-writer-wins resolves in causal order.
+	PutConcurrency int
 }
 
 // Store is the S3-only architecture.
 type Store struct {
-	cloud  *cloud.Cloud
-	bucket string
-	faults *sim.FaultPlan
+	cloud       *cloud.Cloud
+	bucket      string
+	faults      *sim.FaultPlan
+	concurrency int
 
 	mu sync.Mutex
 	// foreign buffers transient ancestors' records until the descendant
@@ -91,10 +99,13 @@ func New(cfg Config) (*Store, error) {
 	if cfg.Bucket == "" {
 		cfg.Bucket = "pass"
 	}
+	if cfg.PutConcurrency <= 0 {
+		cfg.PutConcurrency = 4
+	}
 	if err := cfg.Cloud.S3.CreateBucket(cfg.Bucket); err != nil && !errors.Is(err, s3.ErrBucketAlreadyExists) {
 		return nil, err
 	}
-	return &Store{cloud: cfg.Cloud, bucket: cfg.Bucket, faults: cfg.Faults}, nil
+	return &Store{cloud: cfg.Cloud, bucket: cfg.Bucket, faults: cfg.Faults, concurrency: cfg.PutConcurrency}, nil
 }
 
 // Name implements core.Store.
@@ -120,46 +131,147 @@ func bundleKey(subject prov.Ref) string {
 	return fmt.Sprintf("%s/%s/bundle", provPrefix, prov.EncodeItemName(subject))
 }
 
-// Put implements core.Store. Protocol (§4.1): read caches, convert the
-// provenance to attribute-value pairs, and issue a single PUT carrying the
-// object and its provenance.
-func (s *Store) Put(ctx context.Context, ev pass.FlushEvent) error {
+// dataPut is one assembled file PUT awaiting execution.
+type dataPut struct {
+	key  string
+	data []byte
+	meta map[string]string
+}
+
+// PutBatch implements core.Store. Protocol (§4.1), batch-first: transient
+// events buffer their records to ride the next file PUT of the batch (its
+// triggering descendant, by PASS flush order); each file event's metadata
+// is assembled sequentially (overflow and bundle PUTs happen here, before
+// any data PUT); then the batch's independent data PUTs — each carrying
+// its object and provenance atomically — execute concurrently under the
+// PutConcurrency bound.
+//
+// The foreign buffer is transactional across the batch: on any error the
+// buffer is restored to its at-entry state, so the caller's full-batch
+// replay neither loses trailing transient provenance nor duplicates the
+// records this attempt already buffered.
+func (s *Store) PutBatch(ctx context.Context, batch []pass.FlushEvent) error {
+	s.mu.Lock()
+	saved := append([]prov.Record(nil), s.foreign...)
+	s.mu.Unlock()
+	if err := s.putBatch(ctx, batch); err != nil {
+		s.mu.Lock()
+		s.foreign = saved
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if !ev.Persistent() {
-		// Transient object: buffer; its records ride the next file PUT
-		// (its triggering descendant, by PASS flush order).
+	var puts []dataPut
+	for _, ev := range batch {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !ev.Persistent() {
+			// Transient object: buffer; its records ride the batch's next
+			// file PUT.
+			s.mu.Lock()
+			s.foreign = append(s.foreign, ev.Records...)
+			s.mu.Unlock()
+			continue
+		}
+
+		if err := s.faults.Check("s3only/before-put"); err != nil {
+			return err
+		}
+
 		s.mu.Lock()
-		s.foreign = append(s.foreign, ev.Records...)
+		foreign := s.foreign
+		s.foreign = nil
 		s.mu.Unlock()
+
+		meta, err := s.encodeMetadata(ev.Ref, ev.Records, foreign)
+		if err != nil {
+			return err
+		}
+		puts = append(puts, dataPut{key: dataKey(ev.Ref.Object), data: ev.Data, meta: meta})
+	}
+
+	// The data PUTs: data and provenance stored atomically, overlapped
+	// across independent objects.
+	if err := s.doPuts(ctx, puts); err != nil {
+		return err
+	}
+	return s.faults.Check("s3only/after-put")
+}
+
+// doPuts executes the batch's data PUTs with bounded concurrency. PUTs to
+// the same key (several versions of one object in one batch) stay in order
+// on one worker, so last-writer-wins resolves to the newest version.
+func (s *Store) doPuts(ctx context.Context, puts []dataPut) error {
+	if len(puts) == 0 {
+		return nil
+	}
+	put := func(p dataPut) error {
+		if err := s.cloud.S3.Put(s.bucket, p.key, p.data, p.meta); err != nil {
+			return fmt.Errorf("s3only: data put: %w", err)
+		}
+		return nil
+	}
+	if s.concurrency <= 1 || len(puts) == 1 {
+		for _, p := range puts {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := put(p); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 
-	if err := s.faults.Check("s3only/before-put"); err != nil {
-		return err
+	// Group same-key PUTs, preserving batch order within each group.
+	var order []string
+	groups := make(map[string][]dataPut)
+	for _, p := range puts {
+		if _, ok := groups[p.key]; !ok {
+			order = append(order, p.key)
+		}
+		groups[p.key] = append(groups[p.key], p)
 	}
 
-	s.mu.Lock()
-	foreign := s.foreign
-	s.foreign = nil
-	s.mu.Unlock()
-
-	meta, err := s.encodeMetadata(ev.Ref, ev.Records, foreign)
-	if err != nil {
-		// The buffered records were not persisted; restore them so a
-		// retried Put does not lose transient provenance.
-		s.mu.Lock()
-		s.foreign = append(foreign, s.foreign...)
-		s.mu.Unlock()
-		return err
+	sem := make(chan struct{}, s.concurrency)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
 	}
-
-	// The single PUT: data and provenance stored atomically.
-	if err := s.cloud.S3.Put(s.bucket, dataKey(ev.Ref.Object), ev.Data, meta); err != nil {
-		return fmt.Errorf("s3only: data put: %w", err)
+	for _, key := range order {
+		group := groups[key]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			for _, p := range group {
+				if err := ctx.Err(); err != nil {
+					setErr(err)
+					return
+				}
+				if err := put(p); err != nil {
+					setErr(err)
+					return
+				}
+			}
+		}()
 	}
-	return s.faults.Check("s3only/after-put")
+	wg.Wait()
+	return firstErr
 }
 
 // encodeMetadata renders own + foreign records into S3 metadata, diverting
@@ -456,6 +568,57 @@ func (s *Store) AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, 
 	return out, nil
 }
 
+// AllProvenanceSeq implements core.StreamQuerier: the same LIST + HEAD
+// scan as AllProvenance, but paged and yielded one subject at a time, so
+// the repository is never resident in memory at once. A subject whose
+// records rode more than one carrier PUT may be yielded more than once;
+// callers that need the merged view use AllProvenance.
+func (s *Store) AllProvenanceSeq(ctx context.Context) iter.Seq2[core.Entry, error] {
+	return func(yield func(core.Entry, error) bool) {
+		marker := ""
+		for {
+			if err := ctx.Err(); err != nil {
+				yield(core.Entry{}, err)
+				return
+			}
+			page, err := s.cloud.S3.List(s.bucket, dataPrefix, marker, 0)
+			if err != nil {
+				yield(core.Entry{}, err)
+				return
+			}
+			for _, info := range page.Objects {
+				head, err := s.cloud.S3.Head(s.bucket, info.Key)
+				if err != nil {
+					continue // deleted between LIST and HEAD
+				}
+				object := prov.ObjectID(strings.TrimPrefix(info.Key, dataPrefix))
+				_, records, err := s.decodeAll(object, head.Metadata)
+				if err != nil {
+					yield(core.Entry{}, err)
+					return
+				}
+				var subjects []prov.Ref
+				bySubject := make(map[prov.Ref][]prov.Record)
+				for _, r := range records {
+					if _, ok := bySubject[r.Subject]; !ok {
+						subjects = append(subjects, r.Subject)
+					}
+					bySubject[r.Subject] = append(bySubject[r.Subject], r)
+				}
+				for _, subject := range subjects {
+					if !yield(core.Entry{Ref: subject, Records: bySubject[subject]}, nil) {
+						return
+					}
+				}
+			}
+			if !page.IsTruncated {
+				return
+			}
+			marker = page.NextMarker
+		}
+	}
+}
+
 // scanGraph builds the full provenance graph by scanning.
 func (s *Store) scanGraph(ctx context.Context) (*prov.Graph, error) {
 	all, err := s.AllProvenance(ctx)
@@ -582,7 +745,8 @@ func (s *Store) Sync(ctx context.Context) error {
 }
 
 var (
-	_ core.Store   = (*Store)(nil)
-	_ core.Querier = (*Store)(nil)
-	_ core.Syncer  = (*Store)(nil)
+	_ core.Store         = (*Store)(nil)
+	_ core.Querier       = (*Store)(nil)
+	_ core.StreamQuerier = (*Store)(nil)
+	_ core.Syncer        = (*Store)(nil)
 )

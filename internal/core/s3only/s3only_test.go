@@ -50,7 +50,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 	ctx := context.Background()
 
 	ev := fileEvent("/out.dat", 0, "payload")
-	if err := st.Put(ctx, ev); err != nil {
+	if err := core.Put(ctx, st, ev); err != nil {
 		t.Fatal(err)
 	}
 	got, err := st.Get(ctx, "/out.dat")
@@ -82,7 +82,7 @@ func TestTransientRecordsRideDescendantPut(t *testing.T) {
 	proc := procEvent("tool", 9)
 	puts := func() int64 { return cl.Usage().OpCount(billing.S3, "PUT") }
 	before := puts()
-	if err := st.Put(ctx, proc); err != nil {
+	if err := core.Put(ctx, st, proc); err != nil {
 		t.Fatal(err)
 	}
 	// A transient flush alone must not touch S3 (paper: the only extra
@@ -93,7 +93,7 @@ func TestTransientRecordsRideDescendantPut(t *testing.T) {
 
 	file := fileEvent("/out.dat", 0, "x", prov.NewInput(
 		prov.Ref{Object: "/out.dat", Version: 0}, proc.Ref))
-	if err := st.Put(ctx, file); err != nil {
+	if err := core.Put(ctx, st, file); err != nil {
 		t.Fatal(err)
 	}
 	if got := puts(); got != before+1 {
@@ -120,7 +120,7 @@ func TestOverflowRecordsBecomeSeparateObjects(t *testing.T) {
 		prov.NewString(ref, prov.AttrEnv, bigEnv))
 
 	before := cl.Usage().OpCount(billing.S3, "PUT")
-	if err := st.Put(ctx, ev); err != nil {
+	if err := core.Put(ctx, st, ev); err != nil {
 		t.Fatal(err)
 	}
 	delta := cl.Usage().OpCount(billing.S3, "PUT") - before
@@ -153,7 +153,7 @@ func TestMetadataSpillBundle(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		extra = append(extra, prov.NewString(ref, prov.AttrEnv, strings.Repeat("v", 200)))
 	}
-	if err := st.Put(ctx, fileEvent("/fat.dat", 0, "x", extra...)); err != nil {
+	if err := core.Put(ctx, st, fileEvent("/fat.dat", 0, "x", extra...)); err != nil {
 		t.Fatal(err)
 	}
 	got, err := st.Get(ctx, "/fat.dat")
@@ -178,7 +178,7 @@ func TestAtomicityUnderCrash(t *testing.T) {
 	st, _ := newTestStore(t, faults)
 	ctx := context.Background()
 
-	err := st.Put(ctx, fileEvent("/out.dat", 0, "x"))
+	err := core.Put(ctx, st, fileEvent("/out.dat", 0, "x"))
 	if !errors.Is(err, sim.ErrCrash) {
 		t.Fatalf("err = %v, want injected crash", err)
 	}
@@ -212,7 +212,7 @@ func TestReadCorrectnessUnderEventualConsistency(t *testing.T) {
 				prov.NewString(ref, prov.AttrType, prov.TypeFile),
 				prov.NewString(ref, prov.AttrEnv, fmt.Sprintf("gen%d", v)),
 			}}
-		if err := st.Put(ctx, ev); err != nil {
+		if err := core.Put(ctx, st, ev); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -240,7 +240,7 @@ func TestReadCorrectnessUnderEventualConsistency(t *testing.T) {
 func TestProvenanceCurrentVersionUsesHead(t *testing.T) {
 	st, cl := newTestStore(t, nil)
 	ctx := context.Background()
-	if err := st.Put(ctx, fileEvent("/x", 3, "v3")); err != nil {
+	if err := core.Put(ctx, st, fileEvent("/x", 3, "v3")); err != nil {
 		t.Fatal(err)
 	}
 	before := cl.Usage().Ops(billing.S3)
@@ -265,7 +265,7 @@ func TestQueriesRequireFullScan(t *testing.T) {
 	out2 := fileEvent("/out2", 0, "b", prov.NewInput(prov.Ref{Object: "/out2"}, other.Ref))
 	child := fileEvent("/child", 0, "c", prov.NewInput(prov.Ref{Object: "/child"}, prov.Ref{Object: "/out1"}))
 	for _, ev := range []pass.FlushEvent{blast, out1, other, out2, child} {
-		if err := st.Put(ctx, ev); err != nil {
+		if err := core.Put(ctx, st, ev); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -317,9 +317,9 @@ func TestPropertiesRow(t *testing.T) {
 func TestFullWorkloadThroughStore(t *testing.T) {
 	st, _ := newTestStore(t, nil)
 	ctx := context.Background()
-	sys := pass.NewSystem(pass.Config{Flush: core.Flusher(ctx, st)})
+	sys := pass.NewSystem(pass.Config{Flush: core.Flusher(st)})
 
-	if err := sys.Ingest("/in", []byte("input")); err != nil {
+	if err := sys.Ingest(ctx, "/in", []byte("input")); err != nil {
 		t.Fatal(err)
 	}
 	p := sys.Exec(nil, pass.ExecSpec{Name: "tool", Argv: []string{"tool"}})
@@ -329,7 +329,7 @@ func TestFullWorkloadThroughStore(t *testing.T) {
 	if err := sys.Write(p, "/out", []byte("result"), pass.Truncate); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Close(p, "/out"); err != nil {
+	if err := sys.Close(ctx, p, "/out"); err != nil {
 		t.Fatal(err)
 	}
 

@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"strconv"
 
 	"passcloud/internal/cloud"
@@ -89,8 +90,14 @@ func (s *Store) Properties() core.Properties {
 // Layer exposes the SimpleDB provenance layer (shared with queries/tests).
 func (s *Store) Layer() *sdbprov.Layer { return s.layer }
 
-// Put implements core.Store with the §4.2 protocol.
-func (s *Store) Put(ctx context.Context, ev pass.FlushEvent) error {
+// PutBatch implements core.Store with the §4.2 protocol, batch-first: the
+// whole batch's provenance items go to SimpleDB via grouped
+// BatchPutAttributes calls (steps 1–3, ⌈K/25⌉ calls for K small items
+// instead of K), then each file version's data is PUT to S3 with its nonce
+// (step 4 — S3 has no batch PUT). The atomicity hole widens with the
+// batch, exactly as the architecture predicts: a crash between the two
+// phases now strands a batch of provenance without data.
+func (s *Store) PutBatch(ctx context.Context, batch []pass.FlushEvent) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -98,21 +105,36 @@ func (s *Store) Put(ctx context.Context, ev pass.FlushEvent) error {
 		return err
 	}
 
-	var md5hex, nonce string
-	if ev.Persistent() {
-		// "the nonce is typically the file version" — plus entropy so a
-		// re-put of the same version is still distinguishable.
-		nonce = strconv.Itoa(int(ev.Ref.Version)) + "-" + s.cloud.RNG.Hex(4)
-		md5hex = sdbprov.ConsistencyMD5(ev.Data, nonce)
+	// Steps 1–2: encode values (>1 KB records go to S3 now) and compute
+	// the MD5(data‖nonce) consistency record for every file version.
+	// "the nonce is typically the file version" — plus entropy so a
+	// re-put of the same version is still distinguishable.
+	type dataPut struct {
+		ev    pass.FlushEvent
+		nonce string
+	}
+	writes := make([]sdbprov.ItemWrite, 0, len(batch))
+	var datas []dataPut
+	for _, ev := range batch {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var md5hex, nonce string
+		if ev.Persistent() {
+			nonce = strconv.Itoa(int(ev.Ref.Version)) + "-" + s.cloud.RNG.Hex(4)
+			md5hex = sdbprov.ConsistencyMD5(ev.Data, nonce)
+			datas = append(datas, dataPut{ev: ev, nonce: nonce})
+		}
+		encoded, err := s.layer.EncodeValues(ev.Ref, ev.Records, "s3sdb")
+		if err != nil {
+			return err
+		}
+		writes = append(writes, sdbprov.ItemWrite{Subject: ev.Ref, Records: encoded, MD5: md5hex})
 	}
 
-	// Steps 2–3: provenance (and the MD5 record) into SimpleDB.
-	if err := s.layer.WriteItem(ev.Ref, ev.Records, md5hex, "s3sdb"); err != nil {
+	// Step 3: the batch's provenance (and MD5 records) into SimpleDB.
+	if err := s.layer.WriteEncodedBatch(ctx, writes, "s3sdb"); err != nil {
 		return err
-	}
-
-	if !ev.Persistent() {
-		return nil // transient subjects have no data object
 	}
 
 	// The atomicity hole: a crash here leaves provenance without data.
@@ -120,15 +142,23 @@ func (s *Store) Put(ctx context.Context, ev pass.FlushEvent) error {
 		return err
 	}
 
-	// Step 4: the data PUT carries the nonce in its metadata.
-	meta := map[string]string{
-		sdbprov.MetaNonce:   nonce,
-		sdbprov.MetaVersion: strconv.Itoa(int(ev.Ref.Version)),
+	// Step 4: each data PUT carries its nonce in its metadata.
+	for _, d := range datas {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		meta := map[string]string{
+			sdbprov.MetaNonce:   d.nonce,
+			sdbprov.MetaVersion: strconv.Itoa(int(d.ev.Ref.Version)),
+		}
+		if err := s.cloud.S3.Put(s.layer.Bucket(), sdbprov.DataKey(d.ev.Ref.Object), d.ev.Data, meta); err != nil {
+			return fmt.Errorf("s3sdb: data put: %w", err)
+		}
+		if err := s.faults.Check("s3sdb/after-data"); err != nil {
+			return err
+		}
 	}
-	if err := s.cloud.S3.Put(s.layer.Bucket(), sdbprov.DataKey(ev.Ref.Object), ev.Data, meta); err != nil {
-		return fmt.Errorf("s3sdb: data put: %w", err)
-	}
-	return s.faults.Check("s3sdb/after-data")
+	return nil
 }
 
 // Get implements core.Store via the verified-read protocol.
@@ -154,6 +184,11 @@ func (s *Store) Provenance(ctx context.Context, ref prov.Ref) ([]prov.Record, er
 // AllProvenance implements core.Querier.
 func (s *Store) AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, error) {
 	return s.layer.AllProvenance(ctx)
+}
+
+// AllProvenanceSeq implements core.StreamQuerier.
+func (s *Store) AllProvenanceSeq(ctx context.Context) iter.Seq2[core.Entry, error] {
+	return s.layer.AllProvenanceSeq(ctx)
 }
 
 // OutputsOf implements core.Querier.
@@ -232,6 +267,7 @@ func (s *Store) isOrphan(ref prov.Ref) (bool, error) {
 }
 
 var (
-	_ core.Store   = (*Store)(nil)
-	_ core.Querier = (*Store)(nil)
+	_ core.Store         = (*Store)(nil)
+	_ core.Querier       = (*Store)(nil)
+	_ core.StreamQuerier = (*Store)(nil)
 )

@@ -49,7 +49,7 @@ func procEvent(name string, pid int, records ...prov.Record) pass.FlushEvent {
 func TestPutGetRoundTrip(t *testing.T) {
 	st, _ := newTestStore(t, nil, 0)
 	ctx := context.Background()
-	if err := st.Put(ctx, fileEvent("/out", 0, "payload")); err != nil {
+	if err := core.Put(ctx, st, fileEvent("/out", 0, "payload")); err != nil {
 		t.Fatal(err)
 	}
 	got, err := st.Get(ctx, "/out")
@@ -67,7 +67,7 @@ func TestTransientSubjectsGetItemsButNoObjects(t *testing.T) {
 	proc := procEvent("tool", 5)
 
 	putsBefore := cl.Usage().OpCount(billing.S3, "PUT")
-	if err := st.Put(ctx, proc); err != nil {
+	if err := core.Put(ctx, st, proc); err != nil {
 		t.Fatal(err)
 	}
 	if got := cl.Usage().OpCount(billing.S3, "PUT") - putsBefore; got != 0 {
@@ -94,7 +94,7 @@ func TestConsistencyDetectionAndRetry(t *testing.T) {
 				prov.NewString(ref, prov.AttrType, prov.TypeFile),
 				prov.NewString(ref, prov.AttrEnv, fmt.Sprintf("generation-%d", v)),
 			}}
-		if err := st.Put(ctx, ev); err != nil {
+		if err := core.Put(ctx, st, ev); err != nil {
 			t.Fatal(err)
 		}
 		cl.Clock.Advance(3 * time.Second) // partial propagation between puts
@@ -129,14 +129,14 @@ func TestSameContentOverwriteDetectedByNonce(t *testing.T) {
 	st, _ := newTestStore(t, nil, 0)
 	ctx := context.Background()
 
-	if err := st.Put(ctx, fileEvent("/same", 0, "identical bytes")); err != nil {
+	if err := core.Put(ctx, st, fileEvent("/same", 0, "identical bytes")); err != nil {
 		t.Fatal(err)
 	}
 	_, md5v0, ok, err := st.Layer().FetchItem(prov.Ref{Object: "/same", Version: 0})
 	if err != nil || !ok {
 		t.Fatal(err)
 	}
-	if err := st.Put(ctx, fileEvent("/same", 1, "identical bytes")); err != nil {
+	if err := core.Put(ctx, st, fileEvent("/same", 1, "identical bytes")); err != nil {
 		t.Fatal(err)
 	}
 	_, md5v1, ok, err := st.Layer().FetchItem(prov.Ref{Object: "/same", Version: 1})
@@ -159,7 +159,7 @@ func TestAtomicityViolationOrphanProvenance(t *testing.T) {
 	st, _ := newTestStore(t, faults, 0)
 	ctx := context.Background()
 
-	err := st.Put(ctx, fileEvent("/orphaned", 0, "never lands"))
+	err := core.Put(ctx, st, fileEvent("/orphaned", 0, "never lands"))
 	if !errors.Is(err, sim.ErrCrash) {
 		t.Fatalf("err = %v, want injected crash", err)
 	}
@@ -190,14 +190,14 @@ func TestAtomicityViolationOrphanProvenance(t *testing.T) {
 func TestOrphanScanSparesHealthyItems(t *testing.T) {
 	st, _ := newTestStore(t, nil, 0)
 	ctx := context.Background()
-	if err := st.Put(ctx, fileEvent("/healthy", 0, "x")); err != nil {
+	if err := core.Put(ctx, st, fileEvent("/healthy", 0, "x")); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Put(ctx, procEvent("tool", 3)); err != nil {
+	if err := core.Put(ctx, st, procEvent("tool", 3)); err != nil {
 		t.Fatal(err)
 	}
 	// Old version items are history, not orphans.
-	if err := st.Put(ctx, fileEvent("/healthy", 1, "y")); err != nil {
+	if err := core.Put(ctx, st, fileEvent("/healthy", 1, "y")); err != nil {
 		t.Fatal(err)
 	}
 	orphans, err := st.OrphanScan(ctx)
@@ -217,7 +217,7 @@ func TestOverflowValuesToS3(t *testing.T) {
 	ev := fileEvent("/big", 0, "x", prov.NewString(ref, prov.AttrEnv, big))
 
 	before := cl.Usage().OpCount(billing.S3, "PUT")
-	if err := st.Put(ctx, ev); err != nil {
+	if err := core.Put(ctx, st, ev); err != nil {
 		t.Fatal(err)
 	}
 	if got := cl.Usage().OpCount(billing.S3, "PUT") - before; got != 2 {
@@ -247,7 +247,7 @@ func TestChunkedPutAttributes(t *testing.T) {
 		extra = append(extra, prov.NewInput(ref, prov.Ref{Object: prov.ObjectID(fmt.Sprintf("/dep%03d", i))}))
 	}
 	before := cl.Usage().OpCount(billing.SimpleDB, "PutAttributes")
-	if err := st.Put(ctx, fileEvent("/many", 0, "x", extra...)); err != nil {
+	if err := core.Put(ctx, st, fileEvent("/many", 0, "x", extra...)); err != nil {
 		t.Fatal(err)
 	}
 	// 152 records + md5 = 153 attrs -> 2 calls of 100 + 53.
@@ -271,7 +271,7 @@ func TestQueries(t *testing.T) {
 	child := fileEvent("/child", 0, "c", prov.NewInput(prov.Ref{Object: "/child"}, prov.Ref{Object: "/out1"}))
 	grand := fileEvent("/grand", 0, "d", prov.NewInput(prov.Ref{Object: "/grand"}, prov.Ref{Object: "/child"}))
 	for _, ev := range []pass.FlushEvent{blast, out1, other, out2, child, grand} {
-		if err := st.Put(ctx, ev); err != nil {
+		if err := core.Put(ctx, st, ev); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -322,9 +322,9 @@ func TestPropertiesRow(t *testing.T) {
 func TestFullWorkloadThroughStore(t *testing.T) {
 	st, _ := newTestStore(t, nil, 0)
 	ctx := context.Background()
-	sys := pass.NewSystem(pass.Config{Flush: core.Flusher(ctx, st)})
+	sys := pass.NewSystem(pass.Config{Flush: core.Flusher(st)})
 
-	if err := sys.Ingest("/in", []byte("input")); err != nil {
+	if err := sys.Ingest(ctx, "/in", []byte("input")); err != nil {
 		t.Fatal(err)
 	}
 	p := sys.Exec(nil, pass.ExecSpec{Name: "tool"})
@@ -334,7 +334,7 @@ func TestFullWorkloadThroughStore(t *testing.T) {
 	if err := sys.Write(p, "/out", []byte("result"), pass.Truncate); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Close(p, "/out"); err != nil {
+	if err := sys.Close(ctx, p, "/out"); err != nil {
 		t.Fatal(err)
 	}
 

@@ -45,13 +45,15 @@ type CommitDaemon struct {
 	pending map[string]*txState
 }
 
-// txState is one transaction under assembly.
+// txState is one transaction under assembly. A transaction covers one PASS
+// flush batch, so it may carry several data pointers (one per file version)
+// and the provenance of several items.
 type txState struct {
 	begin    bool
 	count    int // messages expected after begin (commit included)
 	commit   bool
-	data     *walMessage
-	md5      *walMessage
+	dataMsgs []walMessage
+	md5Msgs  []walMessage
 	provMsgs []walMessage
 	msgSeen  map[string]bool   // message IDs, so redelivery does not duplicate
 	receipts map[string]string // message ID -> latest receipt handle
@@ -161,11 +163,9 @@ func (d *CommitDaemon) absorb(wal walMessage, msgID, receipt string) {
 	case kindCommit:
 		tx.commit = true
 	case kindData:
-		m := wal
-		tx.data = &m
+		tx.dataMsgs = append(tx.dataMsgs, wal)
 	case kindMD5:
-		m := wal
-		tx.md5 = &m
+		tx.md5Msgs = append(tx.md5Msgs, wal)
 	case kindProv:
 		tx.provMsgs = append(tx.provMsgs, wal)
 	}
@@ -176,13 +176,7 @@ func (tx *txState) complete() bool {
 	if !tx.begin || !tx.commit {
 		return false
 	}
-	have := len(tx.provMsgs) + 1 // +1 commit
-	if tx.data != nil {
-		have++
-	}
-	if tx.md5 != nil {
-		have++
-	}
+	have := len(tx.provMsgs) + len(tx.dataMsgs) + len(tx.md5Msgs) + 1 // +1 commit
 	return have >= tx.count
 }
 
@@ -222,28 +216,47 @@ func (d *CommitDaemon) processReady(ctx context.Context) (int, error) {
 	return done, nil
 }
 
-// txOrderKey orders transactions by data destination and version so that
-// same-object versions commit in order within a round.
+// txOrderKey orders transactions by first data destination and version so
+// that same-object versions commit in order within a round.
 func txOrderKey(tx *txState) string {
-	if tx.data == nil {
+	if len(tx.dataMsgs) == 0 {
 		return ""
 	}
-	return fmt.Sprintf("%s#%09d", tx.data.RealKey, tx.data.Version)
+	first := tx.dataMsgs[0]
+	for _, m := range tx.dataMsgs[1:] {
+		if m.RealKey < first.RealKey || (m.RealKey == first.RealKey && m.Version < first.Version) {
+			first = m
+		}
+	}
+	return fmt.Sprintf("%s#%09d", first.RealKey, first.Version)
 }
 
 // commitTx executes the §4.3 commit steps for one transaction:
 //
-//	(b) COPY the object from its temporary name to its real name;
-//	(c) store the provenance records in SimpleDB (chunked PutAttributes);
-//	(d) delete the WAL messages, then delete the temporary object.
+//	(b) COPY each object from its temporary name to its real name;
+//	(c) store the batch's provenance in SimpleDB, items grouped into
+//	    BatchPutAttributes calls;
+//	(d) delete the WAL messages, then delete the temporary objects.
 //
-// retry is true when the transaction should be reattempted later (the
+// retry is true when the transaction should be reattempted later (a
 // temporary object has not propagated to the serving replica yet).
 func (d *CommitDaemon) commitTx(ctx context.Context, txid string, tx *txState) (retry bool, err error) {
-	// (b) the data COPY. The temporary object's metadata already carries
-	// nonce and version; COPY preserves it.
-	if tx.data != nil {
-		err := d.cloud.S3.Copy(d.layer.Bucket(), tx.data.TmpKey, d.layer.Bucket(), tx.data.RealKey, nil)
+	// (b) the data COPYs, in (key, version) order so that several versions
+	// of one object within the transaction land last-writer-correct. The
+	// temporary objects' metadata already carries nonce and version; COPY
+	// preserves it.
+	dataMsgs := append([]walMessage(nil), tx.dataMsgs...)
+	sort.Slice(dataMsgs, func(i, j int) bool {
+		if dataMsgs[i].RealKey != dataMsgs[j].RealKey {
+			return dataMsgs[i].RealKey < dataMsgs[j].RealKey
+		}
+		return dataMsgs[i].Version < dataMsgs[j].Version
+	})
+	for _, dm := range dataMsgs {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		err := d.cloud.S3.Copy(d.layer.Bucket(), dm.TmpKey, d.layer.Bucket(), dm.RealKey, nil)
 		if err != nil {
 			if errors.Is(err, s3.ErrNoSuchKey) {
 				return true, nil // not propagated yet; retry next round
@@ -256,37 +269,46 @@ func (d *CommitDaemon) commitTx(ctx context.Context, txid string, tx *txState) (
 	}
 
 	// (c) provenance into SimpleDB. Records were value-encoded during the
-	// log phase, so they go straight to WriteEncoded.
-	var all []prov.Record
-	var subject prov.Ref
-	haveSubject := false
+	// log phase, so they group straight into batched item writes.
+	recordsByItem := make(map[string][]prov.Record)
+	var itemOrder []string
 	for _, pm := range tx.provMsgs {
 		records, err := pm.decodeRecords()
 		if err != nil {
 			return false, err
 		}
-		if !haveSubject && pm.Item != "" {
-			subject, err = prov.ParseItemName(pm.Item)
-			if err != nil {
-				return false, err
-			}
-			haveSubject = true
+		if pm.Item == "" {
+			continue
 		}
-		all = append(all, records...)
-	}
-	md5hex := ""
-	if tx.md5 != nil {
-		md5hex = tx.md5.MD5
-		if !haveSubject {
-			subject, err = prov.ParseItemName(tx.md5.Item)
-			if err != nil {
-				return false, err
-			}
-			haveSubject = true
+		if _, ok := recordsByItem[pm.Item]; !ok {
+			itemOrder = append(itemOrder, pm.Item)
 		}
+		recordsByItem[pm.Item] = append(recordsByItem[pm.Item], records...)
 	}
-	if haveSubject {
-		if err := d.layer.WriteEncoded(subject, all, md5hex, "commit"); err != nil {
+	md5ByItem := make(map[string]string, len(tx.md5Msgs))
+	for _, mm := range tx.md5Msgs {
+		if _, ok := recordsByItem[mm.Item]; !ok {
+			itemOrder = append(itemOrder, mm.Item)
+		}
+		md5ByItem[mm.Item] = mm.MD5
+	}
+	// SQS sampling may deliver the chunks in any order; commit items in a
+	// deterministic order regardless.
+	sort.Strings(itemOrder)
+	writes := make([]sdbprov.ItemWrite, 0, len(itemOrder))
+	for _, item := range itemOrder {
+		subject, err := prov.ParseItemName(item)
+		if err != nil {
+			return false, err
+		}
+		writes = append(writes, sdbprov.ItemWrite{
+			Subject: subject,
+			Records: recordsByItem[item],
+			MD5:     md5ByItem[item],
+		})
+	}
+	if len(writes) > 0 {
+		if err := d.layer.WriteEncodedBatch(ctx, writes, "commit"); err != nil {
 			return false, err
 		}
 		if err := d.faults.Check("commit/after-prov-write"); err != nil {
@@ -303,9 +325,9 @@ func (d *CommitDaemon) commitTx(ctx context.Context, txid string, tx *txState) (
 	if err := d.faults.Check("commit/after-delete-messages"); err != nil {
 		return false, err
 	}
-	// ...and only then the temporary object, preserving idempotent replay.
-	if tx.data != nil {
-		if err := d.cloud.S3.Delete(d.layer.Bucket(), tx.data.TmpKey); err != nil {
+	// ...and only then the temporary objects, preserving idempotent replay.
+	for _, dm := range dataMsgs {
+		if err := d.cloud.S3.Delete(d.layer.Bucket(), dm.TmpKey); err != nil {
 			return false, err
 		}
 	}

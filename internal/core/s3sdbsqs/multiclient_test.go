@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"passcloud/internal/cloud"
+	"passcloud/internal/core"
 	"passcloud/internal/prov"
 )
 
@@ -29,10 +30,10 @@ func TestPerClientQueuesAreIsolated(t *testing.T) {
 		t.Fatalf("clients share a WAL queue: %q", stA.Queue())
 	}
 
-	if err := stA.Put(ctx, fileEvent("/from-alice", 0, "a")); err != nil {
+	if err := core.Put(ctx, stA, fileEvent("/from-alice", 0, "a")); err != nil {
 		t.Fatal(err)
 	}
-	if err := stB.Put(ctx, fileEvent("/from-bob", 0, "b")); err != nil {
+	if err := core.Put(ctx, stB, fileEvent("/from-bob", 0, "b")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -86,7 +87,7 @@ func TestManyClientsInterleavedCommits(t *testing.T) {
 	for round := 0; round < 3; round++ {
 		for i, st := range stores {
 			object := fmt.Sprintf("/c%d/r%d", i, round)
-			if err := st.Put(ctx, fileEvent(object, 0, object)); err != nil {
+			if err := core.Put(ctx, st, fileEvent(object, 0, object)); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -69,7 +69,7 @@ func TestLogThenCommitRoundTrip(t *testing.T) {
 	st, daemon, cl := newTestStore(t, nil, 0)
 	ctx := context.Background()
 
-	if err := st.Put(ctx, fileEvent("/out", 0, "payload")); err != nil {
+	if err := core.Put(ctx, st, fileEvent("/out", 0, "payload")); err != nil {
 		t.Fatal(err)
 	}
 	// Before the commit daemon runs, nothing is visible at the real key.
@@ -106,7 +106,7 @@ func TestUncommittedTransactionIsInvisible(t *testing.T) {
 	st, daemon, cl := newTestStore(t, faults, 0)
 	ctx := context.Background()
 
-	err := st.Put(ctx, fileEvent("/never", 0, "ghost"))
+	err := core.Put(ctx, st, fileEvent("/never", 0, "ghost"))
 	if !errors.Is(err, sim.ErrCrash) {
 		t.Fatalf("err = %v, want injected crash", err)
 	}
@@ -143,7 +143,7 @@ func TestCrashWindowsNeverBreakReadCorrectness(t *testing.T) {
 			ctx := context.Background()
 
 			object := "/f-" + strings.ReplaceAll(point, "/", "-")
-			err := st.Put(ctx, fileEvent(object, 0, "data-"+point))
+			err := core.Put(ctx, st, fileEvent(object, 0, "data-"+point))
 			crashed := errors.Is(err, sim.ErrCrash)
 			if !crashed && err != nil {
 				t.Fatal(err)
@@ -179,7 +179,7 @@ func TestDaemonCrashReplayIsIdempotent(t *testing.T) {
 		t.Run(point, func(t *testing.T) {
 			st, _, cl := newTestStore(t, nil, 0)
 			ctx := context.Background()
-			if err := st.Put(ctx, fileEvent("/replay", 0, "payload")); err != nil {
+			if err := core.Put(ctx, st, fileEvent("/replay", 0, "payload")); err != nil {
 				t.Fatal(err)
 			}
 
@@ -217,7 +217,7 @@ func TestThresholdGatesCommit(t *testing.T) {
 	st, daemon, _ := newTestStore(t, nil, 0)
 	daemon.Threshold = 100
 	ctx := context.Background()
-	if err := st.Put(ctx, fileEvent("/gated", 0, "x")); err != nil {
+	if err := core.Put(ctx, st, fileEvent("/gated", 0, "x")); err != nil {
 		t.Fatal(err)
 	}
 	// Below threshold and unforced: nothing happens.
@@ -242,7 +242,7 @@ func TestLargeProvenanceChunksAcrossMessages(t *testing.T) {
 		extra = append(extra, prov.NewString(ref, prov.AttrEnv, strings.Repeat("v", 64)+fmt.Sprintf("%03d", i)))
 	}
 	sendsBefore := cl.Usage().OpCount(billing.SQS, "SendMessage")
-	if err := st.Put(ctx, fileEvent("/wide", 0, "x", extra...)); err != nil {
+	if err := core.Put(ctx, st, fileEvent("/wide", 0, "x", extra...)); err != nil {
 		t.Fatal(err)
 	}
 	sends := cl.Usage().OpCount(billing.SQS, "SendMessage") - sendsBefore
@@ -263,7 +263,7 @@ func TestOverflowValuesStoredDuringLogPhase(t *testing.T) {
 	ref := prov.Ref{Object: "/big", Version: 0}
 
 	putsBefore := cl.Usage().OpCount(billing.S3, "PUT")
-	if err := st.Put(ctx, fileEvent("/big", 0, "x", prov.NewString(ref, prov.AttrEnv, big))); err != nil {
+	if err := core.Put(ctx, st, fileEvent("/big", 0, "x", prov.NewString(ref, prov.AttrEnv, big))); err != nil {
 		t.Fatal(err)
 	}
 	// Log phase: overflow object + temp object = 2 PUTs.
@@ -292,7 +292,7 @@ func TestCleanerReapsAbandonedTempObjects(t *testing.T) {
 	st, daemon, cl := newTestStore(t, faults, 0)
 	ctx := context.Background()
 
-	if err := st.Put(ctx, fileEvent("/aband", 0, "x")); !errors.Is(err, sim.ErrCrash) {
+	if err := core.Put(ctx, st, fileEvent("/aband", 0, "x")); !errors.Is(err, sim.ErrCrash) {
 		t.Fatalf("err = %v", err)
 	}
 	pump(t, daemon, cl)
@@ -320,7 +320,7 @@ func TestSQSRetentionReapsUncommittedLog(t *testing.T) {
 	faults.Arm("wal/before-commit")
 	st, _, cl := newTestStore(t, faults, 0)
 	ctx := context.Background()
-	if err := st.Put(ctx, fileEvent("/old", 0, "x")); !errors.Is(err, sim.ErrCrash) {
+	if err := core.Put(ctx, st, fileEvent("/old", 0, "x")); !errors.Is(err, sim.ErrCrash) {
 		t.Fatal("expected crash")
 	}
 	if n, _ := cl.SQS.Exact(st.Queue()); n == 0 {
@@ -336,7 +336,7 @@ func TestTransientEventThroughWAL(t *testing.T) {
 	st, daemon, cl := newTestStore(t, nil, 0)
 	ctx := context.Background()
 	proc := procEvent("tool", 7)
-	if err := st.Put(ctx, proc); err != nil {
+	if err := core.Put(ctx, st, proc); err != nil {
 		t.Fatal(err)
 	}
 	pump(t, daemon, cl)
@@ -364,7 +364,7 @@ func TestEventuallyConsistentEndToEnd(t *testing.T) {
 				prov.NewString(ref, prov.AttrType, prov.TypeFile),
 				prov.NewString(ref, prov.AttrEnv, fmt.Sprintf("gen%d", v)),
 			}}
-		if err := st.Put(ctx, ev); err != nil {
+		if err := core.Put(ctx, st, ev); err != nil {
 			t.Fatal(err)
 		}
 		pump(t, daemon, cl)
@@ -401,9 +401,9 @@ func TestPropertiesRow(t *testing.T) {
 func TestFullWorkloadThroughStore(t *testing.T) {
 	st, daemon, cl := newTestStore(t, nil, 0)
 	ctx := context.Background()
-	sys := pass.NewSystem(pass.Config{Flush: core.Flusher(ctx, st)})
+	sys := pass.NewSystem(pass.Config{Flush: core.Flusher(st)})
 
-	if err := sys.Ingest("/in", []byte("input")); err != nil {
+	if err := sys.Ingest(ctx, "/in", []byte("input")); err != nil {
 		t.Fatal(err)
 	}
 	p := sys.Exec(nil, pass.ExecSpec{Name: "tool"})
@@ -413,7 +413,7 @@ func TestFullWorkloadThroughStore(t *testing.T) {
 	if err := sys.Write(p, "/out", []byte("result"), pass.Truncate); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Close(p, "/out"); err != nil {
+	if err := sys.Close(ctx, p, "/out"); err != nil {
 		t.Fatal(err)
 	}
 	pump(t, daemon, cl)

@@ -3,15 +3,18 @@
 // client used as a write-ahead log to restore atomicity — and with it read
 // correctness — on top of the second architecture.
 //
-// The protocol has two phases. The log phase (Store.Put) runs at the
+// The protocol has two phases. The log phase (Store.PutBatch) runs at the
 // client: it records everything the transaction will do on the WAL queue —
-// a begin record with the transaction's record count, a pointer to a
-// temporary S3 object holding the data ("we store the file as a temporary
-// S3 object, recording a pointer to the temporary object in the WAL
-// queue"), the provenance in 8 KB chunks, the MD5 consistency record, and
-// finally a commit record. The commit phase (CommitDaemon) drains the
-// queue, pushes committed transactions to S3 and SimpleDB, and only then
-// deletes the log records and the temporary object.
+// a begin record with the transaction's record count, a pointer per file
+// version to a temporary S3 object holding its data ("we store the file as
+// a temporary S3 object, recording a pointer to the temporary object in
+// the WAL queue"), the provenance in 8 KB chunks, the MD5 consistency
+// records, and finally a commit record. One PASS flush batch — a close's
+// whole ancestor chain — is one transaction, so begin/commit overhead is
+// paid once per close rather than once per version. The commit phase
+// (CommitDaemon) drains the queue, pushes committed transactions to S3 and
+// SimpleDB (items grouped into BatchPutAttributes calls), and only then
+// deletes the log records and the temporary objects.
 //
 // Idempotency makes replay after daemon crashes safe: COPY-then-delete (not
 // rename) keeps the temporary object until the very end, and S3 and
@@ -24,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"strconv"
 
 	"passcloud/internal/cloud"
@@ -106,49 +110,75 @@ func (s *Store) Layer() *sdbprov.Layer { return s.layer }
 // Queue returns the WAL queue name.
 func (s *Store) Queue() string { return s.queue }
 
-// Put implements core.Store: the §4.3 log phase. Nothing touches the real
-// data key or the provenance domain here — only the WAL queue and a
-// temporary object. A crash at any point leaves an uncommitted transaction
-// that the commit daemon ignores.
-func (s *Store) Put(ctx context.Context, ev pass.FlushEvent) error {
+// PutBatch implements core.Store: the §4.3 log phase, batch-first. The
+// whole batch becomes ONE write-ahead-log transaction — a single begin
+// record, one temporary-object pointer per file version, the batch's
+// provenance in 8 KB chunks, the MD5 consistency records, and a single
+// commit — so a close with K unpersisted ancestors pays one begin/commit
+// pair instead of K, and the commit daemon can push the whole batch's
+// items to SimpleDB with grouped BatchPutAttributes calls.
+//
+// Nothing touches the real data keys or the provenance domain here — only
+// the WAL queue and temporary objects. A crash (or context cancellation)
+// at any point leaves an uncommitted transaction that the commit daemon
+// ignores and the cleaner eventually reaps, so a retried batch is safe.
+func (s *Store) PutBatch(ctx context.Context, batch []pass.FlushEvent) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if len(batch) == 0 {
+		return nil
+	}
 	txid := s.cloud.RNG.Hex(8)
-	item := prov.EncodeItemName(ev.Ref)
 
-	// Pre-encode records: >1 KB values go to S3 now, as the paper's
-	// formula requires (N_provrecs>1KB extra PUTs in this architecture
-	// too); the WAL carries pointers.
-	encoded, err := s.layer.EncodeValues(ev.Ref, ev.Records, "wal")
-	if err != nil {
-		return err
+	// Assemble the messages that follow begin: per event — data pointer,
+	// provenance chunks, MD5 record. Pre-encoding sends >1 KB values to S3
+	// now, as the paper's formula requires (N_provrecs>1KB extra PUTs in
+	// this architecture too); the WAL carries pointers.
+	type tmpPut struct {
+		key  string
+		data []byte
+		meta map[string]string
 	}
-	chunks, err := prov.ChunkJSON(encoded, walChunkBudget)
-	if err != nil {
-		return err
-	}
-
-	// Assemble the messages that follow begin.
 	var msgs []walMessage
-	var nonce, md5hex string
-	if ev.Persistent() {
-		nonce = strconv.Itoa(int(ev.Ref.Version)) + "-" + s.cloud.RNG.Hex(4)
-		md5hex = sdbprov.ConsistencyMD5(ev.Data, nonce)
-		msgs = append(msgs, walMessage{
-			TxID:    txid,
-			Kind:    kindData,
-			TmpKey:  TmpPrefix + txid,
-			RealKey: sdbprov.DataKey(ev.Ref.Object),
-			Nonce:   nonce,
-			Version: int(ev.Ref.Version),
-		})
-	}
-	for _, chunk := range chunks {
-		msgs = append(msgs, walMessage{TxID: txid, Kind: kindProv, Item: item, Records: chunk})
-	}
-	if ev.Persistent() {
-		msgs = append(msgs, walMessage{TxID: txid, Kind: kindMD5, Item: item, MD5: md5hex})
+	var tmps []tmpPut
+	for i, ev := range batch {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		item := prov.EncodeItemName(ev.Ref)
+		encoded, err := s.layer.EncodeValues(ev.Ref, ev.Records, "wal")
+		if err != nil {
+			return err
+		}
+		chunks, err := prov.ChunkJSON(encoded, walChunkBudget)
+		if err != nil {
+			return err
+		}
+		var nonce, md5hex string
+		if ev.Persistent() {
+			nonce = strconv.Itoa(int(ev.Ref.Version)) + "-" + s.cloud.RNG.Hex(4)
+			md5hex = sdbprov.ConsistencyMD5(ev.Data, nonce)
+			tmpKey := fmt.Sprintf("%s%s-%d", TmpPrefix, txid, i)
+			msgs = append(msgs, walMessage{
+				TxID:    txid,
+				Kind:    kindData,
+				TmpKey:  tmpKey,
+				RealKey: sdbprov.DataKey(ev.Ref.Object),
+				Nonce:   nonce,
+				Version: int(ev.Ref.Version),
+			})
+			tmps = append(tmps, tmpPut{key: tmpKey, data: ev.Data, meta: map[string]string{
+				sdbprov.MetaNonce:   nonce,
+				sdbprov.MetaVersion: strconv.Itoa(int(ev.Ref.Version)),
+			}})
+		}
+		for _, chunk := range chunks {
+			msgs = append(msgs, walMessage{TxID: txid, Kind: kindProv, Item: item, Records: chunk})
+		}
+		if ev.Persistent() {
+			msgs = append(msgs, walMessage{TxID: txid, Kind: kindMD5, Item: item, MD5: md5hex})
+		}
 	}
 	commit := walMessage{TxID: txid, Kind: kindCommit}
 
@@ -163,14 +193,13 @@ func (s *Store) Put(ctx context.Context, ev pass.FlushEvent) error {
 		return err
 	}
 
-	// 1(c): the data goes to a temporary object; only a pointer enters the
-	// log ("we cannot directly record large data items on the WAL queue").
-	if ev.Persistent() {
-		meta := map[string]string{
-			sdbprov.MetaNonce:   nonce,
-			sdbprov.MetaVersion: strconv.Itoa(int(ev.Ref.Version)),
+	// 1(c): data goes to temporary objects; only pointers enter the log
+	// ("we cannot directly record large data items on the WAL queue").
+	for _, tp := range tmps {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		if err := s.cloud.S3.Put(s.layer.Bucket(), TmpPrefix+txid, ev.Data, meta); err != nil {
+		if err := s.cloud.S3.Put(s.layer.Bucket(), tp.key, tp.data, tp.meta); err != nil {
 			return fmt.Errorf("s3sdbsqs: temp put: %w", err)
 		}
 		if err := s.faults.Check("wal/after-tmp-put"); err != nil {
@@ -178,8 +207,11 @@ func (s *Store) Put(ctx context.Context, ev pass.FlushEvent) error {
 		}
 	}
 
-	// 1(c)–1(d): data pointer, provenance chunks, MD5 record.
+	// 1(c)–1(d): data pointers, provenance chunks, MD5 records.
 	for i, m := range msgs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := s.send(m); err != nil {
 			return err
 		}
@@ -237,6 +269,11 @@ func (s *Store) AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, 
 	return s.layer.AllProvenance(ctx)
 }
 
+// AllProvenanceSeq implements core.StreamQuerier.
+func (s *Store) AllProvenanceSeq(ctx context.Context) iter.Seq2[core.Entry, error] {
+	return s.layer.AllProvenanceSeq(ctx)
+}
+
 // OutputsOf implements core.Querier.
 func (s *Store) OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error) {
 	return s.layer.OutputsOf(ctx, tool)
@@ -253,6 +290,7 @@ func (s *Store) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Re
 }
 
 var (
-	_ core.Store   = (*Store)(nil)
-	_ core.Querier = (*Store)(nil)
+	_ core.Store         = (*Store)(nil)
+	_ core.Querier       = (*Store)(nil)
+	_ core.StreamQuerier = (*Store)(nil)
 )

@@ -26,6 +26,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"iter"
 	"strconv"
 	"time"
 
@@ -189,14 +190,11 @@ func (l *Layer) EncodeValues(subject prov.Ref, records []prov.Record, faultPrefi
 	return out, nil
 }
 
-// WriteEncoded stores pre-encoded records (from EncodeValues) as one
-// SimpleDB item via chunked PutAttributes calls ("Since SimpleDB allows us
-// to store only 100 attributes per call, we might have to issue multiple
-// PutAttributes calls"). md5hex, when non-empty, adds the consistency
-// record. Records beyond the 256-pairs-per-item limit spill to an S3 object
-// referenced by the AttrMore attribute. faultPrefix scopes the crash points
-// so each caller's protocol is independently testable.
-func (l *Layer) WriteEncoded(subject prov.Ref, encoded []prov.Record, md5hex, faultPrefix string) error {
+// buildAttrs renders one subject's pre-encoded records into the item's
+// attribute list: inline records, the MD5 consistency record, and — for
+// records beyond the 256-pairs-per-item limit — an S3 spill object
+// referenced by the AttrMore attribute (the spill PUT happens here).
+func (l *Layer) buildAttrs(subject prov.Ref, encoded []prov.Record, md5hex, faultPrefix string) ([]sdb.ReplaceableAttr, error) {
 	item := prov.EncodeItemName(subject)
 
 	// Reserve room for the bookkeeping attributes.
@@ -222,18 +220,37 @@ func (l *Layer) WriteEncoded(subject prov.Ref, encoded []prov.Record, md5hex, fa
 	if len(spill) > 0 {
 		blob, err := prov.MarshalJSONRecords(spill)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		mkey := fmt.Sprintf("%s/%s/more", OverflowPrefix, item)
 		if err := l.cfg.Cloud.S3.Put(l.cfg.Bucket, mkey, blob, nil); err != nil {
-			return fmt.Errorf("sdbprov: spill put: %w", err)
+			return nil, fmt.Errorf("sdbprov: spill put: %w", err)
 		}
 		if err := l.cfg.Faults.Check(faultPrefix + "/after-spill-put"); err != nil {
-			return err
+			return nil, err
 		}
 		attrs = append(attrs, sdb.ReplaceableAttr{Name: AttrMore, Value: mkey, Replace: true})
 	}
+	return attrs, nil
+}
 
+// WriteEncoded stores pre-encoded records (from EncodeValues) as one
+// SimpleDB item via chunked PutAttributes calls ("Since SimpleDB allows us
+// to store only 100 attributes per call, we might have to issue multiple
+// PutAttributes calls"). md5hex, when non-empty, adds the consistency
+// record. faultPrefix scopes the crash points so each caller's protocol is
+// independently testable.
+func (l *Layer) WriteEncoded(subject prov.Ref, encoded []prov.Record, md5hex, faultPrefix string) error {
+	attrs, err := l.buildAttrs(subject, encoded, md5hex, faultPrefix)
+	if err != nil {
+		return err
+	}
+	return l.putChunked(subject, attrs, faultPrefix)
+}
+
+// putChunked issues the chunked PutAttributes loop for one item.
+func (l *Layer) putChunked(subject prov.Ref, attrs []sdb.ReplaceableAttr, faultPrefix string) error {
+	item := prov.EncodeItemName(subject)
 	for start := 0; start < len(attrs); start += sdb.MaxAttrsPerCall {
 		end := start + sdb.MaxAttrsPerCall
 		if end > len(attrs) {
@@ -250,13 +267,85 @@ func (l *Layer) WriteEncoded(subject prov.Ref, encoded []prov.Record, md5hex, fa
 }
 
 // WriteItem encodes and stores a subject's provenance in one step — the
-// direct (architecture 2) write path.
+// direct (architecture 2) single-item write path.
 func (l *Layer) WriteItem(subject prov.Ref, records []prov.Record, md5hex, faultPrefix string) error {
 	encoded, err := l.EncodeValues(subject, records, faultPrefix)
 	if err != nil {
 		return err
 	}
 	return l.WriteEncoded(subject, encoded, md5hex, faultPrefix)
+}
+
+// ItemWrite is one subject's worth of a batched provenance write. Records
+// must already carry their stored form (EncodeValues).
+type ItemWrite struct {
+	Subject prov.Ref
+	Records []prov.Record
+	// MD5 is the consistency record value; empty for transient subjects.
+	MD5 string
+}
+
+// WriteEncodedBatch stores many subjects' provenance with as few SimpleDB
+// calls as possible: items that fit in a single call are grouped into
+// BatchPutAttributes requests of up to 25 items each (the 2009 batch
+// limit), and oversized items fall back to the chunked PutAttributes path.
+// This is the write amortization both indexed architectures ride: a close
+// with K unpersisted ancestors costs ⌈K/25⌉ SimpleDB calls instead of K.
+func (l *Layer) WriteEncodedBatch(ctx context.Context, writes []ItemWrite, faultPrefix string) error {
+	var group []sdb.BatchItem
+	flushGroup := func() error {
+		if len(group) == 0 {
+			return nil
+		}
+		if err := l.cfg.Cloud.SDB.BatchPutAttributes(l.cfg.Domain, group); err != nil {
+			return fmt.Errorf("sdbprov: batch put attributes: %w", err)
+		}
+		group = group[:0]
+		return l.cfg.Faults.Check(faultPrefix + "/after-batchput")
+	}
+
+	seen := make(map[string]bool, len(writes))
+	for _, w := range writes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		attrs, err := l.buildAttrs(w.Subject, w.Records, w.MD5, faultPrefix)
+		if err != nil {
+			return err
+		}
+		if len(attrs) > sdb.MaxAttrsPerCall {
+			// Oversized item: the chunked single-item path. Flush the
+			// pending group first so the batch's ancestors-before-
+			// descendants write order survives a crash between calls.
+			if err := flushGroup(); err != nil {
+				return err
+			}
+			clear(seen)
+			if err := l.putChunked(w.Subject, attrs, faultPrefix); err != nil {
+				return err
+			}
+			continue
+		}
+		name := prov.EncodeItemName(w.Subject)
+		if seen[name] {
+			// The same subject twice in one batch (version churn): flush
+			// the group so the duplicate lands in a later call, preserving
+			// write order without tripping the one-item-per-call rule.
+			if err := flushGroup(); err != nil {
+				return err
+			}
+			clear(seen)
+		}
+		seen[name] = true
+		group = append(group, sdb.BatchItem{Name: name, Attrs: attrs})
+		if len(group) == sdb.MaxItemsPerBatch {
+			if err := flushGroup(); err != nil {
+				return err
+			}
+			clear(seen)
+		}
+	}
+	return flushGroup()
 }
 
 // FetchItem retrieves and decodes a subject's provenance. ok is false when
@@ -391,38 +480,60 @@ func (l *Layer) VerifiedGet(ctx context.Context, object prov.ObjectID) (*core.Ob
 
 // --- query engine (Table 3, SimpleDB column) --------------------------------
 
-// AllProvenance lists every item, then fetches each one: "there is no way
-// for SimpleDB to generalize the query and needs to issue one query per
-// item" (§5, Q.1).
+// AllProvenanceSeq streams every item's provenance one object version at a
+// time: "there is no way for SimpleDB to generalize the query and needs to
+// issue one query per item" (§5, Q.1). Pagination means only one Select
+// page plus one item are resident at once, so repository-wide queries do
+// not materialize the whole graph.
+func (l *Layer) AllProvenanceSeq(ctx context.Context) iter.Seq2[core.Entry, error] {
+	return func(yield func(core.Entry, error) bool) {
+		token := ""
+		for {
+			if err := ctx.Err(); err != nil {
+				yield(core.Entry{}, err)
+				return
+			}
+			res, err := l.cfg.Cloud.SDB.Select("select itemName() from "+l.cfg.Domain, token)
+			if err != nil {
+				yield(core.Entry{}, err)
+				return
+			}
+			for _, item := range res.Items {
+				ref, err := prov.ParseItemName(item.Name)
+				if err != nil {
+					continue // foreign item in a shared domain
+				}
+				records, _, ok, err := l.FetchItem(ref)
+				if err != nil {
+					yield(core.Entry{}, err)
+					return
+				}
+				if !ok {
+					continue
+				}
+				if !yield(core.Entry{Ref: ref, Records: records}, nil) {
+					return
+				}
+			}
+			if res.NextToken == "" {
+				return
+			}
+			token = res.NextToken
+		}
+	}
+}
+
+// AllProvenance materializes the streaming scan into a map (Q.1 over all
+// objects, for callers that need the whole repository at once).
 func (l *Layer) AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, error) {
 	out := make(map[prov.Ref][]prov.Record)
-	token := ""
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		res, err := l.cfg.Cloud.SDB.Select("select itemName() from "+l.cfg.Domain, token)
+	for entry, err := range l.AllProvenanceSeq(ctx) {
 		if err != nil {
 			return nil, err
 		}
-		for _, item := range res.Items {
-			ref, err := prov.ParseItemName(item.Name)
-			if err != nil {
-				continue // foreign item in a shared domain
-			}
-			records, _, ok, err := l.FetchItem(ref)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out[ref] = records
-			}
-		}
-		if res.NextToken == "" {
-			return out, nil
-		}
-		token = res.NextToken
+		out[entry.Ref] = entry.Records
 	}
+	return out, nil
 }
 
 // instancesOf finds all object versions whose name attribute is tool

@@ -328,3 +328,83 @@ func TestDefaultsAndAccessors(t *testing.T) {
 		t.Fatal("nil cloud accepted")
 	}
 }
+
+func TestWriteEncodedBatchGroupsItems(t *testing.T) {
+	layer, cl := newTestLayer(t, 0)
+	ctx := context.Background()
+
+	// 27 small items: 25 fit the first BatchPutAttributes call, 2 the
+	// second — two SimpleDB ops total instead of 27.
+	var writes []ItemWrite
+	for i := 0; i < 27; i++ {
+		subject := ref(fmt.Sprintf("/batch/%02d", i), 0)
+		writes = append(writes, ItemWrite{
+			Subject: subject,
+			Records: []prov.Record{
+				prov.NewString(subject, prov.AttrType, prov.TypeFile),
+				prov.NewString(subject, prov.AttrName, string(subject.Object)),
+			},
+		})
+	}
+	before := cl.Usage().Ops(billing.SimpleDB)
+	if err := layer.WriteEncodedBatch(ctx, writes, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Usage().Ops(billing.SimpleDB) - before; got != 2 {
+		t.Fatalf("27-item batch cost %d SimpleDB ops, want 2", got)
+	}
+	for _, w := range writes {
+		records, _, ok, err := layer.FetchItem(w.Subject)
+		if err != nil || !ok {
+			t.Fatalf("fetch %v: ok=%v err=%v", w.Subject, ok, err)
+		}
+		if len(records) != 2 {
+			t.Fatalf("records(%v) = %v", w.Subject, records)
+		}
+	}
+}
+
+func TestWriteEncodedBatchOversizedItemFallsBack(t *testing.T) {
+	layer, _ := newTestLayer(t, 0)
+	ctx := context.Background()
+
+	// One item with >100 attributes cannot ride a single batch call: it
+	// must take the chunked PutAttributes path, while its small sibling
+	// still lands via the batch path.
+	big := ref("/big", 0)
+	var bigRecords []prov.Record
+	for i := 0; i < 150; i++ {
+		bigRecords = append(bigRecords, prov.NewInput(big, ref(fmt.Sprintf("/in/%03d", i), 0)))
+	}
+	small := ref("/small", 0)
+	writes := []ItemWrite{
+		{Subject: big, Records: bigRecords},
+		{Subject: small, Records: []prov.Record{prov.NewString(small, prov.AttrType, prov.TypeFile)}, MD5: "beef"},
+	}
+	if err := layer.WriteEncodedBatch(ctx, writes, "t"); err != nil {
+		t.Fatal(err)
+	}
+	records, _, ok, err := layer.FetchItem(big)
+	if err != nil || !ok || len(records) != 150 {
+		t.Fatalf("big item: ok=%v err=%v n=%d", ok, err, len(records))
+	}
+	_, md5hex, ok, err := layer.FetchItem(small)
+	if err != nil || !ok || md5hex != "beef" {
+		t.Fatalf("small item: ok=%v err=%v md5=%q", ok, err, md5hex)
+	}
+}
+
+func TestWriteEncodedBatchCancellation(t *testing.T) {
+	layer, _ := newTestLayer(t, 0)
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	subject := ref("/c", 0)
+	err := layer.WriteEncodedBatch(cctx, []ItemWrite{{Subject: subject,
+		Records: []prov.Record{prov.NewString(subject, prov.AttrType, prov.TypeFile)}}}, "t")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, _, ok, _ := layer.FetchItem(subject); ok {
+		t.Fatal("cancelled batch wrote an item")
+	}
+}

@@ -25,10 +25,8 @@ func TestCollectorCounts(t *testing.T) {
 			prov.NewInput(fileRef, procRef),
 		}},
 	}
-	for _, ev := range events {
-		if err := c.Flush(ev); err != nil {
-			t.Fatal(err)
-		}
+	if err := c.Flush(context.Background(), events); err != nil {
+		t.Fatal(err)
 	}
 	st := c.Stats
 	if st.Objects != 1 || st.Transients != 1 || st.Items != 2 {
@@ -51,18 +49,18 @@ func TestCollectorCounts(t *testing.T) {
 func TestCollectorTee(t *testing.T) {
 	c := &Collector{}
 	passed := 0
-	fn := c.Tee(func(ev pass.FlushEvent) error { passed++; return nil })
+	fn := c.Tee(func(_ context.Context, batch []pass.FlushEvent) error { passed += len(batch); return nil })
 	ref := prov.Ref{Object: "/f", Version: 0}
 	ev := pass.FlushEvent{Ref: ref, Type: prov.TypeFile, Data: []byte("x"),
 		Records: []prov.Record{prov.NewString(ref, prov.AttrType, prov.TypeFile)}}
-	if err := fn(ev); err != nil {
+	if err := fn(context.Background(), []pass.FlushEvent{ev}); err != nil {
 		t.Fatal(err)
 	}
 	if passed != 1 || c.Stats.Objects != 1 {
 		t.Fatalf("tee: passed=%d stats=%+v", passed, c.Stats)
 	}
 	// Nil next is fine.
-	if err := c.Tee(nil)(ev); err != nil {
+	if err := c.Tee(nil)(context.Background(), []pass.FlushEvent{ev}); err != nil {
 		t.Fatal(err)
 	}
 }

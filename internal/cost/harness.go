@@ -78,14 +78,14 @@ func (h *Harness) Load(ctx context.Context) error {
 			if err != nil {
 				return nil, nil, nil, err
 			}
-			return st, core.Flusher(ctx, st), nil, nil
+			return st, core.Flusher(st), nil, nil
 		}},
 		{name: "s3+sdb", make: func(cl *cloud.Cloud) (core.Store, pass.FlushFunc, func(context.Context) error, error) {
 			st, err := s3sdb.New(s3sdb.Config{Cloud: cl})
 			if err != nil {
 				return nil, nil, nil, err
 			}
-			return st, core.Flusher(ctx, st), nil, nil
+			return st, core.Flusher(st), nil, nil
 		}},
 		{name: "s3+sdb+sqs", make: func(cl *cloud.Cloud) (core.Store, pass.FlushFunc, func(context.Context) error, error) {
 			st, err := s3sdbsqs.New(s3sdbsqs.Config{Cloud: cl})
@@ -95,14 +95,15 @@ func (h *Harness) Load(ctx context.Context) error {
 			daemon := s3sdbsqs.NewCommitDaemon(st, nil)
 			daemon.Threshold = 256
 			// The daemon "periodically monitors the WAL queue": poll every
-			// few flushes, drain when the threshold trips.
+			// few flushed events, drain when the threshold trips.
 			events := 0
-			flush := func(ev pass.FlushEvent) error {
-				if err := st.Put(ctx, ev); err != nil {
+			flush := func(ctx context.Context, batch []pass.FlushEvent) error {
+				if err := st.PutBatch(ctx, batch); err != nil {
 					return err
 				}
-				events++
-				if events%64 == 0 {
+				events += len(batch)
+				if events >= 64 {
+					events = 0
 					if _, err := daemon.RunOnce(ctx, false); err != nil {
 						return err
 					}
@@ -149,7 +150,7 @@ func (h *Harness) Load(ctx context.Context) error {
 
 		sys := pass.NewSystem(pass.Config{Flush: flush})
 		w := workload.NewCombined(h.Scale)
-		if err := workload.Run(sys, sim.NewRNG(h.Seed), w); err != nil {
+		if err := workload.Run(ctx, sys, sim.NewRNG(h.Seed), w); err != nil {
 			return fmt.Errorf("cost: load %s: %w", b.name, err)
 		}
 		if err := core.SyncStore(ctx, st); err != nil {

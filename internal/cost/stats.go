@@ -15,6 +15,8 @@
 package cost
 
 import (
+	"context"
+
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
 )
@@ -52,7 +54,14 @@ type Collector struct {
 }
 
 // Flush implements pass.FlushFunc.
-func (c *Collector) Flush(ev pass.FlushEvent) error {
+func (c *Collector) Flush(_ context.Context, batch []pass.FlushEvent) error {
+	for _, ev := range batch {
+		c.flushOne(ev)
+	}
+	return nil
+}
+
+func (c *Collector) flushOne(ev pass.FlushEvent) {
 	if ev.Persistent() {
 		c.Stats.Objects++
 		c.Stats.DataBytes += int64(len(ev.Data))
@@ -74,19 +83,18 @@ func (c *Collector) Flush(ev pass.FlushEvent) error {
 			c.Stats.BigRecords++
 		}
 	}
-	return nil
 }
 
 // Tee builds a flush function that feeds both the collector and next.
 func (c *Collector) Tee(next pass.FlushFunc) pass.FlushFunc {
-	return func(ev pass.FlushEvent) error {
-		if err := c.Flush(ev); err != nil {
+	return func(ctx context.Context, batch []pass.FlushEvent) error {
+		if err := c.Flush(ctx, batch); err != nil {
 			return err
 		}
 		if next == nil {
 			return nil
 		}
-		return next(ev)
+		return next(ctx, batch)
 	}
 }
 

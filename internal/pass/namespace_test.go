@@ -35,7 +35,7 @@ func TestNamespaceSeparatesTransientRefs(t *testing.T) {
 	if err := sysA.Write(qa, "/out", []byte("x"), Truncate); err != nil {
 		t.Fatal(err)
 	}
-	if err := sysA.Close(qa, "/out"); err != nil {
+	if err := sysA.Close(ctx, qa, "/out"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -64,7 +64,7 @@ func TestAttachBindsExactVersion(t *testing.T) {
 	if err := sys.Write(p, "/derived", []byte("d"), Truncate); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Close(p, "/derived"); err != nil {
+	if err := sys.Close(ctx, p, "/derived"); err != nil {
 		t.Fatal(err)
 	}
 	inputs := c.graph.Inputs(p.Ref())
@@ -79,7 +79,7 @@ func TestAttachBindsExactVersion(t *testing.T) {
 	if err := sys.Write(p, "/shared/x", []byte("local edit"), Truncate); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Close(p, "/shared/x"); err != nil {
+	if err := sys.Close(ctx, p, "/shared/x"); err != nil {
 		t.Fatal(err)
 	}
 	next := prov.Ref{Object: "/shared/x", Version: 4}

@@ -24,6 +24,7 @@
 package pass
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -56,11 +57,14 @@ type FlushEvent struct {
 // Persistent reports whether the event carries file data.
 func (e FlushEvent) Persistent() bool { return e.Type == prov.TypeFile }
 
-// FlushFunc receives flush events in causal order (ancestors strictly before
-// descendants). Returning an error aborts the close that triggered the
-// flush, leaving later events unflushed — exactly what a client crash looks
-// like to the storage layer.
-type FlushFunc func(FlushEvent) error
+// FlushFunc receives one close's (or sync's) worth of flush events as a
+// single batch, in causal order (ancestors strictly before descendants), so
+// the storage layer can amortize round trips across the whole ancestor
+// chain. Returning an error aborts the close that triggered the flush: no
+// event of the batch is considered persistent and the next close retries
+// the full batch — exactly what a client crash looks like to the storage
+// layer, whose protocols are idempotent for this reason.
+type FlushFunc func(ctx context.Context, batch []FlushEvent) error
 
 // Config parameterizes a System.
 type Config struct {
@@ -418,10 +422,12 @@ func (s *System) freezeFile(f *object) {
 }
 
 // Close freezes path's current version (if dirty) and flushes it together
-// with every unflushed ancestor, ancestors first. This is the paper's "when
-// the application issues a close on a file, we send both the file and its
-// provenance" moment.
-func (s *System) Close(p *Process, path string) error {
+// with every unflushed ancestor — the whole chain coalesced into one batch,
+// ancestors first. This is the paper's "when the application issues a close
+// on a file, we send both the file and its provenance" moment; batching the
+// chain is what lets a store persist a close with K unpersisted ancestors
+// in one round of cloud calls instead of K+1.
+func (s *System) Close(ctx context.Context, p *Process, path string) error {
 	if p != nil && p.done {
 		return fmt.Errorf("%w: pid %d", ErrExited, p.pid)
 	}
@@ -432,13 +438,14 @@ func (s *System) Close(p *Process, path string) error {
 	if f.dirty {
 		s.freezeFile(f)
 	}
-	return s.flushRef(f.ref)
+	return s.flushBatch(ctx, []prov.Ref{f.ref})
 }
 
-// Sync flushes every pending version in causal order without requiring a
-// specific close — used by workloads at end-of-run to drain stragglers
-// (e.g. processes whose outputs were all closed before their final inputs).
-func (s *System) Sync() error {
+// Sync flushes every pending version, coalesced into one causally ordered
+// batch, without requiring a specific close — used by workloads at
+// end-of-run to drain stragglers (e.g. processes whose outputs were all
+// closed before their final inputs).
+func (s *System) Sync(ctx context.Context) error {
 	refs := make([]prov.Ref, 0, len(s.pending))
 	for ref := range s.pending {
 		refs = append(refs, ref)
@@ -449,48 +456,67 @@ func (s *System) Sync() error {
 		}
 		return refs[i].Version < refs[j].Version
 	})
+	return s.flushBatch(ctx, refs)
+}
+
+// flushBatch coalesces the unflushed ancestor closures of refs into a
+// single causally ordered batch and hands it to Flush in one call. Only on
+// success is anything marked persistent: a failed (or cancelled) flush
+// leaves every version pending, so a later Close or Sync retries the whole
+// batch.
+func (s *System) flushBatch(ctx context.Context, refs []prov.Ref) error {
+	var batch []*pendingVersion
+	seen := make(map[prov.Ref]bool)
 	for _, ref := range refs {
-		if err := s.flushRef(ref); err != nil {
-			return err
+		s.collect(ref, seen, &batch)
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	events := make([]FlushEvent, len(batch))
+	for i, pv := range batch {
+		events[i] = FlushEvent{Ref: pv.ref, Type: pv.typ, Data: pv.data, Records: pv.records}
+	}
+	if err := s.cfg.Flush(ctx, events); err != nil {
+		return err
+	}
+	for _, pv := range batch {
+		s.flushedSet[pv.ref] = true
+		delete(s.pending, pv.ref)
+		s.stats.Records += len(pv.records)
+		s.stats.ProvBytes += prov.RecordsSize(pv.records)
+		if pv.typ == prov.TypeFile {
+			s.stats.DataBytes += int64(len(pv.data))
+		} else {
+			s.stats.TransientVersions++
 		}
 	}
 	return nil
 }
 
-// flushRef emits ref and its unflushed ancestor closure, ancestors first.
-func (s *System) flushRef(ref prov.Ref) error {
+// collect appends ref's unflushed ancestor closure to the batch, ancestors
+// strictly before ref. Ancestors still live (un-frozen current versions of
+// processes) are stashed now: a descendant is becoming persistent, so its
+// transient ancestors' provenance must persist too.
+func (s *System) collect(ref prov.Ref, seen map[prov.Ref]bool, batch *[]*pendingVersion) {
+	if seen[ref] || s.flushedSet[ref] {
+		return
+	}
 	pv, ok := s.pending[ref]
 	if !ok {
-		return nil // already flushed (or never frozen: nothing to do)
+		return // already flushed (or never frozen: nothing to do)
 	}
-	// Flush ancestors first. Ancestors still live (un-frozen current
-	// versions of processes) must be stashed now: a descendant is becoming
-	// persistent, so its transient ancestors' provenance must persist too.
+	seen[ref] = true
 	for _, in := range pv.inputs {
-		if s.flushedSet[in] {
+		if s.flushedSet[in] || seen[in] {
 			continue
 		}
 		if _, pending := s.pending[in]; !pending {
 			s.stashLive(in)
 		}
-		if err := s.flushRef(in); err != nil {
-			return err
-		}
+		s.collect(in, seen, batch)
 	}
-	ev := FlushEvent{Ref: pv.ref, Type: pv.typ, Data: pv.data, Records: pv.records}
-	if err := s.cfg.Flush(ev); err != nil {
-		return err
-	}
-	s.flushedSet[ref] = true
-	delete(s.pending, ref)
-	s.stats.Records += len(pv.records)
-	s.stats.ProvBytes += prov.RecordsSize(pv.records)
-	if pv.typ == prov.TypeFile {
-		s.stats.DataBytes += int64(len(pv.data))
-	} else {
-		s.stats.TransientVersions++
-	}
-	return nil
+	*batch = append(*batch, pv)
 }
 
 // stashLive freezes the current version of whatever object owns ref, if any.
@@ -583,7 +609,7 @@ func (s *System) Attach(path string, ref prov.Ref, content []byte) error {
 // Ingest creates a file that appears fully formed (a downloaded data set,
 // per the paper's usage model) and persists it immediately: version 0 with
 // no process ancestry.
-func (s *System) Ingest(path string, content []byte) error {
+func (s *System) Ingest(ctx context.Context, path string, content []byte) error {
 	f, ok := s.files[path]
 	if ok {
 		return fmt.Errorf("pass: Ingest over existing file %s", path)
@@ -593,5 +619,5 @@ func (s *System) Ingest(path string, content []byte) error {
 	f.dirty = true
 	f.writer = 0
 	s.freezeFile(f)
-	return s.flushRef(f.ref)
+	return s.flushBatch(ctx, []prov.Ref{f.ref})
 }

@@ -1,6 +1,7 @@
 package pass
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -9,9 +10,13 @@ import (
 	"passcloud/internal/prov"
 )
 
+// ctx is the shared background context for test syscalls.
+var ctx = context.Background()
+
 // collector accumulates flush events and checks causal ordering on the fly.
 type collector struct {
 	events  []FlushEvent
+	calls   int // number of Flush invocations (batches)
 	flushed map[prov.Ref]bool
 	graph   *prov.Graph
 	// violation is set if an event arrived before one of its ancestors.
@@ -23,19 +28,22 @@ func newCollector() *collector {
 	return &collector{flushed: make(map[prov.Ref]bool), graph: prov.NewGraph()}
 }
 
-func (c *collector) flush(ev FlushEvent) error {
-	if c.failAfter > 0 && len(c.events) >= c.failAfter {
-		return errors.New("injected flush failure")
-	}
-	for _, r := range ev.Records {
-		if r.Attr == prov.AttrInput && !c.flushed[r.Value.Ref] {
-			bad := r.Value.Ref
-			c.violation = &bad
+func (c *collector) flush(_ context.Context, batch []FlushEvent) error {
+	c.calls++
+	for _, ev := range batch {
+		if c.failAfter > 0 && len(c.events) >= c.failAfter {
+			return errors.New("injected flush failure")
 		}
+		for _, r := range ev.Records {
+			if r.Attr == prov.AttrInput && !c.flushed[r.Value.Ref] {
+				bad := r.Value.Ref
+				c.violation = &bad
+			}
+		}
+		c.events = append(c.events, ev)
+		c.flushed[ev.Ref] = true
+		c.graph.AddAll(ev.Records)
 	}
-	c.events = append(c.events, ev)
-	c.flushed[ev.Ref] = true
-	c.graph.AddAll(ev.Records)
 	return nil
 }
 
@@ -55,7 +63,7 @@ func newTestSystem(t *testing.T) (*System, *collector) {
 
 func TestReadWriteCloseProducesPaperRecords(t *testing.T) {
 	sys, c := newTestSystem(t)
-	if err := sys.Ingest("/in.dat", []byte("input data")); err != nil {
+	if err := sys.Ingest(ctx, "/in.dat", []byte("input data")); err != nil {
 		t.Fatal(err)
 	}
 	p := sys.Exec(nil, ExecSpec{Name: "tool", Argv: []string{"tool", "-x"}})
@@ -65,7 +73,7 @@ func TestReadWriteCloseProducesPaperRecords(t *testing.T) {
 	if err := sys.Write(p, "/out.dat", []byte("result"), Truncate); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Close(p, "/out.dat"); err != nil {
+	if err := sys.Close(ctx, p, "/out.dat"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -102,7 +110,7 @@ func TestReadWriteCloseProducesPaperRecords(t *testing.T) {
 
 func TestCausalOrderingAncestorsFlushFirst(t *testing.T) {
 	sys, c := newTestSystem(t)
-	if err := sys.Ingest("/a", []byte("a")); err != nil {
+	if err := sys.Ingest(ctx, "/a", []byte("a")); err != nil {
 		t.Fatal(err)
 	}
 	// Chain: /a -> p1 -> /b -> p2 -> /c, closing only /c's ancestors late.
@@ -112,7 +120,7 @@ func TestCausalOrderingAncestorsFlushFirst(t *testing.T) {
 	p2 := sys.Exec(nil, ExecSpec{Name: "stage2"})
 	must(t, sys.Read(p2, "/b")) // freezes /b without an explicit close
 	must(t, sys.Write(p2, "/c", []byte("c"), Truncate))
-	must(t, sys.Close(p2, "/c"))
+	must(t, sys.Close(ctx, p2, "/c"))
 
 	if c.violation != nil {
 		t.Fatalf("causal ordering violated: %v flushed after a descendant", *c.violation)
@@ -137,9 +145,9 @@ func TestWriteAfterFreezeCreatesNewVersion(t *testing.T) {
 	sys, c := newTestSystem(t)
 	p := sys.Exec(nil, ExecSpec{Name: "writer"})
 	must(t, sys.Write(p, "/f", []byte("v0"), Truncate))
-	must(t, sys.Close(p, "/f"))
+	must(t, sys.Close(ctx, p, "/f"))
 	must(t, sys.Write(p, "/f", []byte("v1"), Truncate))
-	must(t, sys.Close(p, "/f"))
+	must(t, sys.Close(ctx, p, "/f"))
 
 	v0 := prov.Ref{Object: "/f", Version: 0}
 	v1 := prov.Ref{Object: "/f", Version: 1}
@@ -165,9 +173,9 @@ func TestAppendVersionDependsOnPrevious(t *testing.T) {
 	sys, c := newTestSystem(t)
 	p := sys.Exec(nil, ExecSpec{Name: "logger"})
 	must(t, sys.Write(p, "/log", []byte("one"), Append))
-	must(t, sys.Close(p, "/log"))
+	must(t, sys.Close(ctx, p, "/log"))
 	must(t, sys.Write(p, "/log", []byte("two"), Append))
-	must(t, sys.Close(p, "/log"))
+	must(t, sys.Close(ctx, p, "/log"))
 
 	v1 := prov.Ref{Object: "/log", Version: 1}
 	ev := c.refs()[v1]
@@ -194,13 +202,13 @@ func TestCycleAvoidanceProcessVersioning(t *testing.T) {
 	p := sys.Exec(nil, ExecSpec{Name: "p"})
 	q := sys.Exec(nil, ExecSpec{Name: "q"})
 	must(t, sys.Write(p, "/f", []byte("f"), Truncate))
-	must(t, sys.Close(p, "/f"))
+	must(t, sys.Close(ctx, p, "/f"))
 	must(t, sys.Read(q, "/f"))
 	must(t, sys.Write(q, "/g", []byte("g"), Truncate))
-	must(t, sys.Close(q, "/g"))
+	must(t, sys.Close(ctx, q, "/g"))
 	must(t, sys.Read(p, "/g")) // p must become version 1 here
 	must(t, sys.Write(p, "/h", []byte("h"), Truncate))
-	must(t, sys.Close(p, "/h"))
+	must(t, sys.Close(ctx, p, "/h"))
 
 	if p.Ref().Version != 1 {
 		t.Fatalf("p version = %d, want 1 after read-following-write", p.Ref().Version)
@@ -229,8 +237,8 @@ func TestFreezeOnReadOfDirtyFile(t *testing.T) {
 	must(t, sys.Read(r, "/shared")) // freezes version 0
 	must(t, sys.Write(w, "/shared", []byte("more"), Truncate))
 	must(t, sys.Write(r, "/out", []byte("out"), Truncate))
-	must(t, sys.Close(r, "/out"))
-	must(t, sys.Close(w, "/shared"))
+	must(t, sys.Close(ctx, r, "/out"))
+	must(t, sys.Close(ctx, w, "/shared"))
 
 	// r depends on version 0, not the later content.
 	rIn := c.graph.Inputs(r.Ref())
@@ -259,7 +267,7 @@ func TestDifferentWriterForcesVersion(t *testing.T) {
 	b := sys.Exec(nil, ExecSpec{Name: "b"})
 	must(t, sys.Write(a, "/f", []byte("from-a"), Truncate))
 	must(t, sys.Write(b, "/f", []byte("from-b"), Truncate))
-	must(t, sys.Close(b, "/f"))
+	must(t, sys.Close(ctx, b, "/f"))
 
 	if _, ok := c.refs()[prov.Ref{Object: "/f", Version: 1}]; !ok {
 		t.Fatal("writer change did not version the file")
@@ -274,7 +282,7 @@ func TestExecLineage(t *testing.T) {
 	parent := sys.Exec(nil, ExecSpec{Name: "make"})
 	child := sys.Exec(parent, ExecSpec{Name: "cc"})
 	must(t, sys.Write(child, "/o", []byte("obj"), Truncate))
-	must(t, sys.Close(child, "/o"))
+	must(t, sys.Close(ctx, child, "/o"))
 
 	childIn := c.graph.Inputs(child.Ref())
 	if len(childIn) != 1 || childIn[0] != parent.Ref() {
@@ -291,7 +299,7 @@ func TestPipeRelatesProcesses(t *testing.T) {
 	to := sys.Exec(nil, ExecSpec{Name: "sink"})
 	must(t, sys.Pipe(from, to))
 	must(t, sys.Write(to, "/out", []byte("x"), Truncate))
-	must(t, sys.Close(to, "/out"))
+	must(t, sys.Close(ctx, to, "/out"))
 
 	toIn := c.graph.Inputs(to.Ref())
 	if len(toIn) != 1 {
@@ -314,17 +322,17 @@ func TestFlushedProcessGainingInputBumps(t *testing.T) {
 	// A process whose version was flushed via exec lineage (without ever
 	// writing) must still version before taking new inputs.
 	sys, c := newTestSystem(t)
-	must(t, sys.Ingest("/in", []byte("x")))
+	must(t, sys.Ingest(ctx, "/in", []byte("x")))
 	parent := sys.Exec(nil, ExecSpec{Name: "shell"})
 	child := sys.Exec(parent, ExecSpec{Name: "tool"})
 	must(t, sys.Write(child, "/o1", []byte("1"), Truncate))
-	must(t, sys.Close(child, "/o1")) // flushes parent:0 as lineage ancestor
-	must(t, sys.Read(parent, "/in")) // parent:0 is flushed: must bump
+	must(t, sys.Close(ctx, child, "/o1")) // flushes parent:0 as lineage ancestor
+	must(t, sys.Read(parent, "/in"))      // parent:0 is flushed: must bump
 	if parent.Ref().Version != 1 {
 		t.Fatalf("parent version = %d, want 1", parent.Ref().Version)
 	}
 	must(t, sys.Write(parent, "/o2", []byte("2"), Truncate))
-	must(t, sys.Close(parent, "/o2"))
+	must(t, sys.Close(ctx, parent, "/o2"))
 	if c.violation != nil {
 		t.Fatalf("causal violation: %v", *c.violation)
 	}
@@ -335,7 +343,7 @@ func TestFlushedProcessGainingInputBumps(t *testing.T) {
 
 func TestIngest(t *testing.T) {
 	sys, c := newTestSystem(t)
-	if err := sys.Ingest("/dataset", []byte("census data")); err != nil {
+	if err := sys.Ingest(ctx, "/dataset", []byte("census data")); err != nil {
 		t.Fatal(err)
 	}
 	ev, ok := c.refs()[prov.Ref{Object: "/dataset", Version: 0}]
@@ -345,7 +353,7 @@ func TestIngest(t *testing.T) {
 	if got := c.graph.Inputs(ev.Ref); len(got) != 0 {
 		t.Fatalf("ingested file has ancestry %v", got)
 	}
-	if err := sys.Ingest("/dataset", []byte("again")); err == nil {
+	if err := sys.Ingest(ctx, "/dataset", []byte("again")); err == nil {
 		t.Fatal("double ingest succeeded")
 	}
 }
@@ -356,7 +364,7 @@ func TestSyscallErrors(t *testing.T) {
 	if err := sys.Read(p, "/missing"); !errors.Is(err, ErrNoSuchFile) {
 		t.Fatalf("read missing: %v", err)
 	}
-	if err := sys.Close(p, "/missing"); !errors.Is(err, ErrNoSuchFile) {
+	if err := sys.Close(ctx, p, "/missing"); !errors.Is(err, ErrNoSuchFile) {
 		t.Fatalf("close missing: %v", err)
 	}
 	sys.Exit(p)
@@ -374,15 +382,15 @@ func TestFlushFailurePropagates(t *testing.T) {
 	sys := NewSystem(Config{Flush: c.flush})
 	p := sys.Exec(nil, ExecSpec{Name: "p"})
 	must(t, sys.Write(p, "/a", []byte("a"), Truncate))
-	must(t, sys.Close(p, "/a"))
+	must(t, sys.Close(ctx, p, "/a"))
 	// The third event (file /b) hits the injected failure.
 	must(t, sys.Write(p, "/b", []byte("b"), Truncate))
-	if err := sys.Close(p, "/b"); err == nil {
+	if err := sys.Close(ctx, p, "/b"); err == nil {
 		t.Fatal("flush failure did not propagate")
 	}
 	// The failed version stays pending; a later retry succeeds.
 	c.failAfter = 0
-	if err := sys.Close(p, "/b"); err != nil {
+	if err := sys.Close(ctx, p, "/b"); err != nil {
 		t.Fatalf("retry after failure: %v", err)
 	}
 	if !c.flushed[prov.Ref{Object: "/b", Version: 0}] {
@@ -400,7 +408,7 @@ func TestSyncDrainsPending(t *testing.T) {
 	if c.flushed[prov.Ref{Object: "/f", Version: 0}] {
 		t.Fatal("frozen version flushed too early")
 	}
-	must(t, sys.Sync())
+	must(t, sys.Sync(ctx))
 	if !c.flushed[prov.Ref{Object: "/f", Version: 0}] {
 		t.Fatal("Sync did not flush pending version")
 	}
@@ -417,7 +425,7 @@ func TestEnvRecordCarriesLargePayload(t *testing.T) {
 	}
 	p := sys.Exec(nil, ExecSpec{Name: "p", Env: string(env)})
 	must(t, sys.Write(p, "/o", []byte("x"), Truncate))
-	must(t, sys.Close(p, "/o"))
+	must(t, sys.Close(ctx, p, "/o"))
 	found := false
 	for _, r := range c.refs()[p.Ref()].Records {
 		if r.Attr == prov.AttrEnv && len(r.Value.Str) == 3000 {
@@ -431,11 +439,11 @@ func TestEnvRecordCarriesLargePayload(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	sys, _ := newTestSystem(t)
-	must(t, sys.Ingest("/in", []byte("12345")))
+	must(t, sys.Ingest(ctx, "/in", []byte("12345")))
 	p := sys.Exec(nil, ExecSpec{Name: "p"})
 	must(t, sys.Read(p, "/in"))
 	must(t, sys.Write(p, "/out", []byte("123"), Truncate))
-	must(t, sys.Close(p, "/out"))
+	must(t, sys.Close(ctx, p, "/out"))
 
 	st := sys.Stats()
 	if st.Processes != 1 {
@@ -496,14 +504,14 @@ func TestRandomWorkloadInvariants(t *testing.T) {
 			case 2:
 				_ = sys.Read(p, path)
 			case 3:
-				_ = sys.Close(p, path)
+				_ = sys.Close(ctx, p, path)
 			case 4:
 				if len(procs) < 6 {
 					procs = append(procs, sys.Exec(p, ExecSpec{Name: fmt.Sprintf("w%d", i)}))
 				}
 			}
 		}
-		if err := sys.Sync(); err != nil {
+		if err := sys.Sync(ctx); err != nil {
 			return false
 		}
 		if c.violation != nil {
@@ -529,5 +537,50 @@ func must(t *testing.T, err error) {
 	t.Helper()
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCloseCoalescesAncestorChainIntoOneBatch asserts the batch-first
+// contract: closing a file whose ancestry holds K unpersisted versions
+// hands the storage layer ONE batch containing the whole chain (ancestors
+// first), not K sequential flushes.
+func TestCloseCoalescesAncestorChainIntoOneBatch(t *testing.T) {
+	sys, c := newTestSystem(t)
+	must(t, sys.Ingest(ctx, "/seed", []byte("s")))
+	callsAfterIngest := c.calls
+
+	// Build a five-stage pipeline whose intermediate files are frozen by
+	// reads, never closed: /seed -> p1 -> /m1 -> p2 -> /m2 -> ... -> /out.
+	prev := "/seed"
+	var lastProc *Process
+	for i := 1; i <= 4; i++ {
+		p := sys.Exec(nil, ExecSpec{Name: fmt.Sprintf("stage%d", i)})
+		must(t, sys.Read(p, prev))
+		next := fmt.Sprintf("/m%d", i)
+		must(t, sys.Write(p, next, []byte{byte(i)}, Truncate))
+		prev = next
+		lastProc = p
+		if i < 4 {
+			q := sys.Exec(nil, ExecSpec{Name: "freezer"})
+			must(t, sys.Read(q, next)) // freeze without close
+		}
+	}
+	_ = lastProc
+	must(t, sys.Close(ctx, nil, prev))
+
+	if got := c.calls - callsAfterIngest; got != 1 {
+		t.Fatalf("close issued %d flush calls, want 1 coalesced batch", got)
+	}
+	// The one batch carried the whole unflushed chain: every intermediate
+	// file and process version, ancestors before descendants.
+	last := c.events[len(c.events)-1]
+	if last.Ref.Object != prov.ObjectID("/m4") {
+		t.Fatalf("batch tail = %v, want /m4", last.Ref)
+	}
+	if len(c.events) < 9 { // 4 files + 4 stages + freezers(read-only, no deps) may vary; at least files+stages
+		t.Fatalf("batch too small: %d events", len(c.events))
+	}
+	if c.violation != nil {
+		t.Fatalf("causal violation inside batch: %v", *c.violation)
 	}
 }

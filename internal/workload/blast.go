@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"context"
+
 	"fmt"
 
 	"passcloud/internal/pass"
@@ -54,13 +56,13 @@ func DefaultBlast(scale float64) *Blast {
 func (w *Blast) Name() string { return "blast" }
 
 // Run implements Workload.
-func (w *Blast) Run(sys *pass.System, rng *sim.RNG) error {
+func (w *Blast) Run(ctx context.Context, sys *pass.System, rng *sim.RNG) error {
 	nJobs := scaleCount(w.Jobs, w.Scale, 1)
 	dbSize := scaleCount(w.DatabaseSize, w.Scale, 1<<20)
 
 	// The raw database is a downloaded data set.
 	const fasta = "/blast/db/nr.fasta"
-	if err := sys.Ingest(fasta, payload(rng, dbSize)); err != nil {
+	if err := sys.Ingest(ctx, fasta, payload(rng, dbSize)); err != nil {
 		return err
 	}
 
@@ -82,7 +84,7 @@ func (w *Blast) Run(sys *pass.System, rng *sim.RNG) error {
 		if err := sys.Write(formatdb, f, payload(rng, size), pass.Truncate); err != nil {
 			return err
 		}
-		if err := sys.Close(formatdb, f); err != nil {
+		if err := sys.Close(ctx, formatdb, f); err != nil {
 			return err
 		}
 	}
@@ -93,7 +95,7 @@ func (w *Blast) Run(sys *pass.System, rng *sim.RNG) error {
 		batches := make([]string, w.BatchesPerJob)
 		for b := range batches {
 			batches[b] = fmt.Sprintf("/blast/queries/job%04d/batch%03d.fasta", j, b)
-			if err := sys.Ingest(batches[b], payload(rng, sizeAround(rng, w.MeanBatchSize))); err != nil {
+			if err := sys.Ingest(ctx, batches[b], payload(rng, sizeAround(rng, w.MeanBatchSize))); err != nil {
 				return err
 			}
 		}
@@ -134,7 +136,7 @@ func (w *Blast) Run(sys *pass.System, rng *sim.RNG) error {
 				return err
 			}
 		}
-		if err := sys.Close(tee, out); err != nil {
+		if err := sys.Close(ctx, tee, out); err != nil {
 			return err
 		}
 		sys.Exit(blast)
@@ -153,10 +155,10 @@ func (w *Blast) Run(sys *pass.System, rng *sim.RNG) error {
 		if err := sys.Write(perl, summary, payload(rng, sizeAround(rng, 4<<10)), pass.Truncate); err != nil {
 			return err
 		}
-		if err := sys.Close(perl, summary); err != nil {
+		if err := sys.Close(ctx, perl, summary); err != nil {
 			return err
 		}
 		sys.Exit(perl)
 	}
-	return sys.Sync()
+	return sys.Sync(ctx)
 }

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"context"
+
 	"fmt"
 
 	"passcloud/internal/pass"
@@ -45,11 +47,11 @@ func DefaultProvChallenge(scale float64) *ProvChallenge {
 func (w *ProvChallenge) Name() string { return "prov-challenge" }
 
 // Run implements Workload.
-func (w *ProvChallenge) Run(sys *pass.System, rng *sim.RNG) error {
+func (w *ProvChallenge) Run(ctx context.Context, sys *pass.System, rng *sim.RNG) error {
 	nRuns := scaleCount(w.Runs, w.Scale, 1)
 
 	const reference = "/fmri/reference.img"
-	if err := sys.Ingest(reference, payload(rng, w.ImageSize)); err != nil {
+	if err := sys.Ingest(ctx, reference, payload(rng, w.ImageSize)); err != nil {
 		return err
 	}
 
@@ -61,10 +63,10 @@ func (w *ProvChallenge) Run(sys *pass.System, rng *sim.RNG) error {
 		for i := 0; i < 4; i++ {
 			images[i] = fmt.Sprintf("%s/anatomy%d.img", dir, i+1)
 			headers[i] = fmt.Sprintf("%s/anatomy%d.hdr", dir, i+1)
-			if err := sys.Ingest(images[i], payload(rng, sizeAround(rng, w.ImageSize))); err != nil {
+			if err := sys.Ingest(ctx, images[i], payload(rng, sizeAround(rng, w.ImageSize))); err != nil {
 				return err
 			}
-			if err := sys.Ingest(headers[i], payload(rng, 348)); err != nil { // ANALYZE header size
+			if err := sys.Ingest(ctx, headers[i], payload(rng, 348)); err != nil { // ANALYZE header size
 				return err
 			}
 		}
@@ -86,7 +88,7 @@ func (w *ProvChallenge) Run(sys *pass.System, rng *sim.RNG) error {
 			if err := sys.Write(aw, warps[i], payload(rng, sizeAround(rng, 8<<10)), pass.Truncate); err != nil {
 				return err
 			}
-			if err := sys.Close(aw, warps[i]); err != nil {
+			if err := sys.Close(ctx, aw, warps[i]); err != nil {
 				return err
 			}
 			sys.Exit(aw)
@@ -114,10 +116,10 @@ func (w *ProvChallenge) Run(sys *pass.System, rng *sim.RNG) error {
 			if err := sys.Write(rs, hdr, payload(rng, 348), pass.Truncate); err != nil {
 				return err
 			}
-			if err := sys.Close(rs, resliced[i]); err != nil {
+			if err := sys.Close(ctx, rs, resliced[i]); err != nil {
 				return err
 			}
-			if err := sys.Close(rs, hdr); err != nil {
+			if err := sys.Close(ctx, rs, hdr); err != nil {
 				return err
 			}
 			sys.Exit(rs)
@@ -142,10 +144,10 @@ func (w *ProvChallenge) Run(sys *pass.System, rng *sim.RNG) error {
 		if err := sys.Write(sm, atlasHdr, payload(rng, 348), pass.Truncate); err != nil {
 			return err
 		}
-		if err := sys.Close(sm, atlas); err != nil {
+		if err := sys.Close(ctx, sm, atlas); err != nil {
 			return err
 		}
-		if err := sys.Close(sm, atlasHdr); err != nil {
+		if err := sys.Close(ctx, sm, atlasHdr); err != nil {
 			return err
 		}
 		sys.Exit(sm)
@@ -167,7 +169,7 @@ func (w *ProvChallenge) Run(sys *pass.System, rng *sim.RNG) error {
 			if err := sys.Write(sl, slice, payload(rng, sizeAround(rng, 90<<10)), pass.Truncate); err != nil {
 				return err
 			}
-			if err := sys.Close(sl, slice); err != nil {
+			if err := sys.Close(ctx, sl, slice); err != nil {
 				return err
 			}
 			sys.Exit(sl)
@@ -184,12 +186,12 @@ func (w *ProvChallenge) Run(sys *pass.System, rng *sim.RNG) error {
 			if err := sys.Write(cv, gif, payload(rng, sizeAround(rng, 40<<10)), pass.Truncate); err != nil {
 				return err
 			}
-			if err := sys.Close(cv, gif); err != nil {
+			if err := sys.Close(ctx, cv, gif); err != nil {
 				return err
 			}
 			sys.Exit(cv)
 			_ = i
 		}
 	}
-	return sys.Sync()
+	return sys.Sync(ctx)
 }

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"context"
+
 	"passcloud/internal/pass"
 	"passcloud/internal/sim"
 )
@@ -41,11 +43,11 @@ func NewCombined(scale float64) *Combined {
 func (c *Combined) Name() string { return "combined" }
 
 // Run implements Workload.
-func (c *Combined) Run(sys *pass.System, rng *sim.RNG) error {
+func (c *Combined) Run(ctx context.Context, sys *pass.System, rng *sim.RNG) error {
 	for _, w := range []Workload{c.Compile, c.Blast, c.Challenge} {
-		if err := w.Run(sys, rng); err != nil {
+		if err := w.Run(ctx, sys, rng); err != nil {
 			return err
 		}
 	}
-	return sys.Sync()
+	return sys.Sync(ctx)
 }

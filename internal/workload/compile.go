@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"context"
+
 	"fmt"
 
 	"passcloud/internal/pass"
@@ -51,7 +53,7 @@ func DefaultLinuxCompile(scale float64) *LinuxCompile {
 func (w *LinuxCompile) Name() string { return "linux-compile" }
 
 // Run implements Workload.
-func (w *LinuxCompile) Run(sys *pass.System, rng *sim.RNG) error {
+func (w *LinuxCompile) Run(ctx context.Context, sys *pass.System, rng *sim.RNG) error {
 	nSrc := scaleCount(w.Sources, w.Scale, 3)
 	nHdr := scaleCount(w.Headers, w.Scale, 2)
 
@@ -59,14 +61,14 @@ func (w *LinuxCompile) Run(sys *pass.System, rng *sim.RNG) error {
 	headers := make([]string, nHdr)
 	for i := range headers {
 		headers[i] = fmt.Sprintf("/usr/src/linux/include/h%04d.h", i)
-		if err := sys.Ingest(headers[i], payload(rng, sizeAround(rng, 4<<10))); err != nil {
+		if err := sys.Ingest(ctx, headers[i], payload(rng, sizeAround(rng, 4<<10))); err != nil {
 			return err
 		}
 	}
 	sources := make([]string, nSrc)
 	for i := range sources {
 		sources[i] = fmt.Sprintf("/usr/src/linux/src/f%05d.c", i)
-		if err := sys.Ingest(sources[i], payload(rng, sizeAround(rng, w.MeanSourceSize))); err != nil {
+		if err := sys.Ingest(ctx, sources[i], payload(rng, sizeAround(rng, w.MeanSourceSize))); err != nil {
 			return err
 		}
 	}
@@ -96,7 +98,7 @@ func (w *LinuxCompile) Run(sys *pass.System, rng *sim.RNG) error {
 		if err := sys.Write(cc, objects[i], payload(rng, sizeAround(rng, w.MeanObjectSize)), pass.Truncate); err != nil {
 			return err
 		}
-		if err := sys.Close(cc, objects[i]); err != nil {
+		if err := sys.Close(ctx, cc, objects[i]); err != nil {
 			return err
 		}
 		sys.Exit(cc)
@@ -115,10 +117,10 @@ func (w *LinuxCompile) Run(sys *pass.System, rng *sim.RNG) error {
 	if err := sys.Write(ld, "/usr/src/linux/vmlinux", payload(rng, w.ImageSize), pass.Truncate); err != nil {
 		return err
 	}
-	if err := sys.Close(ld, "/usr/src/linux/vmlinux"); err != nil {
+	if err := sys.Close(ctx, ld, "/usr/src/linux/vmlinux"); err != nil {
 		return err
 	}
 	sys.Exit(ld)
 	sys.Exit(make_)
-	return sys.Sync()
+	return sys.Sync(ctx)
 }

@@ -12,6 +12,8 @@
 package workload
 
 import (
+	"context"
+
 	"fmt"
 
 	"passcloud/internal/content"
@@ -23,9 +25,9 @@ import (
 type Workload interface {
 	// Name identifies the workload in reports.
 	Name() string
-	// Run drives the system. Implementations must call sys.Sync() before
+	// Run drives the system. Implementations must call sys.Sync(ctx) before
 	// returning so every frozen version reaches the storage layer.
-	Run(sys *pass.System, rng *sim.RNG) error
+	Run(ctx context.Context, sys *pass.System, rng *sim.RNG) error
 }
 
 // clampScale keeps scaled counts meaningful: at least minimum, at most the
@@ -93,11 +95,11 @@ func envSize(rng *sim.RNG, bigFraction float64) int {
 }
 
 // Run executes workloads in sequence on one system.
-func Run(sys *pass.System, rng *sim.RNG, workloads ...Workload) error {
+func Run(ctx context.Context, sys *pass.System, rng *sim.RNG, workloads ...Workload) error {
 	for _, w := range workloads {
-		if err := w.Run(sys, rng); err != nil {
+		if err := w.Run(ctx, sys, rng); err != nil {
 			return fmt.Errorf("workload %s: %w", w.Name(), err)
 		}
 	}
-	return sys.Sync()
+	return sys.Sync(ctx)
 }

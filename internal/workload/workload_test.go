@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"passcloud/internal/pass"
@@ -25,7 +26,14 @@ func newTally() *tally {
 	return &tally{graph: prov.NewGraph(), flushed: make(map[prov.Ref]bool)}
 }
 
-func (c *tally) flush(ev pass.FlushEvent) error {
+func (c *tally) flush(_ context.Context, batch []pass.FlushEvent) error {
+	for _, ev := range batch {
+		c.flushOne(ev)
+	}
+	return nil
+}
+
+func (c *tally) flushOne(ev pass.FlushEvent) {
 	if ev.Persistent() {
 		c.files++
 		c.dataBytes += int64(len(ev.Data))
@@ -44,14 +52,13 @@ func (c *tally) flush(ev pass.FlushEvent) error {
 	c.provS3 += int64(prov.S3MetadataSize(prov.EncodeS3Metadata(ev.Records)))
 	c.flushed[ev.Ref] = true
 	c.graph.AddAll(ev.Records)
-	return nil
 }
 
 func runWorkload(t *testing.T, w Workload, seed int64) (*tally, *pass.System) {
 	t.Helper()
 	c := newTally()
 	sys := pass.NewSystem(pass.Config{Flush: c.flush})
-	if err := Run(sys, sim.NewRNG(seed), w); err != nil {
+	if err := Run(context.Background(), sys, sim.NewRNG(seed), w); err != nil {
 		t.Fatalf("run %s: %v", w.Name(), err)
 	}
 	return c, sys

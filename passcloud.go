@@ -14,9 +14,16 @@
 // A Client bundles a PASS system (processes, files, syscall-level
 // provenance observation) with a storage architecture. Applications run
 // processes that read and write files; on close, each file's data and
-// provenance — including the provenance of every transient ancestor — is
-// persisted through the selected architecture. The provenance can then be
-// verified on read and queried by lineage.
+// provenance — including the provenance of every transient ancestor,
+// coalesced into a single batched flush — is persisted through the
+// selected architecture. The provenance can then be verified on read and
+// queried by lineage.
+//
+// The API is context-first: every method that performs cloud I/O takes a
+// context.Context as its first argument, so callers control deadlines,
+// cancellation and per-request scoping. Repository-wide queries are also
+// available as streams (AllProvenanceSeq, ProvenanceSeq) that yield
+// results incrementally instead of materializing the whole graph.
 //
 // The cloud behind the client is simulated (eventual consistency, request
 // accounting and January-2009 pricing included), so the full system runs
@@ -27,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"time"
 
 	"passcloud/internal/cloud"
@@ -157,11 +165,17 @@ var (
 	// ErrNoProvenance: data exists without provenance (an atomicity
 	// violation surfaced).
 	ErrNoProvenance = core.ErrNoProvenance
+	// ErrSyncTimeout: Sync's commit-daemon drain did not reach quiescence
+	// within its round budget or before the context ended. The returned
+	// error also wraps the context's error when cancellation cut the
+	// drain short.
+	ErrSyncTimeout = errors.New("passcloud: commit daemon did not drain")
 )
 
-// Client is a provenance-aware cloud storage client.
+// Client is a provenance-aware cloud storage client. It holds no
+// context.Context: every method that performs cloud I/O takes one
+// explicitly, so each request is individually scoped and cancellable.
 type Client struct {
-	ctx    context.Context
 	opts   Options
 	cloud  *cloud.Cloud
 	store  core.Store
@@ -222,7 +236,8 @@ func (c *Client) Exec(parent *Process, spec ProcessSpec) *Process {
 // Ref returns the process's current provenance version.
 func (p *Process) Ref() Ref { return toPublicRef(p.p.Ref()) }
 
-// Read records that the process read path.
+// Read records that the process read path. Reads and writes are local
+// PASS observations (no cloud I/O), so they take no context.
 func (p *Process) Read(path string) error { return p.c.sys.Read(p.p, path) }
 
 // Write replaces path's content, recording the dependency.
@@ -235,9 +250,12 @@ func (p *Process) Append(path string, data []byte) error {
 	return p.c.sys.Write(p.p, path, data, pass.Append)
 }
 
-// Close persists path: its data and provenance (with all unpersisted
-// ancestors, ancestors first) flow through the storage architecture.
-func (p *Process) Close(path string) error { return p.c.sys.Close(p.p, path) }
+// Close persists path: its data and provenance, with all unpersisted
+// ancestors coalesced into one batch (ancestors first), flow through the
+// storage architecture in a single flush.
+func (p *Process) Close(ctx context.Context, path string) error {
+	return p.c.sys.Close(ctx, p.p, path)
+}
 
 // PipeTo connects this process's output to q's input through a pipe,
 // relating their provenance.
@@ -248,16 +266,16 @@ func (p *Process) Exit() { p.c.sys.Exit(p.p) }
 
 // Ingest stores a pre-existing data set (no process ancestry), like
 // downloading a public data set into the cloud.
-func (c *Client) Ingest(path string, data []byte) error {
-	return c.sys.Ingest(path, data)
+func (c *Client) Ingest(ctx context.Context, path string, data []byte) error {
+	return c.sys.Ingest(ctx, path, data)
 }
 
 // Fetch downloads a shared object from the cloud into this client's local
 // namespace (the paper's model: "download the data set to their local
 // compute grid"). Local reads then bind to exactly the fetched version, so
 // derivations made here connect to the ancestry other clients stored.
-func (c *Client) Fetch(path string) (*Object, error) {
-	obj, err := c.store.Get(c.ctx, prov.ObjectID(path))
+func (c *Client) Fetch(ctx context.Context, path string) (*Object, error) {
+	obj, err := c.store.Get(ctx, prov.ObjectID(path))
 	if err != nil {
 		return nil, err
 	}
@@ -271,18 +289,29 @@ func (c *Client) Fetch(path string) (*Object, error) {
 	}, nil
 }
 
+// syncRoundBudget bounds the commit-daemon drain when the caller's context
+// carries no deadline of its own.
+const syncRoundBudget = 50
+
 // Sync drains everything toward the cloud: pending PASS versions, buffered
-// client state, and (for the WAL architecture) the commit daemon.
-func (c *Client) Sync() error {
-	if err := c.sys.Sync(); err != nil {
+// client state, and (for the WAL architecture) the commit daemon. The
+// drain honors ctx — cancellation or a deadline ends it with an error
+// wrapping both ErrSyncTimeout and the context's error — and is otherwise
+// bounded by a generous round budget, after which ErrSyncTimeout is
+// returned rather than looping forever on a wedged queue.
+func (c *Client) Sync(ctx context.Context) error {
+	if err := c.sys.Sync(ctx); err != nil {
 		return err
 	}
-	if err := core.SyncStore(c.ctx, c.store); err != nil {
+	if err := core.SyncStore(ctx, c.store); err != nil {
 		return err
 	}
 	if c.daemon != nil {
-		for i := 0; i < 50; i++ {
-			n, err := c.daemon.RunOnce(c.ctx, true)
+		for i := 0; i < syncRoundBudget; i++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("%w: %w", ErrSyncTimeout, err)
+			}
+			n, err := c.daemon.RunOnce(ctx, true)
 			if err != nil {
 				return err
 			}
@@ -291,7 +320,7 @@ func (c *Client) Sync() error {
 			}
 			c.cloud.Settle()
 		}
-		return errors.New("passcloud: commit daemon did not drain")
+		return ErrSyncTimeout
 	}
 	return nil
 }
@@ -303,8 +332,8 @@ func (c *Client) Settle() { c.cloud.Settle() }
 // --- retrieval and queries ---------------------------------------------------
 
 // Get retrieves the current version of path with verified provenance.
-func (c *Client) Get(path string) (*Object, error) {
-	obj, err := c.store.Get(c.ctx, prov.ObjectID(path))
+func (c *Client) Get(ctx context.Context, path string) (*Object, error) {
+	obj, err := c.store.Get(ctx, prov.ObjectID(path))
 	if err != nil {
 		return nil, err
 	}
@@ -317,61 +346,80 @@ func (c *Client) Get(path string) (*Object, error) {
 
 // Provenance returns the provenance of one object version (the paper's
 // Q.1 unit).
-func (c *Client) Provenance(ref Ref) ([]Record, error) {
-	records, err := c.store.Provenance(c.ctx, toInternalRef(ref))
+func (c *Client) Provenance(ctx context.Context, ref Ref) ([]Record, error) {
+	records, err := c.store.Provenance(ctx, toInternalRef(ref))
 	if err != nil {
 		return nil, err
 	}
 	return toPublicRecords(records), nil
 }
 
+// ProvenanceSeq streams the provenance of one object version, one record
+// at a time. A non-nil error ends the sequence; breaking early is allowed.
+func (c *Client) ProvenanceSeq(ctx context.Context, ref Ref) iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		records, err := c.store.Provenance(ctx, toInternalRef(ref))
+		if err != nil {
+			yield(Record{}, err)
+			return
+		}
+		for _, r := range records {
+			if !yield(toPublicRecord(r), nil) {
+				return
+			}
+		}
+	}
+}
+
 // OutputsOf finds the files written by instances of the named tool (Q.2).
-func (c *Client) OutputsOf(tool string) ([]Ref, error) {
+func (c *Client) OutputsOf(ctx context.Context, tool string) ([]Ref, error) {
 	q, err := c.querier()
 	if err != nil {
 		return nil, err
 	}
-	refs, err := q.OutputsOf(c.ctx, tool)
+	refs, err := q.OutputsOf(ctx, tool)
 	return toPublicRefs(refs), err
 }
 
 // DescendantsOfOutputs finds everything derived from the named tool's
 // outputs (Q.3) — the paper's flawed-tool scenario.
-func (c *Client) DescendantsOfOutputs(tool string) ([]Ref, error) {
+func (c *Client) DescendantsOfOutputs(ctx context.Context, tool string) ([]Ref, error) {
 	q, err := c.querier()
 	if err != nil {
 		return nil, err
 	}
-	refs, err := q.DescendantsOfOutputs(c.ctx, tool)
+	refs, err := q.DescendantsOfOutputs(ctx, tool)
 	return toPublicRefs(refs), err
 }
 
 // Ancestors returns every object version in ref's ancestry, via the
-// repository's provenance. On the S3-only architecture this scans.
-func (c *Client) Ancestors(ref Ref) ([]Ref, error) {
+// repository's provenance. On the S3-only architecture this scans. The
+// repository is consumed as a stream, so only the ancestry graph — not
+// every record — is resident during the walk.
+func (c *Client) Ancestors(ctx context.Context, ref Ref) ([]Ref, error) {
 	q, err := c.querier()
 	if err != nil {
 		return nil, err
 	}
-	all, err := q.AllProvenance(c.ctx)
-	if err != nil {
-		return nil, err
-	}
 	g := prov.NewGraph()
-	for _, records := range all {
-		g.AddAll(records)
+	for entry, err := range core.AllProvenanceSeq(ctx, q) {
+		if err != nil {
+			return nil, err
+		}
+		g.AddAll(entry.Records)
 	}
 	return toPublicRefs(g.Ancestors(toInternalRef(ref))), nil
 }
 
 // AllProvenance retrieves the provenance of every object version (Q.1 over
-// all objects).
-func (c *Client) AllProvenance() (map[Ref][]Record, error) {
+// all objects), materialized as a map. For large repositories prefer
+// AllProvenanceSeq, which streams.
+func (c *Client) AllProvenance(ctx context.Context) (map[Ref][]Record, error) {
 	q, err := c.querier()
 	if err != nil {
 		return nil, err
 	}
-	all, err := q.AllProvenance(c.ctx)
+	all, err := q.AllProvenance(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -380,6 +428,39 @@ func (c *Client) AllProvenance() (map[Ref][]Record, error) {
 		out[toPublicRef(ref)] = toPublicRecords(records)
 	}
 	return out, nil
+}
+
+// ProvenanceEntry is one object version's provenance, as yielded by
+// AllProvenanceSeq.
+type ProvenanceEntry struct {
+	Ref     Ref
+	Records []Record
+}
+
+// AllProvenanceSeq streams the provenance of every object version in the
+// repository without materializing the whole graph: one Select/LIST page
+// and one item are resident at a time. A non-nil error ends the sequence
+// (its entry is zero); breaking early releases the underlying scan. On the
+// S3-only architecture a subject whose records rode more than one carrier
+// PUT may be yielded more than once.
+func (c *Client) AllProvenanceSeq(ctx context.Context) iter.Seq2[ProvenanceEntry, error] {
+	return func(yield func(ProvenanceEntry, error) bool) {
+		q, err := c.querier()
+		if err != nil {
+			yield(ProvenanceEntry{}, err)
+			return
+		}
+		for entry, err := range core.AllProvenanceSeq(ctx, q) {
+			if err != nil {
+				yield(ProvenanceEntry{}, err)
+				return
+			}
+			pub := ProvenanceEntry{Ref: toPublicRef(entry.Ref), Records: toPublicRecords(entry.Records)}
+			if !yield(pub, nil) {
+				return
+			}
+		}
+	}
 }
 
 func (c *Client) querier() (core.Querier, error) {

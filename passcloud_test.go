@@ -2,12 +2,16 @@ package passcloud
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
 	"testing"
 	"time"
 )
+
+// ctx is the shared background context for test cloud calls.
+var ctx = context.Background()
 
 // allArchitectures enumerates the paper's three designs for cross-cutting
 // tests.
@@ -18,7 +22,7 @@ var allArchitectures = []Architecture{S3Only, S3SimpleDB, S3SimpleDBSQS}
 // stage deriving from the first.
 func runPipeline(t *testing.T, c *Client) {
 	t.Helper()
-	if err := c.Ingest("/census/data.csv", []byte("census-2000-data")); err != nil {
+	if err := c.Ingest(ctx, "/census/data.csv", []byte("census-2000-data")); err != nil {
 		t.Fatal(err)
 	}
 	analyze := c.Exec(nil, ProcessSpec{Name: "analyze", Argv: []string{"analyze", "--trend"}})
@@ -28,7 +32,7 @@ func runPipeline(t *testing.T, c *Client) {
 	if err := analyze.Write("/results/trends.dat", []byte("trend-results")); err != nil {
 		t.Fatal(err)
 	}
-	if err := analyze.Close("/results/trends.dat"); err != nil {
+	if err := analyze.Close(ctx, "/results/trends.dat"); err != nil {
 		t.Fatal(err)
 	}
 	analyze.Exit()
@@ -40,12 +44,12 @@ func runPipeline(t *testing.T, c *Client) {
 	if err := plot.Write("/results/trends.png", []byte("png-bytes")); err != nil {
 		t.Fatal(err)
 	}
-	if err := plot.Close("/results/trends.png"); err != nil {
+	if err := plot.Close(ctx, "/results/trends.png"); err != nil {
 		t.Fatal(err)
 	}
 	plot.Exit()
 
-	if err := c.Sync(); err != nil {
+	if err := c.Sync(ctx); err != nil {
 		t.Fatal(err)
 	}
 	c.Settle()
@@ -61,7 +65,7 @@ func TestPipelineAllArchitectures(t *testing.T) {
 			}
 			runPipeline(t, c)
 
-			obj, err := c.Get("/results/trends.dat")
+			obj, err := c.Get(ctx, "/results/trends.dat")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -80,7 +84,7 @@ func TestPipelineAllArchitectures(t *testing.T) {
 			}
 
 			// Q.2: outputs of analyze.
-			outputs, err := c.OutputsOf("analyze")
+			outputs, err := c.OutputsOf(ctx, "analyze")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -89,7 +93,7 @@ func TestPipelineAllArchitectures(t *testing.T) {
 			}
 
 			// Q.3: everything derived from analyze's outputs.
-			desc, err := c.DescendantsOfOutputs("analyze")
+			desc, err := c.DescendantsOfOutputs(ctx, "analyze")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -104,11 +108,11 @@ func TestPipelineAllArchitectures(t *testing.T) {
 			}
 
 			// Full ancestry of the plot reaches the census data.
-			png, err := c.Get("/results/trends.png")
+			png, err := c.Get(ctx, "/results/trends.png")
 			if err != nil {
 				t.Fatal(err)
 			}
-			anc, err := c.Ancestors(png.Ref)
+			anc, err := c.Ancestors(ctx, png.Ref)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -138,15 +142,15 @@ func TestArchitecturesAgreeOnAnswers(t *testing.T) {
 			t.Fatal(err)
 		}
 		runPipeline(t, c)
-		outputs, err := c.OutputsOf("analyze")
+		outputs, err := c.OutputsOf(ctx, "analyze")
 		if err != nil {
 			t.Fatal(err)
 		}
-		desc, err := c.DescendantsOfOutputs("analyze")
+		desc, err := c.DescendantsOfOutputs(ctx, "analyze")
 		if err != nil {
 			t.Fatal(err)
 		}
-		all, err := c.AllProvenance()
+		all, err := c.AllProvenance(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,13 +195,13 @@ func TestEventualConsistencyVisibleThroughAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Ingest("/d", []byte("v")); err != nil {
+	if err := c.Ingest(ctx, "/d", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	// Without settling, some reads may miss the fresh object.
 	missed := false
 	for i := 0; i < 100; i++ {
-		if _, err := c.Get("/d"); errors.Is(err, ErrNotFound) {
+		if _, err := c.Get(ctx, "/d"); errors.Is(err, ErrNotFound) {
 			missed = true
 			break
 		}
@@ -206,7 +210,7 @@ func TestEventualConsistencyVisibleThroughAPI(t *testing.T) {
 		t.Log("no stale read observed (possible but unlikely); continuing")
 	}
 	c.Settle()
-	if _, err := c.Get("/d"); err != nil {
+	if _, err := c.Get(ctx, "/d"); err != nil {
 		t.Fatalf("after Settle: %v", err)
 	}
 }
@@ -239,16 +243,16 @@ func TestProvenanceByVersion(t *testing.T) {
 		if err := w.Write("/f", []byte(fmt.Sprintf("v%d", v))); err != nil {
 			t.Fatal(err)
 		}
-		if err := w.Close("/f"); err != nil {
+		if err := w.Close(ctx, "/f"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := c.Sync(); err != nil {
+	if err := c.Sync(ctx); err != nil {
 		t.Fatal(err)
 	}
 	// Every version's provenance is retrievable.
 	for v := 0; v < 3; v++ {
-		records, err := c.Provenance(Ref{Object: "/f", Version: v})
+		records, err := c.Provenance(ctx, Ref{Object: "/f", Version: v})
 		if err != nil {
 			t.Fatalf("version %d: %v", v, err)
 		}
@@ -256,7 +260,7 @@ func TestProvenanceByVersion(t *testing.T) {
 			t.Fatalf("version %d has no records", v)
 		}
 	}
-	if _, err := c.Provenance(Ref{Object: "/f", Version: 9}); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Provenance(ctx, Ref{Object: "/f", Version: 9}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("missing version: %v", err)
 	}
 }
@@ -277,18 +281,18 @@ func TestAppendAndPipe(t *testing.T) {
 	if err := sink.Append("/log", []byte("line2\n")); err != nil {
 		t.Fatal(err)
 	}
-	if err := sink.Close("/log"); err != nil {
+	if err := sink.Close(ctx, "/log"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Sync(); err != nil {
+	if err := c.Sync(ctx); err != nil {
 		t.Fatal(err)
 	}
-	obj, err := c.Get("/log")
+	obj, err := c.Get(ctx, "/log")
 	if err != nil || string(obj.Data) != "line1\nline2\n" {
 		t.Fatalf("log = %v, %v", obj, err)
 	}
 	// The log's ancestry includes gen, through the pipe.
-	anc, err := c.Ancestors(obj.Ref)
+	anc, err := c.Ancestors(ctx, obj.Ref)
 	if err != nil {
 		t.Fatal(err)
 	}

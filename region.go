@@ -75,7 +75,7 @@ func (r *Region) Usage() UsageSummary {
 // newClientOn builds a client against an existing region. Both New and
 // Region.NewClient funnel through here.
 func newClientOn(cl *cloud.Cloud, opts Options) (*Client, error) {
-	c := &Client{ctx: context.Background(), opts: opts, cloud: cl}
+	c := &Client{opts: opts, cloud: cl}
 
 	var err error
 	switch opts.Architecture {
@@ -101,19 +101,19 @@ func newClientOn(cl *cloud.Cloud, opts Options) (*Client, error) {
 	c.sys = pass.NewSystem(pass.Config{
 		Kernel:    opts.Kernel,
 		Namespace: opts.ClientID,
-		Flush:     core.Flusher(c.ctx, c.store),
+		Flush:     core.Flusher(c.store),
 	})
 	return c, nil
 }
 
 // Dependents returns every object version that directly consumed any
 // version of path — the provenance-aware deletion check.
-func (c *Client) Dependents(path string) ([]Ref, error) {
+func (c *Client) Dependents(ctx context.Context, path string) ([]Ref, error) {
 	q, err := c.querier()
 	if err != nil {
 		return nil, err
 	}
-	refs, err := q.Dependents(c.ctx, prov.ObjectID(path))
+	refs, err := q.Dependents(ctx, prov.ObjectID(path))
 	return toPublicRefs(refs), err
 }
 
@@ -134,8 +134,8 @@ func (e *ErrHasDependents) Error() string {
 // a cloud could offer once it holds the provenance ("the provenance stored
 // with the data presents AWS cloud with many hints"). The provenance record
 // itself is retained: lineage of deleted data is still history.
-func (c *Client) SafeDelete(path string) error {
-	deps, err := c.Dependents(path)
+func (c *Client) SafeDelete(ctx context.Context, path string) error {
+	deps, err := c.Dependents(ctx, path)
 	if err != nil {
 		return err
 	}

@@ -25,7 +25,7 @@ func TestRegionSharedBetweenClients(t *testing.T) {
 			}
 
 			// Alice publishes a dataset and a derivation.
-			if err := alice.Ingest("/shared/base.dat", []byte("base")); err != nil {
+			if err := alice.Ingest(ctx, "/shared/base.dat", []byte("base")); err != nil {
 				t.Fatal(err)
 			}
 			p := alice.Exec(nil, ProcessSpec{Name: "alice-tool"})
@@ -35,17 +35,17 @@ func TestRegionSharedBetweenClients(t *testing.T) {
 			if err := p.Write("/shared/alice-out.dat", []byte("from alice")); err != nil {
 				t.Fatal(err)
 			}
-			if err := p.Close("/shared/alice-out.dat"); err != nil {
+			if err := p.Close(ctx, "/shared/alice-out.dat"); err != nil {
 				t.Fatal(err)
 			}
-			if err := alice.Sync(); err != nil {
+			if err := alice.Sync(ctx); err != nil {
 				t.Fatal(err)
 			}
 			region.Settle()
 
 			// Bob downloads Alice's object (with verified provenance) into
 			// his local namespace and builds on it.
-			obj, err := bob.Fetch("/shared/alice-out.dat")
+			obj, err := bob.Fetch(ctx, "/shared/alice-out.dat")
 			if err != nil {
 				t.Fatalf("bob cannot fetch alice's object: %v", err)
 			}
@@ -59,16 +59,16 @@ func TestRegionSharedBetweenClients(t *testing.T) {
 			if err := q.Write("/shared/bob-out.dat", []byte("from bob")); err != nil {
 				t.Fatal(err)
 			}
-			if err := q.Close("/shared/bob-out.dat"); err != nil {
+			if err := q.Close(ctx, "/shared/bob-out.dat"); err != nil {
 				t.Fatal(err)
 			}
-			if err := bob.Sync(); err != nil {
+			if err := bob.Sync(ctx); err != nil {
 				t.Fatal(err)
 			}
 			region.Settle()
 
 			// Cross-client lineage: bob's output descends from alice's tool.
-			desc, err := alice.DescendantsOfOutputs("alice-tool")
+			desc, err := alice.DescendantsOfOutputs(ctx, "alice-tool")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,12 +110,12 @@ func TestRegionConcurrentClientsDistinctObjects(t *testing.T) {
 					errs <- err
 					return
 				}
-				if err := p.Close(path); err != nil {
+				if err := p.Close(ctx, path); err != nil {
 					errs <- err
 					return
 				}
 			}
-			if err := c.Sync(); err != nil {
+			if err := c.Sync(ctx); err != nil {
 				errs <- err
 				return
 			}
@@ -138,7 +138,7 @@ func TestRegionConcurrentClientsDistinctObjects(t *testing.T) {
 	for i := 0; i < clients; i++ {
 		for f := 0; f < 5; f++ {
 			path := fmt.Sprintf("/w%d/out%d.dat", i, f)
-			obj, err := probe.Get(path)
+			obj, err := probe.Get(ctx, path)
 			if err != nil {
 				t.Fatalf("get %s: %v", path, err)
 			}
@@ -169,7 +169,7 @@ func TestSafeDeleteRefusesWithDependents(t *testing.T) {
 			runPipeline(t, c) // census -> trends.dat -> trends.png
 
 			// The source has derivations: deletion must be refused.
-			err = c.SafeDelete("/census/data.csv")
+			err = c.SafeDelete(ctx, "/census/data.csv")
 			var hasDeps *ErrHasDependents
 			if !errors.As(err, &hasDeps) {
 				t.Fatalf("SafeDelete = %v, want ErrHasDependents", err)
@@ -178,20 +178,20 @@ func TestSafeDeleteRefusesWithDependents(t *testing.T) {
 				t.Fatalf("dependents detail: %+v", hasDeps)
 			}
 			// The data is still there.
-			if _, err := c.Get("/census/data.csv"); err != nil {
+			if _, err := c.Get(ctx, "/census/data.csv"); err != nil {
 				t.Fatalf("refused delete still removed data: %v", err)
 			}
 
 			// The leaf has no derivations: deletion proceeds.
-			if err := c.SafeDelete("/results/trends.png"); err != nil {
+			if err := c.SafeDelete(ctx, "/results/trends.png"); err != nil {
 				t.Fatalf("leaf SafeDelete: %v", err)
 			}
 			c.Settle()
-			if _, err := c.Get("/results/trends.png"); !errors.Is(err, ErrNotFound) {
+			if _, err := c.Get(ctx, "/results/trends.png"); !errors.Is(err, ErrNotFound) {
 				t.Fatalf("leaf still present after SafeDelete: %v", err)
 			}
 			// Its provenance survives as history.
-			if _, err := c.Provenance(Ref{Object: "/results/trends.png", Version: 0}); err != nil && arch != S3Only {
+			if _, err := c.Provenance(ctx, Ref{Object: "/results/trends.png", Version: 0}); err != nil && arch != S3Only {
 				t.Fatalf("provenance history lost: %v", err)
 			}
 		})
@@ -204,7 +204,7 @@ func TestDependentsListsDirectConsumers(t *testing.T) {
 		t.Fatal(err)
 	}
 	runPipeline(t, c)
-	deps, err := c.Dependents("/results/trends.dat")
+	deps, err := c.Dependents(ctx, "/results/trends.dat")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 //	passbench -table all -scale 0.1
 //	passbench -table 2 -estimate        # the paper's analytical formulas
 //	passbench -table 3 -tool softmean
+//	passbench -table 3 -qcache          # adds Q.n+ repeat rows (snapshot cache)
 //	passbench -usd                      # January-2009 USD pricing
 //	passbench -json > BENCH_run.json    # machine-readable, for trajectory tracking
 //
@@ -30,14 +31,17 @@ import (
 // produced, under a stable schema tag so trajectory tooling can diff
 // BENCH_*.json files across commits.
 type report struct {
-	Schema  string             `json:"schema"` // "passbench/v1"
-	Scale   float64            `json:"scale"`
-	Seed    int64              `json:"seed"`
-	Tool    string             `json:"tool"`
-	Table1  []cost.Table1Row   `json:"table1,omitempty"`
-	Table2  *cost.Table2       `json:"table2,omitempty"`
-	Table3  *cost.Table3       `json:"table3,omitempty"`
-	Dataset *cost.DatasetStats `json:"dataset,omitempty"`
+	Schema string  `json:"schema"` // "passbench/v1"
+	Scale  float64 `json:"scale"`
+	Seed   int64   `json:"seed"`
+	Tool   string  `json:"tool"`
+	// QueryCache records whether Table 3 ran with the snapshot cache
+	// enabled (its rows then include "+"-suffixed repeat runs).
+	QueryCache bool               `json:"query_cache,omitempty"`
+	Table1     []cost.Table1Row   `json:"table1,omitempty"`
+	Table2     *cost.Table2       `json:"table2,omitempty"`
+	Table3     *cost.Table3       `json:"table3,omitempty"`
+	Dataset    *cost.DatasetStats `json:"dataset,omitempty"`
 	// USD is the January-2009 load-phase bill per architecture.
 	USD map[string]float64 `json:"usd,omitempty"`
 }
@@ -50,11 +54,12 @@ func main() {
 	estimate := flag.Bool("estimate", false, "also print Table 2 from the paper's analytical formulas, extrapolated to scale 1.0")
 	usd := flag.Bool("usd", false, "also print the January-2009 USD bill per architecture")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON report on stdout instead of the text tables")
+	qcacheOn := flag.Bool("qcache", false, "enable the query snapshot cache; Table 3 adds Q.n+ repeat rows, and base rows after the first query may be warm too (classes share the snapshot) — omit for the paper's cold costs")
 	flag.Parse()
 
 	ctx := context.Background()
 	want := func(t string) bool { return *table == "all" || *table == t }
-	rep := &report{Schema: "passbench/v1", Scale: *scale, Seed: *seed, Tool: *tool}
+	rep := &report{Schema: "passbench/v1", Scale: *scale, Seed: *seed, Tool: *tool, QueryCache: *qcacheOn}
 
 	if want("1") {
 		rows, err := runTable1(ctx, *seed)
@@ -68,7 +73,7 @@ func main() {
 	}
 
 	if want("2") || want("3") || *usd {
-		h := &cost.Harness{Scale: *scale, Seed: *seed, Tool: *tool}
+		h := &cost.Harness{Scale: *scale, Seed: *seed, Tool: *tool, CachedQueries: *qcacheOn}
 		fmt.Fprintf(os.Stderr, "passbench: loading combined workload at scale %.2f into all three architectures...\n", *scale)
 
 		if want("2") {

@@ -138,6 +138,20 @@ func (m *Meter) StorageDelta(svc Service, delta int64) {
 	m.mu.Unlock()
 }
 
+// OpSum returns the summed count of the named ops without copying the
+// meter. keys use Snapshot's "Service/Name" form ("S3/PUT"). Hot readers —
+// the query cache samples its invalidation stamp on every lookup — use
+// this instead of Snapshot.
+func (m *Meter) OpSum(keys []string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, k := range keys {
+		n += m.opsByName[k]
+	}
+	return n
+}
+
 // Snapshot returns a copy of the current usage.
 func (m *Meter) Snapshot() Usage {
 	m.mu.Lock()

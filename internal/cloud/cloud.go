@@ -85,3 +85,8 @@ func (c *Cloud) Settle() {
 
 // Usage returns the current billing snapshot.
 func (c *Cloud) Usage() billing.Usage { return c.Meter.Snapshot() }
+
+// MaxDelay returns the region's propagation horizon (zero when strongly
+// consistent). Query caches use it to bound how long a snapshot taken from
+// a possibly stale replica may be served.
+func (c *Cloud) MaxDelay() time.Duration { return c.maxDelay }

@@ -152,6 +152,32 @@ type Entry struct {
 	Records []prov.Record
 }
 
+// GraphQuerier is implemented by stores that can hand out the repository's
+// provenance graph directly — from their query-cache snapshot when warm,
+// at zero cloud ops. The returned graph is shared and must be treated as
+// read-only. Callers that need a traversal (ancestry walks) should prefer
+// this over re-materializing a graph from a streamed scan.
+type GraphQuerier interface {
+	ProvenanceGraph(ctx context.Context) (*prov.Graph, error)
+}
+
+// ProvenanceGraph returns q's repository graph, preferring the store's own
+// (possibly cached) graph and falling back to materializing the streamed
+// scan. The result is shared: read-only.
+func ProvenanceGraph(ctx context.Context, q Querier) (*prov.Graph, error) {
+	if gq, ok := q.(GraphQuerier); ok {
+		return gq.ProvenanceGraph(ctx)
+	}
+	g := prov.NewGraph()
+	for entry, err := range AllProvenanceSeq(ctx, q) {
+		if err != nil {
+			return nil, err
+		}
+		g.AddAll(entry.Records)
+	}
+	return g, nil
+}
+
 // StreamQuerier is implemented by stores whose repository-wide queries can
 // stream results instead of materializing the whole graph. The sequence
 // yields one Entry per object version; a non-nil error ends the sequence

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// RunLimited runs fn(0) … fn(n-1) with at most conc calls in flight,
+// returning the first error. After an error (or once ctx is done), tasks
+// that have not started are skipped; tasks already running finish their
+// current operation. fn receives the task index only — it should check ctx
+// itself at its own cancellation points, which keeps the caller's context
+// semantics (including test doubles that override Err) intact.
+//
+// conc <= 1 degenerates to a sequential loop with the same early-stop
+// behavior. This is the one bounded-fanout implementation shared by the
+// write path's concurrent PUTs, the parallel repository scan, and the
+// chunked ancestry queries.
+func RunLimited(ctx context.Context, n, conc int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if conc <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	sem := make(chan struct{}, conc)
+	for i := 0; i < n; i++ {
+		if stop.Load() {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if stop.Load() {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				record(err)
+				return
+			}
+			if err := fn(i); err != nil {
+				record(err)
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -340,5 +341,167 @@ func TestFullWorkloadThroughStore(t *testing.T) {
 	outputs, err := st.OutputsOf(ctx, "tool")
 	if err != nil || len(outputs) != 1 {
 		t.Fatalf("OutputsOf = %v, %v", outputs, err)
+	}
+}
+
+// --- query-performance subsystem -------------------------------------------
+
+// loadN stores n independent file versions.
+func loadN(t *testing.T, st *Store, n int) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		if err := core.Put(ctx, st, fileEvent(fmt.Sprintf("/load/%03d", i), 0, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSnapshotCacheMakesRepeatQueriesFree(t *testing.T) {
+	st, cl := newTestStore(t, nil)
+	ctx := context.Background()
+	blast := procEvent("blast", 1)
+	out := fileEvent("/out", 0, "o", prov.NewInput(prov.Ref{Object: "/out"}, blast.Ref))
+	for _, ev := range []pass.FlushEvent{blast, out} {
+		if err := core.Put(ctx, st, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loadN(t, st, 20)
+
+	// Cold: the full scan.
+	before := cl.Usage().TotalOps()
+	if _, err := st.OutputsOf(ctx, "blast"); err != nil {
+		t.Fatal(err)
+	}
+	cold := cl.Usage().TotalOps() - before
+	if cold < 20 {
+		t.Fatalf("cold query cost %d ops; expected a full scan", cold)
+	}
+
+	// Warm: every query class answers from the snapshot at zero cloud ops.
+	before = cl.Usage().TotalOps()
+	if refs, err := st.OutputsOf(ctx, "blast"); err != nil || len(refs) != 1 {
+		t.Fatalf("warm OutputsOf = %v, %v", refs, err)
+	}
+	if _, err := st.DescendantsOfOutputs(ctx, "blast"); err != nil {
+		t.Fatal(err)
+	}
+	if all, err := st.AllProvenance(ctx); err != nil || len(all) != 22 {
+		t.Fatalf("warm AllProvenance = %d, %v", len(all), err)
+	}
+	if _, err := st.Dependents(ctx, blast.Ref.Object); err != nil {
+		t.Fatal(err)
+	}
+	if warm := cl.Usage().TotalOps() - before; warm != 0 {
+		t.Fatalf("warm queries cost %d cloud ops, want 0", warm)
+	}
+	stats := st.CacheStats()
+	if stats.GraphMisses != 1 || stats.GraphHits < 3 {
+		t.Fatalf("cache stats = %+v", stats)
+	}
+}
+
+func TestWriteBetweenQueriesInvalidatesSnapshot(t *testing.T) {
+	st, _ := newTestStore(t, nil)
+	ctx := context.Background()
+	blast := procEvent("blast", 1)
+	out1 := fileEvent("/out1", 0, "a", prov.NewInput(prov.Ref{Object: "/out1"}, blast.Ref))
+	for _, ev := range []pass.FlushEvent{blast, out1} {
+		if err := core.Put(ctx, st, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refs, err := st.OutputsOf(ctx, "blast")
+	if err != nil || len(refs) != 1 {
+		t.Fatalf("OutputsOf = %v, %v", refs, err)
+	}
+
+	// A second output lands after the snapshot was taken.
+	out2 := fileEvent("/out2", 0, "b", prov.NewInput(prov.Ref{Object: "/out2"}, blast.Ref))
+	if err := core.Put(ctx, st, out2); err != nil {
+		t.Fatal(err)
+	}
+	refs, err = st.OutputsOf(ctx, "blast")
+	if err != nil || len(refs) != 2 {
+		t.Fatalf("OutputsOf after write = %v, %v; stale snapshot served", refs, err)
+	}
+}
+
+// ctxAfterChecks reports cancellation after its Err method has been
+// consulted n times — deterministic mid-scan cancellation.
+type ctxAfterChecks struct {
+	context.Context
+	mu sync.Mutex
+	n  int
+}
+
+func (c *ctxAfterChecks) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n <= 0 {
+		return context.Canceled
+	}
+	c.n--
+	return nil
+}
+
+func TestScanCancellationHonoredPerObject(t *testing.T) {
+	for name, conc := range map[string]int{"sequential": 1, "parallel": 4} {
+		t.Run(name, func(t *testing.T) {
+			cl := cloud.New(cloud.Config{Seed: 1})
+			st, err := New(Config{Cloud: cl, ScanConcurrency: conc, DisableQueryCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadN(t, st, 40)
+
+			// Budget of 6 Err checks: one for the LIST loop, the rest for
+			// scan workers. The scan must stop long before 40 HEADs — the
+			// old per-page check would have drained the whole page.
+			cctx := &ctxAfterChecks{Context: context.Background(), n: 6}
+			before := cl.Usage().OpCount(billing.S3, "HEAD")
+			_, err = st.AllProvenance(cctx)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			heads := cl.Usage().OpCount(billing.S3, "HEAD") - before
+			if heads > 6 {
+				t.Fatalf("cancelled scan issued %d HEADs; cancellation not honored per object", heads)
+			}
+		})
+	}
+}
+
+func TestParallelScanMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	var want map[prov.Ref][]prov.Record
+	for _, conc := range []int{1, 8} {
+		cl := cloud.New(cloud.Config{Seed: 1})
+		st, err := New(Config{Cloud: cl, ScanConcurrency: conc, DisableQueryCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blast := procEvent("blast", 1)
+		if err := core.Put(ctx, st, blast); err != nil {
+			t.Fatal(err)
+		}
+		loadN(t, st, 30)
+		all, err := st.AllProvenance(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = all
+			continue
+		}
+		if len(all) != len(want) {
+			t.Fatalf("conc %d: %d subjects, want %d", conc, len(all), len(want))
+		}
+		for ref, records := range want {
+			if len(all[ref]) != len(records) {
+				t.Fatalf("conc %d: subject %v has %d records, want %d", conc, ref, len(all[ref]), len(records))
+			}
+		}
 	}
 }

@@ -47,6 +47,9 @@ type Config struct {
 	Faults *sim.FaultPlan
 	// MaxReadRetries bounds the consistency retry loop.
 	MaxReadRetries int
+	// DisableQueryCache turns off the sdbprov layer's generation-stamped
+	// query cache, restoring the paper's one-query-run-per-call costs.
+	DisableQueryCache bool
 }
 
 // Store is the S3+SimpleDB architecture.
@@ -62,11 +65,12 @@ func New(cfg Config) (*Store, error) {
 		return nil, errors.New("s3sdb: Config.Cloud is required")
 	}
 	layer, err := sdbprov.New(sdbprov.Config{
-		Cloud:          cfg.Cloud,
-		Bucket:         cfg.Bucket,
-		Domain:         cfg.Domain,
-		Faults:         cfg.Faults,
-		MaxReadRetries: cfg.MaxReadRetries,
+		Cloud:             cfg.Cloud,
+		Bucket:            cfg.Bucket,
+		Domain:            cfg.Domain,
+		Faults:            cfg.Faults,
+		MaxReadRetries:    cfg.MaxReadRetries,
+		DisableQueryCache: cfg.DisableQueryCache,
 	})
 	if err != nil {
 		return nil, err
@@ -101,6 +105,9 @@ func (s *Store) PutBatch(ctx context.Context, batch []pass.FlushEvent) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// Invalidate cached query snapshots even when the batch fails partway:
+	// the provenance phase's effects may already be visible to queries.
+	defer s.layer.InvalidateQueries()
 	if err := s.faults.Check("s3sdb/before-put"); err != nil {
 		return err
 	}
@@ -191,6 +198,11 @@ func (s *Store) AllProvenanceSeq(ctx context.Context) iter.Seq2[core.Entry, erro
 	return s.layer.AllProvenanceSeq(ctx)
 }
 
+// ProvenanceGraph implements core.GraphQuerier.
+func (s *Store) ProvenanceGraph(ctx context.Context) (*prov.Graph, error) {
+	return s.layer.ProvenanceGraph(ctx)
+}
+
 // OutputsOf implements core.Querier.
 func (s *Store) OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error) {
 	return s.layer.OutputsOf(ctx, tool)
@@ -215,6 +227,8 @@ func (s *Store) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Re
 // described file data) but S3 holds no data at or beyond that version.
 // Returns the refs whose provenance was removed.
 func (s *Store) OrphanScan(ctx context.Context) ([]prov.Ref, error) {
+	// Deletions below change query results behind the layer's back.
+	defer s.layer.InvalidateQueries()
 	var orphans []prov.Ref
 	token := ""
 	for {
@@ -270,4 +284,5 @@ var (
 	_ core.Store         = (*Store)(nil)
 	_ core.Querier       = (*Store)(nil)
 	_ core.StreamQuerier = (*Store)(nil)
+	_ core.GraphQuerier  = (*Store)(nil)
 )

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -360,5 +362,67 @@ func TestVerifiedGetSurfacesNoProvenance(t *testing.T) {
 	_, err := st.Get(ctx, "/bare")
 	if !errors.Is(err, core.ErrNoProvenance) {
 		t.Fatalf("err = %v, want ErrNoProvenance", err)
+	}
+}
+
+// TestConcurrentQueriesDuringWrites runs cached queries from several
+// goroutines while writes land — meant for -race. No query may error, no
+// query may observe more outputs than have been written, and once writes
+// stop the cache must serve the complete, fresh result.
+func TestConcurrentQueriesDuringWrites(t *testing.T) {
+	st, _ := newTestStore(t, nil, 0)
+	ctx := context.Background()
+
+	tool := procEvent("tool", 1)
+	if err := core.Put(ctx, st, tool); err != nil {
+		t.Fatal(err)
+	}
+	const writes = 30
+	var wg sync.WaitGroup
+	var written atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			// Count the write as started before it can become visible, so
+			// `written` is always an upper bound on what any query sees.
+			written.Add(1)
+			ev := fileEvent(fmt.Sprintf("/c/%02d", i), 0, "x",
+				prov.NewInput(prov.Ref{Object: prov.ObjectID(fmt.Sprintf("/c/%02d", i))}, tool.Ref))
+			if err := core.Put(ctx, st, ev); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				outputs, err := st.OutputsOf(ctx, "tool")
+				if err != nil {
+					t.Errorf("OutputsOf: %v", err)
+					return
+				}
+				if n := written.Load(); int64(len(outputs)) > n {
+					t.Errorf("query observed %d outputs with only %d writes started", len(outputs), n)
+					return
+				}
+				if _, err := st.AllProvenance(ctx); err != nil {
+					t.Errorf("AllProvenance: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	outputs, err := st.OutputsOf(ctx, "tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != writes {
+		t.Fatalf("final OutputsOf = %d, want %d (stale snapshot after writes stopped)", len(outputs), writes)
 	}
 }

@@ -56,6 +56,9 @@ type Config struct {
 	Faults *sim.FaultPlan
 	// MaxReadRetries bounds the consistency retry loop.
 	MaxReadRetries int
+	// DisableQueryCache turns off the sdbprov layer's generation-stamped
+	// query cache, restoring the paper's one-query-run-per-call costs.
+	DisableQueryCache bool
 }
 
 // Store is the S3+SimpleDB+SQS architecture (client side).
@@ -75,11 +78,12 @@ func New(cfg Config) (*Store, error) {
 		cfg.ClientID = "client0"
 	}
 	layer, err := sdbprov.New(sdbprov.Config{
-		Cloud:          cfg.Cloud,
-		Bucket:         cfg.Bucket,
-		Domain:         cfg.Domain,
-		Faults:         cfg.Faults,
-		MaxReadRetries: cfg.MaxReadRetries,
+		Cloud:             cfg.Cloud,
+		Bucket:            cfg.Bucket,
+		Domain:            cfg.Domain,
+		Faults:            cfg.Faults,
+		MaxReadRetries:    cfg.MaxReadRetries,
+		DisableQueryCache: cfg.DisableQueryCache,
 	})
 	if err != nil {
 		return nil, err
@@ -129,6 +133,11 @@ func (s *Store) PutBatch(ctx context.Context, batch []pass.FlushEvent) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	// Query-visible state only changes when the commit daemon pushes this
+	// transaction (WriteEncodedBatch bumps the layer's generation then),
+	// but the contract is that every PutBatch invalidates: a retried or
+	// replayed batch must never be answered from a pre-write snapshot.
+	defer s.layer.InvalidateQueries()
 	txid := s.cloud.RNG.Hex(8)
 
 	// Assemble the messages that follow begin: per event — data pointer,
@@ -274,6 +283,11 @@ func (s *Store) AllProvenanceSeq(ctx context.Context) iter.Seq2[core.Entry, erro
 	return s.layer.AllProvenanceSeq(ctx)
 }
 
+// ProvenanceGraph implements core.GraphQuerier.
+func (s *Store) ProvenanceGraph(ctx context.Context) (*prov.Graph, error) {
+	return s.layer.ProvenanceGraph(ctx)
+}
+
 // OutputsOf implements core.Querier.
 func (s *Store) OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error) {
 	return s.layer.OutputsOf(ctx, tool)
@@ -293,4 +307,5 @@ var (
 	_ core.Store         = (*Store)(nil)
 	_ core.Querier       = (*Store)(nil)
 	_ core.StreamQuerier = (*Store)(nil)
+	_ core.GraphQuerier  = (*Store)(nil)
 )

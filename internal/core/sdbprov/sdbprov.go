@@ -17,7 +17,13 @@
 //     MD5(data‖nonce) against the stored consistency record, and "reissue
 //     the query, retrieving data from S3 until we get consistent provenance
 //     and data";
-//   - the indexed query engine behind Table 3's SimpleDB column.
+//   - the indexed query engine behind Table 3's SimpleDB column, with the
+//     N+1 lookups of the paper's description aggregated away: dependents'
+//     type attributes ride the same QueryWithAttributes pass as the refs,
+//     chunked ancestry queries run concurrently per BFS level, and query
+//     results plus the full-repository graph are kept in a
+//     generation-stamped snapshot cache (internal/core/qcache) so repeated
+//     queries on an unchanged domain cost zero cloud ops.
 package sdbprov
 
 import (
@@ -28,12 +34,14 @@ import (
 	"fmt"
 	"iter"
 	"strconv"
+	"strings"
 	"time"
 
 	"passcloud/internal/cloud"
 	"passcloud/internal/cloud/s3"
 	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/core"
+	"passcloud/internal/core/qcache"
 	"passcloud/internal/prov"
 	"passcloud/internal/sim"
 )
@@ -91,11 +99,22 @@ type Config struct {
 	// QueryChunk is the number of OR-ed values per ancestry query
 	// expression (default 32).
 	QueryChunk int
+	// QueryConcurrency bounds the in-flight chunked ancestry queries per
+	// BFS level (default 4). 1 restores strictly sequential chunks.
+	QueryConcurrency int
+	// DisableQueryCache turns off the generation-stamped query cache,
+	// restoring one indexed query run per call (Table 3's SimpleDB row).
+	DisableQueryCache bool
 }
 
 // Layer is the shared provenance store.
 type Layer struct {
 	cfg Config
+
+	// gen counts provenance writes; cache (nil when disabled) memoizes
+	// query results and the scanned graph while gen is unchanged.
+	gen   qcache.Generation
+	cache *qcache.Cache
 }
 
 // New builds the layer, creating bucket and domain if needed.
@@ -115,6 +134,9 @@ func New(cfg Config) (*Layer, error) {
 	if cfg.QueryChunk <= 0 {
 		cfg.QueryChunk = 32
 	}
+	if cfg.QueryConcurrency <= 0 {
+		cfg.QueryConcurrency = 4
+	}
 	if cfg.RetryWait == nil {
 		clock := cfg.Cloud.Clock
 		step := cfg.Cloud.S3.MaxDelay()/4 + time.Millisecond
@@ -126,7 +148,25 @@ func New(cfg Config) (*Layer, error) {
 	if err := cfg.Cloud.SDB.CreateDomain(cfg.Domain); err != nil && !errors.Is(err, sdb.ErrDomainExists) {
 		return nil, err
 	}
-	return &Layer{cfg: cfg}, nil
+	l := &Layer{cfg: cfg}
+	if !cfg.DisableQueryCache {
+		l.cache = qcache.New(qcache.CloudStamp(&l.gen, cfg.Cloud))
+	}
+	return l, nil
+}
+
+// InvalidateQueries bumps the layer's write generation, expiring every
+// cached snapshot and memoized query result. Layer write paths call it
+// themselves; callers that mutate the domain behind the layer's back
+// (orphan-scan deletions, shared-domain writers) must call it too.
+func (l *Layer) InvalidateQueries() { l.gen.Bump() }
+
+// CacheStats exposes the query-cache counters (zero when disabled).
+func (l *Layer) CacheStats() qcache.Stats {
+	if l.cache == nil {
+		return qcache.Stats{}
+	}
+	return l.cache.Stats()
 }
 
 // Bucket returns the S3 bucket name.
@@ -241,6 +281,9 @@ func (l *Layer) buildAttrs(subject prov.Ref, encoded []prov.Record, md5hex, faul
 // record. faultPrefix scopes the crash points so each caller's protocol is
 // independently testable.
 func (l *Layer) WriteEncoded(subject prov.Ref, encoded []prov.Record, md5hex, faultPrefix string) error {
+	// Invalidate cached query state even on failure: a partial chunked
+	// write is already visible to queries.
+	defer l.gen.Bump()
 	attrs, err := l.buildAttrs(subject, encoded, md5hex, faultPrefix)
 	if err != nil {
 		return err
@@ -292,6 +335,11 @@ type ItemWrite struct {
 // This is the write amortization both indexed architectures ride: a close
 // with K unpersisted ancestors costs ⌈K/25⌉ SimpleDB calls instead of K.
 func (l *Layer) WriteEncodedBatch(ctx context.Context, writes []ItemWrite, faultPrefix string) error {
+	if len(writes) > 0 {
+		// Invalidate cached query state even on failure: earlier groups of
+		// a partially written batch are already visible to queries.
+		defer l.gen.Bump()
+	}
 	var group []sdb.BatchItem
 	flushGroup := func() error {
 		if len(group) == 0 {
@@ -482,10 +530,30 @@ func (l *Layer) VerifiedGet(ctx context.Context, object prov.ObjectID) (*core.Ob
 
 // AllProvenanceSeq streams every item's provenance one object version at a
 // time: "there is no way for SimpleDB to generalize the query and needs to
-// issue one query per item" (§5, Q.1). Pagination means only one Select
-// page plus one item are resident at once, so repository-wide queries do
-// not materialize the whole graph.
+// issue one query per item" (§5, Q.1). With the cache disabled, pagination
+// means only one Select page plus one item are resident at once; with the
+// cache enabled, entries come from the (built-if-needed) snapshot — zero
+// cloud ops when warm.
 func (l *Layer) AllProvenanceSeq(ctx context.Context) iter.Seq2[core.Entry, error] {
+	if l.cache == nil {
+		return l.scanSeq(ctx)
+	}
+	return func(yield func(core.Entry, error) bool) {
+		g, err := l.snapshot(ctx)
+		if err != nil {
+			yield(core.Entry{}, err)
+			return
+		}
+		for _, subject := range g.Subjects() {
+			if !yield(core.Entry{Ref: subject, Records: g.Records(subject)}, nil) {
+				return
+			}
+		}
+	}
+}
+
+// scanSeq is the live one-query-per-item repository scan.
+func (l *Layer) scanSeq(ctx context.Context) iter.Seq2[core.Entry, error] {
 	return func(yield func(core.Entry, error) bool) {
 		token := ""
 		for {
@@ -523,17 +591,51 @@ func (l *Layer) AllProvenanceSeq(ctx context.Context) iter.Seq2[core.Entry, erro
 	}
 }
 
-// AllProvenance materializes the streaming scan into a map (Q.1 over all
-// objects, for callers that need the whole repository at once).
+// AllProvenance materializes the repository's provenance into a map (Q.1
+// over all objects, for callers that need the whole repository at once) —
+// from the snapshot cache when enabled.
 func (l *Layer) AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, error) {
+	if l.cache != nil {
+		g, err := l.snapshot(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return qcache.MapFromGraph(g), nil
+	}
 	out := make(map[prov.Ref][]prov.Record)
-	for entry, err := range l.AllProvenanceSeq(ctx) {
+	for entry, err := range l.scanSeq(ctx) {
 		if err != nil {
 			return nil, err
 		}
 		out[entry.Ref] = entry.Records
 	}
 	return out, nil
+}
+
+// buildGraph materializes the scan into a provenance graph.
+func (l *Layer) buildGraph(ctx context.Context) (*prov.Graph, error) {
+	g := prov.NewGraph()
+	for entry, err := range l.scanSeq(ctx) {
+		if err != nil {
+			return nil, err
+		}
+		g.AddAll(entry.Records)
+	}
+	return g, nil
+}
+
+// snapshot returns the cached graph, building it (singleflight) on a miss.
+func (l *Layer) snapshot(ctx context.Context) (*prov.Graph, error) {
+	return l.cache.Graph(ctx, l.buildGraph)
+}
+
+// ProvenanceGraph returns the repository graph, shared from the snapshot
+// cache when warm. Read-only.
+func (l *Layer) ProvenanceGraph(ctx context.Context) (*prov.Graph, error) {
+	if l.cache != nil {
+		return l.snapshot(ctx)
+	}
+	return l.buildGraph(ctx)
 }
 
 // instancesOf finds all object versions whose name attribute is tool
@@ -570,122 +672,217 @@ func (l *Layer) queryRefs(ctx context.Context, expr string) ([]prov.Ref, error) 
 	}
 }
 
+// refType pairs a matched item with its (decoded) type attribute.
+type refType struct {
+	ref prov.Ref
+	typ string
+}
+
+// queryRefTypes runs one QueryWithAttributes expression to completion,
+// returning each matching item with its type attribute decoded from the
+// same response — no follow-up GetAttributes per item.
+func (l *Layer) queryRefTypes(ctx context.Context, expr string) ([]refType, error) {
+	var out []refType
+	token := ""
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := l.cfg.Cloud.SDB.QueryWithAttributes(l.cfg.Domain, expr, []string{prov.AttrType}, 0, token)
+		if err != nil {
+			return nil, err
+		}
+		for _, item := range res.Items {
+			ref, err := prov.ParseItemName(item.Name)
+			if err != nil {
+				continue
+			}
+			rt := refType{ref: ref}
+			for _, a := range item.Attrs {
+				if a.Name != prov.AttrType {
+					continue
+				}
+				rec, err := l.decodeStored(ref, a.Name, a.Value)
+				if err != nil {
+					return nil, err
+				}
+				rt.typ = rec.Value.String()
+				break
+			}
+			out = append(out, rt)
+		}
+		if res.NextToken == "" {
+			return out, nil
+		}
+		token = res.NextToken
+	}
+}
+
+// inputChunkExpr renders one chunk's OR expression over input values.
+func inputChunkExpr(refs []prov.Ref) string {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, r := range refs {
+		if i > 0 {
+			b.WriteString(" or ")
+		}
+		b.WriteString("'" + escapeQuery(prov.AttrInput) + "' = " + sdb.QuoteString(r.String()))
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
 // dependentsOf finds items listing any of refs as an input, chunking the
 // OR expression ("execute a second QueryWithAttributes to retrieve all
 // objects that have as ancestor, objects in the result of the first
-// query").
-func (l *Layer) dependentsOf(ctx context.Context, refs []prov.Ref) ([]prov.Ref, error) {
-	seen := make(map[prov.Ref]bool)
-	var out []prov.Ref
-	for start := 0; start < len(refs); start += l.cfg.QueryChunk {
-		end := start + l.cfg.QueryChunk
-		if end > len(refs) {
-			end = len(refs)
+// query"). When withTypes is set, each item's type attribute rides the
+// same query response — the aggregation that removes the one-GetAttributes
+// -per-dependent N+1 from Q.2. Chunks run concurrently under the
+// QueryConcurrency bound; results merge in chunk order, deduplicated, so
+// the output is identical to the sequential scan's.
+func (l *Layer) dependentsOf(ctx context.Context, refs []prov.Ref, withTypes bool) ([]refType, error) {
+	chunk := l.cfg.QueryChunk
+	nchunks := (len(refs) + chunk - 1) / chunk
+	if nchunks == 0 {
+		return nil, nil
+	}
+
+	runChunk := func(part []prov.Ref) ([]refType, error) {
+		expr := inputChunkExpr(part)
+		if withTypes {
+			return l.queryRefTypes(ctx, expr)
 		}
-		expr := "["
-		for i, r := range refs[start:end] {
-			if i > 0 {
-				expr += " or "
-			}
-			expr += "'" + escapeQuery(prov.AttrInput) + "' = " + sdb.QuoteString(r.String())
-		}
-		expr += "]"
 		found, err := l.queryRefs(ctx, expr)
 		if err != nil {
 			return nil, err
 		}
-		for _, f := range found {
-			if !seen[f] {
-				seen[f] = true
-				out = append(out, f)
+		out := make([]refType, len(found))
+		for i, f := range found {
+			out[i] = refType{ref: f}
+		}
+		return out, nil
+	}
+
+	results := make([][]refType, nchunks)
+	err := core.RunLimited(ctx, nchunks, l.cfg.QueryConcurrency, func(ci int) error {
+		start := ci * chunk
+		end := min(start+chunk, len(refs))
+		found, err := runChunk(refs[start:end])
+		if err != nil {
+			return err
+		}
+		results[ci] = found
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	seen := make(map[prov.Ref]bool)
+	var out []refType
+	for _, part := range results {
+		for _, rt := range part {
+			if !seen[rt.ref] {
+				seen[rt.ref] = true
+				out = append(out, rt)
 			}
 		}
 	}
 	return out, nil
 }
 
-// typeOf fetches an item's type attribute with a narrow GetAttributes.
-func (l *Layer) typeOf(ref prov.Ref) (string, error) {
-	attrs, ok, err := l.cfg.Cloud.SDB.GetAttributes(l.cfg.Domain, prov.EncodeItemName(ref), prov.AttrType)
-	if err != nil || !ok {
-		return "", err
-	}
-	for _, a := range attrs {
-		if a.Name == prov.AttrType {
-			return a.Value, nil
-		}
-	}
-	return "", nil
-}
-
 // OutputsOf implements Q.2: instances of tool, then the files depending on
-// them. Two indexed queries plus type filtering — "SimpleDB does much
-// better as it only needs to execute one query corresponding to each
-// phase".
+// them. Two indexed query phases — "SimpleDB does much better as it only
+// needs to execute one query corresponding to each phase" — with the type
+// filter folded into phase two's QueryWithAttributes instead of one
+// GetAttributes per dependent. Results are memoized per write generation.
 func (l *Layer) OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error) {
-	instances, err := l.instancesOf(ctx, tool)
-	if err != nil {
-		return nil, err
-	}
-	deps, err := l.dependentsOf(ctx, instances)
-	if err != nil {
-		return nil, err
-	}
-	var files []prov.Ref
-	for _, d := range deps {
-		typ, err := l.typeOf(d)
+	compute := func(ctx context.Context) ([]prov.Ref, error) {
+		instances, err := l.instancesOf(ctx, tool)
 		if err != nil {
 			return nil, err
 		}
-		if typ == prov.TypeFile {
-			files = append(files, d)
+		deps, err := l.dependentsOf(ctx, instances, true)
+		if err != nil {
+			return nil, err
 		}
+		var files []prov.Ref
+		for _, d := range deps {
+			if d.typ == prov.TypeFile {
+				files = append(files, d.ref)
+			}
+		}
+		return files, nil
 	}
-	return files, nil
+	if l.cache == nil {
+		return compute(ctx)
+	}
+	refs, err := l.cache.Refs(ctx, "q2\x00"+tool, compute)
+	return qcache.CopyRefs(refs), err
 }
 
 // DescendantsOfOutputs implements Q.3 by iterated dependency queries:
 // "SimpleDB ... does not support recursive queries or stored procedures.
 // Hence, for ancestry queries, it has to retrieve each item ... then lookup
-// further ancestors."
+// further ancestors." Each BFS level's chunked queries run concurrently;
+// the result is memoized per write generation.
 func (l *Layer) DescendantsOfOutputs(ctx context.Context, tool string) ([]prov.Ref, error) {
-	frontier, err := l.OutputsOf(ctx, tool)
-	if err != nil {
-		return nil, err
-	}
-	seen := make(map[prov.Ref]bool)
-	for _, f := range frontier {
-		seen[f] = true
-	}
-	var out []prov.Ref
-	for len(frontier) > 0 {
-		next, err := l.dependentsOf(ctx, frontier)
+	compute := func(ctx context.Context) ([]prov.Ref, error) {
+		frontier, err := l.OutputsOf(ctx, tool)
 		if err != nil {
 			return nil, err
 		}
-		frontier = frontier[:0]
-		for _, n := range next {
-			if !seen[n] {
-				seen[n] = true
-				out = append(out, n)
-				frontier = append(frontier, n)
+		seen := make(map[prov.Ref]bool)
+		for _, f := range frontier {
+			seen[f] = true
+		}
+		var out []prov.Ref
+		for len(frontier) > 0 {
+			next, err := l.dependentsOf(ctx, frontier, false)
+			if err != nil {
+				return nil, err
+			}
+			frontier = frontier[:0]
+			for _, n := range next {
+				if !seen[n.ref] {
+					seen[n.ref] = true
+					out = append(out, n.ref)
+					frontier = append(frontier, n.ref)
+				}
 			}
 		}
+		return out, nil
 	}
-	return out, nil
+	if l.cache == nil {
+		return compute(ctx)
+	}
+	refs, err := l.cache.Refs(ctx, "q3\x00"+tool, compute)
+	return qcache.CopyRefs(refs), err
 }
 
 // Dependents finds items listing any version of object among their inputs,
 // with a single indexed prefix query: input values are "object:version", so
-// ['input' starts-with 'object:'] covers every version at once.
+// ['input' starts-with 'object:'] covers every version at once. The result
+// is memoized per write generation.
 func (l *Layer) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Ref, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	compute := func(ctx context.Context) ([]prov.Ref, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		expr := "['" + escapeQuery(prov.AttrInput) + "' starts-with " + sdb.QuoteString(string(object)+":") + "]"
+		return l.queryRefs(ctx, expr)
 	}
-	expr := "['" + escapeQuery(prov.AttrInput) + "' starts-with " + sdb.QuoteString(string(object)+":") + "]"
-	return l.queryRefs(ctx, expr)
+	if l.cache == nil {
+		return compute(ctx)
+	}
+	refs, err := l.cache.Refs(ctx, "dep\x00"+string(object), compute)
+	return qcache.CopyRefs(refs), err
 }
 
-// escapeQuery escapes single quotes in attribute names for the bracket
-// query language.
-func escapeQuery(s string) string { return s } // attribute names are ours: no quotes
+// escapeQuery escapes single quotes inside a bracket-language attribute
+// name, which is written between single quotes ('attr'): the 2009 query
+// grammar escapes a quote by doubling it, exactly like string literals.
+// Attribute names today come from our own fixed vocabulary, but provenance
+// attributes are user-extensible in PASS — a quote must not be able to
+// terminate the name early and smuggle operators into the expression.
+func escapeQuery(s string) string { return strings.ReplaceAll(s, "'", "''") }

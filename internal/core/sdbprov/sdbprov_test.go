@@ -302,7 +302,7 @@ func TestDependentsChunking(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	before := cl.Usage().OpCount(billing.SimpleDB, "Query")
+	before := cl.Usage()
 	outputs, err := layer.OutputsOf(ctx, "tool")
 	if err != nil {
 		t.Fatal(err)
@@ -310,9 +310,17 @@ func TestDependentsChunking(t *testing.T) {
 	if len(outputs) != 10 {
 		t.Fatalf("outputs = %d, want 10", len(outputs))
 	}
-	queries := cl.Usage().OpCount(billing.SimpleDB, "Query") - before
-	if queries < 5 { // 1 instance query + 4 chunks
-		t.Fatalf("queries = %d; chunking not exercised", queries)
+	after := cl.Usage()
+	// 1 instance Query plus ceil(10/3) = 4 dependents chunks, which ride
+	// QueryWithAttributes so the type filter needs no per-item follow-up.
+	queries := after.OpCount(billing.SimpleDB, "Query") - before.OpCount(billing.SimpleDB, "Query")
+	chunks := after.OpCount(billing.SimpleDB, "QueryWithAttributes") - before.OpCount(billing.SimpleDB, "QueryWithAttributes")
+	if queries < 1 || chunks < 4 {
+		t.Fatalf("queries = %d, chunked attr queries = %d; chunking not exercised", queries, chunks)
+	}
+	// The N+1 is gone: no GetAttributes per dependent.
+	if gets := after.OpCount(billing.SimpleDB, "GetAttributes") - before.OpCount(billing.SimpleDB, "GetAttributes"); gets != 0 {
+		t.Fatalf("OutputsOf issued %d GetAttributes; type must ride the chunk queries", gets)
 	}
 }
 
@@ -406,5 +414,165 @@ func TestWriteEncodedBatchCancellation(t *testing.T) {
 	}
 	if _, _, ok, _ := layer.FetchItem(subject); ok {
 		t.Fatal("cancelled batch wrote an item")
+	}
+}
+
+// --- query-performance subsystem -------------------------------------------
+
+func TestEscapeQueryNeutralizesQuotes(t *testing.T) {
+	if got := escapeQuery("no quotes"); got != "no quotes" {
+		t.Fatalf("escapeQuery mangled a clean name: %q", got)
+	}
+	if got := escapeQuery("a'b"); got != "a''b" {
+		t.Fatalf("escapeQuery(a'b) = %q, want doubled quote", got)
+	}
+
+	// End to end: an attribute name containing a quote travels through a
+	// bracket expression without terminating the quoted name early. The
+	// expression must parse and match only the intended item.
+	layer, cl := newTestLayer(t, 0)
+	hostile := "attr'] or ['type' = 'file"
+	subject := ref("/esc", 0)
+	if err := layer.WriteItem(subject, []prov.Record{
+		prov.NewString(subject, prov.AttrType, prov.TypeFile),
+	}, "", "t"); err != nil {
+		t.Fatal(err)
+	}
+	// Unescaped, the quote closes the attribute name early and the rest of
+	// the string leaks into the expression grammar.
+	if _, err := cl.SDB.Query(layer.Domain(), "['"+hostile+"' = 'x']", 0, ""); err == nil {
+		t.Fatal("unescaped quote did not corrupt the expression; hostile input too tame")
+	}
+	expr := "['" + escapeQuery(hostile) + "' = 'x']"
+	res, err := cl.SDB.Query(layer.Domain(), expr, 0, "")
+	if err != nil {
+		t.Fatalf("escaped expression failed to parse: %v", err)
+	}
+	// The whole hostile string is one (absent) attribute name: no match.
+	if len(res.ItemNames) != 0 {
+		t.Fatalf("escaped query matched %v; quote broke out of the name", res.ItemNames)
+	}
+}
+
+func TestOutputsOfNoNPlusOne(t *testing.T) {
+	layer, cl := newTestLayer(t, 0)
+	ctx := context.Background()
+
+	// One tool, many dependents: the old path issued one GetAttributes per
+	// dependent to read its type.
+	tool := ref("proc/1/tool", 0)
+	if err := layer.WriteItem(tool, []prov.Record{
+		prov.NewString(tool, prov.AttrType, prov.TypeProcess),
+		prov.NewString(tool, prov.AttrName, "tool"),
+	}, "", "t"); err != nil {
+		t.Fatal(err)
+	}
+	const deps = 40
+	for i := 0; i < deps; i++ {
+		out := ref(fmt.Sprintf("/out/%02d", i), 0)
+		if err := layer.WriteItem(out, []prov.Record{
+			prov.NewString(out, prov.AttrType, prov.TypeFile),
+			prov.NewInput(out, tool),
+		}, "", "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := cl.Usage()
+	outputs, err := layer.OutputsOf(ctx, "tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != deps {
+		t.Fatalf("outputs = %d, want %d", len(outputs), deps)
+	}
+	after := cl.Usage()
+	if gets := after.OpCount(billing.SimpleDB, "GetAttributes") - before.OpCount(billing.SimpleDB, "GetAttributes"); gets != 0 {
+		t.Fatalf("OutputsOf issued %d GetAttributes for %d dependents (N+1 not fixed)", gets, deps)
+	}
+	// Total SimpleDB ops: 1 instance query + ceil(40/32) = 2 chunked
+	// attribute queries — far under one op per dependent.
+	if ops := after.Ops(billing.SimpleDB) - before.Ops(billing.SimpleDB); ops > 4 {
+		t.Fatalf("OutputsOf cost %d SimpleDB ops for %d dependents", ops, deps)
+	}
+}
+
+func TestLayerCacheRepeatQueriesFree(t *testing.T) {
+	layer, cl := newTestLayer(t, 0)
+	ctx := context.Background()
+	tool := ref("proc/1/tool", 0)
+	if err := layer.WriteItem(tool, []prov.Record{
+		prov.NewString(tool, prov.AttrType, prov.TypeProcess),
+		prov.NewString(tool, prov.AttrName, "tool"),
+	}, "", "t"); err != nil {
+		t.Fatal(err)
+	}
+	out := ref("/out", 0)
+	if err := layer.WriteItem(out, []prov.Record{
+		prov.NewString(out, prov.AttrType, prov.TypeFile),
+		prov.NewInput(out, tool),
+	}, "", "t"); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := []func() error{
+		func() error { _, err := layer.OutputsOf(ctx, "tool"); return err },
+		func() error { _, err := layer.DescendantsOfOutputs(ctx, "tool"); return err },
+		func() error { _, err := layer.AllProvenance(ctx); return err },
+		func() error { _, err := layer.Dependents(ctx, tool.Object); return err },
+	}
+	for _, q := range cold {
+		if err := q(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := cl.Usage().TotalOps()
+	for _, q := range cold { // warm repeats
+		if err := q(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ops := cl.Usage().TotalOps() - before; ops != 0 {
+		t.Fatalf("repeat queries cost %d cloud ops, want 0", ops)
+	}
+
+	// A write invalidates: the next query pays cloud ops again and sees
+	// the new item.
+	out2 := ref("/out2", 0)
+	if err := layer.WriteItem(out2, []prov.Record{
+		prov.NewString(out2, prov.AttrType, prov.TypeFile),
+		prov.NewInput(out2, tool),
+	}, "", "t"); err != nil {
+		t.Fatal(err)
+	}
+	outputs, err := layer.OutputsOf(ctx, "tool")
+	if err != nil || len(outputs) != 2 {
+		t.Fatalf("OutputsOf after write = %v, %v; stale memo served", outputs, err)
+	}
+}
+
+func TestUncachedLayerKeepsPaperCosts(t *testing.T) {
+	cl := cloud.New(cloud.Config{Seed: 1})
+	layer, err := New(Config{Cloud: cl, DisableQueryCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tool := ref("proc/1/tool", 0)
+	if err := layer.WriteItem(tool, []prov.Record{
+		prov.NewString(tool, prov.AttrType, prov.TypeProcess),
+		prov.NewString(tool, prov.AttrName, "tool"),
+	}, "", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := layer.OutputsOf(ctx, "tool"); err != nil {
+		t.Fatal(err)
+	}
+	before := cl.Usage().TotalOps()
+	if _, err := layer.OutputsOf(ctx, "tool"); err != nil {
+		t.Fatal(err)
+	}
+	if ops := cl.Usage().TotalOps() - before; ops == 0 {
+		t.Fatal("uncached repeat query cost 0 ops; the knob does not disable the cache")
 	}
 }

@@ -28,6 +28,14 @@ type Harness struct {
 	// is softmean (the Provenance Challenge's bottleneck stage), which has
 	// the selectivity the paper's blast queries had. See EXPERIMENTS.md.
 	Tool string
+	// CachedQueries enables the qcache snapshot cache on the loaded
+	// stores. Off by default so Table 3 measures the paper's uncached
+	// costs; when on, Table3Measured additionally reports each query's
+	// repeat cost (~0 cloud ops on an unchanged repository). Note that
+	// with the cache on, queries share warmth across classes too — e.g.
+	// Q.2 on S3 reuses the snapshot Q.1 built, so even its base row can
+	// read ~0. Authoritative cold costs come from the uncached default.
+	CachedQueries bool
 
 	loaded bool
 	stats  DatasetStats
@@ -72,23 +80,24 @@ func (h *Harness) Load(ctx context.Context) error {
 		name string
 		make func(cl *cloud.Cloud) (core.Store, pass.FlushFunc, func(context.Context) error, error)
 	}
+	uncached := !h.CachedQueries
 	builds := []build{
 		{name: "s3", make: func(cl *cloud.Cloud) (core.Store, pass.FlushFunc, func(context.Context) error, error) {
-			st, err := s3only.New(s3only.Config{Cloud: cl})
+			st, err := s3only.New(s3only.Config{Cloud: cl, DisableQueryCache: uncached})
 			if err != nil {
 				return nil, nil, nil, err
 			}
 			return st, core.Flusher(st), nil, nil
 		}},
 		{name: "s3+sdb", make: func(cl *cloud.Cloud) (core.Store, pass.FlushFunc, func(context.Context) error, error) {
-			st, err := s3sdb.New(s3sdb.Config{Cloud: cl})
+			st, err := s3sdb.New(s3sdb.Config{Cloud: cl, DisableQueryCache: uncached})
 			if err != nil {
 				return nil, nil, nil, err
 			}
 			return st, core.Flusher(st), nil, nil
 		}},
 		{name: "s3+sdb+sqs", make: func(cl *cloud.Cloud) (core.Store, pass.FlushFunc, func(context.Context) error, error) {
-			st, err := s3sdbsqs.New(s3sdbsqs.Config{Cloud: cl})
+			st, err := s3sdbsqs.New(s3sdbsqs.Config{Cloud: cl, DisableQueryCache: uncached})
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -273,6 +282,22 @@ func (h *Harness) Table3Measured(ctx context.Context) (*Table3, error) {
 				Ops:     after.TotalOps() - before.TotalOps(),
 				Results: n,
 			})
+			if h.CachedQueries {
+				// The repeat run: the repository has not changed, so the
+				// snapshot cache answers without touching the cloud.
+				n2, err := query.run(backend.run.querier)
+				if err != nil {
+					return nil, fmt.Errorf("cost: %s repeat on %s: %w", query.name, backend.label, err)
+				}
+				again := backend.run.cloud.Usage()
+				t.Rows = append(t.Rows, Table3Row{
+					Query:   query.name + "+",
+					Arch:    backend.label,
+					DataOut: totalOut(again) - totalOut(after),
+					Ops:     again.TotalOps() - after.TotalOps(),
+					Results: n2,
+				})
+			}
 		}
 	}
 	return t, nil

@@ -76,7 +76,12 @@ type Table3 struct {
 
 // Table3Row is the cost of one query on one backend.
 type Table3Row struct {
-	Query string // "Q.1", "Q.2", "Q.3"
+	// Query names the class: "Q.1", "Q.2", "Q.3". A trailing "+" marks a
+	// repeat run answered from the snapshot cache (Harness.CachedQueries).
+	// In cached runs, base rows after the first query may themselves be
+	// warm (classes share the snapshot); only the uncached default
+	// measures every class cold.
+	Query string
 	Arch  string // "S3" or "SimpleDB" (architectures 2 and 3 share it)
 	// DataOut is the bytes transferred out of the cloud by the query.
 	DataOut int64

@@ -88,6 +88,12 @@ type Options struct {
 	Bucket, Domain, ClientID string
 	// Kernel is recorded in process provenance.
 	Kernel string
+	// DisableQueryCache turns off the query-performance subsystem: the
+	// generation-stamped provenance snapshot cache that lets repeated and
+	// recursive queries on an unchanged repository run at ~zero cloud ops.
+	// Disable it to reproduce the paper's Table 3 costs, where every
+	// query pays its full scan or indexed-query run.
+	DisableQueryCache bool
 }
 
 // Ref identifies one version of one object.
@@ -393,27 +399,25 @@ func (c *Client) DescendantsOfOutputs(ctx context.Context, tool string) ([]Ref, 
 }
 
 // Ancestors returns every object version in ref's ancestry, via the
-// repository's provenance. On the S3-only architecture this scans. The
-// repository is consumed as a stream, so only the ancestry graph — not
-// every record — is resident during the walk.
+// repository's provenance graph. With the query cache enabled (default)
+// the walk runs on the store's shared snapshot — zero cloud ops once warm;
+// on the S3-only architecture a cold call scans.
 func (c *Client) Ancestors(ctx context.Context, ref Ref) ([]Ref, error) {
 	q, err := c.querier()
 	if err != nil {
 		return nil, err
 	}
-	g := prov.NewGraph()
-	for entry, err := range core.AllProvenanceSeq(ctx, q) {
-		if err != nil {
-			return nil, err
-		}
-		g.AddAll(entry.Records)
+	g, err := core.ProvenanceGraph(ctx, q)
+	if err != nil {
+		return nil, err
 	}
 	return toPublicRefs(g.Ancestors(toInternalRef(ref))), nil
 }
 
 // AllProvenance retrieves the provenance of every object version (Q.1 over
-// all objects), materialized as a map. For large repositories prefer
-// AllProvenanceSeq, which streams.
+// all objects), materialized as a map. For large repositories with
+// Options.DisableQueryCache set, prefer AllProvenanceSeq, which then
+// streams; with the cache enabled both share one resident snapshot.
 func (c *Client) AllProvenance(ctx context.Context) (map[Ref][]Record, error) {
 	q, err := c.querier()
 	if err != nil {
@@ -438,9 +442,15 @@ type ProvenanceEntry struct {
 }
 
 // AllProvenanceSeq streams the provenance of every object version in the
-// repository without materializing the whole graph: one Select/LIST page
-// and one item are resident at a time. A non-nil error ends the sequence
-// (its entry is zero); breaking early releases the underlying scan. On the
+// repository. A non-nil error ends the sequence (its entry is zero);
+// breaking early is allowed.
+//
+// Memory behavior depends on Options.DisableQueryCache. With the cache
+// enabled (default), entries are yielded from the repository snapshot —
+// the graph is resident (shared with every other query), entries are
+// merged one per subject, and a warm repeat costs zero cloud ops. With
+// the cache disabled this is a live scan: one Select/LIST page and one
+// item resident at a time, breaking early releases the scan, and on the
 // S3-only architecture a subject whose records rode more than one carrier
 // PUT may be yielded more than once.
 func (c *Client) AllProvenanceSeq(ctx context.Context) iter.Seq2[ProvenanceEntry, error] {

@@ -330,3 +330,90 @@ func TestDeterminism(t *testing.T) {
 		t.Fatalf("same seed produced different usage:\n%+v\n%+v", a, b)
 	}
 }
+
+// TestQueryCacheThroughPublicAPI: repeated queries on an unchanged
+// repository cost zero cloud ops on every architecture; a write in between
+// invalidates; DisableQueryCache restores pay-per-query.
+func TestQueryCacheThroughPublicAPI(t *testing.T) {
+	for _, arch := range allArchitectures {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			c, err := New(Options{Architecture: arch, Seed: 21})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runPipeline(t, c)
+
+			// Cold round, then the repeat round must be free.
+			queries := func() (int, int) {
+				outputs, err := c.OutputsOf(ctx, "analyze")
+				if err != nil {
+					t.Fatal(err)
+				}
+				desc, err := c.DescendantsOfOutputs(ctx, "analyze")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := c.AllProvenance(ctx); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := c.Ancestors(ctx, Ref{Object: "/results/trends.png", Version: 0}); err != nil {
+					t.Fatal(err)
+				}
+				return len(outputs), len(desc)
+			}
+			outputs, desc := queries()
+			if outputs != 1 || desc < 1 {
+				t.Fatalf("cold queries: outputs = %d, descendants = %d", outputs, desc)
+			}
+			before := c.Usage()
+			queries()
+			after := c.Usage()
+			if ops := (after.S3Ops + after.SimpleDBOps) - (before.S3Ops + before.SimpleDBOps); ops != 0 {
+				t.Fatalf("repeat query round cost %d cloud ops, want 0", ops)
+			}
+
+			// A new derivation invalidates: the next query sees it.
+			extra := c.Exec(nil, ProcessSpec{Name: "analyze", Argv: []string{"analyze", "--again"}})
+			if err := extra.Read("/census/data.csv"); err != nil {
+				t.Fatal(err)
+			}
+			if err := extra.Write("/results/extra.dat", []byte("more")); err != nil {
+				t.Fatal(err)
+			}
+			if err := extra.Close(ctx, "/results/extra.dat"); err != nil {
+				t.Fatal(err)
+			}
+			extra.Exit()
+			if err := c.Sync(ctx); err != nil {
+				t.Fatal(err)
+			}
+			c.Settle()
+			got, err := c.OutputsOf(ctx, "analyze")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 2 {
+				t.Fatalf("OutputsOf after new write = %d, want 2 (stale cache)", len(got))
+			}
+		})
+	}
+}
+
+func TestDisableQueryCacheRestoresPaperCosts(t *testing.T) {
+	c, err := New(Options{Architecture: S3Only, Seed: 22, DisableQueryCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPipeline(t, c)
+	if _, err := c.OutputsOf(ctx, "analyze"); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Usage().S3Ops
+	if _, err := c.OutputsOf(ctx, "analyze"); err != nil {
+		t.Fatal(err)
+	}
+	if ops := c.Usage().S3Ops - before; ops == 0 {
+		t.Fatal("uncached repeat query cost 0 ops; knob did not disable the cache")
+	}
+}

@@ -80,13 +80,19 @@ func newClientOn(cl *cloud.Cloud, opts Options) (*Client, error) {
 	var err error
 	switch opts.Architecture {
 	case S3Only:
-		c.store, err = s3only.New(s3only.Config{Cloud: cl, Bucket: opts.Bucket})
+		c.store, err = s3only.New(s3only.Config{
+			Cloud: cl, Bucket: opts.Bucket, DisableQueryCache: opts.DisableQueryCache,
+		})
 	case S3SimpleDB:
-		c.store, err = s3sdb.New(s3sdb.Config{Cloud: cl, Bucket: opts.Bucket, Domain: opts.Domain})
+		c.store, err = s3sdb.New(s3sdb.Config{
+			Cloud: cl, Bucket: opts.Bucket, Domain: opts.Domain,
+			DisableQueryCache: opts.DisableQueryCache,
+		})
 	case S3SimpleDBSQS:
 		var st *s3sdbsqs.Store
 		st, err = s3sdbsqs.New(s3sdbsqs.Config{
 			Cloud: cl, Bucket: opts.Bucket, Domain: opts.Domain, ClientID: opts.ClientID,
+			DisableQueryCache: opts.DisableQueryCache,
 		})
 		if err == nil {
 			c.store = st

@@ -156,7 +156,7 @@ func TestPutBatchCancellationAborts(t *testing.T) {
 			if !ok {
 				t.Fatal("store is not a Querier")
 			}
-			all, err := q.AllProvenance(ctx)
+			all, err := core.AllProvenance(ctx, q)
 			if err != nil {
 				t.Fatal(err)
 			}

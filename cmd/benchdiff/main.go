@@ -1,0 +1,173 @@
+// Command benchdiff compares two passbench -json reports (the BENCH_<sha>
+// trajectory artifacts CI persists) and fails when the new run regresses
+// cloud-operation costs: write-path cloud ops per event (Table 2) or the
+// Table 3 query costs, per architecture and query class.
+//
+//	benchdiff old.json new.json            # fail on any ops regression
+//	benchdiff -tol 0.02 old.json new.json  # allow 2% drift
+//
+// Reports with different scale/seed/tool are not comparable; benchdiff
+// then exits 0 with a notice so a deliberate recalibration does not wedge
+// CI (the new artifact becomes the next baseline).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+// report mirrors the passbench/v1 fields benchdiff reads.
+type report struct {
+	Schema string  `json:"schema"`
+	Scale  float64 `json:"scale"`
+	Seed   int64   `json:"seed"`
+	Tool   string  `json:"tool"`
+	Table2 *struct {
+		Rows []struct {
+			Arch    string
+			ProvOps int64
+		}
+	} `json:"table2"`
+	Table3 *struct {
+		Rows []struct {
+			Query   string
+			Arch    string
+			Ops     int64
+			Results int
+		}
+	} `json:"table3"`
+	Dataset *struct {
+		Objects    int64
+		Transients int64
+	} `json:"dataset"`
+}
+
+func load(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != "passbench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, r.Schema)
+	}
+	return &r, nil
+}
+
+// events is the write-path event count the per-event ratio normalizes by:
+// persistent objects plus transient versions.
+func (r *report) events() int64 {
+	if r.Dataset == nil {
+		return 0
+	}
+	return r.Dataset.Objects + r.Dataset.Transients
+}
+
+func main() {
+	tol := flag.Float64("tol", 0, "allowed fractional regression (0.02 = 2%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatal("usage: benchdiff [-tol f] old.json new.json")
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if oldRep.Scale != newRep.Scale || oldRep.Seed != newRep.Seed || oldRep.Tool != newRep.Tool {
+		fmt.Printf("benchdiff: baselines not comparable (scale/seed/tool %v/%d/%s vs %v/%d/%s); skipping\n",
+			oldRep.Scale, oldRep.Seed, oldRep.Tool, newRep.Scale, newRep.Seed, newRep.Tool)
+		return
+	}
+
+	failed := false
+	check := func(metric string, oldV, newV int64) {
+		if oldV <= 0 {
+			// A metric appearing from zero is still a cost regression.
+			if newV > 0 {
+				fmt.Printf("%-40s old=%-8d new=%-8d  REGRESSION (new cost)\n", metric, oldV, newV)
+				failed = true
+			}
+			return
+		}
+		delta := float64(newV-oldV) / float64(oldV)
+		status := "ok"
+		if delta > *tol {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s old=%-8d new=%-8d delta=%+.2f%%  %s\n", metric, oldV, newV, 100*delta, status)
+	}
+
+	// Write path: Table 2 provenance ops per architecture (same scale and
+	// seed means the same event stream, so raw ops compare directly; the
+	// per-event ratio is printed for the trajectory log).
+	if oldRep.Table2 != nil && newRep.Table2 != nil {
+		newOps := map[string]int64{}
+		for _, row := range newRep.Table2.Rows {
+			newOps[row.Arch] = row.ProvOps
+		}
+		for _, row := range oldRep.Table2.Rows {
+			ops, ok := newOps[row.Arch]
+			if !ok {
+				fmt.Printf("%-40s missing in new report  REGRESSION\n", "table2/provops/"+row.Arch)
+				failed = true
+				continue
+			}
+			check("table2/provops/"+row.Arch, row.ProvOps, ops)
+		}
+		if ev, nev := oldRep.events(), newRep.events(); ev > 0 && nev > 0 {
+			for _, row := range newRep.Table2.Rows {
+				fmt.Printf("%-40s %.3f cloudops/event\n", "table2/opsperevent/"+row.Arch,
+					float64(row.ProvOps)/float64(nev))
+			}
+		}
+	}
+
+	// Query path: Table 3 ops per query class and backend, plus a result-
+	// count identity check (a faster query returning different answers is
+	// not an improvement).
+	if oldRep.Table3 != nil && newRep.Table3 != nil {
+		type key struct{ q, arch string }
+		newRows := map[key]struct {
+			ops     int64
+			results int
+		}{}
+		for _, row := range newRep.Table3.Rows {
+			newRows[key{row.Query, row.Arch}] = struct {
+				ops     int64
+				results int
+			}{row.Ops, row.Results}
+		}
+		for _, row := range oldRep.Table3.Rows {
+			n, ok := newRows[key{row.Query, row.Arch}]
+			if !ok {
+				fmt.Printf("%-40s missing in new report  REGRESSION\n", "table3/"+row.Query+"/"+row.Arch)
+				failed = true
+				continue
+			}
+			check("table3/ops/"+row.Query+"/"+row.Arch, row.Ops, n.ops)
+			if n.results != row.Results {
+				fmt.Printf("%-40s results %d -> %d  REGRESSION (answers changed)\n",
+					"table3/results/"+row.Query+"/"+row.Arch, row.Results, n.results)
+				failed = true
+			}
+		}
+	}
+
+	if failed {
+		fmt.Println("benchdiff: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}

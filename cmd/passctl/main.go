@@ -30,12 +30,27 @@
 //	outputs TOOL                 Q.2: files written by TOOL
 //	descendants TOOL             Q.3: everything derived from TOOL's outputs
 //	ancestors PATH               full ancestry of PATH's current version
+//	query [flags]                composable Query API v2 (see below)
 //	usage                        the cloud bill so far
+//
+// The query command drives the composable v2 API, both as a script command
+// and as a subcommand (`passctl query -script setup.txt -tool blast`; the
+// setup script populates the in-process cloud first):
+//
+//	query -tool blast -type file          Q.2 as a descriptor
+//	query -attr argv=-x -prefix /out/     attribute + ref-prefix filters
+//	query -tool blast -descendants        Q.3 as a descriptor
+//	query -ancestors -ref /out/a:0        ancestry walk
+//	query -limit 2                        paginate (prints a resume cursor)
+//	query -limit 2 -cursor last           resume the previous query's cursor
+//	query -explain -tool blast            predicted cost plan, no execution
+//	query -json -tool blast               machine-readable entries + cursor
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -66,9 +81,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	args := flag.Args()
+	if len(args) > 0 && args[0] == "query" {
+		// Subcommand form: populate from -script (or stdin), then run the
+		// one query end to end.
+		if err := runQuerySubcommand(client, args[1:], os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	in := io.Reader(os.Stdin)
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,6 +103,31 @@ func main() {
 	if err := run(client, in, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runQuerySubcommand parses query flags (plus -script for the setup
+// commands) and executes one query against the populated client.
+func runQuerySubcommand(client *passcloud.Client, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	script := fs.String("script", "", "setup script to run first (default: stdin)")
+	opts, err := parseQueryFlags(fs, args)
+	if err != nil {
+		return err
+	}
+	in := io.Reader(os.Stdin)
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	state := &session{}
+	if err := runSession(client, in, out, state); err != nil {
+		return err
+	}
+	return execQuery(client, opts, state, out)
 }
 
 func parseArch(name string) (passcloud.Architecture, error) {
@@ -93,10 +143,25 @@ func parseArch(name string) (passcloud.Architecture, error) {
 	}
 }
 
-// run interprets the script.
+// session is the interpreter state that survives across script lines: the
+// process handles and the last query's resume cursor (for `-cursor last`).
+type session struct {
+	procs      map[string]*passcloud.Process
+	lastCursor string
+}
+
+// run interprets the script with a fresh session.
 func run(client *passcloud.Client, in io.Reader, out io.Writer) error {
+	return runSession(client, in, out, &session{})
+}
+
+// runSession interprets the script.
+func runSession(client *passcloud.Client, in io.Reader, out io.Writer, state *session) error {
 	ctx := context.Background()
-	procs := make(map[string]*passcloud.Process)
+	if state.procs == nil {
+		state.procs = make(map[string]*passcloud.Process)
+	}
+	procs := state.procs
 	scanner := bufio.NewScanner(in)
 	lineNo := 0
 
@@ -276,6 +341,15 @@ func run(client *passcloud.Client, in io.Reader, out io.Writer) error {
 				return fail(err)
 			}
 			printRefs(out, refs)
+		case "query":
+			fs := flag.NewFlagSet("query", flag.ContinueOnError)
+			opts, err := parseQueryFlags(fs, args)
+			if err != nil {
+				return fail(err)
+			}
+			if err := execQuery(client, opts, state, out); err != nil {
+				return fail(err)
+			}
 		case "usage":
 			u := client.Usage()
 			fmt.Fprintf(out, "ops: s3=%d sdb=%d sqs=%d | stored: %d bytes | in/out: %d/%d | $%.4f\n",
@@ -304,4 +378,151 @@ func truncate(s string, n int) string {
 		return s
 	}
 	return s[:n] + "..."
+}
+
+// queryOpts is one parsed query invocation.
+type queryOpts struct {
+	spec    passcloud.QuerySpec
+	explain bool
+	jsonOut bool
+	full    bool
+}
+
+// attrFlags collects repeatable -attr k=v pairs.
+type attrFlags map[string]string
+
+func (a attrFlags) String() string { return fmt.Sprintf("%v", map[string]string(a)) }
+
+func (a attrFlags) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("-attr wants k=v, got %q", v)
+	}
+	a[k] = val
+	return nil
+}
+
+// parseQueryFlags registers the query flag set on fs and parses args.
+func parseQueryFlags(fs *flag.FlagSet, args []string) (queryOpts, error) {
+	var o queryOpts
+	attrs := attrFlags{}
+	fs.StringVar(&o.spec.Tool, "tool", "", "filter: outputs of this tool (Q.2 when combined with -type file)")
+	fs.StringVar(&o.spec.Type, "type", "", "filter: object type (file | process | pipe)")
+	fs.Var(attrs, "attr", "filter: attribute k=v (repeatable)")
+	fs.StringVar(&o.spec.RefPrefix, "prefix", "", "filter: object:version prefix")
+	ref := fs.String("ref", "", "filter: exact object:version seed (repeatable via commas)")
+	descendants := fs.Bool("descendants", false, "traverse: everything derived from the matches (Q.3 shape)")
+	ancestors := fs.Bool("ancestors", false, "traverse: full ancestry of the matches")
+	includeSeeds := fs.Bool("include-seeds", false, "traversal results may include matched seeds")
+	fs.IntVar(&o.spec.Depth, "depth", 0, "traversal depth limit (0 = unlimited)")
+	fs.IntVar(&o.spec.Limit, "limit", 0, "page size (0 = everything)")
+	fs.StringVar(&o.spec.Cursor, "cursor", "", "resume cursor; \"last\" reuses the previous query's")
+	fs.BoolVar(&o.full, "full", false, "include provenance records in the results")
+	fs.BoolVar(&o.explain, "explain", false, "print the predicted cost plan instead of running")
+	fs.BoolVar(&o.jsonOut, "json", false, "machine-readable output")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if len(fs.Args()) > 0 {
+		return o, fmt.Errorf("query: unexpected arguments %v", fs.Args())
+	}
+	if *descendants && *ancestors {
+		return o, fmt.Errorf("query: -descendants and -ancestors are mutually exclusive")
+	}
+	if *descendants {
+		o.spec.Direction = passcloud.TraverseDescendants
+	}
+	if *ancestors {
+		o.spec.Direction = passcloud.TraverseAncestors
+	}
+	o.spec.IncludeSeeds = *includeSeeds
+	if len(attrs) > 0 {
+		o.spec.Attrs = attrs
+	}
+	if *ref != "" {
+		for _, rs := range strings.Split(*ref, ",") {
+			// The version is the digits after the LAST colon, so object
+			// names may themselves contain colons.
+			i := strings.LastIndexByte(rs, ':')
+			if i <= 0 {
+				return o, fmt.Errorf("query: malformed -ref %q (want object:version)", rs)
+			}
+			v, err := strconv.Atoi(rs[i+1:])
+			if err != nil {
+				return o, fmt.Errorf("query: malformed -ref version in %q", rs)
+			}
+			o.spec.Refs = append(o.spec.Refs, passcloud.Ref{Object: rs[:i], Version: v})
+		}
+	}
+	o.spec.RefsOnly = !o.full
+	return o, nil
+}
+
+// queryJSON is the -json output shape.
+type queryJSON struct {
+	Entries []jsonEntry          `json:"entries,omitempty"`
+	Cursor  string               `json:"cursor,omitempty"`
+	Plan    *passcloud.QueryPlan `json:"plan,omitempty"`
+}
+
+type jsonEntry struct {
+	Ref     string              `json:"ref"`
+	Records map[string][]string `json:"records,omitempty"`
+}
+
+// execQuery runs (or explains) one parsed query against the client.
+func execQuery(client *passcloud.Client, o queryOpts, state *session, out io.Writer) error {
+	if o.spec.Cursor == "last" {
+		if state.lastCursor == "" {
+			// The previous page sequence is complete (or none started):
+			// resuming past the end yields nothing rather than wrapping
+			// around to a fresh first page.
+			fmt.Fprintln(out, "  (none)")
+			return nil
+		}
+		o.spec.Cursor = state.lastCursor
+	}
+	if o.explain {
+		plan, err := client.Explain(o.spec)
+		if err != nil {
+			return err
+		}
+		if o.jsonOut {
+			return json.NewEncoder(out).Encode(queryJSON{Plan: &plan})
+		}
+		fmt.Fprintln(out, plan)
+		return nil
+	}
+	res, err := client.Search(context.Background(), o.spec)
+	if err != nil {
+		return err
+	}
+	state.lastCursor = res.Cursor
+	if o.jsonOut {
+		rep := queryJSON{Cursor: res.Cursor}
+		for _, e := range res.Entries {
+			je := jsonEntry{Ref: e.Ref.String()}
+			if len(e.Records) > 0 {
+				je.Records = make(map[string][]string)
+				for _, r := range e.Records {
+					je.Records[r.Attr] = append(je.Records[r.Attr], r.Value)
+				}
+			}
+			rep.Entries = append(rep.Entries, je)
+		}
+		return json.NewEncoder(out).Encode(rep)
+	}
+	if len(res.Entries) == 0 {
+		fmt.Fprintln(out, "  (none)")
+	}
+	for _, e := range res.Entries {
+		fmt.Fprintf(out, "  %s\n", e.Ref)
+		for _, r := range e.Records {
+			fmt.Fprintf(out, "    %s = %s\n", r.Attr, truncate(r.Value, 60))
+		}
+	}
+	if res.Cursor != "" {
+		fmt.Fprintf(out, "  cursor %s\n", res.Cursor)
+	}
+	return nil
 }

@@ -113,3 +113,110 @@ func TestCommentsAndBlankLines(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestScriptQueryCommand(t *testing.T) {
+	script := `
+ingest /data/a one
+ingest /data/b two
+ingest /data/c three
+exec analyze
+read analyze /data/a
+write analyze /out/result the result
+close analyze /out/result
+exit analyze
+sync
+settle
+query -tool analyze -type file
+query -tool analyze -descendants
+query -type file -full
+query -prefix /data/ -limit 2
+query -limit 2 -cursor last -prefix /data/
+query -explain -tool renderer -type file
+`
+	var out strings.Builder
+	if err := run(newClient(t), strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"/out/result:0",        // tool query hit
+		"type = file",          // -full shows records
+		"cursor ",              // paginated query printed a resume cursor
+		"plan arch=s3+sdb+sqs", // explain output
+		"strategy=",            // explain strategy
+		"pushdown ['name'",     // the pushed predicate appears in the plan
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestScriptQueryCursorResumption drives pagination end to end: two pages
+// of two over four objects, resumed via `-cursor last`, with no overlap.
+func TestScriptQueryCursorResumption(t *testing.T) {
+	script := `
+ingest /d/1 a
+ingest /d/2 b
+ingest /d/3 c
+ingest /d/4 d
+sync
+settle
+query -prefix /d/ -limit 2
+query -prefix /d/ -limit 2 -cursor last
+query -prefix /d/ -limit 2 -cursor last
+`
+	var out strings.Builder
+	if err := run(newClient(t), strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for i := 1; i <= 4; i++ {
+		ref := "/d/" + string(rune('0'+i)) + ":0"
+		if n := strings.Count(got, ref+"\n"); n != 1 {
+			t.Fatalf("ref %s appeared %d times (want once):\n%s", ref, n, got)
+		}
+	}
+	// Page two ends exactly at the result set's end, so only page one
+	// printed a cursor; the third query reports the completed sequence.
+	if n := strings.Count(got, "cursor "); n != 1 {
+		t.Fatalf("want exactly 1 printed cursor, got %d:\n%s", n, got)
+	}
+	if !strings.Contains(got, "(none)") {
+		t.Fatalf("resuming a completed sequence must print (none):\n%s", got)
+	}
+}
+
+func TestScriptQueryJSON(t *testing.T) {
+	script := `
+ingest /data/a one
+sync
+settle
+query -json -prefix /data/ -full
+query -json -explain
+`
+	var out strings.Builder
+	if err := run(newClient(t), strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{`"ref":"/data/a:0"`, `"records"`, `"plan"`, `"est`} {
+		if !strings.Contains(strings.ToLower(got), strings.ToLower(want)) {
+			t.Fatalf("json output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestQuerySubcommandFlagErrors(t *testing.T) {
+	cases := []string{
+		"query -descendants -ancestors",
+		"query -attr noequals",
+		"query -ref malformed",
+		"query -depth 2", // depth without a direction
+	}
+	for _, script := range cases {
+		if err := run(newClient(t), strings.NewReader(script), &strings.Builder{}); err == nil {
+			t.Fatalf("script %q accepted", script)
+		}
+	}
+}

@@ -100,20 +100,37 @@ func main() {
 	must(err)
 	fmt.Printf("found shared result %s (%q)\n\n", obj.Ref, obj.Data)
 
-	ancestors, err := bureau.Ancestors(ctx, obj.Ref)
+	// The v2 query API answers "where did this come from?" with one
+	// composable descriptor: walk input edges from the result, records
+	// included — no per-ancestor follow-up calls.
+	ancestry, err := bureau.Search(ctx, passcloud.QuerySpec{
+		Refs:      []passcloud.Ref{obj.Ref},
+		Direction: passcloud.TraverseAncestors,
+	})
 	must(err)
 	fmt.Println("complete cross-client ancestry:")
-	for _, a := range ancestors {
-		records, err := bureau.Provenance(ctx, a)
-		must(err)
+	var ancestors []passcloud.Ref
+	for _, e := range ancestry.Entries {
+		ancestors = append(ancestors, e.Ref)
 		detail := ""
-		for _, r := range records {
+		for _, r := range e.Records {
 			if r.Attr == "argv" {
 				detail = " — " + r.Value
 			}
 		}
-		fmt.Printf("  %s%s\n", a, detail)
+		fmt.Printf("  %s%s\n", e.Ref, detail)
 	}
+
+	// The same surface answers parameterized questions the fixed verbs
+	// never could: which files under /shared/ derive from tools run on
+	// the Odyssey grid?
+	odyssey, err := bureau.Search(ctx, passcloud.QuerySpec{
+		Attrs:     map[string]string{"env": "LAB=harvard GRID=odyssey"},
+		RefPrefix: "proc/",
+		RefsOnly:  true,
+	})
+	must(err)
+	fmt.Printf("\ntools run on the Odyssey grid: %d\n", len(odyssey.Entries))
 
 	// The ancestry must reach the census release itself.
 	for _, a := range ancestors {

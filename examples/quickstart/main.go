@@ -69,18 +69,46 @@ func main() {
 		fmt.Printf("  %-6s = %s\n", r.Attr, r.Value)
 	}
 
-	// Lineage queries are indexed (Table 1: efficient query).
-	outputs, err := client.OutputsOf(ctx, "smooth")
+	// Lineage questions are composable Query API v2 descriptors: filters
+	// (tool, type, attributes, ref prefix), an optional traversal, and a
+	// projection. The backend compiles each into its cheapest plan —
+	// indexed on SimpleDB (Table 1: efficient query).
+	outputs, err := client.Search(ctx, passcloud.QuerySpec{
+		Tool:     "smooth",
+		Type:     "file",
+		RefsOnly: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("files produced by smooth: %v\n", outputs)
+	fmt.Printf("files produced by smooth:")
+	for _, e := range outputs.Entries {
+		fmt.Printf(" %s", e.Ref)
+	}
+	fmt.Println()
 
-	ancestors, err := client.Ancestors(ctx, obj.Ref)
+	// The same surface answers ancestry: traverse input edges from a seed.
+	ancestors, err := client.Search(ctx, passcloud.QuerySpec{
+		Refs:      []passcloud.Ref{obj.Ref},
+		Direction: passcloud.TraverseAncestors,
+		RefsOnly:  true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("full ancestry of %s: %v\n", obj.Ref, ancestors)
+	fmt.Printf("full ancestry of %s:", obj.Ref)
+	for _, e := range ancestors.Entries {
+		fmt.Printf(" %s", e.Ref)
+	}
+	fmt.Println()
+
+	// Explain predicts a query's cloud cost before running it.
+	plan, err := client.Explain(passcloud.QuerySpec{Tool: "smooth", Type: "file", RefsOnly: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query plan: strategy=%s, predicted ops=%d, cached=%v\n",
+		plan.Strategy, plan.EstOps, plan.Cached)
 
 	// Every simulated AWS call was metered at January-2009 prices.
 	u := client.Usage()

@@ -110,7 +110,7 @@ func TestCausalOrderingSurvivesMidWorkloadCrash(t *testing.T) {
 			// Whatever is retrievable must be causally complete: every
 			// input reference of every surviving subject resolves.
 			q := st.(core.Querier)
-			all, err := q.AllProvenance(ctx)
+			all, err := core.AllProvenance(ctx, q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -168,15 +168,15 @@ func TestWorkloadAnswersIdenticalAcrossArchitectures(t *testing.T) {
 		}
 		cl.Settle()
 		q := st.(core.Querier)
-		all, err := q.AllProvenance(ctx)
+		all, err := core.AllProvenance(ctx, q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		outputs, err := q.OutputsOf(ctx, tool)
+		outputs, err := core.OutputsOf(ctx, q, tool)
 		if err != nil {
 			t.Fatal(err)
 		}
-		desc, err := q.DescendantsOfOutputs(ctx, tool)
+		desc, err := core.DescendantsOfOutputs(ctx, q, tool)
 		if err != nil {
 			t.Fatal(err)
 		}

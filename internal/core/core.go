@@ -122,27 +122,26 @@ type Properties struct {
 // ReadCorrectness is the composite property: atomicity and consistency.
 func (p Properties) ReadCorrectness() bool { return p.Atomicity && p.Consistency }
 
-// Querier answers the evaluation's three query classes (Table 3). All three
-// architectures implement it; the S3-only implementation necessarily scans.
+// Querier is the composable query surface every architecture implements:
+// one entrypoint taking a prov.Query descriptor, plus a cost planner. The
+// evaluation's fixed query classes (Table 3) are descriptor compilations —
+// see the package-level AllProvenance, OutputsOf, DescendantsOfOutputs and
+// Dependents helpers — and each backend's native plan reproduces the
+// fixed verbs' exact cloud ops.
 type Querier interface {
-	// AllProvenance retrieves the provenance of every object version in
-	// the repository — Q.1 "performed on all objects".
-	AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, error)
+	// Query answers one descriptor, streaming entries. A non-nil error
+	// ends the sequence (its entry is zero); breaking early is allowed
+	// and releases the underlying scan. For paginated descriptors
+	// (Limit/Cursor set) the last entry of a truncated page carries the
+	// resume cursor.
+	Query(ctx context.Context, q prov.Query) iter.Seq2[Entry, error]
 
-	// OutputsOf finds every file version written by an instance of the
-	// named tool — Q.2 ("all the files that were outputs of blast").
-	OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error)
-
-	// DescendantsOfOutputs finds everything transitively derived from the
-	// named tool's outputs — Q.3 ("all the descendants of files derived
-	// from blast").
-	DescendantsOfOutputs(ctx context.Context, tool string) ([]prov.Ref, error)
-
-	// Dependents finds every object version that lists any version of
-	// object among its inputs. It powers the provenance-aware deletion
-	// guard (the paper's §7 direction: "how a cloud might take advantage
-	// of this provenance").
-	Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Ref, error)
+	// Explain predicts the cloud cost of Query(q) without running it —
+	// the Table 3 cost model extended to arbitrary descriptors. The
+	// prediction uses client-side planner statistics: exact for the ops
+	// this client performed itself, an estimate when other clients write
+	// to the shared region.
+	Explain(q prov.Query) QueryPlan
 }
 
 // Entry is one object version's provenance, as yielded by streaming
@@ -150,6 +149,80 @@ type Querier interface {
 type Entry struct {
 	Ref     prov.Ref
 	Records []prov.Record
+	// Cursor is set only on the last entry of a truncated page of a
+	// paginated query: pass it back via prov.Query.Cursor to resume.
+	Cursor string
+}
+
+// --- fixed-verb wrappers -----------------------------------------------------
+//
+// Deprecated surface: each verb compiles to a prov.Query descriptor and
+// runs through the one Querier entrypoint. They remain because the paper's
+// evaluation is phrased in these verbs; new callers should build
+// descriptors directly.
+
+// AllProvenance retrieves the provenance of every object version in the
+// repository — Q.1 "performed on all objects" — materialized as a map.
+//
+// Deprecated: build prov.Q1() and use Querier.Query.
+func AllProvenance(ctx context.Context, q Querier) (map[prov.Ref][]prov.Record, error) {
+	out := make(map[prov.Ref][]prov.Record)
+	for entry, err := range q.Query(ctx, prov.Q1()) {
+		if err != nil {
+			return nil, err
+		}
+		out[entry.Ref] = append(out[entry.Ref], entry.Records...)
+	}
+	return out, nil
+}
+
+// OutputsOf finds every file version written by an instance of the named
+// tool — Q.2 ("all the files that were outputs of blast").
+//
+// Deprecated: build prov.QOutputsOf and use Querier.Query.
+func OutputsOf(ctx context.Context, q Querier, tool string) ([]prov.Ref, error) {
+	return CollectRefs(q.Query(ctx, prov.QOutputsOf(tool)))
+}
+
+// DescendantsOfOutputs finds everything transitively derived from the named
+// tool's outputs — Q.3 ("all the descendants of files derived from blast").
+//
+// Deprecated: build prov.QDescendantsOfOutputs and use Querier.Query.
+func DescendantsOfOutputs(ctx context.Context, q Querier, tool string) ([]prov.Ref, error) {
+	return CollectRefs(q.Query(ctx, prov.QDescendantsOfOutputs(tool)))
+}
+
+// Dependents finds every object version that lists any version of object
+// among its inputs. It powers the provenance-aware deletion guard (the
+// paper's §7 direction).
+//
+// Deprecated: build prov.QDependents and use Querier.Query.
+func Dependents(ctx context.Context, q Querier, object prov.ObjectID) ([]prov.Ref, error) {
+	return CollectRefs(q.Query(ctx, prov.QDependents(object)))
+}
+
+// CollectRefs drains a query stream into its references.
+func CollectRefs(seq iter.Seq2[Entry, error]) ([]prov.Ref, error) {
+	var out []prov.Ref
+	for entry, err := range seq {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry.Ref)
+	}
+	return out, nil
+}
+
+// CollectEntries drains a query stream into a slice.
+func CollectEntries(seq iter.Seq2[Entry, error]) ([]Entry, error) {
+	var out []Entry
+	for entry, err := range seq {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry)
+	}
+	return out, nil
 }
 
 // GraphQuerier is implemented by stores that can hand out the repository's
@@ -169,7 +242,7 @@ func ProvenanceGraph(ctx context.Context, q Querier) (*prov.Graph, error) {
 		return gq.ProvenanceGraph(ctx)
 	}
 	g := prov.NewGraph()
-	for entry, err := range AllProvenanceSeq(ctx, q) {
+	for entry, err := range q.Query(ctx, prov.Q1()) {
 		if err != nil {
 			return nil, err
 		}
@@ -178,34 +251,10 @@ func ProvenanceGraph(ctx context.Context, q Querier) (*prov.Graph, error) {
 	return g, nil
 }
 
-// StreamQuerier is implemented by stores whose repository-wide queries can
-// stream results instead of materializing the whole graph. The sequence
-// yields one Entry per object version; a non-nil error ends the sequence
-// (the Entry accompanying an error is zero). Stopping early (break) is
-// allowed and releases the underlying scan.
-type StreamQuerier interface {
-	// AllProvenanceSeq streams the provenance of every object version in
-	// the repository — Q.1 "performed on all objects" without holding the
-	// repository in memory.
-	AllProvenanceSeq(ctx context.Context) iter.Seq2[Entry, error]
-}
-
-// AllProvenanceSeq streams s's repository provenance, falling back to a
-// materialized AllProvenance pass for stores without native streaming.
+// AllProvenanceSeq streams q's repository provenance — the Q.1 descriptor
+// through the one query entrypoint.
+//
+// Deprecated: build prov.Q1() and use Querier.Query.
 func AllProvenanceSeq(ctx context.Context, q Querier) iter.Seq2[Entry, error] {
-	if sq, ok := q.(StreamQuerier); ok {
-		return sq.AllProvenanceSeq(ctx)
-	}
-	return func(yield func(Entry, error) bool) {
-		all, err := q.AllProvenance(ctx)
-		if err != nil {
-			yield(Entry{}, err)
-			return
-		}
-		for ref, records := range all {
-			if !yield(Entry{Ref: ref, Records: records}, nil) {
-				return
-			}
-		}
-	}
+	return q.Query(ctx, prov.Q1())
 }

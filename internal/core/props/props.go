@@ -359,7 +359,7 @@ func checkCausalOrdering(ctx context.Context, h Harness) (bool, []string, error)
 	if !ok {
 		return false, nil, errors.New("store is not a Querier")
 	}
-	all, err := q.AllProvenance(ctx)
+	all, err := core.AllProvenance(ctx, q)
 	if err != nil {
 		return false, nil, err
 	}
@@ -415,7 +415,7 @@ func checkEfficientQuery(ctx context.Context, h Harness) (bool, int64, int, erro
 		return false, 0, 0, errors.New("store is not a Querier")
 	}
 	before := env.Cloud.Usage().TotalOps()
-	outputs, err := q.OutputsOf(ctx, "blast")
+	outputs, err := core.OutputsOf(ctx, q, "blast")
 	if err != nil {
 		return false, 0, 0, err
 	}

@@ -109,6 +109,48 @@ func regionWrites(cl *cloud.Cloud) uint64 {
 	return uint64(cl.Meter.OpSum(mutatingOps))
 }
 
+// WriteTracker attributes the region's metered mutations to this client:
+// every write path the client owns runs under Track, and whatever the
+// region meters beyond that was written by somebody else. Query planners
+// use Foreign to downgrade their predictions from exact to estimate —
+// their statistics catalogs only mirror this client's own writes.
+//
+// Attribution samples the meter around each tracked section, so mutations
+// a *concurrent* foreign writer lands inside this client's write window
+// are misattributed as own; the tracker is a planner heuristic, not an
+// audit log.
+type WriteTracker struct {
+	cl  *cloud.Cloud
+	own atomic.Int64
+}
+
+// NewWriteTracker builds a tracker for cl. Mutations metered before the
+// tracker existed (a pre-populated shared region) count as foreign: the
+// client's planner never observed them.
+func NewWriteTracker(cl *cloud.Cloud) *WriteTracker {
+	return &WriteTracker{cl: cl}
+}
+
+// Track runs one of this client's write sections, attributing the
+// mutations it meters to the client.
+func (t *WriteTracker) Track(f func() error) error {
+	before := regionWrites(t.cl)
+	err := f()
+	t.own.Add(int64(regionWrites(t.cl) - before))
+	return err
+}
+
+// Foreign reports how many of the region's metered mutations this client
+// did not perform itself (clamped at zero under concurrent-window
+// misattribution).
+func (t *WriteTracker) Foreign() uint64 {
+	total := int64(regionWrites(t.cl))
+	if own := t.own.Load(); total > own {
+		return uint64(total - own)
+	}
+	return 0
+}
+
 // Stats counts cache outcomes; tests and benchmarks read it to prove that
 // repeated queries stop touching the cloud.
 type Stats struct {
@@ -170,6 +212,42 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// Warm reports whether a graph snapshot for the current stamp is resident —
+// a pure peek (no counters move, nothing builds). Query planners use it to
+// predict that a scan-backed query will cost zero cloud ops.
+func (c *Cache) Warm() bool {
+	now := c.stamp()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.graph != nil && c.graphStamp == now
+}
+
+// PeekGraph returns the resident snapshot when it is valid at the current
+// stamp, else nil — a pure peek that never builds. The returned graph is
+// shared: read-only.
+func (c *Cache) PeekGraph() *prov.Graph {
+	now := c.stamp()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.graph != nil && c.graphStamp == now {
+		return c.graph
+	}
+	return nil
+}
+
+// HasRefs reports whether a memoized result for key is resident at the
+// current stamp — a pure peek for query planners.
+func (c *Cache) HasRefs(key string) bool {
+	now := c.stamp()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.refStamp != now {
+		return false
+	}
+	_, ok := c.refs[key]
+	return ok
 }
 
 // Graph returns the provenance-graph snapshot for the current stamp,

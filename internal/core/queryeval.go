@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"passcloud/internal/prov"
+)
+
+// This file is the shared in-memory query evaluator: the reference
+// semantics of a prov.Query, executed against a materialized provenance
+// graph. Every backend uses it in two roles:
+//
+//   - as the fallback plan, whenever a descriptor (or a filter value) has
+//     no native pushdown — the backend materializes its graph once and
+//     evaluates here;
+//   - as the pushdown oracle: property tests run randomized descriptors
+//     through both a backend's native plan and this evaluator over the same
+//     records, and any disagreement is a pushdown bug.
+
+// EvalQuery evaluates q against g and returns the matching entries in
+// canonical (ref-sorted) order, projected per the descriptor. Pagination
+// fields (Limit, Cursor) are ignored — the paging layer slices the
+// evaluated result. The returned record slices are shared with g: callers
+// must treat them as read-only.
+func EvalQuery(g *prov.Graph, q prov.Query) []Entry {
+	refs := EvalQueryRefs(g, q)
+	out := make([]Entry, len(refs))
+	for i, r := range refs {
+		out[i] = Entry{Ref: r}
+		if q.Projection == prov.ProjectFull {
+			out[i].Records = g.Records(r)
+		}
+	}
+	return out
+}
+
+// EvalQueryRefs is EvalQuery's reference set: seeds filtered by the
+// descriptor, traversed if a direction is set, in canonical sorted order.
+func EvalQueryRefs(g *prov.Graph, q prov.Query) []prov.Ref {
+	seeds := evalSeeds(g, q)
+	if q.Direction == prov.TraverseNone {
+		sorted := append([]prov.Ref(nil), seeds...)
+		prov.SortRefs(sorted)
+		return sorted
+	}
+
+	next := g.Inputs
+	if q.Direction == prov.TraverseDescendants {
+		next = g.Children
+	}
+
+	isSeed := make(map[prov.Ref]bool, len(seeds))
+	for _, s := range seeds {
+		isSeed[s] = true
+	}
+
+	// Level-bounded BFS from the seeds. A node is a result when reached by
+	// the traversal; seeds count as results only when reached AND
+	// IncludeSeeds is set. visited guards expansion, found guards output.
+	visited := make(map[prov.Ref]bool, len(seeds))
+	found := make(map[prov.Ref]bool)
+	frontier := append([]prov.Ref(nil), seeds...)
+	for _, s := range seeds {
+		visited[s] = true
+	}
+	var out []prov.Ref
+	for level := 0; len(frontier) > 0 && (q.Depth == 0 || level < q.Depth); level++ {
+		var nextFrontier []prov.Ref
+		for _, r := range frontier {
+			for _, n := range next(r) {
+				if !found[n] && (q.IncludeSeeds || !isSeed[n]) {
+					found[n] = true
+					out = append(out, n)
+				}
+				if !visited[n] {
+					visited[n] = true
+					nextFrontier = append(nextFrontier, n)
+				}
+			}
+		}
+		frontier = nextFrontier
+	}
+	prov.SortRefs(out)
+	return out
+}
+
+// evalSeeds returns the seed set selected by q's filters, unordered.
+func evalSeeds(g *prov.Graph, q prov.Query) []prov.Ref {
+	if len(q.Refs) > 0 {
+		// Pinned seeds: exactly these versions, intersected with any other
+		// filters. Pinned refs need not exist in the graph (an ancestry
+		// walk may start at a version whose own records are elsewhere).
+		var out []prov.Ref
+		seen := make(map[prov.Ref]bool, len(q.Refs))
+		for _, r := range q.Refs {
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			if matchesFilters(g, r, q, true) {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	var out []prov.Ref
+	for _, subject := range g.Subjects() {
+		if matchesFilters(g, subject, q, false) {
+			out = append(out, subject)
+		}
+	}
+	return out
+}
+
+// matchesFilters reports whether ref passes every non-Refs filter of q.
+// pinned relaxes record-existence for descriptors that only pin refs.
+func matchesFilters(g *prov.Graph, ref prov.Ref, q prov.Query, pinned bool) bool {
+	if q.RefPrefix != "" && !strings.HasPrefix(ref.String(), q.RefPrefix) {
+		return false
+	}
+	attrs := q.AttrFilters()
+	if q.Tool == "" && len(attrs) == 0 {
+		return true
+	}
+	if !g.Has(ref) && !pinned {
+		return false
+	}
+	for _, f := range attrs {
+		if !MatchRecords(g.Records(ref), f.Attr, f.Value) {
+			return false
+		}
+	}
+	if q.Tool != "" {
+		ok := false
+		for _, in := range g.Inputs(ref) {
+			if MatchRecords(g.Records(in), prov.AttrName, q.Tool) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchRecords reports whether any record asserts attr = value — the
+// multi-valued-attribute rule SimpleDB predicates follow, applied to
+// decoded records.
+func MatchRecords(records []prov.Record, attr, value string) bool {
+	for _, r := range records {
+		if r.Attr == attr && r.Value.String() == value {
+			return true
+		}
+	}
+	return false
+}
+
+// SortEntries orders entries canonically by ref — the stable total order
+// pagination slices.
+func SortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Ref.Object != entries[j].Ref.Object {
+			return entries[i].Ref.Object < entries[j].Ref.Object
+		}
+		return entries[i].Ref.Version < entries[j].Ref.Version
+	})
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"context"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync"
+
+	"passcloud/internal/prov"
+)
+
+// This file holds the query planner's public shapes (QueryPlan, PlanStep),
+// the opaque pagination cursor, and the snapshot-pinned paging runner every
+// backend shares.
+
+// PlanStep is one predicted cloud operation class of a query plan.
+type PlanStep struct {
+	// Service is the metered service ("S3", "SimpleDB") or "-" for
+	// client-side work.
+	Service string
+	// Op is the operation ("Select", "GetAttributes", "QueryWithAttributes",
+	// "LIST", "HEAD", "GET", ...).
+	Op string
+	// Count is the predicted number of calls.
+	Count int64
+	// Note explains the step ("one page per 2500 items", ...).
+	Note string
+}
+
+// QueryPlan is Explain's answer: how a backend will execute a descriptor
+// and what it predicts the execution will cost — the paper's Table 3 cost
+// model extended from three fixed queries to arbitrary descriptors.
+type QueryPlan struct {
+	// Arch names the architecture that produced the plan.
+	Arch string
+	// Strategy names the chosen plan shape: "snapshot" (serve from the
+	// warm cache), "scan" (full repository scan), "indexed-two-phase"
+	// (instances then dependents), "indexed-pushdown" (predicates in the
+	// backend expression), "indexed-prefix" (starts-with traversal),
+	// "item-listing", "graph-walk", "pinned-page", "memo".
+	Strategy string
+	// Pushdown lists the predicate expressions evaluated inside the
+	// backend rather than client-side.
+	Pushdown []string
+	// Steps breaks the prediction down per operation class.
+	Steps []PlanStep
+	// EstOps is the predicted total cloud operations.
+	EstOps int64
+	// Cached is true when a warm snapshot or memoized result answers the
+	// query without touching the cloud (EstOps 0).
+	Cached bool
+	// Exact is true when the prediction derives from complete planner
+	// statistics (this client performed every write). Writes by other
+	// clients of a shared region degrade predictions to estimates.
+	Exact bool
+}
+
+// AddStep appends a step and accumulates its count into EstOps.
+func (p *QueryPlan) AddStep(service, op string, count int64, note string) {
+	p.Steps = append(p.Steps, PlanStep{Service: service, Op: op, Count: count, Note: note})
+	if service != "-" {
+		p.EstOps += count
+	}
+}
+
+// String renders a compact multi-line form for CLI output.
+func (p QueryPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan arch=%s strategy=%s est_ops=%d", p.Arch, p.Strategy, p.EstOps)
+	if p.Cached {
+		b.WriteString(" (cached)")
+	}
+	if !p.Exact {
+		b.WriteString(" (estimate)")
+	}
+	for _, pd := range p.Pushdown {
+		fmt.Fprintf(&b, "\n  pushdown %s", pd)
+	}
+	for _, s := range p.Steps {
+		fmt.Fprintf(&b, "\n  step %s/%s x%d", s.Service, s.Op, s.Count)
+		if s.Note != "" {
+			fmt.Fprintf(&b, "  -- %s", s.Note)
+		}
+	}
+	return b.String()
+}
+
+// PlanPages is the shared page-count model: how many paged calls a backend
+// needs to return n results at pageLimit per page. Zero results still cost
+// the one call that discovers there are none.
+func PlanPages(n, pageLimit int) int64 {
+	if n <= 0 {
+		return 1
+	}
+	return int64((n + pageLimit - 1) / pageLimit)
+}
+
+// --- cursors -----------------------------------------------------------------
+
+// Cursor errors.
+var (
+	// ErrBadCursor is returned for cursors this store never issued (or
+	// issued for a different descriptor).
+	ErrBadCursor = errors.New("core: malformed or mismatched query cursor")
+	// ErrCursorExpired is returned when a cursor's pinned snapshot has
+	// been evicted and the repository has changed since, so the page
+	// sequence can no longer be served consistently.
+	ErrCursorExpired = errors.New("core: query cursor expired")
+)
+
+// cursorState is the decoded form of an opaque cursor.
+type cursorState struct {
+	hash   uint64 // QueryHash of the logical query
+	stamp  string // snapshot generation the result set was evaluated at
+	offset int    // next entry index
+}
+
+// QueryHash fingerprints the logical query a cursor belongs to, so a cursor
+// cannot resume a different descriptor.
+func QueryHash(q prov.Query) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(q.Key()))
+	return h.Sum64()
+}
+
+// encodeCursor renders an opaque resume token.
+func encodeCursor(st cursorState) string {
+	raw := fmt.Sprintf("c1|%016x|%s|%d", st.hash, st.stamp, st.offset)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// decodeCursor parses an opaque resume token.
+func decodeCursor(s string) (cursorState, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return cursorState{}, fmt.Errorf("%w: %v", ErrBadCursor, err)
+	}
+	parts := strings.Split(string(raw), "|")
+	if len(parts) != 4 || parts[0] != "c1" {
+		return cursorState{}, ErrBadCursor
+	}
+	hash, err := strconv.ParseUint(parts[1], 16, 64)
+	if err != nil {
+		return cursorState{}, ErrBadCursor
+	}
+	offset, err := strconv.Atoi(parts[3])
+	if err != nil || offset < 0 {
+		return cursorState{}, ErrBadCursor
+	}
+	return cursorState{hash: hash, stamp: parts[2], offset: offset}, nil
+}
+
+// --- snapshot pins -----------------------------------------------------------
+
+// maxPins bounds how many evaluated result sets a store retains for
+// in-flight cursors. Oldest pins evict first; resuming an evicted cursor
+// after the repository changed returns ErrCursorExpired.
+const maxPins = 8
+
+// pin is one retained result set: the entries a paginated query evaluated
+// at one snapshot generation.
+type pin struct {
+	hash    uint64
+	stamp   string
+	entries []Entry
+}
+
+// Pins retains evaluated result sets for paginated queries, keyed by
+// (query, snapshot generation). Pinning is what keeps a page sequence
+// consistent across concurrent writes: later pages serve from the pinned
+// evaluation even after the live repository moved on. Safe for concurrent
+// use.
+type Pins struct {
+	mu   sync.Mutex
+	pins []*pin // append order; evict from the front
+}
+
+// put retains entries for (hash, stamp), replacing any previous pin.
+func (p *Pins) put(hash uint64, stamp string, entries []Entry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, pn := range p.pins {
+		if pn.hash == hash && pn.stamp == stamp {
+			p.pins = append(p.pins[:i], p.pins[i+1:]...)
+			break
+		}
+	}
+	p.pins = append(p.pins, &pin{hash: hash, stamp: stamp, entries: entries})
+	if len(p.pins) > maxPins {
+		p.pins = p.pins[len(p.pins)-maxPins:]
+	}
+}
+
+// get returns the pinned entries for (hash, stamp).
+func (p *Pins) get(hash uint64, stamp string) ([]Entry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pn := range p.pins {
+		if pn.hash == hash && pn.stamp == stamp {
+			return pn.entries, true
+		}
+	}
+	return nil, false
+}
+
+// RunPaged executes a paginated descriptor over a backend's full-evaluation
+// callback, yielding one page. The first page evaluates the query natively
+// (eval receives the descriptor with pagination stripped), sorts the result
+// canonically, and pins it under the current snapshot stamp; later pages
+// decode the cursor and serve the pinned evaluation — zero cloud ops, and
+// consistent even if writes landed in between. The last entry of a
+// truncated page carries the next cursor.
+func RunPaged(
+	ctx context.Context,
+	q prov.Query,
+	stamp string,
+	pins *Pins,
+	eval func(context.Context, prov.Query) ([]Entry, error),
+	yield func(Entry, error) bool,
+) {
+	hash := QueryHash(q)
+
+	evalAndPin := func(at string) ([]Entry, error) {
+		inner := q
+		inner.Limit, inner.Cursor = 0, ""
+		entries, err := eval(ctx, inner)
+		if err != nil {
+			return nil, err
+		}
+		SortEntries(entries)
+		pins.put(hash, at, entries)
+		return entries, nil
+	}
+
+	var entries []Entry
+	offset := 0
+	at := stamp
+	if q.Cursor != "" {
+		st, err := decodeCursor(q.Cursor)
+		if err != nil {
+			yield(Entry{}, err)
+			return
+		}
+		if st.hash != hash {
+			yield(Entry{}, fmt.Errorf("%w: cursor belongs to a different query", ErrBadCursor))
+			return
+		}
+		offset, at = st.offset, st.stamp
+		pinned, ok := pins.get(st.hash, st.stamp)
+		if !ok {
+			if st.stamp != stamp {
+				yield(Entry{}, ErrCursorExpired)
+				return
+			}
+			// The pin was evicted but the repository has not changed:
+			// re-evaluating reproduces the same result set (and the
+			// memoized refs usually make it free).
+			if pinned, err = evalAndPin(st.stamp); err != nil {
+				yield(Entry{}, err)
+				return
+			}
+		}
+		entries = pinned
+	} else {
+		var err error
+		if entries, err = evalAndPin(stamp); err != nil {
+			yield(Entry{}, err)
+			return
+		}
+	}
+
+	end := len(entries)
+	if q.Limit > 0 && offset+q.Limit < end {
+		end = offset + q.Limit
+	}
+	for i := offset; i < end; i++ {
+		e := entries[i]
+		if i == end-1 && end < len(entries) {
+			e.Cursor = encodeCursor(cursorState{hash: hash, stamp: at, offset: end})
+		}
+		if !yield(e, nil) {
+			return
+		}
+	}
+}

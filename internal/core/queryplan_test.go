@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"passcloud/internal/prov"
+)
+
+func pageRef(i int) prov.Ref {
+	return prov.Ref{Object: prov.ObjectID(fmt.Sprintf("/p/%02d", i)), Version: 0}
+}
+
+// runPage drives RunPaged once and collects the page.
+func runPage(t *testing.T, q prov.Query, stamp string, pins *Pins, eval func(context.Context, prov.Query) ([]Entry, error)) ([]Entry, string, error) {
+	t.Helper()
+	var out []Entry
+	var ferr error
+	RunPaged(context.Background(), q, stamp, pins, eval, func(e Entry, err error) bool {
+		if err != nil {
+			ferr = err
+			return false
+		}
+		out = append(out, e)
+		return true
+	})
+	cursor := ""
+	if len(out) > 0 {
+		cursor = out[len(out)-1].Cursor
+	}
+	return out, cursor, ferr
+}
+
+func TestRunPagedSequence(t *testing.T) {
+	evals := 0
+	eval := func(context.Context, prov.Query) ([]Entry, error) {
+		evals++
+		var out []Entry
+		for i := 4; i >= 0; i-- { // unsorted on purpose
+			out = append(out, Entry{Ref: pageRef(i)})
+		}
+		return out, nil
+	}
+	pins := &Pins{}
+	q := prov.Query{RefPrefix: "/p/", Limit: 2, Projection: prov.ProjectRefs}
+
+	page1, cur1, err := runPage(t, q, "g1", pins, eval)
+	if err != nil || len(page1) != 2 || cur1 == "" {
+		t.Fatalf("page1 = %v cursor=%q err=%v", page1, cur1, err)
+	}
+	if page1[0].Ref != pageRef(0) || page1[1].Ref != pageRef(1) {
+		t.Fatalf("page1 not ref-sorted: %v", page1)
+	}
+
+	// Later pages serve the pin even at a NEWER stamp (a write landed).
+	q.Cursor = cur1
+	page2, cur2, err := runPage(t, q, "g2", pins, eval)
+	if err != nil || len(page2) != 2 || cur2 == "" {
+		t.Fatalf("page2 = %v cursor=%q err=%v", page2, cur2, err)
+	}
+	q.Cursor = cur2
+	page3, cur3, err := runPage(t, q, "g2", pins, eval)
+	if err != nil || len(page3) != 1 || cur3 != "" {
+		t.Fatalf("page3 = %v cursor=%q err=%v", page3, cur3, err)
+	}
+	if evals != 1 {
+		t.Fatalf("pagination re-evaluated %d times; the pin must serve later pages", evals)
+	}
+}
+
+func TestRunPagedCursorErrors(t *testing.T) {
+	eval := func(context.Context, prov.Query) ([]Entry, error) {
+		return []Entry{{Ref: pageRef(0)}, {Ref: pageRef(1)}, {Ref: pageRef(2)}}, nil
+	}
+	pins := &Pins{}
+	q := prov.Query{RefPrefix: "/p/", Limit: 1, Projection: prov.ProjectRefs}
+	_, cur, err := runPage(t, q, "g1", pins, eval)
+	if err != nil || cur == "" {
+		t.Fatalf("seed page: cursor=%q err=%v", cur, err)
+	}
+
+	// Garbage cursor.
+	bad := q
+	bad.Cursor = "!!not-base64!!"
+	if _, _, err := runPage(t, bad, "g1", pins, eval); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("garbage cursor err = %v", err)
+	}
+
+	// Cursor bound to a different logical query.
+	other := prov.Query{RefPrefix: "/other/", Limit: 1, Projection: prov.ProjectRefs, Cursor: cur}
+	if _, _, err := runPage(t, other, "g1", pins, eval); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("cross-query cursor err = %v", err)
+	}
+
+	// Evicted pin + changed repository: expired. Evict by pinning more
+	// result sets than the registry retains.
+	for i := 0; i < maxPins+1; i++ {
+		filler := prov.Query{RefPrefix: fmt.Sprintf("/f%d/", i), Limit: 1, Projection: prov.ProjectRefs}
+		if _, _, err := runPage(t, filler, "g1", pins, eval); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expired := q
+	expired.Cursor = cur
+	if _, _, err := runPage(t, expired, "g9", pins, eval); !errors.Is(err, ErrCursorExpired) {
+		t.Fatalf("expired cursor err = %v", err)
+	}
+
+	// Evicted pin at an UNCHANGED stamp: re-evaluate silently.
+	if got, _, err := runPage(t, expired, "g1", pins, eval); err != nil || len(got) != 1 {
+		t.Fatalf("same-stamp re-eval = %v err=%v", got, err)
+	}
+}
+
+func TestPlanPages(t *testing.T) {
+	cases := []struct {
+		n, limit int
+		want     int64
+	}{
+		{0, 250, 1}, {1, 250, 1}, {250, 250, 1}, {251, 250, 2}, {500, 250, 2}, {501, 250, 3},
+	}
+	for _, c := range cases {
+		if got := PlanPages(c.n, c.limit); got != c.want {
+			t.Errorf("PlanPages(%d, %d) = %d, want %d", c.n, c.limit, got, c.want)
+		}
+	}
+}

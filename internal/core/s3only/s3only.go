@@ -44,6 +44,7 @@ import (
 	"passcloud/internal/cloud"
 	"passcloud/internal/cloud/s3"
 	"passcloud/internal/core"
+	"passcloud/internal/core/planner"
 	"passcloud/internal/core/qcache"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
@@ -100,6 +101,15 @@ type Store struct {
 	// provenance graph while gen is unchanged.
 	gen   qcache.Generation
 	cache *qcache.Cache
+	// stamp samples the repository generation independently of the cache;
+	// pagination cursors bind to it.
+	stamp qcache.StampFunc
+	// pins retains paginated queries’ evaluated result sets.
+	pins core.Pins
+	// catalog mirrors this client's data PUTs for Explain's predictions;
+	// tracker tells the planner whether anything else wrote to the region.
+	catalog *planner.S3Catalog
+	tracker *qcache.WriteTracker
 
 	mu sync.Mutex
 	// foreign buffers transient ancestors' records until the descendant
@@ -125,13 +135,23 @@ func New(cfg Config) (*Store, error) {
 	if cfg.ScanConcurrency <= 0 {
 		cfg.ScanConcurrency = cfg.PutConcurrency
 	}
-	if err := cfg.Cloud.S3.CreateBucket(cfg.Bucket); err != nil && !errors.Is(err, s3.ErrBucketAlreadyExists) {
+	s := &Store{cloud: cfg.Cloud, bucket: cfg.Bucket, faults: cfg.Faults,
+		concurrency: cfg.PutConcurrency, scanConc: cfg.ScanConcurrency,
+		catalog: planner.NewS3Catalog(), tracker: qcache.NewWriteTracker(cfg.Cloud)}
+	// Resource creation meters as a mutation (CreateBucket is an S3 PUT);
+	// track it so a solo client's plans stay exact.
+	err := s.tracker.Track(func() error {
+		if err := cfg.Cloud.S3.CreateBucket(cfg.Bucket); err != nil && !errors.Is(err, s3.ErrBucketAlreadyExists) {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	s := &Store{cloud: cfg.Cloud, bucket: cfg.Bucket, faults: cfg.Faults,
-		concurrency: cfg.PutConcurrency, scanConc: cfg.ScanConcurrency}
+	s.stamp = qcache.CloudStamp(&s.gen, cfg.Cloud)
 	if !cfg.DisableQueryCache {
-		s.cache = qcache.New(qcache.CloudStamp(&s.gen, cfg.Cloud))
+		s.cache = qcache.New(s.stamp)
 	}
 	return s, nil
 }
@@ -164,6 +184,10 @@ type dataPut struct {
 	key  string
 	data []byte
 	meta map[string]string
+	// gets is what decoding this object's metadata costs a scan (overflow
+	// pointer and bundle GETs) — recorded into the planner catalog once
+	// the PUT lands.
+	gets int64
 }
 
 // PutBatch implements core.Store. Protocol (§4.1), batch-first: transient
@@ -185,7 +209,7 @@ func (s *Store) PutBatch(ctx context.Context, batch []pass.FlushEvent) error {
 	s.mu.Lock()
 	saved := append([]prov.Record(nil), s.foreign...)
 	s.mu.Unlock()
-	if err := s.putBatch(ctx, batch); err != nil {
+	if err := s.tracker.Track(func() error { return s.putBatch(ctx, batch) }); err != nil {
 		s.mu.Lock()
 		s.foreign = saved
 		s.mu.Unlock()
@@ -221,11 +245,11 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 		s.foreign = nil
 		s.mu.Unlock()
 
-		meta, err := s.encodeMetadata(ev.Ref, ev.Records, foreign)
+		meta, gets, err := s.encodeMetadata(ev.Ref, ev.Records, foreign)
 		if err != nil {
 			return err
 		}
-		puts = append(puts, dataPut{key: dataKey(ev.Ref.Object), data: ev.Data, meta: meta})
+		puts = append(puts, dataPut{key: dataKey(ev.Ref.Object), data: ev.Data, meta: meta, gets: gets})
 	}
 
 	// The data PUTs: data and provenance stored atomically, overlapped
@@ -260,6 +284,7 @@ func (s *Store) doPuts(ctx context.Context, puts []dataPut) error {
 			if err := s.cloud.S3.Put(s.bucket, p.key, p.data, p.meta); err != nil {
 				return fmt.Errorf("s3only: data put: %w", err)
 			}
+			s.catalog.Observe(p.key, p.gets)
 		}
 		return nil
 	})
@@ -268,7 +293,7 @@ func (s *Store) doPuts(ctx context.Context, puts []dataPut) error {
 // encodeMetadata renders own + foreign records into S3 metadata, diverting
 // >1 KB values to overflow objects and spilling past-2KB remainder into a
 // bundle object. The overflow and bundle PUTs happen before the data PUT.
-func (s *Store) encodeMetadata(subject prov.Ref, own, foreign []prov.Record) (map[string]string, error) {
+func (s *Store) encodeMetadata(subject prov.Ref, own, foreign []prov.Record) (map[string]string, int64, error) {
 	meta := map[string]string{
 		metaVersion: strconv.Itoa(int(subject.Version)),
 	}
@@ -326,30 +351,32 @@ func (s *Store) encodeMetadata(subject prov.Ref, own, foreign []prov.Record) (ma
 
 	for i, rec := range own {
 		if err := add(fmt.Sprintf("p-%d", i), rec, false); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	for i, rec := range foreign {
 		if err := add(fmt.Sprintf("q-%d", i), rec, true); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 
+	gets := int64(overflowN)
 	if len(spill) > 0 {
 		bkey := bundleKey(subject)
 		blob, err := prov.MarshalJSONRecords(spill)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if err := s.cloud.S3.Put(s.bucket, bkey, blob, nil); err != nil {
-			return nil, fmt.Errorf("s3only: bundle put: %w", err)
+			return nil, 0, fmt.Errorf("s3only: bundle put: %w", err)
 		}
 		if err := s.faults.Check("s3only/after-bundle-put"); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		meta[metaOverflow] = bkey
+		gets++
 	}
-	return meta, nil
+	return meta, gets, nil
 }
 
 // fieldSep separates fields inside a metadata value.
@@ -552,7 +579,7 @@ func (s *Store) AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, 
 	return out, nil
 }
 
-// AllProvenanceSeq implements core.StreamQuerier. With the cache disabled
+// AllProvenanceSeq streams the repository scan. With the cache disabled
 // it is the live paged scan, one LIST page resident at a time; a subject
 // whose records rode more than one carrier PUT may then be yielded more
 // than once. With the cache enabled it yields from the (built-if-needed)
@@ -697,84 +724,137 @@ func (s *Store) ProvenanceGraph(ctx context.Context) (*prov.Graph, error) {
 	return s.scanGraph(ctx)
 }
 
-// OutputsOf implements core.Querier: find tool instances, then files whose
-// inputs include them. Both phases run over one scan, "the second phase
-// can, of course, be executed from a cache".
+// Query implements core.Querier. Every descriptor here costs at most one
+// repository pass: the architecture has no index ("if we do not know the
+// exact object whose provenance we seek, then we might need to iterate
+// over the provenance of every object in the repository"), so filters and
+// traversals evaluate client-side on the materialized graph — the shared
+// core.EvalQuery semantics — while the unfiltered Q.1 shape streams the
+// scan without materializing. Paginated descriptors pin their evaluation
+// to the snapshot generation of the first page.
+func (s *Store) Query(ctx context.Context, q prov.Query) iter.Seq2[core.Entry, error] {
+	return func(yield func(core.Entry, error) bool) {
+		if err := q.Validate(); err != nil {
+			yield(core.Entry{}, err)
+			return
+		}
+		if q.Limit > 0 || q.Cursor != "" {
+			core.RunPaged(ctx, q, s.stampToken(), &s.pins, s.evalAll, yield)
+			return
+		}
+		s.runQuery(ctx, q, yield)
+	}
+}
+
+// stampToken renders the repository generation cursors bind to.
+func (s *Store) stampToken() string {
+	st := s.stamp()
+	return fmt.Sprintf("%d.%d", st.Gen, st.Epoch)
+}
+
+// evalAll materializes a full evaluation for the paging layer.
+func (s *Store) evalAll(ctx context.Context, q prov.Query) ([]core.Entry, error) {
+	var out []core.Entry
+	var ferr error
+	s.runQuery(ctx, q, func(e core.Entry, err error) bool {
+		if err != nil {
+			ferr = err
+			return false
+		}
+		out = append(out, e)
+		return true
+	})
+	return out, ferr
+}
+
+// runQuery executes one non-paginated descriptor.
+func (s *Store) runQuery(ctx context.Context, q prov.Query, yield func(core.Entry, error) bool) {
+	if !q.HasFilters() && q.Direction == prov.TraverseNone && q.Projection == prov.ProjectFull {
+		// Q.1: stream the scan (or the warm snapshot) as-is. A subject
+		// whose records rode several carrier PUTs may stream in pieces on
+		// the uncached path, exactly like the deprecated AllProvenanceSeq.
+		for entry, err := range s.AllProvenanceSeq(ctx) {
+			if err != nil {
+				yield(core.Entry{}, err)
+				return
+			}
+			if !yield(entry, nil) {
+				return
+			}
+		}
+		return
+	}
+	// Anything filtered or traversed needs whole subjects (records can
+	// split across carrier PUTs) and possibly reverse edges: materialize
+	// the graph from the same single scan and evaluate in memory.
+	g, err := s.scanGraph(ctx)
+	if err != nil {
+		yield(core.Entry{}, err)
+		return
+	}
+	for _, e := range core.EvalQuery(g, q) {
+		if !yield(e, nil) {
+			return
+		}
+	}
+}
+
+// Explain implements core.Querier: on this architecture every cold plan is
+// the same full scan Table 3 charges — LIST pages, one HEAD per object,
+// one GET per overflow/bundle object — and every warm plan is free.
+func (s *Store) Explain(q prov.Query) core.QueryPlan {
+	// Exact only while every region mutation was this client's own: the
+	// catalog never sees other writers' objects.
+	p := core.QueryPlan{Arch: s.Name(), Exact: s.tracker.Foreign() == 0}
+	if err := q.Validate(); err != nil {
+		p.Strategy = "invalid"
+		return p
+	}
+	if q.Cursor != "" {
+		p.Strategy = "pinned-page"
+		p.Cached = true
+		p.AddStep("-", "pinned-page", 0, "resumed pages serve from the pinned evaluation at zero cloud ops")
+		return p
+	}
+	if s.cache != nil && s.cache.Warm() {
+		p.Strategy = "snapshot"
+		p.Cached = true
+		p.AddStep("-", "snapshot", 0, "warm snapshot: zero cloud ops")
+	} else {
+		p.Strategy = "scan"
+		objects, gets := s.catalog.ScanCost()
+		p.AddStep("S3", "LIST", core.PlanPages(objects, s3.DefaultMaxKeys), "page the data prefix")
+		p.AddStep("S3", "HEAD", int64(objects), "provenance rides object metadata: one HEAD per object")
+		if gets > 0 {
+			p.AddStep("S3", "GET", gets, "resolve overflow and bundle objects")
+		}
+	}
+	if q.Limit > 0 {
+		p.AddStep("-", "paginate", 0, "first page evaluates fully, sorts and pins; later pages are free")
+	}
+	return p
+}
+
+// OutputsOf implements Q.2 over the scan.
+//
+// Deprecated: build prov.QOutputsOf and use Query.
 func (s *Store) OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error) {
-	g, err := s.scanGraph(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return outputsFromGraph(g, tool), nil
+	return core.OutputsOf(ctx, s, tool)
 }
 
-// DescendantsOfOutputs implements core.Querier.
+// DescendantsOfOutputs implements Q.3 over the scan.
+//
+// Deprecated: build prov.QDescendantsOfOutputs and use Query.
 func (s *Store) DescendantsOfOutputs(ctx context.Context, tool string) ([]prov.Ref, error) {
-	g, err := s.scanGraph(ctx)
-	if err != nil {
-		return nil, err
-	}
-	outputs := outputsFromGraph(g, tool)
-	seen := make(map[prov.Ref]bool)
-	var all []prov.Ref
-	for _, out := range outputs {
-		for _, d := range g.Descendants(out) {
-			if !seen[d] {
-				seen[d] = true
-				all = append(all, d)
-			}
-		}
-	}
-	return all, nil
+	return core.DescendantsOfOutputs(ctx, s, tool)
 }
 
-// Dependents implements core.Querier: every subject whose inputs reference
-// any version of object. Like every other query here, it scans.
+// Dependents finds every subject whose inputs reference any version of
+// object. Like every other query here, it scans.
+//
+// Deprecated: build prov.QDependents and use Query.
 func (s *Store) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Ref, error) {
-	g, err := s.scanGraph(ctx)
-	if err != nil {
-		return nil, err
-	}
-	seen := make(map[prov.Ref]bool)
-	var out []prov.Ref
-	for _, subject := range g.Subjects() {
-		for _, in := range g.Inputs(subject) {
-			if in.Object == object && !seen[subject] {
-				seen[subject] = true
-				out = append(out, subject)
-			}
-		}
-	}
-	return out, nil
-}
-
-// outputsFromGraph is the shared phase-2 logic: files that list an instance
-// of tool among their inputs.
-func outputsFromGraph(g *prov.Graph, tool string) []prov.Ref {
-	instances := make(map[prov.Ref]bool)
-	for _, ref := range g.FindByAttr(prov.AttrName, tool) {
-		instances[ref] = true
-	}
-	var outputs []prov.Ref
-	for _, subject := range g.Subjects() {
-		isFile := false
-		for _, r := range g.Records(subject) {
-			if r.Attr == prov.AttrType && r.Value.String() == prov.TypeFile {
-				isFile = true
-				break
-			}
-		}
-		if !isFile {
-			continue
-		}
-		for _, in := range g.Inputs(subject) {
-			if instances[in] {
-				outputs = append(outputs, subject)
-				break
-			}
-		}
-	}
-	return outputs
+	return core.Dependents(ctx, s, object)
 }
 
 // Sync persists any buffered transient provenance that no descendant PUT
@@ -782,6 +862,10 @@ func outputsFromGraph(g *prov.Graph, tool string) []prov.Ref {
 // The records ride a one-byte marker object so they remain discoverable by
 // the metadata scan, preserving this architecture's single-PUT atomicity.
 func (s *Store) Sync(ctx context.Context) error {
+	return s.tracker.Track(func() error { return s.sync(ctx) })
+}
+
+func (s *Store) sync(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -799,7 +883,7 @@ func (s *Store) Sync(ctx context.Context) error {
 	defer s.gen.Bump()
 
 	subject := prov.Ref{Object: prov.ObjectID(fmt.Sprintf("/.pnodes/%06d", seq)), Version: 0}
-	meta, err := s.encodeMetadata(subject, nil, foreign)
+	meta, gets, err := s.encodeMetadata(subject, nil, foreign)
 	if err != nil {
 		s.mu.Lock()
 		s.foreign = append(foreign, s.foreign...)
@@ -809,13 +893,13 @@ func (s *Store) Sync(ctx context.Context) error {
 	if err := s.cloud.S3.Put(s.bucket, dataKey(subject.Object), []byte{'.'}, meta); err != nil {
 		return fmt.Errorf("s3only: pnode put: %w", err)
 	}
+	s.catalog.Observe(dataKey(subject.Object), gets)
 	return nil
 }
 
 var (
-	_ core.Store         = (*Store)(nil)
-	_ core.Querier       = (*Store)(nil)
-	_ core.StreamQuerier = (*Store)(nil)
-	_ core.GraphQuerier  = (*Store)(nil)
-	_ core.Syncer        = (*Store)(nil)
+	_ core.Store        = (*Store)(nil)
+	_ core.Querier      = (*Store)(nil)
+	_ core.GraphQuerier = (*Store)(nil)
+	_ core.Syncer       = (*Store)(nil)
 )

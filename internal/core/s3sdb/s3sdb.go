@@ -102,6 +102,10 @@ func (s *Store) Layer() *sdbprov.Layer { return s.layer }
 // batch, exactly as the architecture predicts: a crash between the two
 // phases now strands a batch of provenance without data.
 func (s *Store) PutBatch(ctx context.Context, batch []pass.FlushEvent) error {
+	return s.layer.TrackWrites(func() error { return s.putBatch(ctx, batch) })
+}
+
+func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -188,12 +192,30 @@ func (s *Store) Provenance(ctx context.Context, ref prov.Ref) ([]prov.Record, er
 	return records, nil
 }
 
-// AllProvenance implements core.Querier.
+// Query implements core.Querier: the SimpleDB layer's native plans —
+// predicate pushdown, two-phase tool queries, prefix traversals, snapshot
+// fallback — answer every descriptor.
+func (s *Store) Query(ctx context.Context, q prov.Query) iter.Seq2[core.Entry, error] {
+	return s.layer.Query(ctx, q)
+}
+
+// Explain implements core.Querier.
+func (s *Store) Explain(q prov.Query) core.QueryPlan {
+	p := s.layer.Explain(q)
+	p.Arch = s.Name()
+	return p
+}
+
+// AllProvenance implements Q.1.
+//
+// Deprecated: build prov.Q1 and use Query.
 func (s *Store) AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, error) {
 	return s.layer.AllProvenance(ctx)
 }
 
-// AllProvenanceSeq implements core.StreamQuerier.
+// AllProvenanceSeq streams Q.1.
+//
+// Deprecated: build prov.Q1 and use Query.
 func (s *Store) AllProvenanceSeq(ctx context.Context) iter.Seq2[core.Entry, error] {
 	return s.layer.AllProvenanceSeq(ctx)
 }
@@ -203,17 +225,23 @@ func (s *Store) ProvenanceGraph(ctx context.Context) (*prov.Graph, error) {
 	return s.layer.ProvenanceGraph(ctx)
 }
 
-// OutputsOf implements core.Querier.
+// OutputsOf implements Q.2.
+//
+// Deprecated: build prov.QOutputsOf and use Query.
 func (s *Store) OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error) {
 	return s.layer.OutputsOf(ctx, tool)
 }
 
-// DescendantsOfOutputs implements core.Querier.
+// DescendantsOfOutputs implements Q.3.
+//
+// Deprecated: build prov.QDescendantsOfOutputs and use Query.
 func (s *Store) DescendantsOfOutputs(ctx context.Context, tool string) ([]prov.Ref, error) {
 	return s.layer.DescendantsOfOutputs(ctx, tool)
 }
 
-// Dependents implements core.Querier with one indexed prefix query.
+// Dependents runs one indexed prefix query.
+//
+// Deprecated: build prov.QDependents and use Query.
 func (s *Store) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Ref, error) {
 	return s.layer.Dependents(ctx, object)
 }
@@ -226,7 +254,15 @@ func (s *Store) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Re
 // An item is an orphan when it carries a consistency record (so it
 // described file data) but S3 holds no data at or beyond that version.
 // Returns the refs whose provenance was removed.
-func (s *Store) OrphanScan(ctx context.Context) ([]prov.Ref, error) {
+func (s *Store) OrphanScan(ctx context.Context) (refs []prov.Ref, err error) {
+	err = s.layer.TrackWrites(func() error {
+		refs, err = s.orphanScan(ctx)
+		return err
+	})
+	return refs, err
+}
+
+func (s *Store) orphanScan(ctx context.Context) ([]prov.Ref, error) {
 	// Deletions below change query results behind the layer's back.
 	defer s.layer.InvalidateQueries()
 	var orphans []prov.Ref
@@ -281,8 +317,7 @@ func (s *Store) isOrphan(ref prov.Ref) (bool, error) {
 }
 
 var (
-	_ core.Store         = (*Store)(nil)
-	_ core.Querier       = (*Store)(nil)
-	_ core.StreamQuerier = (*Store)(nil)
-	_ core.GraphQuerier  = (*Store)(nil)
+	_ core.Store        = (*Store)(nil)
+	_ core.Querier      = (*Store)(nil)
+	_ core.GraphQuerier = (*Store)(nil)
 )

@@ -17,6 +17,7 @@ import (
 // are guaranteed gone and the transaction can never commit.
 type Cleaner struct {
 	cloud  *cloud.Cloud
+	layer  *sdbprov.Layer
 	bucket string
 
 	// MaxAge is the abandonment horizon (default 4 days).
@@ -25,21 +26,25 @@ type Cleaner struct {
 
 // NewCleaner builds a cleaner for a store's bucket.
 func NewCleaner(st *Store) *Cleaner {
-	return &Cleaner{
-		cloud:  st.cloud,
-		bucket: st.layer.Bucket(),
-		MaxAge: 4 * 24 * time.Hour,
-	}
+	return NewCleanerForLayer(st.cloud, st.layer)
 }
 
 // NewCleanerForLayer builds a cleaner directly over a provenance layer.
 func NewCleanerForLayer(c *cloud.Cloud, layer *sdbprov.Layer) *Cleaner {
-	return &Cleaner{cloud: c, bucket: layer.Bucket(), MaxAge: 4 * 24 * time.Hour}
+	return &Cleaner{cloud: c, layer: layer, bucket: layer.Bucket(), MaxAge: 4 * 24 * time.Hour}
 }
 
 // RunOnce deletes every temporary object older than MaxAge, returning how
 // many were removed.
-func (c *Cleaner) RunOnce(ctx context.Context) (int, error) {
+func (c *Cleaner) RunOnce(ctx context.Context) (n int, err error) {
+	err = c.layer.TrackWrites(func() error {
+		n, err = c.runOnce(ctx)
+		return err
+	})
+	return n, err
+}
+
+func (c *Cleaner) runOnce(ctx context.Context) (int, error) {
 	infos, err := c.cloud.S3.ListAll(c.bucket, TmpPrefix)
 	if err != nil {
 		return 0, err

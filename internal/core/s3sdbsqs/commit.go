@@ -203,7 +203,13 @@ func (d *CommitDaemon) processReady(ctx context.Context) (int, error) {
 		if err := ctx.Err(); err != nil {
 			return done, err
 		}
-		retry, err := d.commitTx(ctx, txid, d.pending[txid])
+		var retry bool
+		terr := d.layer.TrackWrites(func() error {
+			var err error
+			retry, err = d.commitTx(ctx, txid, d.pending[txid])
+			return err
+		})
+		err := terr
 		if err != nil {
 			return done, err
 		}

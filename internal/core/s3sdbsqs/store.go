@@ -127,6 +127,10 @@ func (s *Store) Queue() string { return s.queue }
 // at any point leaves an uncommitted transaction that the commit daemon
 // ignores and the cleaner eventually reaps, so a retried batch is safe.
 func (s *Store) PutBatch(ctx context.Context, batch []pass.FlushEvent) error {
+	return s.layer.TrackWrites(func() error { return s.putBatch(ctx, batch) })
+}
+
+func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -273,12 +277,30 @@ func (s *Store) Provenance(ctx context.Context, ref prov.Ref) ([]prov.Record, er
 	return records, nil
 }
 
-// AllProvenance implements core.Querier.
+// Query implements core.Querier: the SimpleDB layer's native plans —
+// predicate pushdown, two-phase tool queries, prefix traversals, snapshot
+// fallback — answer every descriptor.
+func (s *Store) Query(ctx context.Context, q prov.Query) iter.Seq2[core.Entry, error] {
+	return s.layer.Query(ctx, q)
+}
+
+// Explain implements core.Querier.
+func (s *Store) Explain(q prov.Query) core.QueryPlan {
+	p := s.layer.Explain(q)
+	p.Arch = s.Name()
+	return p
+}
+
+// AllProvenance implements Q.1.
+//
+// Deprecated: build prov.Q1 and use Query.
 func (s *Store) AllProvenance(ctx context.Context) (map[prov.Ref][]prov.Record, error) {
 	return s.layer.AllProvenance(ctx)
 }
 
-// AllProvenanceSeq implements core.StreamQuerier.
+// AllProvenanceSeq streams Q.1.
+//
+// Deprecated: build prov.Q1 and use Query.
 func (s *Store) AllProvenanceSeq(ctx context.Context) iter.Seq2[core.Entry, error] {
 	return s.layer.AllProvenanceSeq(ctx)
 }
@@ -288,24 +310,29 @@ func (s *Store) ProvenanceGraph(ctx context.Context) (*prov.Graph, error) {
 	return s.layer.ProvenanceGraph(ctx)
 }
 
-// OutputsOf implements core.Querier.
+// OutputsOf implements Q.2.
+//
+// Deprecated: build prov.QOutputsOf and use Query.
 func (s *Store) OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error) {
 	return s.layer.OutputsOf(ctx, tool)
 }
 
-// DescendantsOfOutputs implements core.Querier.
+// DescendantsOfOutputs implements Q.3.
+//
+// Deprecated: build prov.QDescendantsOfOutputs and use Query.
 func (s *Store) DescendantsOfOutputs(ctx context.Context, tool string) ([]prov.Ref, error) {
 	return s.layer.DescendantsOfOutputs(ctx, tool)
 }
 
-// Dependents implements core.Querier with one indexed prefix query.
+// Dependents runs one indexed prefix query.
+//
+// Deprecated: build prov.QDependents and use Query.
 func (s *Store) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Ref, error) {
 	return s.layer.Dependents(ctx, object)
 }
 
 var (
-	_ core.Store         = (*Store)(nil)
-	_ core.Querier       = (*Store)(nil)
-	_ core.StreamQuerier = (*Store)(nil)
-	_ core.GraphQuerier  = (*Store)(nil)
+	_ core.Store        = (*Store)(nil)
+	_ core.Querier      = (*Store)(nil)
+	_ core.GraphQuerier = (*Store)(nil)
 )

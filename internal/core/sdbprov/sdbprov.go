@@ -34,13 +34,13 @@ import (
 	"fmt"
 	"iter"
 	"strconv"
-	"strings"
 	"time"
 
 	"passcloud/internal/cloud"
 	"passcloud/internal/cloud/s3"
 	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/core"
+	"passcloud/internal/core/planner"
 	"passcloud/internal/core/qcache"
 	"passcloud/internal/prov"
 	"passcloud/internal/sim"
@@ -115,6 +115,16 @@ type Layer struct {
 	// query results and the scanned graph while gen is unchanged.
 	gen   qcache.Generation
 	cache *qcache.Cache
+	// stamp samples the repository generation independently of the cache;
+	// pagination cursors bind to it.
+	stamp qcache.StampFunc
+	// pins retains paginated queries' evaluated result sets.
+	pins core.Pins
+	// catalog mirrors this client's writes for Explain's cost predictions;
+	// tracker tells the planner whether anything else wrote to the shared
+	// region (predictions then degrade to estimates).
+	catalog *planner.SDBCatalog
+	tracker *qcache.WriteTracker
 }
 
 // New builds the layer, creating bucket and domain if needed.
@@ -142,18 +152,35 @@ func New(cfg Config) (*Layer, error) {
 		step := cfg.Cloud.S3.MaxDelay()/4 + time.Millisecond
 		cfg.RetryWait = func() { clock.Advance(step) }
 	}
-	if err := cfg.Cloud.S3.CreateBucket(cfg.Bucket); err != nil && !errors.Is(err, s3.ErrBucketAlreadyExists) {
+	l := &Layer{cfg: cfg, catalog: planner.NewSDBCatalog(), tracker: qcache.NewWriteTracker(cfg.Cloud)}
+	// Resource creation meters as a mutation (CreateBucket is an S3 PUT);
+	// track it so a solo client's plans stay exact.
+	err := l.tracker.Track(func() error {
+		if err := cfg.Cloud.S3.CreateBucket(cfg.Bucket); err != nil && !errors.Is(err, s3.ErrBucketAlreadyExists) {
+			return err
+		}
+		if err := cfg.Cloud.SDB.CreateDomain(cfg.Domain); err != nil && !errors.Is(err, sdb.ErrDomainExists) {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := cfg.Cloud.SDB.CreateDomain(cfg.Domain); err != nil && !errors.Is(err, sdb.ErrDomainExists) {
-		return nil, err
-	}
-	l := &Layer{cfg: cfg}
+	l.stamp = qcache.CloudStamp(&l.gen, cfg.Cloud)
 	if !cfg.DisableQueryCache {
-		l.cache = qcache.New(qcache.CloudStamp(&l.gen, cfg.Cloud))
+		l.cache = qcache.New(l.stamp)
 	}
 	return l, nil
 }
+
+// TrackWrites runs one of this client's outermost write sections under
+// the planner's write tracker, so the mutations it meters count as own.
+// Do not nest tracked sections — attribution would double-count.
+func (l *Layer) TrackWrites(f func() error) error { return l.tracker.Track(f) }
+
+// ForeignWrites reports region mutations this client did not perform.
+func (l *Layer) ForeignWrites() uint64 { return l.tracker.Foreign() }
 
 // InvalidateQueries bumps the layer's write generation, expiring every
 // cached snapshot and memoized query result. Layer write paths call it
@@ -248,6 +275,9 @@ func (l *Layer) buildAttrs(subject prov.Ref, encoded []prov.Record, md5hex, faul
 		cut := sdb.MaxAttrsPerItem - reserved
 		inline, spill = encoded[:cut], encoded[cut:]
 	}
+	// Mirror the write into the planner catalog so Explain can predict
+	// query costs without touching the cloud.
+	l.catalog.Observe(subject, inline, spill)
 
 	attrs := make([]sdb.ReplaceableAttr, 0, len(inline)+reserved)
 	for _, rec := range inline {
@@ -310,13 +340,16 @@ func (l *Layer) putChunked(subject prov.Ref, attrs []sdb.ReplaceableAttr, faultP
 }
 
 // WriteItem encodes and stores a subject's provenance in one step — the
-// direct (architecture 2) single-item write path.
+// direct (architecture 2) single-item write path. As an outermost write
+// entry point it runs under the planner's write tracker.
 func (l *Layer) WriteItem(subject prov.Ref, records []prov.Record, md5hex, faultPrefix string) error {
-	encoded, err := l.EncodeValues(subject, records, faultPrefix)
-	if err != nil {
-		return err
-	}
-	return l.WriteEncoded(subject, encoded, md5hex, faultPrefix)
+	return l.TrackWrites(func() error {
+		encoded, err := l.EncodeValues(subject, records, faultPrefix)
+		if err != nil {
+			return err
+		}
+		return l.WriteEncoded(subject, encoded, md5hex, faultPrefix)
+	})
 }
 
 // ItemWrite is one subject's worth of a batched provenance write. Records
@@ -637,252 +670,3 @@ func (l *Layer) ProvenanceGraph(ctx context.Context) (*prov.Graph, error) {
 	}
 	return l.buildGraph(ctx)
 }
-
-// instancesOf finds all object versions whose name attribute is tool
-// (phase one of Q.2: "retrieve all objects that correspond to instances of
-// blast").
-func (l *Layer) instancesOf(ctx context.Context, tool string) ([]prov.Ref, error) {
-	expr := "['" + escapeQuery(prov.AttrName) + "' = " + sdb.QuoteString(tool) + "]"
-	return l.queryRefs(ctx, expr)
-}
-
-// queryRefs runs one Query expression to completion, parsing item names.
-func (l *Layer) queryRefs(ctx context.Context, expr string) ([]prov.Ref, error) {
-	var out []prov.Ref
-	token := ""
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		res, err := l.cfg.Cloud.SDB.Query(l.cfg.Domain, expr, 0, token)
-		if err != nil {
-			return nil, err
-		}
-		for _, item := range res.ItemNames {
-			ref, err := prov.ParseItemName(item)
-			if err != nil {
-				continue
-			}
-			out = append(out, ref)
-		}
-		if res.NextToken == "" {
-			return out, nil
-		}
-		token = res.NextToken
-	}
-}
-
-// refType pairs a matched item with its (decoded) type attribute.
-type refType struct {
-	ref prov.Ref
-	typ string
-}
-
-// queryRefTypes runs one QueryWithAttributes expression to completion,
-// returning each matching item with its type attribute decoded from the
-// same response — no follow-up GetAttributes per item.
-func (l *Layer) queryRefTypes(ctx context.Context, expr string) ([]refType, error) {
-	var out []refType
-	token := ""
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		res, err := l.cfg.Cloud.SDB.QueryWithAttributes(l.cfg.Domain, expr, []string{prov.AttrType}, 0, token)
-		if err != nil {
-			return nil, err
-		}
-		for _, item := range res.Items {
-			ref, err := prov.ParseItemName(item.Name)
-			if err != nil {
-				continue
-			}
-			rt := refType{ref: ref}
-			for _, a := range item.Attrs {
-				if a.Name != prov.AttrType {
-					continue
-				}
-				rec, err := l.decodeStored(ref, a.Name, a.Value)
-				if err != nil {
-					return nil, err
-				}
-				rt.typ = rec.Value.String()
-				break
-			}
-			out = append(out, rt)
-		}
-		if res.NextToken == "" {
-			return out, nil
-		}
-		token = res.NextToken
-	}
-}
-
-// inputChunkExpr renders one chunk's OR expression over input values.
-func inputChunkExpr(refs []prov.Ref) string {
-	var b strings.Builder
-	b.WriteString("[")
-	for i, r := range refs {
-		if i > 0 {
-			b.WriteString(" or ")
-		}
-		b.WriteString("'" + escapeQuery(prov.AttrInput) + "' = " + sdb.QuoteString(r.String()))
-	}
-	b.WriteString("]")
-	return b.String()
-}
-
-// dependentsOf finds items listing any of refs as an input, chunking the
-// OR expression ("execute a second QueryWithAttributes to retrieve all
-// objects that have as ancestor, objects in the result of the first
-// query"). When withTypes is set, each item's type attribute rides the
-// same query response — the aggregation that removes the one-GetAttributes
-// -per-dependent N+1 from Q.2. Chunks run concurrently under the
-// QueryConcurrency bound; results merge in chunk order, deduplicated, so
-// the output is identical to the sequential scan's.
-func (l *Layer) dependentsOf(ctx context.Context, refs []prov.Ref, withTypes bool) ([]refType, error) {
-	chunk := l.cfg.QueryChunk
-	nchunks := (len(refs) + chunk - 1) / chunk
-	if nchunks == 0 {
-		return nil, nil
-	}
-
-	runChunk := func(part []prov.Ref) ([]refType, error) {
-		expr := inputChunkExpr(part)
-		if withTypes {
-			return l.queryRefTypes(ctx, expr)
-		}
-		found, err := l.queryRefs(ctx, expr)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]refType, len(found))
-		for i, f := range found {
-			out[i] = refType{ref: f}
-		}
-		return out, nil
-	}
-
-	results := make([][]refType, nchunks)
-	err := core.RunLimited(ctx, nchunks, l.cfg.QueryConcurrency, func(ci int) error {
-		start := ci * chunk
-		end := min(start+chunk, len(refs))
-		found, err := runChunk(refs[start:end])
-		if err != nil {
-			return err
-		}
-		results[ci] = found
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	seen := make(map[prov.Ref]bool)
-	var out []refType
-	for _, part := range results {
-		for _, rt := range part {
-			if !seen[rt.ref] {
-				seen[rt.ref] = true
-				out = append(out, rt)
-			}
-		}
-	}
-	return out, nil
-}
-
-// OutputsOf implements Q.2: instances of tool, then the files depending on
-// them. Two indexed query phases — "SimpleDB does much better as it only
-// needs to execute one query corresponding to each phase" — with the type
-// filter folded into phase two's QueryWithAttributes instead of one
-// GetAttributes per dependent. Results are memoized per write generation.
-func (l *Layer) OutputsOf(ctx context.Context, tool string) ([]prov.Ref, error) {
-	compute := func(ctx context.Context) ([]prov.Ref, error) {
-		instances, err := l.instancesOf(ctx, tool)
-		if err != nil {
-			return nil, err
-		}
-		deps, err := l.dependentsOf(ctx, instances, true)
-		if err != nil {
-			return nil, err
-		}
-		var files []prov.Ref
-		for _, d := range deps {
-			if d.typ == prov.TypeFile {
-				files = append(files, d.ref)
-			}
-		}
-		return files, nil
-	}
-	if l.cache == nil {
-		return compute(ctx)
-	}
-	refs, err := l.cache.Refs(ctx, "q2\x00"+tool, compute)
-	return qcache.CopyRefs(refs), err
-}
-
-// DescendantsOfOutputs implements Q.3 by iterated dependency queries:
-// "SimpleDB ... does not support recursive queries or stored procedures.
-// Hence, for ancestry queries, it has to retrieve each item ... then lookup
-// further ancestors." Each BFS level's chunked queries run concurrently;
-// the result is memoized per write generation.
-func (l *Layer) DescendantsOfOutputs(ctx context.Context, tool string) ([]prov.Ref, error) {
-	compute := func(ctx context.Context) ([]prov.Ref, error) {
-		frontier, err := l.OutputsOf(ctx, tool)
-		if err != nil {
-			return nil, err
-		}
-		seen := make(map[prov.Ref]bool)
-		for _, f := range frontier {
-			seen[f] = true
-		}
-		var out []prov.Ref
-		for len(frontier) > 0 {
-			next, err := l.dependentsOf(ctx, frontier, false)
-			if err != nil {
-				return nil, err
-			}
-			frontier = frontier[:0]
-			for _, n := range next {
-				if !seen[n.ref] {
-					seen[n.ref] = true
-					out = append(out, n.ref)
-					frontier = append(frontier, n.ref)
-				}
-			}
-		}
-		return out, nil
-	}
-	if l.cache == nil {
-		return compute(ctx)
-	}
-	refs, err := l.cache.Refs(ctx, "q3\x00"+tool, compute)
-	return qcache.CopyRefs(refs), err
-}
-
-// Dependents finds items listing any version of object among their inputs,
-// with a single indexed prefix query: input values are "object:version", so
-// ['input' starts-with 'object:'] covers every version at once. The result
-// is memoized per write generation.
-func (l *Layer) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Ref, error) {
-	compute := func(ctx context.Context) ([]prov.Ref, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		expr := "['" + escapeQuery(prov.AttrInput) + "' starts-with " + sdb.QuoteString(string(object)+":") + "]"
-		return l.queryRefs(ctx, expr)
-	}
-	if l.cache == nil {
-		return compute(ctx)
-	}
-	refs, err := l.cache.Refs(ctx, "dep\x00"+string(object), compute)
-	return qcache.CopyRefs(refs), err
-}
-
-// escapeQuery escapes single quotes inside a bracket-language attribute
-// name, which is written between single quotes ('attr'): the 2009 query
-// grammar escapes a quote by doubling it, exactly like string literals.
-// Attribute names today come from our own fixed vocabulary, but provenance
-// attributes are user-extensible in PASS — a quote must not be able to
-// terminate the name early and smuggle operators into the expression.
-func escapeQuery(s string) string { return strings.ReplaceAll(s, "'", "''") }

@@ -251,15 +251,15 @@ func (h *Harness) Table3Measured(ctx context.Context) (*Table3, error) {
 	}
 	queries := []queryFn{
 		{"Q.1", func(q core.Querier) (int, error) {
-			all, err := q.AllProvenance(ctx)
+			all, err := core.AllProvenance(ctx, q)
 			return len(all), err
 		}},
 		{"Q.2", func(q core.Querier) (int, error) {
-			refs, err := q.OutputsOf(ctx, h.Tool)
+			refs, err := core.OutputsOf(ctx, q, h.Tool)
 			return len(refs), err
 		}},
 		{"Q.3", func(q core.Querier) (int, error) {
-			refs, err := q.DescendantsOfOutputs(ctx, h.Tool)
+			refs, err := core.DescendantsOfOutputs(ctx, q, h.Tool)
 			return len(refs), err
 		}},
 	}

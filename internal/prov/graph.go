@@ -227,6 +227,10 @@ func (g *Graph) WriteDOT(w io.Writer) error {
 	return err
 }
 
+// SortRefs orders refs canonically: by object, then version. Query engines
+// and the shared evaluator use it as the one deterministic result order.
+func SortRefs(refs []Ref) { sortRefs(refs) }
+
 func sortRefs(refs []Ref) {
 	sort.Slice(refs, func(i, j int) bool {
 		if refs[i].Object != refs[j].Object {

@@ -1,0 +1,109 @@
+package prov
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryKeyCanonical(t *testing.T) {
+	// Attribute order and the Type shorthand must not matter.
+	a := Query{Type: TypeFile, Attrs: []AttrFilter{{"custom", "x"}, {"argv", "y"}}}
+	b := Query{Attrs: []AttrFilter{{"argv", "y"}, {AttrType, TypeFile}, {"custom", "x"}}}
+	if a.Key() != b.Key() {
+		t.Fatalf("equivalent descriptors key differently:\n%s\n%s", a.Key(), b.Key())
+	}
+	// Refs order must not matter.
+	r1, r2 := Ref{Object: "/a", Version: 1}, Ref{Object: "/b", Version: 0}
+	if (Query{Refs: []Ref{r1, r2}}).Key() != (Query{Refs: []Ref{r2, r1}}).Key() {
+		t.Fatal("ref order changed the key")
+	}
+	// Pagination is not part of the logical key.
+	p := Query{Tool: "blast", Limit: 10, Cursor: "abc"}
+	if p.Key() != (Query{Tool: "blast"}).Key() {
+		t.Fatal("pagination fields leaked into the key")
+	}
+	// Projection distinguishes keys, but not RefsKey.
+	full := Query{Tool: "blast", Projection: ProjectFull}
+	refs := Query{Tool: "blast", Projection: ProjectRefs}
+	if full.Key() == refs.Key() {
+		t.Fatal("projection missing from the key")
+	}
+	if full.RefsKey() != refs.RefsKey() {
+		t.Fatal("RefsKey must normalize projection")
+	}
+}
+
+func TestQueryKeyInjective(t *testing.T) {
+	// Hostile values must not collide via delimiter confusion.
+	pairs := [][2]Query{
+		{{Tool: "a|type=b"}, {Tool: "a", Type: "b"}},
+		{{Tool: `a"`}, {Tool: `a\"`}},
+		{{RefPrefix: "x"}, {Tool: "x"}},
+		{{Attrs: []AttrFilter{{"a", "b:c"}}}, {Attrs: []AttrFilter{{"a:b", "c"}}}},
+	}
+	for _, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("distinct descriptors collide: %+v vs %+v -> %s", p[0], p[1], p[0].Key())
+		}
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	bad := []Query{
+		{Depth: -1},
+		{Limit: -2},
+		{Depth: 2},           // depth without direction
+		{IncludeSeeds: true}, // seeds knob without direction
+	}
+	for _, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", q)
+		}
+	}
+	good := []Query{
+		{},
+		Q1(),
+		QOutputsOf("blast"),
+		QDescendantsOfOutputs("blast"),
+		QAncestors(Ref{Object: "/f", Version: 0}),
+		QDependents("/f"),
+		{Tool: "t", Direction: TraverseDescendants, Depth: 3, Limit: 10},
+	}
+	for _, q := range good {
+		if err := q.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", q, err)
+		}
+	}
+}
+
+func TestCompilers(t *testing.T) {
+	q := QDependents("/data/x")
+	if q.RefPrefix != "/data/x:" || q.Direction != TraverseDescendants || q.Depth != 1 || !q.IncludeSeeds {
+		t.Fatalf("QDependents = %+v", q)
+	}
+	if q.Projection != ProjectRefs {
+		t.Fatal("dependents must not fetch records")
+	}
+	q2 := QOutputsOf("blast")
+	if q2.Tool != "blast" || q2.Type != TypeFile {
+		t.Fatalf("QOutputsOf = %+v", q2)
+	}
+	q3 := QDescendantsOfOutputs("blast")
+	if q3.Direction != TraverseDescendants || q3.IncludeSeeds {
+		t.Fatalf("QDescendantsOfOutputs = %+v", q3)
+	}
+	if got := QAncestors(Ref{Object: "/f", Version: 2}); len(got.Refs) != 1 || got.Direction != TraverseAncestors {
+		t.Fatalf("QAncestors = %+v", got)
+	}
+}
+
+func TestAttrFiltersDedup(t *testing.T) {
+	q := Query{Type: TypeFile, Attrs: []AttrFilter{{AttrType, TypeFile}, {"a", "b"}, {"a", "b"}}}
+	got := q.AttrFilters()
+	if len(got) != 2 {
+		t.Fatalf("AttrFilters = %v", got)
+	}
+	if !strings.Contains(q.Key(), "attr=") {
+		t.Fatalf("key misses attrs: %s", q.Key())
+	}
+}

@@ -378,52 +378,61 @@ func (c *Client) ProvenanceSeq(ctx context.Context, ref Ref) iter.Seq2[Record, e
 }
 
 // OutputsOf finds the files written by instances of the named tool (Q.2).
+// It compiles to the descriptor {Tool: tool, Type: "file", RefsOnly: true}
+// with byte-identical cloud ops.
+//
+// Deprecated: use Search with a QuerySpec.
 func (c *Client) OutputsOf(ctx context.Context, tool string) ([]Ref, error) {
 	q, err := c.querier()
 	if err != nil {
 		return nil, err
 	}
-	refs, err := q.OutputsOf(ctx, tool)
+	refs, err := core.OutputsOf(ctx, q, tool)
 	return toPublicRefs(refs), err
 }
 
 // DescendantsOfOutputs finds everything derived from the named tool's
-// outputs (Q.3) — the paper's flawed-tool scenario.
+// outputs (Q.3) — the paper's flawed-tool scenario. It compiles to the Q.2
+// descriptor plus Direction: TraverseDescendants.
+//
+// Deprecated: use Search with a QuerySpec.
 func (c *Client) DescendantsOfOutputs(ctx context.Context, tool string) ([]Ref, error) {
 	q, err := c.querier()
 	if err != nil {
 		return nil, err
 	}
-	refs, err := q.DescendantsOfOutputs(ctx, tool)
+	refs, err := core.DescendantsOfOutputs(ctx, q, tool)
 	return toPublicRefs(refs), err
 }
 
-// Ancestors returns every object version in ref's ancestry, via the
-// repository's provenance graph. With the query cache enabled (default)
-// the walk runs on the store's shared snapshot — zero cloud ops once warm;
-// on the S3-only architecture a cold call scans.
+// Ancestors returns every object version in ref's ancestry. It compiles to
+// the descriptor {Refs: [ref], Direction: TraverseAncestors}, which every
+// backend answers from the repository's provenance graph — with the query
+// cache enabled (default) the walk runs on the store's shared snapshot,
+// zero cloud ops once warm; on the S3-only architecture a cold call scans.
+//
+// Deprecated: use Search with a QuerySpec.
 func (c *Client) Ancestors(ctx context.Context, ref Ref) ([]Ref, error) {
 	q, err := c.querier()
 	if err != nil {
 		return nil, err
 	}
-	g, err := core.ProvenanceGraph(ctx, q)
-	if err != nil {
-		return nil, err
-	}
-	return toPublicRefs(g.Ancestors(toInternalRef(ref))), nil
+	refs, err := core.CollectRefs(q.Query(ctx, prov.QAncestors(toInternalRef(ref))))
+	return toPublicRefs(refs), err
 }
 
 // AllProvenance retrieves the provenance of every object version (Q.1 over
 // all objects), materialized as a map. For large repositories with
 // Options.DisableQueryCache set, prefer AllProvenanceSeq, which then
 // streams; with the cache enabled both share one resident snapshot.
+//
+// Deprecated: use Search with a zero QuerySpec.
 func (c *Client) AllProvenance(ctx context.Context) (map[Ref][]Record, error) {
 	q, err := c.querier()
 	if err != nil {
 		return nil, err
 	}
-	all, err := q.AllProvenance(ctx)
+	all, err := core.AllProvenance(ctx, q)
 	if err != nil {
 		return nil, err
 	}

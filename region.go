@@ -113,13 +113,18 @@ func newClientOn(cl *cloud.Cloud, opts Options) (*Client, error) {
 }
 
 // Dependents returns every object version that directly consumed any
-// version of path — the provenance-aware deletion check.
+// version of path — the provenance-aware deletion check. It compiles to
+// the descriptor {RefPrefix: path + ":", Direction: TraverseDescendants,
+// Depth: 1, IncludeSeeds: true}: one indexed starts-with query on the
+// SimpleDB architectures.
+//
+// Deprecated: use Search with a QuerySpec.
 func (c *Client) Dependents(ctx context.Context, path string) ([]Ref, error) {
 	q, err := c.querier()
 	if err != nil {
 		return nil, err
 	}
-	refs, err := q.Dependents(ctx, prov.ObjectID(path))
+	refs, err := core.Dependents(ctx, q, prov.ObjectID(path))
 	return toPublicRefs(refs), err
 }
 

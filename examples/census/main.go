@@ -122,8 +122,7 @@ func main() {
 	}
 
 	// The same surface answers parameterized questions the fixed verbs
-	// never could: which files under /shared/ derive from tools run on
-	// the Odyssey grid?
+	// never could: which tool processes ran on the Odyssey grid?
 	odyssey, err := bureau.Search(ctx, passcloud.QuerySpec{
 		Attrs:     map[string]string{"env": "LAB=harvard GRID=odyssey"},
 		RefPrefix: "proc/",

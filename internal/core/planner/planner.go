@@ -155,6 +155,34 @@ func (c *SDBCatalog) ItemGets(refs []prov.Ref) int64 {
 	return n
 }
 
+// AttrGets is the S3 GETs decoding the named attributes of the given items
+// issues: one per pointer-encoded stored value among each item's inline
+// records whose attribute is requested. This is the decode cost of
+// attributes riding a QueryWithAttributes response.
+func (c *SDBCatalog) AttrGets(refs []prov.Ref, attrNames []string) int64 {
+	if len(attrNames) == 0 {
+		return 0
+	}
+	want := make(map[string]bool, len(attrNames))
+	for _, n := range attrNames {
+		want[n] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, ref := range refs {
+		for _, r := range c.items[ref] {
+			if !want[r.Attr] || r.Value.Kind != prov.KindString {
+				continue
+			}
+			if _, _, isPtr := core.DecodeValue(r.Value.Str); isPtr {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // MatchAttr returns the subjects the backend's index would return for
 // attr = storedValue.
 func (c *SDBCatalog) MatchAttr(attr, storedValue string) []prov.Ref {

@@ -104,8 +104,24 @@ func evalSeeds(g *prov.Graph, q prov.Query) []prov.Ref {
 		}
 		return out
 	}
+	pool := g.Subjects()
+	if q.Direction == prov.TraverseDescendants {
+		// A descendants traversal must also seed refs that exist only as
+		// input edges: an S3-only overwrite erases the superseded version's
+		// records from the scan graph, yet its consumers still name it as
+		// an input — and SimpleDB's native starts-with plan matches those
+		// input values directly. Edge-only refs have no records, so they
+		// can pass only record-free filters (RefPrefix, or none); they are
+		// never reached by the traversal (children are always subjects), so
+		// this only adds results.
+		for _, src := range g.EdgeSources() {
+			if !g.Has(src) {
+				pool = append(pool, src)
+			}
+		}
+	}
 	var out []prov.Ref
-	for _, subject := range g.Subjects() {
+	for _, subject := range pool {
 		if matchesFilters(g, subject, q, false) {
 			out = append(out, subject)
 		}

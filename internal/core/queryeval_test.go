@@ -110,6 +110,35 @@ func TestEvalQueryIncludeSeeds(t *testing.T) {
 	}
 }
 
+// TestEvalQueryEdgeOnlySeeds: a descendants traversal must also seed refs
+// that exist only as input edges. On S3-only an overwrite erases the
+// superseded version's records from the scan graph, leaving the version
+// visible solely through its consumers' input records — its dependents
+// must still be found, as SimpleDB's starts-with-on-input plan does.
+func TestEvalQueryEdgeOnlySeeds(t *testing.T) {
+	g := prov.NewGraph()
+	proc := evalRef("proc/1/analyze", 0)
+	v0, v1 := evalRef("/data", 0), evalRef("/data", 1)
+	g.AddAll([]prov.Record{
+		// /data:0 itself has no records: its metadata was overwritten.
+		prov.NewString(proc, prov.AttrType, prov.TypeProcess),
+		prov.NewInput(proc, v0),
+		prov.NewString(v1, prov.AttrType, prov.TypeFile),
+	})
+
+	got := EvalQueryRefs(g, prov.QDependents("/data"))
+	if !reflect.DeepEqual(got, []prov.Ref{proc}) {
+		t.Fatalf("dependents over edge-only seed = %v, want [%v]", got, proc)
+	}
+	// Record-bearing filters still exclude edge-only refs: nothing asserts
+	// attributes about them.
+	typed := prov.Query{RefPrefix: "/data:", Type: prov.TypeFile,
+		Direction: prov.TraverseDescendants, Depth: 1, IncludeSeeds: true}
+	if got := EvalQueryRefs(g, typed); len(got) != 0 {
+		t.Fatalf("typed filter matched an edge-only ref: %v", got)
+	}
+}
+
 func TestVerbHelpersCompile(t *testing.T) {
 	// The deprecated verbs must compile to descriptors that EvalQuery
 	// answers identically to the legacy graph algorithms.

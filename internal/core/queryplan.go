@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"crypto/rand"
 	"encoding/base64"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -176,7 +178,30 @@ type pin struct {
 // use.
 type Pins struct {
 	mu   sync.Mutex
+	inst string // random instance token mixed into cursor stamps
 	pins []*pin // append order; evict from the front
+}
+
+// instance returns this registry's random token, generated on first use.
+// Mixing it into cursor stamps makes a cursor minted by a different store
+// instance (another client, an earlier process) fail with ErrBadCursor
+// instead of colliding with a fresh store's process-local generation
+// counter and silently resuming a result set this store never pinned.
+func (p *Pins) instance() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.inst == "" {
+		var b [8]byte
+		rand.Read(b[:])
+		p.inst = hex.EncodeToString(b[:])
+	}
+	return p.inst
+}
+
+// token is the full stamp cursors bind to: instance token + repository
+// generation.
+func (p *Pins) token(stamp string) string {
+	return p.instance() + "@" + stamp
 }
 
 // put retains entries for (hash, stamp), replacing any previous pin.
@@ -223,6 +248,7 @@ func RunPaged(
 	yield func(Entry, error) bool,
 ) {
 	hash := QueryHash(q)
+	token := pins.token(stamp)
 
 	evalAndPin := func(at string) ([]Entry, error) {
 		inner := q
@@ -238,7 +264,7 @@ func RunPaged(
 
 	var entries []Entry
 	offset := 0
-	at := stamp
+	at := token
 	if q.Cursor != "" {
 		st, err := decodeCursor(q.Cursor)
 		if err != nil {
@@ -249,10 +275,14 @@ func RunPaged(
 			yield(Entry{}, fmt.Errorf("%w: cursor belongs to a different query", ErrBadCursor))
 			return
 		}
+		if inst, _, ok := strings.Cut(st.stamp, "@"); !ok || inst != pins.instance() {
+			yield(Entry{}, fmt.Errorf("%w: cursor was minted by a different store instance", ErrBadCursor))
+			return
+		}
 		offset, at = st.offset, st.stamp
 		pinned, ok := pins.get(st.hash, st.stamp)
 		if !ok {
-			if st.stamp != stamp {
+			if st.stamp != token {
 				yield(Entry{}, ErrCursorExpired)
 				return
 			}
@@ -267,7 +297,7 @@ func RunPaged(
 		entries = pinned
 	} else {
 		var err error
-		if entries, err = evalAndPin(stamp); err != nil {
+		if entries, err = evalAndPin(token); err != nil {
 			yield(Entry{}, err)
 			return
 		}
@@ -286,4 +316,63 @@ func RunPaged(
 			return
 		}
 	}
+}
+
+// CursorDisposition classifies how a backend will serve a cursor-bearing
+// descriptor — the planning-time mirror of RunPaged's resume logic, for
+// Explain.
+type CursorDisposition int
+
+const (
+	// CursorPinned: the pinned evaluation is resident; resuming serves it
+	// at zero cloud ops.
+	CursorPinned CursorDisposition = iota
+	// CursorReEval: the pin was evicted but the repository is unchanged;
+	// resuming re-evaluates the descriptor at the current stamp.
+	CursorReEval
+	// CursorFails: the cursor is malformed, foreign, or expired; resuming
+	// fails (ErrBadCursor/ErrCursorExpired) without cloud ops.
+	CursorFails
+)
+
+// ExplainCursor fills p for a cursor-bearing descriptor when the resume
+// can be planned without costing an evaluation: a resident pin (free) or a
+// cursor that fails outright. It returns true when the plan is complete;
+// false means the pin was evicted at an unchanged stamp, so the caller
+// must cost the re-evaluation (a note step is already added). Backends
+// share this so their plan output for cursors cannot desynchronize.
+func ExplainCursor(p *QueryPlan, q prov.Query, pins *Pins, stamp string) bool {
+	switch PlanCursor(q, pins, stamp) {
+	case CursorPinned:
+		p.Strategy = "pinned-page"
+		p.Cached = true
+		p.AddStep("-", "pinned-page", 0, "resumed pages serve from the pinned evaluation at zero cloud ops")
+		return true
+	case CursorFails:
+		p.Strategy = "pinned-page"
+		p.AddStep("-", "pinned-page", 0, "cursor cannot resume (foreign or expired): fails without cloud ops")
+		return true
+	default: // CursorReEval
+		p.AddStep("-", "pinned-page", 0, "pin evicted at an unchanged generation: resume re-evaluates")
+		return false
+	}
+}
+
+// PlanCursor predicts RunPaged's disposition of q.Cursor against the
+// current repository stamp.
+func PlanCursor(q prov.Query, pins *Pins, stamp string) CursorDisposition {
+	st, err := decodeCursor(q.Cursor)
+	if err != nil || st.hash != QueryHash(q) {
+		return CursorFails
+	}
+	if inst, _, ok := strings.Cut(st.stamp, "@"); !ok || inst != pins.instance() {
+		return CursorFails
+	}
+	if _, ok := pins.get(st.hash, st.stamp); ok {
+		return CursorPinned
+	}
+	if st.stamp == pins.token(stamp) {
+		return CursorReEval
+	}
+	return CursorFails
 }

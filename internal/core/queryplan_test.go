@@ -94,6 +94,16 @@ func TestRunPagedCursorErrors(t *testing.T) {
 		t.Fatalf("cross-query cursor err = %v", err)
 	}
 
+	// Cursor minted by a different store instance, resumed at a stamp that
+	// happens to collide with the foreign one (generation counters are
+	// process-local): must fail deterministically, not silently re-evaluate
+	// and pose as a continuation of a result set this instance never pinned.
+	foreign := q
+	foreign.Cursor = cur
+	if _, _, err := runPage(t, foreign, "g1", &Pins{}, eval); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("foreign-instance cursor err = %v", err)
+	}
+
 	// Evicted pin + changed repository: expired. Evict by pinning more
 	// result sets than the registry retains.
 	for i := 0; i < maxPins+1; i++ {
@@ -111,6 +121,48 @@ func TestRunPagedCursorErrors(t *testing.T) {
 	// Evicted pin at an UNCHANGED stamp: re-evaluate silently.
 	if got, _, err := runPage(t, expired, "g1", pins, eval); err != nil || len(got) != 1 {
 		t.Fatalf("same-stamp re-eval = %v err=%v", got, err)
+	}
+}
+
+// TestPlanCursor: the planning-time disposition mirrors RunPaged's resume
+// logic, including the evicted-pin re-evaluation Explain must cost.
+func TestPlanCursor(t *testing.T) {
+	eval := func(context.Context, prov.Query) ([]Entry, error) {
+		return []Entry{{Ref: pageRef(0)}, {Ref: pageRef(1)}, {Ref: pageRef(2)}}, nil
+	}
+	pins := &Pins{}
+	q := prov.Query{RefPrefix: "/p/", Limit: 1, Projection: prov.ProjectRefs}
+	_, cur, err := runPage(t, q, "g1", pins, eval)
+	if err != nil || cur == "" {
+		t.Fatalf("seed page: cursor=%q err=%v", cur, err)
+	}
+	withCur := q
+	withCur.Cursor = cur
+
+	if got := PlanCursor(withCur, pins, "g1"); got != CursorPinned {
+		t.Fatalf("resident pin disposition = %v, want CursorPinned", got)
+	}
+	if got := PlanCursor(withCur, &Pins{}, "g1"); got != CursorFails {
+		t.Fatalf("foreign-instance disposition = %v, want CursorFails", got)
+	}
+	bad := q
+	bad.Cursor = "!!garbage!!"
+	if got := PlanCursor(bad, pins, "g1"); got != CursorFails {
+		t.Fatalf("garbage disposition = %v, want CursorFails", got)
+	}
+
+	// Evict the pin with newer paginated queries.
+	for i := 0; i < maxPins+1; i++ {
+		filler := prov.Query{RefPrefix: fmt.Sprintf("/f%d/", i), Limit: 1, Projection: prov.ProjectRefs}
+		if _, _, err := runPage(t, filler, "g1", pins, eval); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := PlanCursor(withCur, pins, "g1"); got != CursorReEval {
+		t.Fatalf("evicted-pin same-stamp disposition = %v, want CursorReEval", got)
+	}
+	if got := PlanCursor(withCur, pins, "g2"); got != CursorFails {
+		t.Fatalf("evicted-pin changed-stamp disposition = %v, want CursorFails", got)
 	}
 }
 

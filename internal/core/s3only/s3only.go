@@ -752,15 +752,24 @@ func (s *Store) stampToken() string {
 	return fmt.Sprintf("%d.%d", st.Gen, st.Epoch)
 }
 
-// evalAll materializes a full evaluation for the paging layer.
+// evalAll materializes a full evaluation for the paging layer. On the
+// uncached Q.1 streaming path a subject whose records rode several carrier
+// PUTs arrives in pieces; pages must have exactly one entry per ref (the
+// no-duplicates cursor contract), so pieces merge here before pinning.
 func (s *Store) evalAll(ctx context.Context, q prov.Query) ([]core.Entry, error) {
 	var out []core.Entry
+	idx := make(map[prov.Ref]int)
 	var ferr error
 	s.runQuery(ctx, q, func(e core.Entry, err error) bool {
 		if err != nil {
 			ferr = err
 			return false
 		}
+		if i, ok := idx[e.Ref]; ok {
+			out[i].Records = append(out[i].Records, e.Records...)
+			return true
+		}
+		idx[e.Ref] = len(out)
 		out = append(out, e)
 		return true
 	})
@@ -811,10 +820,11 @@ func (s *Store) Explain(q prov.Query) core.QueryPlan {
 		return p
 	}
 	if q.Cursor != "" {
-		p.Strategy = "pinned-page"
-		p.Cached = true
-		p.AddStep("-", "pinned-page", 0, "resumed pages serve from the pinned evaluation at zero cloud ops")
-		return p
+		if core.ExplainCursor(&p, q, &s.pins, s.stampToken()) {
+			return p
+		}
+		// Evicted pin at an unchanged generation: fall through and cost the
+		// re-evaluation (free only if the snapshot is warm).
 	}
 	if s.cache != nil && s.cache.Warm() {
 		p.Strategy = "snapshot"

@@ -505,3 +505,65 @@ func TestParallelScanMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestPagedScanMergesPieces: a subject whose records rode several carrier
+// PUTs streams in pieces on the uncached scan; a paginated query must still
+// return exactly one entry per ref — the no-duplicates cursor contract —
+// with the pieces' records merged.
+func TestPagedScanMergesPieces(t *testing.T) {
+	cl := cloud.New(cloud.Config{Seed: 1})
+	st, err := New(Config{Cloud: cl, DisableQueryCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	proc := prov.Ref{Object: "proc/1/tool", Version: 0}
+	// Two batches: each carries one piece of the process's records on a
+	// different file's PUT.
+	batches := [][]pass.FlushEvent{
+		{
+			{Ref: proc, Type: prov.TypeProcess, Records: []prov.Record{
+				prov.NewString(proc, prov.AttrType, prov.TypeProcess)}},
+			fileEvent("/f1", 0, "one"),
+		},
+		{
+			{Ref: proc, Type: prov.TypeProcess, Records: []prov.Record{
+				prov.NewString(proc, prov.AttrName, "tool")}},
+			fileEvent("/f2", 0, "two"),
+		},
+	}
+	for _, b := range batches {
+		if err := st.PutBatch(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := prov.Query{Limit: 1}
+	seen := map[prov.Ref]int{}
+	procRecords := 0
+	for {
+		cursor := ""
+		for e, err := range st.Query(ctx, q) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[e.Ref]++
+			if e.Ref == proc {
+				procRecords = len(e.Records)
+			}
+			cursor = e.Cursor
+		}
+		if cursor == "" {
+			break
+		}
+		q.Cursor = cursor
+	}
+	for ref, n := range seen {
+		if n != 1 {
+			t.Fatalf("paged scan returned ref %v %d times", ref, n)
+		}
+	}
+	if procRecords != 2 {
+		t.Fatalf("process entry carries %d records, want both pieces merged", procRecords)
+	}
+}

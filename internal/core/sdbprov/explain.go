@@ -27,10 +27,11 @@ func (l *Layer) Explain(q prov.Query) core.QueryPlan {
 		return p
 	}
 	if q.Cursor != "" {
-		p.Strategy = "pinned-page"
-		p.Cached = true
-		p.AddStep("-", "pinned-page", 0, "resumed pages serve from the pinned evaluation at zero cloud ops")
-		return p
+		if core.ExplainCursor(&p, q, &l.pins, l.stampToken()) {
+			return p
+		}
+		// Evicted pin at an unchanged generation: fall through and cost the
+		// re-evaluation (free only when memoized or snapshot-warm).
 	}
 	stripped := q
 	stripped.Limit = 0
@@ -153,7 +154,11 @@ func (s *planSim) seeds(q prov.Query) []prov.Ref {
 		instances := cat.MatchAttr(prov.AttrName, core.EscapeLiteral(q.Tool))
 		s.step("SimpleDB", "Query", core.PlanPages(len(instances), sdb.QueryPageLimit), "phase 1: instances of the tool")
 		filters := q.AttrFilters()
-		deps := s.chunkedDependents(instances, "phase 2: dependents, filter attributes riding along", len(filters) > 0)
+		names := make([]string, len(filters))
+		for i, f := range filters {
+			names[i] = f.Attr
+		}
+		deps := s.chunkedDependents(instances, "phase 2: dependents, filter attributes riding along", names)
 		var out []prov.Ref
 		for _, d := range deps {
 			if !s.matchesStored(d, filters) {
@@ -260,7 +265,7 @@ func (s *planSim) descendants(q prov.Query) []prov.Ref {
 	}
 
 	for ; len(frontier) > 0 && (q.Depth == 0 || level < q.Depth); level++ {
-		next := s.chunkedDependents(frontier, "BFS level: chunked dependency queries", false)
+		next := s.chunkedDependents(frontier, "BFS level: chunked dependency queries", nil)
 		frontier = frontier[:0]
 		for _, n := range next {
 			if !found[n] && (q.IncludeSeeds || !isSeed(n)) {
@@ -277,20 +282,25 @@ func (s *planSim) descendants(q prov.Query) []prov.Ref {
 }
 
 // chunkedDependents mirrors dependentsOf: ⌈n/chunk⌉ queries, each paging on
-// its own match count, results deduplicated in chunk order.
-func (s *planSim) chunkedDependents(refs []prov.Ref, note string, withAttrs bool) []prov.Ref {
+// its own match count, results deduplicated in chunk order. When attrNames
+// ride along (QueryWithAttributes), decoding a pointer-encoded requested
+// value costs an S3 GET per chunk response it appears in — exactly as the
+// runtime's per-chunk decode does, including re-decoding an item matched
+// by several chunks.
+func (s *planSim) chunkedDependents(refs []prov.Ref, note string, attrNames []string) []prov.Ref {
 	chunkSize := s.l.cfg.QueryChunk
 	op := "Query"
-	if withAttrs {
+	if len(attrNames) > 0 {
 		op = "QueryWithAttributes"
 	}
-	var ops int64
+	var ops, gets int64
 	seen := make(map[prov.Ref]bool)
 	var out []prov.Ref
 	for start := 0; start < len(refs); start += chunkSize {
 		end := min(start+chunkSize, len(refs))
 		matches := s.l.catalog.Dependents(refs[start:end])
 		ops += core.PlanPages(len(matches), sdb.QueryPageLimit)
+		gets += s.l.catalog.AttrGets(matches, attrNames)
 		for _, m := range matches {
 			if !seen[m] {
 				seen[m] = true
@@ -300,6 +310,9 @@ func (s *planSim) chunkedDependents(refs []prov.Ref, note string, withAttrs bool
 	}
 	if len(refs) > 0 {
 		s.step("SimpleDB", op, ops, note)
+		if gets > 0 {
+			s.step("S3", "GET", gets, "resolve pointer-encoded riding attribute values")
+		}
 	}
 	return out
 }

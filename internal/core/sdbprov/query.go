@@ -195,6 +195,12 @@ func (l *Layer) runQuery(ctx context.Context, q prov.Query, yield func(core.Entr
 			if g != nil {
 				records = g.Records(r)
 			} else {
+				// FetchItem takes no context: check per ref so a cancel
+				// stops billing mid-result-set, not after it.
+				if err := ctx.Err(); err != nil {
+					yield(core.Entry{}, err)
+					return
+				}
 				var ok bool
 				records, _, ok, err = l.FetchItem(r)
 				if err != nil {

@@ -261,7 +261,10 @@ func (l *Layer) EncodeValues(subject prov.Ref, records []prov.Record, faultPrefi
 // attribute list: inline records, the MD5 consistency record, and — for
 // records beyond the 256-pairs-per-item limit — an S3 spill object
 // referenced by the AttrMore attribute (the spill PUT happens here).
-func (l *Layer) buildAttrs(subject prov.Ref, encoded []prov.Record, md5hex, faultPrefix string) ([]sdb.ReplaceableAttr, error) {
+// observe mirrors the item into the planner catalog; callers invoke it
+// only once the SimpleDB write succeeds, so a failed write cannot leave a
+// phantom item skewing Explain.
+func (l *Layer) buildAttrs(subject prov.Ref, encoded []prov.Record, md5hex, faultPrefix string) (attrs []sdb.ReplaceableAttr, observe func(), err error) {
 	item := prov.EncodeItemName(subject)
 
 	// Reserve room for the bookkeeping attributes.
@@ -275,11 +278,9 @@ func (l *Layer) buildAttrs(subject prov.Ref, encoded []prov.Record, md5hex, faul
 		cut := sdb.MaxAttrsPerItem - reserved
 		inline, spill = encoded[:cut], encoded[cut:]
 	}
-	// Mirror the write into the planner catalog so Explain can predict
-	// query costs without touching the cloud.
-	l.catalog.Observe(subject, inline, spill)
+	observe = func() { l.catalog.Observe(subject, inline, spill) }
 
-	attrs := make([]sdb.ReplaceableAttr, 0, len(inline)+reserved)
+	attrs = make([]sdb.ReplaceableAttr, 0, len(inline)+reserved)
 	for _, rec := range inline {
 		attrs = append(attrs, sdb.ReplaceableAttr{Name: rec.Attr, Value: rec.Value.String()})
 	}
@@ -290,18 +291,18 @@ func (l *Layer) buildAttrs(subject prov.Ref, encoded []prov.Record, md5hex, faul
 	if len(spill) > 0 {
 		blob, err := prov.MarshalJSONRecords(spill)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		mkey := fmt.Sprintf("%s/%s/more", OverflowPrefix, item)
 		if err := l.cfg.Cloud.S3.Put(l.cfg.Bucket, mkey, blob, nil); err != nil {
-			return nil, fmt.Errorf("sdbprov: spill put: %w", err)
+			return nil, nil, fmt.Errorf("sdbprov: spill put: %w", err)
 		}
 		if err := l.cfg.Faults.Check(faultPrefix + "/after-spill-put"); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		attrs = append(attrs, sdb.ReplaceableAttr{Name: AttrMore, Value: mkey, Replace: true})
 	}
-	return attrs, nil
+	return attrs, observe, nil
 }
 
 // WriteEncoded stores pre-encoded records (from EncodeValues) as one
@@ -314,11 +315,15 @@ func (l *Layer) WriteEncoded(subject prov.Ref, encoded []prov.Record, md5hex, fa
 	// Invalidate cached query state even on failure: a partial chunked
 	// write is already visible to queries.
 	defer l.gen.Bump()
-	attrs, err := l.buildAttrs(subject, encoded, md5hex, faultPrefix)
+	attrs, observe, err := l.buildAttrs(subject, encoded, md5hex, faultPrefix)
 	if err != nil {
 		return err
 	}
-	return l.putChunked(subject, attrs, faultPrefix)
+	if err := l.putChunked(subject, attrs, faultPrefix); err != nil {
+		return err
+	}
+	observe()
+	return nil
 }
 
 // putChunked issues the chunked PutAttributes loop for one item.
@@ -374,6 +379,7 @@ func (l *Layer) WriteEncodedBatch(ctx context.Context, writes []ItemWrite, fault
 		defer l.gen.Bump()
 	}
 	var group []sdb.BatchItem
+	var groupObserve []func()
 	flushGroup := func() error {
 		if len(group) == 0 {
 			return nil
@@ -381,7 +387,11 @@ func (l *Layer) WriteEncodedBatch(ctx context.Context, writes []ItemWrite, fault
 		if err := l.cfg.Cloud.SDB.BatchPutAttributes(l.cfg.Domain, group); err != nil {
 			return fmt.Errorf("sdbprov: batch put attributes: %w", err)
 		}
-		group = group[:0]
+		// The group landed: mirror its items into the planner catalog.
+		for _, observe := range groupObserve {
+			observe()
+		}
+		group, groupObserve = group[:0], groupObserve[:0]
 		return l.cfg.Faults.Check(faultPrefix + "/after-batchput")
 	}
 
@@ -390,7 +400,7 @@ func (l *Layer) WriteEncodedBatch(ctx context.Context, writes []ItemWrite, fault
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		attrs, err := l.buildAttrs(w.Subject, w.Records, w.MD5, faultPrefix)
+		attrs, observe, err := l.buildAttrs(w.Subject, w.Records, w.MD5, faultPrefix)
 		if err != nil {
 			return err
 		}
@@ -405,6 +415,7 @@ func (l *Layer) WriteEncodedBatch(ctx context.Context, writes []ItemWrite, fault
 			if err := l.putChunked(w.Subject, attrs, faultPrefix); err != nil {
 				return err
 			}
+			observe()
 			continue
 		}
 		name := prov.EncodeItemName(w.Subject)
@@ -419,6 +430,7 @@ func (l *Layer) WriteEncodedBatch(ctx context.Context, writes []ItemWrite, fault
 		}
 		seen[name] = true
 		group = append(group, sdb.BatchItem{Name: name, Attrs: attrs})
+		groupObserve = append(groupObserve, observe)
 		if len(group) == sdb.MaxItemsPerBatch {
 			if err := flushGroup(); err != nil {
 				return err

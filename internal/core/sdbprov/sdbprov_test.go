@@ -11,8 +11,10 @@ import (
 
 	"passcloud/internal/cloud"
 	"passcloud/internal/cloud/billing"
+	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/core"
 	"passcloud/internal/prov"
+	"passcloud/internal/sim"
 )
 
 func newTestLayer(t *testing.T, maxDelay time.Duration) (*Layer, *cloud.Cloud) {
@@ -321,6 +323,79 @@ func TestDependentsChunking(t *testing.T) {
 	// The N+1 is gone: no GetAttributes per dependent.
 	if gets := after.OpCount(billing.SimpleDB, "GetAttributes") - before.OpCount(billing.SimpleDB, "GetAttributes"); gets != 0 {
 		t.Fatalf("OutputsOf issued %d GetAttributes; type must ride the chunk queries", gets)
+	}
+}
+
+// TestExplainPredictsRidingAttrPointerGets: a two-phase query whose filter
+// attribute rides the phase-2 QueryWithAttributes must predict the S3 GET
+// that decoding a pointer-encoded (overflow) value of that attribute
+// issues — the metered==predicted contract holds for riding attributes too.
+func TestExplainPredictsRidingAttrPointerGets(t *testing.T) {
+	cl := cloud.New(cloud.Config{Seed: 1})
+	layer, err := New(Config{Cloud: cl, DisableQueryCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, out := ref("proc/1/blast", 0), ref("/out", 0)
+	big := strings.Repeat("x", core.OverflowThreshold+1)
+	if err := layer.WriteItem(proc, []prov.Record{
+		prov.NewString(proc, prov.AttrType, prov.TypeProcess),
+		prov.NewString(proc, prov.AttrName, "blast"),
+	}, "", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.WriteItem(out, []prov.Record{
+		prov.NewString(out, prov.AttrType, prov.TypeFile),
+		prov.NewInput(out, proc),
+		prov.NewString(out, "notes", big), // stored as an S3 pointer
+	}, "", "t"); err != nil {
+		t.Fatal(err)
+	}
+
+	q := prov.Query{
+		Tool:       "blast",
+		Attrs:      []prov.AttrFilter{{Attr: "notes", Value: "short"}},
+		Projection: prov.ProjectRefs,
+	}
+	plan := layer.Explain(q)
+	if !plan.Exact {
+		t.Fatalf("single-writer plan not exact: %+v", plan)
+	}
+	before := cl.Usage().TotalOps()
+	entries, err := core.CollectEntries(layer.Query(context.Background(), q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metered := cl.Usage().TotalOps() - before
+	if plan.EstOps != metered {
+		t.Fatalf("Explain predicted %d ops, meters recorded %d\n%s", plan.EstOps, metered, plan)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("query matched %v, want none (the pointer value is not %q)", entries, "short")
+	}
+}
+
+// TestFailedWriteLeavesNoPhantomCatalogItem: a write that fails before its
+// SimpleDB item lands must not be mirrored into the planner catalog, or
+// Explain would simulate plans over an item that does not exist.
+func TestFailedWriteLeavesNoPhantomCatalogItem(t *testing.T) {
+	faults := sim.NewFaultPlan()
+	faults.Arm("t/after-spill-put")
+	cl := cloud.New(cloud.Config{Seed: 1})
+	layer, err := New(Config{Cloud: cl, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subject := ref("/big", 0)
+	records := make([]prov.Record, 0, sdb.MaxAttrsPerItem+10)
+	for i := 0; i < sdb.MaxAttrsPerItem+10; i++ {
+		records = append(records, prov.NewString(subject, fmt.Sprintf("k%03d", i), "v"))
+	}
+	if err := layer.WriteItem(subject, records, "", "t"); err == nil {
+		t.Fatal("armed spill fault did not fire")
+	}
+	if n := layer.catalog.Items(); n != 0 {
+		t.Fatalf("failed write left %d phantom catalog item(s)", n)
 	}
 }
 

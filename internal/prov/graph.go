@@ -74,6 +74,20 @@ func (g *Graph) Subjects() []Ref {
 	return out
 }
 
+// EdgeSources returns every ref that some subject lists as an input,
+// sorted — including refs with no records of their own. Such edge-only
+// refs are real: on the S3-only architecture an overwrite replaces the
+// object's per-version metadata, so a superseded version survives in a
+// scan-built graph only as other subjects' input edges.
+func (g *Graph) EdgeSources() []Ref {
+	out := make([]Ref, 0, len(g.children))
+	for r := range g.children {
+		out = append(out, r)
+	}
+	sortRefs(out)
+	return out
+}
+
 // Inputs returns ref's direct dependencies.
 func (g *Graph) Inputs(ref Ref) []Ref {
 	var out []Ref

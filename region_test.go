@@ -198,6 +198,59 @@ func TestSafeDeleteRefusesWithDependents(t *testing.T) {
 	}
 }
 
+// TestDependentsSurviveOverwrite: overwriting an object must not erase the
+// deletion guard for its earlier versions. On S3-only the overwrite
+// replaces the object's per-version metadata, so version 0 survives in the
+// scan-built graph only as its consumers' input edges — the descendants
+// query must still seed it, matching the SimpleDB architectures' native
+// starts-with-on-input semantics.
+func TestDependentsSurviveOverwrite(t *testing.T) {
+	for _, arch := range allArchitectures {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			c, err := New(Options{Architecture: arch, Seed: 77})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runPipeline(t, c) // census:0 -> analyze -> trends.dat -> plot -> trends.png
+
+			// A second (truncating) write supersedes /census/data.csv.
+			w := c.Exec(nil, ProcessSpec{Name: "rewrite"})
+			if err := w.Write("/census/data.csv", []byte("census-2010-data")); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(ctx, "/census/data.csv"); err != nil {
+				t.Fatal(err)
+			}
+			w.Exit()
+			if err := c.Sync(ctx); err != nil {
+				t.Fatal(err)
+			}
+			c.Settle()
+
+			deps, err := c.Dependents(ctx, "/census/data.csv")
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, d := range deps {
+				if d.Object == "proc/1/analyze" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("Dependents after overwrite = %v, want the analyze process that consumed version 0", deps)
+			}
+
+			// The deletion guard must therefore still refuse.
+			var hasDeps *ErrHasDependents
+			if err := c.SafeDelete(ctx, "/census/data.csv"); !errors.As(err, &hasDeps) {
+				t.Fatalf("SafeDelete after overwrite = %v, want ErrHasDependents", err)
+			}
+		})
+	}
+}
+
 func TestDependentsListsDirectConsumers(t *testing.T) {
 	c, err := New(Options{Architecture: S3SimpleDB, Seed: 66})
 	if err != nil {

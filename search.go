@@ -224,10 +224,11 @@ func (c *Client) Explain(spec QuerySpec) (QueryPlan, error) {
 	if err != nil {
 		return QueryPlan{}, err
 	}
-	if err := spec.compile().Validate(); err != nil {
+	desc := spec.compile()
+	if err := desc.Validate(); err != nil {
 		return QueryPlan{}, fmt.Errorf("passcloud: %w", err)
 	}
-	p := q.Explain(spec.compile())
+	p := q.Explain(desc)
 	pub := QueryPlan{
 		Arch:     p.Arch,
 		Strategy: p.Strategy,

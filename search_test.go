@@ -224,6 +224,87 @@ func TestSearchCursorErrors(t *testing.T) {
 	if _, err := c.Search(ctx, other); !errors.Is(err, ErrBadCursor) {
 		t.Fatalf("cross-query cursor: %v", err)
 	}
+
+	// Same cursor, different client. The second client's process-local
+	// generation counter matches the first's (identical workload), so
+	// without a per-store instance token the cursor would silently resume a
+	// result set the second store never pinned.
+	c2 := searchClient(t, S3SimpleDB)
+	foreign := QuerySpec{RefPrefix: "/data/", RefsOnly: true, Limit: 2, Cursor: page.Cursor}
+	if _, err := c2.Search(ctx, foreign); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("foreign-client cursor: %v", err)
+	}
+}
+
+// TestExplainEvictedPinCostsReEvaluation: Explain may promise a free
+// pinned-page resume only while the pin is resident. Once newer paginated
+// queries evict it, resuming at an unchanged generation re-evaluates the
+// descriptor — with the cache disabled that is real cloud work, and the
+// plan must predict it instead of hardcoding zero.
+func TestExplainEvictedPinCostsReEvaluation(t *testing.T) {
+	ctx := context.Background()
+	for name, arch := range archs() {
+		t.Run(name, func(t *testing.T) {
+			c, err := New(Options{Architecture: arch, Seed: 5, DisableQueryCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				if err := c.Ingest(ctx, fmt.Sprintf("/data/f%d", i), []byte{byte('a' + i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.Sync(ctx); err != nil {
+				t.Fatal(err)
+			}
+			c.Settle()
+
+			spec := QuerySpec{RefPrefix: "/data/", RefsOnly: true, Limit: 2}
+			page, err := c.Search(ctx, spec)
+			if err != nil || page.Cursor == "" {
+				t.Fatalf("page1 cursor=%q err=%v", page.Cursor, err)
+			}
+			resume := spec
+			resume.Cursor = page.Cursor
+
+			// Pin resident: the resume really is free.
+			plan, err := c.Explain(resume)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !plan.Cached || plan.EstOps != 0 {
+				t.Fatalf("resident-pin plan not free: %+v", plan)
+			}
+
+			// Evict the pin with newer paginated queries (the registry
+			// retains a bounded number; generation is unchanged throughout).
+			for i := 0; i < 12; i++ {
+				filler := QuerySpec{RefPrefix: fmt.Sprintf("/data/f%d:", i), RefsOnly: true, Limit: 1}
+				if _, err := c.Search(ctx, filler); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			plan, err = c.Explain(resume)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Cached || plan.EstOps == 0 {
+				t.Fatalf("evicted-pin plan still claims a free resume: %+v", plan)
+			}
+
+			// The prediction matches the metered re-evaluation.
+			before := c.Usage()
+			if _, err := c.Search(ctx, resume); err != nil {
+				t.Fatal(err)
+			}
+			after := c.Usage()
+			metered := (after.S3Ops + after.SimpleDBOps) - (before.S3Ops + before.SimpleDBOps)
+			if metered != plan.EstOps {
+				t.Fatalf("resume metered %d ops, plan predicted %d", metered, plan.EstOps)
+			}
+		})
+	}
 }
 
 // TestExplainExactDegradesOnSharedRegion: a client whose planner catalog

@@ -180,7 +180,7 @@ func TestAblationEventualConsistencyWithoutVerificationTearsReads(t *testing.T) 
 		ref := prov.Ref{Object: "/t", Version: prov.Version(v)}
 		marker := []byte{byte('0' + v)}
 		nonce := string(marker)
-		if err := layer.WriteItem(ref, []prov.Record{
+		if err := layer.WriteItem(context.Background(), ref, []prov.Record{
 			prov.NewString(ref, prov.AttrEnv, string(marker)),
 		}, sdbprov.ConsistencyMD5(marker, nonce), "ablate"); err != nil {
 			t.Fatal(err)
@@ -201,7 +201,7 @@ func TestAblationEventualConsistencyWithoutVerificationTearsReads(t *testing.T) 
 		if err != nil {
 			continue
 		}
-		records, _, ok, err := layer.FetchItem(prov.Ref{Object: "/t", Version: 0})
+		records, _, ok, err := layer.FetchItem(context.Background(), prov.Ref{Object: "/t", Version: 0})
 		if err != nil || !ok {
 			continue
 		}

@@ -43,6 +43,10 @@ type report struct {
 		Objects    int64
 		Transients int64
 	} `json:"dataset"`
+	Retry map[string]struct {
+		Retries   int64 `json:"retries"`
+		Exhausted int64 `json:"exhausted"`
+	} `json:"retry"`
 }
 
 func load(path string) (*report, error) {
@@ -162,6 +166,32 @@ func main() {
 					"table3/results/"+row.Query+"/"+row.Arch, row.Results, n.results)
 				failed = true
 			}
+		}
+	}
+
+	// Retry overhead: the simulated region injects no faults during a
+	// benchmark run, so retries or exhaustions appearing (or growing) mean
+	// the write path started misclassifying errors or re-running work.
+	// Old reports may predate the counters; gate only when both sides
+	// carry them.
+	if len(oldRep.Retry) > 0 && len(newRep.Retry) == 0 {
+		// The counters existed and vanished wholesale — the gate would
+		// silently disable itself exactly when the wiring broke.
+		fmt.Printf("%-40s missing in new report  REGRESSION\n", "retry/(all)")
+		failed = true
+	}
+	if len(oldRep.Retry) > 0 && len(newRep.Retry) > 0 {
+		for arch, o := range oldRep.Retry {
+			n, ok := newRep.Retry[arch]
+			if !ok {
+				// Counters vanishing for an arch disables the gate, which
+				// is itself a regression — mirror the op-table checks.
+				fmt.Printf("%-40s missing in new report  REGRESSION\n", "retry/"+arch)
+				failed = true
+				continue
+			}
+			check("retry/retries/"+arch, o.Retries, n.Retries)
+			check("retry/exhausted/"+arch, o.Exhausted, n.Exhausted)
 		}
 	}
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"passcloud/internal/cloud/billing"
 	"passcloud/internal/core/props"
@@ -42,8 +43,23 @@ type report struct {
 	Table2     *cost.Table2       `json:"table2,omitempty"`
 	Table3     *cost.Table3       `json:"table3,omitempty"`
 	Dataset    *cost.DatasetStats `json:"dataset,omitempty"`
+	// Retry reports each architecture's cumulative retry overhead for the
+	// run (attempts, retries, recoveries, exhaustions, backoff wait). On a
+	// healthy simulated region every counter except Attempts is zero;
+	// benchdiff gates on regressions.
+	Retry map[string]retryTotals `json:"retry,omitempty"`
 	// USD is the January-2009 load-phase bill per architecture.
 	USD map[string]float64 `json:"usd,omitempty"`
+}
+
+// retryTotals is the stable JSON shape for one architecture's retry
+// counters (wait rendered in milliseconds for the trajectory log).
+type retryTotals struct {
+	Attempts  int64   `json:"attempts"`
+	Retries   int64   `json:"retries"`
+	Recovered int64   `json:"recovered"`
+	Exhausted int64   `json:"exhausted"`
+	WaitMS    float64 `json:"wait_ms"`
 }
 
 func main() {
@@ -106,6 +122,23 @@ func main() {
 			rep.Table3 = t3
 			if !*jsonOut {
 				fmt.Println(t3)
+			}
+		}
+
+		// Retry overhead counters ride every report that loaded the
+		// workload, so the trajectory gate sees retries appearing.
+		rep.Retry = make(map[string]retryTotals)
+		for _, arch := range []string{"s3", "s3+sdb", "s3+sdb+sqs"} {
+			snap, ok := h.RetrySnapshot(arch)
+			if !ok {
+				continue
+			}
+			rep.Retry[arch] = retryTotals{
+				Attempts:  snap.Total.Attempts,
+				Retries:   snap.Total.Retries,
+				Recovered: snap.Total.Recovered,
+				Exhausted: snap.Total.Exhausted,
+				WaitMS:    float64(snap.Total.Wait) / float64(time.Millisecond),
 			}
 		}
 

@@ -1,0 +1,55 @@
+// Package awserr classifies simulated AWS errors the way a resilient client
+// must: transient failures (throttles, 5xx, timeouts) are worth retrying
+// with backoff, everything else is permanent and must surface immediately.
+//
+// The simulated services (internal/cloud/{s3,sdb,sqs}) return these
+// sentinels when a fault plan injects a service-side failure; the shared
+// retry policy (internal/cloud/retry) consults Transient to decide whether
+// another attempt can help. ErrRequestTimeout is the deliberately ambiguous
+// case — the operation may have been applied even though the response was
+// lost — so every retried write path must be idempotent under re-apply.
+package awserr
+
+import "errors"
+
+// Transient error codes: another attempt, after backing off, may succeed.
+var (
+	// ErrThrottled mirrors "503 SlowDown / ServiceUnavailable: Please
+	// reduce your request rate". The request was rejected before applying.
+	ErrThrottled = errors.New("ServiceUnavailable: please reduce your request rate")
+	// ErrInternal mirrors a 500 InternalError: the service failed before
+	// applying the request.
+	ErrInternal = errors.New("InternalError: we encountered an internal error, please try again")
+	// ErrRequestTimeout mirrors a lost response: the connection died after
+	// the request was sent, so the operation MAY have been applied. Retries
+	// of ops that can fail this way must be idempotent.
+	ErrRequestTimeout = errors.New("RequestTimeout: socket connection to the server was not read from or written to")
+)
+
+// Permanent error codes: retrying the identical request cannot succeed.
+var (
+	// ErrAccessDenied mirrors a 403: the request was refused and no amount
+	// of retrying will change the answer.
+	ErrAccessDenied = errors.New("AccessDenied")
+)
+
+// transients lists every sentinel Transient matches.
+var transients = []error{ErrThrottled, ErrInternal, ErrRequestTimeout}
+
+// Transient reports whether err is worth retrying: one of the transient
+// sentinels (however wrapped), or any error advertising Transient() true.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	for _, t := range transients {
+		if errors.Is(err, t) {
+			return true
+		}
+	}
+	var tr interface{ Transient() bool }
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	return false
+}

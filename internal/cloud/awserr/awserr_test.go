@@ -1,0 +1,34 @@
+package awserr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+type transientish struct{}
+
+func (transientish) Error() string   { return "custom" }
+func (transientish) Transient() bool { return true }
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrThrottled, true},
+		{ErrInternal, true},
+		{ErrRequestTimeout, true},
+		{ErrAccessDenied, false},
+		{errors.New("NoSuchKey"), false},
+		{fmt.Errorf("s3: PUT b/k: %w", ErrThrottled), true},
+		{fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrRequestTimeout)), true},
+		{transientish{}, true},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("Transient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -91,6 +91,21 @@ type Meter struct {
 	peak      [numServices]int64 // high-water resident bytes
 }
 
+// ErrSuffix marks failed requests in the by-name ledger: a request that was
+// billed (AWS charges for rejected requests too) but did not change any
+// state. Keeping failures keyed apart means state-change readers — the
+// query cache's invalidation stamp, the planner's write attribution — never
+// count a mutation that never landed as a mutation.
+const ErrSuffix = "!err"
+
+// OpErr records one failed API request: same pricing tier as Op, separate
+// by-name key. Services call it on every billed failure path — injected
+// transient/permanent faults, and errors discovered after the billing
+// point (e.g. a COPY whose source has not propagated).
+func (m *Meter) OpErr(svc Service, name string, tier Tier) {
+	m.Op(svc, name+ErrSuffix, tier)
+}
+
 // Op records one API request against svc under the given pricing tier.
 func (m *Meter) Op(svc Service, name string, tier Tier) {
 	m.mu.Lock()
@@ -217,6 +232,19 @@ func (u Usage) OpsByTier(svc Service, tier Tier) int64 {
 // OpCount returns the count for a specific op, e.g. OpCount(S3, "PUT").
 func (u Usage) OpCount(svc Service, name string) int64 {
 	return u.opsByName[svc.String()+"/"+name]
+}
+
+// FailedOps returns the billed-but-failed request count against svc (the
+// ErrSuffix-keyed ledger entries).
+func (u Usage) FailedOps(svc Service) int64 {
+	prefix := svc.String() + "/"
+	var total int64
+	for k, n := range u.opsByName {
+		if strings.HasPrefix(k, prefix) && strings.HasSuffix(k, ErrSuffix) {
+			total += n
+		}
+	}
+	return total
 }
 
 // BytesIn returns bytes uploaded to svc.

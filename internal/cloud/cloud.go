@@ -25,6 +25,11 @@ type Config struct {
 	MinDelay, MaxDelay time.Duration
 	// VisibilityTimeout for SQS receives (default 30s).
 	VisibilityTimeout time.Duration
+	// Faults optionally injects service-side failures — throttles,
+	// permanent denials, applied-but-response-lost ops — into every service
+	// of the region. Nil injects nothing. Client-side crash points use the
+	// same plan but are checked by protocol code, not the services.
+	Faults *sim.FaultPlan
 }
 
 // Cloud is one simulated AWS region.
@@ -58,7 +63,8 @@ func New(cfg Config) *Cloud {
 			Clock:    clock,
 			RNG:      rng,
 		},
-		Meter: meter,
+		Meter:  meter,
+		Faults: cfg.Faults,
 	})
 	c.SDB = sdb.New(sdb.Config{
 		Replicas: cfg.Replicas,
@@ -67,12 +73,14 @@ func New(cfg Config) *Cloud {
 		Clock:    clock,
 		RNG:      rng,
 		Meter:    meter,
+		Faults:   cfg.Faults,
 	})
 	c.SQS = sqs.New(sqs.Config{
 		VisibilityTimeout: cfg.VisibilityTimeout,
 		Clock:             clock,
 		RNG:               rng,
 		Meter:             meter,
+		Faults:            cfg.Faults,
 	})
 	return c
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"passcloud/internal/cloud/awserr"
 	"passcloud/internal/cloud/billing"
 	"passcloud/internal/cloud/replica"
 	"passcloud/internal/sim"
@@ -76,6 +77,9 @@ type Config struct {
 	Replication replica.Config
 	// Meter receives billing events. Required.
 	Meter *billing.Meter
+	// Faults optionally injects service-side failures (throttles, denials,
+	// lost responses) per operation. Nil injects nothing.
+	Faults *sim.FaultPlan
 }
 
 // Service is a simulated S3 endpoint.
@@ -164,6 +168,24 @@ func (s *Service) bucket(name string) (*replica.Store, bool) {
 	return b, ok
 }
 
+// checkFault consults the fault plan for op ("s3/<op>"). A fail-fast fault
+// meters the failed request (AWS bills rejected requests, but the ErrSuffix
+// keying keeps it out of mutation counters) and returns its error; ackLoss
+// tells the caller to apply the op fully and then return a timeout anyway.
+func (s *Service) checkFault(op, bucket, key string, tier billing.Tier) (failErr error, ackLoss bool) {
+	switch s.cfg.Faults.CheckOp("s3/" + op) {
+	case sim.OpFailTransient:
+		s.cfg.Meter.OpErr(billing.S3, op, tier)
+		return opErr(op, bucket, key, awserr.ErrThrottled), false
+	case sim.OpFailPermanent:
+		s.cfg.Meter.OpErr(billing.S3, op, tier)
+		return opErr(op, bucket, key, awserr.ErrAccessDenied), false
+	case sim.OpAckLoss:
+		return nil, true
+	}
+	return nil, false
+}
+
 // Put stores body under bucket/key with the given user metadata, overwriting
 // any existing object. Data and metadata travel in the same request, so they
 // are stored atomically — the property architecture 1 builds on.
@@ -184,6 +206,10 @@ func (s *Service) Put(bucket, key string, body []byte, metadata map[string]strin
 	if metadataSize(metadata) > MaxMetadataSize {
 		return opErr("PUT", bucket, key, ErrMetadataTooLarge)
 	}
+	failErr, ackLoss := s.checkFault("PUT", bucket, key, billing.TierMutation)
+	if failErr != nil {
+		return failErr
+	}
 
 	obj := newStored(body, metadata, s.clock.Now())
 	s.accountReplace(b, key, obj)
@@ -191,6 +217,10 @@ func (s *Service) Put(bucket, key string, body []byte, metadata map[string]strin
 
 	s.cfg.Meter.Op(billing.S3, "PUT", billing.TierMutation)
 	s.cfg.Meter.In(billing.S3, obj.size+int64(metadataSize(metadata)))
+	if ackLoss {
+		// The object landed; only the response was lost.
+		return opErr("PUT", bucket, key, awserr.ErrRequestTimeout)
+	}
 	return nil
 }
 
@@ -233,6 +263,16 @@ func (s *Service) getRange(bucket, key string, offset, length int64) (*Object, e
 	if !ok {
 		return nil, opErr("GET", bucket, key, ErrNoSuchBucket)
 	}
+	failErr, ackLoss := s.checkFault("GET", bucket, key, billing.TierRetrieval)
+	if failErr != nil {
+		return nil, failErr
+	}
+	if ackLoss {
+		// Reads have no state to apply; a lost response is billed normally
+		// but yields nothing.
+		s.cfg.Meter.Op(billing.S3, "GET", billing.TierRetrieval)
+		return nil, opErr("GET", bucket, key, awserr.ErrRequestTimeout)
+	}
 	s.cfg.Meter.Op(billing.S3, "GET", billing.TierRetrieval)
 	v, ok := b.Get(key)
 	if !ok {
@@ -268,7 +308,14 @@ func (s *Service) Head(bucket, key string) (*Info, error) {
 	if !ok {
 		return nil, opErr("HEAD", bucket, key, ErrNoSuchBucket)
 	}
+	failErr, ackLoss := s.checkFault("HEAD", bucket, key, billing.TierRetrieval)
+	if failErr != nil {
+		return nil, failErr
+	}
 	s.cfg.Meter.Op(billing.S3, "HEAD", billing.TierRetrieval)
+	if ackLoss {
+		return nil, opErr("HEAD", bucket, key, awserr.ErrRequestTimeout)
+	}
 	v, ok := b.Get(key)
 	if !ok {
 		return nil, opErr("HEAD", bucket, key, ErrNoSuchKey)
@@ -304,9 +351,15 @@ func (s *Service) Copy(srcBucket, srcKey, dstBucket, dstKey string, newMetadata 
 	if !validKey(dstKey) {
 		return opErr("COPY", dstBucket, dstKey, ErrInvalidName)
 	}
-	s.cfg.Meter.Op(billing.S3, "COPY", billing.TierMutation)
+	failErr, ackLoss := s.checkFault("COPY", dstBucket, dstKey, billing.TierMutation)
+	if failErr != nil {
+		return failErr
+	}
 	v, ok := sb.Get(srcKey)
 	if !ok {
+		// Billed, but nothing changed: the error-suffixed key keeps the
+		// commit daemon's propagation retries out of mutation counters.
+		s.cfg.Meter.OpErr(billing.S3, "COPY", billing.TierMutation)
 		return opErr("COPY", srcBucket, srcKey, ErrNoSuchKey)
 	}
 	src := v.(*stored)
@@ -315,6 +368,7 @@ func (s *Service) Copy(srcBucket, srcKey, dstBucket, dstKey string, newMetadata 
 		meta = newMetadata
 	}
 	if metadataSize(meta) > MaxMetadataSize {
+		s.cfg.Meter.OpErr(billing.S3, "COPY", billing.TierMutation)
 		return opErr("COPY", dstBucket, dstKey, ErrMetadataTooLarge)
 	}
 	dst := &stored{
@@ -324,8 +378,12 @@ func (s *Service) Copy(srcBucket, srcKey, dstBucket, dstKey string, newMetadata 
 		etag:     src.etag,
 		modified: s.clock.Now(),
 	}
+	s.cfg.Meter.Op(billing.S3, "COPY", billing.TierMutation)
 	s.accountReplace(db, dstKey, dst)
 	db.Put(dstKey, dst)
+	if ackLoss {
+		return opErr("COPY", dstBucket, dstKey, awserr.ErrRequestTimeout)
+	}
 	return nil
 }
 
@@ -336,12 +394,21 @@ func (s *Service) Delete(bucket, key string) error {
 	if !ok {
 		return opErr("DELETE", bucket, key, ErrNoSuchBucket)
 	}
+	failErr, ackLoss := s.checkFault("DELETE", bucket, key, billing.TierRetrieval)
+	if failErr != nil {
+		return failErr
+	}
 	s.cfg.Meter.Op(billing.S3, "DELETE", billing.TierRetrieval)
 	if prev, ok := b.GetLatest(key); ok {
 		p := prev.(*stored)
 		s.cfg.Meter.StorageDelta(billing.S3, -(p.size + int64(metadataSize(p.metadata))))
 	}
 	b.Delete(key)
+	if ackLoss {
+		// The delete landed; only the response was lost. Re-deleting is
+		// idempotent, so retries are harmless.
+		return opErr("DELETE", bucket, key, awserr.ErrRequestTimeout)
+	}
 	return nil
 }
 
@@ -363,7 +430,14 @@ func (s *Service) List(bucket, prefix, marker string, maxKeys int) (*ListPage, e
 	if maxKeys <= 0 {
 		maxKeys = DefaultMaxKeys
 	}
+	failErr, ackLoss := s.checkFault("LIST", bucket, prefix, billing.TierMutation)
+	if failErr != nil {
+		return nil, failErr
+	}
 	s.cfg.Meter.Op(billing.S3, "LIST", billing.TierMutation)
+	if ackLoss {
+		return nil, opErr("LIST", bucket, prefix, awserr.ErrRequestTimeout)
+	}
 
 	keys := b.Keys() // sorted, single-replica view
 	page := &ListPage{}

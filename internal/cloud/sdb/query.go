@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"passcloud/internal/cloud/awserr"
 	"passcloud/internal/cloud/billing"
 )
 
@@ -356,7 +357,14 @@ func (s *Service) queryLocked(op, domainName, expr string, maxResults int, nextT
 	if !ok {
 		return nil, nil, "", opErr(op, domainName, "", ErrNoSuchDomain)
 	}
+	failErr, ackLoss := s.checkFault(op, domainName, "")
+	if failErr != nil {
+		return nil, nil, "", failErr
+	}
 	s.cfg.Meter.Op(billing.SimpleDB, op, billing.TierBox)
+	if ackLoss {
+		return nil, nil, "", opErr(op, domainName, "", awserr.ErrRequestTimeout)
+	}
 
 	q, err := parseQuery(expr)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"passcloud/internal/cloud/awserr"
 	"passcloud/internal/cloud/billing"
 	"passcloud/internal/sim"
 )
@@ -90,6 +91,9 @@ type Config struct {
 	RNG *sim.RNG
 	// Meter receives billing events. Required.
 	Meter *billing.Meter
+	// Faults optionally injects service-side failures (throttles, denials,
+	// lost responses) per operation. Nil injects nothing.
+	Faults *sim.FaultPlan
 }
 
 // Service is a simulated SimpleDB endpoint.
@@ -165,6 +169,24 @@ func newDomain(name string, replicas int) *domain {
 	return d
 }
 
+// checkFault consults the fault plan for op ("sdb/<op>"). A fail-fast fault
+// meters the failed request under the error-suffixed key and returns its
+// error; ackLoss tells the caller to apply the op fully and then return a
+// timeout anyway. Caller holds s.mu.
+func (s *Service) checkFault(op, domainName, item string) (failErr error, ackLoss bool) {
+	switch s.cfg.Faults.CheckOp("sdb/" + op) {
+	case sim.OpFailTransient:
+		s.cfg.Meter.OpErr(billing.SimpleDB, op, billing.TierBox)
+		return opErr(op, domainName, item, awserr.ErrThrottled), false
+	case sim.OpFailPermanent:
+		s.cfg.Meter.OpErr(billing.SimpleDB, op, billing.TierBox)
+		return opErr(op, domainName, item, awserr.ErrAccessDenied), false
+	case sim.OpAckLoss:
+		return nil, true
+	}
+	return nil, false
+}
+
 // CreateDomain creates a domain. Immediately visible; the paper's protocols
 // create domains once at setup time.
 func (s *Service) CreateDomain(name string) error {
@@ -213,20 +235,26 @@ func (s *Service) PutAttributes(domainName, itemName string, attrs []Replaceable
 	if !ok {
 		return opErr("PutAttributes", domainName, itemName, ErrNoSuchDomain)
 	}
-	s.cfg.Meter.Op(billing.SimpleDB, "PutAttributes", billing.TierBox)
+	// Billed requests that change nothing — validation rejections, injected
+	// faults — meter under the error-suffixed key so mutation counters only
+	// see writes that landed.
+	fail := func(code error) error {
+		s.cfg.Meter.OpErr(billing.SimpleDB, "PutAttributes", billing.TierBox)
+		return opErr("PutAttributes", domainName, itemName, code)
+	}
 	if !validName(itemName, MaxItemNameLen) {
-		return opErr("PutAttributes", domainName, itemName, ErrInvalidName)
+		return fail(ErrInvalidName)
 	}
 	if len(attrs) == 0 {
-		return opErr("PutAttributes", domainName, itemName, ErrInvalidName)
+		return fail(ErrInvalidName)
 	}
 	if len(attrs) > MaxAttrsPerCall {
-		return opErr("PutAttributes", domainName, itemName, ErrTooManyAttrsPerCall)
+		return fail(ErrTooManyAttrsPerCall)
 	}
 	var inBytes int64
 	for _, a := range attrs {
 		if len(a.Name) == 0 || len(a.Name) > MaxNameValueLen || len(a.Value) > MaxNameValueLen {
-			return opErr("PutAttributes", domainName, itemName, ErrTooLarge)
+			return fail(ErrTooLarge)
 		}
 		inBytes += int64(len(a.Name) + len(a.Value))
 	}
@@ -237,11 +265,23 @@ func (s *Service) PutAttributes(domainName, itemName string, attrs []Replaceable
 	cur := eventualAttrs(d.views[0], itemName, writeOp{})
 	after, _ := applyOp(append([]Attr(nil), cur...), cur != nil, op)
 	if len(after) > MaxAttrsPerItem {
-		return opErr("PutAttributes", domainName, itemName, ErrTooManyAttrsPerItem)
+		return fail(ErrTooManyAttrsPerItem)
+	}
+	// Faults fire only on requests that passed every validation, so an
+	// ack-loss outcome always means the write below applied.
+	failErr, ackLoss := s.checkFault("PutAttributes", domainName, itemName)
+	if failErr != nil {
+		return failErr
 	}
 
+	s.cfg.Meter.Op(billing.SimpleDB, "PutAttributes", billing.TierBox)
 	s.cfg.Meter.In(billing.SimpleDB, inBytes)
 	s.replicate(d, op)
+	if ackLoss {
+		// The write landed; only the response was lost. PutAttributes is
+		// idempotent (§2.2), so retrying is safe.
+		return opErr("PutAttributes", domainName, itemName, awserr.ErrRequestTimeout)
+	}
 	return nil
 }
 
@@ -263,12 +303,15 @@ func (s *Service) BatchPutAttributes(domainName string, items []BatchItem) error
 	if !ok {
 		return opErr("BatchPutAttributes", domainName, "", ErrNoSuchDomain)
 	}
-	s.cfg.Meter.Op(billing.SimpleDB, "BatchPutAttributes", billing.TierBox)
+	fail := func(item string, code error) error {
+		s.cfg.Meter.OpErr(billing.SimpleDB, "BatchPutAttributes", billing.TierBox)
+		return opErr("BatchPutAttributes", domainName, item, code)
+	}
 	if len(items) == 0 {
-		return opErr("BatchPutAttributes", domainName, "", ErrInvalidName)
+		return fail("", ErrInvalidName)
 	}
 	if len(items) > MaxItemsPerBatch {
-		return opErr("BatchPutAttributes", domainName, "", ErrTooManyItemsPerBatch)
+		return fail("", ErrTooManyItemsPerBatch)
 	}
 
 	var inBytes int64
@@ -276,21 +319,21 @@ func (s *Service) BatchPutAttributes(domainName string, items []BatchItem) error
 	ops := make([]writeOp, 0, len(items))
 	for _, it := range items {
 		if !validName(it.Name, MaxItemNameLen) {
-			return opErr("BatchPutAttributes", domainName, it.Name, ErrInvalidName)
+			return fail(it.Name, ErrInvalidName)
 		}
 		if seen[it.Name] {
-			return opErr("BatchPutAttributes", domainName, it.Name, ErrDuplicateItemInBatch)
+			return fail(it.Name, ErrDuplicateItemInBatch)
 		}
 		seen[it.Name] = true
 		if len(it.Attrs) == 0 {
-			return opErr("BatchPutAttributes", domainName, it.Name, ErrInvalidName)
+			return fail(it.Name, ErrInvalidName)
 		}
 		if len(it.Attrs) > MaxAttrsPerCall {
-			return opErr("BatchPutAttributes", domainName, it.Name, ErrTooManyAttrsPerCall)
+			return fail(it.Name, ErrTooManyAttrsPerCall)
 		}
 		for _, a := range it.Attrs {
 			if len(a.Name) == 0 || len(a.Name) > MaxNameValueLen || len(a.Value) > MaxNameValueLen {
-				return opErr("BatchPutAttributes", domainName, it.Name, ErrTooLarge)
+				return fail(it.Name, ErrTooLarge)
 			}
 			inBytes += int64(len(a.Name) + len(a.Value))
 		}
@@ -298,14 +341,24 @@ func (s *Service) BatchPutAttributes(domainName string, items []BatchItem) error
 		cur := eventualAttrs(d.views[0], it.Name, writeOp{})
 		after, _ := applyOp(append([]Attr(nil), cur...), cur != nil, op)
 		if len(after) > MaxAttrsPerItem {
-			return opErr("BatchPutAttributes", domainName, it.Name, ErrTooManyAttrsPerItem)
+			return fail(it.Name, ErrTooManyAttrsPerItem)
 		}
 		ops = append(ops, op)
 	}
+	failErr, ackLoss := s.checkFault("BatchPutAttributes", domainName, "")
+	if failErr != nil {
+		return failErr
+	}
 
+	s.cfg.Meter.Op(billing.SimpleDB, "BatchPutAttributes", billing.TierBox)
 	s.cfg.Meter.In(billing.SimpleDB, inBytes)
 	for _, op := range ops {
 		s.replicate(d, op)
+	}
+	if ackLoss {
+		// Every item landed; only the response was lost. Per-item semantics
+		// are idempotent, so re-sending the whole batch is safe.
+		return opErr("BatchPutAttributes", domainName, "", awserr.ErrRequestTimeout)
 	}
 	return nil
 }
@@ -321,12 +374,20 @@ func (s *Service) DeleteAttributes(domainName, itemName string, attrs []Attr) er
 	if !ok {
 		return opErr("DeleteAttributes", domainName, itemName, ErrNoSuchDomain)
 	}
+	failErr, ackLoss := s.checkFault("DeleteAttributes", domainName, itemName)
+	if failErr != nil {
+		return failErr
+	}
 	s.cfg.Meter.Op(billing.SimpleDB, "DeleteAttributes", billing.TierBox)
 	if len(attrs) == 0 {
 		s.replicate(d, writeOp{item: itemName, deleteAll: true})
-		return nil
+	} else {
+		s.replicate(d, writeOp{item: itemName, del: append([]Attr(nil), attrs...)})
 	}
-	s.replicate(d, writeOp{item: itemName, del: append([]Attr(nil), attrs...)})
+	if ackLoss {
+		// The delete landed; DeleteAttributes is idempotent (§2.2).
+		return opErr("DeleteAttributes", domainName, itemName, awserr.ErrRequestTimeout)
+	}
 	return nil
 }
 
@@ -340,7 +401,14 @@ func (s *Service) GetAttributes(domainName, itemName string, names ...string) (a
 	if !found {
 		return nil, false, opErr("GetAttributes", domainName, itemName, ErrNoSuchDomain)
 	}
+	failErr, ackLoss := s.checkFault("GetAttributes", domainName, itemName)
+	if failErr != nil {
+		return nil, false, failErr
+	}
 	s.cfg.Meter.Op(billing.SimpleDB, "GetAttributes", billing.TierBox)
+	if ackLoss {
+		return nil, false, opErr("GetAttributes", domainName, itemName, awserr.ErrRequestTimeout)
+	}
 	v := d.views[s.cfg.RNG.Intn(len(d.views))]
 	s.drain(v)
 

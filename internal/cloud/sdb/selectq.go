@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"passcloud/internal/cloud/awserr"
 	"passcloud/internal/cloud/billing"
 )
 
@@ -508,7 +509,14 @@ func (s *Service) Select(expr string, nextToken string) (*SelectResult, error) {
 	if !ok {
 		return nil, opErr("Select", st.domain, "", ErrNoSuchDomain)
 	}
+	failErr, ackLoss := s.checkFault("Select", st.domain, "")
+	if failErr != nil {
+		return nil, failErr
+	}
 	s.cfg.Meter.Op(billing.SimpleDB, "Select", billing.TierBox)
+	if ackLoss {
+		return nil, opErr("Select", st.domain, "", awserr.ErrRequestTimeout)
+	}
 
 	replicaIdx, offset, err := decodeToken(nextToken)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"passcloud/internal/cloud/awserr"
 	"passcloud/internal/cloud/billing"
 	"passcloud/internal/sim"
 )
@@ -140,6 +141,9 @@ type Config struct {
 	RNG *sim.RNG
 	// Meter receives billing events. Required.
 	Meter *billing.Meter
+	// Faults optionally injects service-side failures (throttles, denials,
+	// lost responses) per operation. Nil injects nothing.
+	Faults *sim.FaultPlan
 }
 
 // Service is a simulated SQS endpoint.
@@ -234,22 +238,48 @@ func (s *Service) ListQueues() []string {
 	return out
 }
 
+// checkFault consults the fault plan for op ("sqs/<op>"). A fail-fast fault
+// meters the failed request under the error-suffixed key and returns its
+// error; ackLoss tells the caller to apply the op fully and then return a
+// timeout anyway. Caller holds s.mu.
+func (s *Service) checkFault(op, queueName string) (failErr error, ackLoss bool) {
+	switch s.cfg.Faults.CheckOp("sqs/" + op) {
+	case sim.OpFailTransient:
+		s.cfg.Meter.OpErr(billing.SQS, op, billing.TierMessage)
+		return opErr(op, queueName, awserr.ErrThrottled), false
+	case sim.OpFailPermanent:
+		s.cfg.Meter.OpErr(billing.SQS, op, billing.TierMessage)
+		return opErr(op, queueName, awserr.ErrAccessDenied), false
+	case sim.OpAckLoss:
+		return nil, true
+	}
+	return nil, false
+}
+
 // SendMessage enqueues body and returns the message ID. Bodies must be
 // valid Unicode text of at most 8 KB (§2.3).
 func (s *Service) SendMessage(queueName, body string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.cfg.Meter.Op(billing.SQS, "SendMessage", billing.TierMessage)
+	fail := func(code error) (string, error) {
+		s.cfg.Meter.OpErr(billing.SQS, "SendMessage", billing.TierMessage)
+		return "", opErr("SendMessage", queueName, code)
+	}
 	q, ok := s.queues[queueName]
 	if !ok {
-		return "", opErr("SendMessage", queueName, ErrNoSuchQueue)
+		return fail(ErrNoSuchQueue)
 	}
 	if len(body) > MaxMessageSize {
-		return "", opErr("SendMessage", queueName, ErrMessageTooLong)
+		return fail(ErrMessageTooLong)
 	}
 	if !utf8.ValidString(body) {
-		return "", opErr("SendMessage", queueName, ErrInvalidMessage)
+		return fail(ErrInvalidMessage)
 	}
+	failErr, ackLoss := s.checkFault("SendMessage", queueName)
+	if failErr != nil {
+		return "", failErr
+	}
+	s.cfg.Meter.Op(billing.SQS, "SendMessage", billing.TierMessage)
 	s.reapExpired(q)
 
 	s.nextID++
@@ -268,6 +298,12 @@ func (s *Service) SendMessage(queueName, body string) (string, error) {
 	}
 	s.cfg.Meter.In(billing.SQS, int64(len(body)))
 	s.cfg.Meter.StorageDelta(billing.SQS, int64(len(body)))
+	if ackLoss {
+		// The message landed; the response carrying its ID was lost. A
+		// retried send enqueues a duplicate — at-least-once delivery means
+		// consumers must already tolerate that.
+		return "", opErr("SendMessage", queueName, awserr.ErrRequestTimeout)
+	}
 	return id, nil
 }
 
@@ -278,11 +314,16 @@ func (s *Service) SendMessage(queueName, body string) (string, error) {
 func (s *Service) ReceiveMessage(queueName string, max int, visibility time.Duration) ([]Message, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.cfg.Meter.Op(billing.SQS, "ReceiveMessage", billing.TierMessage)
 	q, ok := s.queues[queueName]
 	if !ok {
+		s.cfg.Meter.OpErr(billing.SQS, "ReceiveMessage", billing.TierMessage)
 		return nil, opErr("ReceiveMessage", queueName, ErrNoSuchQueue)
 	}
+	failErr, ackLoss := s.checkFault("ReceiveMessage", queueName)
+	if failErr != nil {
+		return nil, failErr
+	}
+	s.cfg.Meter.Op(billing.SQS, "ReceiveMessage", billing.TierMessage)
 	if max <= 0 || max > MaxReceiveBatch {
 		max = MaxReceiveBatch
 	}
@@ -331,6 +372,13 @@ func (s *Service) ReceiveMessage(queueName string, max int, visibility time.Dura
 		outBytes += int64(len(m.body))
 	}
 	s.cfg.Meter.Out(billing.SQS, outBytes)
+	if ackLoss {
+		// The receive happened server-side — the returned messages are now
+		// invisible — but the response was lost. They reappear once the
+		// visibility timeout lapses, exactly like a consumer that died
+		// mid-processing.
+		return nil, opErr("ReceiveMessage", queueName, awserr.ErrRequestTimeout)
+	}
 	return out, nil
 }
 
@@ -341,20 +389,34 @@ func (s *Service) ReceiveMessage(queueName string, max int, visibility time.Dura
 func (s *Service) DeleteMessage(queueName, receiptHandle string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.cfg.Meter.Op(billing.SQS, "DeleteMessage", billing.TierMessage)
 	q, ok := s.queues[queueName]
 	if !ok {
+		s.cfg.Meter.OpErr(billing.SQS, "DeleteMessage", billing.TierMessage)
 		return opErr("DeleteMessage", queueName, ErrNoSuchQueue)
 	}
 	if receiptHandle == "" {
+		s.cfg.Meter.OpErr(billing.SQS, "DeleteMessage", billing.TierMessage)
 		return opErr("DeleteMessage", queueName, ErrInvalidReceipt)
 	}
+	failErr, ackLoss := s.checkFault("DeleteMessage", queueName)
+	if failErr != nil {
+		return failErr
+	}
+	s.cfg.Meter.Op(billing.SQS, "DeleteMessage", billing.TierMessage)
+	// Under ack loss the delete still applies below; a retried delete of the
+	// now-missing handle succeeds idempotently.
 	for id, m := range q.messages {
 		if m.receipt == receiptHandle {
 			s.cfg.Meter.StorageDelta(billing.SQS, -int64(len(m.body)))
 			delete(q.messages, id)
+			if ackLoss {
+				return opErr("DeleteMessage", queueName, awserr.ErrRequestTimeout)
+			}
 			return nil
 		}
+	}
+	if ackLoss {
+		return opErr("DeleteMessage", queueName, awserr.ErrRequestTimeout)
 	}
 	// Unknown handle: either already deleted (fine, idempotent) or stale.
 	// Without the original message there is no way to distinguish; real SQS
@@ -369,10 +431,18 @@ func (s *Service) DeleteMessage(queueName, receiptHandle string) error {
 func (s *Service) ApproximateNumberOfMessages(queueName string) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.cfg.Meter.Op(billing.SQS, "GetQueueAttributes", billing.TierMessage)
 	q, ok := s.queues[queueName]
 	if !ok {
+		s.cfg.Meter.OpErr(billing.SQS, "GetQueueAttributes", billing.TierMessage)
 		return 0, opErr("GetQueueAttributes", queueName, ErrNoSuchQueue)
+	}
+	failErr, ackLoss := s.checkFault("GetQueueAttributes", queueName)
+	if failErr != nil {
+		return 0, failErr
+	}
+	s.cfg.Meter.Op(billing.SQS, "GetQueueAttributes", billing.TierMessage)
+	if ackLoss {
+		return 0, opErr("GetQueueAttributes", queueName, awserr.ErrRequestTimeout)
 	}
 	s.reapExpired(q)
 	now := s.cfg.Clock.Now()

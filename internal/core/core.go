@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"iter"
 
 	"passcloud/internal/pass"
@@ -29,6 +30,45 @@ var (
 	// cannot be located — the atomicity-violation shape of §4.2.
 	ErrNoProvenance = errors.New("core: object has no provenance")
 )
+
+// PartialWriteError reports a batch write that half-landed: the Landed
+// events are fully applied — data and provenance both durably visible, or
+// provenance alone for transient subjects, which carry no data — while the
+// rest of the batch is not. Callers (pass.System) mark the landed events
+// persistent and retry only the remainder, so a store-side failure never
+// forces re-writing what already landed and never silently loses the rest.
+//
+// Events whose provenance landed without their data are deliberately NOT
+// listed: they are the §4.2 orphan shape and must be repaired by the retry
+// (idempotent re-write) or the recovery scan, not declared durable.
+type PartialWriteError struct {
+	// Landed lists the refs of fully applied events, in batch order.
+	Landed []prov.Ref
+	// Err is the failure that stopped the batch.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *PartialWriteError) Error() string {
+	return fmt.Sprintf("core: partial batch write (%d events landed): %v", len(e.Landed), e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PartialWriteError) Unwrap() error { return e.Err }
+
+// LandedRefs reports the fully applied refs; pass.System recovers partial
+// batches through this interface method without importing core.
+func (e *PartialWriteError) LandedRefs() []prov.Ref { return e.Landed }
+
+// PartialWrite wraps err with the landed refs, collapsing the no-progress
+// case to the bare error: a PartialWriteError with nothing landed would make
+// callers walk an empty list for no information.
+func PartialWrite(landed []prov.Ref, err error) error {
+	if err == nil || len(landed) == 0 {
+		return err
+	}
+	return &PartialWriteError{Landed: landed, Err: err}
+}
 
 // Object is a retrieved object with its verified provenance.
 type Object struct {

@@ -33,15 +33,20 @@ package s3only
 
 import (
 	"context"
+	"crypto/md5"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"iter"
+	"maps"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
 	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/awserr"
+	"passcloud/internal/cloud/retry"
 	"passcloud/internal/cloud/s3"
 	"passcloud/internal/core"
 	"passcloud/internal/core/planner"
@@ -87,6 +92,9 @@ type Config struct {
 	// DisableQueryCache turns off the snapshot cache, restoring the
 	// paper's behaviour of one full scan per query (Table 3's S3 row).
 	DisableQueryCache bool
+	// Retry bounds the transient-error backoff around every cloud call the
+	// store issues. The zero value uses the shared defaults.
+	Retry retry.Policy
 }
 
 // Store is the S3-only architecture.
@@ -110,6 +118,9 @@ type Store struct {
 	// tracker tells the planner whether anything else wrote to the region.
 	catalog *planner.S3Catalog
 	tracker *qcache.WriteTracker
+	// retrier backs off and retries transient cloud errors; its meters
+	// feed the cost harness's retry-overhead report.
+	retrier *retry.Retrier
 
 	mu sync.Mutex
 	// foreign buffers transient ancestors' records until the descendant
@@ -119,6 +130,11 @@ type Store struct {
 	// pnodeSeq numbers the marker objects Sync writes for trailing
 	// transient provenance.
 	pnodeSeq int
+	// latest tracks the highest version this client has successfully PUT
+	// per data key. Partial-batch recovery can reorder flushes across
+	// retries (a new version lands while an older one stays pending); an
+	// older version must then never overwrite the newer object.
+	latest map[string]prov.Version
 }
 
 // New builds the store, creating its bucket if needed.
@@ -137,7 +153,9 @@ func New(cfg Config) (*Store, error) {
 	}
 	s := &Store{cloud: cfg.Cloud, bucket: cfg.Bucket, faults: cfg.Faults,
 		concurrency: cfg.PutConcurrency, scanConc: cfg.ScanConcurrency,
-		catalog: planner.NewS3Catalog(), tracker: qcache.NewWriteTracker(cfg.Cloud)}
+		catalog: planner.NewS3Catalog(), tracker: qcache.NewWriteTracker(cfg.Cloud),
+		retrier: retry.New(cfg.Retry, cfg.Cloud.Clock, cfg.Cloud.RNG),
+		latest:  make(map[string]prov.Version)}
 	// Resource creation meters as a mutation (CreateBucket is an S3 PUT);
 	// track it so a solo client's plans stay exact.
 	err := s.tracker.Track(func() error {
@@ -188,6 +206,40 @@ type dataPut struct {
 	// pointer and bundle GETs) — recorded into the planner catalog once
 	// the PUT lands.
 	gets int64
+	// ref is the file version this PUT persists.
+	ref prov.Ref
+	// riders are the transient subjects whose buffered records travel in
+	// this PUT's metadata: when the PUT lands, their provenance landed too.
+	riders []prov.Ref
+	// carriesSaved marks the PUT that drained pre-batch leftovers of the
+	// foreign buffer; if it lands, a failed batch must not restore them.
+	carriesSaved bool
+}
+
+// batchResult accumulates what a (possibly failing) putBatch achieved.
+type batchResult struct {
+	mu sync.Mutex
+	// landed lists fully persisted refs: file versions whose PUT completed
+	// plus the transient riders those PUTs carried.
+	landed []prov.Ref
+	// savedLanded reports that the pre-batch foreign leftovers persisted.
+	savedLanded bool
+}
+
+func (r *batchResult) record(p dataPut) {
+	r.mu.Lock()
+	r.landed = append(r.landed, p.ref)
+	r.landed = append(r.landed, p.riders...)
+	if p.carriesSaved {
+		r.savedLanded = true
+	}
+	r.mu.Unlock()
+}
+
+func (r *batchResult) recordRef(ref prov.Ref) {
+	r.mu.Lock()
+	r.landed = append(r.landed, ref)
+	r.mu.Unlock()
 }
 
 // PutBatch implements core.Store. Protocol (§4.1), batch-first: transient
@@ -199,9 +251,14 @@ type dataPut struct {
 // PutConcurrency bound.
 //
 // The foreign buffer is transactional across the batch: on any error the
-// buffer is restored to its at-entry state, so the caller's full-batch
-// replay neither loses trailing transient provenance nor duplicates the
-// records this attempt already buffered.
+// buffer is restored so that pre-batch leftovers that did not persist are
+// carried again, while leftovers that rode a PUT which landed are not —
+// a replayed batch neither loses trailing transient provenance nor
+// duplicates it.
+//
+// A failing batch in which some PUTs completed returns a typed
+// core.PartialWriteError naming the fully persisted events (file versions
+// and their transient riders); the caller retries only the remainder.
 func (s *Store) PutBatch(ctx context.Context, batch []pass.FlushEvent) error {
 	// Invalidate cached query snapshots even when the batch fails: partial
 	// effects (overflow or bundle PUTs) may already be visible to a scan.
@@ -209,16 +266,25 @@ func (s *Store) PutBatch(ctx context.Context, batch []pass.FlushEvent) error {
 	s.mu.Lock()
 	saved := append([]prov.Record(nil), s.foreign...)
 	s.mu.Unlock()
-	if err := s.tracker.Track(func() error { return s.putBatch(ctx, batch) }); err != nil {
+	res := &batchResult{}
+	if err := s.tracker.Track(func() error { return s.putBatch(ctx, batch, len(saved) > 0, res) }); err != nil {
 		s.mu.Lock()
-		s.foreign = saved
+		if res.savedLanded {
+			// The leftovers persisted with a landed PUT; restoring them
+			// would duplicate their records on the next flush. This-batch
+			// records are dropped either way: the caller re-sends their
+			// events (minus the landed ones).
+			s.foreign = nil
+		} else {
+			s.foreign = saved
+		}
 		s.mu.Unlock()
-		return err
+		return core.PartialWrite(res.landed, err)
 	}
 	return nil
 }
 
-func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
+func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent, savedPresent bool, res *batchResult) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -241,29 +307,93 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 		}
 
 		s.mu.Lock()
+		stale := s.latest[dataKey(ev.Ref.Object)] > ev.Ref.Version
+		s.mu.Unlock()
+		if stale {
+			// A newer version of this object already landed (an earlier
+			// attempt of this chain persisted it before this older pending
+			// version was retried): PUTting it would regress the object.
+			// Its metadata records would be overwritten by the newer PUT
+			// anyway — architecture 1 keeps one version per object — so
+			// the event is complete as-is. The foreign buffer is NOT
+			// drained: the riders move on to the next carrier.
+			res.recordRef(ev.Ref)
+			continue
+		}
+
+		s.mu.Lock()
 		foreign := s.foreign
 		s.foreign = nil
 		s.mu.Unlock()
 
-		meta, gets, err := s.encodeMetadata(ev.Ref, ev.Records, foreign)
+		meta, gets, err := s.encodeMetadata(ctx, ev.Ref, ev.Records, foreign)
 		if err != nil {
 			return err
 		}
-		puts = append(puts, dataPut{key: dataKey(ev.Ref.Object), data: ev.Data, meta: meta, gets: gets})
+		p := dataPut{key: dataKey(ev.Ref.Object), data: ev.Data, meta: meta, gets: gets, ref: ev.Ref}
+		if len(foreign) > 0 {
+			p.riders = riderSubjects(foreign)
+			p.carriesSaved = savedPresent
+			savedPresent = false // the drain emptied the buffer
+		}
+		puts = append(puts, p)
 	}
 
 	// The data PUTs: data and provenance stored atomically, overlapped
 	// across independent objects.
-	if err := s.doPuts(ctx, puts); err != nil {
+	if err := s.doPuts(ctx, puts, res); err != nil {
 		return err
 	}
 	return s.faults.Check("s3only/after-put")
 }
 
+// putCarrier executes one provenance-carrying PUT under the retrier. When
+// the retry budget exhausts on an ambiguous lost-response chain
+// (awserr.ErrRequestTimeout: the op may have been applied), a HEAD probe
+// settles whether this exact write — same body, same metadata — is in fact
+// durable. Without the probe, a landed-but-reported-failed carrier would
+// have its rider records restored and re-carried by a later PUT under a
+// different key, double-applying them.
+func (s *Store) putCarrier(ctx context.Context, op, key string, body []byte, meta map[string]string) error {
+	err := s.retrier.Do(ctx, op, func() error {
+		return s.cloud.S3.Put(s.bucket, key, body, meta)
+	})
+	if err == nil || !errors.Is(err, awserr.ErrRequestTimeout) {
+		return err
+	}
+	info, herr := s.cloud.S3.Head(s.bucket, key)
+	if herr != nil {
+		return err
+	}
+	sum := md5.Sum(body)
+	if info.ETag == hex.EncodeToString(sum[:]) && maps.Equal(info.Metadata, meta) {
+		return nil // the lost-response attempt applied; the write is durable
+	}
+	return err
+}
+
+// riderSubjects returns the distinct subjects of the buffered records, in
+// first-appearance order.
+func riderSubjects(records []prov.Record) []prov.Ref {
+	seen := make(map[prov.Ref]bool, len(records))
+	var out []prov.Ref
+	for _, r := range records {
+		if !seen[r.Subject] {
+			seen[r.Subject] = true
+			out = append(out, r.Subject)
+		}
+	}
+	return out
+}
+
 // doPuts executes the batch's data PUTs with bounded concurrency. PUTs to
 // the same key (several versions of one object in one batch) stay in order
 // on one worker, so last-writer-wins resolves to the newest version.
-func (s *Store) doPuts(ctx context.Context, puts []dataPut) error {
+// Transient S3 errors back off and retry; a re-PUT of the same key, body
+// and metadata is idempotent, so a retry after a lost response cannot
+// double-apply. Completed PUTs are recorded in res even when a later PUT
+// sinks the batch.
+func (s *Store) doPuts(ctx context.Context, puts []dataPut, res *batchResult) error {
 	if len(puts) == 0 {
 		return nil
 	}
@@ -281,10 +411,16 @@ func (s *Store) doPuts(ctx context.Context, puts []dataPut) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := s.cloud.S3.Put(s.bucket, p.key, p.data, p.meta); err != nil {
+			if err := s.putCarrier(ctx, "s3only/data-put", p.key, p.data, p.meta); err != nil {
 				return fmt.Errorf("s3only: data put: %w", err)
 			}
+			s.mu.Lock()
+			if p.ref.Version > s.latest[p.key] {
+				s.latest[p.key] = p.ref.Version
+			}
+			s.mu.Unlock()
 			s.catalog.Observe(p.key, p.gets)
+			res.record(p)
 		}
 		return nil
 	})
@@ -293,7 +429,7 @@ func (s *Store) doPuts(ctx context.Context, puts []dataPut) error {
 // encodeMetadata renders own + foreign records into S3 metadata, diverting
 // >1 KB values to overflow objects and spilling past-2KB remainder into a
 // bundle object. The overflow and bundle PUTs happen before the data PUT.
-func (s *Store) encodeMetadata(subject prov.Ref, own, foreign []prov.Record) (map[string]string, int64, error) {
+func (s *Store) encodeMetadata(ctx context.Context, subject prov.Ref, own, foreign []prov.Record) (map[string]string, int64, error) {
 	meta := map[string]string{
 		metaVersion: strconv.Itoa(int(subject.Version)),
 	}
@@ -311,7 +447,10 @@ func (s *Store) encodeMetadata(subject prov.Ref, own, foreign []prov.Record) (ma
 		}
 		okey := overflowKey(subject, overflowN)
 		overflowN++
-		if err := s.cloud.S3.Put(s.bucket, okey, []byte(v), nil); err != nil {
+		err := s.retrier.Do(ctx, "s3only/overflow-put", func() error {
+			return s.cloud.S3.Put(s.bucket, okey, []byte(v), nil)
+		})
+		if err != nil {
 			return "", fmt.Errorf("s3only: overflow put: %w", err)
 		}
 		if err := s.faults.Check("s3only/after-overflow-put"); err != nil {
@@ -367,7 +506,10 @@ func (s *Store) encodeMetadata(subject prov.Ref, own, foreign []prov.Record) (ma
 		if err != nil {
 			return nil, 0, err
 		}
-		if err := s.cloud.S3.Put(s.bucket, bkey, blob, nil); err != nil {
+		err = s.retrier.Do(ctx, "s3only/bundle-put", func() error {
+			return s.cloud.S3.Put(s.bucket, bkey, blob, nil)
+		})
+		if err != nil {
 			return nil, 0, fmt.Errorf("s3only: bundle put: %w", err)
 		}
 		if err := s.faults.Check("s3only/after-bundle-put"); err != nil {
@@ -893,19 +1035,35 @@ func (s *Store) sync(ctx context.Context) error {
 	defer s.gen.Bump()
 
 	subject := prov.Ref{Object: prov.ObjectID(fmt.Sprintf("/.pnodes/%06d", seq)), Version: 0}
-	meta, gets, err := s.encodeMetadata(subject, nil, foreign)
-	if err != nil {
+	restore := func() {
 		s.mu.Lock()
 		s.foreign = append(foreign, s.foreign...)
 		s.mu.Unlock()
+	}
+	meta, gets, err := s.encodeMetadata(ctx, subject, nil, foreign)
+	if err != nil {
+		restore()
 		return err
 	}
-	if err := s.cloud.S3.Put(s.bucket, dataKey(subject.Object), []byte{'.'}, meta); err != nil {
+	if err := s.putCarrier(ctx, "s3only/pnode-put", dataKey(subject.Object), []byte{'.'}, meta); err != nil {
+		// The records did not persist: put them back so a later Sync
+		// retries them, and release the marker sequence number so that
+		// retry targets the same key (an overwrite, never a duplicate
+		// marker carrying the same records).
+		restore()
+		s.mu.Lock()
+		if s.pnodeSeq == seq+1 {
+			s.pnodeSeq = seq
+		}
+		s.mu.Unlock()
 		return fmt.Errorf("s3only: pnode put: %w", err)
 	}
 	s.catalog.Observe(dataKey(subject.Object), gets)
 	return nil
 }
+
+// RetryStats snapshots the store's retry counters.
+func (s *Store) RetryStats() retry.Snapshot { return s.retrier.Snapshot() }
 
 var (
 	_ core.Store        = (*Store)(nil)

@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"iter"
 	"strconv"
+	"sync"
 
 	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/retry"
 	"passcloud/internal/cloud/s3"
 	"passcloud/internal/core"
 	"passcloud/internal/core/sdbprov"
@@ -50,6 +52,8 @@ type Config struct {
 	// DisableQueryCache turns off the sdbprov layer's generation-stamped
 	// query cache, restoring the paper's one-query-run-per-call costs.
 	DisableQueryCache bool
+	// Retry bounds the transient-error backoff around every cloud call.
+	Retry retry.Policy
 }
 
 // Store is the S3+SimpleDB architecture.
@@ -57,6 +61,14 @@ type Store struct {
 	cloud  *cloud.Cloud
 	layer  *sdbprov.Layer
 	faults *sim.FaultPlan
+
+	mu sync.Mutex
+	// latest tracks the highest version this client has successfully PUT
+	// per object. Partial-batch recovery can reorder flushes across
+	// retries; an older pending version retried after a newer one landed
+	// must not overwrite the newer data (its provenance item is still
+	// written — items are per-version).
+	latest map[prov.ObjectID]prov.Version
 }
 
 // New builds the store, creating its bucket and domain if needed.
@@ -71,11 +83,13 @@ func New(cfg Config) (*Store, error) {
 		Faults:            cfg.Faults,
 		MaxReadRetries:    cfg.MaxReadRetries,
 		DisableQueryCache: cfg.DisableQueryCache,
+		Retry:             cfg.Retry,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Store{cloud: cfg.Cloud, layer: layer, faults: cfg.Faults}, nil
+	return &Store{cloud: cfg.Cloud, layer: layer, faults: cfg.Faults,
+		latest: make(map[prov.ObjectID]prov.Version)}, nil
 }
 
 // Name implements core.Store.
@@ -94,6 +108,9 @@ func (s *Store) Properties() core.Properties {
 // Layer exposes the SimpleDB provenance layer (shared with queries/tests).
 func (s *Store) Layer() *sdbprov.Layer { return s.layer }
 
+// RetryStats snapshots the store's retry counters (shared with its layer).
+func (s *Store) RetryStats() retry.Snapshot { return s.layer.RetryStats() }
+
 // PutBatch implements core.Store with the §4.2 protocol, batch-first: the
 // whole batch's provenance items go to SimpleDB via grouped
 // BatchPutAttributes calls (steps 1–3, ⌈K/25⌉ calls for K small items
@@ -101,6 +118,14 @@ func (s *Store) Layer() *sdbprov.Layer { return s.layer }
 // (step 4 — S3 has no batch PUT). The atomicity hole widens with the
 // batch, exactly as the architecture predicts: a crash between the two
 // phases now strands a batch of provenance without data.
+//
+// Cloud calls retry transient errors with backoff (both phases are
+// idempotent under re-apply). A batch that still half-lands fails with a
+// typed core.PartialWriteError naming the fully persisted events: transient
+// subjects once their provenance landed (they carry no data), file versions
+// only once their data PUT landed — provenance-without-data is the orphan
+// shape, repaired by the caller's retry or the OrphanScan, never reported
+// as durable.
 func (s *Store) PutBatch(ctx context.Context, batch []pass.FlushEvent) error {
 	return s.layer.TrackWrites(func() error { return s.putBatch(ctx, batch) })
 }
@@ -136,37 +161,90 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 			md5hex = sdbprov.ConsistencyMD5(ev.Data, nonce)
 			datas = append(datas, dataPut{ev: ev, nonce: nonce})
 		}
-		encoded, err := s.layer.EncodeValues(ev.Ref, ev.Records, "s3sdb")
+		encoded, err := s.layer.EncodeValues(ctx, ev.Ref, ev.Records, "s3sdb")
 		if err != nil {
 			return err
 		}
 		writes = append(writes, sdbprov.ItemWrite{Subject: ev.Ref, Records: encoded, MD5: md5hex})
 	}
 
+	// landed maps provenance-phase progress to fully persisted events:
+	// transient subjects are durable once their item lands; files need
+	// their data PUT too.
+	transientLanded := func(provLanded []prov.Ref) []prov.Ref {
+		persistent := make(map[prov.Ref]bool, len(datas))
+		for _, d := range datas {
+			persistent[d.ev.Ref] = true
+		}
+		var out []prov.Ref
+		for _, ref := range provLanded {
+			if !persistent[ref] {
+				out = append(out, ref)
+			}
+		}
+		return out
+	}
+
 	// Step 3: the batch's provenance (and MD5 records) into SimpleDB.
 	if err := s.layer.WriteEncodedBatch(ctx, writes, "s3sdb"); err != nil {
+		var pw *core.PartialWriteError
+		if errors.As(err, &pw) {
+			// Re-scope the landed set from provenance items to full events
+			// before the error escapes: a file whose item landed without
+			// its data is an orphan, not a durable event. The inner error
+			// (item-level refs) must not leak to the flush layer.
+			return &core.PartialWriteError{Landed: transientLanded(pw.Landed), Err: pw.Err}
+		}
 		return err
+	}
+	allProv := make([]prov.Ref, 0, len(writes))
+	for _, w := range writes {
+		allProv = append(allProv, w.Subject)
 	}
 
 	// The atomicity hole: a crash here leaves provenance without data.
 	if err := s.faults.Check("s3sdb/after-prov"); err != nil {
-		return err
+		return core.PartialWrite(transientLanded(allProv), err)
 	}
 
-	// Step 4: each data PUT carries its nonce in its metadata.
+	// Step 4: each data PUT carries its nonce in its metadata. Landed
+	// events accumulate transients (durable since step 3) plus each file
+	// version whose PUT completes.
+	landed := transientLanded(allProv)
 	for _, d := range datas {
 		if err := ctx.Err(); err != nil {
-			return err
+			return core.PartialWrite(landed, err)
+		}
+		s.mu.Lock()
+		stale := s.latest[d.ev.Ref.Object] > d.ev.Ref.Version
+		s.mu.Unlock()
+		if stale {
+			// A newer version already landed (flush reordering across
+			// retries): PUTting this one would regress the object. Its
+			// provenance item landed in step 3, and the data key
+			// deliberately stays at the newer version — the event is
+			// complete.
+			landed = append(landed, d.ev.Ref)
+			continue
 		}
 		meta := map[string]string{
 			sdbprov.MetaNonce:   d.nonce,
 			sdbprov.MetaVersion: strconv.Itoa(int(d.ev.Ref.Version)),
 		}
-		if err := s.cloud.S3.Put(s.layer.Bucket(), sdbprov.DataKey(d.ev.Ref.Object), d.ev.Data, meta); err != nil {
-			return fmt.Errorf("s3sdb: data put: %w", err)
+		err := s.layer.Retrier().Do(ctx, "s3sdb/data-put", func() error {
+			return s.cloud.S3.Put(s.layer.Bucket(), sdbprov.DataKey(d.ev.Ref.Object), d.ev.Data, meta)
+		})
+		if err != nil {
+			return core.PartialWrite(landed, fmt.Errorf("s3sdb: data put: %w", err))
 		}
+		s.mu.Lock()
+		if d.ev.Ref.Version > s.latest[d.ev.Ref.Object] {
+			s.latest[d.ev.Ref.Object] = d.ev.Ref.Version
+		}
+		s.mu.Unlock()
+		landed = append(landed, d.ev.Ref)
 		if err := s.faults.Check("s3sdb/after-data"); err != nil {
-			return err
+			return core.PartialWrite(landed, err)
 		}
 	}
 	return nil
@@ -182,7 +260,7 @@ func (s *Store) Provenance(ctx context.Context, ref prov.Ref) ([]prov.Record, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	records, _, ok, err := s.layer.FetchItem(ref)
+	records, _, ok, err := s.layer.FetchItem(ctx, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +331,10 @@ func (s *Store) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Re
 //
 // An item is an orphan when it carries a consistency record (so it
 // described file data) but S3 holds no data at or beyond that version.
+// Candidates are double-checked after waiting out the propagation horizon
+// before anything is deleted: a freshly written object served from a stale
+// replica must not get its provenance reaped (deleting live provenance is
+// strictly worse than tolerating an orphan for one more scan).
 // Returns the refs whose provenance was removed.
 func (s *Store) OrphanScan(ctx context.Context) (refs []prov.Ref, err error) {
 	err = s.layer.TrackWrites(func() error {
@@ -265,7 +347,9 @@ func (s *Store) OrphanScan(ctx context.Context) (refs []prov.Ref, err error) {
 func (s *Store) orphanScan(ctx context.Context) ([]prov.Ref, error) {
 	// Deletions below change query results behind the layer's back.
 	defer s.layer.InvalidateQueries()
-	var orphans []prov.Ref
+
+	// Pass 1: collect candidates without deleting anything.
+	var candidates []prov.Ref
 	token := ""
 	for {
 		if err := ctx.Err(); err != nil {
@@ -284,19 +368,40 @@ func (s *Store) orphanScan(ctx context.Context) ([]prov.Ref, error) {
 			if err != nil {
 				return nil, err
 			}
-			if !orphan {
-				continue
+			if orphan {
+				candidates = append(candidates, ref)
 			}
-			if err := s.cloud.SDB.DeleteAttributes(s.layer.Domain(), item.Name, nil); err != nil {
-				return nil, err
-			}
-			orphans = append(orphans, ref)
 		}
 		if res.NextToken == "" {
-			return orphans, nil
+			break
 		}
 		token = res.NextToken
 	}
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: wait for the region to converge, re-verify, then delete only
+	// confirmed orphans.
+	s.layer.ConsistencyWait()
+	var orphans []prov.Ref
+	for _, ref := range candidates {
+		if err := ctx.Err(); err != nil {
+			return orphans, err
+		}
+		orphan, err := s.isOrphan(ref)
+		if err != nil {
+			return orphans, err
+		}
+		if !orphan {
+			continue
+		}
+		if err := s.cloud.SDB.DeleteAttributes(s.layer.Domain(), prov.EncodeItemName(ref), nil); err != nil {
+			return orphans, err
+		}
+		orphans = append(orphans, ref)
+	}
+	return orphans, nil
 }
 
 // isOrphan checks whether a persistent item's data is missing or older than

@@ -134,14 +134,14 @@ func TestSameContentOverwriteDetectedByNonce(t *testing.T) {
 	if err := core.Put(ctx, st, fileEvent("/same", 0, "identical bytes")); err != nil {
 		t.Fatal(err)
 	}
-	_, md5v0, ok, err := st.Layer().FetchItem(prov.Ref{Object: "/same", Version: 0})
+	_, md5v0, ok, err := st.Layer().FetchItem(context.Background(), prov.Ref{Object: "/same", Version: 0})
 	if err != nil || !ok {
 		t.Fatal(err)
 	}
 	if err := core.Put(ctx, st, fileEvent("/same", 1, "identical bytes")); err != nil {
 		t.Fatal(err)
 	}
-	_, md5v1, ok, err := st.Layer().FetchItem(prov.Ref{Object: "/same", Version: 1})
+	_, md5v1, ok, err := st.Layer().FetchItem(context.Background(), prov.Ref{Object: "/same", Version: 1})
 	if err != nil || !ok {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/s3"
 	"passcloud/internal/core/sdbprov"
 )
 
@@ -45,7 +46,12 @@ func (c *Cleaner) RunOnce(ctx context.Context) (n int, err error) {
 }
 
 func (c *Cleaner) runOnce(ctx context.Context) (int, error) {
-	infos, err := c.cloud.S3.ListAll(c.bucket, TmpPrefix)
+	var infos []s3.Info
+	err := c.layer.Retrier().Do(ctx, "s3sdbsqs/clean-list", func() error {
+		var lerr error
+		infos, lerr = c.cloud.S3.ListAll(c.bucket, TmpPrefix)
+		return lerr
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -58,7 +64,12 @@ func (c *Cleaner) runOnce(ctx context.Context) (int, error) {
 		if now.Sub(info.LastModified) <= c.MaxAge {
 			continue
 		}
-		if err := c.cloud.S3.Delete(c.bucket, info.Key); err != nil {
+		key := info.Key
+		// DELETE is idempotent: a retry after a lost response is harmless.
+		err := c.layer.Retrier().Do(ctx, "s3sdbsqs/clean-delete", func() error {
+			return c.cloud.S3.Delete(c.bucket, key)
+		})
+		if err != nil {
 			return removed, err
 		}
 		removed++

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"passcloud/internal/cloud"
 	"passcloud/internal/cloud/s3"
+	"passcloud/internal/cloud/sqs"
 	"passcloud/internal/core/sdbprov"
 	"passcloud/internal/prov"
 	"passcloud/internal/sim"
@@ -22,7 +24,17 @@ import (
 //
 // Replay safety relies on idempotency (§4.3): COPY keeps the temporary
 // object until the final delete, so a crash mid-commit simply reprocesses
-// the transaction — re-COPY and re-PutAttributes change nothing.
+// the transaction — re-COPY and re-PutAttributes change nothing. Two
+// details harden that story against redelivery:
+//
+//   - transactions assemble by distinct WAL sequence number, never by
+//     message copy, so duplicate deliveries (SQS at-least-once) and
+//     duplicate sends (a client retrying a lost response) cannot make a
+//     transaction look complete while a distinct record is missing;
+//   - a transaction observed via redelivered messages re-COPYs its data
+//     only after confirming the live object is not already a NEWER version
+//     — a stale transaction replayed after a crash-before-delete must not
+//     regress an object that committed again since.
 type CommitDaemon struct {
 	cloud  *cloud.Cloud
 	layer  *sdbprov.Layer
@@ -43,6 +55,12 @@ type CommitDaemon struct {
 	// receives the commit record of a transaction but does not receive all
 	// rest of the records".
 	pending map[string]*txState
+
+	// committedVersion tracks, per real data key, the highest version this
+	// daemon has committed in its lifetime: the cheap (no extra ops) replay
+	// guard. A restarted daemon loses it and falls back to the HEAD probe
+	// on redelivered transactions.
+	committedVersion map[string]int
 }
 
 // txState is one transaction under assembly. A transaction covers one PASS
@@ -50,25 +68,31 @@ type CommitDaemon struct {
 // and the provenance of several items.
 type txState struct {
 	begin    bool
-	count    int // messages expected after begin (commit included)
+	count    int // total messages in the tx, begin and commit included
 	commit   bool
 	dataMsgs []walMessage
 	md5Msgs  []walMessage
 	provMsgs []walMessage
-	msgSeen  map[string]bool   // message IDs, so redelivery does not duplicate
+	seqSeen  map[int]bool      // distinct WAL sequence numbers absorbed
 	receipts map[string]string // message ID -> latest receipt handle
+	// redelivered is set when any copy arrived with ReceiveCount > 1: a
+	// prior daemon may have partially committed this tx before crashing.
+	redelivered bool
+	// firstSeen bounds how long an incomplete tx is retained.
+	firstSeen time.Time
 }
 
 // NewCommitDaemon builds a daemon for a store's WAL queue.
 func NewCommitDaemon(st *Store, faults *sim.FaultPlan) *CommitDaemon {
 	return &CommitDaemon{
-		cloud:      st.cloud,
-		layer:      st.layer,
-		queue:      st.queue,
-		faults:     faults,
-		Threshold:  1,
-		Visibility: 5 * time.Minute,
-		pending:    make(map[string]*txState),
+		cloud:            st.cloud,
+		layer:            st.layer,
+		queue:            st.queue,
+		faults:           faults,
+		Threshold:        1,
+		Visibility:       5 * time.Minute,
+		pending:          make(map[string]*txState),
+		committedVersion: make(map[string]int),
 	}
 }
 
@@ -81,7 +105,12 @@ func (d *CommitDaemon) RunOnce(ctx context.Context, force bool) (int, error) {
 		return 0, err
 	}
 	if !force {
-		n, err := d.cloud.SQS.ApproximateNumberOfMessages(d.queue)
+		var n int
+		err := d.layer.Retrier().Do(ctx, "s3sdbsqs/queue-depth", func() error {
+			var qerr error
+			n, qerr = d.cloud.SQS.ApproximateNumberOfMessages(d.queue)
+			return qerr
+		})
 		if err != nil {
 			return 0, err
 		}
@@ -110,14 +139,20 @@ func (d *CommitDaemon) Run(ctx context.Context, poll time.Duration) error {
 }
 
 // drain pulls messages until several consecutive receives come back empty —
-// the repeat-until-satisfied discipline SQS sampling demands.
+// the repeat-until-satisfied discipline SQS sampling demands. Transient
+// receive errors back off and retry inside the loop.
 func (d *CommitDaemon) drain(ctx context.Context) error {
 	emptyRounds := 0
 	for emptyRounds < 4 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		batch, err := d.cloud.SQS.ReceiveMessage(d.queue, 10, d.Visibility)
+		var batch []sqs.Message
+		err := d.layer.Retrier().Do(ctx, "s3sdbsqs/wal-receive", func() error {
+			var rerr error
+			batch, rerr = d.cloud.SQS.ReceiveMessage(d.queue, 10, d.Visibility)
+			return rerr
+		})
 		if err != nil {
 			return err
 		}
@@ -134,27 +169,34 @@ func (d *CommitDaemon) drain(ctx context.Context) error {
 				_ = d.cloud.SQS.DeleteMessage(d.queue, m.ReceiptHandle)
 				continue
 			}
-			d.absorb(wal, m.ID, m.ReceiptHandle)
+			d.absorb(wal, m)
 		}
 	}
 	return nil
 }
 
-// absorb merges one received message into its transaction's state.
-func (d *CommitDaemon) absorb(wal walMessage, msgID, receipt string) {
+// absorb merges one received message copy into its transaction's state.
+// Distinct WAL sequence numbers advance assembly; further copies of a seq —
+// redelivery or a duplicated send — only refresh bookkeeping (receipts must
+// be tracked per copy so the final delete clears every copy).
+func (d *CommitDaemon) absorb(wal walMessage, m sqs.Message) {
 	tx := d.pending[wal.TxID]
 	if tx == nil {
 		tx = &txState{
-			msgSeen:  make(map[string]bool),
-			receipts: make(map[string]string),
+			seqSeen:   make(map[int]bool),
+			receipts:  make(map[string]string),
+			firstSeen: d.cloud.Clock.Now(),
 		}
 		d.pending[wal.TxID] = tx
 	}
-	tx.receipts[msgID] = receipt // always refresh: handles rotate per receive
-	if tx.msgSeen[msgID] {
-		return // redelivery of an already-absorbed message
+	tx.receipts[m.ID] = m.ReceiptHandle // always refresh: handles rotate per receive
+	if m.ReceiveCount > 1 {
+		tx.redelivered = true
 	}
-	tx.msgSeen[msgID] = true
+	if tx.seqSeen[wal.Seq] {
+		return // another copy of an already-absorbed record
+	}
+	tx.seqSeen[wal.Seq] = true
 
 	switch wal.Kind {
 	case kindBegin:
@@ -171,18 +213,28 @@ func (d *CommitDaemon) absorb(wal walMessage, msgID, receipt string) {
 	}
 }
 
-// complete reports whether every message of the transaction has arrived.
+// complete reports whether every distinct record of the transaction has
+// arrived: begin, commit, and count total sequence numbers. Message copies
+// never count twice.
 func (tx *txState) complete() bool {
 	if !tx.begin || !tx.commit {
 		return false
 	}
-	have := len(tx.provMsgs) + len(tx.dataMsgs) + len(tx.md5Msgs) + 1 // +1 commit
-	return have >= tx.count
+	return len(tx.seqSeen) >= tx.count
 }
 
 // processReady commits every fully assembled transaction, in deterministic
-// object/version order within the round.
+// object/version order within the round, and prunes incomplete transactions
+// whose records have outlived SQS retention: their missing messages can
+// never arrive (SQS reaped them), so holding the assembled fragment would
+// wedge the daemon's pending set forever.
 func (d *CommitDaemon) processReady(ctx context.Context) (int, error) {
+	now := d.cloud.Clock.Now()
+	for txid, tx := range d.pending {
+		if !tx.complete() && now.Sub(tx.firstSeen) > sqs.RetentionPeriod {
+			delete(d.pending, txid)
+		}
+	}
 	var ready []string
 	for txid, tx := range d.pending {
 		if tx.complete() {
@@ -244,9 +296,9 @@ func txOrderKey(tx *txState) string {
 //	    BatchPutAttributes calls;
 //	(d) delete the WAL messages, then delete the temporary objects.
 //
-// retry is true when the transaction should be reattempted later (a
+// retryTx is true when the transaction should be reattempted later (a
 // temporary object has not propagated to the serving replica yet).
-func (d *CommitDaemon) commitTx(ctx context.Context, txid string, tx *txState) (retry bool, err error) {
+func (d *CommitDaemon) commitTx(ctx context.Context, txid string, tx *txState) (retryTx bool, err error) {
 	// (b) the data COPYs, in (key, version) order so that several versions
 	// of one object within the transaction land last-writer-correct. The
 	// temporary objects' metadata already carries nonce and version; COPY
@@ -258,16 +310,46 @@ func (d *CommitDaemon) commitTx(ctx context.Context, txid string, tx *txState) (
 		}
 		return dataMsgs[i].Version < dataMsgs[j].Version
 	})
+	if tx.redelivered && len(dataMsgs) > 0 {
+		// A redelivered transaction may be a replay racing a newer commit
+		// that has not propagated to every replica yet. The staleReplay
+		// probe below must not trust an unconverged HEAD — wait out the
+		// horizon first, exactly like the orphan scan does before its
+		// destructive decisions.
+		d.layer.ConsistencyWait()
+	}
 	for _, dm := range dataMsgs {
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
-		err := d.cloud.S3.Copy(d.layer.Bucket(), dm.TmpKey, d.layer.Bucket(), dm.RealKey, nil)
+		stale, err := d.staleReplay(tx, dm)
 		if err != nil {
-			if errors.Is(err, s3.ErrNoSuchKey) {
-				return true, nil // not propagated yet; retry next round
+			return false, err
+		}
+		if stale {
+			// A newer version of this object committed since this tx was
+			// logged (the tx is a replay of a crash-interrupted commit):
+			// re-COPYing would regress the object. The provenance item for
+			// this version is still (re-)written below — items are
+			// per-version and idempotent.
+			continue
+		}
+		err = d.layer.Retrier().Do(ctx, "s3sdbsqs/commit-copy", func() error {
+			cerr := d.cloud.S3.Copy(d.layer.Bucket(), dm.TmpKey, d.layer.Bucket(), dm.RealKey, nil)
+			if errors.Is(cerr, s3.ErrNoSuchKey) {
+				retryTx = true // not propagated yet; retry next round
+				return nil
 			}
+			return cerr
+		})
+		if err != nil {
 			return false, fmt.Errorf("s3sdbsqs: commit copy: %w", err)
+		}
+		if retryTx {
+			return true, nil
+		}
+		if v, ok := d.committedVersion[dm.RealKey]; !ok || dm.Version > v {
+			d.committedVersion[dm.RealKey] = dm.Version
 		}
 		if err := d.faults.Check("commit/after-copy"); err != nil {
 			return false, err
@@ -322,9 +404,14 @@ func (d *CommitDaemon) commitTx(ctx context.Context, txid string, tx *txState) (
 		}
 	}
 
-	// (d) delete the log records...
+	// (d) delete the log records (every received copy, duplicates included;
+	// deletes are idempotent and retried on transient errors)...
 	for _, receipt := range tx.receipts {
-		if err := d.cloud.SQS.DeleteMessage(d.queue, receipt); err != nil {
+		r := receipt
+		err := d.layer.Retrier().Do(ctx, "s3sdbsqs/wal-delete", func() error {
+			return d.cloud.SQS.DeleteMessage(d.queue, r)
+		})
+		if err != nil {
 			return false, err
 		}
 	}
@@ -333,11 +420,44 @@ func (d *CommitDaemon) commitTx(ctx context.Context, txid string, tx *txState) (
 	}
 	// ...and only then the temporary objects, preserving idempotent replay.
 	for _, dm := range dataMsgs {
-		if err := d.cloud.S3.Delete(d.layer.Bucket(), dm.TmpKey); err != nil {
+		key := dm.TmpKey
+		err := d.layer.Retrier().Do(ctx, "s3sdbsqs/tmp-delete", func() error {
+			return d.cloud.S3.Delete(d.layer.Bucket(), key)
+		})
+		if err != nil {
 			return false, err
 		}
 	}
 	return false, d.faults.Check("commit/after-tmp-delete")
+}
+
+// staleReplay reports whether dm's COPY would regress its object: true when
+// a strictly newer version is already committed. The in-memory
+// committedVersion map answers for transactions this daemon committed
+// itself; for redelivered transactions — the signature of a predecessor
+// daemon crashing mid-commit — a HEAD on the live object checks the
+// version the metadata actually carries. Equal versions still re-COPY: the
+// tx rewrites its own MD5 record, and data+nonce+MD5 must come from the
+// same transaction to stay verifiable.
+func (d *CommitDaemon) staleReplay(tx *txState, dm walMessage) (bool, error) {
+	if v, ok := d.committedVersion[dm.RealKey]; ok && v > dm.Version {
+		return true, nil
+	}
+	if !tx.redelivered {
+		return false, nil
+	}
+	info, err := d.cloud.S3.Head(d.layer.Bucket(), dm.RealKey)
+	if err != nil {
+		if errors.Is(err, s3.ErrNoSuchKey) {
+			return false, nil // nothing live to regress
+		}
+		return false, err
+	}
+	live, err := strconv.Atoi(info.Metadata[sdbprov.MetaVersion])
+	if err != nil {
+		return false, nil // unversioned foreign object: let COPY decide
+	}
+	return live > dm.Version, nil
 }
 
 // PendingTransactions reports how many transactions are partially

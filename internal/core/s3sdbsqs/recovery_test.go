@@ -1,0 +1,256 @@
+package s3sdbsqs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/sqs"
+	"passcloud/internal/core"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+)
+
+func testEvent(object string, version int, data string, extra ...prov.Record) pass.FlushEvent {
+	ref := prov.Ref{Object: prov.ObjectID(object), Version: prov.Version(version)}
+	records := []prov.Record{
+		prov.NewString(ref, prov.AttrType, prov.TypeFile),
+		prov.NewString(ref, prov.AttrName, object),
+	}
+	return pass.FlushEvent{Ref: ref, Type: prov.TypeFile, Data: []byte(data), Records: append(records, extra...)}
+}
+
+// pumpUntilDrained runs fresh daemons (restart semantics) until a round
+// commits nothing and holds no pending transactions.
+func pumpUntilDrained(t *testing.T, cl *cloud.Cloud, st *Store, faults *sim.FaultPlan) {
+	t.Helper()
+	for i := 0; i < 12; i++ {
+		d := NewCommitDaemon(st, faults)
+		d.Visibility = 10 * time.Second
+		n, err := d.RunOnce(context.Background(), true)
+		cl.Clock.Advance(11 * time.Second)
+		cl.Settle()
+		if err == nil && n == 0 && d.PendingTransactions() == 0 {
+			return
+		}
+	}
+	t.Fatal("daemon never drained")
+}
+
+// TestCommitRedeliveryDoesNotDoubleCommit crashes the daemon between the
+// SimpleDB provenance write and the WAL message deletes — the §4.3
+// redelivery window. A restarted daemon reprocesses the whole transaction;
+// the final state must be single-application: one consistent object, no
+// duplicated provenance records.
+func TestCommitRedeliveryDoesNotDoubleCommit(t *testing.T) {
+	ctx := context.Background()
+	faults := sim.NewFaultPlan()
+	cl := cloud.New(cloud.Config{Seed: 42, MaxDelay: time.Second, Faults: faults})
+	st, err := New(Config{Cloud: cl, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutBatch(ctx, []pass.FlushEvent{testEvent("/redeliver", 0, "payload")}); err != nil {
+		t.Fatalf("log phase: %v", err)
+	}
+	cl.Settle()
+
+	// First daemon crashes after writing provenance, before deleting the
+	// WAL messages.
+	faults.Arm("commit/after-prov-write")
+	d1 := NewCommitDaemon(st, faults)
+	d1.Visibility = 10 * time.Second
+	if _, err := d1.RunOnce(ctx, true); !errors.Is(err, sim.ErrCrash) {
+		t.Fatalf("expected injected crash, got %v", err)
+	}
+	cl.Clock.Advance(11 * time.Second) // past visibility: messages redeliver
+	cl.Settle()
+
+	// A restarted daemon must reprocess the redelivered transaction to
+	// completion without double-applying.
+	pumpUntilDrained(t, cl, st, nil)
+
+	obj, err := st.Get(ctx, "/redeliver")
+	if err != nil {
+		t.Fatalf("get after recovery: %v", err)
+	}
+	if string(obj.Data) != "payload" {
+		t.Fatalf("data = %q, want %q", obj.Data, "payload")
+	}
+	seen := map[string]int{}
+	for _, r := range obj.Records {
+		seen[r.Attr+"="+r.Value.String()]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("record %q applied %d times after redelivery", k, n)
+		}
+	}
+	if n, _ := cl.SQS.Exact(st.Queue()); n != 0 {
+		t.Errorf("%d WAL messages left after recovery", n)
+	}
+}
+
+// TestDuplicateCopiesCannotCompleteTransaction is the minimized regression
+// for the count-by-copies bug: duplicate message copies (redelivery, or a
+// client re-sending after a lost response) must never make a transaction
+// look complete while a distinct record is missing.
+func TestDuplicateCopiesCannotCompleteTransaction(t *testing.T) {
+	tx := &txState{seqSeen: make(map[int]bool), receipts: make(map[string]string)}
+	d := &CommitDaemon{pending: map[string]*txState{"tx1": tx}}
+
+	absorb := func(msgID string, m walMessage) {
+		d.absorb(m, sqs.Message{ID: msgID, ReceiptHandle: "r-" + msgID})
+	}
+	// A 4-message transaction: begin(0), prov(1), prov(2), commit(3).
+	absorb("m0", walMessage{TxID: "tx1", Kind: kindBegin, Seq: 0, Count: 4})
+	absorb("m1", walMessage{TxID: "tx1", Kind: kindProv, Seq: 1, Item: "foo_0"})
+	// Seq 1 delivered twice more (a retried send and a redelivery); seq 2
+	// is still missing. Under the old have>=count arithmetic these copies
+	// would complete the transaction.
+	absorb("m1b", walMessage{TxID: "tx1", Kind: kindProv, Seq: 1, Item: "foo_0"})
+	absorb("m1c", walMessage{TxID: "tx1", Kind: kindProv, Seq: 1, Item: "foo_0"})
+	absorb("m3", walMessage{TxID: "tx1", Kind: kindCommit, Seq: 3})
+	if tx.complete() {
+		t.Fatal("transaction completed from duplicate copies while seq 2 is missing")
+	}
+	absorb("m2", walMessage{TxID: "tx1", Kind: kindProv, Seq: 2, Item: "foo_0"})
+	if !tx.complete() {
+		t.Fatal("transaction with every distinct seq should be complete")
+	}
+	// Every copy's receipt must be tracked so the commit deletes them all.
+	if len(tx.receipts) != 6 {
+		t.Fatalf("tracked %d receipts, want 6 (duplicates must be deleted too)", len(tx.receipts))
+	}
+}
+
+// TestStaleRedeliveryCannotRegressNewerVersion covers the crash-before-
+// delete window followed by a newer commit: when v0's transaction
+// redelivers after v1 already committed, replaying its COPY must not roll
+// the object back. The propagation horizon (30s) deliberately exceeds the
+// redelivery gap (9s), so v1's COPY has NOT converged when the replayed
+// transaction is processed — the guard must wait out the horizon rather
+// than trust whichever replica a HEAD happens to hit.
+func TestStaleRedeliveryCannotRegressNewerVersion(t *testing.T) {
+	ctx := context.Background()
+	faults := sim.NewFaultPlan()
+	cl := cloud.New(cloud.Config{Seed: 2, MaxDelay: 30 * time.Second, Faults: faults})
+	st, err := New(Config{Cloud: cl, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// v0 logs and its daemon crashes after the provenance write — the WAL
+	// messages survive and will redeliver. The 36s visibility outlasts the
+	// settle before v1's commit round (so v0 stays locked through it) but
+	// expires inside v1's 30s propagation window after its COPY.
+	if err := st.PutBatch(ctx, []pass.FlushEvent{testEvent("/obj", 0, "old")}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Settle()
+	faults.Arm("commit/after-prov-write")
+	d1 := NewCommitDaemon(st, faults)
+	d1.Visibility = 36 * time.Second
+	if _, err := d1.RunOnce(ctx, true); !errors.Is(err, sim.ErrCrash) {
+		t.Fatalf("expected injected crash, got %v", err)
+	}
+
+	// v1 logs and commits cleanly on a fresh daemon while v0's messages
+	// are still visibility-locked by the crashed round — so v1 lands in an
+	// earlier round than v0's redelivery, and only the replay guard (not
+	// same-round version ordering) can protect it. The fresh daemon knows
+	// nothing about v0's transaction, exactly like a restart.
+	if err := st.PutBatch(ctx, []pass.FlushEvent{testEvent("/obj", 1, "new")}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Clock.Advance(2 * time.Second) // v0 messages stay locked (36s visibility)
+	cl.Settle()                       // v1's tmp object must be visible to its daemon
+	d2 := NewCommitDaemon(st, nil)
+	d2.Visibility = time.Second
+	if n, err := d2.RunOnce(ctx, true); err != nil || n != 1 {
+		t.Fatalf("v1 commit round: n=%d err=%v", n, err)
+	}
+	// Let v0's transaction redeliver to yet another fresh daemon while
+	// v1's COPY is still inside the propagation window (9s < 30s horizon)
+	// — no Settle here, that is the point.
+	cl.Clock.Advance(9 * time.Second)
+	pumpUntilDrained(t, cl, st, nil)
+
+	obj, err := st.Get(ctx, "/obj")
+	if err != nil {
+		t.Fatalf("get after recovery: %v", err)
+	}
+	if obj.Ref.Version != 1 || string(obj.Data) != "new" {
+		t.Fatalf("object regressed: have v%d %q, want v1 %q", obj.Ref.Version, obj.Data, "new")
+	}
+}
+
+// TestIncompleteTransactionPrunedAfterRetention: a transaction whose client
+// crashed mid-log can never complete; once SQS retention has reaped its
+// messages the daemon must drop the assembled fragment instead of holding
+// it forever.
+func TestIncompleteTransactionPrunedAfterRetention(t *testing.T) {
+	ctx := context.Background()
+	faults := sim.NewFaultPlan()
+	cl := cloud.New(cloud.Config{Seed: 3, Faults: faults})
+	st, err := New(Config{Cloud: cl, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash after the first WAL record: begin + one record, no commit.
+	faults.Arm("wal/after-record-0")
+	err = st.PutBatch(ctx, []pass.FlushEvent{testEvent("/wedge", 0, "x")})
+	if !errors.Is(err, sim.ErrCrash) {
+		t.Fatalf("expected injected crash, got %v", err)
+	}
+
+	d := NewCommitDaemon(st, faults)
+	d.Visibility = time.Second
+	if _, err := d.RunOnce(ctx, true); err != nil {
+		t.Fatal(err)
+	}
+	if d.PendingTransactions() == 0 {
+		t.Fatal("expected an incomplete transaction to be pending")
+	}
+	// Past retention, the same daemon must prune the fragment.
+	cl.Clock.Advance(sqs.RetentionPeriod + time.Hour)
+	if _, err := d.RunOnce(ctx, true); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.PendingTransactions(); n != 0 {
+		t.Fatalf("%d incomplete transactions still pending after retention", n)
+	}
+}
+
+// TestCommittedLogPhaseReportsLanded: a crash after the commit record is on
+// the queue must tell the flush layer the batch landed — the transaction
+// will commit; replaying it would log a duplicate transaction.
+func TestCommittedLogPhaseReportsLanded(t *testing.T) {
+	ctx := context.Background()
+	faults := sim.NewFaultPlan()
+	cl := cloud.New(cloud.Config{Seed: 5, Faults: faults})
+	st, err := New(Config{Cloud: cl, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Arm("wal/after-commit")
+	ev := testEvent("/sealed", 0, "data")
+	err = st.PutBatch(ctx, []pass.FlushEvent{ev})
+	if !errors.Is(err, sim.ErrCrash) {
+		t.Fatalf("expected injected crash, got %v", err)
+	}
+	var pw *core.PartialWriteError
+	if !errors.As(err, &pw) {
+		t.Fatalf("expected PartialWriteError, got %T: %v", err, err)
+	}
+	if len(pw.Landed) != 1 || pw.Landed[0] != ev.Ref {
+		t.Fatalf("landed = %v, want [%s]", pw.Landed, ev.Ref)
+	}
+	if !strings.Contains(pw.Error(), "1 events landed") {
+		t.Fatalf("unexpected error rendering: %v", pw)
+	}
+}

@@ -29,8 +29,10 @@ import (
 	"fmt"
 	"iter"
 	"strconv"
+	"sync"
 
 	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/retry"
 	"passcloud/internal/cloud/sqs"
 	"passcloud/internal/core"
 	"passcloud/internal/core/sdbprov"
@@ -59,6 +61,8 @@ type Config struct {
 	// DisableQueryCache turns off the sdbprov layer's generation-stamped
 	// query cache, restoring the paper's one-query-run-per-call costs.
 	DisableQueryCache bool
+	// Retry bounds the transient-error backoff around every cloud call.
+	Retry retry.Policy
 }
 
 // Store is the S3+SimpleDB+SQS architecture (client side).
@@ -67,6 +71,13 @@ type Store struct {
 	layer  *sdbprov.Layer
 	faults *sim.FaultPlan
 	queue  string
+
+	mu sync.Mutex
+	// logged tracks the highest version this client has committed to the
+	// WAL per object. Partial-batch recovery can reorder flushes across
+	// retries; an older pending version logged after a newer one must not
+	// carry a data record, or the commit daemon would regress the object.
+	logged map[prov.ObjectID]prov.Version
 }
 
 // New builds the store, creating bucket, domain and WAL queue if needed.
@@ -84,6 +95,7 @@ func New(cfg Config) (*Store, error) {
 		Faults:            cfg.Faults,
 		MaxReadRetries:    cfg.MaxReadRetries,
 		DisableQueryCache: cfg.DisableQueryCache,
+		Retry:             cfg.Retry,
 	})
 	if err != nil {
 		return nil, err
@@ -92,7 +104,8 @@ func New(cfg Config) (*Store, error) {
 	if err := cfg.Cloud.SQS.CreateQueue(queue); err != nil && !errors.Is(err, sqs.ErrQueueExists) {
 		return nil, err
 	}
-	return &Store{cloud: cfg.Cloud, layer: layer, faults: cfg.Faults, queue: queue}, nil
+	return &Store{cloud: cfg.Cloud, layer: layer, faults: cfg.Faults, queue: queue,
+		logged: make(map[prov.ObjectID]prov.Version)}, nil
 }
 
 // Name implements core.Store.
@@ -110,6 +123,10 @@ func (s *Store) Properties() core.Properties {
 
 // Layer exposes the SimpleDB provenance layer.
 func (s *Store) Layer() *sdbprov.Layer { return s.layer }
+
+// RetryStats snapshots the store's retry counters (shared with its layer,
+// the commit daemon and the cleaner).
+func (s *Store) RetryStats() retry.Snapshot { return s.layer.RetryStats() }
 
 // Queue returns the WAL queue name.
 func (s *Store) Queue() string { return s.queue }
@@ -160,7 +177,7 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 			return err
 		}
 		item := prov.EncodeItemName(ev.Ref)
-		encoded, err := s.layer.EncodeValues(ev.Ref, ev.Records, "wal")
+		encoded, err := s.layer.EncodeValues(ctx, ev.Ref, ev.Records, "wal")
 		if err != nil {
 			return err
 		}
@@ -168,8 +185,15 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 		if err != nil {
 			return err
 		}
+		s.mu.Lock()
+		stale := ev.Persistent() && s.logged[ev.Ref.Object] > ev.Ref.Version
+		s.mu.Unlock()
 		var nonce, md5hex string
-		if ev.Persistent() {
+		if ev.Persistent() && !stale {
+			// An event whose object already logged a newer version keeps
+			// its provenance records but drops the data pointer: replaying
+			// the old bytes through the commit daemon would regress the
+			// object the newer transaction committed.
 			nonce = strconv.Itoa(int(ev.Ref.Version)) + "-" + s.cloud.RNG.Hex(4)
 			md5hex = sdbprov.ConsistencyMD5(ev.Data, nonce)
 			tmpKey := fmt.Sprintf("%s%s-%d", TmpPrefix, txid, i)
@@ -189,17 +213,24 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 		for _, chunk := range chunks {
 			msgs = append(msgs, walMessage{TxID: txid, Kind: kindProv, Item: item, Records: chunk})
 		}
-		if ev.Persistent() {
+		if ev.Persistent() && !stale {
 			msgs = append(msgs, walMessage{TxID: txid, Kind: kindMD5, Item: item, MD5: md5hex})
 		}
 	}
-	commit := walMessage{TxID: txid, Kind: kindCommit}
+	// Seq-number the transaction: begin=0, records 1..N, commit=N+1. The
+	// daemon assembles by distinct Seq, so duplicate deliveries and
+	// duplicate (retried) sends collapse instead of inflating the count.
+	total := len(msgs) + 2
+	for i := range msgs {
+		msgs[i].Seq = i + 1
+	}
+	commit := walMessage{TxID: txid, Kind: kindCommit, Seq: total - 1}
 
 	// 1(b): begin record with the transaction's record count.
 	if err := s.faults.Check("wal/before-begin"); err != nil {
 		return err
 	}
-	if err := s.send(walMessage{TxID: txid, Kind: kindBegin, Count: len(msgs) + 1}); err != nil {
+	if err := s.send(ctx, walMessage{TxID: txid, Kind: kindBegin, Seq: 0, Count: total}); err != nil {
 		return err
 	}
 	if err := s.faults.Check("wal/after-begin"); err != nil {
@@ -208,11 +239,15 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 
 	// 1(c): data goes to temporary objects; only pointers enter the log
 	// ("we cannot directly record large data items on the WAL queue").
+	// Re-PUT of the same temporary key/content is idempotent under retry.
 	for _, tp := range tmps {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := s.cloud.S3.Put(s.layer.Bucket(), tp.key, tp.data, tp.meta); err != nil {
+		err := s.layer.Retrier().Do(ctx, "s3sdbsqs/tmp-put", func() error {
+			return s.cloud.S3.Put(s.layer.Bucket(), tp.key, tp.data, tp.meta)
+		})
+		if err != nil {
 			return fmt.Errorf("s3sdbsqs: temp put: %w", err)
 		}
 		if err := s.faults.Check("wal/after-tmp-put"); err != nil {
@@ -225,7 +260,7 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := s.send(m); err != nil {
+		if err := s.send(ctx, m); err != nil {
 			return err
 		}
 		if err := s.faults.Check(fmt.Sprintf("wal/after-record-%d", i)); err != nil {
@@ -237,18 +272,45 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 	}
 
 	// 1(e): the commit record seals the transaction.
-	if err := s.send(commit); err != nil {
+	if err := s.send(ctx, commit); err != nil {
 		return err
 	}
-	return s.faults.Check("wal/after-commit")
+	// The transaction is sealed: remember the versions it will commit so a
+	// reordered retry of an older pending version cannot log a data record
+	// over them.
+	s.mu.Lock()
+	for _, ev := range batch {
+		if ev.Persistent() && ev.Ref.Version > s.logged[ev.Ref.Object] {
+			s.logged[ev.Ref.Object] = ev.Ref.Version
+		}
+	}
+	s.mu.Unlock()
+	if err := s.faults.Check("wal/after-commit"); err != nil {
+		// The commit record is already on the queue: the transaction WILL
+		// commit once the daemon drains it. Report every event as landed so
+		// the caller does not replay the batch into a second transaction.
+		landed := make([]prov.Ref, len(batch))
+		for i, ev := range batch {
+			landed[i] = ev.Ref
+		}
+		return core.PartialWrite(landed, err)
+	}
+	return nil
 }
 
-func (s *Store) send(m walMessage) error {
+// send encodes and enqueues one WAL message, retrying transient SQS errors.
+// A send retried after a lost response duplicates the message; the daemon's
+// Seq-based assembly makes that harmless.
+func (s *Store) send(ctx context.Context, m walMessage) error {
 	body, err := m.encode()
 	if err != nil {
 		return err
 	}
-	if _, err := s.cloud.SQS.SendMessage(s.queue, body); err != nil {
+	err = s.layer.Retrier().Do(ctx, "s3sdbsqs/wal-send", func() error {
+		_, serr := s.cloud.SQS.SendMessage(s.queue, body)
+		return serr
+	})
+	if err != nil {
 		return fmt.Errorf("s3sdbsqs: wal send: %w", err)
 	}
 	return nil
@@ -267,7 +329,7 @@ func (s *Store) Provenance(ctx context.Context, ref prov.Ref) ([]prov.Record, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	records, _, ok, err := s.layer.FetchItem(ref)
+	records, _, ok, err := s.layer.FetchItem(ctx, ref)
 	if err != nil {
 		return nil, err
 	}

@@ -23,9 +23,17 @@ type walMessage struct {
 	TxID string `json:"tx"`
 	Kind string `json:"kind"`
 
-	// Count (begin only): how many messages follow begin, commit included.
-	// "record a begin record that has both the id and the number of
-	// records in the transaction on the WAL queue".
+	// Seq is the message's position within its transaction (0 = begin,
+	// Count-1 = commit). The commit daemon assembles transactions by
+	// distinct Seq, not by SQS message ID: at-least-once delivery AND
+	// retried sends after a lost response both produce duplicate copies of
+	// one logical record, and counting copies would let a transaction look
+	// complete while a distinct record is still missing.
+	Seq int `json:"seq"`
+
+	// Count (begin only): the transaction's total message count, begin and
+	// commit included. "record a begin record that has both the id and the
+	// number of records in the transaction on the WAL queue".
 	Count int `json:"count,omitempty"`
 
 	// Data-record fields: where the temporary object lives and where it

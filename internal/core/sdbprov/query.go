@@ -195,14 +195,12 @@ func (l *Layer) runQuery(ctx context.Context, q prov.Query, yield func(core.Entr
 			if g != nil {
 				records = g.Records(r)
 			} else {
-				// FetchItem takes no context: check per ref so a cancel
-				// stops billing mid-result-set, not after it.
 				if err := ctx.Err(); err != nil {
 					yield(core.Entry{}, err)
 					return
 				}
 				var ok bool
-				records, _, ok, err = l.FetchItem(r)
+				records, _, ok, err = l.FetchItem(ctx, r)
 				if err != nil {
 					yield(core.Entry{}, err)
 					return
@@ -317,7 +315,7 @@ func (l *Layer) computePinned(ctx context.Context, q prov.Query) ([]prov.Ref, er
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			records, _, ok, err := l.FetchItem(r)
+			records, _, ok, err := l.FetchItem(ctx, r)
 			if err != nil {
 				return nil, err
 			}
@@ -575,7 +573,7 @@ func (l *Layer) queryRefAttrs(ctx context.Context, expr string, attrNames []stri
 				if !want[a.Name] {
 					continue
 				}
-				rec, err := l.decodeStored(ref, a.Name, a.Value)
+				rec, err := l.decodeStored(ctx, ref, a.Name, a.Value)
 				if err != nil {
 					return nil, err
 				}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/retry"
 	"passcloud/internal/cloud/s3"
 	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/core"
@@ -105,6 +106,9 @@ type Config struct {
 	// DisableQueryCache turns off the generation-stamped query cache,
 	// restoring one indexed query run per call (Table 3's SimpleDB row).
 	DisableQueryCache bool
+	// Retry bounds the transient-error backoff around every cloud call the
+	// layer issues. The zero value uses the shared defaults.
+	Retry retry.Policy
 }
 
 // Layer is the shared provenance store.
@@ -125,6 +129,10 @@ type Layer struct {
 	// region (predictions then degrade to estimates).
 	catalog *planner.SDBCatalog
 	tracker *qcache.WriteTracker
+	// retrier backs off and retries transient cloud errors on every call
+	// the layer issues; its meters feed the cost harness's retry-overhead
+	// report.
+	retrier *retry.Retrier
 }
 
 // New builds the layer, creating bucket and domain if needed.
@@ -152,7 +160,12 @@ func New(cfg Config) (*Layer, error) {
 		step := cfg.Cloud.S3.MaxDelay()/4 + time.Millisecond
 		cfg.RetryWait = func() { clock.Advance(step) }
 	}
-	l := &Layer{cfg: cfg, catalog: planner.NewSDBCatalog(), tracker: qcache.NewWriteTracker(cfg.Cloud)}
+	l := &Layer{
+		cfg:     cfg,
+		catalog: planner.NewSDBCatalog(),
+		tracker: qcache.NewWriteTracker(cfg.Cloud),
+		retrier: retry.New(cfg.Retry, cfg.Cloud.Clock, cfg.Cloud.RNG),
+	}
 	// Resource creation meters as a mutation (CreateBucket is an S3 PUT);
 	// track it so a solo client's plans stay exact.
 	err := l.tracker.Track(func() error {
@@ -196,6 +209,24 @@ func (l *Layer) CacheStats() qcache.Stats {
 	return l.cache.Stats()
 }
 
+// ConsistencyWait blocks (in simulated time) for one full propagation
+// horizon, the wait a client performs before trusting that a negative read
+// — a missing object, a missing item — reflects reality rather than a
+// stale replica. Recovery scans use it before destructive decisions.
+func (l *Layer) ConsistencyWait() {
+	for i := 0; i < 4; i++ {
+		l.cfg.RetryWait()
+	}
+}
+
+// Retrier returns the layer's retry executor, shared with the protocol code
+// built on the layer (stores, commit daemon, cleaner) so one run's retry
+// overhead is metered in one place.
+func (l *Layer) Retrier() *retry.Retrier { return l.retrier }
+
+// RetryStats snapshots the layer's retry counters.
+func (l *Layer) RetryStats() retry.Snapshot { return l.retrier.Snapshot() }
+
 // Bucket returns the S3 bucket name.
 func (l *Layer) Bucket() string { return l.cfg.Bucket }
 
@@ -229,7 +260,7 @@ func ConsistencyMD5(data []byte, nonce string) string {
 // totals) and replaced by pointers; smaller literals are escaped. The
 // returned records carry the stored form and can travel through the WAL or
 // go straight to WriteEncoded.
-func (l *Layer) EncodeValues(subject prov.Ref, records []prov.Record, faultPrefix string) ([]prov.Record, error) {
+func (l *Layer) EncodeValues(ctx context.Context, subject prov.Ref, records []prov.Record, faultPrefix string) ([]prov.Record, error) {
 	out := make([]prov.Record, len(records))
 	overflowN := 0
 	for i, rec := range records {
@@ -241,7 +272,12 @@ func (l *Layer) EncodeValues(subject prov.Ref, records []prov.Record, faultPrefi
 		if len(value) > core.OverflowThreshold {
 			okey := l.overflowKey(subject, overflowN)
 			overflowN++
-			if err := l.cfg.Cloud.S3.Put(l.cfg.Bucket, okey, []byte(value), nil); err != nil {
+			// Re-PUT of the same key/content is idempotent, so a retry
+			// after a lost response cannot double-apply.
+			err := l.retrier.Do(ctx, "sdbprov/overflow-put", func() error {
+				return l.cfg.Cloud.S3.Put(l.cfg.Bucket, okey, []byte(value), nil)
+			})
+			if err != nil {
 				return nil, fmt.Errorf("sdbprov: overflow put: %w", err)
 			}
 			if err := l.cfg.Faults.Check(faultPrefix + "/after-overflow-put"); err != nil {
@@ -264,7 +300,7 @@ func (l *Layer) EncodeValues(subject prov.Ref, records []prov.Record, faultPrefi
 // observe mirrors the item into the planner catalog; callers invoke it
 // only once the SimpleDB write succeeds, so a failed write cannot leave a
 // phantom item skewing Explain.
-func (l *Layer) buildAttrs(subject prov.Ref, encoded []prov.Record, md5hex, faultPrefix string) (attrs []sdb.ReplaceableAttr, observe func(), err error) {
+func (l *Layer) buildAttrs(ctx context.Context, subject prov.Ref, encoded []prov.Record, md5hex, faultPrefix string) (attrs []sdb.ReplaceableAttr, observe func(), err error) {
 	item := prov.EncodeItemName(subject)
 
 	// Reserve room for the bookkeeping attributes.
@@ -294,7 +330,10 @@ func (l *Layer) buildAttrs(subject prov.Ref, encoded []prov.Record, md5hex, faul
 			return nil, nil, err
 		}
 		mkey := fmt.Sprintf("%s/%s/more", OverflowPrefix, item)
-		if err := l.cfg.Cloud.S3.Put(l.cfg.Bucket, mkey, blob, nil); err != nil {
+		err = l.retrier.Do(ctx, "sdbprov/spill-put", func() error {
+			return l.cfg.Cloud.S3.Put(l.cfg.Bucket, mkey, blob, nil)
+		})
+		if err != nil {
 			return nil, nil, fmt.Errorf("sdbprov: spill put: %w", err)
 		}
 		if err := l.cfg.Faults.Check(faultPrefix + "/after-spill-put"); err != nil {
@@ -311,15 +350,15 @@ func (l *Layer) buildAttrs(subject prov.Ref, encoded []prov.Record, md5hex, faul
 // PutAttributes calls"). md5hex, when non-empty, adds the consistency
 // record. faultPrefix scopes the crash points so each caller's protocol is
 // independently testable.
-func (l *Layer) WriteEncoded(subject prov.Ref, encoded []prov.Record, md5hex, faultPrefix string) error {
+func (l *Layer) WriteEncoded(ctx context.Context, subject prov.Ref, encoded []prov.Record, md5hex, faultPrefix string) error {
 	// Invalidate cached query state even on failure: a partial chunked
 	// write is already visible to queries.
 	defer l.gen.Bump()
-	attrs, observe, err := l.buildAttrs(subject, encoded, md5hex, faultPrefix)
+	attrs, observe, err := l.buildAttrs(ctx, subject, encoded, md5hex, faultPrefix)
 	if err != nil {
 		return err
 	}
-	if err := l.putChunked(subject, attrs, faultPrefix); err != nil {
+	if err := l.putChunked(ctx, subject, attrs, faultPrefix); err != nil {
 		return err
 	}
 	observe()
@@ -327,14 +366,20 @@ func (l *Layer) WriteEncoded(subject prov.Ref, encoded []prov.Record, md5hex, fa
 }
 
 // putChunked issues the chunked PutAttributes loop for one item.
-func (l *Layer) putChunked(subject prov.Ref, attrs []sdb.ReplaceableAttr, faultPrefix string) error {
+func (l *Layer) putChunked(ctx context.Context, subject prov.Ref, attrs []sdb.ReplaceableAttr, faultPrefix string) error {
 	item := prov.EncodeItemName(subject)
 	for start := 0; start < len(attrs); start += sdb.MaxAttrsPerCall {
 		end := start + sdb.MaxAttrsPerCall
 		if end > len(attrs) {
 			end = len(attrs)
 		}
-		if err := l.cfg.Cloud.SDB.PutAttributes(l.cfg.Domain, item, attrs[start:end]); err != nil {
+		chunk := attrs[start:end]
+		// PutAttributes is idempotent (§2.2): the same (name, value) pairs
+		// collapse, so a retried-after-lost-response chunk cannot duplicate.
+		err := l.retrier.Do(ctx, "sdbprov/put-attributes", func() error {
+			return l.cfg.Cloud.SDB.PutAttributes(l.cfg.Domain, item, chunk)
+		})
+		if err != nil {
 			return fmt.Errorf("sdbprov: put attributes: %w", err)
 		}
 		if err := l.cfg.Faults.Check(faultPrefix + "/after-putattrs-chunk"); err != nil {
@@ -347,13 +392,13 @@ func (l *Layer) putChunked(subject prov.Ref, attrs []sdb.ReplaceableAttr, faultP
 // WriteItem encodes and stores a subject's provenance in one step — the
 // direct (architecture 2) single-item write path. As an outermost write
 // entry point it runs under the planner's write tracker.
-func (l *Layer) WriteItem(subject prov.Ref, records []prov.Record, md5hex, faultPrefix string) error {
+func (l *Layer) WriteItem(ctx context.Context, subject prov.Ref, records []prov.Record, md5hex, faultPrefix string) error {
 	return l.TrackWrites(func() error {
-		encoded, err := l.EncodeValues(subject, records, faultPrefix)
+		encoded, err := l.EncodeValues(ctx, subject, records, faultPrefix)
 		if err != nil {
 			return err
 		}
-		return l.WriteEncoded(subject, encoded, md5hex, faultPrefix)
+		return l.WriteEncoded(ctx, subject, encoded, md5hex, faultPrefix)
 	})
 }
 
@@ -372,50 +417,67 @@ type ItemWrite struct {
 // limit), and oversized items fall back to the chunked PutAttributes path.
 // This is the write amortization both indexed architectures ride: a close
 // with K unpersisted ancestors costs ⌈K/25⌉ SimpleDB calls instead of K.
+//
+// Transient SimpleDB errors are retried with backoff (re-sending a group is
+// idempotent: per-item set semantics collapse duplicates). When the batch
+// still fails after some groups landed, the error is a typed
+// core.PartialWriteError listing the landed subjects, so callers can tell
+// a half-landed batch from an all-or-nothing failure instead of guessing.
 func (l *Layer) WriteEncodedBatch(ctx context.Context, writes []ItemWrite, faultPrefix string) error {
 	if len(writes) > 0 {
 		// Invalidate cached query state even on failure: earlier groups of
 		// a partially written batch are already visible to queries.
 		defer l.gen.Bump()
 	}
+	var landed []prov.Ref
 	var group []sdb.BatchItem
 	var groupObserve []func()
+	var groupSubjects []prov.Ref
 	flushGroup := func() error {
 		if len(group) == 0 {
 			return nil
 		}
-		if err := l.cfg.Cloud.SDB.BatchPutAttributes(l.cfg.Domain, group); err != nil {
+		batch := group
+		err := l.retrier.Do(ctx, "sdbprov/batch-put", func() error {
+			return l.cfg.Cloud.SDB.BatchPutAttributes(l.cfg.Domain, batch)
+		})
+		if err != nil {
 			return fmt.Errorf("sdbprov: batch put attributes: %w", err)
 		}
-		// The group landed: mirror its items into the planner catalog.
+		// The group landed: mirror its items into the planner catalog and
+		// record them for partial-failure reporting.
 		for _, observe := range groupObserve {
 			observe()
 		}
-		group, groupObserve = group[:0], groupObserve[:0]
+		landed = append(landed, groupSubjects...)
+		group, groupObserve, groupSubjects = group[:0], groupObserve[:0], groupSubjects[:0]
 		return l.cfg.Faults.Check(faultPrefix + "/after-batchput")
 	}
+	// partial tags errors with whatever landed before the failure.
+	partial := func(err error) error { return core.PartialWrite(landed, err) }
 
 	seen := make(map[string]bool, len(writes))
 	for _, w := range writes {
 		if err := ctx.Err(); err != nil {
-			return err
+			return partial(err)
 		}
-		attrs, observe, err := l.buildAttrs(w.Subject, w.Records, w.MD5, faultPrefix)
+		attrs, observe, err := l.buildAttrs(ctx, w.Subject, w.Records, w.MD5, faultPrefix)
 		if err != nil {
-			return err
+			return partial(err)
 		}
 		if len(attrs) > sdb.MaxAttrsPerCall {
 			// Oversized item: the chunked single-item path. Flush the
 			// pending group first so the batch's ancestors-before-
 			// descendants write order survives a crash between calls.
 			if err := flushGroup(); err != nil {
-				return err
+				return partial(err)
 			}
 			clear(seen)
-			if err := l.putChunked(w.Subject, attrs, faultPrefix); err != nil {
-				return err
+			if err := l.putChunked(ctx, w.Subject, attrs, faultPrefix); err != nil {
+				return partial(err)
 			}
 			observe()
+			landed = append(landed, w.Subject)
 			continue
 		}
 		name := prov.EncodeItemName(w.Subject)
@@ -424,32 +486,38 @@ func (l *Layer) WriteEncodedBatch(ctx context.Context, writes []ItemWrite, fault
 			// the group so the duplicate lands in a later call, preserving
 			// write order without tripping the one-item-per-call rule.
 			if err := flushGroup(); err != nil {
-				return err
+				return partial(err)
 			}
 			clear(seen)
 		}
 		seen[name] = true
 		group = append(group, sdb.BatchItem{Name: name, Attrs: attrs})
 		groupObserve = append(groupObserve, observe)
+		groupSubjects = append(groupSubjects, w.Subject)
 		if len(group) == sdb.MaxItemsPerBatch {
 			if err := flushGroup(); err != nil {
-				return err
+				return partial(err)
 			}
 			clear(seen)
 		}
 	}
-	return flushGroup()
+	return partial(flushGroup())
 }
 
 // FetchItem retrieves and decodes a subject's provenance. ok is false when
 // the item is not (yet) visible.
-func (l *Layer) FetchItem(subject prov.Ref) (records []prov.Record, md5hex string, ok bool, err error) {
+func (l *Layer) FetchItem(ctx context.Context, subject prov.Ref) (records []prov.Record, md5hex string, ok bool, err error) {
 	item := prov.EncodeItemName(subject)
-	attrs, ok, err := l.cfg.Cloud.SDB.GetAttributes(l.cfg.Domain, item)
+	var attrs []sdb.Attr
+	err = l.retrier.Do(ctx, "sdbprov/get-attributes", func() error {
+		var gerr error
+		attrs, ok, gerr = l.cfg.Cloud.SDB.GetAttributes(l.cfg.Domain, item)
+		return gerr
+	})
 	if err != nil || !ok {
 		return nil, "", ok, err
 	}
-	records, md5hex, err = l.decodeAttrs(subject, attrs)
+	records, md5hex, err = l.decodeAttrs(ctx, subject, attrs)
 	if err != nil {
 		return nil, "", false, err
 	}
@@ -458,7 +526,7 @@ func (l *Layer) FetchItem(subject prov.Ref) (records []prov.Record, md5hex strin
 
 // decodeAttrs converts stored attributes back into records, resolving value
 // pointers (one GET each) and the item-spill object if present.
-func (l *Layer) decodeAttrs(subject prov.Ref, attrs []sdb.Attr) ([]prov.Record, string, error) {
+func (l *Layer) decodeAttrs(ctx context.Context, subject prov.Ref, attrs []sdb.Attr) ([]prov.Record, string, error) {
 	var md5hex, moreKey string
 	out := make([]prov.Record, 0, len(attrs))
 	for _, a := range attrs {
@@ -470,14 +538,19 @@ func (l *Layer) decodeAttrs(subject prov.Ref, attrs []sdb.Attr) ([]prov.Record, 
 			moreKey = a.Value
 			continue
 		}
-		rec, err := l.decodeStored(subject, a.Name, a.Value)
+		rec, err := l.decodeStored(ctx, subject, a.Name, a.Value)
 		if err != nil {
 			return nil, "", err
 		}
 		out = append(out, rec)
 	}
 	if moreKey != "" {
-		obj, err := l.cfg.Cloud.S3.Get(l.cfg.Bucket, moreKey)
+		var obj *s3.Object
+		err := l.retrier.Do(ctx, "sdbprov/spill-get", func() error {
+			var gerr error
+			obj, gerr = l.cfg.Cloud.S3.Get(l.cfg.Bucket, moreKey)
+			return gerr
+		})
 		if err != nil {
 			return nil, "", fmt.Errorf("sdbprov: spill get: %w", err)
 		}
@@ -488,7 +561,7 @@ func (l *Layer) decodeAttrs(subject prov.Ref, attrs []sdb.Attr) ([]prov.Record, 
 		for _, rec := range spilled {
 			if rec.Value.Kind == prov.KindString {
 				// Spilled string values carry the stored form.
-				resolved, err := l.decodeStored(subject, rec.Attr, rec.Value.Str)
+				resolved, err := l.decodeStored(ctx, subject, rec.Attr, rec.Value.Str)
 				if err != nil {
 					return nil, "", err
 				}
@@ -502,11 +575,16 @@ func (l *Layer) decodeAttrs(subject prov.Ref, attrs []sdb.Attr) ([]prov.Record, 
 
 // decodeStored turns one stored attribute value back into a record,
 // resolving pointers and unescaping literals.
-func (l *Layer) decodeStored(subject prov.Ref, attr, raw string) (prov.Record, error) {
+func (l *Layer) decodeStored(ctx context.Context, subject prov.Ref, attr, raw string) (prov.Record, error) {
 	if !prov.IsRefAttr(attr) {
 		okey, literal, isPtr := core.DecodeValue(raw)
 		if isPtr {
-			obj, err := l.cfg.Cloud.S3.Get(l.cfg.Bucket, okey)
+			var obj *s3.Object
+			err := l.retrier.Do(ctx, "sdbprov/overflow-get", func() error {
+				var gerr error
+				obj, gerr = l.cfg.Cloud.S3.Get(l.cfg.Bucket, okey)
+				return gerr
+			})
 			if err != nil {
 				return prov.Record{}, fmt.Errorf("sdbprov: overflow get: %w", err)
 			}
@@ -537,7 +615,12 @@ func (l *Layer) VerifiedGet(ctx context.Context, object prov.ObjectID) (*core.Ob
 			l.cfg.RetryWait()
 		}
 
-		obj, err := l.cfg.Cloud.S3.Get(l.cfg.Bucket, DataKey(object))
+		var obj *s3.Object
+		err := l.retrier.Do(ctx, "sdbprov/data-get", func() error {
+			var gerr error
+			obj, gerr = l.cfg.Cloud.S3.Get(l.cfg.Bucket, DataKey(object))
+			return gerr
+		})
 		if err != nil {
 			if errors.Is(err, s3.ErrNoSuchKey) {
 				lastErr = fmt.Errorf("%w: %s", core.ErrNotFound, object)
@@ -553,7 +636,7 @@ func (l *Layer) VerifiedGet(ctx context.Context, object prov.ObjectID) (*core.Ob
 		}
 		ref := prov.Ref{Object: object, Version: prov.Version(ver)}
 
-		records, md5hex, ok, err := l.FetchItem(ref)
+		records, md5hex, ok, err := l.FetchItem(ctx, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -616,7 +699,7 @@ func (l *Layer) scanSeq(ctx context.Context) iter.Seq2[core.Entry, error] {
 				if err != nil {
 					continue // foreign item in a shared domain
 				}
-				records, _, ok, err := l.FetchItem(ref)
+				records, _, ok, err := l.FetchItem(ctx, ref)
 				if err != nil {
 					yield(core.Entry{}, err)
 					return

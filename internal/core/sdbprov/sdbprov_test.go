@@ -39,10 +39,10 @@ func TestWriteFetchRoundTrip(t *testing.T) {
 		prov.NewInput(subject, ref("/dep", 0)),
 		prov.NewString(subject, prov.AttrEnv, ""), // empty value survives
 	}
-	if err := layer.WriteItem(subject, records, "cafebabe", "t"); err != nil {
+	if err := layer.WriteItem(context.Background(), subject, records, "cafebabe", "t"); err != nil {
 		t.Fatal(err)
 	}
-	got, md5hex, ok, err := layer.FetchItem(subject)
+	got, md5hex, ok, err := layer.FetchItem(context.Background(), subject)
 	if err != nil || !ok {
 		t.Fatalf("fetch: %v %v", ok, err)
 	}
@@ -66,7 +66,7 @@ func TestWriteFetchRoundTrip(t *testing.T) {
 
 func TestFetchMissingItem(t *testing.T) {
 	layer, _ := newTestLayer(t, 0)
-	_, _, ok, err := layer.FetchItem(ref("/ghost", 0))
+	_, _, ok, err := layer.FetchItem(context.Background(), ref("/ghost", 0))
 	if err != nil || ok {
 		t.Fatalf("missing item: ok=%v err=%v", ok, err)
 	}
@@ -79,13 +79,13 @@ func TestOverflowValueRoundTrip(t *testing.T) {
 	records := []prov.Record{prov.NewString(subject, prov.AttrEnv, big)}
 
 	putsBefore := cl.Usage().OpCount(billing.S3, "PUT")
-	if err := layer.WriteItem(subject, records, "", "t"); err != nil {
+	if err := layer.WriteItem(context.Background(), subject, records, "", "t"); err != nil {
 		t.Fatal(err)
 	}
 	if got := cl.Usage().OpCount(billing.S3, "PUT") - putsBefore; got != 1 {
 		t.Fatalf("overflow PUTs = %d, want 1", got)
 	}
-	got, _, ok, err := layer.FetchItem(subject)
+	got, _, ok, err := layer.FetchItem(context.Background(), subject)
 	if err != nil || !ok || len(got) != 1 || got[0].Value.Str != big {
 		t.Fatalf("round trip failed: %v %v %v", got, ok, err)
 	}
@@ -98,10 +98,10 @@ func TestItemSpillBeyond256Attrs(t *testing.T) {
 	for i := 0; i < 700; i++ {
 		records = append(records, prov.NewInput(subject, ref(fmt.Sprintf("/dep%04d", i), 0)))
 	}
-	if err := layer.WriteItem(subject, records, "beef", "t"); err != nil {
+	if err := layer.WriteItem(context.Background(), subject, records, "beef", "t"); err != nil {
 		t.Fatal(err)
 	}
-	got, md5hex, ok, err := layer.FetchItem(subject)
+	got, md5hex, ok, err := layer.FetchItem(context.Background(), subject)
 	if err != nil || !ok {
 		t.Fatal(err)
 	}
@@ -130,10 +130,10 @@ func TestEscapedLiteralRoundTripQuick(t *testing.T) {
 		i++
 		subject := ref(fmt.Sprintf("/q%d", i), 0)
 		records := []prov.Record{prov.NewString(subject, prov.AttrEnv, value)}
-		if err := layer.WriteItem(subject, records, "", "t"); err != nil {
+		if err := layer.WriteItem(context.Background(), subject, records, "", "t"); err != nil {
 			return false
 		}
-		got, _, ok, err := layer.FetchItem(subject)
+		got, _, ok, err := layer.FetchItem(context.Background(), subject)
 		return err == nil && ok && len(got) == 1 && got[0].Value.Str == value
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
@@ -158,7 +158,7 @@ func TestVerifiedGetHappyPath(t *testing.T) {
 	subject := ref("/v", 4)
 	data := []byte("content")
 	nonce := "4-abcd"
-	if err := layer.WriteItem(subject, []prov.Record{
+	if err := layer.WriteItem(context.Background(), subject, []prov.Record{
 		prov.NewString(subject, prov.AttrType, prov.TypeFile),
 	}, ConsistencyMD5(data, nonce), "t"); err != nil {
 		t.Fatal(err)
@@ -180,7 +180,7 @@ func TestVerifiedGetDetectsTamperedData(t *testing.T) {
 	layer, cl := newTestLayer(t, 0)
 	subject := ref("/tampered", 0)
 	nonce := "0-xyzw"
-	if err := layer.WriteItem(subject, []prov.Record{
+	if err := layer.WriteItem(context.Background(), subject, []prov.Record{
 		prov.NewString(subject, prov.AttrType, prov.TypeFile),
 	}, ConsistencyMD5([]byte("original"), nonce), "t"); err != nil {
 		t.Fatal(err)
@@ -215,7 +215,7 @@ func TestVerifiedGetRetriesAcrossPropagation(t *testing.T) {
 	if err := cl.S3.Put(layer.Bucket(), DataKey("/slow"), data, meta); err != nil {
 		t.Fatal(err)
 	}
-	if err := layer.WriteItem(subject, []prov.Record{
+	if err := layer.WriteItem(context.Background(), subject, []prov.Record{
 		prov.NewString(subject, prov.AttrType, prov.TypeFile),
 	}, ConsistencyMD5(data, nonce), "t"); err != nil {
 		t.Fatal(err)
@@ -241,7 +241,7 @@ func TestQueryEngineAgainstGroundTruth(t *testing.T) {
 	child := ref("/child", 0)
 	write := func(subject prov.Ref, records ...prov.Record) {
 		t.Helper()
-		if err := layer.WriteItem(subject, records, "", "t"); err != nil {
+		if err := layer.WriteItem(context.Background(), subject, records, "", "t"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -290,14 +290,14 @@ func TestDependentsChunking(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		inst := ref(fmt.Sprintf("proc/%d/tool", i), 0)
 		instances = append(instances, inst)
-		if err := layer.WriteItem(inst, []prov.Record{
+		if err := layer.WriteItem(context.Background(), inst, []prov.Record{
 			prov.NewString(inst, prov.AttrType, prov.TypeProcess),
 			prov.NewString(inst, prov.AttrName, "tool"),
 		}, "", "t"); err != nil {
 			t.Fatal(err)
 		}
 		out := ref(fmt.Sprintf("/out%d", i), 0)
-		if err := layer.WriteItem(out, []prov.Record{
+		if err := layer.WriteItem(context.Background(), out, []prov.Record{
 			prov.NewString(out, prov.AttrType, prov.TypeFile),
 			prov.NewInput(out, inst),
 		}, "", "t"); err != nil {
@@ -338,13 +338,13 @@ func TestExplainPredictsRidingAttrPointerGets(t *testing.T) {
 	}
 	proc, out := ref("proc/1/blast", 0), ref("/out", 0)
 	big := strings.Repeat("x", core.OverflowThreshold+1)
-	if err := layer.WriteItem(proc, []prov.Record{
+	if err := layer.WriteItem(context.Background(), proc, []prov.Record{
 		prov.NewString(proc, prov.AttrType, prov.TypeProcess),
 		prov.NewString(proc, prov.AttrName, "blast"),
 	}, "", "t"); err != nil {
 		t.Fatal(err)
 	}
-	if err := layer.WriteItem(out, []prov.Record{
+	if err := layer.WriteItem(context.Background(), out, []prov.Record{
 		prov.NewString(out, prov.AttrType, prov.TypeFile),
 		prov.NewInput(out, proc),
 		prov.NewString(out, "notes", big), // stored as an S3 pointer
@@ -391,7 +391,7 @@ func TestFailedWriteLeavesNoPhantomCatalogItem(t *testing.T) {
 	for i := 0; i < sdb.MaxAttrsPerItem+10; i++ {
 		records = append(records, prov.NewString(subject, fmt.Sprintf("k%03d", i), "v"))
 	}
-	if err := layer.WriteItem(subject, records, "", "t"); err == nil {
+	if err := layer.WriteItem(context.Background(), subject, records, "", "t"); err == nil {
 		t.Fatal("armed spill fault did not fire")
 	}
 	if n := layer.catalog.Items(); n != 0 {
@@ -437,7 +437,7 @@ func TestWriteEncodedBatchGroupsItems(t *testing.T) {
 		t.Fatalf("27-item batch cost %d SimpleDB ops, want 2", got)
 	}
 	for _, w := range writes {
-		records, _, ok, err := layer.FetchItem(w.Subject)
+		records, _, ok, err := layer.FetchItem(context.Background(), w.Subject)
 		if err != nil || !ok {
 			t.Fatalf("fetch %v: ok=%v err=%v", w.Subject, ok, err)
 		}
@@ -467,11 +467,11 @@ func TestWriteEncodedBatchOversizedItemFallsBack(t *testing.T) {
 	if err := layer.WriteEncodedBatch(ctx, writes, "t"); err != nil {
 		t.Fatal(err)
 	}
-	records, _, ok, err := layer.FetchItem(big)
+	records, _, ok, err := layer.FetchItem(context.Background(), big)
 	if err != nil || !ok || len(records) != 150 {
 		t.Fatalf("big item: ok=%v err=%v n=%d", ok, err, len(records))
 	}
-	_, md5hex, ok, err := layer.FetchItem(small)
+	_, md5hex, ok, err := layer.FetchItem(context.Background(), small)
 	if err != nil || !ok || md5hex != "beef" {
 		t.Fatalf("small item: ok=%v err=%v md5=%q", ok, err, md5hex)
 	}
@@ -487,7 +487,7 @@ func TestWriteEncodedBatchCancellation(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	if _, _, ok, _ := layer.FetchItem(subject); ok {
+	if _, _, ok, _ := layer.FetchItem(context.Background(), subject); ok {
 		t.Fatal("cancelled batch wrote an item")
 	}
 }
@@ -508,7 +508,7 @@ func TestEscapeQueryNeutralizesQuotes(t *testing.T) {
 	layer, cl := newTestLayer(t, 0)
 	hostile := "attr'] or ['type' = 'file"
 	subject := ref("/esc", 0)
-	if err := layer.WriteItem(subject, []prov.Record{
+	if err := layer.WriteItem(context.Background(), subject, []prov.Record{
 		prov.NewString(subject, prov.AttrType, prov.TypeFile),
 	}, "", "t"); err != nil {
 		t.Fatal(err)
@@ -536,7 +536,7 @@ func TestOutputsOfNoNPlusOne(t *testing.T) {
 	// One tool, many dependents: the old path issued one GetAttributes per
 	// dependent to read its type.
 	tool := ref("proc/1/tool", 0)
-	if err := layer.WriteItem(tool, []prov.Record{
+	if err := layer.WriteItem(context.Background(), tool, []prov.Record{
 		prov.NewString(tool, prov.AttrType, prov.TypeProcess),
 		prov.NewString(tool, prov.AttrName, "tool"),
 	}, "", "t"); err != nil {
@@ -545,7 +545,7 @@ func TestOutputsOfNoNPlusOne(t *testing.T) {
 	const deps = 40
 	for i := 0; i < deps; i++ {
 		out := ref(fmt.Sprintf("/out/%02d", i), 0)
-		if err := layer.WriteItem(out, []prov.Record{
+		if err := layer.WriteItem(context.Background(), out, []prov.Record{
 			prov.NewString(out, prov.AttrType, prov.TypeFile),
 			prov.NewInput(out, tool),
 		}, "", "t"); err != nil {
@@ -576,14 +576,14 @@ func TestLayerCacheRepeatQueriesFree(t *testing.T) {
 	layer, cl := newTestLayer(t, 0)
 	ctx := context.Background()
 	tool := ref("proc/1/tool", 0)
-	if err := layer.WriteItem(tool, []prov.Record{
+	if err := layer.WriteItem(context.Background(), tool, []prov.Record{
 		prov.NewString(tool, prov.AttrType, prov.TypeProcess),
 		prov.NewString(tool, prov.AttrName, "tool"),
 	}, "", "t"); err != nil {
 		t.Fatal(err)
 	}
 	out := ref("/out", 0)
-	if err := layer.WriteItem(out, []prov.Record{
+	if err := layer.WriteItem(context.Background(), out, []prov.Record{
 		prov.NewString(out, prov.AttrType, prov.TypeFile),
 		prov.NewInput(out, tool),
 	}, "", "t"); err != nil {
@@ -614,7 +614,7 @@ func TestLayerCacheRepeatQueriesFree(t *testing.T) {
 	// A write invalidates: the next query pays cloud ops again and sees
 	// the new item.
 	out2 := ref("/out2", 0)
-	if err := layer.WriteItem(out2, []prov.Record{
+	if err := layer.WriteItem(context.Background(), out2, []prov.Record{
 		prov.NewString(out2, prov.AttrType, prov.TypeFile),
 		prov.NewInput(out2, tool),
 	}, "", "t"); err != nil {
@@ -634,7 +634,7 @@ func TestUncachedLayerKeepsPaperCosts(t *testing.T) {
 	}
 	ctx := context.Background()
 	tool := ref("proc/1/tool", 0)
-	if err := layer.WriteItem(tool, []prov.Record{
+	if err := layer.WriteItem(context.Background(), tool, []prov.Record{
 		prov.NewString(tool, prov.AttrType, prov.TypeProcess),
 		prov.NewString(tool, prov.AttrName, "tool"),
 	}, "", "t"); err != nil {

@@ -1,0 +1,693 @@
+// Package sweep is the randomized crash-recovery property harness: it runs
+// a scripted PASS workload against one of the three architectures while a
+// seeded, deterministic fault schedule injects every failure class the
+// resilience subsystem distinguishes — transient service errors, permanent
+// denials, applied-but-response-lost operations, and client crashes at
+// protocol points — then drives the architecture's recovery machinery
+// (flush retries, commit daemon, cleaner, orphan scan) and asserts the
+// paper's core invariants over the converged state:
+//
+//   - no object is readable without provenance, and every workload file
+//     converges to its expected latest version and content;
+//   - no orphaned provenance survives recovery (items describing data that
+//     never landed, §4.2's recovery obligation);
+//   - retried operations never double-apply (no duplicated provenance
+//     records, no version regressions from replayed WAL transactions);
+//   - the query cache never serves stale results across failed/retried
+//     writes (cached answers equal a fresh uncached evaluation);
+//   - the WAL queue drains: no transaction wedges on redelivery.
+//
+// Everything is derived from Config.Seed — the region's randomness, the
+// fault schedule, and the workload — so a CI failure is replayable from the
+// logged seed: same seed, same fault schedule, same final state digest.
+package sweep
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/retry"
+	"passcloud/internal/cloud/s3"
+	"passcloud/internal/core"
+	"passcloud/internal/core/s3only"
+	"passcloud/internal/core/s3sdb"
+	"passcloud/internal/core/s3sdbsqs"
+	"passcloud/internal/core/sdbprov"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+)
+
+// Arches lists the architectures the sweep covers.
+var Arches = []string{"s3", "s3+sdb", "s3+sdb+sqs"}
+
+// AllClasses is the default fault-class mix.
+var AllClasses = []sim.FaultClass{sim.ClassCrash, sim.ClassTransient, sim.ClassPermanent, sim.ClassAckLoss}
+
+// Config parameterizes one sweep run.
+type Config struct {
+	// Arch is one of Arches.
+	Arch string
+	// Seed drives the region, the workload and the fault schedule.
+	Seed int64
+	// Faults is how many injections to schedule (default 6).
+	Faults int
+	// Classes restricts the classes drawn (default AllClasses).
+	Classes []sim.FaultClass
+	// MaxDelay is the region's propagation horizon (default 2s).
+	MaxDelay time.Duration
+}
+
+// Result reports one run.
+type Result struct {
+	Arch string
+	Seed int64
+	// Schedule logs every injected fault, in arm order — the replay recipe.
+	Schedule []string
+	// FlushErrors are the workload-visible errors the faults caused. They
+	// are expected; what must hold is that recovery repairs their effects.
+	FlushErrors []string
+	// Violations lists invariant breaches. A correct implementation leaves
+	// this empty for every seed.
+	Violations []string
+	// Digest fingerprints the converged repository state; identical seeds
+	// must produce identical digests (deterministic replay).
+	Digest string
+	// Retry snapshots the run's retry overhead.
+	Retry retry.Snapshot
+}
+
+// retryPolicy keeps sweep runs fast while still exercising multi-attempt
+// recovery: 4 attempts cover transient windows up to 3 failures.
+var retryPolicy = retry.Policy{
+	MaxAttempts: 4,
+	BaseDelay:   10 * time.Millisecond,
+	MaxDelay:    100 * time.Millisecond,
+	Budget:      2 * time.Second,
+}
+
+// faultMenu is what the schedule may draw for one architecture.
+type faultMenu struct {
+	crashPoints []string
+	ops         []string
+}
+
+var menus = map[string]faultMenu{
+	"s3": {
+		crashPoints: []string{"s3only/before-put", "s3only/after-put", "s3only/after-overflow-put", "s3only/after-bundle-put"},
+		ops:         []string{"s3/PUT"},
+	},
+	"s3+sdb": {
+		crashPoints: []string{"s3sdb/before-put", "s3sdb/after-prov", "s3sdb/after-batchput", "s3sdb/after-data", "s3sdb/after-overflow-put", "s3sdb/after-putattrs-chunk"},
+		ops:         []string{"s3/PUT", "sdb/PutAttributes", "sdb/BatchPutAttributes"},
+	},
+	"s3+sdb+sqs": {
+		crashPoints: []string{
+			"wal/before-begin", "wal/after-begin", "wal/after-tmp-put", "wal/after-record-0", "wal/after-record-1", "wal/before-commit", "wal/after-commit",
+			"commit/after-copy", "commit/after-prov-write", "commit/after-delete-messages", "commit/after-tmp-delete",
+		},
+		ops: []string{"s3/PUT", "s3/COPY", "sdb/BatchPutAttributes", "sqs/SendMessage", "sqs/DeleteMessage", "sqs/ReceiveMessage"},
+	},
+}
+
+// scheduledFault is one armed injection.
+type scheduledFault struct {
+	step  int
+	class sim.FaultClass
+	// target is a crash point (ClassCrash) or an op name.
+	target string
+	skip   int
+	count  int
+}
+
+func (f scheduledFault) String() string {
+	return fmt.Sprintf("step=%d class=%s target=%s skip=%d count=%d", f.step, f.class, f.target, f.skip, f.count)
+}
+
+// schedule draws cfg.Faults injections from the arch's menu, deterministic
+// in the schedule RNG.
+func schedule(cfg Config, rng *sim.RNG, steps int) []scheduledFault {
+	menu := menus[cfg.Arch]
+	var out []scheduledFault
+	for i := 0; i < cfg.Faults; i++ {
+		f := scheduledFault{step: rng.Intn(steps)}
+		f.class = cfg.Classes[rng.Intn(len(cfg.Classes))]
+		switch f.class {
+		case sim.ClassCrash:
+			f.target = menu.crashPoints[rng.Intn(len(menu.crashPoints))]
+			f.skip = rng.Intn(2)
+			f.count = 1
+		case sim.ClassTransient:
+			f.target = menu.ops[rng.Intn(len(menu.ops))]
+			f.skip = rng.Intn(3)
+			f.count = 1 + rng.Intn(3) // up to 3: the policy's 4 attempts absorb it
+		case sim.ClassPermanent:
+			f.target = menu.ops[rng.Intn(len(menu.ops))]
+			f.skip = rng.Intn(3)
+			f.count = 1 + rng.Intn(2)
+		case sim.ClassAckLoss:
+			f.target = menu.ops[rng.Intn(len(menu.ops))]
+			f.skip = rng.Intn(3)
+			f.count = 1 + rng.Intn(2) // stays under MaxAttempts: applied, then retried through
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// env is one architecture wired for the sweep.
+type env struct {
+	cloud  *cloud.Cloud
+	store  core.Store
+	faults *sim.FaultPlan
+	layer  *sdbprov.Layer // nil for s3-only
+	s3sdb  *s3sdb.Store   // non-nil for the orphan-scan arch
+	sqs    *s3sdbsqs.Store
+	daemon func() *s3sdbsqs.CommitDaemon // fresh daemon per pump (restart semantics)
+	stats  func() retry.Snapshot
+	// mirror builds an uncached querier over the same region for freshness
+	// cross-checks; constructed lazily after recovery.
+	mirror func() (core.Querier, error)
+}
+
+const daemonVisibility = 10 * time.Second
+
+func buildEnv(cfg Config, faults *sim.FaultPlan) (*env, error) {
+	cl := cloud.New(cloud.Config{Seed: cfg.Seed, MaxDelay: cfg.MaxDelay, Faults: faults})
+	e := &env{cloud: cl, faults: faults}
+	switch cfg.Arch {
+	case "s3":
+		st, err := s3only.New(s3only.Config{Cloud: cl, Faults: faults, PutConcurrency: 1, ScanConcurrency: 1, Retry: retryPolicy})
+		if err != nil {
+			return nil, err
+		}
+		e.store, e.stats = st, st.RetryStats
+		e.mirror = func() (core.Querier, error) {
+			m, err := s3only.New(s3only.Config{Cloud: cl, PutConcurrency: 1, ScanConcurrency: 1, DisableQueryCache: true})
+			if err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+	case "s3+sdb":
+		st, err := s3sdb.New(s3sdb.Config{Cloud: cl, Faults: faults, Retry: retryPolicy})
+		if err != nil {
+			return nil, err
+		}
+		e.store, e.layer, e.s3sdb, e.stats = st, st.Layer(), st, st.RetryStats
+	case "s3+sdb+sqs":
+		st, err := s3sdbsqs.New(s3sdbsqs.Config{Cloud: cl, Faults: faults, Retry: retryPolicy})
+		if err != nil {
+			return nil, err
+		}
+		e.store, e.layer, e.sqs, e.stats = st, st.Layer(), st, st.RetryStats
+		e.daemon = func() *s3sdbsqs.CommitDaemon {
+			d := s3sdbsqs.NewCommitDaemon(st, faults)
+			d.Visibility = daemonVisibility
+			return d
+		}
+	default:
+		return nil, fmt.Errorf("sweep: unknown arch %q", cfg.Arch)
+	}
+	if e.layer != nil {
+		e.mirror = func() (core.Querier, error) {
+			m, err := s3sdb.New(s3sdb.Config{Cloud: cl, DisableQueryCache: true})
+			if err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+	}
+	return e, nil
+}
+
+// script is the deterministic workload: a pipeline with version churn,
+// transient processes, a pipe, >1 KB record values (overflow objects) and a
+// >2 KB process environment (metadata spill on architecture 1).
+type script struct {
+	sys *pass.System
+	// procs carries process handles across steps.
+	procs map[string]*pass.Process
+	// paths tracks every file the workload writes, in creation order.
+	paths []string
+}
+
+func (s *script) steps(ctx context.Context) []func() error {
+	bigEnv := strings.Repeat("E", 1500) // > 1 KB: one overflow object
+	track := func(p string) {
+		for _, q := range s.paths {
+			if q == p {
+				return
+			}
+		}
+		s.paths = append(s.paths, p)
+	}
+	return []func() error{
+		func() error { track("/src/a"); return s.sys.Ingest(ctx, "/src/a", []byte("alpha")) },
+		func() error { track("/src/b"); return s.sys.Ingest(ctx, "/src/b", []byte("beta")) },
+		func() error {
+			track("/out/1")
+			p := s.sys.Exec(nil, pass.ExecSpec{Name: "tool1", Argv: []string{"tool1", "-x"}, Env: bigEnv})
+			s.procs["p1"] = p
+			if err := s.sys.Read(p, "/src/a"); err != nil {
+				return err
+			}
+			if err := s.sys.Write(p, "/out/1", []byte("v0-out1"), pass.Truncate); err != nil {
+				return err
+			}
+			return s.sys.Close(ctx, p, "/out/1")
+		},
+		func() error {
+			track("/out/2")
+			p := s.sys.Exec(nil, pass.ExecSpec{Name: "tool2", Env: strings.Repeat("H", 3*1024)})
+			s.procs["p2"] = p
+			if err := s.sys.Read(p, "/out/1"); err != nil {
+				return err
+			}
+			if err := s.sys.Read(p, "/src/b"); err != nil {
+				return err
+			}
+			if err := s.sys.Write(p, "/out/2", []byte("v0-out2"), pass.Truncate); err != nil {
+				return err
+			}
+			return s.sys.Close(ctx, p, "/out/2")
+		},
+		func() error {
+			p := s.sys.Exec(nil, pass.ExecSpec{Name: "tool3"})
+			s.procs["p3"] = p
+			if err := s.sys.Read(p, "/src/b"); err != nil {
+				return err
+			}
+			if err := s.sys.Write(p, "/out/1", []byte("v1-out1"), pass.Truncate); err != nil {
+				return err
+			}
+			return s.sys.Close(ctx, p, "/out/1")
+		},
+		func() error {
+			track("/out/3")
+			p4 := s.sys.Exec(nil, pass.ExecSpec{Name: "tool4"})
+			p5 := s.sys.Exec(nil, pass.ExecSpec{Name: "tool5"})
+			if err := s.sys.Read(p4, "/out/2"); err != nil {
+				return err
+			}
+			if err := s.sys.Pipe(p4, p5); err != nil {
+				return err
+			}
+			if err := s.sys.Write(p5, "/out/3", []byte("v0-out3"), pass.Truncate); err != nil {
+				return err
+			}
+			return s.sys.Close(ctx, p5, "/out/3")
+		},
+		func() error { return s.sys.Sync(ctx) },
+	}
+}
+
+// Run executes one sweep.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Faults == 0 {
+		cfg.Faults = 6
+	}
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = AllClasses
+	}
+	if cfg.MaxDelay == 0 {
+		cfg.MaxDelay = 2 * time.Second
+	}
+	res := &Result{Arch: cfg.Arch, Seed: cfg.Seed}
+
+	faults := sim.NewFaultPlan()
+	e, err := buildEnv(cfg, faults)
+	if err != nil {
+		return nil, err
+	}
+	sys := pass.NewSystem(pass.Config{Flush: core.Flusher(e.store)})
+	sc := &script{sys: sys, procs: make(map[string]*pass.Process)}
+	steps := sc.steps(ctx)
+
+	// Draw the schedule from its own seeded RNG so region randomness and
+	// fault placement cannot perturb each other.
+	srng := sim.NewRNG(cfg.Seed*7919 + 17)
+	plan := schedule(cfg, srng, len(steps))
+	for _, f := range plan {
+		res.Schedule = append(res.Schedule, f.String())
+	}
+
+	// Workload phase: arm each step's faults, run the step, pump background
+	// machinery. Errors are recorded, not fatal — they are the point.
+	record := func(stage string, err error) {
+		if err != nil {
+			res.FlushErrors = append(res.FlushErrors, fmt.Sprintf("%s: %v", stage, err))
+		}
+	}
+	for i, step := range steps {
+		for _, f := range plan {
+			if f.step != i {
+				continue
+			}
+			if f.class == sim.ClassCrash {
+				faults.ArmAfter(f.target, f.skip)
+			} else {
+				faults.ArmOp(f.target, f.class, f.skip, f.count)
+			}
+		}
+		if err := step(); err != nil {
+			record(fmt.Sprintf("step %d", i), err)
+		}
+		if e.daemon != nil {
+			if _, err := e.daemon().RunOnce(ctx, true); err != nil {
+				record(fmt.Sprintf("pump %d", i), err)
+			}
+			e.cloud.Clock.Advance(daemonVisibility + time.Second)
+		}
+	}
+
+	// Recovery phase 1: finish the workload. Every fault window is finite,
+	// so repeated Sync attempts must converge.
+	synced := false
+	for attempt := 0; attempt < 12; attempt++ {
+		if err := sys.Sync(ctx); err != nil {
+			record("sync", err)
+			e.cloud.Settle()
+			continue
+		}
+		synced = true
+		break
+	}
+	if !synced {
+		res.Violations = append(res.Violations, "workload never converged: Sync kept failing after fault windows closed")
+	}
+	if err := core.SyncStore(ctx, e.store); err != nil {
+		record("store-sync", err)
+		if err := core.SyncStore(ctx, e.store); err != nil {
+			res.Violations = append(res.Violations, fmt.Sprintf("store sync never converged: %v", err))
+		}
+	}
+
+	// Recovery phase 2: drain the WAL (fresh daemon per round = restart
+	// semantics), advancing past the visibility timeout so messages locked
+	// by a crashed round redeliver. The loop runs until several consecutive
+	// rounds commit nothing — committed transactions must all land here.
+	// Messages that remain afterwards can only belong to uncommitted
+	// transactions (a crash mid-log): SQS retention reaps those, and the
+	// cleaner then reaps their abandoned temporaries.
+	if e.daemon != nil {
+		idle := 0
+		for round := 0; round < 30 && idle < 3; round++ {
+			d := e.daemon()
+			n, err := d.RunOnce(ctx, true)
+			if err != nil {
+				record("recovery-pump", err)
+				idle = 0
+			} else if n == 0 {
+				idle++
+			} else {
+				idle = 0
+			}
+			e.cloud.Clock.Advance(daemonVisibility + time.Second)
+			e.cloud.Settle()
+		}
+		if idle < 3 {
+			res.Violations = append(res.Violations, "WAL queue never drained: transaction wedged on redelivery")
+		}
+		// Past the retention horizon: uncommitted-transaction messages are
+		// reaped; the cleaner removes their temporary objects; one final
+		// daemon round proves nothing committable was lost to retention.
+		e.cloud.Clock.Advance(4*24*time.Hour + time.Hour)
+		cleaner := s3sdbsqs.NewCleaner(e.sqs)
+		for attempt := 0; attempt < 4; attempt++ {
+			if _, err := cleaner.RunOnce(ctx); err != nil {
+				record("cleaner", err)
+				continue
+			}
+			break
+		}
+		if n, err := e.daemon().RunOnce(ctx, true); err != nil {
+			record("post-retention-pump", err)
+		} else if n > 0 {
+			res.Violations = append(res.Violations, fmt.Sprintf("%d transactions committed only after the retention horizon: drain loop is losing committed work", n))
+		}
+	}
+
+	// Recovery phase 3: the §4.2 orphan scan.
+	if e.s3sdb != nil {
+		for attempt := 0; attempt < 4; attempt++ {
+			if _, err := e.s3sdb.OrphanScan(ctx); err != nil {
+				record("orphan-scan", err)
+				e.cloud.Settle()
+				continue
+			}
+			break
+		}
+	}
+	e.cloud.Settle()
+
+	res.Retry = e.stats()
+	res.Violations = append(res.Violations, e.checkInvariants(ctx, cfg, sys, sc)...)
+	res.Digest = e.digest(ctx)
+	return res, nil
+}
+
+// checkInvariants verifies the converged state.
+func (e *env) checkInvariants(ctx context.Context, cfg Config, sys *pass.System, sc *script) []string {
+	var v []string
+
+	// (1) every workload file is readable at its final version with
+	// matching content, and never readable without provenance.
+	for _, path := range sc.paths {
+		ref, ok := sys.CurrentVersion(path)
+		if !ok {
+			continue
+		}
+		want, _ := sys.FileContent(path)
+		obj, err := e.store.Get(ctx, ref.Object)
+		switch {
+		case errors.Is(err, core.ErrNoProvenance):
+			v = append(v, fmt.Sprintf("%s: data readable without provenance: %v", path, err))
+		case err != nil:
+			v = append(v, fmt.Sprintf("%s: unreadable after recovery: %v", path, err))
+		case obj.Ref.Version != ref.Version:
+			v = append(v, fmt.Sprintf("%s: version regressed: have v%d, want v%d", path, obj.Ref.Version, ref.Version))
+		case string(obj.Data) != string(want):
+			v = append(v, fmt.Sprintf("%s: content mismatch: have %q, want %q", path, obj.Data, want))
+		}
+	}
+
+	if e.layer != nil {
+		// (2) no data object without a provenance item for its version.
+		infos, err := e.cloud.S3.ListAll(e.layer.Bucket(), sdbprov.DataPrefix)
+		if err != nil {
+			v = append(v, fmt.Sprintf("data listing failed: %v", err))
+		}
+		for _, info := range infos {
+			object := prov.ObjectID(strings.TrimPrefix(info.Key, sdbprov.DataPrefix))
+			full, err := e.cloud.S3.Head(e.layer.Bucket(), info.Key)
+			if err != nil {
+				v = append(v, fmt.Sprintf("%s: head failed: %v", info.Key, err))
+				continue
+			}
+			verStr := full.Metadata[sdbprov.MetaVersion]
+			var ver int
+			fmt.Sscanf(verStr, "%d", &ver)
+			ref := prov.Ref{Object: object, Version: prov.Version(ver)}
+			_, _, ok, err := e.layer.FetchItem(ctx, ref)
+			if err != nil {
+				v = append(v, fmt.Sprintf("%s: provenance fetch failed: %v", ref, err))
+			} else if !ok {
+				v = append(v, fmt.Sprintf("%s: data without provenance item", ref))
+			}
+		}
+
+		// (3) no orphaned provenance: every item carrying a consistency
+		// record must describe data that exists at or beyond its version.
+		if orphans := e.orphanItems(ctx, &v); len(orphans) > 0 {
+			v = append(v, fmt.Sprintf("orphaned provenance after recovery: %v", orphans))
+		}
+	}
+
+	// (4)+(5) duplicates and cache freshness, from a fresh uncached mirror.
+	mirror, err := e.mirror()
+	if err != nil {
+		v = append(v, fmt.Sprintf("mirror build failed: %v", err))
+		return v
+	}
+	uncached, err := core.AllProvenance(ctx, mirror)
+	if err != nil {
+		v = append(v, fmt.Sprintf("uncached scan failed: %v", err))
+		return v
+	}
+	for ref, records := range uncached {
+		seen := make(map[string]int)
+		for _, r := range records {
+			seen[r.Attr+"\x00"+r.Value.String()]++
+		}
+		for key, n := range seen {
+			if n > 1 {
+				attr := key[:strings.Index(key, "\x00")]
+				v = append(v, fmt.Sprintf("%s: record %q applied %d times (retry double-apply)", ref, attr, n))
+			}
+		}
+	}
+	if q, ok := e.store.(core.Querier); ok {
+		cached, err := core.AllProvenance(ctx, q)
+		if err != nil {
+			v = append(v, fmt.Sprintf("cached scan failed: %v", err))
+		} else if diff := diffProvenance(cached, uncached); diff != "" {
+			v = append(v, "query cache stale after failed/retried writes: "+diff)
+		} else {
+			// Repeat on the warm path: the memoized answer must agree too.
+			again, err := core.AllProvenance(ctx, q)
+			if err != nil {
+				v = append(v, fmt.Sprintf("warm cached scan failed: %v", err))
+			} else if diff := diffProvenance(again, uncached); diff != "" {
+				v = append(v, "warm query cache stale: "+diff)
+			}
+		}
+	}
+
+	// (6) nothing left behind on architecture 3.
+	if e.sqs != nil {
+		if n, err := e.cloud.SQS.Exact(e.sqs.Queue()); err == nil && n > 0 {
+			v = append(v, fmt.Sprintf("%d WAL messages wedged after recovery and retention", n))
+		}
+		if tmps, err := e.cloud.S3.ListAll(e.layer.Bucket(), s3sdbsqs.TmpPrefix); err == nil && len(tmps) > 0 {
+			v = append(v, fmt.Sprintf("%d temporary objects leaked past the cleaner", len(tmps)))
+		}
+	}
+	return v
+}
+
+// orphanItems lists refs whose items carry an MD5 record but whose data is
+// missing or older than the item claims.
+func (e *env) orphanItems(ctx context.Context, v *[]string) []prov.Ref {
+	var orphans []prov.Ref
+	token := ""
+	for {
+		res, err := e.cloud.SDB.Select("select itemName() from "+e.layer.Domain(), token)
+		if err != nil {
+			*v = append(*v, fmt.Sprintf("orphan scan select failed: %v", err))
+			return orphans
+		}
+		for _, item := range res.Items {
+			ref, err := prov.ParseItemName(item.Name)
+			if err != nil {
+				continue
+			}
+			_, md5hex, ok, err := e.layer.FetchItem(ctx, ref)
+			if err != nil || !ok || md5hex == "" {
+				continue
+			}
+			info, err := e.cloud.S3.Head(e.layer.Bucket(), sdbprov.DataKey(ref.Object))
+			if err != nil {
+				if errors.Is(err, s3.ErrNoSuchKey) {
+					orphans = append(orphans, ref)
+				}
+				continue
+			}
+			var ver int
+			fmt.Sscanf(info.Metadata[sdbprov.MetaVersion], "%d", &ver)
+			if prov.Version(ver) < ref.Version {
+				orphans = append(orphans, ref)
+			}
+		}
+		if res.NextToken == "" {
+			return orphans
+		}
+		token = res.NextToken
+	}
+}
+
+// diffProvenance compares two repository maps; empty string means equal.
+func diffProvenance(a, b map[prov.Ref][]prov.Record) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%d vs %d subjects", len(a), len(b))
+	}
+	for ref, ra := range a {
+		rb, ok := b[ref]
+		if !ok {
+			return fmt.Sprintf("subject %s only on one side", ref)
+		}
+		if canonRecords(ra) != canonRecords(rb) {
+			return fmt.Sprintf("records differ for %s", ref)
+		}
+	}
+	return ""
+}
+
+// canonRecords renders records order-independently.
+func canonRecords(records []prov.Record) string {
+	lines := make([]string, 0, len(records))
+	for _, r := range records {
+		lines = append(lines, r.Attr+"="+r.Value.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// digest fingerprints the converged repository: every provenance item and
+// every data object, canonically ordered. Identical seeds must reproduce it
+// exactly.
+func (e *env) digest(ctx context.Context) string {
+	h := sha256.New()
+	var entries []string
+
+	if e.layer != nil {
+		token := ""
+		for {
+			res, err := e.cloud.SDB.Select("select itemName() from "+e.layer.Domain(), token)
+			if err != nil {
+				fmt.Fprintf(h, "select-err %v\n", err)
+				break
+			}
+			for _, item := range res.Items {
+				ref, err := prov.ParseItemName(item.Name)
+				if err != nil {
+					continue
+				}
+				records, md5hex, ok, err := e.layer.FetchItem(ctx, ref)
+				if err != nil || !ok {
+					continue
+				}
+				entries = append(entries, fmt.Sprintf("item %s md5=%s\n%s", item.Name, md5hex, canonRecords(records)))
+			}
+			if res.NextToken == "" {
+				break
+			}
+			token = res.NextToken
+		}
+	} else if q, ok := e.store.(core.Querier); ok {
+		all, err := core.AllProvenance(ctx, q)
+		if err == nil {
+			for ref, records := range all {
+				entries = append(entries, fmt.Sprintf("item %s\n%s", ref, canonRecords(records)))
+			}
+		}
+	}
+
+	bucket := "pass"
+	if e.layer != nil {
+		bucket = e.layer.Bucket()
+	}
+	if infos, err := e.cloud.S3.ListAll(bucket, "data"); err == nil {
+		for _, info := range infos {
+			obj, err := e.cloud.S3.Get(bucket, info.Key)
+			if err != nil {
+				continue
+			}
+			sum := sha256.Sum256(obj.Body)
+			entries = append(entries, fmt.Sprintf("data %s ver=%s sha=%s", info.Key, obj.Metadata["x-ver"], hex.EncodeToString(sum[:8])))
+		}
+	}
+
+	sort.Strings(entries)
+	for _, line := range entries {
+		fmt.Fprintln(h, line)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -6,6 +6,7 @@ import (
 
 	"passcloud/internal/cloud"
 	"passcloud/internal/cloud/billing"
+	"passcloud/internal/cloud/retry"
 	"passcloud/internal/core"
 	"passcloud/internal/core/s3only"
 	"passcloud/internal/core/s3sdb"
@@ -50,6 +51,8 @@ type archRun struct {
 	querier core.Querier
 	setup   billing.Usage // after construction, before load
 	loadEnd billing.Usage // after load + settle
+	// retryStats reports the store's cumulative retry overhead.
+	retryStats func() retry.Snapshot
 }
 
 // defaults fills zero fields.
@@ -144,6 +147,9 @@ func (h *Harness) Load(ctx context.Context) error {
 			return fmt.Errorf("cost: build %s: %w", b.name, err)
 		}
 		run := &archRun{name: b.name, cloud: cl, store: st, setup: cl.Usage()}
+		if rs, ok := st.(interface{ RetryStats() retry.Snapshot }); ok {
+			run.retryStats = rs.RetryStats
+		}
 		if q, ok := st.(core.Querier); ok {
 			run.querier = q
 		}
@@ -317,6 +323,16 @@ func (h *Harness) Store(arch string) (core.Store, bool) {
 		return run.store, true
 	}
 	return nil, false
+}
+
+// RetrySnapshot returns one architecture's cumulative retry counters —
+// zero across the board on a healthy region, so trajectory tooling can
+// gate on retry overhead appearing.
+func (h *Harness) RetrySnapshot(arch string) (retry.Snapshot, bool) {
+	if run := h.findRun(arch); run != nil && run.retryStats != nil {
+		return run.retryStats(), true
+	}
+	return retry.Snapshot{}, false
 }
 
 func (h *Harness) findRun(name string) *archRun {

@@ -1,0 +1,129 @@
+package pass
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"passcloud/internal/prov"
+)
+
+// landedErr mimics core.PartialWriteError through the landedReporter
+// contract without importing core (pass must stay import-cycle-free).
+type landedErr struct {
+	landed []prov.Ref
+}
+
+func (e *landedErr) Error() string          { return fmt.Sprintf("half-landed: %v", e.landed) }
+func (e *landedErr) LandedRefs() []prov.Ref { return e.landed }
+
+// TestFlushPartialRecoveryRetriesOnlyUnlanded: events the store reports as
+// landed are marked persistent despite the failed flush; the next flush
+// re-sends only the remainder.
+func TestFlushPartialRecoveryRetriesOnlyUnlanded(t *testing.T) {
+	ctx := context.Background()
+	var batches [][]prov.Ref
+	var failWith error
+	flush := func(ctx context.Context, batch []FlushEvent) error {
+		refs := make([]prov.Ref, len(batch))
+		for i, ev := range batch {
+			refs[i] = ev.Ref
+		}
+		batches = append(batches, refs)
+		return failWith
+	}
+	sys := NewSystem(Config{Flush: flush})
+
+	p := sys.Exec(nil, ExecSpec{Name: "tool"})
+	if err := sys.Write(p, "/a", []byte("a"), Truncate); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Read(p, "/a"); err != nil { // freezes /a
+		t.Fatal(err)
+	}
+	if err := sys.Write(p, "/b", []byte("b"), Truncate); err != nil {
+		t.Fatal(err)
+	}
+
+	// First close fails but reports /a (and the tool's first version, its
+	// ancestor) landed.
+	aRef := prov.Ref{Object: "/a", Version: 0}
+	failWith = &landedErr{landed: []prov.Ref{aRef, {Object: "proc/1/tool", Version: 0}}}
+	if err := sys.Close(ctx, p, "/b"); err == nil {
+		t.Fatal("expected the close to fail")
+	}
+	first := batches[len(batches)-1]
+
+	failWith = nil
+	if err := sys.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	retry := batches[len(batches)-1]
+	if len(retry) >= len(first) {
+		t.Fatalf("retry re-sent %d of %d events", len(retry), len(first))
+	}
+	for _, ref := range retry {
+		if ref == aRef {
+			t.Fatalf("landed event %s was re-sent", ref)
+		}
+	}
+	// /b must be in the retry — it did not land.
+	found := false
+	for _, ref := range retry {
+		if ref.Object == "/b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unlanded event /b missing from retry batch %v", retry)
+	}
+}
+
+// TestFlushPartialRecoveryIgnoresForeignRefs: a buggy or malicious store
+// reporting refs outside the batch must not corrupt the pending set.
+func TestFlushPartialRecoveryIgnoresForeignRefs(t *testing.T) {
+	ctx := context.Background()
+	calls := 0
+	flush := func(ctx context.Context, batch []FlushEvent) error {
+		calls++
+		if calls == 1 {
+			return &landedErr{landed: []prov.Ref{{Object: "/unrelated", Version: 3}}}
+		}
+		return nil
+	}
+	sys := NewSystem(Config{Flush: flush})
+	if err := sys.Ingest(ctx, "/x", []byte("x")); err == nil {
+		t.Fatal("expected first flush to fail")
+	}
+	if err := sys.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("flush called %d times, want 2 (the real event must be retried)", calls)
+	}
+}
+
+// TestFlushErrorWithoutLandedKeepsEverythingPending: a plain error changes
+// nothing — the whole batch retries, as before.
+func TestFlushErrorWithoutLandedKeepsEverythingPending(t *testing.T) {
+	ctx := context.Background()
+	var sizes []int
+	fail := errors.New("boom")
+	var failWith error = fail
+	flush := func(ctx context.Context, batch []FlushEvent) error {
+		sizes = append(sizes, len(batch))
+		return failWith
+	}
+	sys := NewSystem(Config{Flush: flush})
+	if err := sys.Ingest(ctx, "/y", []byte("y")); !errors.Is(err, fail) {
+		t.Fatalf("expected the flush error, got %v", err)
+	}
+	failWith = nil
+	if err := sys.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 2 || sizes[0] != sizes[1] {
+		t.Fatalf("batch sizes %v; the full batch must be retried", sizes)
+	}
+}

@@ -459,11 +459,20 @@ func (s *System) Sync(ctx context.Context) error {
 	return s.flushBatch(ctx, refs)
 }
 
+// landedReporter is the partial-batch recovery contract with the storage
+// layer (core.PartialWriteError implements it): the listed refs are fully
+// applied even though the flush as a whole failed.
+type landedReporter interface {
+	LandedRefs() []prov.Ref
+}
+
 // flushBatch coalesces the unflushed ancestor closures of refs into a
-// single causally ordered batch and hands it to Flush in one call. Only on
-// success is anything marked persistent: a failed (or cancelled) flush
-// leaves every version pending, so a later Close or Sync retries the whole
-// batch.
+// single causally ordered batch and hands it to Flush in one call. On
+// success everything is marked persistent. On failure, events the store
+// reports as fully landed (a typed partial-write error) are marked
+// persistent too — so the retry a later Close or Sync triggers re-sends
+// only what actually needs re-sending, and a landed event is never
+// double-applied by replaying it into a fresh store transaction.
 func (s *System) flushBatch(ctx context.Context, refs []prov.Ref) error {
 	var batch []*pendingVersion
 	seen := make(map[prov.Ref]bool)
@@ -478,20 +487,36 @@ func (s *System) flushBatch(ctx context.Context, refs []prov.Ref) error {
 		events[i] = FlushEvent{Ref: pv.ref, Type: pv.typ, Data: pv.data, Records: pv.records}
 	}
 	if err := s.cfg.Flush(ctx, events); err != nil {
+		var lr landedReporter
+		if errors.As(err, &lr) {
+			for _, ref := range lr.LandedRefs() {
+				if pv, ok := s.pending[ref]; ok && seen[ref] {
+					s.markFlushed(pv)
+				}
+			}
+		}
 		return err
 	}
 	for _, pv := range batch {
-		s.flushedSet[pv.ref] = true
-		delete(s.pending, pv.ref)
-		s.stats.Records += len(pv.records)
-		s.stats.ProvBytes += prov.RecordsSize(pv.records)
-		if pv.typ == prov.TypeFile {
-			s.stats.DataBytes += int64(len(pv.data))
-		} else {
-			s.stats.TransientVersions++
-		}
+		s.markFlushed(pv)
 	}
 	return nil
+}
+
+// markFlushed records one pending version as durably persistent.
+func (s *System) markFlushed(pv *pendingVersion) {
+	if s.flushedSet[pv.ref] {
+		return
+	}
+	s.flushedSet[pv.ref] = true
+	delete(s.pending, pv.ref)
+	s.stats.Records += len(pv.records)
+	s.stats.ProvBytes += prov.RecordsSize(pv.records)
+	if pv.typ == prov.TypeFile {
+		s.stats.DataBytes += int64(len(pv.data))
+	} else {
+		s.stats.TransientVersions++
+	}
 }
 
 // collect appends ref's unflushed ancestor closure to the batch, ancestors

@@ -26,10 +26,73 @@ func (e *CrashError) Error() string {
 // Unwrap makes errors.Is(err, ErrCrash) true for injected crashes.
 func (e *CrashError) Unwrap() error { return ErrCrash }
 
-// FaultPlan injects crashes at named protocol points. Protocol
-// implementations call Check at each step boundary; a plan armed for that
-// point makes Check return a *CrashError exactly once (a client crashes once,
-// then restarts and runs recovery).
+// FaultClass is the kind of failure a fault injects. Crashes model the
+// client process dying at a protocol point; the other three model the cloud
+// service failing an individual API call.
+type FaultClass int
+
+// The fault classes the resilience subsystem distinguishes.
+const (
+	// ClassCrash kills the client at a protocol point (Check).
+	ClassCrash FaultClass = iota
+	// ClassTransient fails the op without applying it — a throttle, 503 or
+	// timeout a retry can wait out.
+	ClassTransient
+	// ClassPermanent fails the op without applying it — an error no retry
+	// will cure (denied, invalid); callers must surface it.
+	ClassPermanent
+	// ClassAckLoss applies the op but loses the response: the caller sees a
+	// transient error even though the state changed. This is the case that
+	// breaks naive retries — the retried op re-applies.
+	ClassAckLoss
+)
+
+// String names the class for fault-schedule logs.
+func (c FaultClass) String() string {
+	switch c {
+	case ClassCrash:
+		return "crash"
+	case ClassTransient:
+		return "transient"
+	case ClassPermanent:
+		return "permanent"
+	case ClassAckLoss:
+		return "ackloss"
+	default:
+		return fmt.Sprintf("FaultClass(%d)", int(c))
+	}
+}
+
+// OpOutcome tells a simulated service what to do with one API call.
+type OpOutcome int
+
+// Outcomes of CheckOp.
+const (
+	// OpProceed: no fault; execute normally.
+	OpProceed OpOutcome = iota
+	// OpFailTransient: do not apply; return a transient (retryable) error.
+	OpFailTransient
+	// OpFailPermanent: do not apply; return a permanent error.
+	OpFailPermanent
+	// OpAckLoss: apply fully, then return a transient error anyway.
+	OpAckLoss
+)
+
+// opFault is one armed op-level fault window: it fires on the op's checks
+// numbered [from, from+count), where from is absolute (counted from the
+// plan's creation) and fixed at arm time.
+type opFault struct {
+	class FaultClass
+	from  int
+	count int
+}
+
+// FaultPlan injects crashes at named protocol points and service-level
+// failures at named operations. Protocol implementations call Check at each
+// step boundary; a plan armed for that point makes Check return a
+// *CrashError exactly once (a client crashes once, then restarts and runs
+// recovery). Simulated services call CheckOp before applying an API call; an
+// armed op fault makes them fail (or apply-then-fail, for ack loss).
 //
 // The zero value is a usable plan with no faults armed. FaultPlan is safe for
 // concurrent use.
@@ -37,6 +100,10 @@ type FaultPlan struct {
 	mu    sync.Mutex
 	armed map[string]int // point -> remaining hits before firing
 	fired map[string]int // point -> times fired (for assertions)
+
+	opArmed  map[string][]opFault // op -> armed windows
+	opChecks map[string]int       // op -> checks seen so far
+	opFired  map[string]int       // op -> times an op fault fired
 }
 
 // NewFaultPlan returns an empty plan.
@@ -104,4 +171,81 @@ func (p *FaultPlan) Pending() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.armed) > 0
+}
+
+// ArmOp schedules count consecutive faults of the given class at operation
+// op (a service-qualified name like "s3/PUT"), starting after the next skip
+// checks of op pass through. A transient fault with count = 3 fails the op
+// three times and lets the fourth attempt through — the shape a backoff
+// policy must absorb. ClassCrash is a protocol-point concept and is
+// rejected here.
+func (p *FaultPlan) ArmOp(op string, class FaultClass, skip, count int) {
+	if p == nil || count <= 0 {
+		return
+	}
+	if class == ClassCrash {
+		panic("sim: ArmOp cannot inject ClassCrash; use Arm on a protocol point")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.opArmed == nil {
+		p.opArmed = make(map[string][]opFault)
+	}
+	p.opArmed[op] = append(p.opArmed[op], opFault{class: class, from: p.opChecks[op] + skip, count: count})
+}
+
+// CheckOp reports how the service must treat this call of op. Each call
+// consumes one check slot; the first armed window covering the slot decides
+// the outcome. A nil plan always proceeds, so production services carry a
+// nil *FaultPlan at zero cost.
+func (p *FaultPlan) CheckOp(op string) OpOutcome {
+	if p == nil {
+		return OpProceed
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.opChecks == nil {
+		p.opChecks = make(map[string]int)
+	}
+	idx := p.opChecks[op]
+	p.opChecks[op] = idx + 1
+	for _, w := range p.opArmed[op] {
+		if idx < w.from || idx >= w.from+w.count {
+			continue
+		}
+		if p.opFired == nil {
+			p.opFired = make(map[string]int)
+		}
+		p.opFired[op]++
+		switch w.class {
+		case ClassTransient:
+			return OpFailTransient
+		case ClassPermanent:
+			return OpFailPermanent
+		case ClassAckLoss:
+			return OpAckLoss
+		}
+	}
+	return OpProceed
+}
+
+// OpFired reports how many op faults fired at op.
+func (p *FaultPlan) OpFired(op string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.opFired[op]
+}
+
+// OpChecks reports how many times op was checked — the attempt count a
+// retried operation generated, as the service saw it.
+func (p *FaultPlan) OpChecks(op string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.opChecks[op]
 }

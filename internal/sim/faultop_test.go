@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+func TestArmOpWindowFiresAfterSkip(t *testing.T) {
+	p := NewFaultPlan()
+	p.ArmOp("s3/PUT", ClassTransient, 2, 3)
+	want := []OpOutcome{OpProceed, OpProceed, OpFailTransient, OpFailTransient, OpFailTransient, OpProceed}
+	for i, w := range want {
+		if got := p.CheckOp("s3/PUT"); got != w {
+			t.Fatalf("check %d: got %v, want %v", i, got, w)
+		}
+	}
+	if p.OpFired("s3/PUT") != 3 {
+		t.Fatalf("fired = %d, want 3", p.OpFired("s3/PUT"))
+	}
+	if p.OpChecks("s3/PUT") != len(want) {
+		t.Fatalf("checks = %d, want %d", p.OpChecks("s3/PUT"), len(want))
+	}
+}
+
+func TestArmOpWindowIsRelativeToArmTime(t *testing.T) {
+	p := NewFaultPlan()
+	// Consume some checks before arming: the window must count from now.
+	for i := 0; i < 5; i++ {
+		if got := p.CheckOp("sdb/Select"); got != OpProceed {
+			t.Fatalf("unarmed check %d: %v", i, got)
+		}
+	}
+	p.ArmOp("sdb/Select", ClassAckLoss, 1, 1)
+	if got := p.CheckOp("sdb/Select"); got != OpProceed {
+		t.Fatalf("skip check: %v", got)
+	}
+	if got := p.CheckOp("sdb/Select"); got != OpAckLoss {
+		t.Fatalf("armed check: got %v, want OpAckLoss", got)
+	}
+	if got := p.CheckOp("sdb/Select"); got != OpProceed {
+		t.Fatalf("window must close: %v", got)
+	}
+}
+
+func TestArmOpClasses(t *testing.T) {
+	p := NewFaultPlan()
+	p.ArmOp("a", ClassTransient, 0, 1)
+	p.ArmOp("b", ClassPermanent, 0, 1)
+	p.ArmOp("c", ClassAckLoss, 0, 1)
+	if got := p.CheckOp("a"); got != OpFailTransient {
+		t.Errorf("transient: %v", got)
+	}
+	if got := p.CheckOp("b"); got != OpFailPermanent {
+		t.Errorf("permanent: %v", got)
+	}
+	if got := p.CheckOp("c"); got != OpAckLoss {
+		t.Errorf("ackloss: %v", got)
+	}
+}
+
+func TestArmOpRejectsCrashClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ArmOp with ClassCrash must panic: crashes are protocol points")
+		}
+	}()
+	NewFaultPlan().ArmOp("a", ClassCrash, 0, 1)
+}
+
+func TestNilPlanOpsProceed(t *testing.T) {
+	var p *FaultPlan
+	if got := p.CheckOp("x"); got != OpProceed {
+		t.Fatalf("nil plan: %v", got)
+	}
+	p.ArmOp("x", ClassTransient, 0, 1) // must not panic
+	if p.OpFired("x") != 0 || p.OpChecks("x") != 0 {
+		t.Fatal("nil plan must report zero activity")
+	}
+}
+
+func TestFaultClassStrings(t *testing.T) {
+	for class, want := range map[FaultClass]string{
+		ClassCrash: "crash", ClassTransient: "transient",
+		ClassPermanent: "permanent", ClassAckLoss: "ackloss",
+	} {
+		if class.String() != want {
+			t.Errorf("%d.String() = %q, want %q", class, class.String(), want)
+		}
+	}
+}

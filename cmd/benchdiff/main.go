@@ -47,6 +47,19 @@ type report struct {
 		Retries   int64 `json:"retries"`
 		Exhausted int64 `json:"exhausted"`
 	} `json:"retry"`
+	Load *struct {
+		Tenants int   `json:"tenants"`
+		Writers int   `json:"writers"`
+		Batches int   `json:"batches"`
+		Seed    int64 `json:"seed"`
+		Runs    []struct {
+			Arch       string  `json:"arch"`
+			Shards     int     `json:"shards"`
+			Events     int64   `json:"events"`
+			WriteOps   int64   `json:"write_ops"`
+			Throughput float64 `json:"throughput_eps"`
+		} `json:"runs"`
+	} `json:"load"`
 }
 
 func load(path string) (*report, error) {
@@ -192,6 +205,63 @@ func main() {
 			}
 			check("retry/retries/"+arch, o.Retries, n.Retries)
 			check("retry/exhausted/"+arch, o.Exhausted, n.Exhausted)
+		}
+	}
+
+	// Scale-out load matrix: deterministic write metrics per (arch,
+	// shards). Op counts must not grow (same tolerance as the tables);
+	// modeled throughput must not drop — the inverse direction, so it
+	// gets its own check. Event counts are an identity: same seed and
+	// config means the same offered workload. The WAL architecture's op
+	// totals can drift a few ops with queue interleaving; -tol absorbs it.
+	if oldRep.Load != nil && newRep.Load == nil {
+		fmt.Printf("%-40s missing in new report  REGRESSION\n", "load/(all)")
+		failed = true
+	}
+	if oldRep.Load != nil && newRep.Load != nil {
+		o, n := oldRep.Load, newRep.Load
+		if o.Tenants != n.Tenants || o.Writers != n.Writers || o.Batches != n.Batches || o.Seed != n.Seed {
+			fmt.Printf("benchdiff: load configs not comparable (%d/%d/%d/%d vs %d/%d/%d/%d); skipping load gate\n",
+				o.Tenants, o.Writers, o.Batches, o.Seed, n.Tenants, n.Writers, n.Batches, n.Seed)
+		} else {
+			type key struct {
+				arch   string
+				shards int
+			}
+			newRuns := map[key]struct {
+				events, ops int64
+				eps         float64
+			}{}
+			for _, r := range n.Runs {
+				newRuns[key{r.Arch, r.Shards}] = struct {
+					events, ops int64
+					eps         float64
+				}{r.Events, r.WriteOps, r.Throughput}
+			}
+			for _, r := range o.Runs {
+				name := fmt.Sprintf("load/%s/x%d", r.Arch, r.Shards)
+				nr, ok := newRuns[key{r.Arch, r.Shards}]
+				if !ok {
+					fmt.Printf("%-40s missing in new report  REGRESSION\n", name)
+					failed = true
+					continue
+				}
+				if nr.events != r.Events {
+					fmt.Printf("%-40s events %d -> %d  REGRESSION (offered workload changed)\n", name, r.Events, nr.events)
+					failed = true
+				}
+				check(name+"/writeops", r.WriteOps, nr.ops)
+				if r.Throughput > 0 {
+					drop := (r.Throughput - nr.eps) / r.Throughput
+					status := "ok"
+					if drop > *tol {
+						status = "REGRESSION"
+						failed = true
+					}
+					fmt.Printf("%-40s old=%-8.0f new=%-8.0f delta=%+.2f%%  %s\n",
+						name+"/eps", r.Throughput, nr.eps, -100*drop, status)
+				}
+			}
 		}
 	}
 

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// lintedPackages is the repository's doc-comment contract: every exported
+// identifier in these packages must carry a doc comment. CI's docs job
+// runs the same list via the command; this test makes `go test ./...`
+// enforce it too.
+var lintedPackages = []string{
+	".",
+	"internal/core",
+	"internal/core/shard",
+	"internal/prov",
+	"internal/cloud",
+	"internal/cloud/retry",
+	"internal/cloud/billing",
+	"internal/workload",
+}
+
+// lintedMarkdown are the documents whose relative links must resolve.
+var lintedMarkdown = []string{"README.md", "ARCHITECTURE.md"}
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}
+
+// TestExportedDocComments fails on any exported identifier without a doc
+// comment in the linted packages.
+func TestExportedDocComments(t *testing.T) {
+	root := repoRoot(t)
+	for _, pkg := range lintedPackages {
+		findings, err := lintDir(filepath.Join(root, pkg))
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		for _, f := range findings {
+			t.Error(f)
+		}
+	}
+}
+
+// TestMarkdownLinks fails on broken relative links in the core documents.
+func TestMarkdownLinks(t *testing.T) {
+	root := repoRoot(t)
+	for _, file := range lintedMarkdown {
+		findings, err := lintMarkdown(filepath.Join(root, file))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, f := range findings {
+			t.Error(f)
+		}
+	}
+}
+
+// TestLintDetectsViolations guards the linter itself: a synthetic file
+// with known violations must produce exactly those findings.
+func TestLintDetectsViolations(t *testing.T) {
+	dir := t.TempDir()
+	src := `package x
+
+type Undocumented struct{}
+
+func Exported() {}
+
+// Documented is fine.
+func Documented() {}
+
+const MissingDoc = 1
+
+// Grouped doc covers the block.
+const (
+	A = 1
+	B = 2
+)
+
+func (u *Undocumented) Method() {}
+
+type hidden struct{}
+
+func (h hidden) Skipped() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 4 {
+		t.Fatalf("expected 4 findings, got %d: %v", len(findings), findings)
+	}
+
+	md := filepath.Join(dir, "doc.md")
+	if err := os.WriteFile(md, []byte("see [here](missing.md) and [ok](x.go) and [web](https://example.com)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	links, err := lintMarkdown(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 1 {
+		t.Fatalf("expected 1 broken link, got %v", links)
+	}
+}

@@ -9,6 +9,15 @@
 //	passbench -table 3 -qcache          # adds Q.n+ repeat rows (snapshot cache)
 //	passbench -usd                      # January-2009 USD pricing
 //	passbench -json > BENCH_run.json    # machine-readable, for trajectory tracking
+//	passbench -load                     # scale-out matrix: 3 archs x 1/4/16 shards
+//	passbench -load -load-shards 1,8    # custom shard counts
+//
+// The -load mode runs the sustained-load harness (internal/workload): an
+// open-loop multi-tenant generator against each architecture sharded
+// across isolated namespaces, reporting deterministic write throughput
+// under the WAN2009 latency model plus wall-clock latency histograms.
+// With -json the numbers ride the report's "load" section, which
+// benchdiff gates the same way it gates the cost tables.
 //
 // Scale 1.0 reproduces the paper's dataset size (~1.27 GB, ~31k objects);
 // the default 0.1 keeps memory modest while preserving every ratio.
@@ -26,6 +35,7 @@ import (
 	"passcloud/internal/cloud/billing"
 	"passcloud/internal/core/props"
 	"passcloud/internal/cost"
+	"passcloud/internal/workload"
 )
 
 // report is the machine-readable form -json emits: everything the run
@@ -50,6 +60,9 @@ type report struct {
 	Retry map[string]retryTotals `json:"retry,omitempty"`
 	// USD is the January-2009 load-phase bill per architecture.
 	USD map[string]float64 `json:"usd,omitempty"`
+	// Load is the scale-out matrix (-load): sustained-load throughput per
+	// architecture and shard count.
+	Load *loadReportJSON `json:"load,omitempty"`
 }
 
 // retryTotals is the stable JSON shape for one architecture's retry
@@ -71,6 +84,12 @@ func main() {
 	usd := flag.Bool("usd", false, "also print the January-2009 USD bill per architecture")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON report on stdout instead of the text tables")
 	qcacheOn := flag.Bool("qcache", false, "enable the query snapshot cache; Table 3 adds Q.n+ repeat rows, and base rows after the first query may be warm too (classes share the snapshot) — omit for the paper's cold costs")
+	load := flag.Bool("load", false, "run the sustained-load scale-out matrix (all architectures at every -load-shards count)")
+	loadShards := flag.String("load-shards", "1,4,16", "comma-separated shard counts for -load")
+	loadTenants := flag.Int("load-tenants", 2, "tenants for -load (each gets isolated namespaces and its own billing keys)")
+	loadWriters := flag.Int("load-writers", 2, "concurrent writers per tenant for -load")
+	loadQueriers := flag.Int("load-queriers", 1, "concurrent queriers per tenant for -load")
+	loadBatches := flag.Int("load-batches", 40, "file closes per writer for -load")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -163,6 +182,25 @@ func main() {
 			if !*jsonOut {
 				fmt.Println()
 			}
+		}
+	}
+
+	if *load {
+		counts, err := parseShardCounts(*loadShards)
+		if err != nil {
+			log.Fatalf("load: %v", err)
+		}
+		cfg := workload.LoadConfig{
+			Tenants: *loadTenants, Writers: *loadWriters, Queriers: *loadQueriers,
+			Batches: *loadBatches, Seed: *seed,
+		}
+		lrep, err := runLoadMatrix(ctx, cfg, counts)
+		if err != nil {
+			log.Fatalf("load: %v", err)
+		}
+		rep.Load = lrep
+		if !*jsonOut {
+			fmt.Println(lrep.text())
 		}
 	}
 

@@ -1,0 +1,81 @@
+package passcloud_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"passcloud"
+)
+
+// exampleClient loads a tiny repository: one ingested dataset, one
+// process ("blast") deriving an output from it.
+func exampleClient(arch passcloud.Architecture) *passcloud.Client {
+	ctx := context.Background()
+	client, err := passcloud.New(passcloud.Options{Architecture: arch, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Ingest(ctx, "/data/reads.fasta", []byte("ACGT")); err != nil {
+		log.Fatal(err)
+	}
+	p := client.Exec(nil, passcloud.ProcessSpec{Name: "blast", Argv: []string{"blast", "-p"}})
+	if err := p.Read("/data/reads.fasta"); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Write("/out/hits", []byte("hit1\nhit2\n")); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Close(ctx, "/out/hits"); err != nil {
+		log.Fatal(err)
+	}
+	p.Exit()
+	if err := client.Sync(ctx); err != nil {
+		log.Fatal(err)
+	}
+	client.Settle()
+	return client
+}
+
+// ExampleClient_Search runs one composable query: which files did the
+// tool "blast" write? (The paper's Q.2, parameterized.)
+func ExampleClient_Search() {
+	ctx := context.Background()
+	client := exampleClient(passcloud.S3SimpleDB)
+
+	res, err := client.Search(ctx, passcloud.QuerySpec{
+		Tool:     "blast",
+		Type:     "file",
+		RefsOnly: true, // no record fetch: non-matching provenance is never touched
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range res.Entries {
+		fmt.Println(e.Ref)
+	}
+	// Output:
+	// /out/hits:0
+}
+
+// ExampleClient_Explain predicts a query's cloud cost before running it:
+// the Table 3 cost model generalized to arbitrary descriptors.
+func ExampleClient_Explain() {
+	client := exampleClient(passcloud.S3SimpleDB)
+
+	plan, err := client.Explain(passcloud.QuerySpec{
+		Tool:     "blast",
+		Type:     "file",
+		RefsOnly: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strategy: %s\n", plan.Strategy)
+	fmt.Printf("predicted cloud ops: %d (exact: %v)\n", plan.EstOps, plan.Exact)
+	fmt.Printf("pushdown: %s\n", plan.Pushdown[0])
+	// Output:
+	// strategy: indexed-two-phase
+	// predicted cloud ops: 2 (exact: true)
+	// pushdown: ['name' = 'blast']
+}

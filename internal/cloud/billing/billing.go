@@ -281,6 +281,34 @@ func (u Usage) Add(v Usage) Usage {
 	return sum
 }
 
+// Sub returns the element-wise difference u - v, clamped at zero — the
+// usage accrued between two snapshots of one meter. Storage gauges are
+// point-in-time, not cumulative; Sub keeps u's values for them.
+func (u Usage) Sub(v Usage) Usage {
+	diff := Usage{opsByName: make(map[string]int64, len(u.opsByName))}
+	for k, n := range u.opsByName {
+		if d := n - v.opsByName[k]; d > 0 {
+			diff.opsByName[k] = d
+		}
+	}
+	clamp := func(d int64) int64 {
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	for s := 0; s < int(numServices); s++ {
+		for t := 0; t < int(numTiers); t++ {
+			diff.opsByTier[s][t] = clamp(u.opsByTier[s][t] - v.opsByTier[s][t])
+		}
+		diff.bytesIn[s] = clamp(u.bytesIn[s] - v.bytesIn[s])
+		diff.bytesOut[s] = clamp(u.bytesOut[s] - v.bytesOut[s])
+		diff.storage[s] = u.storage[s]
+		diff.peak[s] = u.peak[s]
+	}
+	return diff
+}
+
 // String renders a compact multi-line usage report, ops sorted by name.
 func (u Usage) String() string {
 	var b strings.Builder

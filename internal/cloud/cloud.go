@@ -46,7 +46,12 @@ type Cloud struct {
 
 // New builds a region.
 func New(cfg Config) *Cloud {
-	clock := sim.NewVirtualClock()
+	return newOnClock(cfg, sim.NewVirtualClock())
+}
+
+// newOnClock builds a region on an existing clock — the constructor Multi
+// uses so all of its namespaces share one time source.
+func newOnClock(cfg Config, clock *sim.VirtualClock) *Cloud {
 	rng := sim.NewRNG(cfg.Seed)
 	meter := &billing.Meter{}
 	c := &Cloud{

@@ -1,0 +1,115 @@
+package cloud
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"passcloud/internal/cloud/billing"
+	"passcloud/internal/sim"
+)
+
+// Multi hosts several isolated namespaces inside one simulated region —
+// the substrate the shard router and the multi-tenant load harness
+// partition the provenance store over. Each namespace is a full *Cloud
+// (its own S3, SimpleDB and SQS service instances and its own billing
+// meter, so per-tenant and per-shard usage is separable), but every
+// namespace shares one virtual clock: Settle converges the whole region
+// at once, exactly as it does for a single-namespace Cloud.
+//
+// Namespace keys double as billing keys: Usage(key) reads one
+// namespace's meter, Combined sums them all, and Keys enumerates the
+// ledger. A key like "tenant3/shard1" therefore gives the operator both
+// the per-tenant bill (sum over the tenant's shards) and the per-shard
+// op counts the scale-out acceptance checks gate on.
+type Multi struct {
+	cfg   Config
+	clock *sim.VirtualClock
+
+	mu     sync.Mutex
+	spaces map[string]*Cloud
+	order  []string
+}
+
+// NewMulti builds an empty multi-namespace region from the same Config a
+// single-namespace region takes. Per-namespace randomness derives from
+// Config.Seed and the namespace key, so runs are reproducible and two
+// namespaces never share a random stream.
+func NewMulti(cfg Config) *Multi {
+	return &Multi{
+		cfg:    cfg,
+		clock:  sim.NewVirtualClock(),
+		spaces: make(map[string]*Cloud),
+	}
+}
+
+// Namespace returns the named namespace, creating it on first use. The
+// returned Cloud is a full region view — services, meter, clock — whose
+// clock is shared with every other namespace of this Multi.
+func (m *Multi) Namespace(key string) *Cloud {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.spaces[key]; ok {
+		return c
+	}
+	cfg := m.cfg
+	cfg.Seed = deriveSeed(m.cfg.Seed, key)
+	c := newOnClock(cfg, m.clock)
+	m.spaces[key] = c
+	m.order = append(m.order, key)
+	return c
+}
+
+// Keys returns the namespace (billing) keys created so far, sorted.
+func (m *Multi) Keys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]string(nil), m.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Clock exposes the shared virtual clock.
+func (m *Multi) Clock() *sim.VirtualClock { return m.clock }
+
+// Settle advances the shared clock past the propagation horizon so every
+// namespace's services converge.
+func (m *Multi) Settle() {
+	m.clock.Advance(m.cfg.MaxDelay + time.Millisecond)
+}
+
+// Usage returns one namespace's billing snapshot (the per-tenant billing
+// key read). Unknown keys read as zero usage.
+func (m *Multi) Usage(key string) billing.Usage {
+	m.mu.Lock()
+	c, ok := m.spaces[key]
+	m.mu.Unlock()
+	if !ok {
+		return billing.Usage{}
+	}
+	return c.Usage()
+}
+
+// Combined sums every namespace's usage — the whole region's bill.
+func (m *Multi) Combined() billing.Usage {
+	m.mu.Lock()
+	clouds := make([]*Cloud, 0, len(m.spaces))
+	for _, c := range m.spaces {
+		clouds = append(clouds, c)
+	}
+	m.mu.Unlock()
+	var sum billing.Usage
+	for _, c := range clouds {
+		sum = sum.Add(c.Usage())
+	}
+	return sum
+}
+
+// deriveSeed mixes a namespace key into the region seed so each
+// namespace draws from its own deterministic random stream.
+func deriveSeed(seed int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return seed ^ int64(h.Sum64()&0x7fffffffffffffff)
+}

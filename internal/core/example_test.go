@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+
+	"passcloud/internal/core"
+	"passcloud/internal/prov"
+)
+
+// ExamplePartialWriteError shows the partial-batch recovery contract: a
+// store that half-lands a batch returns a typed error naming the events
+// that ARE durable, and the caller retries only the remainder — never
+// re-writing what landed, never dropping what did not.
+func ExamplePartialWriteError() {
+	batch := []prov.Ref{
+		{Object: "/a", Version: 1},
+		{Object: "/b", Version: 1},
+		{Object: "/c", Version: 1},
+	}
+
+	// A store's PutBatch failed after /a and /b landed durably.
+	err := core.PartialWrite(batch[:2], errors.New("simpledb: throttled"))
+
+	var pw *core.PartialWriteError
+	if errors.As(err, &pw) {
+		landed := make(map[prov.Ref]bool)
+		for _, ref := range pw.LandedRefs() {
+			landed[ref] = true
+		}
+		var retry []prov.Ref
+		for _, ref := range batch {
+			if !landed[ref] {
+				retry = append(retry, ref)
+			}
+		}
+		fmt.Printf("landed: %d of %d\n", len(pw.LandedRefs()), len(batch))
+		fmt.Printf("retry:  %v\n", retry)
+		fmt.Printf("cause:  %v\n", pw.Unwrap())
+	}
+	// Output:
+	// landed: 2 of 3
+	// retry:  [/c:1]
+	// cause:  simpledb: throttled
+}

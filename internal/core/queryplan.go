@@ -101,6 +101,19 @@ func PlanPages(n, pageLimit int) int64 {
 	return int64((n + pageLimit - 1) / pageLimit)
 }
 
+// Stamped is implemented by stores that can render their current
+// repository generation as an opaque token — the same token their own
+// pagination cursors bind to. Composers (the shard router) concatenate
+// member tokens into a composite stamp, so a write to any member changes
+// the composite and fresh queries observe a new generation while resident
+// pins keep serving in-flight page sequences.
+type Stamped interface {
+	// StampToken renders the store's current repository stamp. Tokens are
+	// comparable for equality only; any write that could change query
+	// results yields a different token.
+	StampToken() string
+}
+
 // --- cursors -----------------------------------------------------------------
 
 // Cursor errors.

@@ -894,6 +894,11 @@ func (s *Store) stampToken() string {
 	return fmt.Sprintf("%d.%d", st.Gen, st.Epoch)
 }
 
+// StampToken implements core.Stamped: the repository generation this
+// store's cursors bind to, exported for composing stores (the shard
+// router) that mint composite stamps.
+func (s *Store) StampToken() string { return s.stampToken() }
+
 // evalAll materializes a full evaluation for the paging layer. On the
 // uncached Q.1 streaming path a subject whose records rode several carrier
 // PUTs arrives in pieces; pages must have exactly one entry per ref (the

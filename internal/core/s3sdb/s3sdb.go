@@ -111,6 +111,9 @@ func (s *Store) Layer() *sdbprov.Layer { return s.layer }
 // RetryStats snapshots the store's retry counters (shared with its layer).
 func (s *Store) RetryStats() retry.Snapshot { return s.layer.RetryStats() }
 
+// StampToken implements core.Stamped via the provenance layer's stamp.
+func (s *Store) StampToken() string { return s.layer.StampToken() }
+
 // PutBatch implements core.Store with the §4.2 protocol, batch-first: the
 // whole batch's provenance items go to SimpleDB via grouped
 // BatchPutAttributes calls (steps 1–3, ⌈K/25⌉ calls for K small items

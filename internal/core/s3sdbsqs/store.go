@@ -131,6 +131,9 @@ func (s *Store) RetryStats() retry.Snapshot { return s.layer.RetryStats() }
 // Queue returns the WAL queue name.
 func (s *Store) Queue() string { return s.queue }
 
+// StampToken implements core.Stamped via the provenance layer's stamp.
+func (s *Store) StampToken() string { return s.layer.StampToken() }
+
 // PutBatch implements core.Store: the §4.3 log phase, batch-first. The
 // whole batch becomes ONE write-ahead-log transaction — a single begin
 // record, one temporary-object pointer per file version, the batch's

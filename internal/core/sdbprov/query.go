@@ -131,6 +131,11 @@ func (l *Layer) stampToken() string {
 	return fmt.Sprintf("%d.%d", st.Gen, st.Epoch)
 }
 
+// StampToken implements core.Stamped: the repository generation this
+// layer's cursors bind to, exported for composing stores (the shard
+// router) that mint composite stamps.
+func (l *Layer) StampToken() string { return l.stampToken() }
+
 // evalAll materializes a full (non-paginated) evaluation for the paging
 // layer. Memoized refs make a re-evaluation at an unchanged generation
 // free.

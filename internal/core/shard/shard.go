@@ -1,0 +1,600 @@
+// Package shard scales the provenance store out: a Router composes N
+// independent store instances — any of the paper's three architectures —
+// behind the same core.Store / core.Querier surface a single store
+// presents, so everything above the storage layer (pass.System, the
+// public Client, the harnesses) is shard-oblivious.
+//
+// Placement is consistent hashing of object IDs onto shards (a fixed
+// ring of virtual nodes, so shard counts can change between deployments
+// without reshuffling every object). All versions of one object land on
+// one shard; transient ancestors (processes, pipes) travel with the file
+// flush that triggered them, preserving each architecture's ride-along
+// write amortization. Op parity with the unsharded store is exact for
+// the S3-only and S3+SimpleDB write paths; batches that split across
+// shards pay per-sub-batch envelope costs on the WAL architecture (a
+// begin/commit pair each) and re-round SimpleDB's ceil(K/25) grouping,
+// a few percent at small shard counts — the load harness reports it as
+// the amplification column.
+//
+// Queries fan out and merge ref-sorted. Descriptors whose answer is
+// shard-local — any filter combination without a Tool predicate, plus
+// single-hop descendant traversals seeded by record-free filters (the
+// Dependents idiom) — run each shard's native plan and merge the
+// streams. Descriptors that need edges from more than one shard (tool
+// queries, multi-hop lineage, ancestor walks) materialize the union
+// graph — each shard's Q.1 stream, served from its warm snapshot at
+// zero cloud ops — and evaluate with the shared reference evaluator, so
+// results are identical to an unsharded store holding the union of the
+// data. Explain composes honestly either way: the fan-in plan is the sum
+// of the per-shard plans the router will actually run.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"iter"
+	"sort"
+	"strings"
+	"sync"
+
+	"passcloud/internal/core"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+)
+
+// Store is the composed per-shard contract: a queryable provenance store
+// that can report its repository stamp (so the router can mint composite
+// pagination cursors). All three architecture stores satisfy it.
+type Store interface {
+	core.Store
+	core.Querier
+	core.Stamped
+}
+
+// Config parameterizes a Router.
+type Config struct {
+	// Shards are the member stores, in ring order. Required, non-empty.
+	// Members are typically bound to disjoint cloud namespaces (their own
+	// bucket/domain/queue and billing key); the router never assumes they
+	// share anything.
+	Shards []Store
+	// VirtualNodes is the number of ring points per shard (default 256).
+	// More points smooth placement balance at the cost of a larger ring;
+	// 256 keeps the worst shard within ~15% of the mean for workloads of
+	// a few dozen objects and within a few percent at scale.
+	VirtualNodes int
+	// FanOut bounds concurrent per-shard calls during batch writes and
+	// query fan-outs (default: number of shards).
+	FanOut int
+}
+
+// Router is a sharded provenance store. It implements core.Store,
+// core.Querier, core.GraphQuerier, core.Syncer and core.Stamped, and is
+// safe for concurrent use.
+type Router struct {
+	shards []Store
+	fanout int
+
+	ring []ringPoint
+
+	// pins retains paginated queries' evaluated result sets; cursors bind
+	// to the concatenation of the member stamps, so a write to any shard
+	// moves fresh queries to a new generation while resident pins keep
+	// serving in-flight page sequences.
+	pins core.Pins
+
+	// mu serializes Sync against itself (member Syncs are already safe;
+	// this just keeps marker sequences deterministic under concurrent
+	// drains).
+	mu sync.Mutex
+}
+
+// ringPoint is one virtual node on the hash ring.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// New builds a router over the given shards.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("shard: Config.Shards is required")
+	}
+	vnodes := cfg.VirtualNodes
+	if vnodes <= 0 {
+		vnodes = 256
+	}
+	fanout := cfg.FanOut
+	if fanout <= 0 {
+		fanout = len(cfg.Shards)
+	}
+	r := &Router{shards: cfg.Shards, fanout: fanout}
+	r.ring = make([]ringPoint, 0, len(cfg.Shards)*vnodes)
+	for i := range cfg.Shards {
+		for v := 0; v < vnodes; v++ {
+			r.ring = append(r.ring, ringPoint{hash: hash64(fmt.Sprintf("shard-%d/vn-%d", i, v)), shard: i})
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool {
+		if r.ring[i].hash != r.ring[j].hash {
+			return r.ring[i].hash < r.ring[j].hash
+		}
+		return r.ring[i].shard < r.ring[j].shard
+	})
+	return r, nil
+}
+
+// hash64 is the placement hash: FNV-1a finished with a murmur-style
+// avalanche. Raw FNV of near-identical keys ("/t/w0/f1", "/t/w0/f2", …)
+// clusters in a narrow band of the 64-bit space — whole workloads would
+// land on one ring arc — so the finalizer spreads every bit before the
+// ring lookup. Stable across processes (no per-run seeding): placement
+// must agree between clients and across restarts.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Shard returns the i-th member store.
+func (r *Router) Shard(i int) Store { return r.shards[i] }
+
+// ShardFor places an object on the ring: the first virtual node at or
+// after the object's hash owns it (wrapping). Every version of an object
+// maps to the same shard.
+func (r *Router) ShardFor(object prov.ObjectID) int {
+	h := hash64(string(object))
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].shard
+}
+
+// Name implements core.Store.
+func (r *Router) Name() string {
+	return fmt.Sprintf("%s x%d", r.shards[0].Name(), len(r.shards))
+}
+
+// Properties implements core.Store: the conjunction of the members'
+// guarantees. Causal ordering across shards is eventual — a sub-batch on
+// one shard can land before its ancestors' sub-batch on another, and the
+// flush layer's retry closes the gap — which matches the per-architecture
+// "eventually recorded" reading of Table 1.
+func (r *Router) Properties() core.Properties {
+	p := core.Properties{Atomicity: true, Consistency: true, CausalOrdering: true, EfficientQuery: true}
+	for _, s := range r.shards {
+		sp := s.Properties()
+		p.Atomicity = p.Atomicity && sp.Atomicity
+		p.Consistency = p.Consistency && sp.Consistency
+		p.CausalOrdering = p.CausalOrdering && sp.CausalOrdering
+		p.EfficientQuery = p.EfficientQuery && sp.EfficientQuery
+	}
+	return p
+}
+
+// StampToken implements core.Stamped: the concatenation of every member's
+// stamp. Any member write yields a new composite token. The separator
+// must stay out of the cursor encoding's field alphabet ("|").
+func (r *Router) StampToken() string {
+	parts := make([]string, len(r.shards))
+	for i, s := range r.shards {
+		parts[i] = s.StampToken()
+	}
+	return strings.Join(parts, ",")
+}
+
+// --- write path --------------------------------------------------------------
+
+// routeBatch partitions a flush batch into per-shard sub-batches,
+// preserving causal order within each. Persistent events place by object
+// hash; transient events travel with the next persistent event of the
+// batch (their triggering descendant, by PASS flush order), so
+// architectures whose transients ride a carrier PUT keep that
+// amortization shard-locally. Trailing transients follow the batch's last
+// file; an all-transient batch routes by its first subject.
+func (r *Router) routeBatch(batch []pass.FlushEvent) [][]pass.FlushEvent {
+	subs := make([][]pass.FlushEvent, len(r.shards))
+	var pending []pass.FlushEvent
+	lastShard := -1
+	for _, ev := range batch {
+		if !ev.Persistent() {
+			pending = append(pending, ev)
+			continue
+		}
+		i := r.ShardFor(ev.Ref.Object)
+		subs[i] = append(subs[i], pending...)
+		subs[i] = append(subs[i], ev)
+		pending = pending[:0]
+		lastShard = i
+	}
+	if len(pending) > 0 {
+		i := lastShard
+		if i < 0 {
+			i = r.ShardFor(pending[0].Ref.Object)
+		}
+		subs[i] = append(subs[i], pending...)
+	}
+	return subs
+}
+
+// PutBatch implements core.Store: the batch splits into per-shard
+// sub-batches that execute concurrently under the FanOut bound. Failures
+// merge into one typed core.PartialWriteError whose Landed set is the
+// union of every shard's fully applied events (a shard that succeeded
+// outright contributes its whole sub-batch), so the flush layer retries
+// exactly the remainder, shard placement included.
+func (r *Router) PutBatch(ctx context.Context, batch []pass.FlushEvent) error {
+	subs := r.routeBatch(batch)
+	var active []int
+	for i, sub := range subs {
+		if len(sub) > 0 {
+			active = append(active, i)
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+
+	var mu sync.Mutex
+	var landed []prov.Ref
+	var errs []error
+	err := core.RunLimited(ctx, len(active), r.fanout, func(k int) error {
+		i := active[k]
+		sub := subs[i]
+		err := r.shards[i].PutBatch(ctx, sub)
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err == nil:
+			for _, ev := range sub {
+				landed = append(landed, ev.Ref)
+			}
+		default:
+			var pw *core.PartialWriteError
+			if errors.As(err, &pw) {
+				landed = append(landed, pw.Landed...)
+				err = pw.Err
+			}
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+		// Never abort sibling sub-batches on one shard's failure: each
+		// shard makes whatever progress it can, and the merged partial
+		// error reports it all.
+		return nil
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if err != nil { // context cancellation from RunLimited itself
+		errs = append(errs, err)
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return core.PartialWrite(landed, errors.Join(errs...))
+}
+
+// Get implements core.Store: one read on the object's home shard.
+func (r *Router) Get(ctx context.Context, object prov.ObjectID) (*core.Object, error) {
+	return r.shards[r.ShardFor(object)].Get(ctx, object)
+}
+
+// Provenance implements core.Store. File versions live on their home
+// shard; a transient subject's records live wherever its carrier file
+// landed, so a home-shard miss falls back to probing the remaining
+// shards concurrently under the FanOut bound — one extra round trip of
+// latency instead of up to N-1 sequential ones.
+func (r *Router) Provenance(ctx context.Context, ref prov.Ref) ([]prov.Record, error) {
+	home := r.ShardFor(ref.Object)
+	records, err := r.shards[home].Provenance(ctx, ref)
+	if err == nil || !errors.Is(err, core.ErrNotFound) {
+		return records, err
+	}
+	others := make([]int, 0, len(r.shards)-1)
+	for i := range r.shards {
+		if i != home {
+			others = append(others, i)
+		}
+	}
+	var mu sync.Mutex
+	var found []prov.Record
+	ok := false
+	err = core.RunLimited(ctx, len(others), r.fanout, func(k int) error {
+		records, err := r.shards[others[k]].Provenance(ctx, ref)
+		if err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				return nil
+			}
+			return err
+		}
+		mu.Lock()
+		// Records exist on exactly one shard, so first-hit-wins is the
+		// only hit; keep the guard anyway for defensive determinism.
+		if !ok {
+			found, ok = records, true
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return found, nil
+	}
+	return nil, fmt.Errorf("%w: %s", core.ErrNotFound, ref)
+}
+
+// Sync implements core.Syncer: drain every member that buffers
+// client-side state.
+func (r *Router) Sync(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var errs []error
+	for i, s := range r.shards {
+		if err := core.SyncStore(ctx, s); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// --- query path --------------------------------------------------------------
+
+// distributable reports whether q's answer is the union of per-shard
+// native evaluations. Subjects (and therefore their records and filter
+// evidence) live on exactly one shard, so any pure filter section
+// distributes — except Tool, whose evidence is the *input's* records,
+// which may live on a different shard than the matching subject. A
+// descendant traversal distributes only single-hop and only from
+// record-free seeds (prefix or pinned refs): the edge to a child is
+// stored with the child, but a second hop or a record-dependent seed
+// filter would need another shard's records.
+func distributable(q prov.Query) bool {
+	if q.Tool != "" {
+		return false
+	}
+	switch q.Direction {
+	case prov.TraverseNone:
+		return true
+	case prov.TraverseDescendants:
+		return q.Depth == 1 && len(q.AttrFilters()) == 0
+	default: // ancestors: results are other shards' subjects
+		return false
+	}
+}
+
+// Query implements core.Querier. Entries stream ref-sorted (the fan-in
+// merge order); paginated descriptors pin their evaluation under the
+// composite stamp exactly like a single store does.
+func (r *Router) Query(ctx context.Context, q prov.Query) iter.Seq2[core.Entry, error] {
+	return func(yield func(core.Entry, error) bool) {
+		if err := q.Validate(); err != nil {
+			yield(core.Entry{}, err)
+			return
+		}
+		if q.Limit > 0 || q.Cursor != "" {
+			core.RunPaged(ctx, q, r.StampToken(), &r.pins, r.evalAll, yield)
+			return
+		}
+		entries, err := r.evalAll(ctx, q)
+		if err != nil {
+			yield(core.Entry{}, err)
+			return
+		}
+		for _, e := range entries {
+			if !yield(e, nil) {
+				return
+			}
+		}
+	}
+}
+
+// evalAll materializes one non-paginated evaluation: the distributed
+// fan-in when the descriptor is shard-local, the union-graph evaluation
+// otherwise. Results are ref-sorted with one entry per ref.
+func (r *Router) evalAll(ctx context.Context, q prov.Query) ([]core.Entry, error) {
+	if distributable(q) {
+		return r.fanIn(ctx, q)
+	}
+	g, err := r.unionGraph(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return core.EvalQuery(g, q), nil
+}
+
+// fanIn runs q on every shard's native engine concurrently and merges the
+// results ref-sorted. Entries for the same ref from several shards (a
+// pinned ref echoed by non-home shards) merge into one, their records
+// concatenated; within one shard, a subject whose records streamed in
+// pieces is merged the same way.
+func (r *Router) fanIn(ctx context.Context, q prov.Query) ([]core.Entry, error) {
+	perShard := make([][]core.Entry, len(r.shards))
+	err := core.RunLimited(ctx, len(r.shards), r.fanout, func(i int) error {
+		entries, err := collectMerged(r.shards[i].Query(ctx, q))
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		perShard[i] = entries
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := newEntryMerger()
+	for _, entries := range perShard {
+		for _, e := range entries {
+			merged.add(e)
+		}
+	}
+	out := merged.entries
+	core.SortEntries(out)
+	return out, nil
+}
+
+// collectMerged drains one shard's stream into one entry per ref.
+func collectMerged(seq iter.Seq2[core.Entry, error]) ([]core.Entry, error) {
+	merged := newEntryMerger()
+	for e, err := range seq {
+		if err != nil {
+			return nil, err
+		}
+		merged.add(e)
+	}
+	return merged.entries, nil
+}
+
+// entryMerger folds a stream of entries into one entry per ref,
+// concatenating records of duplicate refs in arrival order — the one
+// merge rule both per-shard piece merging and cross-shard fan-in use.
+type entryMerger struct {
+	entries []core.Entry
+	idx     map[prov.Ref]int
+}
+
+func newEntryMerger() *entryMerger {
+	return &entryMerger{idx: make(map[prov.Ref]int)}
+}
+
+func (m *entryMerger) add(e core.Entry) {
+	if j, ok := m.idx[e.Ref]; ok {
+		m.entries[j].Records = append(m.entries[j].Records, e.Records...)
+		return
+	}
+	m.idx[e.Ref] = len(m.entries)
+	m.entries = append(m.entries, e)
+}
+
+// unionGraph materializes every shard's provenance into one graph by
+// draining each shard's Q.1 stream — served from the shard's warm
+// snapshot at zero cloud ops, a full native pass otherwise (exactly what
+// the shard's Explain of Q.1 predicts). The returned graph is freshly
+// built and owned by the caller.
+func (r *Router) unionGraph(ctx context.Context) (*prov.Graph, error) {
+	perShard := make([][]prov.Record, len(r.shards))
+	err := core.RunLimited(ctx, len(r.shards), r.fanout, func(i int) error {
+		var records []prov.Record
+		for e, err := range r.shards[i].Query(ctx, prov.Q1()) {
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+			records = append(records, e.Records...)
+		}
+		perShard[i] = records
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := prov.NewGraph()
+	for _, records := range perShard {
+		g.AddAll(records)
+	}
+	return g, nil
+}
+
+// ProvenanceGraph implements core.GraphQuerier: the union of every
+// shard's graph.
+func (r *Router) ProvenanceGraph(ctx context.Context) (*prov.Graph, error) {
+	return r.unionGraph(ctx)
+}
+
+// Explain implements core.Querier: the fan-in plan is the sum of the
+// per-shard plans the router will actually run — each shard's native plan
+// for the descriptor on the distributed path, each shard's Q.1 plan on
+// the union-graph path — with identical operation classes merged across
+// shards. Cached and Exact hold only when they hold on every shard.
+func (r *Router) Explain(q prov.Query) core.QueryPlan {
+	p := core.QueryPlan{Arch: r.Name(), Exact: true}
+	if err := q.Validate(); err != nil {
+		p.Strategy = "invalid"
+		return p
+	}
+	if q.Cursor != "" {
+		if core.ExplainCursor(&p, q, &r.pins, r.StampToken()) {
+			return p
+		}
+		// Evicted pin at an unchanged composite stamp: fall through and
+		// cost the re-evaluation.
+	}
+	stripped := q
+	stripped.Limit, stripped.Cursor = 0, ""
+
+	var note string
+	plans := make([]core.QueryPlan, len(r.shards))
+	if distributable(stripped) {
+		p.Strategy = "fanout"
+		note = "per-shard native plans, ref-sorted fan-in merge"
+		for i, s := range r.shards {
+			plans[i] = s.Explain(stripped)
+		}
+	} else {
+		p.Strategy = "union-graph"
+		note = "materialize every shard's provenance (Q.1 per shard), evaluate on the union graph"
+		for i, s := range r.shards {
+			plans[i] = s.Explain(prov.Q1())
+		}
+	}
+	p.AddStep("-", p.Strategy, 0, fmt.Sprintf("%d shards: %s", len(r.shards), note))
+	mergePlans(&p, plans)
+	if q.Limit > 0 {
+		p.AddStep("-", "paginate", 0, "first page evaluates fully, sorts and pins; later pages are free")
+	}
+	return p
+}
+
+// mergePlans folds per-shard plans into the composite: steps with the
+// same (service, op) sum their counts, pushdown expressions deduplicate,
+// and the composite is cached/exact only if every member is.
+func mergePlans(p *core.QueryPlan, plans []core.QueryPlan) {
+	type key struct{ service, op string }
+	order := make([]key, 0, 8)
+	steps := make(map[key]core.PlanStep)
+	cached := true
+	seenPush := make(map[string]bool)
+	for _, sp := range plans {
+		cached = cached && sp.Cached
+		p.Exact = p.Exact && sp.Exact
+		for _, expr := range sp.Pushdown {
+			if !seenPush[expr] {
+				seenPush[expr] = true
+				p.Pushdown = append(p.Pushdown, expr)
+			}
+		}
+		for _, st := range sp.Steps {
+			k := key{st.Service, st.Op}
+			if prev, ok := steps[k]; ok {
+				prev.Count += st.Count
+				steps[k] = prev
+				continue
+			}
+			order = append(order, k)
+			steps[k] = st
+		}
+	}
+	for _, k := range order {
+		st := steps[k]
+		p.AddStep(st.Service, st.Op, st.Count, st.Note)
+	}
+	p.Cached = cached && p.EstOps == 0
+}
+
+var (
+	_ core.Store        = (*Router)(nil)
+	_ core.Querier      = (*Router)(nil)
+	_ core.GraphQuerier = (*Router)(nil)
+	_ core.Syncer       = (*Router)(nil)
+	_ core.Stamped      = (*Router)(nil)
+)

@@ -41,6 +41,7 @@ import (
 	"passcloud/internal/cloud/billing"
 	"passcloud/internal/core"
 	"passcloud/internal/core/s3sdbsqs"
+	"passcloud/internal/core/shard"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
 )
@@ -94,6 +95,19 @@ type Options struct {
 	// Disable it to reproduce the paper's Table 3 costs, where every
 	// query pays its full scan or indexed-query run.
 	DisableQueryCache bool
+	// Shards partitions the provenance namespace across that many
+	// independent store instances of the selected architecture, each
+	// bound to its own isolated namespace (bucket, domain, queue, billing
+	// key) of the simulated region, composed behind a consistent-hash
+	// router. 0 or 1 keeps the paper's single-store layout. Sharding is
+	// transparent to every Client method; see the README's "Sharding &
+	// multi-tenancy" section for the routing and query semantics.
+	Shards int
+	// Tenant labels this client's namespaces for isolation and billing:
+	// two clients with different tenants share nothing — separate
+	// buckets, domains and meters — even inside one Region. Empty selects
+	// the default tenant. TenantUsage reads the per-tenant bill.
+	Tenant string
 }
 
 // Ref identifies one version of one object.
@@ -182,22 +196,41 @@ var (
 // context.Context: every method that performs cloud I/O takes one
 // explicitly, so each request is individually scoped and cancellable.
 type Client struct {
-	opts   Options
-	cloud  *cloud.Cloud
-	store  core.Store
-	sys    *pass.System
-	daemon *s3sdbsqs.CommitDaemon
+	opts  Options
+	cloud *cloud.Cloud // unsharded region; nil when sharded
+	multi *cloud.Multi // multi-namespace region; nil when unsharded
+	store core.Store
+	sys   *pass.System
+	// daemons holds the WAL commit daemons (one per shard; at most one
+	// when unsharded).
+	daemons []*s3sdbsqs.CommitDaemon
+	// router and shardClouds bind shard indexes to namespaces when
+	// sharded, for direct data operations (SafeDelete) and per-tenant
+	// billing reads.
+	router      *shard.Router
+	shardClouds []*cloud.Cloud
 }
 
 // New builds a client with its own simulated AWS region. To share one
 // region between several clients, use NewRegion.
 func New(opts Options) (*Client, error) {
+	if sharded(opts) {
+		return newShardedClient(cloud.NewMulti(cloud.Config{
+			Seed:     opts.Seed,
+			MaxDelay: opts.ConsistencyDelay,
+		}), opts)
+	}
 	cl := cloud.New(cloud.Config{
 		Seed:     opts.Seed,
 		MaxDelay: opts.ConsistencyDelay,
 	})
 	return newClientOn(cl, opts)
 }
+
+// sharded reports whether opts needs the multi-namespace construction:
+// more than one shard, or tenant isolation (which gives the tenant its
+// own namespaces even unsharded).
+func sharded(opts Options) bool { return opts.Shards > 1 || opts.Tenant != "" }
 
 // Architecture returns the selected design.
 func (c *Client) Architecture() Architecture { return c.opts.Architecture }
@@ -312,19 +345,24 @@ func (c *Client) Sync(ctx context.Context) error {
 	if err := core.SyncStore(ctx, c.store); err != nil {
 		return err
 	}
-	if c.daemon != nil {
+	if len(c.daemons) > 0 {
 		for i := 0; i < syncRoundBudget; i++ {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("%w: %w", ErrSyncTimeout, err)
 			}
-			n, err := c.daemon.RunOnce(ctx, true)
-			if err != nil {
-				return err
+			committed, pending := 0, 0
+			for _, d := range c.daemons {
+				n, err := d.RunOnce(ctx, true)
+				if err != nil {
+					return err
+				}
+				committed += n
+				pending += d.PendingTransactions()
 			}
-			if n == 0 && c.daemon.PendingTransactions() == 0 {
+			if committed == 0 && pending == 0 {
 				return nil
 			}
-			c.cloud.Settle()
+			c.Settle()
 		}
 		return ErrSyncTimeout
 	}
@@ -332,8 +370,15 @@ func (c *Client) Sync(ctx context.Context) error {
 }
 
 // Settle advances simulated time past the region's replication horizon so
-// all replicas converge. With ConsistencyDelay zero it is a no-op.
-func (c *Client) Settle() { c.cloud.Settle() }
+// all replicas converge — every shard namespace at once when sharded.
+// With ConsistencyDelay zero it is a no-op.
+func (c *Client) Settle() {
+	if c.multi != nil {
+		c.multi.Settle()
+		return
+	}
+	c.cloud.Settle()
+}
 
 // --- retrieval and queries ---------------------------------------------------
 
@@ -505,9 +550,28 @@ type UsageSummary struct {
 }
 
 // Usage summarizes the client's cloud bill so far. Clients sharing a
-// region share meters: this is the region's bill.
+// region share meters: this is the whole region's bill, every tenant
+// and shard included. For one tenant's share, use TenantUsage.
 func (c *Client) Usage() UsageSummary {
+	if c.multi != nil {
+		return usageFrom(c.multi.Combined())
+	}
 	return usageFrom(c.cloud.Usage())
+}
+
+// TenantUsage summarizes only this client's tenant: the sum of its shard
+// namespaces' meters — the per-tenant billing key read the multi-tenant
+// deployment accounts with. On an unsharded single-tenant client it
+// equals Usage.
+func (c *Client) TenantUsage() UsageSummary {
+	if len(c.shardClouds) == 0 {
+		return c.Usage()
+	}
+	var sum billing.Usage
+	for _, cl := range c.shardClouds {
+		sum = sum.Add(cl.Usage())
+	}
+	return usageFrom(sum)
 }
 
 // usageFrom converts a meter snapshot into the public summary.

@@ -1,7 +1,9 @@
 // Command benchdiff compares two passbench -json reports (the BENCH_<sha>
 // trajectory artifacts CI persists) and fails when the new run regresses
-// cloud-operation costs: write-path cloud ops per event (Table 2) or the
-// Table 3 query costs, per architecture and query class.
+// cloud-operation costs: write-path cloud ops per event (Table 2), the
+// Table 3 query costs per architecture and query class, the scale-out
+// load matrix, and the sharded cost matrix with its verification-cost
+// columns (the ops and dollars a full tamper-evidence audit costs).
 //
 //	benchdiff old.json new.json            # fail on any ops regression
 //	benchdiff -tol 0.02 old.json new.json  # allow 2% drift
@@ -60,6 +62,21 @@ type report struct {
 			Throughput float64 `json:"throughput_eps"`
 		} `json:"runs"`
 	} `json:"load"`
+	Sharded *struct {
+		Rows []struct {
+			Arch    string `json:"arch"`
+			Shards  int    `json:"shards"`
+			ProvOps int64  `json:"prov_ops"`
+			Queries []struct {
+				Query   string `json:"query"`
+				Ops     int64  `json:"ops"`
+				Results int    `json:"results"`
+			} `json:"queries"`
+			VerifyOps   int64   `json:"verify_ops"`
+			VerifyUSD   float64 `json:"verify_usd"`
+			VerifyClean bool    `json:"verify_clean"`
+		} `json:"rows"`
+	} `json:"sharded"`
 }
 
 func load(path string) (*report, error) {
@@ -260,6 +277,81 @@ func main() {
 					}
 					fmt.Printf("%-40s old=%-8.0f new=%-8.0f delta=%+.2f%%  %s\n",
 						name+"/eps", r.Throughput, nr.eps, -100*drop, status)
+				}
+			}
+		}
+	}
+
+	// Sharded cost matrix and verification cost. Same vanished-section
+	// rule as the other gates: an old report carrying the section that the
+	// new one lacks means the tamper-evidence cost gate silently disabled
+	// itself — a regression, not a skip. (The section newly appearing is
+	// the seeding case and passes: every old row is still covered.)
+	if oldRep.Sharded != nil && newRep.Sharded == nil {
+		fmt.Printf("%-40s missing in new report  REGRESSION\n", "sharded/(all)")
+		failed = true
+	}
+	if oldRep.Sharded != nil && newRep.Sharded != nil {
+		type rkey struct {
+			arch   string
+			shards int
+		}
+		type qcost struct {
+			ops     int64
+			results int
+		}
+		type rowView struct {
+			provOps   int64
+			verifyOps int64
+			verifyUSD float64
+			clean     bool
+			queries   map[string]qcost
+		}
+		newRows := map[rkey]rowView{}
+		for _, r := range newRep.Sharded.Rows {
+			v := rowView{provOps: r.ProvOps, verifyOps: r.VerifyOps, verifyUSD: r.VerifyUSD,
+				clean: r.VerifyClean, queries: map[string]qcost{}}
+			for _, q := range r.Queries {
+				v.queries[q.Query] = qcost{q.Ops, q.Results}
+			}
+			newRows[rkey{r.Arch, r.Shards}] = v
+		}
+		for _, r := range oldRep.Sharded.Rows {
+			name := fmt.Sprintf("sharded/%s/x%d", r.Arch, r.Shards)
+			n, ok := newRows[rkey{r.Arch, r.Shards}]
+			if !ok {
+				fmt.Printf("%-40s missing in new report  REGRESSION\n", name)
+				failed = true
+				continue
+			}
+			check(name+"/provops", r.ProvOps, n.provOps)
+			check(name+"/verifyops", r.VerifyOps, n.verifyOps)
+			if !n.clean {
+				fmt.Printf("%-40s namespace no longer verifies clean  REGRESSION\n", name)
+				failed = true
+			}
+			if r.VerifyUSD > 0 {
+				delta := (n.verifyUSD - r.VerifyUSD) / r.VerifyUSD
+				status := "ok"
+				if delta > *tol {
+					status = "REGRESSION"
+					failed = true
+				}
+				fmt.Printf("%-40s old=$%-7.4f new=$%-7.4f delta=%+.2f%%  %s\n",
+					name+"/verifyusd", r.VerifyUSD, n.verifyUSD, 100*delta, status)
+			}
+			for _, q := range r.Queries {
+				nq, ok := n.queries[q.Query]
+				if !ok {
+					fmt.Printf("%-40s missing in new report  REGRESSION\n", name+"/"+q.Query)
+					failed = true
+					continue
+				}
+				check(name+"/"+q.Query+"/ops", q.Ops, nq.ops)
+				if nq.results != q.Results {
+					fmt.Printf("%-40s results %d -> %d  REGRESSION (answers changed)\n",
+						name+"/"+q.Query, q.Results, nq.results)
+					failed = true
 				}
 			}
 		}

@@ -11,6 +11,7 @@
 //	passbench -json > BENCH_run.json    # machine-readable, for trajectory tracking
 //	passbench -load                     # scale-out matrix: 3 archs x 1/4/16 shards
 //	passbench -load -load-shards 1,8    # custom shard counts
+//	passbench -sharded                  # Tables 2/3 through the shard router + verification cost
 //
 // The -load mode runs the sustained-load harness (internal/workload): an
 // open-loop multi-tenant generator against each architecture sharded
@@ -63,6 +64,11 @@ type report struct {
 	// Load is the scale-out matrix (-load): sustained-load throughput per
 	// architecture and shard count.
 	Load *loadReportJSON `json:"load,omitempty"`
+	// Sharded is the sharded cost matrix (-sharded): the Tables 2/3
+	// workloads through the shard router at each shard count, plus the
+	// ops and dollars a full tamper-evidence audit of each namespace
+	// costs. benchdiff gates its op counts and the verification cost.
+	Sharded *cost.ShardedCosts `json:"sharded,omitempty"`
 }
 
 // retryTotals is the stable JSON shape for one architecture's retry
@@ -86,6 +92,8 @@ func main() {
 	qcacheOn := flag.Bool("qcache", false, "enable the query snapshot cache; Table 3 adds Q.n+ repeat rows, and base rows after the first query may be warm too (classes share the snapshot) — omit for the paper's cold costs")
 	load := flag.Bool("load", false, "run the sustained-load scale-out matrix (all architectures at every -load-shards count)")
 	loadShards := flag.String("load-shards", "1,4,16", "comma-separated shard counts for -load")
+	sharded := flag.Bool("sharded", false, "run the sharded cost matrix: Tables 2/3 workloads through the shard router plus verification cost, at every -shard-counts count")
+	shardCounts := flag.String("shard-counts", "1,4,16", "comma-separated shard counts for -sharded")
 	loadTenants := flag.Int("load-tenants", 2, "tenants for -load (each gets isolated namespaces and its own billing keys)")
 	loadWriters := flag.Int("load-writers", 2, "concurrent writers per tenant for -load")
 	loadQueriers := flag.Int("load-queriers", 1, "concurrent queriers per tenant for -load")
@@ -107,7 +115,7 @@ func main() {
 		}
 	}
 
-	if want("2") || want("3") || *usd {
+	if want("2") || want("3") || *usd || *sharded {
 		h := &cost.Harness{Scale: *scale, Seed: *seed, Tool: *tool, CachedQueries: *qcacheOn}
 		fmt.Fprintf(os.Stderr, "passbench: loading combined workload at scale %.2f into all three architectures...\n", *scale)
 
@@ -181,6 +189,22 @@ func main() {
 			}
 			if !*jsonOut {
 				fmt.Println()
+			}
+		}
+
+		if *sharded {
+			counts, err := parseShardCounts(*shardCounts)
+			if err != nil {
+				log.Fatalf("sharded: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "passbench: sharded cost matrix at shard counts %v...\n", counts)
+			sc, err := h.Sharded(ctx, counts)
+			if err != nil {
+				log.Fatalf("sharded: %v", err)
+			}
+			rep.Sharded = sc
+			if !*jsonOut {
+				fmt.Println(sc)
 			}
 		}
 	}

@@ -31,7 +31,13 @@
 //	descendants TOOL             Q.3: everything derived from TOOL's outputs
 //	ancestors PATH               full ancestry of PATH's current version
 //	query [flags]                composable Query API v2 (see below)
+//	verify                       tamper-evidence audit of the whole namespace
+//	verify PATH                  verify one object's hash-chained lineage
 //	usage                        the cloud bill so far
+//
+// The -shards N flag routes the session across N sharded namespaces and
+// -tenant KEY bills it under a tenant key; `verify` then audits every
+// shard and composes the per-shard Merkle roots into the namespace root.
 //
 // The query command drives the composable v2 API, both as a script command
 // and as a subcommand (`passctl query -script setup.txt -tool blast`; the
@@ -66,6 +72,8 @@ func main() {
 	archName := flag.String("arch", "s3+sdb+sqs", "architecture: s3 | s3+sdb | s3+sdb+sqs")
 	seed := flag.Int64("seed", 2009, "random seed")
 	delay := flag.Duration("delay", 0, "eventual-consistency delay")
+	shards := flag.Int("shards", 0, "shard the store across this many namespaces (0 = unsharded)")
+	tenant := flag.String("tenant", "", "bill this session under a tenant key")
 	flag.Parse()
 
 	arch, err := parseArch(*archName)
@@ -76,6 +84,8 @@ func main() {
 		Architecture:     arch,
 		Seed:             *seed,
 		ConsistencyDelay: *delay,
+		Shards:           *shards,
+		Tenant:           *tenant,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -350,6 +360,27 @@ func runSession(client *passcloud.Client, in io.Reader, out io.Writer, state *se
 			if err := execQuery(client, opts, state, out); err != nil {
 				return fail(err)
 			}
+		case "verify":
+			if len(args) == 0 {
+				rep, err := client.VerifyAll(ctx)
+				if err != nil {
+					return fail(err)
+				}
+				printVerifyReport(out, rep)
+				break
+			}
+			rep, err := client.VerifyLineage(ctx, args[0])
+			if err != nil {
+				return fail(err)
+			}
+			status := "intact"
+			if !rep.Clean() {
+				status = "DIVERGED"
+			}
+			fmt.Fprintf(out, "%s: %s (%d versions, shard %d)\n", rep.Object, status, rep.Versions, rep.Shard)
+			for _, d := range rep.Divergences {
+				fmt.Fprintf(out, "  %s\n", d)
+			}
 		case "usage":
 			u := client.Usage()
 			fmt.Fprintf(out, "ops: s3=%d sdb=%d sqs=%d | stored: %d bytes | in/out: %d/%d | $%.4f\n",
@@ -361,6 +392,37 @@ func runSession(client *passcloud.Client, in io.Reader, out io.Writer, state *se
 		}
 	}
 	return scanner.Err()
+}
+
+// printVerifyReport renders a whole-namespace verification: one line per
+// shard, the composed namespace root, and every divergence.
+func printVerifyReport(out io.Writer, rep *passcloud.VerifyReport) {
+	for _, s := range rep.Shards {
+		status := "clean"
+		if !s.Clean() {
+			status = "DIVERGED"
+		}
+		root := "root matches checkpoint"
+		switch {
+		case s.MultiWriter:
+			root = "multi-writer (root check per chain)"
+		case s.CheckpointRoot == "":
+			root = "no checkpoint"
+		case s.Root != s.CheckpointRoot:
+			root = "ROOT MISMATCH"
+		}
+		fmt.Fprintf(out, "shard %d: %s — %d subjects, %d records, %s\n",
+			s.Shard, status, s.Subjects, s.Records, root)
+	}
+	fmt.Fprintf(out, "namespace root %s\n", truncate(rep.NamespaceRoot, 16))
+	if rep.Clean() {
+		fmt.Fprintln(out, "verification: OK")
+		return
+	}
+	for _, d := range rep.Divergences() {
+		fmt.Fprintf(out, "  %s\n", d)
+	}
+	fmt.Fprintln(out, "verification: FAILED")
 }
 
 func printRefs(out io.Writer, refs []passcloud.Ref) {

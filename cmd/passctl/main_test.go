@@ -91,6 +91,54 @@ func TestScriptErrors(t *testing.T) {
 	}
 }
 
+// TestScriptVerify drives the tamper-evidence audit from a script: the
+// whole-namespace form and the single-path form, unsharded and sharded.
+func TestScriptVerify(t *testing.T) {
+	script := `
+ingest /data/in.csv raw,data,here
+exec analyze
+read analyze /data/in.csv
+write analyze /out/result.dat the result
+close analyze /out/result.dat
+exit analyze
+sync
+settle
+verify
+verify /out/result.dat
+`
+	for _, shards := range []int{0, 3} {
+		c, err := passcloud.New(passcloud.Options{Architecture: passcloud.S3SimpleDBSQS, Seed: 1, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if err := run(c, strings.NewReader(script), &out); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got := out.String()
+		for _, want := range []string{
+			"verification: OK",
+			"namespace root ",
+			"/out/result.dat: intact",
+		} {
+			if !strings.Contains(got, want) {
+				t.Fatalf("shards=%d: output missing %q:\n%s", shards, want, got)
+			}
+		}
+		wantShards := max(shards, 1)
+		if n := strings.Count(got, "shard "); n < wantShards {
+			t.Fatalf("shards=%d: %d shard lines, want >= %d:\n%s", shards, n, wantShards, got)
+		}
+	}
+
+	// A missing path reports not-found rather than a clean bill.
+	c := newClient(t)
+	err := run(c, strings.NewReader("verify /nope"), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("verify of missing path: err = %v", err)
+	}
+}
+
 func TestParseArch(t *testing.T) {
 	for name, want := range map[string]passcloud.Architecture{
 		"s3":         passcloud.S3Only,

@@ -49,6 +49,7 @@ import (
 	"passcloud/internal/cloud/retry"
 	"passcloud/internal/cloud/s3"
 	"passcloud/internal/core"
+	"passcloud/internal/core/integrity"
 	"passcloud/internal/core/planner"
 	"passcloud/internal/core/qcache"
 	"passcloud/internal/pass"
@@ -68,8 +69,16 @@ const (
 	provPrefix = "prov"
 )
 
-// budget is the metadata space left for provenance after reserved keys.
-const budget = s3.MaxMetadataSize - 64
+// budget is the metadata space left for provenance after reserved keys and
+// the integrity checkpoint rider. The rider's worst-case size is reserved
+// unconditionally — with integrity disabled too — so the spill boundaries
+// (and with them the op counts) are bit-identical between an integrity run
+// and its parity baseline.
+const budget = s3.MaxMetadataSize - 64 - riderReserve
+
+// riderReserve holds space for the x-root metadata key and its checkpoint
+// token ("v1|writer|seq|count|32-hex-root").
+const riderReserve = 96
 
 // Config parameterizes the store.
 type Config struct {
@@ -95,6 +104,11 @@ type Config struct {
 	// Retry bounds the transient-error backoff around every cloud call the
 	// store issues. The zero value uses the shared defaults.
 	Retry retry.Policy
+	// Writer identifies this client in integrity checkpoints (default "w").
+	Writer string
+	// DisableIntegrity turns off the Merkle ledger and checkpoint riders —
+	// the op-count parity baseline.
+	DisableIntegrity bool
 }
 
 // Store is the S3-only architecture.
@@ -121,6 +135,11 @@ type Store struct {
 	// retrier backs off and retries transient cloud errors; its meters
 	// feed the cost harness's retry-overhead report.
 	retrier *retry.Retrier
+	// ledger rolls the Merkle commitment over carrier PUTs (nil when
+	// integrity is disabled), keyed by data object key: this architecture
+	// overwrites an object's metadata in place, so a slot's leaves are
+	// replaced whenever its key is re-PUT.
+	ledger *integrity.Ledger
 
 	mu sync.Mutex
 	// foreign buffers transient ancestors' records until the descendant
@@ -156,6 +175,9 @@ func New(cfg Config) (*Store, error) {
 		catalog: planner.NewS3Catalog(), tracker: qcache.NewWriteTracker(cfg.Cloud),
 		retrier: retry.New(cfg.Retry, cfg.Cloud.Clock, cfg.Cloud.RNG),
 		latest:  make(map[string]prov.Version)}
+	if !cfg.DisableIntegrity {
+		s.ledger = integrity.NewLedger(cfg.Writer)
+	}
 	// Resource creation meters as a mutation (CreateBucket is an S3 PUT);
 	// track it so a solo client's plans stay exact.
 	err := s.tracker.Track(func() error {
@@ -330,6 +352,7 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent, savedPres
 		if err != nil {
 			return err
 		}
+		s.mintRider(dataKey(ev.Ref.Object), ev.Ref, ev.Records, foreign, meta)
 		p := dataPut{key: dataKey(ev.Ref.Object), data: ev.Data, meta: meta, gets: gets, ref: ev.Ref}
 		if len(foreign) > 0 {
 			p.riders = riderSubjects(foreign)
@@ -370,6 +393,32 @@ func (s *Store) putCarrier(ctx context.Context, op, key string, body []byte, met
 		return nil // the lost-response attempt applied; the write is durable
 	}
 	return err
+}
+
+// mintRider commits the carrier's leaf set to the ledger and stamps the
+// checkpoint token into the PUT's metadata, so the commitment rides the
+// write the batch was issuing anyway. The ledger slot is the data key:
+// re-PUTting a key replaces its object and metadata wholesale, so the
+// slot's previous leaves are replaced to match. A subject with no records
+// contributes no leaf — the scan would never yield it as an entry.
+func (s *Store) mintRider(key string, own prov.Ref, ownRecords, foreign []prov.Record, meta map[string]string) {
+	if s.ledger == nil {
+		return
+	}
+	var leaves []string
+	if len(ownRecords) > 0 {
+		leaves = append(leaves, integrity.SubjectHash(own, ownRecords))
+	}
+	for _, ref := range riderSubjects(foreign) {
+		var recs []prov.Record
+		for _, r := range foreign {
+			if r.Subject == ref {
+				recs = append(recs, r)
+			}
+		}
+		leaves = append(leaves, integrity.SubjectHash(ref, recs))
+	}
+	meta[integrity.AttrRoot] = s.ledger.Commit(map[string][]string{key: leaves}).Token()
 }
 
 // riderSubjects returns the distinct subjects of the buffered records, in
@@ -1050,6 +1099,7 @@ func (s *Store) sync(ctx context.Context) error {
 		restore()
 		return err
 	}
+	s.mintRider(dataKey(subject.Object), subject, nil, foreign, meta)
 	if err := s.putCarrier(ctx, "s3only/pnode-put", dataKey(subject.Object), []byte{'.'}, meta); err != nil {
 		// The records did not persist: put them back so a later Sync
 		// retries them, and release the marker sequence number so that
@@ -1065,6 +1115,49 @@ func (s *Store) sync(ctx context.Context) error {
 	}
 	s.catalog.Observe(dataKey(subject.Object), gets)
 	return nil
+}
+
+// Audit implements integrity.Auditor: a live paged scan — never the query
+// cache, a cached snapshot could mask live tampering — that unions each
+// subject's stored records and harvests every surviving checkpoint rider
+// from the carrier metadata. RetainsHistory is false: this architecture
+// overwrites an object's metadata in place, so superseded file versions
+// legitimately vanish and a missing predecessor is not a divergence.
+func (s *Store) Audit(ctx context.Context) (*integrity.Audit, error) {
+	a := &integrity.Audit{Entries: make(map[prov.Ref][]prov.Record)}
+	marker := ""
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		page, err := s.cloud.S3.List(s.bucket, dataPrefix, marker, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, info := range page.Objects {
+			head, err := s.cloud.S3.Head(s.bucket, info.Key)
+			if err != nil {
+				continue // deleted between LIST and HEAD
+			}
+			if tok, ok := head.Metadata[integrity.AttrRoot]; ok {
+				if cp, err := integrity.ParseCheckpoint(tok); err == nil {
+					a.Checkpoints = append(a.Checkpoints, cp)
+				}
+			}
+			object := prov.ObjectID(strings.TrimPrefix(info.Key, dataPrefix))
+			_, records, err := s.decodeAll(object, head.Metadata)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range records {
+				a.Entries[r.Subject] = append(a.Entries[r.Subject], r)
+			}
+		}
+		if !page.IsTruncated {
+			return a, nil
+		}
+		marker = page.NextMarker
+	}
 }
 
 // RetryStats snapshots the store's retry counters.

@@ -32,6 +32,7 @@ import (
 	"passcloud/internal/cloud/retry"
 	"passcloud/internal/cloud/s3"
 	"passcloud/internal/core"
+	"passcloud/internal/core/integrity"
 	"passcloud/internal/core/sdbprov"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
@@ -54,6 +55,11 @@ type Config struct {
 	DisableQueryCache bool
 	// Retry bounds the transient-error backoff around every cloud call.
 	Retry retry.Policy
+	// Writer identifies this client in integrity checkpoints (default "w").
+	Writer string
+	// DisableIntegrity turns off the Merkle ledger and checkpoint riders —
+	// the op-count parity baseline.
+	DisableIntegrity bool
 }
 
 // Store is the S3+SimpleDB architecture.
@@ -84,6 +90,8 @@ func New(cfg Config) (*Store, error) {
 		MaxReadRetries:    cfg.MaxReadRetries,
 		DisableQueryCache: cfg.DisableQueryCache,
 		Retry:             cfg.Retry,
+		Writer:            cfg.Writer,
+		DisableIntegrity:  cfg.DisableIntegrity,
 	})
 	if err != nil {
 		return nil, err
@@ -164,11 +172,17 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 			md5hex = sdbprov.ConsistencyMD5(ev.Data, nonce)
 			datas = append(datas, dataPut{ev: ev, nonce: nonce})
 		}
+		// The integrity leaf hashes the ORIGINAL record set — the form a
+		// verifier re-derives after decoding pointers and escapes.
+		var leaf string
+		if s.layer.IntegrityEnabled() {
+			leaf = integrity.SubjectHash(ev.Ref, ev.Records)
+		}
 		encoded, err := s.layer.EncodeValues(ctx, ev.Ref, ev.Records, "s3sdb")
 		if err != nil {
 			return err
 		}
-		writes = append(writes, sdbprov.ItemWrite{Subject: ev.Ref, Records: encoded, MD5: md5hex})
+		writes = append(writes, sdbprov.ItemWrite{Subject: ev.Ref, Records: encoded, MD5: md5hex, Leaf: leaf})
 	}
 
 	// landed maps provenance-phase progress to fully persisted events:
@@ -404,7 +418,24 @@ func (s *Store) orphanScan(ctx context.Context) ([]prov.Ref, error) {
 		}
 		orphans = append(orphans, ref)
 	}
+	if len(orphans) > 0 {
+		// The deletions changed the committed record set: retire the
+		// orphans' leaves and re-persist the checkpoint so the verifier
+		// sees a legitimate removal, not tampering.
+		items := make([]string, len(orphans))
+		for i, ref := range orphans {
+			items[i] = prov.EncodeItemName(ref)
+		}
+		if err := s.layer.DropFromLedger(ctx, items); err != nil {
+			return orphans, err
+		}
+	}
 	return orphans, nil
+}
+
+// Audit implements integrity.Auditor via the shared provenance layer.
+func (s *Store) Audit(ctx context.Context) (*integrity.Audit, error) {
+	return s.layer.Audit(ctx)
 }
 
 // isOrphan checks whether a persistent item's data is missing or older than

@@ -359,6 +359,7 @@ func (d *CommitDaemon) commitTx(ctx context.Context, txid string, tx *txState) (
 	// (c) provenance into SimpleDB. Records were value-encoded during the
 	// log phase, so they group straight into batched item writes.
 	recordsByItem := make(map[string][]prov.Record)
+	leafByItem := make(map[string]string)
 	var itemOrder []string
 	for _, pm := range tx.provMsgs {
 		records, err := pm.decodeRecords()
@@ -372,6 +373,9 @@ func (d *CommitDaemon) commitTx(ctx context.Context, txid string, tx *txState) (
 			itemOrder = append(itemOrder, pm.Item)
 		}
 		recordsByItem[pm.Item] = append(recordsByItem[pm.Item], records...)
+		if pm.Leaf != "" {
+			leafByItem[pm.Item] = pm.Leaf
+		}
 	}
 	md5ByItem := make(map[string]string, len(tx.md5Msgs))
 	for _, mm := range tx.md5Msgs {
@@ -393,6 +397,7 @@ func (d *CommitDaemon) commitTx(ctx context.Context, txid string, tx *txState) (
 			Subject: subject,
 			Records: recordsByItem[item],
 			MD5:     md5ByItem[item],
+			Leaf:    leafByItem[item],
 		})
 	}
 	if len(writes) > 0 {

@@ -35,6 +35,7 @@ import (
 	"passcloud/internal/cloud/retry"
 	"passcloud/internal/cloud/sqs"
 	"passcloud/internal/core"
+	"passcloud/internal/core/integrity"
 	"passcloud/internal/core/sdbprov"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
@@ -63,6 +64,10 @@ type Config struct {
 	DisableQueryCache bool
 	// Retry bounds the transient-error backoff around every cloud call.
 	Retry retry.Policy
+	// DisableIntegrity turns off the Merkle ledger and checkpoint riders —
+	// the op-count parity baseline. Checkpoints are stamped with the
+	// ClientID, so clients sharing a domain commit to their own writes.
+	DisableIntegrity bool
 }
 
 // Store is the S3+SimpleDB+SQS architecture (client side).
@@ -96,6 +101,8 @@ func New(cfg Config) (*Store, error) {
 		MaxReadRetries:    cfg.MaxReadRetries,
 		DisableQueryCache: cfg.DisableQueryCache,
 		Retry:             cfg.Retry,
+		Writer:            cfg.ClientID,
+		DisableIntegrity:  cfg.DisableIntegrity,
 	})
 	if err != nil {
 		return nil, err
@@ -180,6 +187,13 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 			return err
 		}
 		item := prov.EncodeItemName(ev.Ref)
+		// The integrity leaf hashes the ORIGINAL record set, before value
+		// encoding diverts >1 KB values to pointers; it travels in the WAL
+		// because the commit daemon never sees the decoded form.
+		var leaf string
+		if s.layer.IntegrityEnabled() {
+			leaf = integrity.SubjectHash(ev.Ref, ev.Records)
+		}
 		encoded, err := s.layer.EncodeValues(ctx, ev.Ref, ev.Records, "wal")
 		if err != nil {
 			return err
@@ -214,7 +228,7 @@ func (s *Store) putBatch(ctx context.Context, batch []pass.FlushEvent) error {
 			}})
 		}
 		for _, chunk := range chunks {
-			msgs = append(msgs, walMessage{TxID: txid, Kind: kindProv, Item: item, Records: chunk})
+			msgs = append(msgs, walMessage{TxID: txid, Kind: kindProv, Item: item, Records: chunk, Leaf: leaf})
 		}
 		if ev.Persistent() && !stale {
 			msgs = append(msgs, walMessage{TxID: txid, Kind: kindMD5, Item: item, MD5: md5hex})
@@ -394,6 +408,13 @@ func (s *Store) DescendantsOfOutputs(ctx context.Context, tool string) ([]prov.R
 // Deprecated: build prov.QDependents and use Query.
 func (s *Store) Dependents(ctx context.Context, object prov.ObjectID) ([]prov.Ref, error) {
 	return s.layer.Dependents(ctx, object)
+}
+
+// Audit implements integrity.Auditor via the shared provenance layer. Only
+// committed state is auditable: WAL transactions the commit daemon has not
+// drained yet are invisible, exactly like they are to queries.
+func (s *Store) Audit(ctx context.Context) (*integrity.Audit, error) {
+	return s.layer.Audit(ctx)
 }
 
 var (

@@ -50,6 +50,13 @@ type walMessage struct {
 	// Records is a prov chunk payload (JSON array from prov.ChunkJSON).
 	Records json.RawMessage `json:"recs,omitempty"`
 
+	// Leaf (prov kind) carries the subject's integrity leaf —
+	// integrity.SubjectHash over the ORIGINAL record set. The commit daemon
+	// only ever holds the encoded form (pointer values resolved would cost
+	// extra GETs), so the log phase computes the leaf and the WAL carries
+	// it to the commit point.
+	Leaf string `json:"leaf,omitempty"`
+
 	// MD5 is the consistency record value (md5 kind).
 	MD5 string `json:"md5,omitempty"`
 }

@@ -41,6 +41,7 @@ import (
 	"passcloud/internal/cloud/s3"
 	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/core"
+	"passcloud/internal/core/integrity"
 	"passcloud/internal/core/planner"
 	"passcloud/internal/core/qcache"
 	"passcloud/internal/prov"
@@ -60,6 +61,12 @@ const (
 	AttrMore = "x-more"
 )
 
+// LedgerItem names the non-provenance item that carries a fresh integrity
+// checkpoint after out-of-band deletions (the orphan scan). Its name has no
+// version suffix, so ParseItemName rejects it and every scan and query path
+// skips it like any other foreign item.
+const LedgerItem = "x-ledger"
+
 // Reserved S3 metadata keys on data objects.
 const (
 	// MetaNonce is the nonce used in the consistency record. "The nonce is
@@ -78,7 +85,7 @@ const (
 )
 
 // ignoreAttrs are bookkeeping attributes skipped when decoding provenance.
-var ignoreAttrs = map[string]bool{AttrMD5: true, AttrMore: true}
+var ignoreAttrs = map[string]bool{AttrMD5: true, AttrMore: true, integrity.AttrRoot: true}
 
 // Config parameterizes a Layer.
 type Config struct {
@@ -109,6 +116,13 @@ type Config struct {
 	// Retry bounds the transient-error backoff around every cloud call the
 	// layer issues. The zero value uses the shared defaults.
 	Retry retry.Policy
+	// Writer identifies this client in integrity checkpoints (default "w").
+	// Clients sharing a domain must use distinct writers.
+	Writer string
+	// DisableIntegrity turns off the Merkle ledger and its checkpoint
+	// riders — the pre-integrity write shape, kept for the op-count parity
+	// baselines.
+	DisableIntegrity bool
 }
 
 // Layer is the shared provenance store.
@@ -133,6 +147,10 @@ type Layer struct {
 	// the layer issues; its meters feed the cost harness's retry-overhead
 	// report.
 	retrier *retry.Retrier
+	// ledger rolls the Merkle commitment over committed items (nil when
+	// integrity is disabled); its checkpoints ride batch writes as the
+	// x-root attribute.
+	ledger *integrity.Ledger
 }
 
 // New builds the layer, creating bucket and domain if needed.
@@ -165,6 +183,9 @@ func New(cfg Config) (*Layer, error) {
 		catalog: planner.NewSDBCatalog(),
 		tracker: qcache.NewWriteTracker(cfg.Cloud),
 		retrier: retry.New(cfg.Retry, cfg.Cloud.Clock, cfg.Cloud.RNG),
+	}
+	if !cfg.DisableIntegrity {
+		l.ledger = integrity.NewLedger(cfg.Writer)
 	}
 	// Resource creation meters as a mutation (CreateBucket is an S3 PUT);
 	// track it so a solo client's plans stay exact.
@@ -294,18 +315,22 @@ func (l *Layer) EncodeValues(ctx context.Context, subject prov.Ref, records []pr
 }
 
 // buildAttrs renders one subject's pre-encoded records into the item's
-// attribute list: inline records, the MD5 consistency record, and — for
-// records beyond the 256-pairs-per-item limit — an S3 spill object
-// referenced by the AttrMore attribute (the spill PUT happens here).
+// attribute list: inline records, the MD5 consistency record, the integrity
+// checkpoint rider (rootToken, when non-empty), and — for records beyond
+// the 256-pairs-per-item limit — an S3 spill object referenced by the
+// AttrMore attribute (the spill PUT happens here).
 // observe mirrors the item into the planner catalog; callers invoke it
 // only once the SimpleDB write succeeds, so a failed write cannot leave a
 // phantom item skewing Explain.
-func (l *Layer) buildAttrs(ctx context.Context, subject prov.Ref, encoded []prov.Record, md5hex, faultPrefix string) (attrs []sdb.ReplaceableAttr, observe func(), err error) {
+func (l *Layer) buildAttrs(ctx context.Context, subject prov.Ref, encoded []prov.Record, md5hex, rootToken, faultPrefix string) (attrs []sdb.ReplaceableAttr, observe func(), err error) {
 	item := prov.EncodeItemName(subject)
 
 	// Reserve room for the bookkeeping attributes.
 	reserved := 1 // AttrMore slot
 	if md5hex != "" {
+		reserved++
+	}
+	if rootToken != "" {
 		reserved++
 	}
 	inline := encoded
@@ -322,6 +347,9 @@ func (l *Layer) buildAttrs(ctx context.Context, subject prov.Ref, encoded []prov
 	}
 	if md5hex != "" {
 		attrs = append(attrs, sdb.ReplaceableAttr{Name: AttrMD5, Value: md5hex, Replace: true})
+	}
+	if rootToken != "" {
+		attrs = append(attrs, sdb.ReplaceableAttr{Name: integrity.AttrRoot, Value: rootToken, Replace: true})
 	}
 
 	if len(spill) > 0 {
@@ -354,7 +382,7 @@ func (l *Layer) WriteEncoded(ctx context.Context, subject prov.Ref, encoded []pr
 	// Invalidate cached query state even on failure: a partial chunked
 	// write is already visible to queries.
 	defer l.gen.Bump()
-	attrs, observe, err := l.buildAttrs(ctx, subject, encoded, md5hex, faultPrefix)
+	attrs, observe, err := l.buildAttrs(ctx, subject, encoded, md5hex, "", faultPrefix)
 	if err != nil {
 		return err
 	}
@@ -409,6 +437,10 @@ type ItemWrite struct {
 	Records []prov.Record
 	// MD5 is the consistency record value; empty for transient subjects.
 	MD5 string
+	// Leaf is the subject's integrity leaf — integrity.SubjectHash over the
+	// ORIGINAL (pre-encoding) record set. Empty skips the ledger for this
+	// item (callers that predate the integrity subsystem).
+	Leaf string
 }
 
 // WriteEncodedBatch stores many subjects' provenance with as few SimpleDB
@@ -423,11 +455,32 @@ type ItemWrite struct {
 // still fails after some groups landed, the error is a typed
 // core.PartialWriteError listing the landed subjects, so callers can tell
 // a half-landed batch from an all-or-nothing failure instead of guessing.
+//
+// When the batch carries integrity leaves, the whole batch is committed to
+// the Merkle ledger up front and the minted checkpoint rides every item as
+// one extra attribute — zero additional SimpleDB calls. Slot replacement
+// makes the commit idempotent: a WAL replay or partial-batch retry
+// re-commits the same items with the same leaves and converges to the same
+// root (only the checkpoint sequence advances).
 func (l *Layer) WriteEncodedBatch(ctx context.Context, writes []ItemWrite, faultPrefix string) error {
 	if len(writes) > 0 {
 		// Invalidate cached query state even on failure: earlier groups of
 		// a partially written batch are already visible to queries.
 		defer l.gen.Bump()
+	}
+	rootToken := ""
+	if l.ledger != nil {
+		slots := make(map[string][]string)
+		for _, w := range writes {
+			if w.Leaf == "" {
+				continue
+			}
+			item := prov.EncodeItemName(w.Subject)
+			slots[item] = append(slots[item], w.Leaf)
+		}
+		if len(slots) > 0 {
+			rootToken = l.ledger.Commit(slots).Token()
+		}
 	}
 	var landed []prov.Ref
 	var group []sdb.BatchItem
@@ -461,7 +514,7 @@ func (l *Layer) WriteEncodedBatch(ctx context.Context, writes []ItemWrite, fault
 		if err := ctx.Err(); err != nil {
 			return partial(err)
 		}
-		attrs, observe, err := l.buildAttrs(ctx, w.Subject, w.Records, w.MD5, faultPrefix)
+		attrs, observe, err := l.buildAttrs(ctx, w.Subject, w.Records, w.MD5, rootToken, faultPrefix)
 		if err != nil {
 			return partial(err)
 		}
@@ -517,7 +570,7 @@ func (l *Layer) FetchItem(ctx context.Context, subject prov.Ref) (records []prov
 	if err != nil || !ok {
 		return nil, "", ok, err
 	}
-	records, md5hex, err = l.decodeAttrs(ctx, subject, attrs)
+	records, md5hex, _, err = l.decodeAttrs(ctx, subject, attrs)
 	if err != nil {
 		return nil, "", false, err
 	}
@@ -525,9 +578,10 @@ func (l *Layer) FetchItem(ctx context.Context, subject prov.Ref) (records []prov
 }
 
 // decodeAttrs converts stored attributes back into records, resolving value
-// pointers (one GET each) and the item-spill object if present.
-func (l *Layer) decodeAttrs(ctx context.Context, subject prov.Ref, attrs []sdb.Attr) ([]prov.Record, string, error) {
-	var md5hex, moreKey string
+// pointers (one GET each) and the item-spill object if present. rootToken
+// is the item's integrity checkpoint rider, if any.
+func (l *Layer) decodeAttrs(ctx context.Context, subject prov.Ref, attrs []sdb.Attr) ([]prov.Record, string, string, error) {
+	var md5hex, moreKey, rootToken string
 	out := make([]prov.Record, 0, len(attrs))
 	for _, a := range attrs {
 		switch a.Name {
@@ -537,10 +591,13 @@ func (l *Layer) decodeAttrs(ctx context.Context, subject prov.Ref, attrs []sdb.A
 		case AttrMore:
 			moreKey = a.Value
 			continue
+		case integrity.AttrRoot:
+			rootToken = a.Value
+			continue
 		}
 		rec, err := l.decodeStored(ctx, subject, a.Name, a.Value)
 		if err != nil {
-			return nil, "", err
+			return nil, "", "", err
 		}
 		out = append(out, rec)
 	}
@@ -552,25 +609,25 @@ func (l *Layer) decodeAttrs(ctx context.Context, subject prov.Ref, attrs []sdb.A
 			return gerr
 		})
 		if err != nil {
-			return nil, "", fmt.Errorf("sdbprov: spill get: %w", err)
+			return nil, "", "", fmt.Errorf("sdbprov: spill get: %w", err)
 		}
 		spilled, err := prov.UnmarshalJSONRecords(obj.Body)
 		if err != nil {
-			return nil, "", err
+			return nil, "", "", err
 		}
 		for _, rec := range spilled {
 			if rec.Value.Kind == prov.KindString {
 				// Spilled string values carry the stored form.
 				resolved, err := l.decodeStored(ctx, subject, rec.Attr, rec.Value.Str)
 				if err != nil {
-					return nil, "", err
+					return nil, "", "", err
 				}
 				rec = resolved
 			}
 			out = append(out, rec)
 		}
 	}
-	return out, md5hex, nil
+	return out, md5hex, rootToken, nil
 }
 
 // decodeStored turns one stored attribute value back into a record,
@@ -764,4 +821,108 @@ func (l *Layer) ProvenanceGraph(ctx context.Context) (*prov.Graph, error) {
 		return l.snapshot(ctx)
 	}
 	return l.buildGraph(ctx)
+}
+
+// --- integrity (chain/ledger/audit) -----------------------------------------
+
+// IntegrityEnabled reports whether the layer maintains the Merkle ledger.
+func (l *Layer) IntegrityEnabled() bool { return l.ledger != nil }
+
+// DropFromLedger removes deleted items' leaves from the Merkle ledger and
+// re-persists a fresh checkpoint on the dedicated ledger item, so the
+// commitment follows a legitimate deletion (the orphan scan) instead of
+// flagging it. This is the one place a checkpoint costs its own SimpleDB
+// call — a recovery path, never the healthy write path.
+func (l *Layer) DropFromLedger(ctx context.Context, items []string) error {
+	if l.ledger == nil || len(items) == 0 {
+		return nil
+	}
+	for _, item := range items {
+		l.ledger.Remove(item)
+	}
+	cp := l.ledger.Commit(nil)
+	attrs := []sdb.ReplaceableAttr{{Name: integrity.AttrRoot, Value: cp.Token(), Replace: true}}
+	err := l.retrier.Do(ctx, "sdbprov/ledger-put", func() error {
+		return l.cfg.Cloud.SDB.PutAttributes(l.cfg.Domain, LedgerItem, attrs)
+	})
+	if err != nil {
+		return fmt.Errorf("sdbprov: ledger put: %w", err)
+	}
+	return nil
+}
+
+// Audit implements integrity.Auditor: a live full-domain scan (never the
+// query cache — a verifier must read what is actually stored) returning
+// every item's decoded records plus every checkpoint rider encountered.
+// The op cost — Select pages, one GetAttributes per item, pointer GETs —
+// is exactly what the verification-cost benchmark meters.
+func (l *Layer) Audit(ctx context.Context) (*integrity.Audit, error) {
+	a := &integrity.Audit{
+		Entries:        make(map[prov.Ref][]prov.Record),
+		RetainsHistory: true, // items are per-version and never reclaimed
+	}
+	addCheckpoint := func(token string) {
+		if token == "" {
+			return
+		}
+		// A rider that no longer parses was tampered with; dropping it
+		// surfaces as a stale or missing checkpoint downstream.
+		if cp, err := integrity.ParseCheckpoint(token); err == nil {
+			a.Checkpoints = append(a.Checkpoints, cp)
+		}
+	}
+	token := ""
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var res *sdb.SelectResult
+		err := l.retrier.Do(ctx, "sdbprov/audit-select", func() error {
+			var serr error
+			res, serr = l.cfg.Cloud.SDB.Select("select itemName() from "+l.cfg.Domain, token)
+			return serr
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, item := range res.Items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			name := item.Name
+			var attrs []sdb.Attr
+			var ok bool
+			err := l.retrier.Do(ctx, "sdbprov/audit-get", func() error {
+				var gerr error
+				attrs, ok, gerr = l.cfg.Cloud.SDB.GetAttributes(l.cfg.Domain, name)
+				return gerr
+			})
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			ref, perr := prov.ParseItemName(name)
+			if perr != nil {
+				// The ledger item (or a foreign item): harvest any rider.
+				for _, at := range attrs {
+					if at.Name == integrity.AttrRoot {
+						addCheckpoint(at.Value)
+					}
+				}
+				continue
+			}
+			records, _, rider, err := l.decodeAttrs(ctx, ref, attrs)
+			if err != nil {
+				return nil, err
+			}
+			a.Entries[ref] = records
+			addCheckpoint(rider)
+		}
+		if res.NextToken == "" {
+			return a, nil
+		}
+		token = res.NextToken
+	}
 }

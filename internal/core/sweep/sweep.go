@@ -2,10 +2,11 @@
 // a scripted PASS workload against one of the three architectures while a
 // seeded, deterministic fault schedule injects every failure class the
 // resilience subsystem distinguishes — transient service errors, permanent
-// denials, applied-but-response-lost operations, and client crashes at
-// protocol points — then drives the architecture's recovery machinery
-// (flush retries, commit daemon, cleaner, orphan scan) and asserts the
-// paper's core invariants over the converged state:
+// denials, applied-but-response-lost operations, client crashes at
+// protocol points, and post-commit corruption — then drives the
+// architecture's recovery machinery (flush retries, commit daemon,
+// cleaner, orphan scan) and asserts the paper's core invariants over the
+// converged state:
 //
 //   - no object is readable without provenance, and every workload file
 //     converges to its expected latest version and content;
@@ -15,11 +16,21 @@
 //     records, no version regressions from replayed WAL transactions);
 //   - the query cache never serves stale results across failed/retried
 //     writes (cached answers equal a fresh uncached evaluation);
-//   - the WAL queue drains: no transaction wedges on redelivery.
+//   - the WAL queue drains: no transaction wedges on redelivery;
+//   - integrity verification is exact: a healthy converged run verifies
+//     completely clean (zero false positives), and every injected
+//     post-commit corruption — a flipped byte, a swapped version, a
+//     dropped record — is detected (chain break or root mismatch on the
+//     corrupted shard).
+//
+// With Config.Shards > 1 the same workload runs through the consistent-hash
+// router over per-shard namespaces, and every invariant (and the
+// corruption detection contract) must hold shard by shard.
 //
 // Everything is derived from Config.Seed — the region's randomness, the
-// fault schedule, and the workload — so a CI failure is replayable from the
-// logged seed: same seed, same fault schedule, same final state digest.
+// fault schedule, the corruption victims, and the workload — so a CI
+// failure is replayable from the logged seed: same seed, same fault
+// schedule, same final state digest.
 package sweep
 
 import (
@@ -36,10 +47,12 @@ import (
 	"passcloud/internal/cloud/retry"
 	"passcloud/internal/cloud/s3"
 	"passcloud/internal/core"
+	"passcloud/internal/core/integrity"
 	"passcloud/internal/core/s3only"
 	"passcloud/internal/core/s3sdb"
 	"passcloud/internal/core/s3sdbsqs"
 	"passcloud/internal/core/sdbprov"
+	"passcloud/internal/core/shard"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
 	"passcloud/internal/sim"
@@ -48,8 +61,14 @@ import (
 // Arches lists the architectures the sweep covers.
 var Arches = []string{"s3", "s3+sdb", "s3+sdb+sqs"}
 
-// AllClasses is the default fault-class mix.
+// AllClasses is the default fault-class mix (the recovery classes).
 var AllClasses = []sim.FaultClass{sim.ClassCrash, sim.ClassTransient, sim.ClassPermanent, sim.ClassAckLoss}
+
+// ClassesWithCorruption adds post-commit corruption to the recovery
+// classes — the full tamper-evidence mix.
+var ClassesWithCorruption = []sim.FaultClass{
+	sim.ClassCrash, sim.ClassTransient, sim.ClassPermanent, sim.ClassAckLoss, sim.ClassCorrupt,
+}
 
 // Config parameterizes one sweep run.
 type Config struct {
@@ -63,24 +82,42 @@ type Config struct {
 	Classes []sim.FaultClass
 	// MaxDelay is the region's propagation horizon (default 2s).
 	MaxDelay time.Duration
+	// Shards routes the workload through a consistent-hash router over
+	// this many per-shard namespaces (0 or 1: the paper's single store).
+	Shards int
 }
 
 // Result reports one run.
 type Result struct {
 	Arch string
 	Seed int64
+	// Shards echoes the effective shard count.
+	Shards int
 	// Schedule logs every injected fault, in arm order — the replay recipe.
 	Schedule []string
 	// FlushErrors are the workload-visible errors the faults caused. They
 	// are expected; what must hold is that recovery repairs their effects.
 	FlushErrors []string
+	// Corruptions logs every post-commit corruption applied, in schedule
+	// order — the rest of the replay recipe.
+	Corruptions []string
+	// VerifyClean reports that pre-corruption verification of the
+	// converged run found zero divergences (no false positives).
+	VerifyClean bool
+	// DetectedAll reports that post-corruption verification flagged every
+	// corrupted shard (vacuously true when nothing was corrupted).
+	DetectedAll bool
+	// PostDivergences counts the divergences verification reported after
+	// the corruptions were applied.
+	PostDivergences int
 	// Violations lists invariant breaches. A correct implementation leaves
 	// this empty for every seed.
 	Violations []string
-	// Digest fingerprints the converged repository state; identical seeds
-	// must produce identical digests (deterministic replay).
+	// Digest fingerprints the final repository state (corruptions
+	// included); identical seeds must produce identical digests
+	// (deterministic replay).
 	Digest string
-	// Retry snapshots the run's retry overhead.
+	// Retry snapshots the run's retry overhead, summed across shards.
 	Retry retry.Snapshot
 }
 
@@ -121,10 +158,14 @@ var menus = map[string]faultMenu{
 type scheduledFault struct {
 	step  int
 	class sim.FaultClass
-	// target is a crash point (ClassCrash) or an op name.
+	// target is a crash point (ClassCrash), an op name, or a corruption
+	// kind (ClassCorrupt).
 	target string
 	skip   int
 	count  int
+	// kind and pick parameterize a ClassCorrupt draw.
+	kind sim.CorruptKind
+	pick int64
 }
 
 func (f scheduledFault) String() string {
@@ -156,76 +197,163 @@ func schedule(cfg Config, rng *sim.RNG, steps int) []scheduledFault {
 			f.target = menu.ops[rng.Intn(len(menu.ops))]
 			f.skip = rng.Intn(3)
 			f.count = 1 + rng.Intn(2) // stays under MaxAttempts: applied, then retried through
+		case sim.ClassCorrupt:
+			// Applied post-commit, after recovery converges; the step only
+			// orders the schedule log. pick seeds the victim choice.
+			f.kind = sim.CorruptKind(rng.Intn(3))
+			f.pick = int64(rng.Intn(1 << 30))
+			f.target = f.kind.String()
+			f.count = 1
 		}
 		out = append(out, f)
 	}
 	return out
 }
 
-// env is one architecture wired for the sweep.
-type env struct {
+// shardEnv is one shard's slice of the environment.
+type shardEnv struct {
 	cloud  *cloud.Cloud
-	store  core.Store
-	faults *sim.FaultPlan
+	store  shard.Store
 	layer  *sdbprov.Layer // nil for s3-only
 	s3sdb  *s3sdb.Store   // non-nil for the orphan-scan arch
 	sqs    *s3sdbsqs.Store
 	daemon func() *s3sdbsqs.CommitDaemon // fresh daemon per pump (restart semantics)
 	stats  func() retry.Snapshot
-	// mirror builds an uncached querier over the same region for freshness
-	// cross-checks; constructed lazily after recovery.
-	mirror func() (core.Querier, error)
+	// mirror builds an uncached store over the same namespace for
+	// freshness cross-checks; constructed lazily after recovery.
+	mirror func() (shard.Store, error)
+}
+
+// env is the architecture wired for the sweep, one shardEnv per shard.
+type env struct {
+	single *cloud.Cloud // nil when sharded
+	multi  *cloud.Multi // nil when unsharded
+	shards []*shardEnv
+	store  core.Store // the router, or the sole shard's store
+	faults *sim.FaultPlan
+	// tampered tracks victims already hit by a corruption, so a later draw
+	// of the same kind cannot pick the same victim and silently undo the
+	// tampering (swapping the same pair twice restores the original).
+	tampered map[string]bool
+}
+
+// settle advances simulated time past the replication horizon on every
+// namespace.
+func (e *env) settle() {
+	if e.multi != nil {
+		e.multi.Settle()
+		return
+	}
+	e.single.Settle()
+}
+
+// advance moves the (shared) virtual clock forward.
+func (e *env) advance(d time.Duration) {
+	if e.multi != nil {
+		e.multi.Clock().Advance(d)
+		return
+	}
+	e.single.Clock.Advance(d)
 }
 
 const daemonVisibility = 10 * time.Second
 
 func buildEnv(cfg Config, faults *sim.FaultPlan) (*env, error) {
-	cl := cloud.New(cloud.Config{Seed: cfg.Seed, MaxDelay: cfg.MaxDelay, Faults: faults})
-	e := &env{cloud: cl, faults: faults}
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	e := &env{faults: faults}
+	ccfg := cloud.Config{Seed: cfg.Seed, MaxDelay: cfg.MaxDelay, Faults: faults}
+	var clouds []*cloud.Cloud
+	if n == 1 {
+		e.single = cloud.New(ccfg)
+		clouds = []*cloud.Cloud{e.single}
+	} else {
+		e.multi = cloud.NewMulti(ccfg)
+		for i := 0; i < n; i++ {
+			clouds = append(clouds, e.multi.Namespace(fmt.Sprintf("shard%d", i)))
+		}
+	}
+	stores := make([]shard.Store, n)
+	for i, cl := range clouds {
+		se, err := buildShard(cfg, cl, faults)
+		if err != nil {
+			return nil, err
+		}
+		e.shards = append(e.shards, se)
+		stores[i] = se.store
+	}
+	if n == 1 {
+		e.store = stores[0]
+		return e, nil
+	}
+	r, err := shard.New(shard.Config{Shards: stores})
+	if err != nil {
+		return nil, err
+	}
+	e.store = r
+	return e, nil
+}
+
+// buildShard wires one shard's store on its namespace.
+func buildShard(cfg Config, cl *cloud.Cloud, faults *sim.FaultPlan) (*shardEnv, error) {
+	se := &shardEnv{cloud: cl}
 	switch cfg.Arch {
 	case "s3":
 		st, err := s3only.New(s3only.Config{Cloud: cl, Faults: faults, PutConcurrency: 1, ScanConcurrency: 1, Retry: retryPolicy})
 		if err != nil {
 			return nil, err
 		}
-		e.store, e.stats = st, st.RetryStats
-		e.mirror = func() (core.Querier, error) {
-			m, err := s3only.New(s3only.Config{Cloud: cl, PutConcurrency: 1, ScanConcurrency: 1, DisableQueryCache: true})
-			if err != nil {
-				return nil, err
-			}
-			return m, nil
+		se.store, se.stats = st, st.RetryStats
+		se.mirror = func() (shard.Store, error) {
+			return s3only.New(s3only.Config{Cloud: cl, PutConcurrency: 1, ScanConcurrency: 1, DisableQueryCache: true, DisableIntegrity: true})
 		}
 	case "s3+sdb":
 		st, err := s3sdb.New(s3sdb.Config{Cloud: cl, Faults: faults, Retry: retryPolicy})
 		if err != nil {
 			return nil, err
 		}
-		e.store, e.layer, e.s3sdb, e.stats = st, st.Layer(), st, st.RetryStats
+		se.store, se.layer, se.s3sdb, se.stats = st, st.Layer(), st, st.RetryStats
+		se.mirror = func() (shard.Store, error) {
+			return s3sdb.New(s3sdb.Config{Cloud: cl, DisableQueryCache: true, DisableIntegrity: true})
+		}
 	case "s3+sdb+sqs":
 		st, err := s3sdbsqs.New(s3sdbsqs.Config{Cloud: cl, Faults: faults, Retry: retryPolicy})
 		if err != nil {
 			return nil, err
 		}
-		e.store, e.layer, e.sqs, e.stats = st, st.Layer(), st, st.RetryStats
-		e.daemon = func() *s3sdbsqs.CommitDaemon {
+		se.store, se.layer, se.sqs, se.stats = st, st.Layer(), st, st.RetryStats
+		se.daemon = func() *s3sdbsqs.CommitDaemon {
 			d := s3sdbsqs.NewCommitDaemon(st, faults)
 			d.Visibility = daemonVisibility
 			return d
 		}
+		se.mirror = func() (shard.Store, error) {
+			return s3sdb.New(s3sdb.Config{Cloud: cl, DisableQueryCache: true, DisableIntegrity: true})
+		}
 	default:
 		return nil, fmt.Errorf("sweep: unknown arch %q", cfg.Arch)
 	}
-	if e.layer != nil {
-		e.mirror = func() (core.Querier, error) {
-			m, err := s3sdb.New(s3sdb.Config{Cloud: cl, DisableQueryCache: true})
-			if err != nil {
-				return nil, err
-			}
-			return m, nil
+	return se, nil
+}
+
+// mirror builds the uncached cross-check querier: the sole shard's
+// uncached twin, or a router over every shard's twin (same ring order, so
+// placement matches the primary).
+func (e *env) mirror() (core.Querier, error) {
+	twins := make([]shard.Store, len(e.shards))
+	for i, se := range e.shards {
+		m, err := se.mirror()
+		if err != nil {
+			return nil, err
 		}
+		twins[i] = m
 	}
-	return e, nil
+	if len(twins) == 1 {
+		return twins[0], nil
+	}
+	return shard.New(shard.Config{Shards: twins})
 }
 
 // script is the deterministic workload: a pipeline with version churn,
@@ -320,7 +448,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.MaxDelay == 0 {
 		cfg.MaxDelay = 2 * time.Second
 	}
-	res := &Result{Arch: cfg.Arch, Seed: cfg.Seed}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	res := &Result{Arch: cfg.Arch, Seed: cfg.Seed, Shards: cfg.Shards}
 
 	faults := sim.NewFaultPlan()
 	e, err := buildEnv(cfg, faults)
@@ -351,20 +482,28 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			if f.step != i {
 				continue
 			}
-			if f.class == sim.ClassCrash {
+			switch f.class {
+			case sim.ClassCrash:
 				faults.ArmAfter(f.target, f.skip)
-			} else {
+			case sim.ClassCorrupt:
+				faults.ArmCorruption(sim.Corruption{Kind: f.kind, Pick: f.pick})
+			default:
 				faults.ArmOp(f.target, f.class, f.skip, f.count)
 			}
 		}
 		if err := step(); err != nil {
 			record(fmt.Sprintf("step %d", i), err)
 		}
-		if e.daemon != nil {
-			if _, err := e.daemon().RunOnce(ctx, true); err != nil {
-				record(fmt.Sprintf("pump %d", i), err)
+		for si, se := range e.shards {
+			if se.daemon == nil {
+				continue
 			}
-			e.cloud.Clock.Advance(daemonVisibility + time.Second)
+			if _, err := se.daemon().RunOnce(ctx, true); err != nil {
+				record(fmt.Sprintf("pump %d shard %d", i, si), err)
+			}
+		}
+		if e.shards[0].daemon != nil {
+			e.advance(daemonVisibility + time.Second)
 		}
 	}
 
@@ -374,7 +513,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	for attempt := 0; attempt < 12; attempt++ {
 		if err := sys.Sync(ctx); err != nil {
 			record("sync", err)
-			e.cloud.Settle()
+			e.settle()
 			continue
 		}
 		synced = true
@@ -393,25 +532,30 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	// Recovery phase 2: drain the WAL (fresh daemon per round = restart
 	// semantics), advancing past the visibility timeout so messages locked
 	// by a crashed round redeliver. The loop runs until several consecutive
-	// rounds commit nothing — committed transactions must all land here.
-	// Messages that remain afterwards can only belong to uncommitted
-	// transactions (a crash mid-log): SQS retention reaps those, and the
-	// cleaner then reaps their abandoned temporaries.
-	if e.daemon != nil {
+	// rounds commit nothing across every shard — committed transactions
+	// must all land here. Messages that remain afterwards can only belong
+	// to uncommitted transactions (a crash mid-log): SQS retention reaps
+	// those, and the cleaner then reaps their abandoned temporaries.
+	if e.shards[0].daemon != nil {
 		idle := 0
 		for round := 0; round < 30 && idle < 3; round++ {
-			d := e.daemon()
-			n, err := d.RunOnce(ctx, true)
-			if err != nil {
-				record("recovery-pump", err)
-				idle = 0
-			} else if n == 0 {
-				idle++
-			} else {
-				idle = 0
+			committed := 0
+			failed := false
+			for si, se := range e.shards {
+				n, err := se.daemon().RunOnce(ctx, true)
+				if err != nil {
+					record(fmt.Sprintf("recovery-pump shard %d", si), err)
+					failed = true
+				}
+				committed += n
 			}
-			e.cloud.Clock.Advance(daemonVisibility + time.Second)
-			e.cloud.Settle()
+			if failed || committed > 0 {
+				idle = 0
+			} else {
+				idle++
+			}
+			e.advance(daemonVisibility + time.Second)
+			e.settle()
 		}
 		if idle < 3 {
 			res.Violations = append(res.Violations, "WAL queue never drained: transaction wedged on redelivery")
@@ -419,39 +563,134 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		// Past the retention horizon: uncommitted-transaction messages are
 		// reaped; the cleaner removes their temporary objects; one final
 		// daemon round proves nothing committable was lost to retention.
-		e.cloud.Clock.Advance(4*24*time.Hour + time.Hour)
-		cleaner := s3sdbsqs.NewCleaner(e.sqs)
+		e.advance(4*24*time.Hour + time.Hour)
+		for si, se := range e.shards {
+			cleaner := s3sdbsqs.NewCleaner(se.sqs)
+			for attempt := 0; attempt < 4; attempt++ {
+				if _, err := cleaner.RunOnce(ctx); err != nil {
+					record(fmt.Sprintf("cleaner shard %d", si), err)
+					continue
+				}
+				break
+			}
+			if n, err := se.daemon().RunOnce(ctx, true); err != nil {
+				record(fmt.Sprintf("post-retention-pump shard %d", si), err)
+			} else if n > 0 {
+				res.Violations = append(res.Violations, fmt.Sprintf("shard %d: %d transactions committed only after the retention horizon: drain loop is losing committed work", si, n))
+			}
+		}
+	}
+
+	// Recovery phase 3: the §4.2 orphan scan, per shard.
+	for si, se := range e.shards {
+		if se.s3sdb == nil {
+			continue
+		}
 		for attempt := 0; attempt < 4; attempt++ {
-			if _, err := cleaner.RunOnce(ctx); err != nil {
-				record("cleaner", err)
+			if _, err := se.s3sdb.OrphanScan(ctx); err != nil {
+				record(fmt.Sprintf("orphan-scan shard %d", si), err)
+				e.settle()
 				continue
 			}
 			break
 		}
-		if n, err := e.daemon().RunOnce(ctx, true); err != nil {
-			record("post-retention-pump", err)
-		} else if n > 0 {
-			res.Violations = append(res.Violations, fmt.Sprintf("%d transactions committed only after the retention horizon: drain loop is losing committed work", n))
-		}
 	}
+	e.settle()
 
-	// Recovery phase 3: the §4.2 orphan scan.
-	if e.s3sdb != nil {
-		for attempt := 0; attempt < 4; attempt++ {
-			if _, err := e.s3sdb.OrphanScan(ctx); err != nil {
-				record("orphan-scan", err)
-				e.cloud.Settle()
-				continue
-			}
-			break
-		}
+	for _, se := range e.shards {
+		mergeSnapshot(&res.Retry, se.stats())
 	}
-	e.cloud.Settle()
-
-	res.Retry = e.stats()
 	res.Violations = append(res.Violations, e.checkInvariants(ctx, cfg, sys, sc)...)
+
+	// Verification phase: a healthy converged run must verify completely
+	// clean — the zero-false-positive half of the tamper-evidence
+	// contract. This runs on every sweep, whatever the fault mix: crashes,
+	// retries, WAL replays and orphan-scan deletions must never leave the
+	// chains or the committed roots inconsistent.
+	pre, err := e.verify(ctx)
+	if err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("verification failed to run: %v", err))
+	} else {
+		res.VerifyClean = pre.Clean()
+		for _, d := range pre.Divergences() {
+			res.Violations = append(res.Violations, "verifier flagged a healthy run (false positive): "+d.String())
+		}
+	}
+
+	// Corruption phase: apply the armed post-commit corruptions through
+	// raw cloud access, then verification must flag every corrupted shard
+	// — the 100%-detection half.
+	res.DetectedAll = true
+	if cs := faults.Corruptions(); len(cs) > 0 && err == nil {
+		// The adversary's raw access is not subject to the workload's
+		// fault schedule; leftover unfired windows must not block it.
+		faults.DisarmOps()
+		applied := e.applyCorruptions(ctx, cs, &res.Violations)
+		corrupted := make(map[int]bool)
+		for _, a := range applied {
+			res.Corruptions = append(res.Corruptions, a.desc)
+			if a.shard >= 0 {
+				corrupted[a.shard] = true
+			}
+		}
+		if len(corrupted) > 0 {
+			e.settle()
+			post, verr := e.verify(ctx)
+			if verr != nil {
+				res.DetectedAll = false
+				res.Violations = append(res.Violations, fmt.Sprintf("post-corruption verification failed to run: %v", verr))
+			} else {
+				res.PostDivergences = len(post.Divergences())
+				for _, sr := range post.Shards {
+					switch {
+					case corrupted[sr.Shard] && sr.Clean():
+						res.DetectedAll = false
+						res.Violations = append(res.Violations, fmt.Sprintf("shard %d: injected corruption went undetected", sr.Shard))
+					case !corrupted[sr.Shard] && !sr.Clean():
+						res.Violations = append(res.Violations, fmt.Sprintf("shard %d: flagged but never corrupted (false positive): %s", sr.Shard, sr.Divergences[0]))
+					}
+				}
+			}
+		}
+	}
+
 	res.Digest = e.digest(ctx)
 	return res, nil
+}
+
+// verify audits every shard and runs the integrity verifier over the
+// namespace.
+func (e *env) verify(ctx context.Context) (*integrity.Result, error) {
+	auditors := make([]integrity.Auditor, len(e.shards))
+	for i, se := range e.shards {
+		a, ok := se.store.(integrity.Auditor)
+		if !ok {
+			return nil, fmt.Errorf("sweep: shard %d store is not auditable", i)
+		}
+		auditors[i] = a
+	}
+	return integrity.VerifyStores(ctx, auditors)
+}
+
+// mergeSnapshot folds one shard's retry counters into the sum.
+func mergeSnapshot(sum *retry.Snapshot, s retry.Snapshot) {
+	if sum.Ops == nil {
+		sum.Ops = make(map[string]retry.OpStats)
+	}
+	for name, o := range s.Ops {
+		have := sum.Ops[name]
+		have.Attempts += o.Attempts
+		have.Retries += o.Retries
+		have.Recovered += o.Recovered
+		have.Exhausted += o.Exhausted
+		have.Wait += o.Wait
+		sum.Ops[name] = have
+	}
+	sum.Total.Attempts += s.Total.Attempts
+	sum.Total.Retries += s.Total.Retries
+	sum.Total.Recovered += s.Total.Recovered
+	sum.Total.Exhausted += s.Total.Exhausted
+	sum.Total.Wait += s.Total.Wait
 }
 
 // checkInvariants verifies the converged state.
@@ -479,35 +718,38 @@ func (e *env) checkInvariants(ctx context.Context, cfg Config, sys *pass.System,
 		}
 	}
 
-	if e.layer != nil {
+	for si, se := range e.shards {
+		if se.layer == nil {
+			continue
+		}
 		// (2) no data object without a provenance item for its version.
-		infos, err := e.cloud.S3.ListAll(e.layer.Bucket(), sdbprov.DataPrefix)
+		infos, err := se.cloud.S3.ListAll(se.layer.Bucket(), sdbprov.DataPrefix)
 		if err != nil {
-			v = append(v, fmt.Sprintf("data listing failed: %v", err))
+			v = append(v, fmt.Sprintf("shard %d: data listing failed: %v", si, err))
 		}
 		for _, info := range infos {
 			object := prov.ObjectID(strings.TrimPrefix(info.Key, sdbprov.DataPrefix))
-			full, err := e.cloud.S3.Head(e.layer.Bucket(), info.Key)
+			full, err := se.cloud.S3.Head(se.layer.Bucket(), info.Key)
 			if err != nil {
-				v = append(v, fmt.Sprintf("%s: head failed: %v", info.Key, err))
+				v = append(v, fmt.Sprintf("shard %d: %s: head failed: %v", si, info.Key, err))
 				continue
 			}
 			verStr := full.Metadata[sdbprov.MetaVersion]
 			var ver int
 			fmt.Sscanf(verStr, "%d", &ver)
 			ref := prov.Ref{Object: object, Version: prov.Version(ver)}
-			_, _, ok, err := e.layer.FetchItem(ctx, ref)
+			_, _, ok, err := se.layer.FetchItem(ctx, ref)
 			if err != nil {
-				v = append(v, fmt.Sprintf("%s: provenance fetch failed: %v", ref, err))
+				v = append(v, fmt.Sprintf("shard %d: %s: provenance fetch failed: %v", si, ref, err))
 			} else if !ok {
-				v = append(v, fmt.Sprintf("%s: data without provenance item", ref))
+				v = append(v, fmt.Sprintf("shard %d: %s: data without provenance item", si, ref))
 			}
 		}
 
 		// (3) no orphaned provenance: every item carrying a consistency
 		// record must describe data that exists at or beyond its version.
-		if orphans := e.orphanItems(ctx, &v); len(orphans) > 0 {
-			v = append(v, fmt.Sprintf("orphaned provenance after recovery: %v", orphans))
+		if orphans := e.orphanItems(ctx, se, si, &v); len(orphans) > 0 {
+			v = append(v, fmt.Sprintf("shard %d: orphaned provenance after recovery: %v", si, orphans))
 		}
 	}
 
@@ -552,12 +794,15 @@ func (e *env) checkInvariants(ctx context.Context, cfg Config, sys *pass.System,
 	}
 
 	// (6) nothing left behind on architecture 3.
-	if e.sqs != nil {
-		if n, err := e.cloud.SQS.Exact(e.sqs.Queue()); err == nil && n > 0 {
-			v = append(v, fmt.Sprintf("%d WAL messages wedged after recovery and retention", n))
+	for si, se := range e.shards {
+		if se.sqs == nil {
+			continue
 		}
-		if tmps, err := e.cloud.S3.ListAll(e.layer.Bucket(), s3sdbsqs.TmpPrefix); err == nil && len(tmps) > 0 {
-			v = append(v, fmt.Sprintf("%d temporary objects leaked past the cleaner", len(tmps)))
+		if n, err := se.cloud.SQS.Exact(se.sqs.Queue()); err == nil && n > 0 {
+			v = append(v, fmt.Sprintf("shard %d: %d WAL messages wedged after recovery and retention", si, n))
+		}
+		if tmps, err := se.cloud.S3.ListAll(se.layer.Bucket(), s3sdbsqs.TmpPrefix); err == nil && len(tmps) > 0 {
+			v = append(v, fmt.Sprintf("shard %d: %d temporary objects leaked past the cleaner", si, len(tmps)))
 		}
 	}
 	return v
@@ -565,13 +810,13 @@ func (e *env) checkInvariants(ctx context.Context, cfg Config, sys *pass.System,
 
 // orphanItems lists refs whose items carry an MD5 record but whose data is
 // missing or older than the item claims.
-func (e *env) orphanItems(ctx context.Context, v *[]string) []prov.Ref {
+func (e *env) orphanItems(ctx context.Context, se *shardEnv, si int, v *[]string) []prov.Ref {
 	var orphans []prov.Ref
 	token := ""
 	for {
-		res, err := e.cloud.SDB.Select("select itemName() from "+e.layer.Domain(), token)
+		res, err := se.cloud.SDB.Select("select itemName() from "+se.layer.Domain(), token)
 		if err != nil {
-			*v = append(*v, fmt.Sprintf("orphan scan select failed: %v", err))
+			*v = append(*v, fmt.Sprintf("shard %d: orphan scan select failed: %v", si, err))
 			return orphans
 		}
 		for _, item := range res.Items {
@@ -579,11 +824,11 @@ func (e *env) orphanItems(ctx context.Context, v *[]string) []prov.Ref {
 			if err != nil {
 				continue
 			}
-			_, md5hex, ok, err := e.layer.FetchItem(ctx, ref)
+			_, md5hex, ok, err := se.layer.FetchItem(ctx, ref)
 			if err != nil || !ok || md5hex == "" {
 				continue
 			}
-			info, err := e.cloud.S3.Head(e.layer.Bucket(), sdbprov.DataKey(ref.Object))
+			info, err := se.cloud.S3.Head(se.layer.Bucket(), sdbprov.DataKey(ref.Object))
 			if err != nil {
 				if errors.Is(err, s3.ErrNoSuchKey) {
 					orphans = append(orphans, ref)
@@ -630,58 +875,60 @@ func canonRecords(records []prov.Record) string {
 	return strings.Join(lines, "\n")
 }
 
-// digest fingerprints the converged repository: every provenance item and
-// every data object, canonically ordered. Identical seeds must reproduce it
-// exactly.
+// digest fingerprints the final repository: every provenance item and
+// every data object on every shard, canonically ordered. Identical seeds
+// must reproduce it exactly.
 func (e *env) digest(ctx context.Context) string {
 	h := sha256.New()
 	var entries []string
 
-	if e.layer != nil {
-		token := ""
-		for {
-			res, err := e.cloud.SDB.Select("select itemName() from "+e.layer.Domain(), token)
-			if err != nil {
-				fmt.Fprintf(h, "select-err %v\n", err)
-				break
+	for si, se := range e.shards {
+		if se.layer != nil {
+			token := ""
+			for {
+				res, err := se.cloud.SDB.Select("select itemName() from "+se.layer.Domain(), token)
+				if err != nil {
+					fmt.Fprintf(h, "shard%d select-err %v\n", si, err)
+					break
+				}
+				for _, item := range res.Items {
+					ref, err := prov.ParseItemName(item.Name)
+					if err != nil {
+						continue
+					}
+					records, md5hex, ok, err := se.layer.FetchItem(ctx, ref)
+					if err != nil || !ok {
+						continue
+					}
+					entries = append(entries, fmt.Sprintf("shard%d item %s md5=%s\n%s", si, item.Name, md5hex, canonRecords(records)))
+				}
+				if res.NextToken == "" {
+					break
+				}
+				token = res.NextToken
 			}
-			for _, item := range res.Items {
-				ref, err := prov.ParseItemName(item.Name)
+		} else if q, ok := se.store.(core.Querier); ok {
+			all, err := core.AllProvenance(ctx, q)
+			if err == nil {
+				for ref, records := range all {
+					entries = append(entries, fmt.Sprintf("shard%d item %s\n%s", si, ref, canonRecords(records)))
+				}
+			}
+		}
+
+		bucket := "pass"
+		if se.layer != nil {
+			bucket = se.layer.Bucket()
+		}
+		if infos, err := se.cloud.S3.ListAll(bucket, "data"); err == nil {
+			for _, info := range infos {
+				obj, err := se.cloud.S3.Get(bucket, info.Key)
 				if err != nil {
 					continue
 				}
-				records, md5hex, ok, err := e.layer.FetchItem(ctx, ref)
-				if err != nil || !ok {
-					continue
-				}
-				entries = append(entries, fmt.Sprintf("item %s md5=%s\n%s", item.Name, md5hex, canonRecords(records)))
+				sum := sha256.Sum256(obj.Body)
+				entries = append(entries, fmt.Sprintf("shard%d data %s ver=%s sha=%s", si, info.Key, obj.Metadata["x-ver"], hex.EncodeToString(sum[:8])))
 			}
-			if res.NextToken == "" {
-				break
-			}
-			token = res.NextToken
-		}
-	} else if q, ok := e.store.(core.Querier); ok {
-		all, err := core.AllProvenance(ctx, q)
-		if err == nil {
-			for ref, records := range all {
-				entries = append(entries, fmt.Sprintf("item %s\n%s", ref, canonRecords(records)))
-			}
-		}
-	}
-
-	bucket := "pass"
-	if e.layer != nil {
-		bucket = e.layer.Bucket()
-	}
-	if infos, err := e.cloud.S3.ListAll(bucket, "data"); err == nil {
-		for _, info := range infos {
-			obj, err := e.cloud.S3.Get(bucket, info.Key)
-			if err != nil {
-				continue
-			}
-			sum := sha256.Sum256(obj.Body)
-			entries = append(entries, fmt.Sprintf("data %s ver=%s sha=%s", info.Key, obj.Metadata["x-ver"], hex.EncodeToString(sum[:8])))
 		}
 	}
 

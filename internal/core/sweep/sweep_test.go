@@ -43,7 +43,9 @@ func TestFaultSweepRecovery(t *testing.T) {
 		{"permanent", []sim.FaultClass{sim.ClassPermanent}},
 		{"ackloss", []sim.FaultClass{sim.ClassAckLoss}},
 		{"crash", []sim.FaultClass{sim.ClassCrash}},
+		{"corrupt", []sim.FaultClass{sim.ClassCorrupt}},
 		{"all", AllClasses},
+		{"all+corrupt", ClassesWithCorruption},
 	}
 	for _, arch := range Arches {
 		for _, mix := range mixes {
@@ -62,6 +64,75 @@ func TestFaultSweepRecovery(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestFaultSweepCorruptionDetection is the tamper-evidence property check:
+// with post-commit corruption armed, the converged run must first verify
+// completely clean (zero false positives), then — after the harness
+// tampers through raw cloud access — verification must flag every
+// corrupted shard, for every architecture at 1 and 4 shards.
+func TestFaultSweepCorruptionDetection(t *testing.T) {
+	ctx := context.Background()
+	for _, arch := range Arches {
+		for _, shards := range []int{1, 4} {
+			for _, seed := range []int64{1, 7} {
+				t.Run(fmt.Sprintf("%s/shards%d/seed%d", arch, shards, seed), func(t *testing.T) {
+					res, err := Run(ctx, Config{Arch: arch, Seed: seed, Shards: shards,
+						Classes: []sim.FaultClass{sim.ClassCorrupt}, Faults: 3})
+					if err != nil {
+						t.Fatalf("sweep run failed: %v", err)
+					}
+					if len(res.Violations) > 0 {
+						t.Errorf("seed %d: %d violations:\n  %s\ncorruptions:\n  %s",
+							seed, len(res.Violations),
+							strings.Join(res.Violations, "\n  "),
+							strings.Join(res.Corruptions, "\n  "))
+					}
+					if !res.VerifyClean {
+						t.Error("healthy converged run did not verify clean (false positive)")
+					}
+					applied := 0
+					for _, c := range res.Corruptions {
+						if !strings.Contains(c, "skipped") {
+							applied++
+						}
+					}
+					if applied == 0 {
+						t.Fatalf("no corruption was applied; detection was never exercised: %v", res.Corruptions)
+					}
+					if !res.DetectedAll {
+						t.Errorf("injected corruption went undetected:\n  %s", strings.Join(res.Corruptions, "\n  "))
+					}
+					if res.PostDivergences == 0 {
+						t.Error("post-corruption verification reported zero divergences")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFaultSweepShardedRecovery runs the full mix — recovery faults plus
+// corruption — through the consistent-hash router: every invariant and
+// the detection contract must hold shard by shard.
+func TestFaultSweepShardedRecovery(t *testing.T) {
+	ctx := context.Background()
+	for _, arch := range Arches {
+		for _, seed := range []int64{1, 7} {
+			t.Run(fmt.Sprintf("%s/seed%d", arch, seed), func(t *testing.T) {
+				res, err := Run(ctx, Config{Arch: arch, Seed: seed, Shards: 4, Classes: ClassesWithCorruption})
+				if err != nil {
+					t.Fatalf("sweep run failed: %v", err)
+				}
+				if len(res.Violations) > 0 {
+					t.Errorf("seed %d: %d violations:\n  %s\nschedule:\n  %s",
+						seed, len(res.Violations),
+						strings.Join(res.Violations, "\n  "),
+						strings.Join(res.Schedule, "\n  "))
+				}
+			})
 		}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 
+	"passcloud/internal/core/integrity"
 	"passcloud/internal/prov"
 )
 
@@ -77,6 +78,11 @@ type Config struct {
 	Namespace string
 	// Flush receives persistence events. Required.
 	Flush FlushFunc
+	// DisableChain turns off tamper-evident lineage chaining: flushed
+	// record sets then omit the integrity.AttrChain record each version
+	// normally carries. Used by baseline comparisons (the op-count parity
+	// tests); production clients leave it off.
+	DisableChain bool
 }
 
 // Errors.
@@ -149,6 +155,14 @@ type System struct {
 	// assertions and stats.
 	flushedSet map[prov.Ref]bool
 
+	// chainTok memoizes each version's chain token and tips memoizes its
+	// flushed subject hash. Both survive partial-batch retries and store
+	// replays, so a re-flushed version re-sends byte-identical records:
+	// the lineage chain extends, it never forks, and no predecessor is
+	// hashed twice with different results.
+	chainTok map[prov.Ref]string
+	tips     map[prov.Ref]string
+
 	stats Stats
 }
 
@@ -183,6 +197,8 @@ func NewSystem(cfg Config) *System {
 		byRef:      make(map[prov.Ref]*object),
 		pending:    make(map[prov.Ref]*pendingVersion),
 		flushedSet: make(map[prov.Ref]bool),
+		chainTok:   make(map[prov.Ref]string),
+		tips:       make(map[prov.Ref]string),
 	}
 }
 
@@ -484,7 +500,7 @@ func (s *System) flushBatch(ctx context.Context, refs []prov.Ref) error {
 	}
 	events := make([]FlushEvent, len(batch))
 	for i, pv := range batch {
-		events[i] = FlushEvent{Ref: pv.ref, Type: pv.typ, Data: pv.data, Records: pv.records}
+		events[i] = FlushEvent{Ref: pv.ref, Type: pv.typ, Data: pv.data, Records: s.chainedRecords(pv)}
 	}
 	if err := s.cfg.Flush(ctx, events); err != nil {
 		var lr landedReporter
@@ -501,6 +517,59 @@ func (s *System) flushBatch(ctx context.Context, refs []prov.Ref) error {
 		s.markFlushed(pv)
 	}
 	return nil
+}
+
+// chainedRecords renders a pending version's flushed record set: its
+// stashed records plus the tamper-evidence chain record embedding the
+// predecessor version's subject hash. The token and the version's own
+// resulting hash are memoized, so retries and replays flush identical
+// bytes (the no-double-hashing guarantee) and successors link correctly
+// whether their predecessor flushed in this batch, an earlier one, or a
+// later one.
+func (s *System) chainedRecords(pv *pendingVersion) []prov.Record {
+	if s.cfg.DisableChain {
+		return pv.records
+	}
+	records := append(make([]prov.Record, 0, len(pv.records)+1), pv.records...)
+	records = append(records, integrity.ChainRecord(pv.ref, s.chainToken(pv.ref)))
+	if _, ok := s.tips[pv.ref]; !ok {
+		s.tips[pv.ref] = integrity.SubjectHash(pv.ref, records)
+	}
+	return records
+}
+
+// chainToken resolves (and memoizes) one version's chain token: genesis
+// for version 0, a link embedding the predecessor's subject hash when the
+// predecessor's flushed form is known or derivable, detached otherwise
+// (an Attach-ed object whose history lives with another client).
+func (s *System) chainToken(ref prov.Ref) string {
+	if tok, ok := s.chainTok[ref]; ok {
+		return tok
+	}
+	tok := s.computeChainToken(ref)
+	s.chainTok[ref] = tok
+	return tok
+}
+
+func (s *System) computeChainToken(ref prov.Ref) string {
+	if ref.Version == 0 {
+		return integrity.TokenGenesis
+	}
+	prev := prov.Ref{Object: ref.Object, Version: ref.Version - 1}
+	if tip, ok := s.tips[prev]; ok {
+		return integrity.LinkToken(tip)
+	}
+	if pv, ok := s.pending[prev]; ok {
+		// The predecessor is stashed but flushes later (or in this batch
+		// after us). Its stashed records are immutable, so its eventual
+		// flushed form — records plus its own chain record — is derivable
+		// now; memoizing the tip guarantees its own flush matches.
+		records := append(make([]prov.Record, 0, len(pv.records)+1), pv.records...)
+		records = append(records, integrity.ChainRecord(prev, s.chainToken(prev)))
+		s.tips[prev] = integrity.SubjectHash(prev, records)
+		return integrity.LinkToken(s.tips[prev])
+	}
+	return integrity.TokenDetached
 }
 
 // markFlushed records one pending version as durably persistent.

@@ -45,6 +45,12 @@ const (
 	// transient error even though the state changed. This is the case that
 	// breaks naive retries — the retried op re-applies.
 	ClassAckLoss
+	// ClassCorrupt tampers with committed state after the fact: a byte
+	// flipped in a stored record, two versions' lineage swapped, a record
+	// silently dropped. Unlike the other classes it is not an API-call
+	// failure — the harness applies it post-commit through raw cloud
+	// access — so ArmOp rejects it; use ArmCorruption.
+	ClassCorrupt
 )
 
 // String names the class for fault-schedule logs.
@@ -58,9 +64,47 @@ func (c FaultClass) String() string {
 		return "permanent"
 	case ClassAckLoss:
 		return "ackloss"
+	case ClassCorrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("FaultClass(%d)", int(c))
 	}
+}
+
+// CorruptKind selects how a post-commit corruption mutates the store.
+type CorruptKind int
+
+// The corruption kinds the tamper-evidence sweep injects.
+const (
+	// CorruptFlipByte alters one byte of a stored record value.
+	CorruptFlipByte CorruptKind = iota
+	// CorruptSwapVersion swaps lineage between adjacent versions (or
+	// forges a stored version number, on stores that keep one version).
+	CorruptSwapVersion
+	// CorruptDropRecord silently removes one committed record.
+	CorruptDropRecord
+)
+
+// String names the kind for fault-schedule logs.
+func (k CorruptKind) String() string {
+	switch k {
+	case CorruptFlipByte:
+		return "flip-byte"
+	case CorruptSwapVersion:
+		return "swap-version"
+	case CorruptDropRecord:
+		return "drop-record"
+	default:
+		return fmt.Sprintf("CorruptKind(%d)", int(k))
+	}
+}
+
+// Corruption is one armed post-commit tampering. Pick seeds the
+// deterministic choice of victim (which item, which attribute), so a
+// logged schedule replays to the identical mutation.
+type Corruption struct {
+	Kind CorruptKind
+	Pick int64
 }
 
 // OpOutcome tells a simulated service what to do with one API call.
@@ -104,6 +148,8 @@ type FaultPlan struct {
 	opArmed  map[string][]opFault // op -> armed windows
 	opChecks map[string]int       // op -> checks seen so far
 	opFired  map[string]int       // op -> times an op fault fired
+
+	corruptions []Corruption // armed post-commit corruptions, in arm order
 }
 
 // NewFaultPlan returns an empty plan.
@@ -186,6 +232,9 @@ func (p *FaultPlan) ArmOp(op string, class FaultClass, skip, count int) {
 	if class == ClassCrash {
 		panic("sim: ArmOp cannot inject ClassCrash; use Arm on a protocol point")
 	}
+	if class == ClassCorrupt {
+		panic("sim: ArmOp cannot inject ClassCorrupt; use ArmCorruption")
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.opArmed == nil {
@@ -227,6 +276,42 @@ func (p *FaultPlan) CheckOp(op string) OpOutcome {
 		}
 	}
 	return OpProceed
+}
+
+// DisarmOps drops every armed op-fault window that has not yet fired.
+// Harnesses call it when scheduled injection is over but raw access to the
+// services follows (e.g. applying post-commit corruption): the adversary's
+// out-of-band writes are not subject to the workload's fault schedule.
+// Check counters and fired counts are preserved.
+func (p *FaultPlan) DisarmOps() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.opArmed = nil
+}
+
+// ArmCorruption schedules a post-commit corruption. The plan only carries
+// the schedule — the harness applies it through raw cloud access once
+// recovery has converged, then asserts the verifier detects it.
+func (p *FaultPlan) ArmCorruption(c Corruption) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.corruptions = append(p.corruptions, c)
+}
+
+// Corruptions returns the armed post-commit corruptions, in arm order.
+func (p *FaultPlan) Corruptions() []Corruption {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Corruption(nil), p.corruptions...)
 }
 
 // OpFired reports how many op faults fired at op.

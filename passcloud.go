@@ -108,6 +108,13 @@ type Options struct {
 	// buckets, domains and meters — even inside one Region. Empty selects
 	// the default tenant. TenantUsage reads the per-tenant bill.
 	Tenant string
+	// DisableIntegrity turns off the tamper-evidence subsystem: no chain
+	// records are appended to flushed record sets and no Merkle
+	// checkpoints ride the writes. VerifyLineage and VerifyAll then
+	// report every subject as chain-missing. This is the op-count parity
+	// baseline; integrity adds zero cloud operations either way, since
+	// chains and checkpoints ride writes the architectures already issue.
+	DisableIntegrity bool
 }
 
 // Ref identifies one version of one object.
@@ -209,6 +216,9 @@ type Client struct {
 	// billing reads.
 	router      *shard.Router
 	shardClouds []*cloud.Cloud
+	// shardStores lists the per-shard stores in shard order (one entry
+	// when unsharded) for verification audits.
+	shardStores []shard.Store
 }
 
 // New builds a client with its own simulated AWS region. To share one

@@ -113,13 +113,15 @@ func newClientOn(cl *cloud.Cloud, opts Options) (*Client, error) {
 		return nil, err
 	}
 	c.store = st
+	c.shardStores = []shard.Store{st}
 	if daemon != nil {
 		c.daemons = append(c.daemons, daemon)
 	}
 	c.sys = pass.NewSystem(pass.Config{
-		Kernel:    opts.Kernel,
-		Namespace: opts.ClientID,
-		Flush:     core.Flusher(c.store),
+		Kernel:       opts.Kernel,
+		Namespace:    opts.ClientID,
+		Flush:        core.Flusher(c.store),
+		DisableChain: opts.DisableIntegrity,
 	})
 	return c, nil
 }
@@ -131,18 +133,20 @@ func newStoreOn(cl *cloud.Cloud, opts Options, clientID string) (shard.Store, *s
 	case S3Only:
 		st, err := s3only.New(s3only.Config{
 			Cloud: cl, Bucket: opts.Bucket, DisableQueryCache: opts.DisableQueryCache,
+			Writer: clientLabel(clientID), DisableIntegrity: opts.DisableIntegrity,
 		})
 		return st, nil, err
 	case S3SimpleDB:
 		st, err := s3sdb.New(s3sdb.Config{
 			Cloud: cl, Bucket: opts.Bucket, Domain: opts.Domain,
 			DisableQueryCache: opts.DisableQueryCache,
+			Writer:            clientLabel(clientID), DisableIntegrity: opts.DisableIntegrity,
 		})
 		return st, nil, err
 	case S3SimpleDBSQS:
 		st, err := s3sdbsqs.New(s3sdbsqs.Config{
 			Cloud: cl, Bucket: opts.Bucket, Domain: opts.Domain, ClientID: clientID,
-			DisableQueryCache: opts.DisableQueryCache,
+			DisableQueryCache: opts.DisableQueryCache, DisableIntegrity: opts.DisableIntegrity,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -195,10 +199,12 @@ func newShardedClient(m *cloud.Multi, opts Options) (*Client, error) {
 		c.store = r
 		c.router = r
 	}
+	c.shardStores = stores
 	c.sys = pass.NewSystem(pass.Config{
-		Kernel:    opts.Kernel,
-		Namespace: opts.ClientID,
-		Flush:     core.Flusher(c.store),
+		Kernel:       opts.Kernel,
+		Namespace:    opts.ClientID,
+		Flush:        core.Flusher(c.store),
+		DisableChain: opts.DisableIntegrity,
 	})
 	return c, nil
 }

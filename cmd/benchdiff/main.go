@@ -68,9 +68,10 @@ type report struct {
 			Shards  int    `json:"shards"`
 			ProvOps int64  `json:"prov_ops"`
 			Queries []struct {
-				Query   string `json:"query"`
-				Ops     int64  `json:"ops"`
-				Results int    `json:"results"`
+				Query   string  `json:"query"`
+				Ops     int64   `json:"ops"`
+				Results int     `json:"results"`
+				USD     float64 `json:"usd"`
 			} `json:"queries"`
 			VerifyOps   int64   `json:"verify_ops"`
 			VerifyUSD   float64 `json:"verify_usd"`
@@ -299,6 +300,7 @@ func main() {
 		type qcost struct {
 			ops     int64
 			results int
+			usd     float64
 		}
 		type rowView struct {
 			provOps   int64
@@ -312,7 +314,7 @@ func main() {
 			v := rowView{provOps: r.ProvOps, verifyOps: r.VerifyOps, verifyUSD: r.VerifyUSD,
 				clean: r.VerifyClean, queries: map[string]qcost{}}
 			for _, q := range r.Queries {
-				v.queries[q.Query] = qcost{q.Ops, q.Results}
+				v.queries[q.Query] = qcost{q.Ops, q.Results, q.USD}
 			}
 			newRows[rkey{r.Arch, r.Shards}] = v
 		}
@@ -348,6 +350,19 @@ func main() {
 					continue
 				}
 				check(name+"/"+q.Query+"/ops", q.Ops, nq.ops)
+				// The query bill gates like verifyusd: only once the old
+				// report carries a nonzero price, so a seeding run (old
+				// reports predating the field decode it as zero) passes.
+				if q.USD > 0 {
+					delta := (nq.usd - q.USD) / q.USD
+					status := "ok"
+					if delta > *tol {
+						status = "REGRESSION"
+						failed = true
+					}
+					fmt.Printf("%-40s old=$%-9.6f new=$%-9.6f delta=%+.2f%%  %s\n",
+						name+"/"+q.Query+"/usd", q.USD, nq.usd, 100*delta, status)
+				}
 				if nq.results != q.Results {
 					fmt.Printf("%-40s results %d -> %d  REGRESSION (answers changed)\n",
 						name+"/"+q.Query, q.Results, nq.results)

@@ -12,6 +12,7 @@
 //	passbench -load                     # scale-out matrix: 3 archs x 1/4/16 shards
 //	passbench -load -load-shards 1,8    # custom shard counts
 //	passbench -sharded                  # Tables 2/3 through the shard router + verification cost
+//	passbench -cpuprofile cpu.out -memprofile mem.out   # pprof profiles of the run
 //
 // The -load mode runs the sustained-load harness (internal/workload): an
 // open-loop multi-tenant generator against each architecture sharded
@@ -31,6 +32,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"passcloud/internal/cloud/billing"
@@ -98,7 +101,39 @@ func main() {
 	loadWriters := flag.Int("load-writers", 2, "concurrent writers per tenant for -load")
 	loadQueriers := flag.Int("load-queriers", 1, "concurrent queriers per tenant for -load")
 	loadBatches := flag.Int("load-batches", 40, "file closes per writer for -load")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("cpuprofile: %v", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	ctx := context.Background()
 	want := func(t string) bool { return *table == "all" || *table == t }

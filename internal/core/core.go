@@ -274,6 +274,28 @@ type GraphQuerier interface {
 	ProvenanceGraph(ctx context.Context) (*prov.Graph, error)
 }
 
+// RefPlanner is implemented by stores whose Explain simulation can also
+// predict the reference set a query's native plan would return, without
+// cloud traffic. The shard router uses it to drive distributed multi-hop
+// traversals in plan space: each BFS round's frontier is predicted per
+// shard and merged exactly the way the live fan-out merges entries, which
+// is what keeps Router.Explain's composed estimate equal to the metered
+// run.
+//
+// ok reports shape support, not answer accuracy: it is false when the
+// descriptor has no native indexed plan (shapes that fall back to a full
+// graph materialization), and true otherwise even if foreign writers have
+// made the client-side catalog stale — the accompanying QueryPlan's Exact
+// flag carries that caveat. Beyond the natively planned shapes,
+// implementations must support one virtual descriptor the router never
+// executes directly: {Refs, TraverseAncestors, Depth: 1, IncludeSeeds:
+// true, ProjectRefs, no other filters}, answering the raw union of the
+// pinned refs' direct inputs (the plan-space mirror of the router's
+// inputs-of-refs fan-out round).
+type RefPlanner interface {
+	PlanQueryRefs(q prov.Query) ([]prov.Ref, bool)
+}
+
 // ProvenanceGraph returns q's repository graph, preferring the store's own
 // (possibly cached) graph and falling back to materializing the streamed
 // scan. The result is shared: read-only.

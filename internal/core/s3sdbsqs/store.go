@@ -370,6 +370,12 @@ func (s *Store) Explain(q prov.Query) core.QueryPlan {
 	return p
 }
 
+// PlanQueryRefs implements core.RefPlanner: the SimpleDB layer's plan
+// simulation predicts the reference set q's native plan would return.
+func (s *Store) PlanQueryRefs(q prov.Query) ([]prov.Ref, bool) {
+	return s.layer.PlanQueryRefs(q)
+}
+
 // AllProvenance implements Q.1.
 //
 // Deprecated: build prov.Q1 and use Query.

@@ -341,3 +341,44 @@ func storedFilters(filters []prov.AttrFilter) []prov.AttrFilter {
 	}
 	return out
 }
+
+// PlanQueryRefs implements core.RefPlanner: the reference set Query(q)'s
+// native plan would return, predicted from the client-side planner catalog
+// without cloud traffic. ok is false for shapes with no native indexed
+// plan (the full-graph fallbacks) — for those the shard router keeps its
+// union-graph path. Predictions are best-effort when foreign writers have
+// touched the region; Explain's Exact flag carries that caveat.
+func (l *Layer) PlanQueryRefs(q prov.Query) ([]prov.Ref, bool) {
+	if err := q.Validate(); err != nil {
+		return nil, false
+	}
+	q.Limit, q.Cursor = 0, ""
+	if q.Direction == prov.TraverseAncestors {
+		// The one supported ancestor shape is the router's virtual
+		// inputs-of-refs round: the raw union of the pinned refs' direct
+		// inputs, read straight off the catalog's inline records. The
+		// layer itself answers ancestor queries from the materialized
+		// graph, so this descriptor is never executed here.
+		if len(q.Refs) == 0 || q.Depth != 1 || !q.IncludeSeeds || q.Tool != "" ||
+			q.RefPrefix != "" || len(q.AttrFilters()) > 0 || q.Projection != prov.ProjectRefs {
+			return nil, false
+		}
+		seen := make(map[prov.Ref]bool)
+		var out []prov.Ref
+		for _, r := range q.Refs {
+			for _, rec := range l.catalog.Records(r) {
+				if rec.Attr == prov.AttrInput && rec.Value.Kind == prov.KindRef && !seen[rec.Value.Ref] {
+					seen[rec.Value.Ref] = true
+					out = append(out, rec.Value.Ref)
+				}
+			}
+		}
+		prov.SortRefs(out)
+		return out, true
+	}
+	if l.graphFallback(q) {
+		return nil, false
+	}
+	sim := &planSim{l: l, p: &core.QueryPlan{}, mute: true}
+	return sim.refs(q), true
+}

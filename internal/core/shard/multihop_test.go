@@ -1,0 +1,321 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"passcloud/internal/core"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+)
+
+// canonicalEntries renders an evaluated entry slice in the same
+// comparison form canonical() renders a query stream, so router answers
+// can be checked against core.EvalQuery oracle output.
+func canonicalEntries(entries []core.Entry) string {
+	byRef := make(map[prov.Ref][]string)
+	var refs []prov.Ref
+	for _, e := range entries {
+		if _, ok := byRef[e.Ref]; !ok {
+			refs = append(refs, e.Ref)
+		}
+		for _, r := range e.Records {
+			byRef[e.Ref] = append(byRef[e.Ref], fmt.Sprintf("%s|%s|%s", r.Subject, r.Attr, r.Value.String()))
+		}
+	}
+	prov.SortRefs(refs)
+	var b strings.Builder
+	for _, ref := range refs {
+		lines := byRef[ref]
+		sort.Strings(lines)
+		fmt.Fprintf(&b, "%s :: %s\n", ref, strings.Join(lines, " ; "))
+	}
+	return b.String()
+}
+
+// writeEvent builds a minimal one-file flush event for cache-invalidation
+// probes.
+func writeEvent(obj prov.ObjectID) pass.FlushEvent {
+	ref := prov.Ref{Object: obj, Version: 1}
+	return pass.FlushEvent{
+		Ref:  ref,
+		Type: prov.TypeFile,
+		Data: []byte("x"),
+		Records: []prov.Record{
+			{Subject: ref, Attr: prov.AttrType, Value: prov.StringValue(prov.TypeFile)},
+			{Subject: ref, Attr: prov.AttrName, Value: prov.StringValue(string(obj))},
+		},
+	}
+}
+
+// TestMultihopIndexedPlans: on members that plan references client-side
+// (SimpleDB-backed), Q.2/Q.3-class descriptors must take the distributed
+// multi-hop strategy with indexed rounds — no step of any round may be a
+// repository Select scan (the union path's per-shard Q.1 marker). The
+// op/$ improvement over the scan floor is a scale property and is gated
+// at workload scale by the sharded cost matrix (internal/cost) and
+// benchdiff; this test pins the plan shape.
+func TestMultihopIndexedPlans(t *testing.T) {
+	ctx := context.Background()
+	batches := captureBatches(t)
+
+	multihopQueries := []prov.Query{
+		prov.QOutputsOf("blast"),            // Q.2 class
+		prov.QDescendantsOfOutputs("blast"), // Q.3 class
+		{Tool: "softmean", Type: prov.TypeFile, Direction: prov.TraverseDescendants, Depth: 2, Projection: prov.ProjectRefs},
+		{Refs: []prov.Ref{{Object: "/res/mean", Version: 2}}, Direction: prov.TraverseAncestors, Projection: prov.ProjectRefs},
+	}
+
+	t.Run("s3+sdb", func(t *testing.T) {
+		tg := buildTarget(t, "s3+sdb", 4, 23, true)
+		replay(t, ctx, tg, batches)
+		for i, q := range multihopQueries {
+			plan := tg.router.Explain(q)
+			if plan.Strategy != "multihop" {
+				t.Fatalf("query %d (%s): strategy %q, want multihop\n%s", i, q.Key(), plan.Strategy, plan)
+			}
+			if plan.EstOps <= 0 {
+				t.Errorf("query %d (%s): empty plan\n%s", i, q.Key(), plan)
+			}
+			for _, st := range plan.Steps {
+				if st.Op == "Select" {
+					t.Errorf("query %d (%s): multihop plan contains a Select scan step\n%s", i, q.Key(), plan)
+				}
+			}
+		}
+	})
+
+	t.Run("s3-keeps-union", func(t *testing.T) {
+		tg := buildTarget(t, "s3", 4, 23, true)
+		replay(t, ctx, tg, batches)
+		plan := tg.router.Explain(prov.QDescendantsOfOutputs("blast"))
+		if plan.Strategy != "union-graph" {
+			t.Fatalf("members without RefPlanner must keep the union graph, got %q", plan.Strategy)
+		}
+	})
+}
+
+// TestRouterGraphCacheInvalidation: repeated whole-graph queries on an
+// unchanged namespace must cost zero cloud ops (the router's union-graph
+// cache), and one write must invalidate exactly the written shard's
+// contribution — the others keep serving from the cache.
+func TestRouterGraphCacheInvalidation(t *testing.T) {
+	ctx := context.Background()
+	batches := captureBatches(t)
+	// Uncached members: any masking by per-shard snapshots is off, so the
+	// metered zeros below belong to the router cache alone.
+	tg := buildTarget(t, "s3", 4, 29, true)
+	replay(t, ctx, tg, batches)
+
+	anc := prov.Query{
+		Refs:       []prov.Ref{{Object: "/res/mean", Version: 2}},
+		Direction:  prov.TraverseAncestors,
+		Projection: prov.ProjectRefs,
+	}
+	run := func() int64 {
+		before := tg.totalOps()
+		for _, err := range tg.router.Query(ctx, anc) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tg.totalOps() - before
+	}
+
+	if cold := run(); cold <= 0 {
+		t.Fatalf("cold union-graph query metered %d ops, want > 0", cold)
+	}
+	plan := tg.router.Explain(anc)
+	if !plan.Cached || plan.EstOps != 0 {
+		t.Fatalf("warm router cache not predicted: %s", plan)
+	}
+	if warm := run(); warm != 0 {
+		t.Fatalf("repeated query on an unchanged namespace metered %d ops, want 0", warm)
+	}
+
+	// One write: exactly one shard's contribution refetches.
+	obj := prov.ObjectID("/post/gcache")
+	hot := tg.router.ShardFor(obj)
+	if err := tg.store.PutBatch(ctx, []pass.FlushEvent{writeEvent(obj)}); err != nil {
+		t.Fatal(err)
+	}
+	plan = tg.router.Explain(anc)
+	if plan.Cached {
+		t.Fatalf("plan still claims cached after a write: %s", plan)
+	}
+	perShardBefore := make([]int64, len(tg.clouds))
+	for i, cl := range tg.clouds {
+		perShardBefore[i] = cl.Usage().TotalOps()
+	}
+	for _, err := range tg.router.Query(ctx, anc) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var metered int64
+	for i, cl := range tg.clouds {
+		delta := cl.Usage().TotalOps() - perShardBefore[i]
+		metered += delta
+		if i == hot && delta == 0 {
+			t.Errorf("written shard %d served from the stale cached contribution", i)
+		}
+		if i != hot && delta != 0 {
+			t.Errorf("unwritten shard %d refetched (%d ops) after a foreign-shard write", i, delta)
+		}
+	}
+	if plan.EstOps != metered {
+		t.Errorf("post-write plan predicted %d ops, metered %d\n%s", plan.EstOps, metered, plan)
+	}
+	if again := run(); again != 0 {
+		t.Fatalf("query after the refetch metered %d ops, want 0 (cache re-pinned)", again)
+	}
+}
+
+// TestExplainReevalLabel: a cursor whose pin was evicted at an unchanged
+// generation re-evaluates; its plan's strategy must carry the
+// "pinned-reeval/" prefix so passctl output is unambiguous about which
+// path ran.
+func TestExplainReevalLabel(t *testing.T) {
+	ctx := context.Background()
+	batches := captureBatches(t)
+	tg := buildTarget(t, "s3+sdb", 4, 31, false)
+	replay(t, ctx, tg, batches)
+
+	paged := prov.QDescendantsOfOutputs("blast")
+	paged.Limit = 1
+	_, cursor := collectPage(t, ctx, tg.querier(), paged)
+	if cursor == "" {
+		t.Fatal("expected a truncated first page")
+	}
+
+	// Evict the pin: the pin pool holds a bounded number of evaluations,
+	// so enough distinct paginated descriptors push the first one out.
+	for i := 0; i < 12; i++ {
+		evict := prov.Query{RefPrefix: fmt.Sprintf("/data/in%d", i%6), Type: prov.TypeFile, Projection: prov.ProjectRefs, Limit: 1}
+		if i >= 6 {
+			evict.RefPrefix = fmt.Sprintf("/out/blast%d", i%6)
+		}
+		collectPage(t, ctx, tg.querier(), evict)
+	}
+
+	resume := paged
+	resume.Cursor = cursor
+	plan := tg.router.Explain(resume)
+	if !strings.HasPrefix(plan.Strategy, "pinned-reeval/") {
+		t.Fatalf("evicted-cursor plan strategy %q lacks the pinned-reeval/ prefix\n%s", plan.Strategy, plan)
+	}
+	fresh := tg.router.Explain(paged)
+	if plan.Strategy == fresh.Strategy {
+		t.Fatalf("re-evaluation plan indistinguishable from a fresh query's (%q)", fresh.Strategy)
+	}
+}
+
+// TestMultihopRandomizedOracle is the cross-shard equivalence oracle: a
+// seeded generator drives descriptors — multi-hop traversals included —
+// through routers of every architecture at 1/4/16 shards, and every
+// answer must match core.EvalQuery on the union graph. A final phase
+// checks pinned-cursor stability: a page sequence started before a
+// mid-traversal write must return exactly the pre-write evaluation.
+func TestMultihopRandomizedOracle(t *testing.T) {
+	ctx := context.Background()
+	batches := captureBatches(t)
+
+	tools := []string{"blast", "sort", "softmean", "missing"}
+	types := []string{prov.TypeFile, prov.TypeProcess, ""}
+	prefixes := []string{"", "/out/", "/data/", "/res/mean:", "/nope/"}
+	refPool := []prov.Ref{
+		{Object: "/out/blast0", Version: 1}, {Object: "/out/blast0", Version: 2},
+		{Object: "/res/mean", Version: 1}, {Object: "/res/mean", Version: 2},
+		{Object: "/data/in2", Version: 1}, {Object: "/ghost", Version: 7},
+	}
+
+	for _, arch := range []string{"s3", "s3+sdb", "s3+sdb+sqs"} {
+		for _, shards := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("%s/x%d", arch, shards), func(t *testing.T) {
+				flat := buildTarget(t, arch, 1, 2027, false)
+				sharded := buildTarget(t, arch, shards, 2027, false)
+				replay(t, ctx, flat, batches)
+				replay(t, ctx, sharded, batches)
+				g, err := core.ProvenanceGraph(ctx, flat.querier())
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				rng := sim.NewRNG(int64(7001 + shards))
+				randomQuery := func() prov.Query {
+					q := prov.Query{}
+					if rng.Intn(3) == 0 {
+						q.Tool = tools[rng.Intn(len(tools))]
+					}
+					q.Type = types[rng.Intn(len(types))]
+					if rng.Intn(3) == 0 {
+						q.Attrs = append(q.Attrs, prov.AttrFilter{Attr: prov.AttrName, Value: tools[rng.Intn(len(tools))]})
+					}
+					q.RefPrefix = prefixes[rng.Intn(len(prefixes))]
+					if rng.Intn(3) == 0 {
+						n := 1 + rng.Intn(2)
+						for i := 0; i < n; i++ {
+							q.Refs = append(q.Refs, refPool[rng.Intn(len(refPool))])
+						}
+					}
+					switch rng.Intn(3) {
+					case 1:
+						q.Direction = prov.TraverseDescendants
+					case 2:
+						q.Direction = prov.TraverseAncestors
+					}
+					if q.Direction != prov.TraverseNone {
+						q.Depth = rng.Intn(4)
+						q.IncludeSeeds = rng.Intn(2) == 0
+					}
+					if rng.Intn(2) == 0 {
+						q.Projection = prov.ProjectRefs
+					}
+					return q
+				}
+
+				for i := 0; i < 40; i++ {
+					q := randomQuery()
+					if q.Validate() != nil {
+						continue
+					}
+					want := canonicalEntries(core.EvalQuery(g, q))
+					got := canonical(t, ctx, sharded.querier(), q)
+					if want != got {
+						t.Fatalf("random query %d (%s):\noracle:\n%s\nsharded:\n%s", i, q.Key(), want, got)
+					}
+				}
+
+				// Mid-traversal write under a pinned cursor: the page
+				// sequence must serve the pre-write evaluation, while the
+				// write lands normally for fresh queries.
+				paged := prov.QDescendantsOfOutputs("blast")
+				paged.Limit = 2
+				stripped := paged
+				stripped.Limit = 0
+				var wantRefs []prov.Ref
+				for _, e := range core.EvalQuery(g, stripped) {
+					wantRefs = append(wantRefs, e.Ref)
+				}
+				got, cursor := collectPage(t, ctx, sharded.querier(), paged)
+				if err := sharded.store.PutBatch(ctx, []pass.FlushEvent{writeEvent("/mid/write")}); err != nil {
+					t.Fatal(err)
+				}
+				for cursor != "" {
+					next := paged
+					next.Cursor = cursor
+					var page []prov.Ref
+					page, cursor = collectPage(t, ctx, sharded.querier(), next)
+					got = append(got, page...)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(wantRefs) {
+					t.Fatalf("pinned page sequence diverged from the pre-write evaluation:\ngot:  %v\nwant: %v", got, wantRefs)
+				}
+			})
+		}
+	}
+}

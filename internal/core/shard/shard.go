@@ -21,12 +21,18 @@
 // single-hop descendant traversals seeded by record-free filters (the
 // Dependents idiom) — run each shard's native plan and merge the
 // streams. Descriptors that need edges from more than one shard (tool
-// queries, multi-hop lineage, ancestor walks) materialize the union
-// graph — each shard's Q.1 stream, served from its warm snapshot at
-// zero cloud ops — and evaluate with the shared reference evaluator, so
-// results are identical to an unsharded store holding the union of the
-// data. Explain composes honestly either way: the fan-in plan is the sum
-// of the per-shard plans the router will actually run.
+// queries, multi-hop lineage, pinned ancestor walks) run the distributed
+// multi-hop planner when every member can plan references client-side
+// (core.RefPlanner): seeds resolve on their home shards via native plans,
+// then each BFS level fans one dependents-of-refs (or inputs-of-refs)
+// descriptor to all shards and merges frontiers — per-level indexed
+// pricing instead of per-shard scans. The remaining whole-graph shapes
+// evaluate on the union graph, which the router caches under the member
+// stamps with per-shard invalidation: repeated sweeps on an unchanged
+// namespace cost zero cloud ops and no rebuild, and one write refetches
+// only the written shard's contribution. Explain composes honestly on
+// every path: the plan is the sum of the per-shard plans — round by
+// round, on the multi-hop path — the router will actually run.
 package shard
 
 import (
@@ -79,11 +85,22 @@ type Router struct {
 
 	ring []ringPoint
 
+	// refPlanned records whether every member implements core.RefPlanner,
+	// the capability the distributed multi-hop planner needs to compose
+	// Explain round by round. Mixed or incapable member sets keep the
+	// union-graph path for non-distributable descriptors.
+	refPlanned bool
+
 	// pins retains paginated queries' evaluated result sets; cursors bind
 	// to the concatenation of the member stamps, so a write to any shard
 	// moves fresh queries to a new generation while resident pins keep
 	// serving in-flight page sequences.
 	pins core.Pins
+
+	// gcache retains the union graph between whole-graph evaluations,
+	// keyed by per-shard stamps so one shard's write invalidates only that
+	// shard's contribution.
+	gcache graphCache
 
 	// mu serializes Sync against itself (member Syncs are already safe;
 	// this just keeps marker sequences deterministic under concurrent
@@ -111,6 +128,13 @@ func New(cfg Config) (*Router, error) {
 		fanout = len(cfg.Shards)
 	}
 	r := &Router{shards: cfg.Shards, fanout: fanout}
+	r.refPlanned = true
+	for _, s := range cfg.Shards {
+		if _, ok := s.(core.RefPlanner); !ok {
+			r.refPlanned = false
+			break
+		}
+	}
 	r.ring = make([]ringPoint, 0, len(cfg.Shards)*vnodes)
 	for i := range cfg.Shards {
 		for v := 0; v < vnodes; v++ {
@@ -401,12 +425,37 @@ func (r *Router) Query(ctx context.Context, q prov.Query) iter.Seq2[core.Entry, 
 	}
 }
 
-// evalAll materializes one non-paginated evaluation: the distributed
-// fan-in when the descriptor is shard-local, the union-graph evaluation
-// otherwise. Results are ref-sorted with one entry per ref.
-func (r *Router) evalAll(ctx context.Context, q prov.Query) ([]core.Entry, error) {
+// Router query strategies, in preference order: the single-round fan-in
+// for shard-local descriptors, the distributed multi-hop planner for
+// traversals every member can plan natively, the (cached) union graph
+// for whole-repository shapes.
+const (
+	planFanIn      = "fanout"
+	planMultihop   = "multihop"
+	planUnionGraph = "union-graph"
+)
+
+// strategyFor picks the evaluation strategy for a non-paginated
+// descriptor. Query and Explain both route through it, so the plan always
+// describes the path the run takes.
+func (r *Router) strategyFor(q prov.Query) string {
 	if distributable(q) {
+		return planFanIn
+	}
+	if r.refPlanned && multihopEligible(q) {
+		return planMultihop
+	}
+	return planUnionGraph
+}
+
+// evalAll materializes one non-paginated evaluation under the strategy
+// strategyFor picks. Results are ref-sorted with one entry per ref.
+func (r *Router) evalAll(ctx context.Context, q prov.Query) ([]core.Entry, error) {
+	switch r.strategyFor(q) {
+	case planFanIn:
 		return r.fanIn(ctx, q)
+	case planMultihop:
+		return r.runMultihop(ctx, q)
 	}
 	g, err := r.unionGraph(ctx)
 	if err != nil {
@@ -433,7 +482,11 @@ func (r *Router) fanIn(ctx context.Context, q prov.Query) ([]core.Entry, error) 
 	if err != nil {
 		return nil, err
 	}
-	merged := newEntryMerger()
+	total := 0
+	for _, entries := range perShard {
+		total += len(entries)
+	}
+	merged := newEntryMergerCap(total)
 	for _, entries := range perShard {
 		for _, e := range entries {
 			merged.add(e)
@@ -468,6 +521,12 @@ func newEntryMerger() *entryMerger {
 	return &entryMerger{idx: make(map[prov.Ref]int)}
 }
 
+// newEntryMergerCap pre-sizes the merger for a known upper bound of
+// distinct refs, so wide fan-ins fold without rehash/regrow churn.
+func newEntryMergerCap(n int) *entryMerger {
+	return &entryMerger{idx: make(map[prov.Ref]int, n), entries: make([]core.Entry, 0, n)}
+}
+
 func (m *entryMerger) add(e core.Entry) {
 	if j, ok := m.idx[e.Ref]; ok {
 		m.entries[j].Records = append(m.entries[j].Records, e.Records...)
@@ -477,14 +536,60 @@ func (m *entryMerger) add(e core.Entry) {
 	m.entries = append(m.entries, e)
 }
 
+// graphCache retains the union graph between whole-graph evaluations.
+// Each shard's Q.1 contribution is pinned under the stamp the shard
+// reported when it was fetched; a member write moves that shard's stamp
+// and invalidates exactly its contribution. An unchanged namespace
+// therefore answers repeated union-graph queries at zero cloud ops
+// without re-merging records client-side.
+type graphCache struct {
+	mu      sync.Mutex
+	fetched []bool
+	stamps  []string
+	parts   [][]prov.Record
+	graph   *prov.Graph
+}
+
+// validFor reports whether shard i's cached contribution is current at
+// stamp — and the merged graph exists, so a union-graph query would serve
+// that contribution without touching the shard.
+func (c *graphCache) validFor(i int, stamp string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.graph != nil && i < len(c.fetched) && c.fetched[i] && c.stamps[i] == stamp
+}
+
 // unionGraph materializes every shard's provenance into one graph by
-// draining each shard's Q.1 stream — served from the shard's warm
-// snapshot at zero cloud ops, a full native pass otherwise (exactly what
-// the shard's Explain of Q.1 predicts). The returned graph is freshly
-// built and owned by the caller.
+// draining each shard's Q.1 stream — served from the router's own graph
+// cache when the shard's stamp is unchanged (zero cloud ops), from the
+// shard's warm snapshot when it has one, and by a full native pass
+// otherwise (exactly what the composite Explain predicts). The returned
+// graph is shared and must be treated as read-only.
 func (r *Router) unionGraph(ctx context.Context) (*prov.Graph, error) {
-	perShard := make([][]prov.Record, len(r.shards))
-	err := core.RunLimited(ctx, len(r.shards), r.fanout, func(i int) error {
+	c := &r.gcache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fetched == nil {
+		c.fetched = make([]bool, len(r.shards))
+		c.stamps = make([]string, len(r.shards))
+		c.parts = make([][]prov.Record, len(r.shards))
+	}
+	// Sample stamps before fetching: a write landing mid-fetch leaves the
+	// recorded stamp older than the data, so the next call conservatively
+	// refetches that shard.
+	stale := make([]int, 0, len(r.shards))
+	cur := make([]string, len(r.shards))
+	for i, s := range r.shards {
+		cur[i] = s.StampToken()
+		if !c.fetched[i] || c.stamps[i] != cur[i] {
+			stale = append(stale, i)
+		}
+	}
+	if len(stale) == 0 && c.graph != nil {
+		return c.graph, nil
+	}
+	err := core.RunLimited(ctx, len(stale), r.fanout, func(k int) error {
+		i := stale[k]
 		var records []prov.Record
 		for e, err := range r.shards[i].Query(ctx, prov.Q1()) {
 			if err != nil {
@@ -492,63 +597,94 @@ func (r *Router) unionGraph(ctx context.Context) (*prov.Graph, error) {
 			}
 			records = append(records, e.Records...)
 		}
-		perShard[i] = records
+		c.parts[i] = records
 		return nil
 	})
 	if err != nil {
+		// A partial refetch leaves unknown staleness behind; drop the
+		// merged graph so the next call starts from the per-shard marks.
+		c.graph = nil
+		for _, i := range stale {
+			c.fetched[i] = false
+		}
 		return nil, err
 	}
+	for _, i := range stale {
+		c.fetched[i] = true
+		c.stamps[i] = cur[i]
+	}
 	g := prov.NewGraph()
-	for _, records := range perShard {
+	for _, records := range c.parts {
 		g.AddAll(records)
 	}
+	c.graph = g
 	return g, nil
 }
 
 // ProvenanceGraph implements core.GraphQuerier: the union of every
-// shard's graph.
+// shard's graph, served from the router's graph cache when the member
+// stamps are unchanged. The result is shared: read-only.
 func (r *Router) ProvenanceGraph(ctx context.Context) (*prov.Graph, error) {
 	return r.unionGraph(ctx)
 }
 
-// Explain implements core.Querier: the fan-in plan is the sum of the
-// per-shard plans the router will actually run — each shard's native plan
-// for the descriptor on the distributed path, each shard's Q.1 plan on
-// the union-graph path — with identical operation classes merged across
-// shards. Cached and Exact hold only when they hold on every shard.
+// Explain implements core.Querier: the plan is the sum of the per-shard
+// plans the router will actually run — each shard's native plan for the
+// descriptor on the fan-out path, round-by-round composed plans on the
+// distributed multi-hop path, each shard's Q.1 plan (or its cached
+// router-snapshot contribution) on the union-graph path — with identical
+// operation classes merged across shards within each round. Cached and
+// Exact hold only when they hold on every shard. A paginated descriptor
+// whose pin was evicted at an unchanged generation re-evaluates; its
+// strategy carries a "pinned-reeval/" prefix so the output is
+// distinguishable from a fresh query's plan.
 func (r *Router) Explain(q prov.Query) core.QueryPlan {
 	p := core.QueryPlan{Arch: r.Name(), Exact: true}
 	if err := q.Validate(); err != nil {
 		p.Strategy = "invalid"
 		return p
 	}
+	reeval := false
 	if q.Cursor != "" {
 		if core.ExplainCursor(&p, q, &r.pins, r.StampToken()) {
 			return p
 		}
 		// Evicted pin at an unchanged composite stamp: fall through and
 		// cost the re-evaluation.
+		reeval = true
 	}
 	stripped := q
 	stripped.Limit, stripped.Cursor = 0, ""
 
-	var note string
-	plans := make([]core.QueryPlan, len(r.shards))
-	if distributable(stripped) {
-		p.Strategy = "fanout"
-		note = "per-shard native plans, ref-sorted fan-in merge"
+	strategy := r.strategyFor(stripped)
+	p.Strategy = strategy
+	switch strategy {
+	case planFanIn:
+		p.AddStep("-", strategy, 0, fmt.Sprintf("%d shards: per-shard native plans, ref-sorted fan-in merge", len(r.shards)))
+		plans := make([]core.QueryPlan, len(r.shards))
 		for i, s := range r.shards {
 			plans[i] = s.Explain(stripped)
 		}
-	} else {
-		p.Strategy = "union-graph"
-		note = "materialize every shard's provenance (Q.1 per shard), evaluate on the union graph"
+		mergePlans(&p, plans)
+	case planMultihop:
+		p.AddStep("-", strategy, 0, fmt.Sprintf("%d shards: seeds via native plans, then one indexed fan-out round per BFS level", len(r.shards)))
+		r.explainMultihop(&p, stripped)
+	default:
+		p.AddStep("-", strategy, 0, fmt.Sprintf("%d shards: materialize every shard's provenance (Q.1 per shard, cached contributions free), evaluate on the union graph", len(r.shards)))
+		plans := make([]core.QueryPlan, len(r.shards))
 		for i, s := range r.shards {
+			if r.gcache.validFor(i, s.StampToken()) {
+				plans[i] = core.QueryPlan{Cached: true, Exact: true}
+				plans[i].AddStep("-", "router-snapshot", 0, "shard contribution cached at its current stamp: zero cloud ops")
+				continue
+			}
 			plans[i] = s.Explain(prov.Q1())
 		}
+		mergePlans(&p, plans)
 	}
-	p.AddStep("-", p.Strategy, 0, fmt.Sprintf("%d shards: %s", len(r.shards), note))
-	mergePlans(&p, plans)
+	if reeval {
+		p.Strategy = "pinned-reeval/" + p.Strategy
+	}
 	if q.Limit > 0 {
 		p.AddStep("-", "paginate", 0, "first page evaluates fully, sorts and pins; later pages are free")
 	}
@@ -559,6 +695,17 @@ func (r *Router) Explain(q prov.Query) core.QueryPlan {
 // same (service, op) sum their counts, pushdown expressions deduplicate,
 // and the composite is cached/exact only if every member is.
 func mergePlans(p *core.QueryPlan, plans []core.QueryPlan) {
+	cached := foldPlans(p, plans)
+	p.Cached = cached && p.EstOps == 0
+}
+
+// foldPlans merges one round of per-shard plans into the composite
+// without settling the composite's Cached bit, so multi-round plans can
+// fold several rounds and AND the results: steps with the same (service,
+// op) sum their counts, pushdown expressions deduplicate, Exact holds
+// only if every member is exact. Returns whether every member plan was
+// cached.
+func foldPlans(p *core.QueryPlan, plans []core.QueryPlan) bool {
 	type key struct{ service, op string }
 	order := make([]key, 0, 8)
 	steps := make(map[key]core.PlanStep)
@@ -588,7 +735,7 @@ func mergePlans(p *core.QueryPlan, plans []core.QueryPlan) {
 		st := steps[k]
 		p.AddStep(st.Service, st.Op, st.Count, st.Note)
 	}
-	p.Cached = cached && p.EstOps == 0
+	return cached
 }
 
 var (

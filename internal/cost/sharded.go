@@ -20,11 +20,15 @@ import (
 )
 
 // ShardedQueryCost is one query class metered through the shard router.
+// USD prices the query's metered delta (requests plus transfer; storage
+// does not move under a read) at January-2009 rates, so the multi-hop
+// planner's op savings on Q.2/Q.3 show up as dollars too.
 type ShardedQueryCost struct {
-	Query   string `json:"query"`
-	Ops     int64  `json:"ops"`
-	DataOut int64  `json:"data_out"`
-	Results int    `json:"results"`
+	Query   string  `json:"query"`
+	Ops     int64   `json:"ops"`
+	DataOut int64   `json:"data_out"`
+	Results int     `json:"results"`
+	USD     float64 `json:"usd"`
 }
 
 // ShardedRow is one (architecture, shard count) cell of the sharded cost
@@ -282,6 +286,7 @@ func (h *Harness) shardedRun(ctx context.Context, arch string, n int) (*ShardedR
 				Ops:     after.TotalOps() - before.TotalOps(),
 				DataOut: totalOut(after) - totalOut(before),
 				Results: results,
+				USD:     billing.Jan2009.Price(after.Sub(before)).Total(),
 			})
 		}
 	}
@@ -317,20 +322,24 @@ func (h *Harness) shardedRun(ctx context.Context, arch string, n int) (*ShardedR
 func (t *ShardedCosts) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Sharded cost matrix (scale %.2f, seed %d): combined workload through the shard router\n", t.Scale, t.Seed)
-	fmt.Fprintf(&b, "%-12s %7s %12s %12s %10s %10s %10s %11s %10s\n",
-		"arch", "shards", "prov-bytes", "prov-ops", "Q.1-ops", "Q.2-ops", "Q.3-ops", "verify-ops", "verify-$")
+	fmt.Fprintf(&b, "%-12s %7s %12s %12s %10s %10s %10s %10s %10s %11s %10s\n",
+		"arch", "shards", "prov-bytes", "prov-ops", "Q.1-ops", "Q.2-ops", "Q.3-ops", "Q.2-$", "Q.3-$", "verify-ops", "verify-$")
 	for _, r := range t.Rows {
 		qops := map[string]string{"Q.1": "-", "Q.2": "-", "Q.3": "-"}
+		qusd := map[string]string{"Q.2": "-", "Q.3": "-"}
 		for _, q := range r.Queries {
 			qops[q.Query] = fmt.Sprintf("%d", q.Ops)
+			if q.Query != "Q.1" {
+				qusd[q.Query] = fmt.Sprintf("%.6f", q.USD)
+			}
 		}
 		clean := ""
 		if !r.VerifyClean {
 			clean = "  DIVERGED"
 		}
-		fmt.Fprintf(&b, "%-12s %7d %12s %12d %10s %10s %10s %11d %10.4f%s\n",
+		fmt.Fprintf(&b, "%-12s %7d %12s %12d %10s %10s %10s %10s %10s %11d %10.4f%s\n",
 			r.Arch, r.Shards, fmtBytes(r.ProvBytes), r.ProvOps,
-			qops["Q.1"], qops["Q.2"], qops["Q.3"], r.VerifyOps, r.VerifyUSD, clean)
+			qops["Q.1"], qops["Q.2"], qops["Q.3"], qusd["Q.2"], qusd["Q.3"], r.VerifyOps, r.VerifyUSD, clean)
 	}
 	fmt.Fprintf(&b, "verification coverage: per-row subjects/records audited ride the JSON report (verify_subjects, verify_records)\n")
 	return b.String()

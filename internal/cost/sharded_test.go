@@ -73,6 +73,10 @@ func TestShardedCostsSmall(t *testing.T) {
 			t.Fatalf("%s x%d: got %d query rows, want 3", r.Arch, r.Shards, len(r.Queries))
 		}
 		for _, q := range r.Queries {
+			if q.Ops > 0 && q.USD <= 0 {
+				t.Errorf("%s x%d %s: %d metered ops priced at $%.9f; query deltas must carry a positive Jan-2009 bill",
+					r.Arch, r.Shards, q.Query, q.Ops, q.USD)
+			}
 			if prev, ok := results[r.Arch][q.Query]; ok {
 				if prev != q.Results {
 					t.Errorf("%s %s: results changed across shard counts: %d vs %d",

@@ -62,6 +62,22 @@ type report struct {
 			Throughput float64 `json:"throughput_eps"`
 		} `json:"runs"`
 	} `json:"load"`
+	Rebalance *struct {
+		Writers     int     `json:"writers"`
+		Batches     int     `json:"batches"`
+		Seed        int64   `json:"seed"`
+		Shards      int     `json:"shards"`
+		HotFraction float64 `json:"hot_fraction"`
+		Runs        []struct {
+			Arch         string  `json:"arch"`
+			Action       string  `json:"action"`
+			PreHotShare  float64 `json:"pre_hot_share"`
+			PostHotShare float64 `json:"post_hot_share"`
+			MigOps       int64   `json:"mig_ops"`
+			MigBytes     int64   `json:"mig_bytes"`
+			MigUSD       float64 `json:"mig_usd"`
+		} `json:"runs"`
+	} `json:"rebalance"`
 	Sharded *struct {
 		Rows []struct {
 			Arch    string `json:"arch"`
@@ -278,6 +294,68 @@ func main() {
 					}
 					fmt.Printf("%-40s old=%-8.0f new=%-8.0f delta=%+.2f%%  %s\n",
 						name+"/eps", r.Throughput, nr.eps, -100*drop, status)
+				}
+			}
+		}
+	}
+
+	// Rebalance (elastic resharding): the controller must keep splitting
+	// hot shards, the post-split hot share must not creep back up, and
+	// the migration's own cost (ops and dollars) must not regress. Same
+	// vanished-section rule as every other gate.
+	if oldRep.Rebalance != nil && newRep.Rebalance == nil {
+		fmt.Printf("%-40s missing in new report  REGRESSION\n", "rebalance/(all)")
+		failed = true
+	}
+	if oldRep.Rebalance != nil && newRep.Rebalance != nil {
+		o, n := oldRep.Rebalance, newRep.Rebalance
+		if o.Writers != n.Writers || o.Batches != n.Batches || o.Seed != n.Seed ||
+			o.Shards != n.Shards || o.HotFraction != n.HotFraction {
+			fmt.Println("benchdiff: rebalance configs not comparable; skipping rebalance gate")
+		} else {
+			type rrun struct {
+				action string
+				post   float64
+				migOps int64
+				migUSD float64
+			}
+			newRuns := map[string]rrun{}
+			for _, r := range n.Runs {
+				newRuns[r.Arch] = rrun{r.Action, r.PostHotShare, r.MigOps, r.MigUSD}
+			}
+			for _, r := range o.Runs {
+				name := "rebalance/" + r.Arch
+				nr, ok := newRuns[r.Arch]
+				if !ok {
+					fmt.Printf("%-40s missing in new report  REGRESSION\n", name)
+					failed = true
+					continue
+				}
+				if r.Action == "split" && nr.action != "split" {
+					fmt.Printf("%-40s action %q -> %q  REGRESSION (hot shard no longer detected)\n",
+						name, r.Action, nr.action)
+					failed = true
+				}
+				if r.PostHotShare > 0 {
+					delta := (nr.post - r.PostHotShare) / r.PostHotShare
+					status := "ok"
+					if delta > *tol {
+						status = "REGRESSION"
+						failed = true
+					}
+					fmt.Printf("%-40s old=%-8.3f new=%-8.3f delta=%+.2f%%  %s\n",
+						name+"/posthotshare", r.PostHotShare, nr.post, 100*delta, status)
+				}
+				check(name+"/migops", r.MigOps, nr.migOps)
+				if r.MigUSD > 0 {
+					delta := (nr.migUSD - r.MigUSD) / r.MigUSD
+					status := "ok"
+					if delta > *tol {
+						status = "REGRESSION"
+						failed = true
+					}
+					fmt.Printf("%-40s old=$%-9.6f new=$%-9.6f delta=%+.2f%%  %s\n",
+						name+"/migusd", r.MigUSD, nr.migUSD, 100*delta, status)
 				}
 			}
 		}

@@ -11,6 +11,7 @@
 //	passbench -json > BENCH_run.json    # machine-readable, for trajectory tracking
 //	passbench -load                     # scale-out matrix: 3 archs x 1/4/16 shards
 //	passbench -load -load-shards 1,8    # custom shard counts
+//	passbench -load-rebalance           # elastic resharding: skewed load -> split -> replay
 //	passbench -sharded                  # Tables 2/3 through the shard router + verification cost
 //	passbench -cpuprofile cpu.out -memprofile mem.out   # pprof profiles of the run
 //
@@ -67,6 +68,11 @@ type report struct {
 	// Load is the scale-out matrix (-load): sustained-load throughput per
 	// architecture and shard count.
 	Load *loadReportJSON `json:"load,omitempty"`
+	// Rebalance is the elastic-resharding measurement (-load-rebalance):
+	// hot-shard op shares before and after the migration controller's
+	// split, plus the migration's own metered cost. benchdiff gates the
+	// post-split share and the migration cost.
+	Rebalance *rebalanceReportJSON `json:"rebalance,omitempty"`
 	// Sharded is the sharded cost matrix (-sharded): the Tables 2/3
 	// workloads through the shard router at each shard count, plus the
 	// ops and dollars a full tamper-evidence audit of each namespace
@@ -94,6 +100,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON report on stdout instead of the text tables")
 	qcacheOn := flag.Bool("qcache", false, "enable the query snapshot cache; Table 3 adds Q.n+ repeat rows, and base rows after the first query may be warm too (classes share the snapshot) — omit for the paper's cold costs")
 	load := flag.Bool("load", false, "run the sustained-load scale-out matrix (all architectures at every -load-shards count)")
+	rebalance := flag.Bool("load-rebalance", false, "run the elastic-resharding rebalance bench: skewed load, hot-shard detection + split, replayed load (all architectures at 4 shards)")
 	loadShards := flag.String("load-shards", "1,4,16", "comma-separated shard counts for -load")
 	sharded := flag.Bool("sharded", false, "run the sharded cost matrix: Tables 2/3 workloads through the shard router plus verification cost, at every -shard-counts count")
 	shardCounts := flag.String("shard-counts", "1,4,16", "comma-separated shard counts for -sharded")
@@ -260,6 +267,20 @@ func main() {
 		rep.Load = lrep
 		if !*jsonOut {
 			fmt.Println(lrep.text())
+		}
+	}
+
+	if *rebalance {
+		cfg := workload.LoadConfig{
+			Writers: *loadWriters, Batches: *loadBatches, Seed: *seed,
+		}
+		rrep, err := runRebalanceMatrix(ctx, cfg)
+		if err != nil {
+			log.Fatalf("rebalance: %v", err)
+		}
+		rep.Rebalance = rrep
+		if !*jsonOut {
+			fmt.Println(rrep.text())
 		}
 	}
 

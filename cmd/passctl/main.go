@@ -33,11 +33,23 @@
 //	query [flags]                composable Query API v2 (see below)
 //	verify                       tamper-evidence audit of the whole namespace
 //	verify PATH                  verify one object's hash-chained lineage
+//	reshard OP [ARGS]            elastic resharding (sharded sessions; see below)
 //	usage                        the cloud bill so far
 //
 // The -shards N flag routes the session across N sharded namespaces and
 // -tenant KEY bills it under a tenant key; `verify` then audits every
 // shard and composes the per-shard Merkle roots into the namespace root.
+//
+// The reshard command drives the live migration controller, as a script
+// command and as a subcommand (`passctl -shards 4 reshard -script
+// setup.txt split 0 1`):
+//
+//	reshard status               journal phase, ring epoch, op shares
+//	reshard baseline             sample the per-shard meters for detection
+//	reshard split SRC [DST]      shed half of SRC's ring points (verified cutover)
+//	reshard merge SRC [DST]      drain all of SRC's ring points
+//	reshard rebalance            one reconciliation pass (auto split if hot)
+//	reshard recover              complete an interrupted migration
 //
 // The query command drives the composable v2 API, both as a script command
 // and as a subcommand (`passctl query -script setup.txt -tool blast`; the
@@ -100,6 +112,12 @@ func main() {
 		}
 		return
 	}
+	if len(args) > 0 && args[0] == "reshard" {
+		if err := runReshardSubcommand(client, args[1:], os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if len(args) > 0 {
@@ -113,6 +131,107 @@ func main() {
 	if err := run(client, in, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runReshardSubcommand mirrors the query subcommand: populate from
+// -script (or stdin), then run one reshard operation.
+func runReshardSubcommand(client *passcloud.Client, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("reshard", flag.ContinueOnError)
+	script := fs.String("script", "", "setup script to run first (default: stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := io.Reader(os.Stdin)
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(client, in, io.Discard); err != nil {
+		return err
+	}
+	return execReshard(client, fs.Args(), out)
+}
+
+// execReshard runs one reshard operation: status, baseline, split,
+// merge, rebalance or recover.
+func execReshard(client *passcloud.Client, args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("reshard: want status | baseline | split SRC [DST] | merge SRC [DST] | rebalance | recover")
+	}
+	rs, err := client.Resharder()
+	if err != nil {
+		return err
+	}
+	pair := func() (int, int, error) {
+		if len(args) < 2 {
+			return 0, 0, fmt.Errorf("reshard %s needs a source shard", args[0])
+		}
+		src, err := strconv.Atoi(args[1])
+		if err != nil {
+			return 0, 0, fmt.Errorf("reshard: bad source shard %q", args[1])
+		}
+		dst := -1 // the controller picks the coldest shard
+		if len(args) > 2 {
+			if dst, err = strconv.Atoi(args[2]); err != nil {
+				return 0, 0, fmt.Errorf("reshard: bad destination shard %q", args[2])
+			}
+		}
+		return src, dst, nil
+	}
+	ctx := context.Background()
+	switch args[0] {
+	case "status":
+		st := rs.Status()
+		fmt.Fprintf(out, "phase %s, ring epoch %d, migrating %v\n", st.Phase, st.Epoch, st.Migrating)
+		for i, s := range st.Shares {
+			fmt.Fprintf(out, "  shard %d: %4.1f%% of ops since baseline\n", i, 100*s)
+		}
+		if st.Shares == nil {
+			fmt.Fprintln(out, "  (no baseline sampled)")
+		}
+	case "baseline":
+		rs.SampleBaseline()
+		fmt.Fprintln(out, "baseline sampled")
+	case "split":
+		src, dst, err := pair()
+		if err != nil {
+			return err
+		}
+		rep, err := rs.Split(ctx, src, dst)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, rep)
+	case "merge":
+		src, dst, err := pair()
+		if err != nil {
+			return err
+		}
+		rep, err := rs.Merge(ctx, src, dst)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, rep)
+	case "rebalance":
+		rep, err := rs.Rebalance(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, rep)
+	case "recover":
+		phase, err := rs.Recover(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "recovered from phase %s\n", phase)
+	default:
+		return fmt.Errorf("reshard: unknown operation %q", args[0])
+	}
+	return nil
 }
 
 // runQuerySubcommand parses query flags (plus -script for the setup
@@ -358,6 +477,10 @@ func runSession(client *passcloud.Client, in io.Reader, out io.Writer, state *se
 				return fail(err)
 			}
 			if err := execQuery(client, opts, state, out); err != nil {
+				return fail(err)
+			}
+		case "reshard":
+			if err := execReshard(client, args, out); err != nil {
 				return fail(err)
 			}
 		case "verify":

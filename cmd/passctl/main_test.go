@@ -268,3 +268,70 @@ func TestQuerySubcommandFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestScriptReshard drives the elastic-resharding controller from a
+// script: baseline + status, a merge with a verified cutover, and the
+// post-cutover verification — then the subcommand-style error cases.
+func TestScriptReshard(t *testing.T) {
+	script := `
+ingest /data/a one
+ingest /data/b two
+ingest /data/c three
+ingest /data/d four
+exec analyze
+read analyze /data/a
+write analyze /out/r first result
+close analyze /out/r
+exit analyze
+sync
+settle
+reshard baseline
+reshard status
+reshard merge 0 1
+reshard status
+verify
+get /out/r
+`
+	c, err := passcloud.New(passcloud.Options{Architecture: passcloud.S3SimpleDB, Seed: 9, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(c, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"phase idle, ring epoch 0",
+		"merge 0->1:",
+		"phase idle, ring epoch 1",
+		"verification: OK",
+		`/out/r:0 = "first result"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	cases := []struct{ script, wantErr string }{
+		{"reshard", "want status"},
+		{"reshard split", "needs a source shard"},
+		{"reshard split zero", "bad source shard"},
+		{"reshard frob", "unknown operation"},
+		{"reshard merge 0 9", "invalid shard pair"},
+	}
+	for _, tc := range cases {
+		c, err := passcloud.New(passcloud.Options{Architecture: passcloud.S3SimpleDB, Seed: 9, Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(c, strings.NewReader(tc.script), &strings.Builder{}); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%q: err = %v, want containing %q", tc.script, err, tc.wantErr)
+		}
+	}
+
+	// Unsharded sessions get the typed refusal.
+	if err := run(newClient(t), strings.NewReader("reshard status"), &strings.Builder{}); err == nil || !strings.Contains(err.Error(), "at least 2 shards") {
+		t.Fatalf("unsharded reshard: err = %v", err)
+	}
+}

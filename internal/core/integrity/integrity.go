@@ -276,6 +276,20 @@ func (l *Ledger) Remove(slot string) {
 	}
 }
 
+// Slots lists the ledger's live slot keys. Removal paths use it to find
+// slots whose stored carrier has vanished (a tampered-away object no
+// listing can surface) so the commitment can still follow the departure.
+func (l *Ledger) Slots() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.slots))
+	for slot := range l.slots {
+		out = append(out, slot)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Checkpoint reports the current state without advancing Seq.
 func (l *Ledger) Checkpoint() Checkpoint {
 	l.mu.Lock()

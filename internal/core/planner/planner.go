@@ -126,6 +126,19 @@ func (c *SDBCatalog) unindex(subject prov.Ref, records []prov.Record) {
 	}
 }
 
+// Forget drops one item's observation — the mirror of a deleted item
+// (orphan cleanup, arc migration), so scan and index predictions stop
+// counting it.
+func (c *SDBCatalog) Forget(subject prov.Ref) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.items[subject]; ok {
+		c.unindex(subject, old)
+	}
+	delete(c.items, subject)
+	delete(c.stats, subject)
+}
+
 // Items is the number of mirrored items — the scan's GetAttributes count.
 func (c *SDBCatalog) Items() int {
 	c.mu.Lock()
@@ -318,6 +331,14 @@ func (c *S3Catalog) Observe(key string, decodeGets int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.objects[key] = decodeGets
+}
+
+// Forget drops one object's observation — the mirror of a deleted
+// carrier (arc migration), so scan predictions stop counting it.
+func (c *S3Catalog) Forget(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.objects, key)
 }
 
 // ScanCost returns the scan's object count and total decode GETs.

@@ -119,6 +119,21 @@ func (s *Store) Layer() *sdbprov.Layer { return s.layer }
 // RetryStats snapshots the store's retry counters (shared with its layer).
 func (s *Store) RetryStats() retry.Snapshot { return s.layer.RetryStats() }
 
+// ExportArc implements core.Migrator via the provenance layer.
+func (s *Store) ExportArc(ctx context.Context, match func(prov.ObjectID) bool) (*core.ArcExport, error) {
+	return s.layer.ExportArc(ctx, match)
+}
+
+// ImportArc implements core.Migrator via the provenance layer.
+func (s *Store) ImportArc(ctx context.Context, exp *core.ArcExport) error {
+	return s.layer.ImportArc(ctx, exp)
+}
+
+// RemoveArc implements core.Migrator via the provenance layer.
+func (s *Store) RemoveArc(ctx context.Context, match func(prov.ObjectID) bool) (int, error) {
+	return s.layer.RemoveArc(ctx, match)
+}
+
 // StampToken implements core.Stamped via the provenance layer's stamp.
 func (s *Store) StampToken() string { return s.layer.StampToken() }
 

@@ -138,6 +138,27 @@ func (s *Store) RetryStats() retry.Snapshot { return s.layer.RetryStats() }
 // Queue returns the WAL queue name.
 func (s *Store) Queue() string { return s.queue }
 
+// ExportArc implements core.Migrator via the provenance layer. The WAL
+// must be drained first (the reshard controller syncs and pumps the
+// commit daemon before exporting): logged-but-uncommitted transactions
+// are invisible to the layer scan and would be left behind.
+func (s *Store) ExportArc(ctx context.Context, match func(prov.ObjectID) bool) (*core.ArcExport, error) {
+	return s.layer.ExportArc(ctx, match)
+}
+
+// ImportArc implements core.Migrator via the provenance layer, bypassing
+// the WAL exactly like the commit daemon's apply path does: the records
+// were already made durable by the source shard, so re-logging them
+// would only add a redundant failure window.
+func (s *Store) ImportArc(ctx context.Context, exp *core.ArcExport) error {
+	return s.layer.ImportArc(ctx, exp)
+}
+
+// RemoveArc implements core.Migrator via the provenance layer.
+func (s *Store) RemoveArc(ctx context.Context, match func(prov.ObjectID) bool) (int, error) {
+	return s.layer.RemoveArc(ctx, match)
+}
+
 // StampToken implements core.Stamped via the provenance layer's stamp.
 func (s *Store) StampToken() string { return s.layer.StampToken() }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"passcloud/internal/core"
+	"passcloud/internal/core/shard/reshard"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
 )
@@ -110,6 +111,141 @@ func TestCrossShardCursorStability(t *testing.T) {
 	}
 	if len(fresh) != len(want)+2*writeN {
 		t.Fatalf("fresh query saw %d files, want %d", len(fresh), len(want)+2*writeN)
+	}
+}
+
+// TestCursorStabilityAcrossRingFlip: a cursor pinned before an elastic
+// resharding cutover must either keep returning its exact snapshot pages
+// or fail with the typed core.ErrCursorExpired — never drop, duplicate,
+// or invent refs. Both legal outcomes are exercised: a resident pin
+// survives the ring-epoch flip serving bit-identical pages, and a pin
+// evicted after the flip cannot revalidate against the new epoch's stamp
+// and must expire.
+func TestCursorStabilityAcrossRingFlip(t *testing.T) {
+	ctx := context.Background()
+	batches := captureBatches(t)
+	tg := buildTarget(t, "s3+sdb", 4, 13, false)
+	replay(t, ctx, tg, batches)
+
+	desc := prov.Query{Type: prov.TypeFile, Projection: prov.ProjectRefs}
+	var want []prov.Ref
+	for e, err := range tg.querier().Query(ctx, desc) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, e.Ref)
+	}
+	if len(want) < 6 {
+		t.Fatalf("workload too small for pagination test: %d files", len(want))
+	}
+	paged := desc
+	paged.Limit = 2
+	got, cursor := collectPage(t, ctx, tg.querier(), paged)
+	if cursor == "" {
+		t.Fatal("expected a truncated first page")
+	}
+	evictee, evicteeCursor := collectPage(t, ctx, tg.querier(), paged)
+	if len(evictee) == 0 || evicteeCursor == "" {
+		t.Fatal("expected a second pinned cursor")
+	}
+
+	// The cutover: split shard 0 toward shard 1 through the controller.
+	c, err := reshard.New(reshard.Config{
+		Router: tg.router,
+		Clouds: tg.clouds,
+		Drain: func(ctx context.Context) error {
+			for _, d := range tg.drains {
+				if err := d(ctx); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.PlanSplit(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(ctx, plan); err != nil {
+		t.Fatal(err)
+	}
+	if tg.router.RingEpoch() != 1 || tg.router.Migrating() {
+		t.Fatalf("cutover did not complete: epoch=%d migrating=%v", tg.router.RingEpoch(), tg.router.Migrating())
+	}
+
+	// Resume the pinned sequence across the flip: every page must extend
+	// the exact snapshot, or the cursor must expire with the typed error.
+	expired := false
+	for cursor != "" {
+		next := paged
+		next.Cursor = cursor
+		var page []prov.Ref
+		pageCursor := ""
+		for e, err := range tg.querier().Query(ctx, next) {
+			if err != nil {
+				if !errors.Is(err, core.ErrCursorExpired) {
+					t.Fatalf("mid-flip page failed with %v, want ErrCursorExpired or success", err)
+				}
+				expired = true
+				break
+			}
+			page = append(page, e.Ref)
+			if e.Cursor != "" {
+				pageCursor = e.Cursor
+			}
+		}
+		if expired {
+			break
+		}
+		got = append(got, page...)
+		cursor = pageCursor
+	}
+	if !expired {
+		if len(got) != len(want) {
+			t.Fatalf("page sequence across the flip returned %d refs, want %d\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("snapshot diverged at %d after the flip: got %v want %v", i, got[i], want[i])
+			}
+		}
+		seen := make(map[prov.Ref]bool)
+		for _, r := range got {
+			if seen[r] {
+				t.Fatalf("duplicate ref %v across the flip", r)
+			}
+			seen[r] = true
+		}
+	}
+
+	// Evict the second pin (the pin table holds 8 distinct queries), then
+	// resume it: the stamp changed with the ring epoch, so it must expire
+	// — typed, with no partial page.
+	for i := 0; i < 9; i++ {
+		flood := desc
+		flood.Limit = 2
+		flood.RefPrefix = fmt.Sprintf("/t0/w%d", i)
+		collectPage(t, ctx, tg.querier(), flood)
+	}
+	resumed := paged
+	resumed.Cursor = evicteeCursor
+	var gotErr error
+	n := 0
+	for _, err := range tg.querier().Query(ctx, resumed) {
+		if err != nil {
+			gotErr = err
+			break
+		}
+		n++
+	}
+	if !errors.Is(gotErr, core.ErrCursorExpired) {
+		t.Fatalf("evicted cursor resumed across the flip with err=%v (%d refs), want ErrCursorExpired", gotErr, n)
+	}
+	if n != 0 {
+		t.Fatalf("expired cursor leaked %d refs before failing", n)
 	}
 }
 

@@ -318,6 +318,9 @@ type mhRun struct {
 	g       *prov.Graph
 	fetched map[prov.Ref]bool
 	seen    map[prov.Ref]bool
+	// mig is the migration window sampled once at run start, so every
+	// round of one traversal filters the same double-read copies.
+	mig *migration
 }
 
 func (r *Router) newMHRun(ctx context.Context) *mhRun {
@@ -326,6 +329,7 @@ func (r *Router) newMHRun(ctx context.Context) *mhRun {
 		g:       prov.NewGraph(),
 		fetched: make(map[prov.Ref]bool),
 		seen:    make(map[prov.Ref]bool),
+		mig:     r.migSnapshot(),
 	}
 }
 
@@ -337,7 +341,7 @@ func (x *mhRun) fanRefs(q prov.Query, _ string) ([]prov.Ref, error) {
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
-		perShard[i] = entries
+		perShard[i] = x.mig.filterEntries(i, entries)
 		return nil
 	})
 	if err != nil {

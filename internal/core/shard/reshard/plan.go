@@ -1,0 +1,194 @@
+// Hot-arc detection and migration planning. Detection is meter-driven:
+// the controller samples every shard's billing usage as a baseline and
+// later reads each shard's op-count delta; a shard whose share of the
+// delta exceeds the configured ceiling is hot. Planning is declarative:
+// a Plan captures the ring assignment before and after the move, and
+// the moved-arc predicate is derived from those two assignments alone —
+// recovery re-derives the exact same predicate from the journal, so the
+// copy, the verification, and the cleanup always agree on what moved.
+package reshard
+
+import (
+	"fmt"
+
+	"passcloud/internal/prov"
+)
+
+// Plan is one declarative migration: the arc is every object the ring
+// owned by Src under Before and owns by Dst under Target.
+type Plan struct {
+	// Kind is "split" (shed half a hot shard's ring points) or "merge"
+	// (drain all of a cold shard's points).
+	Kind     string
+	Src, Dst int
+	// Before and Target are full ring assignments (one owner per ring
+	// point, in ring order) captured at plan time. They are journaled:
+	// recovery must re-derive the moved predicate from the planned
+	// assignments, never from the live ring.
+	Before, Target []int
+	// PreShares are the per-shard op shares at plan time (nil when no
+	// baseline was set).
+	PreShares []float64
+}
+
+// Moved is the arc-membership predicate: an object moves iff the plan
+// reassigns its ring point from Src to Dst.
+func (p *Plan) Moved(c *Controller) func(prov.ObjectID) bool {
+	r := c.cfg.Router
+	return func(o prov.ObjectID) bool {
+		return r.OwnerIn(p.Before, o) == p.Src && r.OwnerIn(p.Target, o) == p.Dst
+	}
+}
+
+// SampleBaseline snapshots every shard's meter; Shares and DetectHot
+// measure op deltas from here.
+func (c *Controller) SampleBaseline() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.baseline = c.baseline[:0]
+	for _, cl := range c.cfg.Clouds {
+		c.baseline = append(c.baseline, cl.Usage())
+	}
+	c.baselineSet = true
+}
+
+// Shares returns each shard's fraction of the namespace's total cloud
+// ops since the baseline sample, or nil when no baseline is set.
+func (c *Controller) Shares() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sharesLocked()
+}
+
+func (c *Controller) sharesLocked() []float64 {
+	if !c.baselineSet {
+		return nil
+	}
+	deltas := make([]int64, len(c.cfg.Clouds))
+	total := int64(0)
+	for i, cl := range c.cfg.Clouds {
+		deltas[i] = cl.Usage().Sub(c.baseline[i]).TotalOps()
+		if deltas[i] < 0 {
+			deltas[i] = 0
+		}
+		total += deltas[i]
+	}
+	if total == 0 {
+		return make([]float64, len(deltas))
+	}
+	shares := make([]float64, len(deltas))
+	for i, d := range deltas {
+		shares[i] = float64(d) / float64(total)
+	}
+	return shares
+}
+
+// DetectHot returns the shard whose op share exceeds the hot ceiling,
+// if any. With several over the ceiling (impossible for ceilings >=
+// 0.5) the hottest wins.
+func (c *Controller) DetectHot() (hot int, share float64, ok bool) {
+	shares := c.Shares()
+	hot = -1
+	for i, s := range shares {
+		if s > c.cfg.HotCeiling && (hot < 0 || s > share) {
+			hot, share = i, s
+		}
+	}
+	return hot, share, hot >= 0
+}
+
+// coldest picks the shard with the lowest op share, excluding hot.
+// Without a baseline it falls back to the shard owning the fewest ring
+// points.
+func (c *Controller) coldest(hot int, shares []float64) int {
+	cold := -1
+	if shares != nil {
+		for i, s := range shares {
+			if i != hot && (cold < 0 || s < shares[cold]) {
+				cold = i
+			}
+		}
+		return cold
+	}
+	counts := make([]int, c.cfg.Router.NumShards())
+	for _, owner := range c.cfg.Router.Assignment() {
+		counts[owner]++
+	}
+	for i, n := range counts {
+		if i != hot && (cold < 0 || n < counts[cold]) {
+			cold = i
+		}
+	}
+	return cold
+}
+
+// PlanSplit plans moving alternating ring points off the hot shard.
+// dst < 0 picks the coldest shard automatically.
+func (c *Controller) PlanSplit(hot, dst int) (*Plan, error) {
+	c.mu.Lock()
+	shares := c.sharesLocked()
+	c.mu.Unlock()
+	if dst < 0 {
+		dst = c.coldest(hot, shares)
+	}
+	if err := c.validPair(hot, dst); err != nil {
+		return nil, err
+	}
+	before := c.cfg.Router.Assignment()
+	target := append([]int(nil), before...)
+	moved, owned := 0, 0
+	for i, owner := range before {
+		if owner != hot {
+			continue
+		}
+		// Alternating points halve the arc while keeping the shed load
+		// spread across the hash space rather than one contiguous range.
+		if owned%2 == 1 {
+			target[i] = dst
+			moved++
+		}
+		owned++
+	}
+	if owned == 0 {
+		return nil, fmt.Errorf("reshard: shard %d owns no ring points", hot)
+	}
+	if moved == 0 {
+		return nil, fmt.Errorf("reshard: shard %d owns a single ring point; nothing to split", hot)
+	}
+	return &Plan{Kind: "split", Src: hot, Dst: dst, Before: before, Target: target, PreShares: shares}, nil
+}
+
+// PlanMerge plans draining every ring point off a cold shard onto dst.
+// dst < 0 picks the coldest remaining shard.
+func (c *Controller) PlanMerge(cold, dst int) (*Plan, error) {
+	c.mu.Lock()
+	shares := c.sharesLocked()
+	c.mu.Unlock()
+	if dst < 0 {
+		dst = c.coldest(cold, shares)
+	}
+	if err := c.validPair(cold, dst); err != nil {
+		return nil, err
+	}
+	before := c.cfg.Router.Assignment()
+	target := append([]int(nil), before...)
+	moved := 0
+	for i, owner := range before {
+		if owner == cold {
+			target[i] = dst
+			moved++
+		}
+	}
+	if moved == 0 {
+		return nil, fmt.Errorf("reshard: shard %d owns no ring points", cold)
+	}
+	return &Plan{Kind: "merge", Src: cold, Dst: dst, Before: before, Target: target, PreShares: shares}, nil
+}
+
+func (c *Controller) validPair(src, dst int) error {
+	n := c.cfg.Router.NumShards()
+	if src < 0 || src >= n || dst < 0 || dst >= n || src == dst {
+		return fmt.Errorf("reshard: invalid shard pair %d -> %d (%d shards)", src, dst, n)
+	}
+	return nil
+}

@@ -83,7 +83,20 @@ type Router struct {
 	shards []Store
 	fanout int
 
-	ring []ringPoint
+	// ringMu guards the ring's owner assignment, the ring epoch and the
+	// migration window state. Ring point hashes are immutable after New;
+	// only owners change (FlipRing), so readers take the read lock.
+	ringMu sync.RWMutex
+	ring   []ringPoint
+	// epoch counts ring reassignments. It joins the composite stamp (only
+	// when non-zero, keeping never-migrated routers byte-identical to the
+	// pre-epoch format), so a flip expires evicted cursor pins exactly
+	// like a member write does.
+	epoch int
+	// mig is the active migration window, nil when idle. Published as an
+	// immutable snapshot: transitions replace the pointer, never mutate a
+	// published value, so query paths read it once per evaluation.
+	mig *migration
 
 	// refPlanned records whether every member implements core.RefPlanner,
 	// the capability the distributed multi-hop planner needs to compose
@@ -178,6 +191,8 @@ func (r *Router) Shard(i int) Store { return r.shards[i] }
 // after the object's hash owns it (wrapping). Every version of an object
 // maps to the same shard.
 func (r *Router) ShardFor(object prov.ObjectID) int {
+	r.ringMu.RLock()
+	defer r.ringMu.RUnlock()
 	h := hash64(string(object))
 	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
 	if i == len(r.ring) {
@@ -210,13 +225,25 @@ func (r *Router) Properties() core.Properties {
 
 // StampToken implements core.Stamped: the concatenation of every member's
 // stamp. Any member write yields a new composite token. The separator
-// must stay out of the cursor encoding's field alphabet ("|").
+// must stay out of the cursor encoding's field alphabet ("|"). After a
+// ring reassignment the token gains a leading ring-epoch component, so a
+// flip moves the composite stamp even if no member wrote — evicted
+// cursor pins then expire instead of silently re-evaluating against the
+// new placement. Epoch zero omits the component, keeping a never-
+// migrated router's tokens byte-identical to the pre-epoch format.
 func (r *Router) StampToken() string {
+	r.ringMu.RLock()
+	epoch := r.epoch
+	r.ringMu.RUnlock()
 	parts := make([]string, len(r.shards))
 	for i, s := range r.shards {
 		parts[i] = s.StampToken()
 	}
-	return strings.Join(parts, ",")
+	token := strings.Join(parts, ",")
+	if epoch > 0 {
+		token = fmt.Sprintf("e%d,%s", epoch, token)
+	}
+	return token
 }
 
 // --- write path --------------------------------------------------------------
@@ -320,6 +347,7 @@ func (r *Router) Get(ctx context.Context, object prov.ObjectID) (*core.Object, e
 // shards concurrently under the FanOut bound — one extra round trip of
 // latency instead of up to N-1 sequential ones.
 func (r *Router) Provenance(ctx context.Context, ref prov.Ref) ([]prov.Record, error) {
+	mig := r.migSnapshot()
 	home := r.ShardFor(ref.Object)
 	records, err := r.shards[home].Provenance(ctx, ref)
 	if err == nil || !errors.Is(err, core.ErrNotFound) {
@@ -327,7 +355,11 @@ func (r *Router) Provenance(ctx context.Context, ref prov.Ref) ([]prov.Record, e
 	}
 	others := make([]int, 0, len(r.shards)-1)
 	for i := range r.shards {
-		if i != home {
+		// Skip the non-authoritative copy of a mid-migration arc: the home
+		// read above already consulted the authoritative side (the active
+		// ring always points there), so the probe must not surface the
+		// double-read window's other copy.
+		if i != home && !mig.excluded(i, ref.Object) {
 			others = append(others, i)
 		}
 	}
@@ -470,13 +502,14 @@ func (r *Router) evalAll(ctx context.Context, q prov.Query) ([]core.Entry, error
 // concatenated; within one shard, a subject whose records streamed in
 // pieces is merged the same way.
 func (r *Router) fanIn(ctx context.Context, q prov.Query) ([]core.Entry, error) {
+	mig := r.migSnapshot()
 	perShard := make([][]core.Entry, len(r.shards))
 	err := core.RunLimited(ctx, len(r.shards), r.fanout, func(i int) error {
 		entries, err := collectMerged(r.shards[i].Query(ctx, q))
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
-		perShard[i] = entries
+		perShard[i] = mig.filterEntries(i, entries)
 		return nil
 	})
 	if err != nil {
@@ -566,6 +599,7 @@ func (c *graphCache) validFor(i int, stamp string) bool {
 // otherwise (exactly what the composite Explain predicts). The returned
 // graph is shared and must be treated as read-only.
 func (r *Router) unionGraph(ctx context.Context) (*prov.Graph, error) {
+	mig := r.migSnapshot()
 	c := &r.gcache
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -585,7 +619,7 @@ func (r *Router) unionGraph(ctx context.Context) (*prov.Graph, error) {
 			stale = append(stale, i)
 		}
 	}
-	if len(stale) == 0 && c.graph != nil {
+	if len(stale) == 0 && c.graph != nil && mig == nil {
 		return c.graph, nil
 	}
 	err := core.RunLimited(ctx, len(stale), r.fanout, func(k int) error {
@@ -614,10 +648,29 @@ func (r *Router) unionGraph(ctx context.Context) (*prov.Graph, error) {
 		c.stamps[i] = cur[i]
 	}
 	g := prov.NewGraph()
-	for _, records := range c.parts {
-		g.AddAll(records)
+	for i, records := range c.parts {
+		if mig == nil {
+			g.AddAll(records)
+			continue
+		}
+		// Mid-migration: the moved arc exists on both sides of the copy.
+		// Cached parts stay raw (keyed by stamp, so they survive the
+		// window), but the merged graph drops the non-authoritative copy
+		// — and is never cached, since the filter changes at each
+		// migration state transition, not at a member stamp.
+		kept := make([]prov.Record, 0, len(records))
+		for _, rec := range records {
+			if !mig.excluded(i, rec.Subject.Object) {
+				kept = append(kept, rec)
+			}
+		}
+		g.AddAll(kept)
 	}
-	c.graph = g
+	if mig == nil {
+		c.graph = g
+	} else {
+		c.graph = nil
+	}
 	return g, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"passcloud/internal/core"
 	"passcloud/internal/core/s3sdb"
 	"passcloud/internal/core/shard"
+	"passcloud/internal/core/shard/reshard"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
 	"passcloud/internal/sim"
@@ -178,4 +179,129 @@ func TestHotShardSkew(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestSkewConvergenceUnderCeiling is the controller's convergence
+// invariant: after one reconciliation pass over a 90%-hot workload, the
+// hot shard's op share of fresh traffic — generated against the FROZEN
+// pre-migration placement, so it is the same traffic pattern that made
+// the shard hot — must fall below the configured ceiling, and repeated
+// reconciliation passes must drive every shard under the ceiling.
+func TestSkewConvergenceUnderCeiling(t *testing.T) {
+	ctx := context.Background()
+	const (
+		shards  = 4
+		hot     = 0
+		ceiling = 0.5
+	)
+	tg := buildTarget(t, "s3+sdb", shards, 41, false)
+	ctrl, err := reshard.New(reshard.Config{
+		Router:     tg.router,
+		Clouds:     tg.clouds,
+		HotCeiling: ceiling,
+		Drain: func(ctx context.Context) error {
+			for _, d := range tg.drains {
+				if err := d(ctx); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// runPhase drives 50 batches, 90% of them onto names the probe calls
+	// hot, through a fresh PASS client.
+	runPhase := func(tag string, hotName func(prov.ObjectID) bool) {
+		t.Helper()
+		sys := pass.NewSystem(pass.Config{Kernel: "2.6.23", Namespace: tag, Flush: core.Flusher(tg.store)})
+		probe := 0
+		nameOn := func(want bool) prov.ObjectID {
+			for {
+				obj := prov.ObjectID(fmt.Sprintf("/conv/%s/f%d", tag, probe))
+				probe++
+				if hotName(obj) == want {
+					return obj
+				}
+			}
+		}
+		for b := 0; b < 50; b++ {
+			p := sys.Exec(nil, pass.ExecSpec{Name: "gen", Argv: []string{"gen", tag}})
+			obj := nameOn(b%10 != 9)
+			if err := sys.Write(p, string(obj), []byte(fmt.Sprintf("%s-%d", tag, b)), pass.Truncate); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Close(ctx, p, string(obj)); err != nil {
+				t.Fatal(err)
+			}
+			sys.Exit(p)
+		}
+		if err := sys.Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+		tg.drain(ctx, t)
+	}
+
+	// Phase 1: heat shard 0 against the live ring; the detector must see
+	// it over the ceiling and one reconciliation pass must split it.
+	ctrl.SampleBaseline()
+	frozen := tg.router.Assignment()
+	runPhase("p1", func(o prov.ObjectID) bool { return tg.router.ShardFor(o) == hot })
+	if got, share, ok := ctrl.DetectHot(); !ok || got != hot {
+		t.Fatalf("detector missed the hot shard: hot=%d share=%.2f ok=%v (shares %v)", got, share, ok, ctrl.Shares())
+	}
+	rep, err := ctrl.RunOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Action != "split" || rep.Plan == nil || rep.Plan.Src != hot {
+		t.Fatalf("reconciliation did not split the hot shard: %+v", rep)
+	}
+	if tg.router.RingEpoch() != 1 || tg.router.Migrating() {
+		t.Fatalf("cutover incomplete: epoch=%d migrating=%v", tg.router.RingEpoch(), tg.router.Migrating())
+	}
+
+	// Phase 2: the same traffic pattern, probed against the frozen
+	// pre-migration ring, through the flipped ring. The original hot
+	// shard must land under the ceiling after the single split.
+	frozenProbe := func(o prov.ObjectID) bool { return tg.router.OwnerIn(frozen, o) == hot }
+	ctrl.SampleBaseline()
+	runPhase("p2", frozenProbe)
+	shares := ctrl.Shares()
+	if shares[hot] >= ceiling {
+		t.Fatalf("post-split hot shard still carries %.0f%% of ops, want < %.0f%% (shares %v)",
+			100*shares[hot], 100*ceiling, shares)
+	}
+	t.Logf("hot-shard share after split: %.1f%% (shares %v)", 100*shares[hot], shares)
+
+	// Shedding half a 90% hotspot can make the destination the new
+	// hottest shard; the reconciliation loop must converge — every shard
+	// under the ceiling — within a few further passes, and the original
+	// hot shard must never reheat.
+	for round := 3; ; round++ {
+		got, share, ok := ctrl.DetectHot()
+		if !ok {
+			break
+		}
+		if got == hot {
+			t.Fatalf("original hot shard reheated to %.0f%%", 100*share)
+		}
+		if round > 6 {
+			t.Fatalf("reconciliation loop did not converge: shard %d still at %.0f%%", got, 100*share)
+		}
+		if _, err := ctrl.RunOnce(ctx); err != nil {
+			t.Fatal(err)
+		}
+		ctrl.SampleBaseline()
+		runPhase(fmt.Sprintf("p%d", round), frozenProbe)
+	}
+	final := ctrl.Shares()
+	for i, s := range final {
+		if s >= ceiling {
+			t.Fatalf("shard %d ends at %.0f%%, want every shard < %.0f%% (shares %v)", i, 100*s, 100*ceiling, final)
+		}
+	}
+	t.Logf("converged shares: %v (ring epoch %d)", final, tg.router.RingEpoch())
 }

@@ -53,6 +53,7 @@ import (
 	"passcloud/internal/core/s3sdbsqs"
 	"passcloud/internal/core/sdbprov"
 	"passcloud/internal/core/shard"
+	"passcloud/internal/core/shard/reshard"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
 	"passcloud/internal/sim"
@@ -85,6 +86,18 @@ type Config struct {
 	// Shards routes the workload through a consistent-hash router over
 	// this many per-shard namespaces (0 or 1: the paper's single store).
 	Shards int
+	// Migrate adds the migration fault class (requires Shards > 1): after
+	// recovery converges, a resharding split runs with one controller
+	// crash point armed (seed-drawn), then Recover must converge the
+	// store to fully-moved or fully-unmoved — never both — before the
+	// invariant and verification phases run over the result.
+	Migrate bool
+	// MigrateTamper corrupts the migration's copy instead of crashing it
+	// (requires Migrate): one moved record set is deleted from the
+	// destination between import and verification, and the controller
+	// must detect it before the flip — the run ends fully-unmoved at
+	// epoch zero.
+	MigrateTamper bool
 }
 
 // Result reports one run.
@@ -110,6 +123,10 @@ type Result struct {
 	// PostDivergences counts the divergences verification reported after
 	// the corruptions were applied.
 	PostDivergences int
+	// Migration logs the migration fault phase, when run: the armed
+	// crash point (or the tamper), the journal phase recovered from, and
+	// the final ring epoch — the rest of the replay recipe.
+	Migration string
 	// Violations lists invariant breaches. A correct implementation leaves
 	// this empty for every seed.
 	Violations []string
@@ -597,6 +614,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	e.settle()
 
+	// Migration fault phase: a resharding split under an injected crash
+	// (or a tampered copy) must converge to fully-moved or fully-unmoved
+	// before the converged state is judged.
+	if cfg.Migrate {
+		e.runMigration(ctx, cfg, srng, faults, res)
+	}
+
 	for _, se := range e.shards {
 		mergeSnapshot(&res.Retry, se.stats())
 	}
@@ -656,6 +680,169 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	res.Digest = e.digest(ctx)
 	return res, nil
+}
+
+// MigrationPoints lists the resharding controller's crash points the
+// migration fault class draws from.
+var MigrationPoints = []string{
+	reshard.PointBeforeImport,
+	reshard.PointAfterImport,
+	reshard.PointBeforeFlip,
+	reshard.PointAfterFlip,
+}
+
+// runMigration is the migration fault phase: split shard 0 toward shard
+// 1 with either a seed-drawn controller crash point armed or the copy
+// tampered mid-flight, then require convergence — the journal recovered
+// to idle, the double-read window closed, and every moved subject homed
+// on exactly one shard (fully-moved or fully-unmoved, never both).
+func (e *env) runMigration(ctx context.Context, cfg Config, rng *sim.RNG, faults *sim.FaultPlan, res *Result) {
+	router, ok := e.store.(*shard.Router)
+	if !ok {
+		res.Violations = append(res.Violations, "migration fault class requires Shards > 1")
+		return
+	}
+	// The migration phase is its own experiment: leftover unfired
+	// workload fault windows must not perturb it.
+	faults.DisarmOps()
+	clouds := make([]*cloud.Cloud, len(e.shards))
+	for i, se := range e.shards {
+		clouds[i] = se.cloud
+	}
+	drain := func(ctx context.Context) error {
+		for _, se := range e.shards {
+			if se.daemon == nil {
+				continue
+			}
+			if _, err := se.daemon().RunOnce(ctx, true); err != nil {
+				return err
+			}
+		}
+		if e.shards[0].daemon != nil {
+			e.advance(daemonVisibility + time.Second)
+		}
+		return nil
+	}
+	ccfg := reshard.Config{Router: router, Clouds: clouds, Faults: faults, Drain: drain, Settle: e.settle}
+
+	var ctrl *reshard.Controller
+	var plan *reshard.Plan
+	point := ""
+	if cfg.MigrateTamper {
+		// The adversary deletes one moved record set from the destination
+		// between import and verification. The victim is chosen from the
+		// source side, so it is provably part of the copied arc and the
+		// deletion can only be the copy's corruption.
+		point = "tamper"
+		ccfg.BeforeVerify = func(ctx context.Context) error {
+			match := plan.Moved(ctrl)
+			src, dst := e.shards[plan.Src], e.shards[plan.Dst]
+			if src.layer != nil {
+				for _, it := range e.sdbItems(src, &res.Violations) {
+					if !match(it.ref.Object) {
+						continue
+					}
+					return dst.cloud.SDB.DeleteAttributes(dst.layer.Domain(), it.name, nil)
+				}
+			} else {
+				for _, o := range e.s3Objects(src, &res.Violations) {
+					if !match(prov.ObjectID(strings.TrimPrefix(o.key, dataPrefixS3))) {
+						continue
+					}
+					return dst.cloud.S3.Delete(s3Bucket, o.key)
+				}
+			}
+			return fmt.Errorf("sweep: no moved record set to tamper with")
+		}
+	} else {
+		point = MigrationPoints[rng.Intn(len(MigrationPoints))]
+		faults.Arm(point)
+	}
+
+	ctrl, err := reshard.New(ccfg)
+	if err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("migration controller: %v", err))
+		return
+	}
+	// Choose a pair that provably moves a non-empty arc — drain the
+	// most-populated shard onto the least-populated one. (A split of the
+	// sweep's sparse workload can land every moved ring point on an
+	// empty arc, which flips without traversing the crash points.)
+	counts := make([]int, len(e.shards))
+	for si, se := range e.shards {
+		a, ok := se.store.(integrity.Auditor)
+		if !ok {
+			continue
+		}
+		audit, aerr := a.Audit(ctx)
+		if aerr != nil {
+			res.Violations = append(res.Violations, fmt.Sprintf("pre-migration audit shard %d: %v", si, aerr))
+			return
+		}
+		for ref := range audit.Entries {
+			if router.ShardFor(ref.Object) == si {
+				counts[si]++
+			}
+		}
+	}
+	msrc, mdst := 0, -1
+	for i, n := range counts {
+		if n > counts[msrc] {
+			msrc = i
+		}
+	}
+	for i, n := range counts {
+		if i != msrc && (mdst < 0 || n < counts[mdst]) {
+			mdst = i
+		}
+	}
+	if counts[msrc] == 0 {
+		res.Violations = append(res.Violations, "workload left no migratable subjects")
+		return
+	}
+	plan, err = ctrl.PlanMerge(msrc, mdst)
+	if err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("migration plan: %v", err))
+		return
+	}
+	_, execErr := ctrl.Execute(ctx, plan)
+	if cfg.MigrateTamper {
+		if !errors.Is(execErr, reshard.ErrVerifyFailed) {
+			res.Violations = append(res.Violations, fmt.Sprintf("tampered copy was not detected before the flip: %v", execErr))
+		}
+		if epoch := router.RingEpoch(); epoch != 0 {
+			res.Violations = append(res.Violations, fmt.Sprintf("ring flipped to epoch %d over a tampered copy", epoch))
+		}
+	} else if execErr == nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("armed migration crash point %s never fired", point))
+	}
+	recovered, rerr := ctrl.Recover(ctx)
+	if rerr != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("migration recovery: %v", rerr))
+	}
+	if st := ctrl.Status(); st.Phase != reshard.PhaseIdle || router.Migrating() {
+		res.Violations = append(res.Violations, fmt.Sprintf("migration did not converge: phase=%s migrating=%v", st.Phase, router.Migrating()))
+	}
+	// Never both: every subject homes on exactly one shard.
+	homes := make(map[prov.Ref]int)
+	for si, se := range e.shards {
+		a, ok := se.store.(integrity.Auditor)
+		if !ok {
+			continue
+		}
+		audit, aerr := a.Audit(ctx)
+		if aerr != nil {
+			res.Violations = append(res.Violations, fmt.Sprintf("post-migration audit shard %d: %v", si, aerr))
+			continue
+		}
+		for ref := range audit.Entries {
+			if prev, dup := homes[ref]; dup {
+				res.Violations = append(res.Violations, fmt.Sprintf("%s homed on shards %d and %d after migration recovery (partial move)", ref, prev, si))
+			}
+			homes[ref] = si
+		}
+	}
+	res.Migration = fmt.Sprintf("point=%s recovered=%s epoch=%d", point, recovered, router.RingEpoch())
 }
 
 // verify audits every shard and runs the integrity verifier over the

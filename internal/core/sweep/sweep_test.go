@@ -79,10 +79,20 @@ func TestFaultSweepCorruptionDetection(t *testing.T) {
 		for _, shards := range []int{1, 4} {
 			for _, seed := range []int64{1, 7} {
 				t.Run(fmt.Sprintf("%s/shards%d/seed%d", arch, shards, seed), func(t *testing.T) {
-					res, err := Run(ctx, Config{Arch: arch, Seed: seed, Shards: shards,
-						Classes: []sim.FaultClass{sim.ClassCorrupt}, Faults: 3})
+					cfg := Config{Arch: arch, Seed: seed, Shards: shards,
+						Classes: []sim.FaultClass{sim.ClassCorrupt}, Faults: 3}
+					if shards > 1 {
+						// Corruption during the migration's copy: the moved
+						// record set deleted from the destination must be
+						// detected before the ring flips.
+						cfg.Migrate, cfg.MigrateTamper = true, true
+					}
+					res, err := Run(ctx, cfg)
 					if err != nil {
 						t.Fatalf("sweep run failed: %v", err)
+					}
+					if shards > 1 && !strings.Contains(res.Migration, "epoch=0") {
+						t.Errorf("tampered migration did not end fully-unmoved: %s", res.Migration)
 					}
 					if len(res.Violations) > 0 {
 						t.Errorf("seed %d: %d violations:\n  %s\ncorruptions:\n  %s",
@@ -110,6 +120,39 @@ func TestFaultSweepCorruptionDetection(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestFaultSweepMigrationRecovery is the migration fault class: after
+// the workload converges, a resharding split runs with a seed-drawn
+// controller crash point armed (before-import, after-import, before-flip
+// or after-flip). Recovery must converge the store to fully-moved or
+// fully-unmoved — never both — and every recovery invariant and the
+// clean-verification contract must hold over the result.
+func TestFaultSweepMigrationRecovery(t *testing.T) {
+	ctx := context.Background()
+	for _, arch := range Arches {
+		for _, seed := range seeds(t) {
+			t.Run(fmt.Sprintf("%s/seed%d", arch, seed), func(t *testing.T) {
+				res, err := Run(ctx, Config{Arch: arch, Seed: seed, Shards: 4, Migrate: true})
+				if err != nil {
+					t.Fatalf("sweep run failed: %v", err)
+				}
+				if res.Migration == "" {
+					t.Fatal("migration fault phase never ran")
+				}
+				if len(res.Violations) > 0 {
+					t.Errorf("seed %d (%s): %d violations:\n  %s\nschedule:\n  %s",
+						seed, res.Migration, len(res.Violations),
+						strings.Join(res.Violations, "\n  "),
+						strings.Join(res.Schedule, "\n  "))
+				}
+				if !res.VerifyClean {
+					t.Errorf("post-migration state did not verify clean (%s)", res.Migration)
+				}
+				t.Logf("migration: %s", res.Migration)
+			})
 		}
 	}
 }

@@ -62,9 +62,24 @@ type LoadConfig struct {
 	// Seed fixes the generated workload.
 	Seed int64
 	// HotShardFraction, when positive, routes that fraction of each
-	// writer's files onto shard 0 (hot-shard skew). Requires the store to
-	// expose placement (ShardPlacer); ignored otherwise.
+	// writer's files onto the hot shard (hot-shard skew). Requires the
+	// store to expose placement (ShardPlacer); ignored otherwise.
 	HotShardFraction float64
+	// HotShard selects which shard receives the skewed fraction
+	// (default 0). Out-of-range values wrap modulo the shard count.
+	HotShard int
+	// HotShardShiftAt, when positive, moves the hotspot mid-run: batches
+	// with index >= HotShardShiftAt heat HotShardShiftTo instead of
+	// HotShard — a moving hot arc for the resharding controller to chase.
+	HotShardShiftAt int
+	// HotShardShiftTo is the shard the hotspot moves to at the shift
+	// point (wraps like HotShard).
+	HotShardShiftTo int
+	// Placer, when non-nil, overrides the store's own placement for skew
+	// name generation. The rebalance bench freezes the pre-migration ring
+	// here so phase-2 traffic replays the pre-split pattern against the
+	// flipped ring.
+	Placer ShardPlacer
 	// Latency is the request latency model for the modeled throughput
 	// (default billing.WAN2009).
 	Latency billing.LatencyModel
@@ -354,10 +369,14 @@ func RunLoad(ctx context.Context, cfg LoadConfig, build func(tenant int) (LoadTa
 
 // objectNames precomputes writer (t, w)'s file paths. With hot-shard skew
 // requested and a placement-aware store, names are chosen by probing the
-// ring so the configured fraction lands on shard 0; otherwise names are
-// taken as generated (consistent hashing spreads them).
+// ring so the configured fraction lands on the hot shard (which may shift
+// mid-run); otherwise names are taken as generated (consistent hashing
+// spreads them).
 func objectNames(cfg LoadConfig, store core.Store, t, w int) []string {
 	placer, _ := store.(ShardPlacer)
+	if cfg.Placer != nil {
+		placer = cfg.Placer
+	}
 	skew := cfg.HotShardFraction > 0 && placer != nil && placer.NumShards() > 1
 	names := make([]string, cfg.Batches)
 	probe := 0
@@ -367,11 +386,16 @@ func objectNames(cfg LoadConfig, store core.Store, t, w int) []string {
 			names[b] = fmt.Sprintf("/t%d/w%d/f%d", t, w, b)
 			continue
 		}
+		target := cfg.HotShard
+		if cfg.HotShardShiftAt > 0 && b >= cfg.HotShardShiftAt {
+			target = cfg.HotShardShiftTo
+		}
+		target = ((target % placer.NumShards()) + placer.NumShards()) % placer.NumShards()
 		hot := rng.Float64() < cfg.HotShardFraction
 		for {
 			cand := fmt.Sprintf("/t%d/w%d/f%d-%d", t, w, b, probe)
 			probe++
-			if (placer.ShardFor(prov.ObjectID(cand)) == 0) == hot {
+			if (placer.ShardFor(prov.ObjectID(cand)) == target) == hot {
 				names[b] = cand
 				break
 			}

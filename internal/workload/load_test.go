@@ -124,6 +124,42 @@ func TestLoadHotShardSkew(t *testing.T) {
 	}
 }
 
+// TestLoadHotShardTargetAndShift: the skew generator must heat an
+// arbitrary shard, and a mid-run shift must move the hotspot — the
+// moving hot arc the resharding controller chases.
+func TestLoadHotShardTargetAndShift(t *testing.T) {
+	cfg := loadTestCfg
+	cfg.HotShardFraction = 0.9
+	cfg.HotShard = 2
+	res := runLoadAt(t, "s3+sdb", 4, cfg)
+	var sum int64
+	for _, ops := range res.PerShardOps {
+		sum += ops
+	}
+	if share := float64(res.PerShardOps[2]) / float64(sum); share < 0.6 {
+		t.Fatalf("shard 2 carries only %.0f%% of ops; targeted skew is not working (%v)", 100*share, res.PerShardOps)
+	}
+
+	shift := loadTestCfg
+	shift.HotShardFraction = 0.9
+	shift.HotShard = 1
+	shift.HotShardShiftAt = shift.Batches / 2
+	shift.HotShardShiftTo = 3
+	res = runLoadAt(t, "s3+sdb", 4, shift)
+	sum = 0
+	for _, ops := range res.PerShardOps {
+		sum += ops
+	}
+	s1 := float64(res.PerShardOps[1]) / float64(sum)
+	s3 := float64(res.PerShardOps[3]) / float64(sum)
+	if s1 < 0.25 || s3 < 0.25 {
+		t.Fatalf("shifted hotspot did not land on both halves: shares %v", res.PerShardOps)
+	}
+	if s1+s3 < 0.6 {
+		t.Fatalf("shifted hotspot leaked off the targeted shards: shares %v", res.PerShardOps)
+	}
+}
+
 // TestLoadHistogram sanity-checks the percentile summary.
 func TestLoadHistogram(t *testing.T) {
 	h := histogramOf(nil)

@@ -219,6 +219,9 @@ type Client struct {
 	// shardStores lists the per-shard stores in shard order (one entry
 	// when unsharded) for verification audits.
 	shardStores []shard.Store
+	// resharder is the lazily built migration controller (its crash
+	// journal must survive across Resharder calls).
+	resharder *Resharder
 }
 
 // New builds a client with its own simulated AWS region. To share one

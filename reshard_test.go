@@ -1,0 +1,151 @@
+package passcloud
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// driveReshardWorkload writes enough chained files that every shard of a
+// 4-shard client ends up owning part of the namespace.
+func driveReshardWorkload(t *testing.T, c *Client) []string {
+	t.Helper()
+	var paths []string
+	for i := 0; i < 16; i++ {
+		p := c.Exec(nil, ProcessSpec{Name: "gen", Argv: []string{"gen", fmt.Sprint(i)}})
+		if i > 0 {
+			if err := p.Read(paths[i-1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		path := fmt.Sprintf("/reshard/f%d", i)
+		if err := p.Write(path, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Close(ctx, path); err != nil {
+			t.Fatal(err)
+		}
+		p.Exit()
+		paths = append(paths, path)
+	}
+	if err := c.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle()
+	return paths
+}
+
+// TestReshardVerifyAfterCutover: immediately after an elastic-resharding
+// cutover, VerifyLineage must pass for every object — the moved ones now
+// audited on the destination shard, the unmoved ones still on their
+// source — and VerifyAll must certify every shard, on all three
+// architectures.
+func TestReshardVerifyAfterCutover(t *testing.T) {
+	for _, arch := range allArchitectures {
+		t.Run(arch.String(), func(t *testing.T) {
+			c, err := New(Options{Architecture: arch, Seed: 77, Shards: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			paths := driveReshardWorkload(t, c)
+
+			// Record each object's pre-cutover home shard; lineage must
+			// already be intact.
+			pre := make(map[string]int, len(paths))
+			for _, path := range paths {
+				rep, err := c.VerifyLineage(ctx, path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Clean() {
+					t.Fatalf("pre-cutover lineage of %s diverged: %v", path, rep.Divergences)
+				}
+				pre[path] = rep.Shard
+			}
+
+			rs, err := c.Resharder()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Merge the first file's home shard into another: a provably
+			// non-empty arc.
+			src := pre[paths[0]]
+			dst := (src + 1) % 4
+			rep, err := rs.Merge(ctx, src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Action != "merge" || rep.Epoch != 1 || rep.Subjects == 0 {
+				t.Fatalf("unexpected migration report: %+v", rep)
+			}
+			if st := rs.Status(); st.Phase != "idle" || st.Migrating {
+				t.Fatalf("controller not idle after cutover: %+v", st)
+			}
+
+			// Every lineage must verify on its post-cutover home: objects
+			// from src now audit on dst, the rest where they were.
+			moved, stayed := 0, 0
+			for _, path := range paths {
+				lr, err := c.VerifyLineage(ctx, path)
+				if err != nil {
+					t.Fatalf("post-cutover VerifyLineage(%s): %v", path, err)
+				}
+				if !lr.Clean() {
+					t.Errorf("post-cutover lineage of %s diverged: %v", path, lr.Divergences)
+				}
+				switch {
+				case pre[path] == src:
+					if lr.Shard != dst {
+						t.Errorf("%s: moved object audits on shard %d, want %d", path, lr.Shard, dst)
+					}
+					moved++
+				default:
+					if lr.Shard != pre[path] {
+						t.Errorf("%s: unmoved object changed home %d -> %d", path, pre[path], lr.Shard)
+					}
+					stayed++
+				}
+			}
+			if moved == 0 || stayed == 0 {
+				t.Fatalf("workload did not cover both sides of the cutover (moved=%d stayed=%d)", moved, stayed)
+			}
+
+			// The whole namespace — emptied source shard included — must
+			// still certify.
+			vr, err := c.VerifyAll(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !vr.Clean() {
+				t.Fatalf("post-cutover namespace verification failed: %v", vr.Divergences())
+			}
+
+			// The data plane agrees: every object still reads back with
+			// provenance through the flipped ring.
+			for i, path := range paths {
+				obj, err := c.Get(ctx, path)
+				if err != nil {
+					t.Fatalf("Get(%s): %v", path, err)
+				}
+				if want := fmt.Sprintf("payload-%d", i); string(obj.Data) != want {
+					t.Errorf("%s: data %q, want %q", path, obj.Data, want)
+				}
+				if len(obj.Records) == 0 {
+					t.Errorf("%s: readable without provenance after cutover", path)
+				}
+			}
+		})
+	}
+}
+
+// TestResharderUnsharded: the controller is a sharded-deployment feature;
+// unsharded clients get the typed error.
+func TestResharderUnsharded(t *testing.T) {
+	c, err := New(Options{Architecture: S3SimpleDB, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resharder(); !errors.Is(err, ErrNotSharded) {
+		t.Fatalf("Resharder on unsharded client: err=%v, want ErrNotSharded", err)
+	}
+}

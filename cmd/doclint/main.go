@@ -15,7 +15,10 @@
 //	doclint ./ ./internal/core ./internal/prov
 //	doclint -md README.md -md ARCHITECTURE.md ./...
 //
-// Exit status 1 when any finding is reported.
+// Exit status 1 when any finding is reported. doclint checks that the
+// code is explained; its companion gate, cmd/passvet, checks that the
+// code obeys the store's concurrency, determinism, and metering
+// invariants.
 package main
 
 import (

@@ -19,6 +19,10 @@ var lintedPackages = []string{
 	"internal/cloud/retry",
 	"internal/cloud/billing",
 	"internal/workload",
+	"internal/analysis",
+	"internal/analysis/analysistest",
+	"internal/leakcheck",
+	"cmd/passvet",
 }
 
 // lintedMarkdown are the documents whose relative links must resolve.

@@ -1,0 +1,101 @@
+// Command passvet runs the repository's static-analysis suite
+// (internal/analysis) over the given packages — the multichecker for
+// the store's own invariants, run by CI's docs job and, through
+// internal/analysis's tree test, by plain `go test ./...`.
+//
+// The suite enforces: contexts flow in from the API (ctxflow), all time
+// comes from sim.Clock (simclock), outer cloud mutations ride
+// retry.Retrier.Do (retrywrap), sentinel errors match via errors.Is and
+// wrap via %w (errsentinel), and billing meter keys are static
+// (meterkey). See ARCHITECTURE.md § "Static analysis" for the
+// rationale behind each invariant, and cmd/doclint for the companion
+// documentation gate.
+//
+// Usage:
+//
+//	passvet [-list] [-only a,b] [packages]
+//
+// Packages default to ./..., resolved by the go command from the
+// working directory. Exit status is 1 when findings are reported, 2 on
+// load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"passcloud/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and their one-line docs, then exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	suite, err := selectAnalyzers(suite, *only)
+	if err != nil {
+		fatalf("%v (try -list)", err)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mod, err := analysis.Load(cwd, flag.Args()...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	findings, err := analysis.Run(mod.Packages(), suite)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, f := range findings {
+		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers filters the suite down to the comma-separated names
+// in only, preserving suite order; an empty only keeps everything, an
+// unknown name is an error.
+func selectAnalyzers(suite []*analysis.Analyzer, only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	keep := map[string]bool{}
+	for _, name := range strings.Split(only, ",") {
+		keep[strings.TrimSpace(name)] = true
+	}
+	var sel []*analysis.Analyzer
+	for _, a := range suite {
+		if keep[a.Name] {
+			sel = append(sel, a)
+			delete(keep, a.Name)
+		}
+	}
+	for name := range keep {
+		return nil, fmt.Errorf("unknown analyzer %q", name)
+	}
+	return sel, nil
+}
+
+// fatalf reports a driver error and exits with status 2.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "passvet: "+format+"\n", args...)
+	os.Exit(2)
+}

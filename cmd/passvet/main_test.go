@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"passcloud/internal/analysis"
+)
+
+// TestSelectAnalyzers covers the -only flag's selection semantics.
+func TestSelectAnalyzers(t *testing.T) {
+	suite := analysis.All()
+
+	all, err := selectAnalyzers(suite, "")
+	if err != nil || len(all) != len(suite) {
+		t.Fatalf("empty -only: got %d analyzers, err %v; want the full suite", len(all), err)
+	}
+
+	sel, err := selectAnalyzers(suite, "meterkey, ctxflow")
+	if err != nil {
+		t.Fatalf("selecting two analyzers: %v", err)
+	}
+	if len(sel) != 2 || sel[0].Name != "ctxflow" || sel[1].Name != "meterkey" {
+		t.Errorf("selection = %v, want suite-ordered [ctxflow meterkey]", names(sel))
+	}
+
+	if _, err := selectAnalyzers(suite, "ctxflow,nosuch"); err == nil {
+		t.Error("unknown analyzer name did not error")
+	}
+}
+
+// names projects analyzer names for failure messages.
+func names(as []*analysis.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}

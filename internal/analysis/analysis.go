@@ -1,0 +1,230 @@
+// Package analysis is the repository's static-analysis suite: five
+// analyzers that encode invariants the store's correctness arguments
+// depend on, plus the driver that runs them over type-checked packages.
+// Command passvet (cmd/passvet) is the command-line front end; the
+// package's own tests run every analyzer over the whole tree so the
+// invariants hold under plain `go test ./...`, not just in CI.
+//
+// The analyzers:
+//
+//   - ctxflow: no context.Background/context.TODO in library code —
+//     contexts must flow in from the public API so cancellation reaches
+//     every cloud call (test files exempt).
+//   - simclock: no wall-clock time (time.Now, time.Sleep, timers) in
+//     sim-driven packages — all time must come from sim.Clock, or seeded
+//     sweeps (SWEEP_SEEDS) stop replaying deterministically.
+//   - retrywrap: raw S3/SimpleDB/SQS mutations in store write paths must
+//     run inside retry.Retrier.Do, the shared resilience policy.
+//   - errsentinel: sentinel errors compare with errors.Is, and error
+//     causes wrap with %w — == comparisons and %v flattening strip the
+//     awserr classification retry and recovery dispatch on.
+//   - meterkey: billing meter keys (and retry op-site names) must be
+//     string literals, constants, or literal-fed parameters, so the
+//     benchdiff gate can never silently miss a dynamically built key.
+//
+// The API mirrors the shapes of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) so the analyzers could be ported to the
+// upstream multichecker verbatim, but it is implemented self-contained
+// on the standard library: the module ships no third-party
+// dependencies, and the loader (Load) gets its type information from
+// `go list -export` plus the gc export-data importer instead of
+// go/packages.
+//
+// Intentional exceptions are annotated at the call site with
+//
+//	//passvet:allow <analyzer> -- <reason>
+//
+// which suppresses that analyzer's findings on the same and the next
+// line. The reason is mandatory; a malformed or unknown directive is
+// itself reported, so stale annotations cannot accumulate silently.
+// See ARCHITECTURE.md § "Static analysis" for what each invariant
+// protects.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer so checks written here port
+// to the upstream driver unchanged.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in
+	// //passvet:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the check to one package, reporting findings through
+	// the Pass.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for its findings.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions for every file in the load.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression, definition, use
+	// and selection records for Files.
+	TypesInfo *types.Info
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Finding is one reported violation, resolved to a file position.
+type Finding struct {
+	// Pos locates the offending expression.
+	Pos token.Position
+	// Analyzer names the check that fired ("passvet" for driver-level
+	// findings such as malformed allow directives).
+	Analyzer string
+	// Message states the violation and the invariant it breaks.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Ctxflow, Simclock, Retrywrap, Errsentinel, Meterkey}
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// findings sorted by position: //passvet:allow directives are applied,
+// and malformed or unknown directives are reported under the "passvet"
+// name so annotations stay well-formed. Directive names are validated
+// against the full suite, not just the analyzers being run, so a
+// narrowed run (passvet -only) never misreports a valid annotation.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		dirs, bad := directives(pkg, known)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			var raw []Finding
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				report:    func(f Finding) { raw = append(raw, f) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, f := range raw {
+				if !dirs.suppresses(a.Name, f.Pos) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// allowPrefix introduces a suppression directive comment.
+const allowPrefix = "//passvet:allow"
+
+// allowSet indexes allow directives by file, analyzer and line.
+type allowSet map[string]map[string]map[int]bool
+
+// suppresses reports whether a directive for analyzer name covers pos.
+// A directive covers its own line and the next, so it can sit either at
+// the end of the offending line or on its own line above it.
+func (s allowSet) suppresses(name string, pos token.Position) bool {
+	lines := s[pos.Filename][name]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// directives scans a package's comments for //passvet:allow
+// annotations. Malformed directives — unknown analyzer, missing
+// "-- reason" — come back as findings so they fail the zero-findings
+// gate instead of silently suppressing nothing.
+func directives(pkg *Package, known map[string]bool) (allowSet, []Finding) {
+	set := allowSet{}
+	var bad []Finding
+	report := func(pos token.Position, format string, args ...any) {
+		bad = append(bad, Finding{Pos: pos, Analyzer: "passvet", Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+					report(pos, "malformed directive: want %q", allowPrefix+" <analyzer> -- <reason>")
+					continue
+				}
+				name, reason, ok := strings.Cut(strings.TrimSpace(rest), "--")
+				name = strings.TrimSpace(name)
+				if !ok || strings.TrimSpace(reason) == "" {
+					report(pos, "allow directive for %q needs a reason: %q", name, allowPrefix+" "+name+" -- <reason>")
+					continue
+				}
+				if !known[name] {
+					report(pos, "allow directive names unknown analyzer %q", name)
+					continue
+				}
+				file := set[pos.Filename]
+				if file == nil {
+					file = map[string]map[int]bool{}
+					set[pos.Filename] = file
+				}
+				lines := file[name]
+				if lines == nil {
+					lines = map[int]bool{}
+					file[name] = lines
+				}
+				lines[pos.Line] = true
+			}
+		}
+	}
+	return set, bad
+}

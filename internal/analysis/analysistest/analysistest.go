@@ -1,0 +1,126 @@
+// Package analysistest runs one analyzer over a golden fixture package
+// and checks its findings against // want comments — the fixture
+// discipline of golang.org/x/tools/go/analysis/analysistest, rebuilt on
+// the self-contained loader in internal/analysis.
+//
+// Fixtures live under internal/analysis/testdata/src/<import-path>/ and
+// are loaded with that import path, so analyzers that scope their rules
+// by package path (all of them) see fixtures exactly as they would see
+// real tree positions; testdata is invisible to the go tool, so the
+// fixtures never leak into builds. Because fixtures type-check against
+// the module's real export data they may import the real
+// internal/cloud, internal/cloud/retry and internal/cloud/billing
+// packages — receiver-type checks run against the true types, not
+// stand-ins.
+//
+// Expectations: a line that should be flagged carries a trailing
+//
+//	// want "regexp"
+//
+// comment (several quoted regexps allowed); every finding must match a
+// want on its line and every want must be matched. //passvet:allow
+// directives are honoured before matching, so fixtures also prove the
+// allowlist mechanism.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"passcloud/internal/analysis"
+)
+
+// wantRE matches one expectation comment; the regexps follow in either
+// double-quoted or backquoted form.
+var wantRE = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+
+// quotedRE extracts the individual quoted expectations.
+var quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run loads the fixture package at
+// internal/analysis/testdata/src/<pkgPath> under the import path
+// pkgPath, applies the analyzer, and fails t on any mismatch between
+// findings and // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	mod, err := analysis.Default()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	dir := filepath.Join(mod.Dir, "internal/analysis/testdata/src", filepath.FromSlash(pkgPath))
+	pkg, err := mod.CheckDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					text, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, text, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := map[key][]bool{}
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		res := wants[k]
+		hit := false
+		for i, re := range res {
+			if re.MatchString(f.Message) {
+				if matched[k] == nil {
+					matched[k] = make([]bool, len(res))
+				}
+				matched[k][i] = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if matched[k] == nil || !matched[k][i] {
+				t.Errorf("%s:%d: no finding matched want %q", relTo(mod.Dir, k.file), k.line, re)
+			}
+		}
+	}
+}
+
+// relTo shortens file paths in failure messages.
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Ctxflow reports context.Background and context.TODO in library code.
+//
+// Every cloud call in the store takes a context so cancellation and
+// deadlines reach the innermost retry loop (see cancel_test.go for the
+// behaviour this buys). A context minted mid-library with
+// context.Background severs that chain: the caller's cancellation
+// silently stops propagating and a wedged cloud call can no longer be
+// abandoned. Contexts must therefore flow in from the public API; only
+// process entry points (cmd/..., examples/...) and test files may
+// create roots.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "forbid context.Background/context.TODO in library code; contexts must flow in from the API",
+	Run:  runCtxflow,
+}
+
+// runCtxflow flags context root constructors in scope.
+func runCtxflow(pass *Pass) error {
+	if !inLibrary(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if name := fn.Name(); name == "Background" || name == "TODO" {
+				pass.Reportf(call.Pos(), "context.%s in library code severs the caller's cancellation chain; accept a context from the API instead", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

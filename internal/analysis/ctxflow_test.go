@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"passcloud/internal/analysis"
+	"passcloud/internal/analysis/analysistest"
+)
+
+// TestCtxflowFixture proves ctxflow catches minted context roots in
+// library code, leaves derived contexts alone, and exempts test files.
+func TestCtxflowFixture(t *testing.T) {
+	analysistest.Run(t, analysis.Ctxflow, "passcloud/internal/fix/ctxflow")
+}
+
+// TestCtxflowScope proves cmd/... packages are out of scope: a command
+// may mint its own roots.
+func TestCtxflowScope(t *testing.T) {
+	analysistest.Run(t, analysis.Ctxflow, "passcloud/cmd/fixscope")
+}

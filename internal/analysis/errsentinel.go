@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// Errsentinel reports error comparisons and wraps that defeat the
+// errors.Is/errors.As chain.
+//
+// The fault model's dispatch is classification-driven: retry.Retrier
+// keeps trying only while awserr.Transient(err) holds, recovery code
+// matches sim.ErrCrash and the store's sentinels (ErrBadCursor,
+// retry.ErrExhausted, ...) with errors.Is, and retry itself returns
+// sentinels wrapped in context ("%w after %d attempts"). An `err ==
+// ErrX` comparison is false the moment anyone adds such context, and a
+// `fmt.Errorf("...: %v", err)` wrap flattens the chain so downstream
+// errors.Is and awserr.Transient stop seeing the classification at all.
+// The check flags ==/!= between error values (nil comparisons are
+// fine), error-typed switch cases, and fmt.Errorf verbs other than %w
+// applied to error operands.
+var Errsentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc:  "match sentinel errors with errors.Is and wrap causes with %w, not ==/%v, so awserr classification survives",
+	Run:  runErrsentinel,
+}
+
+// runErrsentinel flags identity comparisons and flattening wraps.
+func runErrsentinel(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					if errOperand(pass, n.X) && errOperand(pass, n.Y) {
+						pass.Reportf(n.Pos(), "error compared with %s; use errors.Is so wrapped sentinels still match", n.Op)
+					}
+				}
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errOperand reports whether e is a non-nil expression of a type
+// implementing error.
+func errOperand(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	return implementsError(tv.Type)
+}
+
+// checkErrSwitch flags `switch err { case ErrX: }`, the == comparison
+// in disguise.
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !errOperand(pass, sw.Tag) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if errOperand(pass, e) {
+				pass.Reportf(e.Pos(), "error matched by switch case identity; use errors.Is so wrapped sentinels still match")
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose non-%w verbs consume
+// error operands.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return
+	}
+	operands := call.Args[1:]
+	for _, v := range verbs {
+		if v.verb == 'w' || v.arg >= len(operands) {
+			continue
+		}
+		if errOperand(pass, operands[v.arg]) {
+			pass.Reportf(operands[v.arg].Pos(), "error flattened by %%%c; wrap with %%w so errors.Is and awserr classification keep working", v.verb)
+		}
+	}
+}
+
+// verbUse pairs one conversion verb with the operand index it consumes.
+type verbUse struct {
+	arg  int
+	verb rune
+}
+
+// formatVerbs scans a Printf-style format string and maps each
+// argument-consuming verb to its operand index. Formats using explicit
+// argument indexes (%[1]v) return ok=false and are skipped rather than
+// guessed at.
+func formatVerbs(format string) (uses []verbUse, ok bool) {
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width and precision; '*' consumes an operand.
+		for i < len(runes) {
+			c := runes[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		uses = append(uses, verbUse{arg: arg, verb: runes[i]})
+		arg++
+	}
+	return uses, true
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"passcloud/internal/analysis"
+	"passcloud/internal/analysis/analysistest"
+)
+
+// TestErrsentinelFixture proves errsentinel catches ==/!= and switch
+// identity matches between errors and non-%w wrapping verbs, while
+// errors.Is, %w (including multiple %w) and nil checks pass.
+func TestErrsentinelFixture(t *testing.T) {
+	analysistest.Run(t, analysis.Errsentinel, "passcloud/internal/fix/errsentinel")
+}

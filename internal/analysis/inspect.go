@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// inspectStack walks every node of f depth-first, passing fn the node
+// and its ancestor stack (outermost first, the node itself excluded).
+// Returning false prunes the node's subtree.
+func inspectStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil when the callee is not a declared function (a function-typed
+// variable, a type conversion, a builtin).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isTestFile reports whether the file a pass position falls in is a
+// _test.go file.
+func isTestFile(p *Pass, f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// modulePath is the main module this suite's rules are written for:
+// scope predicates and the mutation/retry method tables below name its
+// packages explicitly.
+const modulePath = "passcloud"
+
+// inLibrary reports whether pkgPath is library code: the module root
+// package or anything under internal/. Commands (cmd/...) and runnable
+// examples (examples/...) sit at the process boundary where roots like
+// context.Background and wall clocks legitimately originate.
+func inLibrary(pkgPath string) bool {
+	return pkgPath == modulePath || strings.HasPrefix(pkgPath, modulePath+"/internal/")
+}
+
+// errorIface is the universe error interface, for implements checks.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t implements error.
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

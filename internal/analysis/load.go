@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the package's import path.
+	PkgPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Fset is the file set shared by every package of one load.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo records the type-checker's findings for Files.
+	TypesInfo *types.Info
+}
+
+// A Module is one load of a Go module: the export data of every
+// dependency plus the parsed, type-checked packages of the module
+// itself. It is the unit the driver and the fixture runner share.
+type Module struct {
+	// Dir is the directory the packages were resolved from.
+	Dir string
+	// Path is the main module's path.
+	Path string
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export-data file
+	imp     types.ImporterFrom
+	pkgs    []*Package
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+}
+
+// Load resolves patterns with the go command from dir, building export
+// data for every dependency, and returns the main-module packages
+// parsed and type-checked. Test files are not loaded: the invariants
+// the suite enforces are library-code invariants (and several checks
+// explicitly exempt tests), so the tree gate covers non-test sources.
+//
+// Only the standard library is used: instead of go/packages, the loader
+// runs `go list -deps -export -json` and feeds the reported export
+// files to the gc importer, so the module needs no dependency beyond
+// the toolchain itself.
+func Load(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	m := &Module{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: map[string]string{},
+	}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			m.exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.Main {
+			m.Path = p.Module.Path
+			targets = append(targets, p)
+		}
+	}
+	m.imp = importer.ForCompiler(m.fset, "gc", m.lookup).(types.ImporterFrom)
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := m.check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		m.pkgs = append(m.pkgs, pkg)
+	}
+	return m, nil
+}
+
+// lookup opens the export data for one import path; the gc importer
+// calls it for every package a type-checked file mentions.
+func (m *Module) lookup(path string) (io.ReadCloser, error) {
+	f, ok := m.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// Packages returns the loaded main-module packages in load order.
+func (m *Module) Packages() []*Package { return m.pkgs }
+
+// check parses and type-checks one package from explicit file paths.
+func (m *Module) check(pkgPath, dir string, files []string) (*Package, error) {
+	pkg := &Package{PkgPath: pkgPath, Dir: dir, Fset: m.fset}
+	for _, name := range files {
+		f, err := parser.ParseFile(m.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.TypesInfo = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: m.imp}
+	tpkg, err := conf.Check(pkgPath, m.fset, pkg.Files, pkg.TypesInfo)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", pkgPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// CheckDir parses every .go file in dir — test files included — as one
+// package with the given import path and type-checks it against the
+// module's export data. The fixture runner uses it to load testdata
+// packages under synthetic import paths (the analyzers scope their
+// rules by path), while still letting fixtures import the module's real
+// packages so receiver-type checks run against the real types.
+func (m *Module) CheckDir(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return m.check(pkgPath, dir, files)
+}
+
+var (
+	defaultOnce sync.Once
+	defaultMod  *Module
+	defaultErr  error
+)
+
+// Default loads the enclosing module's ./... packages once per process
+// and caches the result; the tree-gate test and every fixture test
+// share it. The module root is found by walking up from the working
+// directory to the nearest go.mod.
+func Default() (*Module, error) {
+	defaultOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			defaultErr = err
+			return
+		}
+		defaultMod, defaultErr = Load(root, "./...")
+	})
+	return defaultMod, defaultErr
+}
+
+// moduleRoot walks up from the working directory to the directory
+// holding go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

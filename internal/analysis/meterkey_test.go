@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"passcloud/internal/analysis"
+	"passcloud/internal/analysis/analysistest"
+)
+
+// TestMeterkeyFixture proves meterkey catches dynamically built billing
+// keys and retry op-site names — including at call sites of key
+// forwarders — while literals, constants, constant concatenation and
+// literal-fed parameters pass.
+func TestMeterkeyFixture(t *testing.T) {
+	analysistest.Run(t, analysis.Meterkey, "passcloud/internal/fix/meterkey")
+}

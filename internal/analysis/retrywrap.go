@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Retrywrap reports raw cloud mutations outside retry.Retrier.Do in
+// store write paths.
+//
+// PR 4's resilience argument rests on every outer cloud write riding
+// the shared retry policy: transient faults back off with jitter under
+// an attempt and wait budget, the attempts are metered, and the fault
+// sweep proves each wrapped site idempotent under re-apply. A mutation
+// issued directly on an S3/SimpleDB/SQS service bypasses all of that —
+// one injected throttle fails the whole write. The check applies to the
+// store protocol packages (internal/core/...); internal/core/sweep is
+// exempt because corrupting state through raw cloud access is exactly
+// its job. Read paths are unrestricted, and deliberate raw mutations
+// (e.g. one-shot setup guarded elsewhere) carry a per-call-site
+// //passvet:allow retrywrap directive with the reason.
+var Retrywrap = &Analyzer{
+	Name: "retrywrap",
+	Doc:  "raw S3/SimpleDB/SQS mutations in store write paths must run inside retry.Retrier.Do",
+	Run:  runRetrywrap,
+}
+
+// retrierDo is the wrapper method every outer cloud write must run
+// under.
+const retrierDo = "(*" + modulePath + "/internal/cloud/retry.Retrier).Do"
+
+// cloudMutations lists the simulated services' state-changing methods
+// by full name. Reads (Get, Head, List, Select, GetAttributes,
+// ReceiveMessage, ...) are deliberately absent: a lost read response is
+// re-driven by the protocol, not the retry policy.
+var cloudMutations = func() map[string]bool {
+	m := map[string]bool{}
+	for svc, methods := range map[string][]string{
+		"s3":  {"Put", "Copy", "Delete", "CreateBucket", "DeleteBucket"},
+		"sdb": {"PutAttributes", "BatchPutAttributes", "DeleteAttributes", "CreateDomain", "DeleteDomain"},
+		"sqs": {"SendMessage", "DeleteMessage", "CreateQueue", "DeleteQueue"},
+	} {
+		for _, name := range methods {
+			m["(*"+modulePath+"/internal/cloud/"+svc+".Service)."+name] = true
+		}
+	}
+	return m
+}()
+
+// runRetrywrap flags unwrapped mutations in scope.
+func runRetrywrap(pass *Pass) error {
+	path := pass.Pkg.Path()
+	storeScope := strings.HasPrefix(path, modulePath+"/internal/core")
+	sweep := path == modulePath+"/internal/core/sweep" || strings.HasPrefix(path, modulePath+"/internal/core/sweep/")
+	if !storeScope || sweep {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || !cloudMutations[fn.FullName()] {
+				return true
+			}
+			if !wrappedByRetrier(pass, stack) {
+				pass.Reportf(call.Pos(), "raw %s mutation outside retry.Retrier.Do; wrap it so transient faults back off under the shared policy (or annotate with %s retrywrap -- <reason>)", fn.Name(), allowPrefix)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// wrappedByRetrier reports whether the node whose ancestor stack is
+// given sits inside a function literal passed directly to
+// retry.Retrier.Do.
+func wrappedByRetrier(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		call, ok := stack[i-1].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.FullName() != retrierDo {
+			continue
+		}
+		for _, arg := range call.Args {
+			if ast.Unparen(arg) == lit {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"passcloud/internal/analysis"
+	"passcloud/internal/analysis/analysistest"
+)
+
+// TestRetrywrapFixture proves retrywrap catches unwrapped S3, SimpleDB
+// and SQS mutations in store-path packages, accepts mutations inside
+// retry.Retrier.Do closures and plain reads, and honours the
+// per-call-site allowlist directive.
+func TestRetrywrapFixture(t *testing.T) {
+	analysistest.Run(t, analysis.Retrywrap, "passcloud/internal/core/fix/retrywrap")
+}
+
+// TestRetrywrapSweepExempt proves internal/core/sweep/... is exempt:
+// the fault sweep's corruption class mutates raw cloud state by design.
+func TestRetrywrapSweepExempt(t *testing.T) {
+	analysistest.Run(t, analysis.Retrywrap, "passcloud/internal/core/sweep/fix")
+}

@@ -1,0 +1,18 @@
+// Package fixscope is a golden fixture proving the library-scope
+// predicate: cmd/... sits at the process boundary, so ctxflow and
+// simclock leave its context roots and wall clocks alone. No want
+// comments — any finding here fails the fixture.
+package fixscope
+
+import (
+	"context"
+	"time"
+)
+
+// entry does what a command entry point legitimately does.
+func entry() {
+	ctx := context.Background()
+	_ = ctx
+	_ = time.Now()
+	time.Sleep(0)
+}

@@ -1,0 +1,49 @@
+// Package retrywrap is a golden fixture for the retrywrap analyzer:
+// raw cloud mutations in store write paths are flagged unless they run
+// inside retry.Retrier.Do or carry a per-call-site allow directive;
+// reads are unrestricted.
+package retrywrap
+
+import (
+	"context"
+
+	"passcloud/internal/cloud/retry"
+	"passcloud/internal/cloud/s3"
+	"passcloud/internal/cloud/sdb"
+	"passcloud/internal/cloud/sqs"
+)
+
+// bad issues mutations directly against the services.
+func bad(svcS3 *s3.Service, svcSDB *sdb.Service, svcSQS *sqs.Service) {
+	_ = svcS3.Put("b", "k", nil, nil)                   // want `raw Put mutation outside retry\.Retrier\.Do`
+	_ = svcS3.Delete("b", "k")                          // want `raw Delete mutation outside retry\.Retrier\.Do`
+	_ = svcSDB.PutAttributes("d", "i", nil)             // want `raw PutAttributes mutation outside retry\.Retrier\.Do`
+	_, _ = svcSQS.SendMessage("q", "body")              // want `raw SendMessage mutation outside retry\.Retrier\.Do`
+	_ = svcSQS.DeleteMessage("q", "receipt")            // want `raw DeleteMessage mutation outside retry\.Retrier\.Do`
+	_ = svcSDB.BatchPutAttributes("d", []sdb.BatchItem{ // want `raw BatchPutAttributes mutation outside retry\.Retrier\.Do`
+		{Name: "i"},
+	})
+}
+
+// good wraps every mutation in the shared retry policy; reads need no
+// wrapper, and the read/migration escape hatch is an explicit
+// per-call-site directive.
+func good(ctx context.Context, r *retry.Retrier, svcS3 *s3.Service, svcSDB *sdb.Service) error {
+	if err := r.Do(ctx, "fix/put", func() error {
+		return svcS3.Put("b", "k", nil, nil)
+	}); err != nil {
+		return err
+	}
+	if err := r.Do(ctx, "fix/batch-put", func() error {
+		if err := svcSDB.PutAttributes("d", "i", nil); err != nil {
+			return err
+		}
+		return svcSDB.DeleteAttributes("d", "i", nil)
+	}); err != nil {
+		return err
+	}
+	_, _ = svcS3.ListAll("b", "prefix") // reads are not restricted
+	_, _, _ = svcSDB.GetAttributes("d", "i")
+	//passvet:allow retrywrap -- fixture: deliberate one-shot mutation on a path with its own recovery story
+	return svcS3.Delete("b", "stale")
+}

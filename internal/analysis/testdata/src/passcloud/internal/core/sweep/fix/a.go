@@ -1,0 +1,14 @@
+// Package fix is a golden fixture proving the retrywrap analyzer
+// exempts internal/core/sweep/...: the fault sweep corrupts state
+// through raw cloud access by design, so nothing here is flagged even
+// though every call is an unwrapped mutation.
+package fix
+
+import "passcloud/internal/cloud/s3"
+
+// corrupt mutates raw state the way the sweep's corruption fault class
+// does. No want comments — a finding in this package fails the fixture.
+func corrupt(svc *s3.Service) {
+	_ = svc.Put("b", "k", []byte{0xff}, nil)
+	_ = svc.Delete("b", "k")
+}

@@ -1,0 +1,27 @@
+// Package ctxflow is a golden fixture for the ctxflow analyzer: context
+// roots minted in library code are flagged; flowing contexts are not.
+package ctxflow
+
+import "context"
+
+// bad mints context roots mid-library.
+func bad() {
+	ctx := context.Background() // want `context\.Background in library code`
+	_ = ctx
+	use(context.TODO()) // want `context\.TODO in library code`
+}
+
+// good receives its context from the caller, as the API contract
+// requires, and derives children from it freely.
+func good(ctx context.Context) {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	use(child)
+	use(context.WithValue(ctx, ctxKey{}, "v"))
+}
+
+// ctxKey is a private context key type.
+type ctxKey struct{}
+
+// use sinks a context.
+func use(context.Context) {}

@@ -1,0 +1,11 @@
+package ctxflow
+
+import "context"
+
+// testHelper may mint context roots: tests are the process entry point
+// of their run, so the ctxflow analyzer exempts _test.go files. No
+// want comments here — a finding in this file fails the fixture.
+func testHelper() {
+	use(context.Background())
+	use(context.TODO())
+}

@@ -1,0 +1,46 @@
+// Package errsentinel is a golden fixture for the errsentinel analyzer:
+// identity comparisons of errors and non-%w wrapping verbs are flagged;
+// errors.Is, %w wrapping and nil checks are not.
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+
+	"passcloud/internal/cloud/retry"
+)
+
+// ErrLocal is a package sentinel.
+var ErrLocal = errors.New("fixture: local sentinel")
+
+// bad compares and wraps in the classification-stripping ways.
+func bad(err error) error {
+	if err == ErrLocal { // want `error compared with ==`
+		return nil
+	}
+	if err != retry.ErrExhausted { // want `error compared with !=`
+		return nil
+	}
+	switch err {
+	case ErrLocal: // want `error matched by switch case identity`
+		return nil
+	}
+	return fmt.Errorf("load failed: %v", err) // want `error flattened by %v`
+}
+
+// badFlatten loses the chain through %s and mixed verbs.
+func badFlatten(err error) error {
+	_ = fmt.Errorf("shard %d: %s", 4, err)                    // want `error flattened by %s`
+	return fmt.Errorf("%w while draining: %v", ErrLocal, err) // want `error flattened by %v`
+}
+
+// good keeps the errors.Is chain intact.
+func good(err error) error {
+	if err == nil || errors.Is(err, ErrLocal) {
+		return nil
+	}
+	if errors.Is(err, retry.ErrExhausted) {
+		return fmt.Errorf("gave up: %w", err)
+	}
+	return fmt.Errorf("%w: %w", ErrLocal, err)
+}

@@ -1,0 +1,33 @@
+// Package simclock is a golden fixture for the simclock analyzer: wall
+// clock origination is flagged, sim.Clock use and time arithmetic are
+// not, and an allow directive suppresses a deliberate exception.
+package simclock
+
+import (
+	"time"
+
+	"passcloud/internal/sim"
+)
+
+// bad reads and waits on the host clock.
+func bad() {
+	_ = time.Now()                      // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)        // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Millisecond)      // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Millisecond) // want `time\.NewTimer reads the wall clock`
+	_ = time.Since(sim.Epoch)           // want `time\.Since reads the wall clock`
+}
+
+// good takes time from the injected clock; arithmetic on obtained
+// values — including the time.Time.After method — is unrestricted.
+func good(clock sim.Clock) bool {
+	now := clock.Now()
+	deadline := now.Add(30 * time.Second)
+	return deadline.After(now) || now.Sub(sim.Epoch) > 0
+}
+
+// allowed demonstrates the per-call-site escape hatch.
+func allowed() time.Time {
+	//passvet:allow simclock -- fixture: wall time is the measurement here
+	return time.Now()
+}

@@ -1,0 +1,66 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"passcloud/internal/analysis"
+)
+
+// TestTreeHasZeroFindings runs the whole suite over every package of
+// the module — the same run `go run ./cmd/passvet ./...` performs — and
+// requires zero findings. This is the gate that keeps the invariants
+// true for every future change under plain `go test ./...`: a new raw
+// mutation, wall-clock read, == sentinel comparison or dynamic meter
+// key fails the build here, not in a reviewer's head.
+func TestTreeHasZeroFindings(t *testing.T) {
+	mod, err := analysis.Default()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := analysis.Run(mod.Packages(), analysis.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("fix the finding, or for a deliberate exception annotate the call site with `//passvet:allow <analyzer> -- <reason>`")
+	}
+}
+
+// TestNarrowedRunKeepsDirectivesValid guards directive validation under
+// `passvet -only`: running a subset of the suite over the tree must not
+// report the repository's existing //passvet:allow annotations (which
+// name analyzers outside the subset) as unknown.
+func TestNarrowedRunKeepsDirectivesValid(t *testing.T) {
+	mod, err := analysis.Default()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := analysis.Run(mod.Packages(), []*analysis.Analyzer{analysis.Ctxflow})
+	if err != nil {
+		t.Fatalf("running ctxflow alone: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("narrowed run reported: %s", f)
+	}
+}
+
+// TestSuiteShape pins the suite's composition: every analyzer present
+// exactly once, each carrying a one-line doc for passvet -list.
+func TestSuiteShape(t *testing.T) {
+	want := []string{"ctxflow", "simclock", "retrywrap", "errsentinel", "meterkey"}
+	suite := analysis.All()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run function", a.Name)
+		}
+	}
+}

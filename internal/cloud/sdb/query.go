@@ -368,7 +368,7 @@ func (s *Service) queryLocked(op, domainName, expr string, maxResults int, nextT
 
 	q, err := parseQuery(expr)
 	if err != nil {
-		return nil, nil, "", opErr(op, domainName, "", fmt.Errorf("%w: %v", ErrInvalidQuery, err))
+		return nil, nil, "", opErr(op, domainName, "", fmt.Errorf("%w: %w", ErrInvalidQuery, err))
 	}
 	if maxResults <= 0 || maxResults > QueryPageLimit {
 		maxResults = QueryPageLimit
@@ -386,7 +386,7 @@ func (s *Service) queryLocked(op, domainName, expr string, maxResults int, nextT
 
 	all, err := evalQuery(v, q)
 	if err != nil {
-		return nil, nil, "", opErr(op, domainName, "", fmt.Errorf("%w: %v", ErrInvalidQuery, err))
+		return nil, nil, "", opErr(op, domainName, "", fmt.Errorf("%w: %w", ErrInvalidQuery, err))
 	}
 	if offset > len(all) {
 		offset = len(all)

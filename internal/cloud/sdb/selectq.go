@@ -503,7 +503,7 @@ func (s *Service) Select(expr string, nextToken string) (*SelectResult, error) {
 
 	st, err := parseSelect(expr)
 	if err != nil {
-		return nil, opErr("Select", "", "", fmt.Errorf("%w: %v", ErrInvalidQuery, err))
+		return nil, opErr("Select", "", "", fmt.Errorf("%w: %w", ErrInvalidQuery, err))
 	}
 	d, ok := s.domains[st.domain]
 	if !ok {

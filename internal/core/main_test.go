@@ -1,0 +1,11 @@
+package core
+
+import (
+	"testing"
+
+	"passcloud/internal/leakcheck"
+)
+
+// TestMain fails the binary if the fan-out scan workers (fanout.go)
+// leave goroutines behind after the tests pass.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -152,7 +152,7 @@ func encodeCursor(st cursorState) string {
 func decodeCursor(s string) (cursorState, error) {
 	raw, err := base64.RawURLEncoding.DecodeString(s)
 	if err != nil {
-		return cursorState{}, fmt.Errorf("%w: %v", ErrBadCursor, err)
+		return cursorState{}, fmt.Errorf("%w: %w", ErrBadCursor, err)
 	}
 	parts := strings.Split(string(raw), "|")
 	if len(parts) != 4 || parts[0] != "c1" {

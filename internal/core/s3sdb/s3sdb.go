@@ -434,7 +434,10 @@ func (s *Store) orphanScan(ctx context.Context) ([]prov.Ref, error) {
 		if !orphan {
 			continue
 		}
-		if err := s.cloud.SDB.DeleteAttributes(s.layer.Domain(), prov.EncodeItemName(ref), nil); err != nil {
+		item := prov.EncodeItemName(ref)
+		if err := s.layer.Retrier().Do(ctx, "s3sdb/orphan-delete", func() error {
+			return s.cloud.SDB.DeleteAttributes(s.layer.Domain(), item, nil)
+		}); err != nil {
 			return orphans, err
 		}
 		orphans = append(orphans, ref)

@@ -166,6 +166,7 @@ func (d *CommitDaemon) drain(ctx context.Context) error {
 			if err != nil {
 				// A corrupt message cannot belong to a valid commit;
 				// delete it so it stops churning.
+				//passvet:allow retrywrap -- best-effort purge of an undecodable message: a lost delete only means SQS re-offers it next round, so retrying here buys nothing
 				_ = d.cloud.SQS.DeleteMessage(d.queue, m.ReceiptHandle)
 				continue
 			}

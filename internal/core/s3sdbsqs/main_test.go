@@ -1,0 +1,11 @@
+package s3sdbsqs
+
+import (
+	"testing"
+
+	"passcloud/internal/leakcheck"
+)
+
+// TestMain fails the binary if the WAL commit daemon's drain and
+// cleanup loops leave goroutines behind after the tests pass.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -108,6 +108,7 @@ func New(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	queue := "wal-" + cfg.ClientID
+	//passvet:allow retrywrap -- one-shot namespace setup at construction: no caller context exists yet, and a failure surfaces directly instead of being retried behind the builder's back
 	if err := cfg.Cloud.SQS.CreateQueue(queue); err != nil && !errors.Is(err, sqs.ErrQueueExists) {
 		return nil, err
 	}

@@ -1,0 +1,12 @@
+package shard_test
+
+import (
+	"testing"
+
+	"passcloud/internal/leakcheck"
+)
+
+// TestMain fails the binary if the router's fan-out queries or the
+// migration double-read window leave goroutines behind after the tests
+// pass.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,11 @@
+package reshard_test
+
+import (
+	"testing"
+
+	"passcloud/internal/leakcheck"
+)
+
+// TestMain fails the binary if the migration controller's copy, verify
+// or recovery paths leave goroutines behind after the tests pass.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,12 @@
+package sweep
+
+import (
+	"testing"
+
+	"passcloud/internal/leakcheck"
+)
+
+// TestMain fails the binary if the randomized crash-recovery sweeps —
+// which drive every store's background machinery through injected
+// faults — leave goroutines behind after the tests pass.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,117 @@
+// Package leakcheck fails a test binary whose tests leave goroutines
+// behind — the goleak discipline, self-contained so the module needs no
+// dependency beyond the toolchain.
+//
+// The store's background machinery (the reshard controller's
+// copy/verify workers, the WAL commit daemon's drain loops, the load
+// harness's writer fleets, fan-out scans) is all join-before-return by
+// design: every goroutine is accounted for by a WaitGroup or channel
+// before the spawning call returns. A leaked goroutine therefore
+// indicates a real bug — a missed join on an error path, a worker
+// blocked forever on an unclosed channel — and the randomized sweeps
+// only make such bugs likelier to appear. Packages that spawn
+// goroutines wire Main into a TestMain so the leak becomes a test
+// failure with the offender's stack, not silent state bleeding between
+// tests:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// Detection polls because goroutine exit is asynchronous: a goroutine
+// that has done its work may not have been descheduled yet when the
+// last test returns. Sites in this package that touch the wall clock
+// for that polling carry passvet simclock annotations — waiting on the
+// real scheduler is the one thing a virtual clock cannot do.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Main runs the test binary's tests and exits; when the tests pass but
+// goroutines outlive them, it prints their stacks and exits nonzero.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := Check(); leaked != "" {
+			fmt.Fprintf(os.Stderr, "leakcheck: goroutines outlived the tests:\n\n%s", leaked)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check reports goroutines that survive beyond the test framework's
+// own, formatted one stack per stanza, or "" when none remain. It
+// polls for up to two seconds so goroutines that are merely slow to
+// unwind are not reported as leaks.
+func Check() string {
+	deadline := 40
+	for {
+		leaked := leakedStacks()
+		if len(leaked) == 0 {
+			return ""
+		}
+		deadline--
+		if deadline <= 0 {
+			return strings.Join(leaked, "\n\n") + "\n"
+		}
+		//passvet:allow simclock -- polls the real scheduler for goroutine exit; virtual time cannot advance another goroutine's unwinding
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// leakedStacks snapshots all goroutine stacks and filters the ones the
+// runtime and testing framework own.
+func leakedStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var leaked []string
+	// The first stanza is always the goroutine running this check;
+	// everything after it is judged on its own stack.
+	for i, stanza := range strings.Split(string(buf), "\n\n") {
+		if i > 0 && stanza != "" && !benign(stanza) {
+			leaked = append(leaked, stanza)
+		}
+	}
+	return leaked
+}
+
+// benignMarks identify goroutines that legitimately outlive tests: the
+// testing framework's own machinery and runtime service goroutines
+// (finalizers, GC workers, signal handling).
+var benignMarks = []string{
+	"testing.Main(",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.tRunner(", // parked parallel-test runners unwinding
+	"created by runtime",
+	"runtime.gc",
+	"runtime.MHeap",
+	"runtime.runfinq",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"os/signal.",
+}
+
+// benign reports whether a goroutine stanza belongs to the runtime or
+// the test framework.
+func benign(stanza string) bool {
+	for _, mark := range benignMarks {
+		if strings.Contains(stanza, mark) {
+			return true
+		}
+	}
+	return false
+}

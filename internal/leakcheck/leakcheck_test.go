@@ -1,0 +1,46 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckDetectsLeak blocks a goroutine on a channel, confirms Check
+// reports it with its stack, then releases it and confirms the report
+// clears.
+func TestCheckDetectsLeak(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+
+	leaked := Check()
+	if leaked == "" {
+		t.Fatal("Check missed a goroutine parked on a channel receive")
+	}
+	if !strings.Contains(leaked, "TestCheckDetectsLeak") {
+		t.Errorf("leak report does not name the spawning test:\n%s", leaked)
+	}
+
+	close(release)
+	<-done
+	if leaked := Check(); leaked != "" {
+		t.Errorf("Check still reports a leak after the goroutine exited:\n%s", leaked)
+	}
+}
+
+// TestBenignFiltersRuntime spot-checks the stanza filter.
+func TestBenignFiltersRuntime(t *testing.T) {
+	cases := map[string]bool{
+		"goroutine 18 [syscall]:\nos/signal.signal_recv()":                       true,
+		"goroutine 5 [GC worker (idle)]:\nruntime.gcBgMarkWorker()":              true,
+		"goroutine 9 [chan receive]:\npasscloud/internal/core.(*fanout).drain()": false,
+	}
+	for stanza, want := range cases {
+		if got := benign(stanza); got != want {
+			t.Errorf("benign(%q) = %v, want %v", stanza, got, want)
+		}
+	}
+}

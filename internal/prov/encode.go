@@ -65,7 +65,7 @@ func DecodeS3Metadata(subject Ref, meta map[string]string) ([]Record, error) {
 	for _, k := range keys {
 		rec, err := decodeS3Value(subject, meta[k])
 		if err != nil {
-			return nil, fmt.Errorf("%w: key %q: %v", ErrMalformed, k, err)
+			return nil, fmt.Errorf("%w: key %q: %w", ErrMalformed, k, err)
 		}
 		out = append(out, rec)
 	}
@@ -160,7 +160,7 @@ func DecodeSDBAttrs(subject Ref, attrs []SDBAttr, ignore map[string]bool) ([]Rec
 		}
 		rec, err := decodeRaw(subject, a.Name, a.Value)
 		if err != nil {
-			return nil, fmt.Errorf("%w: attr %q: %v", ErrMalformed, a.Name, err)
+			return nil, fmt.Errorf("%w: attr %q: %w", ErrMalformed, a.Name, err)
 		}
 		out = append(out, rec)
 	}
@@ -203,7 +203,7 @@ func toJSONRecord(r Record) jsonRecord {
 func UnmarshalJSONRecords(data []byte) ([]Record, error) {
 	var raw []jsonRecord
 	if err := json.Unmarshal(data, &raw); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
 	}
 	out := make([]Record, len(raw))
 	for i, j := range raw {
@@ -219,7 +219,7 @@ func UnmarshalJSONRecords(data []byte) ([]Record, error) {
 func fromJSONRecord(j jsonRecord) (Record, error) {
 	subject, err := ParseRef(j.Subject)
 	if err != nil {
-		return Record{}, fmt.Errorf("%w: subject: %v", ErrMalformed, err)
+		return Record{}, fmt.Errorf("%w: subject: %w", ErrMalformed, err)
 	}
 	if j.Attr == "" {
 		return Record{}, fmt.Errorf("%w: empty attribute", ErrMalformed)
@@ -229,7 +229,7 @@ func fromJSONRecord(j jsonRecord) (Record, error) {
 	}
 	ref, err := ParseRef(j.Ref)
 	if err != nil {
-		return Record{}, fmt.Errorf("%w: ref value: %v", ErrMalformed, err)
+		return Record{}, fmt.Errorf("%w: ref value: %w", ErrMalformed, err)
 	}
 	return Record{Subject: subject, Attr: j.Attr, Value: RefValue(ref)}, nil
 }

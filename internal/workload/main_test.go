@@ -1,0 +1,11 @@
+package workload
+
+import (
+	"testing"
+
+	"passcloud/internal/leakcheck"
+)
+
+// TestMain fails the binary if the sustained-load harness's writer and
+// querier fleets leave goroutines behind after the tests pass.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -94,6 +94,19 @@ type report struct {
 			VerifyClean bool    `json:"verify_clean"`
 		} `json:"rows"`
 	} `json:"sharded"`
+	Replay *struct {
+		Rows []struct {
+			Arch        string  `json:"arch"`
+			Shards      int     `json:"shards"`
+			Subjects    int     `json:"subjects"`
+			Sources     int     `json:"sources"`
+			Compared    int     `json:"compared"`
+			Divergences int     `json:"divergences"`
+			ExtractOps  int64   `json:"extract_ops"`
+			ReplayOps   int64   `json:"replay_ops"`
+			ReplayUSD   float64 `json:"replay_usd"`
+		} `json:"rows"`
+	} `json:"replay"`
 }
 
 func load(path string) (*report, error) {
@@ -446,6 +459,63 @@ func main() {
 						name+"/"+q.Query, q.Results, nq.results)
 					failed = true
 				}
+			}
+		}
+	}
+
+	// Replay cost matrix: the divergence oracle's bill. Vanished-section
+	// rule as above; beyond the op/USD gates, a row reporting divergences
+	// is a correctness failure (the harness replays its own faithful
+	// capture), and a change in coverage means the audit silently shrank
+	// or grew.
+	if oldRep.Replay != nil && newRep.Replay == nil {
+		fmt.Printf("%-40s missing in new report  REGRESSION\n", "replay/(all)")
+		failed = true
+	}
+	if oldRep.Replay != nil && newRep.Replay != nil {
+		type rkey struct {
+			arch   string
+			shards int
+		}
+		type rowView struct {
+			compared    int
+			divergences int
+			extractOps  int64
+			replayOps   int64
+			replayUSD   float64
+		}
+		newRows := map[rkey]rowView{}
+		for _, r := range newRep.Replay.Rows {
+			newRows[rkey{r.Arch, r.Shards}] = rowView{r.Compared, r.Divergences, r.ExtractOps, r.ReplayOps, r.ReplayUSD}
+		}
+		for _, r := range oldRep.Replay.Rows {
+			name := fmt.Sprintf("replay/%s/x%d", r.Arch, r.Shards)
+			n, ok := newRows[rkey{r.Arch, r.Shards}]
+			if !ok {
+				fmt.Printf("%-40s missing in new report  REGRESSION\n", name)
+				failed = true
+				continue
+			}
+			check(name+"/extractops", r.ExtractOps, n.extractOps)
+			check(name+"/replayops", r.ReplayOps, n.replayOps)
+			if n.divergences > 0 {
+				fmt.Printf("%-40s %d divergences replaying a faithful capture  REGRESSION\n", name, n.divergences)
+				failed = true
+			}
+			if n.compared != r.Compared {
+				fmt.Printf("%-40s compared %d -> %d  REGRESSION (audit coverage changed)\n",
+					name, r.Compared, n.compared)
+				failed = true
+			}
+			if r.ReplayUSD > 0 {
+				delta := (n.replayUSD - r.ReplayUSD) / r.ReplayUSD
+				status := "ok"
+				if delta > *tol {
+					status = "REGRESSION"
+					failed = true
+				}
+				fmt.Printf("%-40s old=$%-7.4f new=$%-7.4f delta=%+.2f%%  %s\n",
+					name+"/replayusd", r.ReplayUSD, n.replayUSD, 100*delta, status)
 			}
 		}
 	}

@@ -19,6 +19,7 @@ var lintedPackages = []string{
 	"internal/cloud/retry",
 	"internal/cloud/billing",
 	"internal/workload",
+	"internal/replay",
 	"internal/analysis",
 	"internal/analysis/analysistest",
 	"internal/leakcheck",

@@ -13,6 +13,7 @@
 //	passbench -load -load-shards 1,8    # custom shard counts
 //	passbench -load-rebalance           # elastic resharding: skewed load -> split -> replay
 //	passbench -sharded                  # Tables 2/3 through the shard router + verification cost
+//	passbench -replay                   # replay cost matrix: every lineage re-executed on a fresh namespace
 //	passbench -cpuprofile cpu.out -memprofile mem.out   # pprof profiles of the run
 //
 // The -load mode runs the sustained-load harness (internal/workload): an
@@ -78,6 +79,12 @@ type report struct {
 	// ops and dollars a full tamper-evidence audit of each namespace
 	// costs. benchdiff gates its op counts and the verification cost.
 	Sharded *cost.ShardedCosts `json:"sharded,omitempty"`
+	// Replay is the replay cost matrix (-replay): every current lineage
+	// re-executed against a fresh sandbox namespace, with the extraction
+	// and re-execution ops and the January-2009 re-execution bill.
+	// benchdiff gates the op counts, the bill, and that the replay of a
+	// faithful capture stays divergence-free.
+	Replay *cost.ReplayCosts `json:"replay,omitempty"`
 }
 
 // retryTotals is the stable JSON shape for one architecture's retry
@@ -104,6 +111,8 @@ func main() {
 	loadShards := flag.String("load-shards", "1,4,16", "comma-separated shard counts for -load")
 	sharded := flag.Bool("sharded", false, "run the sharded cost matrix: Tables 2/3 workloads through the shard router plus verification cost, at every -shard-counts count")
 	shardCounts := flag.String("shard-counts", "1,4,16", "comma-separated shard counts for -sharded")
+	replayBench := flag.Bool("replay", false, "run the replay cost matrix: every current lineage re-executed against a fresh sandbox namespace, at every -replay-shards count")
+	replayShards := flag.String("replay-shards", "1,4", "comma-separated shard counts for -replay")
 	loadTenants := flag.Int("load-tenants", 2, "tenants for -load (each gets isolated namespaces and its own billing keys)")
 	loadWriters := flag.Int("load-writers", 2, "concurrent writers per tenant for -load")
 	loadQueriers := flag.Int("load-queriers", 1, "concurrent queriers per tenant for -load")
@@ -248,6 +257,23 @@ func main() {
 			if !*jsonOut {
 				fmt.Println(sc)
 			}
+		}
+	}
+
+	if *replayBench {
+		counts, err := parseShardCounts(*replayShards)
+		if err != nil {
+			log.Fatalf("replay: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "passbench: replay cost matrix at shard counts %v...\n", counts)
+		h := &cost.Harness{Scale: *scale, Seed: *seed, Tool: *tool}
+		rc, err := h.Replay(ctx, counts)
+		if err != nil {
+			log.Fatalf("replay: %v", err)
+		}
+		rep.Replay = rc
+		if !*jsonOut {
+			fmt.Println(rc)
 		}
 	}
 

@@ -20,6 +20,7 @@
 //	read NAME PATH               process reads a file
 //	write NAME PATH TEXT...      process replaces a file
 //	append NAME PATH TEXT...     process extends a file
+//	derive NAME PATH             write NAME's registered tool output (replayable)
 //	close NAME PATH              persist the file + provenance
 //	pipe FROM TO                 connect two processes
 //	exit NAME                    end a process
@@ -33,6 +34,8 @@
 //	query [flags]                composable Query API v2 (see below)
 //	verify                       tamper-evidence audit of the whole namespace
 //	verify PATH                  verify one object's hash-chained lineage
+//	replay                       re-execute every current lineage and diff (divergence oracle)
+//	replay PATH                  replay one object's lineage subgraph
 //	reshard OP [ARGS]            elastic resharding (sharded sessions; see below)
 //	usage                        the cloud bill so far
 //
@@ -371,6 +374,17 @@ func runSession(client *passcloud.Client, in io.Reader, out io.Writer, state *se
 			if err != nil {
 				return fail(err)
 			}
+		case "derive":
+			if err := need(2); err != nil {
+				return err
+			}
+			p, err := proc(args[0])
+			if err != nil {
+				return fail(err)
+			}
+			if err := p.WriteDerived(args[1]); err != nil {
+				return fail(err)
+			}
 		case "close":
 			if err := need(2); err != nil {
 				return err
@@ -504,6 +518,18 @@ func runSession(client *passcloud.Client, in io.Reader, out io.Writer, state *se
 			for _, d := range rep.Divergences {
 				fmt.Fprintf(out, "  %s\n", d)
 			}
+		case "replay":
+			var rep *passcloud.ReplayReport
+			var err error
+			if len(args) == 0 {
+				rep, err = client.ReplayAll(ctx)
+			} else {
+				rep, err = client.Replay(ctx, args[0])
+			}
+			if err != nil {
+				return fail(err)
+			}
+			printReplayReport(out, rep)
 		case "usage":
 			u := client.Usage()
 			fmt.Fprintf(out, "ops: s3=%d sdb=%d sqs=%d | stored: %d bytes | in/out: %d/%d | $%.4f\n",
@@ -515,6 +541,20 @@ func runSession(client *passcloud.Client, in io.Reader, out io.Writer, state *se
 		}
 	}
 	return scanner.Err()
+}
+
+// printReplayReport renders one replay run: coverage counters, the
+// sandbox re-execution bill, and every divergence.
+func printReplayReport(out io.Writer, rep *passcloud.ReplayReport) {
+	status := "clean"
+	if !rep.Clean() {
+		status = "DIVERGED"
+	}
+	fmt.Fprintf(out, "replay: %s — %d derived, %d sources, %d processes, %d compared ($%.4f sandbox)\n",
+		status, rep.Subjects, rep.Sources, rep.Processes, rep.Compared, rep.Usage.USD)
+	for _, d := range rep.Divergences {
+		fmt.Fprintf(out, "  %s\n", d)
+	}
 }
 
 // printVerifyReport renders a whole-namespace verification: one line per

@@ -139,6 +139,55 @@ verify /out/result.dat
 	}
 }
 
+func TestScriptReplay(t *testing.T) {
+	// A derive-written file replays clean; a literal write by an
+	// unregistered tool is flagged unrunnable-tool.
+	script := `
+ingest /data/in.csv raw,data,here
+exec tee -a /out/log
+read tee /data/in.csv
+derive tee /out/log
+close tee /out/log
+exit tee
+exec analyze
+read analyze /data/in.csv
+write analyze /out/opaque.dat the result
+close analyze /out/opaque.dat
+exit analyze
+sync
+settle
+replay /out/log
+replay
+`
+	for _, shards := range []int{0, 3} {
+		c, err := passcloud.New(passcloud.Options{Architecture: passcloud.S3SimpleDBSQS, Seed: 1, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if err := run(c, strings.NewReader(script), &out); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got := out.String()
+		for _, want := range []string{
+			"replay: clean — 1 derived, 1 sources, 1 processes, 2 compared",
+			"replay: DIVERGED",
+			"unrunnable-tool: /out/opaque.dat:0",
+		} {
+			if !strings.Contains(got, want) {
+				t.Fatalf("shards=%d: output missing %q:\n%s", shards, want, got)
+			}
+		}
+	}
+
+	// A missing path reports not-found rather than an empty replay.
+	c := newClient(t)
+	err := run(c, strings.NewReader("replay /nope"), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("replay of missing path: err = %v", err)
+	}
+}
+
 func TestParseArch(t *testing.T) {
 	for name, want := range map[string]passcloud.Architecture{
 		"s3":         passcloud.S3Only,

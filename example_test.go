@@ -37,6 +37,44 @@ func exampleClient(arch passcloud.Architecture) *passcloud.Client {
 	return client
 }
 
+// ExampleClient_Replay re-executes a recorded lineage on a fresh sandbox
+// tenant and diffs the re-derived bytes against the repository — the
+// divergence oracle for provenance-capture bugs. WriteDerived makes the
+// write replayable: the bytes are a pure function of the recorded call.
+func ExampleClient_Replay() {
+	ctx := context.Background()
+	client, err := passcloud.New(passcloud.Options{Architecture: passcloud.S3SimpleDB, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Ingest(ctx, "/data/anatomy.img", []byte("scanned volume")); err != nil {
+		log.Fatal(err)
+	}
+	p := client.Exec(nil, passcloud.ProcessSpec{Name: "align_warp", Argv: []string{"align_warp", "-m", "12"}})
+	if err := p.Read("/data/anatomy.img"); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.WriteDerived("/out/warp.warp"); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Close(ctx, "/out/warp.warp"); err != nil {
+		log.Fatal(err)
+	}
+	p.Exit()
+	if err := client.Sync(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := client.Replay(ctx, "/out/warp.warp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean=%v derived=%d sources=%d processes=%d compared=%d\n",
+		rep.Clean(), rep.Subjects, rep.Sources, rep.Processes, rep.Compared)
+	// Output:
+	// clean=true derived=1 sources=1 processes=1 compared=2
+}
+
 // ExampleClient_Search runs one composable query: which files did the
 // tool "blast" write? (The paper's Q.2, parameterized.)
 func ExampleClient_Search() {

@@ -1,0 +1,199 @@
+package cost
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"passcloud/internal/cloud"
+	"passcloud/internal/cloud/billing"
+	"passcloud/internal/core"
+	"passcloud/internal/core/shard"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+	"passcloud/internal/replay"
+	"passcloud/internal/sim"
+	"passcloud/internal/workload"
+)
+
+// ReplayRow is one (architecture, shard count) cell of the replay cost
+// matrix: the coverage and the cloud bill of re-executing every current
+// lineage of the combined workload against a fresh sandbox namespace.
+type ReplayRow struct {
+	Arch   string `json:"arch"`
+	Shards int    `json:"shards"`
+	// Subjects / Sources / Processes / Compared mirror the replay report's
+	// coverage counters.
+	Subjects  int `json:"subjects"`
+	Sources   int `json:"sources"`
+	Processes int `json:"processes"`
+	Compared  int `json:"compared"`
+	// Divergences must be zero: the harness replays its own faithful
+	// capture, so a finding here is a capture or replay bug.
+	Divergences int `json:"divergences"`
+	// ExtractOps counts source-side cloud operations the lineage
+	// extraction queries cost (paginated ancestry traversal).
+	ExtractOps int64 `json:"extract_ops"`
+	// ReplayOps / ReplayUSD are the sandbox namespace's operations and
+	// January-2009 bill for materializing the re-execution — the cloud
+	// cost of reproducing the repository from its provenance.
+	ReplayOps int64   `json:"replay_ops"`
+	ReplayUSD float64 `json:"replay_usd"`
+}
+
+// ReplayCosts is the replay cost matrix across architectures and shard
+// counts.
+type ReplayCosts struct {
+	Scale       float64     `json:"scale"`
+	Seed        int64       `json:"seed"`
+	ShardCounts []int       `json:"shard_counts"`
+	Rows        []ReplayRow `json:"rows"`
+}
+
+// Replay loads the combined workload on each architecture and shard
+// count, then re-executes every current file version's lineage against a
+// fresh sandbox namespace, metering the extraction queries on the source
+// side and the re-execution on the sandbox side. Shard counts default to
+// 1 and 4.
+func (h *Harness) Replay(ctx context.Context, shardCounts []int) (*ReplayCosts, error) {
+	h.defaults()
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 4}
+	}
+	counts := append([]int(nil), shardCounts...)
+	sort.Ints(counts)
+	out := &ReplayCosts{Scale: h.Scale, Seed: h.Seed, ShardCounts: counts}
+	for _, arch := range []string{"s3", "s3+sdb", "s3+sdb+sqs"} {
+		for _, n := range counts {
+			row, err := h.replayRun(ctx, arch, n)
+			if err != nil {
+				return nil, fmt.Errorf("cost: replay %s x%d: %w", arch, n, err)
+			}
+			out.Rows = append(out.Rows, *row)
+		}
+	}
+	return out, nil
+}
+
+// buildStoreMatrix assembles one architecture at one shard count on a
+// fresh region, routing through the shard router when n > 1.
+func buildStoreMatrix(arch string, seed int64, n int) (*cloud.Multi, *shardedBuild, core.Store, error) {
+	multi := cloud.NewMulti(cloud.Config{Seed: seed})
+	b, err := buildShardedArch(arch, multi, n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if n == 1 {
+		return multi, b, b.stores[0].(core.Store), nil
+	}
+	r, err := shard.New(shard.Config{Shards: b.stores})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return multi, b, r, nil
+}
+
+func (h *Harness) replayRun(ctx context.Context, arch string, n int) (*ReplayRow, error) {
+	multi, b, store, err := buildStoreMatrix(arch, h.Seed, n)
+	if err != nil {
+		return nil, err
+	}
+	sys := pass.NewSystem(pass.Config{Flush: core.Flusher(store)})
+	if err := workload.Run(ctx, sys, sim.NewRNG(h.Seed), workload.NewCombined(h.Scale)); err != nil {
+		return nil, err
+	}
+	if err := core.SyncStore(ctx, store); err != nil {
+		return nil, err
+	}
+	if err := b.drain(ctx, multi); err != nil {
+		return nil, err
+	}
+	multi.Settle()
+
+	querier, ok := store.(core.Querier)
+	if !ok {
+		return nil, fmt.Errorf("store is not a querier")
+	}
+	targets, err := currentFileVersions(ctx, querier)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("workload left no file versions to replay")
+	}
+
+	sandboxMulti, sb, sandboxStore, err := buildStoreMatrix(arch, h.Seed, n)
+	if err != nil {
+		return nil, err
+	}
+	setup := sb.usage()
+	before := b.usage()
+	rep, err := replay.Replay(ctx, replay.Config{
+		Source: querier,
+		Fetch:  store.Get,
+		Target: sandboxStore,
+		Runner: workload.Tools{},
+		Kernel: pass.DefaultKernel,
+	}, targets...)
+	if err != nil {
+		return nil, err
+	}
+	if err := sb.drain(ctx, sandboxMulti); err != nil {
+		return nil, err
+	}
+	sandboxMulti.Settle()
+	after := b.usage()
+	spent := sb.usage().Sub(setup)
+
+	return &ReplayRow{
+		Arch:        arch,
+		Shards:      n,
+		Subjects:    rep.Subjects,
+		Sources:     rep.Sources,
+		Processes:   rep.Processes,
+		Compared:    rep.Compared,
+		Divergences: len(rep.Divergences),
+		ExtractOps:  after.Sub(before).TotalOps(),
+		ReplayOps:   spent.TotalOps(),
+		ReplayUSD:   billing.Jan2009.Price(spent).Total(),
+	}, nil
+}
+
+// currentFileVersions lists every object's newest recorded file version —
+// the replay audit's target set.
+func currentFileVersions(ctx context.Context, q core.Querier) ([]prov.Ref, error) {
+	current := make(map[prov.ObjectID]prov.Version)
+	for entry, err := range q.Query(ctx, prov.Query{Type: prov.TypeFile, Projection: prov.ProjectRefs}) {
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := current[entry.Ref.Object]; !ok || entry.Ref.Version > v {
+			current[entry.Ref.Object] = entry.Ref.Version
+		}
+	}
+	targets := make([]prov.Ref, 0, len(current))
+	for object, version := range current {
+		targets = append(targets, prov.Ref{Object: object, Version: version})
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Object < targets[j].Object })
+	return targets, nil
+}
+
+// String renders the matrix for terminal use.
+func (t *ReplayCosts) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Replay cost matrix (scale %.2f, seed %d): every current lineage re-executed on a fresh namespace\n", t.Scale, t.Seed)
+	fmt.Fprintf(&b, "%-12s %7s %9s %8s %10s %9s %12s %12s %11s\n",
+		"arch", "shards", "derived", "sources", "processes", "compared", "extract-ops", "replay-ops", "replay-$")
+	for _, r := range t.Rows {
+		status := ""
+		if r.Divergences > 0 {
+			status = fmt.Sprintf("  DIVERGED (%d)", r.Divergences)
+		}
+		fmt.Fprintf(&b, "%-12s %7d %9d %8d %10d %9d %12d %12d %11.4f%s\n",
+			r.Arch, r.Shards, r.Subjects, r.Sources, r.Processes, r.Compared,
+			r.ExtractOps, r.ReplayOps, r.ReplayUSD, status)
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package cost
+
+import (
+	"context"
+	"testing"
+)
+
+// TestReplayCostsSmall runs the replay cost matrix at a tiny scale and
+// checks its invariants: every architecture re-executes the same
+// deterministic lineage (identical coverage across rows), the replay of a
+// faithful capture stays divergence-free, and both sides of the bill —
+// extraction ops on the source, re-execution ops and dollars on the
+// sandbox — are nonzero.
+func TestReplayCostsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run is slow")
+	}
+	ctx := context.Background()
+	h := &Harness{Scale: 0.01, Seed: 2009}
+	rc, err := h.Replay(ctx, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rc)
+	if len(rc.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rc.Rows))
+	}
+	first := rc.Rows[0]
+	for _, r := range rc.Rows {
+		if r.Divergences != 0 {
+			t.Errorf("%s x%d: %d divergences replaying a faithful capture", r.Arch, r.Shards, r.Divergences)
+		}
+		if r.Subjects != first.Subjects || r.Sources != first.Sources ||
+			r.Processes != first.Processes || r.Compared != first.Compared {
+			t.Errorf("%s x%d: coverage %+v differs from %s x%d: the workload is deterministic",
+				r.Arch, r.Shards, r, first.Arch, first.Shards)
+		}
+		if r.Compared != r.Subjects+r.Sources {
+			t.Errorf("%s x%d: compared %d of %d file versions", r.Arch, r.Shards, r.Compared, r.Subjects+r.Sources)
+		}
+		if r.ExtractOps <= 0 || r.ReplayOps <= 0 || r.ReplayUSD <= 0 {
+			t.Errorf("%s x%d: empty bill: %+v", r.Arch, r.Shards, r)
+		}
+	}
+}

@@ -110,6 +110,17 @@ func (p *Process) Name() string { return p.name }
 // Ref returns the process's current version reference.
 func (p *Process) Ref() prov.Ref { return p.obj.ref }
 
+// Records returns a snapshot of the current version's provenance records:
+// the identity records plus every input edge accumulated so far. Because a
+// process version's input set is final by the time it produces output
+// (cycle avoidance bumps the version on any later input), the snapshot
+// taken at a Write equals the record set that eventually flushes for that
+// version — which is what makes tool outputs derivable from recorded
+// provenance (see internal/replay).
+func (p *Process) Records() []prov.Record {
+	return append([]prov.Record(nil), p.obj.records...)
+}
+
 // object is the versioned state behind a file, process, or pipe.
 type object struct {
 	ref  prov.Ref
@@ -182,13 +193,17 @@ type Stats struct {
 	ProvBytes int64
 }
 
+// DefaultKernel is the kernel version recorded when Config.Kernel is
+// empty — the PASS kernel the paper's measurements ran on.
+const DefaultKernel = "2.6.23.17-pass"
+
 // NewSystem returns an empty system.
 func NewSystem(cfg Config) *System {
 	if cfg.Flush == nil {
 		panic("pass: Config.Flush is required")
 	}
 	if cfg.Kernel == "" {
-		cfg.Kernel = "2.6.23.17-pass"
+		cfg.Kernel = DefaultKernel
 	}
 	return &System{
 		cfg:        cfg,

@@ -1,0 +1,9 @@
+package replay
+
+import (
+	"testing"
+
+	"passcloud/internal/leakcheck"
+)
+
+func TestMain(m *testing.M) { leakcheck.Main(m) }

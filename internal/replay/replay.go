@@ -1,0 +1,506 @@
+// Package replay re-executes recorded lineage subgraphs as a divergence
+// oracle — the cloud-aware-provenance reproducibility loop (Hasham et
+// al.) closed over the paper's store: given a target object version, the
+// package extracts its ancestry through the composable query path
+// (paginated on snapshot-pinned cursors), topologically schedules the
+// recorded process versions, re-executes each one against a fresh region
+// through a Runner, and diffs the resulting object digests
+// subject-by-subject against what the source repository holds.
+//
+// The contract that makes this possible is the runnable-tool discipline:
+// a runnable tool's output is a pure function of the writing process
+// version's recorded provenance (identity records, argv, environment,
+// pinned input versions) and the output path. PASS's cycle-avoidance
+// versioning guarantees the process version's input set is final by the
+// time it writes, so the record set replay extracts is exactly the record
+// set the generator computed the bytes from. internal/workload's tools
+// (blast, compile, challenge pipelines) are the first runners.
+//
+// Divergence taxonomy:
+//
+//   - missing-input: a pinned input version cannot be resolved — its
+//     records are absent from the store or its content is no longer
+//     retrievable at the recorded version.
+//   - env-drift: a process was recorded under a kernel configuration
+//     different from the replay environment's; its outputs re-execute
+//     (record-derived) but cannot be certified against this environment.
+//   - digest-mismatch: the re-executed content differs from what the
+//     store holds for the same version — recorded provenance does not
+//     explain the stored bytes.
+//   - unrunnable-tool: the recorded writer is not in the runner's
+//     registry, so the subject cannot be re-executed.
+//
+// A clean report certifies that every compared object is byte-identical
+// to what its recorded provenance re-derives. A divergence localizes a
+// provenance-capture bug (or tampering) to the exact subject — which is
+// what no invariant check, Merkle root, or static analyzer can see.
+package replay
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+
+	"passcloud/internal/core"
+	"passcloud/internal/core/integrity"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+)
+
+// ErrUnknownTool is the sentinel a Runner returns when the recorded tool
+// is not in its registry; the driver reports the affected subjects as
+// unrunnable-tool divergences.
+var ErrUnknownTool = errors.New("replay: unknown tool")
+
+// Call is one recorded tool invocation to re-execute: the process
+// version's full recorded record set plus the output path it produced.
+type Call struct {
+	// Tool is the recorded program name (the AttrName identity record).
+	Tool string
+	// Proc is the recorded process version being re-executed.
+	Proc prov.Ref
+	// Records is the version's recorded record set with integrity riders
+	// stripped — identity records plus pinned input edges.
+	Records []prov.Record
+	// Output is the path of the file content being produced.
+	Output string
+}
+
+// InputResolver fetches the content of a pinned input version from the
+// source repository. It fails when the version is no longer retrievable.
+type InputResolver func(ref prov.Ref) ([]byte, error)
+
+// Runner re-executes one recorded call, returning the bytes the tool
+// writes at call.Output. Implementations must be deterministic in the
+// call: same records, same output path, same bytes. ErrUnknownTool (or an
+// error wrapping it) reports a tool outside the registry.
+type Runner interface {
+	Run(call Call, input InputResolver) ([]byte, error)
+}
+
+// Kind classifies one divergence.
+type Kind int
+
+// Divergence kinds.
+const (
+	// KindMissingInput: a pinned input version could not be resolved.
+	KindMissingInput Kind = iota
+	// KindEnvDrift: recorded kernel configuration differs from the
+	// replay environment's.
+	KindEnvDrift
+	// KindDigestMismatch: re-executed content differs from the stored
+	// content of the same version.
+	KindDigestMismatch
+	// KindUnrunnableTool: the recorded writer tool is not runnable.
+	KindUnrunnableTool
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindMissingInput:
+		return "missing-input"
+	case KindEnvDrift:
+		return "env-drift"
+	case KindDigestMismatch:
+		return "digest-mismatch"
+	case KindUnrunnableTool:
+		return "unrunnable-tool"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Divergence is one replay finding, anchored to the subject version whose
+// re-execution diverged (a file version for content findings, a process
+// version for env-drift).
+type Divergence struct {
+	Kind    Kind
+	Subject prov.Ref
+	Detail  string
+}
+
+// String renders one finding.
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Kind, d.Subject, d.Detail)
+}
+
+// Report is the outcome of one replay.
+type Report struct {
+	// Targets are the seed versions the lineage was extracted from.
+	Targets []prov.Ref
+	// Subjects counts the file versions whose content was re-derived.
+	Subjects int
+	// Sources counts ingested file versions (no process ancestry) copied
+	// into the replay region as recorded inputs.
+	Sources int
+	// Processes counts the recorded process versions re-executed.
+	Processes int
+	// Compared counts the file versions diffed against the source store
+	// (only a version that is still its object's current version has
+	// retrievable original bytes to compare).
+	Compared int
+	// Divergences lists every finding, sorted by subject then kind.
+	Divergences []Divergence
+}
+
+// Clean reports a divergence-free replay.
+func (r *Report) Clean() bool { return len(r.Divergences) == 0 }
+
+// Diverged returns the distinct subjects with at least one finding, in
+// sorted order.
+func (r *Report) Diverged() []prov.Ref {
+	seen := make(map[prov.Ref]bool)
+	var out []prov.Ref
+	for _, d := range r.Divergences {
+		if !seen[d.Subject] {
+			seen[d.Subject] = true
+			out = append(out, d.Subject)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return refLess(out[i], out[j]) })
+	return out
+}
+
+// Config wires one replay run.
+type Config struct {
+	// Source answers the lineage extraction queries.
+	Source core.Querier
+	// Fetch retrieves an object's current version with content from the
+	// source repository (core.Store.Get).
+	Fetch func(ctx context.Context, object prov.ObjectID) (*core.Object, error)
+	// Target receives the re-executed subjects — a store on a fresh
+	// region/tenant, so re-execution is sandboxed and its cloud ops
+	// metered separately. Nil skips materialization (diff only).
+	Target core.Store
+	// Runner re-executes recorded calls.
+	Runner Runner
+	// Kernel is the replay environment's kernel configuration; a process
+	// recorded under a different one reports env-drift. Empty skips the
+	// check.
+	Kernel string
+	// PageLimit is the extraction page size; every page sequence rides
+	// one snapshot-pinned cursor. 0 uses DefaultPageLimit.
+	PageLimit int
+}
+
+// DefaultPageLimit paginates extraction queries so every replay exercises
+// the snapshot-pinned cursor path.
+const DefaultPageLimit = 256
+
+// Replay extracts the lineage subgraph of targets from cfg.Source,
+// re-executes it in dependency order, and diffs the re-derived content
+// against the source. See the package comment for the divergence
+// taxonomy.
+func Replay(ctx context.Context, cfg Config, targets ...prov.Ref) (*Report, error) {
+	if cfg.Source == nil || cfg.Fetch == nil || cfg.Runner == nil {
+		return nil, errors.New("replay: Config needs Source, Fetch and Runner")
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("replay: no targets")
+	}
+	graph, err := extract(ctx, cfg.Source, targets, cfg.PageLimit)
+	if err != nil {
+		return nil, err
+	}
+	order, err := scheduleSubjects(graph)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Targets: append([]prov.Ref(nil), targets...)}
+	ex := &execution{cfg: cfg, graph: graph, content: make(map[prov.Ref][]byte), rep: rep}
+	for _, ref := range order {
+		if err := ex.step(ctx, ref); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(rep.Divergences, func(i, j int) bool {
+		a, b := rep.Divergences[i], rep.Divergences[j]
+		if a.Subject != b.Subject {
+			return refLess(a.Subject, b.Subject)
+		}
+		return a.Kind < b.Kind
+	})
+	return rep, nil
+}
+
+// execution threads the per-run state through the scheduled walk.
+type execution struct {
+	cfg   Config
+	graph map[prov.Ref]*subject
+	// content holds re-derived (or source-fetched) file contents by
+	// version, for append-chain prefixes.
+	content map[prov.Ref][]byte
+	// pending buffers transient subjects' flush events until the next
+	// file completes — the same causal coalescing the capture path uses.
+	pending []pass.FlushEvent
+	// drifted dedups env-drift findings per process version.
+	drifted map[prov.Ref]bool
+	rep     *Report
+}
+
+// step re-executes one scheduled subject.
+func (ex *execution) step(ctx context.Context, ref prov.Ref) error {
+	sub := ex.graph[ref]
+	if sub.typ != prov.TypeFile {
+		if sub.typ == prov.TypeProcess {
+			ex.rep.Processes++
+			ex.checkDrift(sub)
+		}
+		ex.pending = append(ex.pending, pass.FlushEvent{Ref: ref, Type: sub.typ, Records: sub.records})
+		return nil
+	}
+	data, ok := ex.rebuild(ctx, sub)
+	if !ok {
+		// A divergence was recorded; dependents that need this version
+		// report their own missing-input when resolution fails.
+		return nil
+	}
+	ex.content[ref] = data
+	if ex.cfg.Target != nil {
+		events := append(ex.pending, pass.FlushEvent{Ref: ref, Type: prov.TypeFile, Data: data, Records: sub.records})
+		ex.pending = nil
+		if err := ex.cfg.Target.PutBatch(ctx, events); err != nil {
+			return fmt.Errorf("replay: materialize %s: %w", ref, err)
+		}
+	}
+	return ex.diff(ctx, sub, data)
+}
+
+// checkDrift reports env-drift once per process version.
+func (ex *execution) checkDrift(sub *subject) {
+	if ex.cfg.Kernel == "" {
+		return
+	}
+	recorded, ok := sub.attr(prov.AttrKernel)
+	if !ok || recorded == ex.cfg.Kernel {
+		return
+	}
+	if ex.drifted == nil {
+		ex.drifted = make(map[prov.Ref]bool)
+	}
+	if ex.drifted[sub.ref] {
+		return
+	}
+	ex.drifted[sub.ref] = true
+	ex.rep.Divergences = append(ex.rep.Divergences, Divergence{
+		Kind:    KindEnvDrift,
+		Subject: sub.ref,
+		Detail:  fmt.Sprintf("recorded kernel %q, replay environment %q", recorded, ex.cfg.Kernel),
+	})
+}
+
+// rebuild re-derives one file version's content: the append-chain
+// prefix (the previous version of the same object, when recorded as an
+// input) followed by one re-executed chunk per recorded writer process
+// version, in (object, version) order. ok=false means a divergence was
+// recorded and the content is unavailable.
+func (ex *execution) rebuild(ctx context.Context, sub *subject) (data []byte, ok bool) {
+	var procs []prov.Ref
+	var prev *prov.Ref
+	for _, in := range sub.inputs {
+		in := in
+		if in.Object == sub.ref.Object && in.Version == sub.ref.Version-1 {
+			prev = &in
+			continue
+		}
+		procs = append(procs, in)
+	}
+	if prev == nil && len(procs) == 0 {
+		// No process ancestry: an ingested source. Its bytes are an
+		// input to the replay, not an output of it — copy them from the
+		// source repository as recorded.
+		return ex.fetchSource(ctx, sub)
+	}
+	ex.rep.Subjects++
+	if prev != nil {
+		prefix, okPrev := ex.content[*prev]
+		if !okPrev {
+			ex.diverge(KindMissingInput, sub.ref, fmt.Sprintf("previous version %s unavailable for append chain", *prev))
+			return nil, false
+		}
+		data = append(data, prefix...)
+	}
+	for _, pref := range procs {
+		proc := ex.graph[pref]
+		if proc == nil || len(proc.records) == 0 {
+			ex.diverge(KindMissingInput, sub.ref, fmt.Sprintf("no provenance for recorded writer %s", pref))
+			return nil, false
+		}
+		tool, okName := proc.attr(prov.AttrName)
+		if !okName {
+			ex.diverge(KindUnrunnableTool, sub.ref, fmt.Sprintf("writer %s has no recorded tool name", pref))
+			return nil, false
+		}
+		chunk, err := ex.cfg.Runner.Run(Call{
+			Tool:    tool,
+			Proc:    pref,
+			Records: proc.records,
+			Output:  string(sub.ref.Object),
+		}, ex.resolve(ctx))
+		switch {
+		case errors.Is(err, ErrUnknownTool):
+			ex.diverge(KindUnrunnableTool, sub.ref, fmt.Sprintf("writer %s: %v", pref, err))
+			return nil, false
+		case err != nil:
+			ex.diverge(KindMissingInput, sub.ref, fmt.Sprintf("writer %s: %v", pref, err))
+			return nil, false
+		}
+		data = append(data, chunk...)
+	}
+	return data, true
+}
+
+// fetchSource copies an ingested file's recorded bytes from the source
+// repository. Only the current version's bytes are retrievable.
+func (ex *execution) fetchSource(ctx context.Context, sub *subject) ([]byte, bool) {
+	ex.rep.Sources++
+	obj, err := ex.cfg.Fetch(ctx, sub.ref.Object)
+	if err != nil {
+		ex.diverge(KindMissingInput, sub.ref, fmt.Sprintf("source fetch: %v", err))
+		return nil, false
+	}
+	if obj.Ref != sub.ref {
+		ex.diverge(KindMissingInput, sub.ref, fmt.Sprintf("source is at %s, pinned version unavailable", obj.Ref))
+		return nil, false
+	}
+	return obj.Data, true
+}
+
+// resolve builds the InputResolver runners use for data-dependent tools:
+// pinned versions resolve from re-derived content first (so the chain
+// replays even when the source has moved on), then from the source store.
+func (ex *execution) resolve(ctx context.Context) InputResolver {
+	return func(ref prov.Ref) ([]byte, error) {
+		if data, ok := ex.content[ref]; ok {
+			return data, nil
+		}
+		obj, err := ex.cfg.Fetch(ctx, ref.Object)
+		if err != nil {
+			return nil, fmt.Errorf("input %s: %w", ref, err)
+		}
+		if obj.Ref != ref {
+			return nil, fmt.Errorf("input %s: source is at %s, pinned version unavailable", ref, obj.Ref)
+		}
+		return obj.Data, nil
+	}
+}
+
+// diff compares the re-derived content against the source store when the
+// version is still current (historical versions have no retrievable
+// original bytes).
+func (ex *execution) diff(ctx context.Context, sub *subject, data []byte) error {
+	obj, err := ex.cfg.Fetch(ctx, sub.ref.Object)
+	if err != nil {
+		if errors.Is(err, core.ErrNotFound) {
+			ex.diverge(KindMissingInput, sub.ref, "recorded object no longer stored")
+			return nil
+		}
+		return fmt.Errorf("replay: fetch %s: %w", sub.ref.Object, err)
+	}
+	if obj.Ref != sub.ref {
+		return nil // historical version; nothing to compare against
+	}
+	ex.rep.Compared++
+	got, want := digest(data), digest(obj.Data)
+	if got != want {
+		ex.diverge(KindDigestMismatch, sub.ref, fmt.Sprintf(
+			"re-executed %d bytes (%s), stored %d bytes (%s)", len(data), got[:12], len(obj.Data), want[:12]))
+	}
+	return nil
+}
+
+func (ex *execution) diverge(kind Kind, subject prov.Ref, detail string) {
+	ex.rep.Divergences = append(ex.rep.Divergences, Divergence{Kind: kind, Subject: subject, Detail: detail})
+}
+
+// digest is the content fingerprint replay compares.
+func digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// extract pulls the targets' ancestry closure through the composable
+// query path, paginated on a snapshot-pinned cursor, merging each
+// subject's records across pages and carriers (duplicate record copies
+// collapse; integrity riders are stripped — they are storage artifacts,
+// not capture provenance). The ancestry traversal yields only subjects
+// reached FROM the seeds, so a second pinned query fetches the targets'
+// own records.
+func extract(ctx context.Context, q core.Querier, targets []prov.Ref, pageLimit int) (map[prov.Ref]*subject, error) {
+	if pageLimit <= 0 {
+		pageLimit = DefaultPageLimit
+	}
+	graph := make(map[prov.Ref]*subject)
+	queries := []prov.Query{
+		{
+			Refs:         targets,
+			Direction:    prov.TraverseAncestors,
+			IncludeSeeds: true,
+			Projection:   prov.ProjectFull,
+			Limit:        pageLimit,
+		},
+		{
+			Refs:       targets,
+			Projection: prov.ProjectFull,
+			Limit:      pageLimit,
+		},
+	}
+	for _, query := range queries {
+		for {
+			next := ""
+			for entry, err := range q.Query(ctx, query) {
+				if err != nil {
+					return nil, fmt.Errorf("replay: extract: %w", err)
+				}
+				mergeEntry(graph, entry)
+				if entry.Cursor != "" {
+					next = entry.Cursor
+				}
+			}
+			if next == "" {
+				break
+			}
+			query.Cursor = next
+		}
+	}
+	return graph, nil
+}
+
+// mergeEntry folds one query result into the graph, deduplicating
+// records by (attr, value).
+func mergeEntry(graph map[prov.Ref]*subject, entry core.Entry) {
+	sub := graph[entry.Ref]
+	if sub == nil {
+		sub = &subject{ref: entry.Ref, seen: make(map[string]bool)}
+		graph[entry.Ref] = sub
+	}
+	for _, r := range entry.Records {
+		if r.Attr == integrity.AttrChain || r.Attr == integrity.AttrRoot {
+			continue
+		}
+		key := r.Attr + "\x00" + r.Value.String()
+		if sub.seen[key] {
+			continue
+		}
+		sub.seen[key] = true
+		sub.records = append(sub.records, r)
+		switch {
+		case r.Attr == prov.AttrInput && r.Value.Kind == prov.KindRef:
+			sub.inputs = append(sub.inputs, r.Value.Ref)
+		case r.Attr == prov.AttrType:
+			sub.typ = r.Value.Str
+		}
+	}
+	sort.Slice(sub.inputs, func(i, j int) bool { return refLess(sub.inputs[i], sub.inputs[j]) })
+}
+
+func refLess(a, b prov.Ref) bool {
+	if a.Object != b.Object {
+		return a.Object < b.Object
+	}
+	return a.Version < b.Version
+}

@@ -1,0 +1,122 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"passcloud/internal/prov"
+)
+
+// ErrLineageCycle is returned when the recorded lineage contains a
+// dependency cycle — impossible under PASS's cycle-avoidance versioning,
+// so its presence is itself a capture bug. The scheduler surfaces it as
+// a typed error instead of hanging.
+var ErrLineageCycle = errors.New("replay: cycle in recorded lineage")
+
+// subject is one extracted node: an object version and its merged,
+// deduplicated record set.
+type subject struct {
+	ref     prov.Ref
+	typ     string // prov.TypeFile, TypeProcess, TypePipe
+	records []prov.Record
+	inputs  []prov.Ref
+	seen    map[string]bool // record dedup keys across pages and carriers
+}
+
+// attr returns the string value of the subject's first record with the
+// given attribute.
+func (s *subject) attr(name string) (string, bool) {
+	for _, r := range s.records {
+		if r.Attr == name && r.Value.Kind == prov.KindString {
+			return r.Value.Str, true
+		}
+	}
+	return "", false
+}
+
+// scheduleSubjects topologically orders the extracted graph (Kahn's
+// algorithm) so every subject executes after all of its recorded inputs.
+// Input edges pointing outside the graph are ignored — they are resolved
+// from the source repository at execution time. Ties break on sorted
+// refs, so the schedule is deterministic for a given graph. A cycle
+// returns ErrLineageCycle naming one subject on it.
+func scheduleSubjects(graph map[prov.Ref]*subject) ([]prov.Ref, error) {
+	indegree := make(map[prov.Ref]int, len(graph))
+	dependents := make(map[prov.Ref][]prov.Ref, len(graph))
+	for ref, sub := range graph {
+		if _, ok := indegree[ref]; !ok {
+			indegree[ref] = 0
+		}
+		for _, in := range sub.inputs {
+			if _, ok := graph[in]; !ok {
+				continue // outside the extracted subgraph
+			}
+			indegree[ref]++
+			dependents[in] = append(dependents[in], ref)
+		}
+	}
+	ready := make([]prov.Ref, 0, len(graph))
+	for ref, deg := range indegree {
+		if deg == 0 {
+			ready = append(ready, ref)
+		}
+	}
+	sortRefs(ready)
+	order := make([]prov.Ref, 0, len(graph))
+	for len(ready) > 0 {
+		ref := ready[0]
+		ready = ready[1:]
+		order = append(order, ref)
+		var unblocked []prov.Ref
+		for _, dep := range dependents[ref] {
+			indegree[dep]--
+			if indegree[dep] == 0 {
+				unblocked = append(unblocked, dep)
+			}
+		}
+		if len(unblocked) > 0 {
+			sortRefs(unblocked)
+			ready = mergeSorted(ready, unblocked)
+		}
+	}
+	if len(order) != len(graph) {
+		for _, ref := range sortedKeys(indegree) {
+			if indegree[ref] > 0 {
+				return nil, fmt.Errorf("%w (through %s)", ErrLineageCycle, ref)
+			}
+		}
+		return nil, ErrLineageCycle
+	}
+	return order, nil
+}
+
+func sortRefs(refs []prov.Ref) {
+	sort.Slice(refs, func(i, j int) bool { return refLess(refs[i], refs[j]) })
+}
+
+// mergeSorted merges two ref slices that are each already sorted.
+func mergeSorted(a, b []prov.Ref) []prov.Ref {
+	out := make([]prov.Ref, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if refLess(a[i], b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+func sortedKeys(m map[prov.Ref]int) []prov.Ref {
+	keys := make([]prov.Ref, 0, len(m))
+	for ref := range m {
+		keys = append(keys, ref)
+	}
+	sortRefs(keys)
+	return keys
+}

@@ -1,0 +1,127 @@
+package replay
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"passcloud/internal/prov"
+)
+
+// ref builds a version-0 ref for scheduler fixtures.
+func ref(object string) prov.Ref {
+	return prov.Ref{Object: prov.ObjectID(object)}
+}
+
+// mkGraph builds a subject graph from an adjacency list of input edges.
+func mkGraph(deps map[string][]string) map[prov.Ref]*subject {
+	graph := make(map[prov.Ref]*subject, len(deps))
+	for node, inputs := range deps {
+		sub := &subject{ref: ref(node)}
+		for _, in := range inputs {
+			sub.inputs = append(sub.inputs, ref(in))
+		}
+		graph[ref(node)] = sub
+	}
+	return graph
+}
+
+func refNames(refs []prov.Ref) []string {
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		out[i] = string(r.Object)
+	}
+	return out
+}
+
+func TestScheduleSubjects(t *testing.T) {
+	cases := []struct {
+		name string
+		deps map[string][]string
+		// want is the exact order: Kahn with sorted-ref tie-break is
+		// fully deterministic, so the schedule is a single sequence, not
+		// just any topological order.
+		want []string
+	}{
+		{
+			name: "diamond",
+			deps: map[string][]string{
+				"a": nil,
+				"b": {"a"},
+				"c": {"a"},
+				"d": {"b", "c"},
+			},
+			want: []string{"a", "b", "c", "d"},
+		},
+		{
+			name: "disconnected components interleave sorted",
+			deps: map[string][]string{
+				"x1": nil, "x2": {"x1"},
+				"a1": nil, "a2": {"a1"},
+			},
+			want: []string{"a1", "a2", "x1", "x2"},
+		},
+		{
+			name: "deep chain",
+			deps: map[string][]string{
+				"a": nil, "b": {"a"}, "c": {"b"}, "d": {"c"},
+			},
+			want: []string{"a", "b", "c", "d"},
+		},
+		{
+			name: "edges outside the graph are ignored",
+			deps: map[string][]string{
+				"b": {"external-source"},
+				"c": {"b", "another-external"},
+			},
+			want: []string{"b", "c"},
+		},
+		{
+			name: "wide fan-in",
+			deps: map[string][]string{
+				"sink": {"m3", "m1", "m2"},
+				"m1":   nil, "m2": nil, "m3": nil,
+			},
+			want: []string{"m1", "m2", "m3", "sink"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Map iteration order is randomized per run; the schedule must
+			// not depend on it.
+			for i := 0; i < 20; i++ {
+				order, err := scheduleSubjects(mkGraph(tc.deps))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := refNames(order); !reflect.DeepEqual(got, tc.want) {
+					t.Fatalf("iteration %d: schedule %v, want %v", i, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestScheduleLineageCycle(t *testing.T) {
+	cases := []struct {
+		name string
+		deps map[string][]string
+	}{
+		{"two-cycle", map[string][]string{"a": {"b"}, "b": {"a"}}},
+		{"self-loop", map[string][]string{"a": {"a"}}},
+		{"cycle behind a valid prefix", map[string][]string{
+			"root": nil,
+			"x":    {"root", "z"},
+			"y":    {"x"},
+			"z":    {"y"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := scheduleSubjects(mkGraph(tc.deps))
+			if !errors.Is(err, ErrLineageCycle) {
+				t.Fatalf("got %v, want ErrLineageCycle", err)
+			}
+		})
+	}
+}

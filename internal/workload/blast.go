@@ -76,12 +76,8 @@ func (w *Blast) Run(ctx context.Context, sys *pass.System, rng *sim.RNG) error {
 		return err
 	}
 	dbFiles := []string{"/blast/db/nr.phr", "/blast/db/nr.pin", "/blast/db/nr.psq"}
-	for i, f := range dbFiles {
-		size := dbSize / 3
-		if i == 0 {
-			size = dbSize / 20 // header file is small
-		}
-		if err := sys.Write(formatdb, f, payload(rng, size), pass.Truncate); err != nil {
+	for _, f := range dbFiles {
+		if err := toolWrite(sys, formatdb, f, pass.Truncate); err != nil {
 			return err
 		}
 		if err := sys.Close(ctx, formatdb, f); err != nil {
@@ -107,7 +103,7 @@ func (w *Blast) Run(ctx context.Context, sys *pass.System, rng *sim.RNG) error {
 		})
 		tee := sys.Exec(nil, pass.ExecSpec{
 			Name: "tee",
-			Argv: []string{"tee", "-a", fmt.Sprintf("job%04d.out", j)},
+			Argv: argvWithSize([]string{"tee", "-a", fmt.Sprintf("job%04d.out", j)}, w.MeanResultSize),
 			Env:  env(rng, envSize(rng, w.BigEnvFraction)),
 		})
 		for _, f := range dbFiles {
@@ -132,7 +128,7 @@ func (w *Blast) Run(ctx context.Context, sys *pass.System, rng *sim.RNG) error {
 			if err := sys.Pipe(blast, tee); err != nil {
 				return err
 			}
-			if err := sys.Write(tee, out, payload(rng, sizeAround(rng, w.MeanResultSize)), pass.Append); err != nil {
+			if err := toolWrite(sys, tee, out, pass.Append); err != nil {
 				return err
 			}
 		}
@@ -152,7 +148,7 @@ func (w *Blast) Run(ctx context.Context, sys *pass.System, rng *sim.RNG) error {
 			return err
 		}
 		summary := fmt.Sprintf("/blast/results/job%04d.summary", j)
-		if err := sys.Write(perl, summary, payload(rng, sizeAround(rng, 4<<10)), pass.Truncate); err != nil {
+		if err := toolWrite(sys, perl, summary, pass.Truncate); err != nil {
 			return err
 		}
 		if err := sys.Close(ctx, perl, summary); err != nil {

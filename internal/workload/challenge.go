@@ -85,7 +85,7 @@ func (w *ProvChallenge) Run(ctx context.Context, sys *pass.System, rng *sim.RNG)
 				}
 			}
 			warps[i] = fmt.Sprintf("%s/warp%d.warp", dir, i+1)
-			if err := sys.Write(aw, warps[i], payload(rng, sizeAround(rng, 8<<10)), pass.Truncate); err != nil {
+			if err := toolWrite(sys, aw, warps[i], pass.Truncate); err != nil {
 				return err
 			}
 			if err := sys.Close(ctx, aw, warps[i]); err != nil {
@@ -99,7 +99,7 @@ func (w *ProvChallenge) Run(ctx context.Context, sys *pass.System, rng *sim.RNG)
 		for i := 0; i < 4; i++ {
 			rs := sys.Exec(nil, pass.ExecSpec{
 				Name: "reslice",
-				Argv: []string{"reslice", warps[i]},
+				Argv: argvWithSize([]string{"reslice", warps[i]}, w.ImageSize),
 				Env:  env(rng, envSize(rng, w.BigEnvFraction)),
 			})
 			if err := sys.Read(rs, warps[i]); err != nil {
@@ -110,10 +110,10 @@ func (w *ProvChallenge) Run(ctx context.Context, sys *pass.System, rng *sim.RNG)
 			}
 			resliced[i] = fmt.Sprintf("%s/resliced%d.img", dir, i+1)
 			hdr := fmt.Sprintf("%s/resliced%d.hdr", dir, i+1)
-			if err := sys.Write(rs, resliced[i], payload(rng, sizeAround(rng, w.ImageSize)), pass.Truncate); err != nil {
+			if err := toolWrite(sys, rs, resliced[i], pass.Truncate); err != nil {
 				return err
 			}
-			if err := sys.Write(rs, hdr, payload(rng, 348), pass.Truncate); err != nil {
+			if err := toolWrite(sys, rs, hdr, pass.Truncate); err != nil {
 				return err
 			}
 			if err := sys.Close(ctx, rs, resliced[i]); err != nil {
@@ -128,7 +128,7 @@ func (w *ProvChallenge) Run(ctx context.Context, sys *pass.System, rng *sim.RNG)
 		// Stage 3: softmean produces the atlas.
 		sm := sys.Exec(nil, pass.ExecSpec{
 			Name: "softmean",
-			Argv: []string{"softmean", "atlas.img", "y", "null"},
+			Argv: argvWithSize([]string{"softmean", "atlas.img", "y", "null"}, w.ImageSize),
 			Env:  env(rng, envSize(rng, w.BigEnvFraction)),
 		})
 		for i := 0; i < 4; i++ {
@@ -138,10 +138,10 @@ func (w *ProvChallenge) Run(ctx context.Context, sys *pass.System, rng *sim.RNG)
 		}
 		atlas := fmt.Sprintf("%s/atlas.img", dir)
 		atlasHdr := fmt.Sprintf("%s/atlas.hdr", dir)
-		if err := sys.Write(sm, atlas, payload(rng, sizeAround(rng, w.ImageSize)), pass.Truncate); err != nil {
+		if err := toolWrite(sys, sm, atlas, pass.Truncate); err != nil {
 			return err
 		}
-		if err := sys.Write(sm, atlasHdr, payload(rng, 348), pass.Truncate); err != nil {
+		if err := toolWrite(sys, sm, atlasHdr, pass.Truncate); err != nil {
 			return err
 		}
 		if err := sys.Close(ctx, sm, atlas); err != nil {
@@ -166,7 +166,7 @@ func (w *ProvChallenge) Run(ctx context.Context, sys *pass.System, rng *sim.RNG)
 				return err
 			}
 			slice := fmt.Sprintf("%s/slice_%s.pgm", dir, axis)
-			if err := sys.Write(sl, slice, payload(rng, sizeAround(rng, 90<<10)), pass.Truncate); err != nil {
+			if err := toolWrite(sys, sl, slice, pass.Truncate); err != nil {
 				return err
 			}
 			if err := sys.Close(ctx, sl, slice); err != nil {
@@ -183,7 +183,7 @@ func (w *ProvChallenge) Run(ctx context.Context, sys *pass.System, rng *sim.RNG)
 				return err
 			}
 			gif := fmt.Sprintf("%s/atlas_%s.gif", dir, axis)
-			if err := sys.Write(cv, gif, payload(rng, sizeAround(rng, 40<<10)), pass.Truncate); err != nil {
+			if err := toolWrite(sys, cv, gif, pass.Truncate); err != nil {
 				return err
 			}
 			if err := sys.Close(ctx, cv, gif); err != nil {

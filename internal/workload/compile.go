@@ -83,7 +83,7 @@ func (w *LinuxCompile) Run(ctx context.Context, sys *pass.System, rng *sim.RNG) 
 	for i, src := range sources {
 		cc := sys.Exec(make_, pass.ExecSpec{
 			Name: "cc",
-			Argv: []string{"cc", "-O2", "-c", src},
+			Argv: argvWithSize([]string{"cc", "-O2", "-c", src}, w.MeanObjectSize),
 			Env:  env(rng, envSize(rng, w.BigEnvFraction)),
 		})
 		if err := sys.Read(cc, src); err != nil {
@@ -95,7 +95,7 @@ func (w *LinuxCompile) Run(ctx context.Context, sys *pass.System, rng *sim.RNG) 
 			}
 		}
 		objects[i] = fmt.Sprintf("/usr/src/linux/obj/f%05d.o", i)
-		if err := sys.Write(cc, objects[i], payload(rng, sizeAround(rng, w.MeanObjectSize)), pass.Truncate); err != nil {
+		if err := toolWrite(sys, cc, objects[i], pass.Truncate); err != nil {
 			return err
 		}
 		if err := sys.Close(ctx, cc, objects[i]); err != nil {
@@ -106,7 +106,7 @@ func (w *LinuxCompile) Run(ctx context.Context, sys *pass.System, rng *sim.RNG) 
 
 	ld := sys.Exec(make_, pass.ExecSpec{
 		Name: "ld",
-		Argv: []string{"ld", "-o", "vmlinux"},
+		Argv: argvWithSize([]string{"ld", "-o", "vmlinux"}, w.ImageSize),
 		Env:  env(rng, envSize(rng, w.BigEnvFraction)),
 	})
 	for _, obj := range objects {
@@ -114,7 +114,7 @@ func (w *LinuxCompile) Run(ctx context.Context, sys *pass.System, rng *sim.RNG) 
 			return err
 		}
 	}
-	if err := sys.Write(ld, "/usr/src/linux/vmlinux", payload(rng, w.ImageSize), pass.Truncate); err != nil {
+	if err := toolWrite(sys, ld, "/usr/src/linux/vmlinux", pass.Truncate); err != nil {
 		return err
 	}
 	if err := sys.Close(ctx, ld, "/usr/src/linux/vmlinux"); err != nil {

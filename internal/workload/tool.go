@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"passcloud/internal/content"
+	"passcloud/internal/core/integrity"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+	"passcloud/internal/replay"
+	"passcloud/internal/sim"
+)
+
+// This file is the runnable-tool registry: every byte a workload tool
+// writes is a pure function of the writing process version's recorded
+// provenance (identity, argv, environment, pinned input versions) plus
+// the output path. The generators derive their outputs through the same
+// functions replay re-executes, so a faithful provenance capture replays
+// byte-identically — and any capture bug (a dropped input edge, a mutated
+// argument, a swapped version pin) changes the derived bytes and shows up
+// as a digest mismatch.
+//
+// Sizes keep the generators' published distributions: a log-normal draw
+// around a per-tool mean, seeded from the call digest instead of the
+// workload RNG stream. Workload-configurable means travel in the recorded
+// argv as "-s <bytes>" — provenance must carry everything the tool's
+// output depends on, or the tool would not be replayable.
+
+// toolFunc computes one tool's deterministic output chunk for a call.
+type toolFunc func(call replay.Call, input replay.InputResolver) ([]byte, error)
+
+// registry maps recorded tool names to their output functions. Tools that
+// write nothing (cat, blastall, make) are deliberately absent: they never
+// appear as a file's writer, and an unregistered writer is exactly what
+// the unrunnable-tool divergence reports.
+var registry = map[string]toolFunc{
+	"formatdb":   runFormatdb,
+	"tee":        sizedTool(15<<10, false),
+	"perl":       sizedTool(4<<10, false),
+	"cc":         sizedTool(16<<10, false),
+	"ld":         sizedTool(6<<20, true),
+	"align_warp": sizedTool(8<<10, false),
+	"reslice":    imageTool(360 << 10),
+	"softmean":   imageTool(360 << 10),
+	"slicer":     sizedTool(90<<10, false),
+	"convert":    sizedTool(40<<10, false),
+}
+
+// Tools is the workload tool registry as a replay.Runner — the first
+// (and reference) runner implementation.
+type Tools struct{}
+
+// Run implements replay.Runner.
+func (Tools) Run(call replay.Call, input replay.InputResolver) ([]byte, error) {
+	fn := registry[call.Tool]
+	if fn == nil {
+		return nil, fmt.Errorf("%w: %q", replay.ErrUnknownTool, call.Tool)
+	}
+	return fn(call, input)
+}
+
+// DeriveOutput computes the bytes p's registered tool writes at path, as
+// a pure function of the process's current-version records. Generators
+// (and pass-through callers like Client.Process.WriteDerived) produce
+// file content with it; replay re-executes the recorded records through
+// the identical function — one implementation, both sides of the
+// reproducibility contract.
+func DeriveOutput(sys *pass.System, p *pass.Process, path string) ([]byte, error) {
+	records := p.Records()
+	tool := ""
+	for _, r := range records {
+		if r.Attr == prov.AttrName && r.Value.Kind == prov.KindString {
+			tool = r.Value.Str
+			break
+		}
+	}
+	call := replay.Call{Tool: tool, Proc: p.Ref(), Records: records, Output: path}
+	return Tools{}.Run(call, SystemResolver(sys))
+}
+
+// SystemResolver resolves pinned input versions against a live system's
+// file state. At generation time every pin is the current version, so the
+// resolver only has to check the pin still matches.
+func SystemResolver(sys *pass.System) replay.InputResolver {
+	return func(ref prov.Ref) ([]byte, error) {
+		cur, ok := sys.CurrentVersion(string(ref.Object))
+		if !ok {
+			return nil, fmt.Errorf("workload: input %s unknown to system", ref)
+		}
+		if cur != ref {
+			return nil, fmt.Errorf("workload: input %s not current (at %s)", ref, cur)
+		}
+		data, _ := sys.FileContent(string(ref.Object))
+		return data, nil
+	}
+}
+
+// toolWrite derives p's tool output for path and writes it — the
+// generator-side half of the contract.
+func toolWrite(sys *pass.System, p *pass.Process, path string, mode pass.WriteMode) error {
+	data, err := DeriveOutput(sys, p, path)
+	if err != nil {
+		return err
+	}
+	return sys.Write(p, path, data, mode)
+}
+
+// sizedTool writes content.Bytes of a size centered on the "-s" argv
+// value (or def): log-normal via the digest-seeded RNG, or the mean
+// exactly when exact is set (linkers produce images of configured size,
+// not samples).
+func sizedTool(def int, exact bool) toolFunc {
+	return func(call replay.Call, _ replay.InputResolver) ([]byte, error) {
+		d := callDigest(call.Records, call.Output)
+		size := argvSize(call, def)
+		if !exact {
+			size = sizeAround(digestRNG(d), size)
+		}
+		return derivedBytes(d, size), nil
+	}
+}
+
+// imageTool handles the fMRI stages that write an image plus its ANALYZE
+// header: ".hdr" outputs are the fixed 348-byte header, everything else
+// is a log-normal image around the "-s" mean.
+func imageTool(def int) toolFunc {
+	return func(call replay.Call, _ replay.InputResolver) ([]byte, error) {
+		d := callDigest(call.Records, call.Output)
+		if strings.HasSuffix(call.Output, ".hdr") {
+			return derivedBytes(d, 348), nil
+		}
+		return derivedBytes(d, sizeAround(digestRNG(d), argvSize(call, def))), nil
+	}
+}
+
+// runFormatdb derives the indexed database files from the FASTA input
+// named by the recorded "-i" argument: the header file (.phr) is 1/20th
+// of the database, the index and sequence files a third each. It is the
+// registry's data-dependent tool — its output sizes require resolving the
+// pinned input version, which is how replay exercises missing-input
+// detection.
+func runFormatdb(call replay.Call, input replay.InputResolver) ([]byte, error) {
+	argv := callArgv(call)
+	fasta := ""
+	for i := 0; i+1 < len(argv); i++ {
+		if argv[i] == "-i" {
+			fasta = argv[i+1]
+			break
+		}
+	}
+	if fasta == "" {
+		return nil, fmt.Errorf("formatdb: no -i input in recorded argv %q", argv)
+	}
+	pin, ok := pinnedInput(call, fasta)
+	if !ok {
+		return nil, fmt.Errorf("formatdb: no recorded input edge for %s", fasta)
+	}
+	data, err := input(pin)
+	if err != nil {
+		return nil, fmt.Errorf("formatdb: %w", err)
+	}
+	size := len(data) / 3
+	if strings.HasSuffix(call.Output, ".phr") {
+		size = len(data) / 20
+	}
+	return derivedBytes(callDigest(call.Records, call.Output), size), nil
+}
+
+// callDigest fingerprints a call: the sorted, deduplicated record lines
+// (attribute and value; integrity riders excluded — they are storage
+// artifacts appended at flush, not capture provenance) plus the output
+// path. Everything a tool's output may depend on is in here, and nothing
+// else.
+func callDigest(records []prov.Record, output string) [sha256.Size]byte {
+	lines := make([]string, 0, len(records))
+	seen := make(map[string]bool, len(records))
+	for _, r := range records {
+		if r.Attr == integrity.AttrChain || r.Attr == integrity.AttrRoot {
+			continue
+		}
+		line := r.Attr + "\x00" + r.Value.String()
+		if seen[line] {
+			continue
+		}
+		seen[line] = true
+		lines = append(lines, line)
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, line := range lines {
+		h.Write([]byte(line))
+		h.Write([]byte{0})
+	}
+	h.Write([]byte(output))
+	var d [sha256.Size]byte
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// derivedBytes expands a call digest into size deterministic bytes.
+func derivedBytes(d [sha256.Size]byte, size int) []byte {
+	if size < 1 {
+		size = 1
+	}
+	return content.Bytes(binary.BigEndian.Uint64(d[0:8]), size)
+}
+
+// digestRNG seeds the size distribution from the second digest word, so
+// size and content draws are independent.
+func digestRNG(d [sha256.Size]byte) *sim.RNG {
+	return sim.NewRNG(int64(binary.BigEndian.Uint64(d[8:16])))
+}
+
+// callArgv returns the recorded command line, split on spaces (the
+// capture layer joins argv with single spaces).
+func callArgv(call replay.Call) []string {
+	for _, r := range call.Records {
+		if r.Attr == prov.AttrArgv && r.Value.Kind == prov.KindString {
+			return strings.Fields(r.Value.Str)
+		}
+	}
+	return nil
+}
+
+// argvSize reads the "-s <bytes>" mean-size convention from the recorded
+// argv, falling back to the tool's default.
+func argvSize(call replay.Call, def int) int {
+	argv := callArgv(call)
+	for i := 0; i+1 < len(argv); i++ {
+		if argv[i] == "-s" {
+			if n, err := strconv.Atoi(argv[i+1]); err == nil && n > 0 {
+				return n
+			}
+		}
+	}
+	return def
+}
+
+// pinnedInput finds the recorded input edge whose object matches path.
+func pinnedInput(call replay.Call, path string) (prov.Ref, bool) {
+	for _, r := range call.Records {
+		if r.Attr == prov.AttrInput && r.Value.Kind == prov.KindRef &&
+			string(r.Value.Ref.Object) == path {
+			return r.Value.Ref, true
+		}
+	}
+	return prov.Ref{}, false
+}
+
+// argvWithSize appends the "-s <bytes>" convention to a command line: the
+// configured mean must ride in recorded provenance for the tool to be
+// replayable.
+func argvWithSize(argv []string, mean int) []string {
+	return append(argv, "-s", strconv.Itoa(mean))
+}
